@@ -1,0 +1,315 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (§6) as testing.B targets. Each benchmark
+// reports simulated-instructions-per-second (the y-axis of Figures 11 and
+// 12) and the table metrics as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the full evaluation. cmd/fbench renders the same data as the
+// paper's tables; EXPERIMENTS.md records a reference run.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	descriptions "facile/facile"
+	"facile/internal/arch/fastsim"
+	"facile/internal/arch/ooo"
+	"facile/internal/arch/uarch"
+	"facile/internal/core"
+	"facile/internal/facsim"
+	"facile/internal/isa/loader"
+	"facile/internal/workloads"
+)
+
+// benchScale keeps `go test -bench=.` runs laptop-sized; cmd/fbench is the
+// tool for bigger sweeps.
+const benchScale = 3
+
+// figure11Set is a representative slice of the suite for the per-simulator
+// figure benchmarks (the full 18 run via BenchmarkFigure11Full and fbench).
+var figure11Set = []string{"126.gcc", "129.compress", "099.go", "101.tomcatv", "107.mgrid", "145.fpppp"}
+
+func getProg(b *testing.B, name string) *loader.Program {
+	b.Helper()
+	w, err := workloads.Get(name, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w.Prog
+}
+
+func reportSimRate(b *testing.B, insts uint64) {
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msim-inst/s")
+}
+
+// BenchmarkFigure11Baseline is Figure 11's "SimpleScalar" bar: the
+// conventional out-of-order simulator.
+func BenchmarkFigure11Baseline(b *testing.B) {
+	for _, name := range figure11Set {
+		b.Run(name, func(b *testing.B) {
+			prog := getProg(b, name)
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				insts = ooo.Run(uarch.Default(), prog, 0).Insts
+			}
+			reportSimRate(b, insts)
+		})
+	}
+}
+
+// BenchmarkFigure11NoMemo is Figure 11's "without memoization" bar: the
+// FastSim-role simulator with fast-forwarding disabled.
+func BenchmarkFigure11NoMemo(b *testing.B) {
+	for _, name := range figure11Set {
+		b.Run(name, func(b *testing.B) {
+			prog := getProg(b, name)
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				s := fastsim.New(uarch.Default(), prog, fastsim.Options{Memoize: false})
+				insts = s.Run(0).Insts
+			}
+			reportSimRate(b, insts)
+		})
+	}
+}
+
+// BenchmarkFigure11Memo is Figure 11's "with memoization" bar, and also
+// reports Table 1 (% fast-forwarded) and Table 2 (MB memoized) metrics.
+func BenchmarkFigure11Memo(b *testing.B) {
+	for _, name := range figure11Set {
+		b.Run(name, func(b *testing.B) {
+			prog := getProg(b, name)
+			var insts uint64
+			var st fastsim.Stats
+			for i := 0; i < b.N; i++ {
+				s := fastsim.New(uarch.Default(), prog, fastsim.Options{
+					Memoize: true, CacheCapBytes: 256 << 20,
+				})
+				insts = s.Run(0).Insts
+				st = s.Stats()
+			}
+			reportSimRate(b, insts)
+			b.ReportMetric(st.FastForwardedPc, "%fastfwd")
+			b.ReportMetric(float64(st.TotalMemoBytes)/(1<<20), "MB-memoized")
+		})
+	}
+}
+
+// BenchmarkTable1 sweeps the full suite and reports the percentage of
+// instructions fast-forwarded per benchmark (paper Table 1: >99% across
+// the board, gcc worst).
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range workloads.Names() {
+		b.Run(name, func(b *testing.B) {
+			prog := getProg(b, name)
+			var st fastsim.Stats
+			for i := 0; i < b.N; i++ {
+				s := fastsim.New(uarch.Default(), prog, fastsim.Options{
+					Memoize: true, CacheCapBytes: 256 << 20,
+				})
+				s.Run(0)
+				st = s.Stats()
+			}
+			b.ReportMetric(st.FastForwardedPc, "%fastfwd")
+		})
+	}
+}
+
+// BenchmarkTable2 sweeps the full suite with an unlimited action cache and
+// reports megabytes memoized (paper Table 2: go and gcc largest, compress
+// smallest).
+func BenchmarkTable2(b *testing.B) {
+	for _, name := range workloads.Names() {
+		b.Run(name, func(b *testing.B) {
+			prog := getProg(b, name)
+			var st fastsim.Stats
+			for i := 0; i < b.N; i++ {
+				s := fastsim.New(uarch.Default(), prog, fastsim.Options{Memoize: true})
+				s.Run(0)
+				st = s.Stats()
+			}
+			b.ReportMetric(float64(st.TotalMemoBytes)/(1<<20), "MB-memoized")
+		})
+	}
+}
+
+// figure12Set keeps the interpreted no-memo runs tractable.
+var figure12Set = []string{"126.gcc", "129.compress", "101.tomcatv", "145.fpppp"}
+
+// BenchmarkFigure12Memo is Figure 12's "with memoization" bar: the
+// Facile-compiled out-of-order simulator with fast-forwarding.
+func BenchmarkFigure12Memo(b *testing.B) {
+	for _, name := range figure12Set {
+		b.Run(name, func(b *testing.B) {
+			prog := getProg(b, name)
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				in, err := facsim.NewOOO(prog, facsim.Options{Memoize: true, CacheCapBytes: 256 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := in.Run(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = res.Insts
+			}
+			reportSimRate(b, insts)
+		})
+	}
+}
+
+// BenchmarkFigure12NoMemo is Figure 12's "without memoization" bar. The
+// Facile slow simulator is interpreted here (the paper compiled to C), so
+// this is the slowest benchmark in the harness; scale is reduced.
+func BenchmarkFigure12NoMemo(b *testing.B) {
+	for _, name := range figure12Set {
+		b.Run(name, func(b *testing.B) {
+			w, err := workloads.Get(name, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				in, err := facsim.NewOOO(w.Prog, facsim.Options{Memoize: false})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := in.Run(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = res.Insts
+			}
+			reportSimRate(b, insts)
+		})
+	}
+}
+
+// BenchmarkCacheCap is the §6.1 ablation: cap the action cache and clear
+// it when full; performance should degrade only gently as the cap shrinks
+// well below the uncapped footprint.
+func BenchmarkCacheCap(b *testing.B) {
+	prog := getProg(b, "126.gcc")
+	for _, cap := range []uint64{0, 4 << 20, 512 << 10, 64 << 10} {
+		label := "unlimited"
+		if cap > 0 {
+			label = fmt.Sprintf("%dKiB", cap>>10)
+		}
+		b.Run(label, func(b *testing.B) {
+			var insts uint64
+			var clears uint64
+			for i := 0; i < b.N; i++ {
+				s := fastsim.New(uarch.Default(), prog, fastsim.Options{Memoize: true, CacheCapBytes: cap})
+				insts = s.Run(0).Insts
+				clears = s.Stats().CacheClears
+			}
+			reportSimRate(b, insts)
+			b.ReportMetric(float64(clears), "clears")
+		})
+	}
+}
+
+// BenchmarkAblationLiveness is the §6.3 (#3) ablation: the liveness
+// optimization elides write-throughs of globals no dynamic reader
+// observes, shrinking the action stream and cache.
+func BenchmarkAblationLiveness(b *testing.B) {
+	prog := getProg(b, "129.compress")
+	for _, live := range []bool{false, true} {
+		name := "baseline"
+		if live {
+			name = "liveness-opt"
+		}
+		b.Run(name, func(b *testing.B) {
+			var insts, bytes uint64
+			for i := 0; i < b.N; i++ {
+				in, err := facsim.NewOOOCustom(prog,
+					facsim.Options{Memoize: true},
+					core.Options{LiftLiveOnly: live})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := in.Run(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = res.Insts
+				bytes = res.Stats.TotalMemoBytes
+			}
+			reportSimRate(b, insts)
+			b.ReportMetric(float64(bytes)/(1<<20), "MB-memoized")
+		})
+	}
+}
+
+// BenchmarkAblationConstFold is the §6.3 (#5) ablation: compile-time
+// constant folding / copy propagation / DCE in the Facile compiler.
+func BenchmarkAblationConstFold(b *testing.B) {
+	prog := getProg(b, "129.compress")
+	for _, noopt := range []bool{false, true} {
+		name := "optimized"
+		if noopt {
+			name = "no-constfold"
+		}
+		b.Run(name, func(b *testing.B) {
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				in, err := facsim.NewOOOCustom(prog,
+					facsim.Options{Memoize: true},
+					core.Options{NoOptimize: noopt})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := in.Run(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = res.Insts
+			}
+			reportSimRate(b, insts)
+		})
+	}
+}
+
+// BenchmarkCompile measures the Facile compiler itself over the bundled
+// descriptions.
+func BenchmarkCompile(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		src  string
+	}{
+		{"func", descriptions.FuncSim()},
+		{"inorder", descriptions.InOrderSim()},
+		{"ooo", descriptions.OOOSim()},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompileSource(c.src, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStepGranularity sweeps the step-function quantum (§2.1: "the
+// simulator's author determines the amount of calculation performed in a
+// step"): longer steps amortize lookups, shorter ones re-key more often.
+func BenchmarkStepGranularity(b *testing.B) {
+	prog := getProg(b, "101.tomcatv")
+	for _, sc := range []int{8, 16, 48, 128} {
+		b.Run(fmt.Sprintf("commits=%d", sc), func(b *testing.B) {
+			var insts uint64
+			var entries uint64
+			for i := 0; i < b.N; i++ {
+				s := fastsim.New(uarch.Default(), prog, fastsim.Options{Memoize: true, StepCommits: sc})
+				insts = s.Run(0).Insts
+				entries = s.Stats().CacheEntries
+			}
+			reportSimRate(b, insts)
+			b.ReportMetric(float64(entries), "entries")
+		})
+	}
+}

@@ -1,0 +1,68 @@
+// Command faciled is the Facile compiler driver: it parses, checks, and
+// compiles a Facile description and reports the binding-time analysis
+// results, the dynamic-segment structure, or a full IR dump.
+//
+// Usage:
+//
+//	faciled [-dump] [-bta] [-live] file.fac [more.fac ...]
+//
+// Multiple files are concatenated (the conventional layout appends a step
+// function to an ISA description, e.g. `faciled facile/svr32.fac
+// facile/ooo.fac`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"facile/internal/core"
+	"facile/internal/lang/compile"
+	"facile/internal/lang/ir"
+)
+
+func main() {
+	dump := flag.Bool("dump", false, "dump the compiled IR with binding times")
+	bta := flag.Bool("bta", true, "print the binding-time analysis summary")
+	live := flag.Bool("live", false, "enable the liveness write-through optimization (paper §6.3 #3)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: faciled [-dump] [-live] file.fac [more.fac ...]")
+		os.Exit(2)
+	}
+	var sb strings.Builder
+	for _, f := range flag.Args() {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faciled:", err)
+			os.Exit(1)
+		}
+		sb.Write(src)
+		sb.WriteString("\n")
+	}
+	sim, err := core.CompileSource(sb.String(), core.Options{LiftLiveOnly: *live})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faciled:", err)
+		os.Exit(1)
+	}
+	p := sim.Prog
+	if *bta {
+		fmt.Printf("compiled ok: %s\n", compile.DumpBTA(p))
+		nDyn, nPh, nForks := 0, 0, 0
+		for _, b := range p.Blocks {
+			nDyn += len(b.Dyn)
+			nPh += b.NPh
+			if b.DynTerm == ir.DTBr || b.DynTerm == ir.DTSetArg || b.DynTerm == ir.DTPin {
+				nForks++
+			}
+		}
+		fmt.Printf("dynamic segments: %d instructions, %d placeholders, %d dynamic-result tests\n",
+			nDyn, nPh, nForks)
+		fmt.Printf("globals=%d arrays=%d queues=%d externs=%d params=%d\n",
+			len(p.Globals), len(p.Arrays), len(p.QueuesG), len(p.Externs), len(p.Params))
+	}
+	if *dump {
+		fmt.Print(p.Dump())
+	}
+}

@@ -1,0 +1,53 @@
+// Command fasm assembles SVR32 assembly and prints the disassembly and
+// symbol table, or runs the program on the golden functional simulator.
+//
+// Usage:
+//
+//	fasm [-run] [-dis] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"facile/internal/arch/funcsim"
+	"facile/internal/isa/asm"
+)
+
+func main() {
+	runIt := flag.Bool("run", false, "run on the functional simulator")
+	dis := flag.Bool("dis", false, "print disassembly")
+	maxInsts := flag.Uint64("max", 100_000_000, "instruction limit for -run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fasm [-run] [-dis] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fasm:", err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fasm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d instructions, %d data bytes, entry %#x\n",
+		prog.Name, len(prog.Text), len(prog.Data), prog.Entry)
+	if *dis {
+		for _, line := range prog.Disassemble() {
+			fmt.Println(line)
+		}
+	}
+	if *runIt {
+		_, res, err := funcsim.Run(prog, *maxInsts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fasm:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(res.Output)
+		fmt.Printf("[%d instructions, exit %d]\n", res.Insts, res.ExitStatus)
+	}
+}

@@ -1,0 +1,82 @@
+// Command fbench regenerates the paper's evaluation: Figure 11, Table 1,
+// Table 2, Figure 12, the description-size report, and the
+// cache-capacity ablation.
+//
+// Usage:
+//
+//	fbench -exp fig11|table1|table2|fig12|loc|cachecap|all [-scale N] [-bench name,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"facile/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig11, table1, table2, fig12, loc, cachecap, all")
+	scale := flag.Int("scale", 10, "workload scale factor")
+	benches := flag.String("bench", "", "comma-separated benchmark names (default: full suite)")
+	capName := flag.String("capbench", "126.gcc", "benchmark for the cache-capacity ablation")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	if *benches != "" {
+		cfg.Names = strings.Split(*benches, ",")
+	}
+
+	var run func(string) error
+	run = func(name string) error {
+		switch name {
+		case "fig11", "table1":
+			rows, err := bench.Figure11(cfg)
+			if err != nil {
+				return err
+			}
+			if name == "fig11" {
+				bench.WriteFigure(os.Stdout, "Figure 11: FastSim-role simulator vs conventional baseline", rows)
+			} else {
+				bench.WriteTable1(os.Stdout, rows)
+			}
+		case "table2":
+			rows, err := bench.Table2(cfg)
+			if err != nil {
+				return err
+			}
+			bench.WriteTable2(os.Stdout, rows)
+		case "fig12":
+			rows, err := bench.Figure12(cfg)
+			if err != nil {
+				return err
+			}
+			bench.WriteFigure(os.Stdout, "Figure 12: Facile-compiled OOO simulator vs conventional baseline", rows)
+		case "loc":
+			bench.WriteLoC(os.Stdout)
+		case "cachecap":
+			caps := []uint64{0, 16 << 20, 4 << 20, 1 << 20, 256 << 10, 64 << 10}
+			pts, err := bench.CacheCapSweep(*capName, cfg.Scale, caps)
+			if err != nil {
+				return err
+			}
+			bench.WriteCapSweep(os.Stdout, *capName, pts)
+		case "all":
+			for _, e := range []string{"fig11", "table1", "table2", "fig12", "cachecap", "loc"} {
+				if err := run(e); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+	if err := run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "fbench:", err)
+		os.Exit(1)
+	}
+}

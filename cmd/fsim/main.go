@@ -1,0 +1,127 @@
+// Command fsim runs an SVR32 program (a bundled benchmark or an assembly
+// file) on any of the simulators in this repository.
+//
+// Usage:
+//
+//	fsim -sim func|inorder|ooo|fac-func|fac-inorder|fac-ooo|fastsim [-memo] \
+//	     (-bench 126.gcc [-scale N] | file.s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"facile/internal/arch/fastsim"
+	"facile/internal/arch/funcsim"
+	"facile/internal/arch/ooo"
+	"facile/internal/arch/uarch"
+	"facile/internal/bench"
+	"facile/internal/facsim"
+	"facile/internal/isa/asm"
+	"facile/internal/isa/loader"
+	"facile/internal/workloads"
+)
+
+func main() {
+	simName := flag.String("sim", "func", "simulator: func, ooo, fastsim, fac-func, fac-inorder, fac-ooo")
+	validate := flag.Bool("validate", false, "cross-validate all simulators on the chosen benchmark")
+	memo := flag.Bool("memo", false, "enable fast-forwarding (fastsim and fac-* simulators)")
+	benchName := flag.String("bench", "", "run a bundled benchmark by name")
+	scale := flag.Int("scale", 1, "benchmark scale factor")
+	capMB := flag.Uint64("cap", 0, "action cache cap in MB (0 = unlimited)")
+	flag.Parse()
+
+	var prog *loader.Program
+	switch {
+	case *benchName != "":
+		w, err := workloads.Get(*benchName, *scale)
+		if err != nil {
+			die(err)
+		}
+		prog = w.Prog
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			die(err)
+		}
+		prog, err = asm.Assemble(flag.Arg(0), string(src))
+		if err != nil {
+			die(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: fsim -sim NAME (-bench NAME | file.s)")
+		os.Exit(2)
+	}
+
+	if *validate {
+		if *benchName == "" {
+			die(fmt.Errorf("-validate requires -bench"))
+		}
+		if err := bench.ValidateBenchmark(*benchName, *scale); err != nil {
+			die(err)
+		}
+		fmt.Printf("%s @ scale %d: all simulators agree (outputs, exits, memoized cycle counts)\n",
+			*benchName, *scale)
+		return
+	}
+
+	capBytes := *capMB << 20
+	t0 := time.Now()
+	switch *simName {
+	case "func":
+		_, res, err := funcsim.Run(prog, 0)
+		if err != nil {
+			die(err)
+		}
+		report(res.Insts, 0, res.Output, time.Since(t0))
+	case "ooo":
+		res := ooo.Run(uarch.Default(), prog, 0)
+		report(res.Insts, res.Cycles, res.Output, time.Since(t0))
+		fmt.Printf("IPC %.3f, %d mispredicts, %d L1D misses\n", res.IPC(), res.Mispredicts, res.L1DMisses)
+	case "fastsim":
+		s := fastsim.New(uarch.Default(), prog, fastsim.Options{Memoize: *memo, CacheCapBytes: capBytes})
+		res := s.Run(0)
+		report(res.Insts, res.Cycles, res.Output, time.Since(t0))
+		st := s.Stats()
+		fmt.Printf("fast-forwarded %.3f%%, %d misses, %.1f MB memoized, %d clears\n",
+			st.FastForwardedPc, st.Misses, float64(st.TotalMemoBytes)/(1<<20), st.CacheClears)
+	case "fac-func", "fac-inorder", "fac-ooo":
+		mk := map[string]func(*loader.Program, facsim.Options) (*facsim.Instance, error){
+			"fac-func":    facsim.NewFunctional,
+			"fac-inorder": facsim.NewInOrder,
+			"fac-ooo":     facsim.NewOOO,
+		}[*simName]
+		in, err := mk(prog, facsim.Options{Memoize: *memo, CacheCapBytes: capBytes})
+		if err != nil {
+			die(err)
+		}
+		res, err := in.Run(0)
+		if err != nil {
+			die(err)
+		}
+		report(res.Insts, res.Cycles, res.Output, time.Since(t0))
+		fmt.Printf("steps: %d slow, %d replayed, %d recoveries, %.1f MB memoized\n",
+			res.Stats.SlowSteps, res.Stats.Replays, res.Stats.Misses,
+			float64(res.Stats.TotalMemoBytes)/(1<<20))
+	default:
+		die(fmt.Errorf("unknown simulator %q", *simName))
+	}
+}
+
+func report(insts, cycles uint64, output []byte, d time.Duration) {
+	os.Stdout.Write(output)
+	if cycles > 0 {
+		fmt.Printf("[%d instructions, %d cycles, %v, %.2f Msim-inst/s]\n",
+			insts, cycles, d.Round(time.Millisecond), float64(insts)/d.Seconds()/1e6)
+	} else {
+		fmt.Printf("[%d instructions, %v, %.2f Msim-inst/s]\n",
+			insts, d.Round(time.Millisecond), float64(insts)/d.Seconds()/1e6)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "fsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Custom ISA: describe a brand-new 16-bit accumulator machine in Facile —
+// token, fields, patterns, semantics, and a one-instruction-per-step
+// functional simulator — and run a hand-assembled program on it.
+//
+// This is the use case Facile's encoding sublanguage (after the New Jersey
+// Machine-Code Toolkit) is designed for: retargeting the simulator stack
+// to a different instruction set is a description change, not a simulator
+// rewrite. The step function still memoizes: the countdown loop below
+// replays from the specialized action cache after its first iteration.
+//
+// Run with: go run ./examples/customisa
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facile/internal/core"
+	"facile/internal/rt"
+)
+
+// ACC-16: 16-bit words; op[15:12], reg[11:8], imm8[7:0].
+const isaSrc = `
+token word[16] fields op 12:15, reg 8:11, imm8 0:7;
+
+pat ldi = op == 0;   // acc = imm8
+pat add = op == 1;   // acc += R[reg]
+pat sub = op == 2;   // acc -= R[reg]
+pat sta = op == 3;   // R[reg] = acc
+pat lda = op == 4;   // acc = R[reg]
+pat jnz = op == 5;   // if (acc != 0) pc = imm8
+pat out = op == 6;   // emit acc
+pat hlt = op == 7;
+
+val ACC = 0;
+val R = array(16){0};
+val PC : stream;
+val nPC : stream;
+
+extern emit(1);
+extern halt_sim(0);
+
+sem ldi { ACC = imm8; }
+sem add { ACC = ACC + R[reg]; }
+sem sub { ACC = ACC - R[reg]; }
+sem sta { R[reg] = ACC; }
+sem lda { ACC = R[reg]; }
+sem jnz { if (ACC != 0) { nPC = imm8; } }
+sem out { emit(ACC); }
+sem hlt { halt_sim(); }
+
+fun main(pc) {
+    PC = pc;
+    nPC = pc + 1;        // word-addressed program counter
+    PC?exec();
+    set_args(nPC);
+}
+`
+
+// rom is the TextSource: Facile's ?fetch/?exec read the target program
+// from it. ACC-16 is word-addressed.
+type rom []uint16
+
+func (r rom) FetchWord(addr uint64) uint32 {
+	if addr >= uint64(len(r)) {
+		return 0x7000 // off the end: halt
+	}
+	return uint32(r[addr])
+}
+
+func ins(op, reg, imm int) uint16 { return uint16(op<<12 | reg<<8 | imm) }
+
+func main() {
+	sim, err := core.CompileSource(isaSrc, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// r1 = 5 (counter), r2 = 0 (total), r3 = 1 (constant one);
+	// loop: total += counter; emit total; if (--counter) goto loop.
+	program := rom{
+		ins(0, 0, 5), //  0: ldi 5
+		ins(3, 1, 0), //  1: sta r1
+		ins(0, 0, 0), //  2: ldi 0
+		ins(3, 2, 0), //  3: sta r2
+		ins(0, 0, 1), //  4: ldi 1
+		ins(3, 3, 0), //  5: sta r3
+		ins(4, 2, 0), //  6: lda r2       ; loop:
+		ins(1, 1, 0), //  7: add r1
+		ins(3, 2, 0), //  8: sta r2
+		ins(6, 0, 0), //  9: out          ; emit running total
+		ins(4, 1, 0), // 10: lda r1
+		ins(2, 3, 0), // 11: sub r3
+		ins(3, 1, 0), // 12: sta r1
+		ins(5, 0, 6), // 13: jnz loop
+		ins(7, 0, 0), // 14: hlt
+	}
+
+	m := sim.NewMachine(program, rt.Options{Memoize: true})
+	halted := false
+	m.RegisterExtern("emit", func(a []int64) int64 {
+		fmt.Printf("ACC-16 emitted: %d\n", a[0])
+		return 0
+	})
+	m.RegisterExtern("halt_sim", func([]int64) int64 {
+		halted = true
+		return 0
+	})
+	m.SetStop(func(*rt.Machine) bool { return halted })
+	if err := m.SetIntArgs(0); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(10_000); err != nil {
+		log.Fatal(err)
+	}
+	regs, _ := m.Array("R")
+	st := m.Stats()
+	fmt.Printf("halted: total R2=%d (want 5+4+3+2+1=15) after %d steps (%d replayed, %d recoveries)\n",
+		regs[2], st.SlowSteps+st.Replays, st.Replays, st.Misses)
+}

@@ -1,0 +1,44 @@
+// Package facile bundles the Facile-language simulator descriptions
+// shipped with this repository: the SVR32 ISA description and the
+// functional, in-order, and out-of-order simulator step functions built on
+// it. The Go driver packages compile these sources with internal/core and
+// attach the host externs (memory, system calls, cache and branch
+// predictor simulators).
+package facile
+
+import _ "embed"
+
+//go:embed svr32.fac
+var isaSrc string
+
+//go:embed func.fac
+var funcSrc string
+
+//go:embed inorder.fac
+var inorderSrc string
+
+//go:embed ooo.fac
+var oooSrc string
+
+// ISA returns the SVR32 encoding and semantics description.
+func ISA() string { return isaSrc }
+
+// FuncSim returns the complete functional simulator source.
+func FuncSim() string { return isaSrc + funcSrc }
+
+// InOrderSim returns the complete in-order pipeline simulator source.
+func InOrderSim() string { return isaSrc + inorderSrc }
+
+// OOOSim returns the complete out-of-order simulator source.
+func OOOSim() string { return isaSrc + oooSrc }
+
+// Sources lists every bundled description with its name, for line-count
+// reporting (the paper's §6.2 code-size comparison).
+func Sources() map[string]string {
+	return map[string]string{
+		"svr32.fac":   isaSrc,
+		"func.fac":    funcSrc,
+		"inorder.fac": inorderSrc,
+		"ooo.fac":     oooSrc,
+	}
+}

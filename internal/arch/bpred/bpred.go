@@ -1,0 +1,159 @@
+// Package bpred implements the branch predictor used by the out-of-order
+// micro-architecture models: a gshare-style table of 2-bit saturating
+// counters, a direct-mapped branch target buffer, and a return address
+// stack. Following the paper (§6.2), the predictor is *not* memoized by the
+// fast-forwarding simulators — it is external, dynamic state whose
+// predictions are verified during replay.
+package bpred
+
+import "facile/internal/isa"
+
+// Config sizes the predictor structures. Sizes must be powers of two.
+type Config struct {
+	CounterBits int // log2 number of 2-bit counters
+	BTBBits     int // log2 number of BTB entries
+	RASDepth    int // return address stack depth
+}
+
+// DefaultConfig mirrors a mid-1990s out-of-order core (R10000-like).
+func DefaultConfig() Config {
+	return Config{CounterBits: 12, BTBBits: 10, RASDepth: 8}
+}
+
+// Predictor is the branch prediction unit.
+type Predictor struct {
+	cfg      Config
+	counters []uint8
+	history  uint64
+	btbTag   []uint64
+	btbDst   []uint64
+	ras      []uint64
+	rasTop   int
+
+	// Stats
+	Lookups    uint64
+	Mispredict uint64
+}
+
+// New builds a predictor for cfg.
+func New(cfg Config) *Predictor {
+	return &Predictor{
+		cfg:      cfg,
+		counters: make([]uint8, 1<<cfg.CounterBits),
+		btbTag:   make([]uint64, 1<<cfg.BTBBits),
+		btbDst:   make([]uint64, 1<<cfg.BTBBits),
+		ras:      make([]uint64, cfg.RASDepth),
+	}
+}
+
+// Reset clears all prediction state.
+func (p *Predictor) Reset() {
+	for i := range p.counters {
+		p.counters[i] = 0
+	}
+	for i := range p.btbTag {
+		p.btbTag[i] = 0
+		p.btbDst[i] = 0
+	}
+	p.history, p.rasTop = 0, 0
+	p.Lookups, p.Mispredict = 0, 0
+}
+
+// historyBits bounds the gshare global history (longer histories learn
+// more patterns but warm up slower; 8 is a classic choice).
+const historyBits = 8
+
+func (p *Predictor) ctrIndex(pc uint64) uint64 {
+	return (pc>>2 ^ (p.history & (1<<historyBits - 1))) & uint64(len(p.counters)-1)
+}
+
+func (p *Predictor) btbIndex(pc uint64) uint64 {
+	return (pc >> 2) & uint64(len(p.btbTag)-1)
+}
+
+// Predict returns the predicted next PC for the control instruction in at
+// pc. For non-control instructions it returns pc+4.
+func (p *Predictor) Predict(in isa.Inst, pc uint64) uint64 {
+	p.Lookups++
+	switch isa.Classify(in.Op) {
+	case isa.ClassBranch:
+		if p.counters[p.ctrIndex(pc)] >= 2 {
+			return isa.BranchTarget(in, pc)
+		}
+		return pc + 4
+	case isa.ClassJump:
+		switch in.Op {
+		case isa.OpJ, isa.OpJal:
+			if in.Op == isa.OpJal {
+				p.push(pc + 4)
+			}
+			return isa.BranchTarget(in, pc)
+		case isa.OpJalr:
+			p.push(pc + 4)
+			return p.btbLookup(pc)
+		default: // jr: treat a return-register jump as a return
+			if in.Rs1 == isa.RegRA {
+				return p.pop()
+			}
+			return p.btbLookup(pc)
+		}
+	default:
+		return pc + 4
+	}
+}
+
+func (p *Predictor) btbLookup(pc uint64) uint64 {
+	i := p.btbIndex(pc)
+	if p.btbTag[i] == pc {
+		return p.btbDst[i]
+	}
+	return pc + 4 // no target known: predict fall-through (will mispredict)
+}
+
+func (p *Predictor) push(v uint64) {
+	p.ras[p.rasTop%len(p.ras)] = v
+	p.rasTop++
+}
+
+func (p *Predictor) pop() uint64 {
+	if p.rasTop == 0 {
+		return 0
+	}
+	p.rasTop--
+	return p.ras[p.rasTop%len(p.ras)]
+}
+
+// Update trains the predictor with the resolved outcome of the control
+// instruction in at pc. actual is the resolved next PC; mispredicted
+// reports whether the earlier prediction was wrong (for stats).
+func (p *Predictor) Update(in isa.Inst, pc, actual uint64, mispredicted bool) {
+	if mispredicted {
+		p.Mispredict++
+	}
+	switch isa.Classify(in.Op) {
+	case isa.ClassBranch:
+		i := p.ctrIndex(pc)
+		taken := actual != pc+4
+		if taken {
+			if p.counters[i] < 3 {
+				p.counters[i]++
+			}
+		} else if p.counters[i] > 0 {
+			p.counters[i]--
+		}
+		p.history = p.history<<1 | b2u(taken)
+	case isa.ClassJump:
+		if in.Op == isa.OpJalr || (in.Op == isa.OpJr && in.Rs1 != isa.RegRA) {
+			i := p.btbIndex(pc)
+			p.btbTag[i] = pc
+			p.btbDst[i] = actual
+		}
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,107 @@
+package bpred
+
+import (
+	"testing"
+
+	"facile/internal/isa"
+)
+
+func beq(off int64) isa.Inst { return isa.Inst{Op: isa.OpBeq, Imm: off} }
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x10000)
+	in := beq(10)
+	target := isa.BranchTarget(in, pc)
+	mis := 0
+	for i := 0; i < 100; i++ {
+		pred := p.Predict(in, pc)
+		if pred != target {
+			mis++
+		}
+		p.Update(in, pc, target, pred != target)
+	}
+	// gshare warm-up: the first ~historyBits predictions land on distinct
+	// cold counters, each needing two updates to saturate taken.
+	if mis > 14 {
+		t.Fatalf("%d mispredictions on an always-taken branch", mis)
+	}
+}
+
+func TestLearnsAlternatingWithHistory(t *testing.T) {
+	// gshare's global history should capture a strict alternation.
+	p := New(DefaultConfig())
+	pc := uint64(0x20000)
+	in := beq(4)
+	target := isa.BranchTarget(in, pc)
+	mis := 0
+	for i := 0; i < 400; i++ {
+		taken := i%2 == 0
+		actual := pc + 4
+		if taken {
+			actual = target
+		}
+		pred := p.Predict(in, pc)
+		if pred != actual {
+			mis++
+		}
+		p.Update(in, pc, actual, pred != actual)
+	}
+	if mis > 100 {
+		t.Fatalf("%d/400 mispredictions on an alternating branch; history not working", mis)
+	}
+}
+
+func TestReturnAddressStack(t *testing.T) {
+	p := New(DefaultConfig())
+	call := isa.Inst{Op: isa.OpJal, Imm: 100}
+	ret := isa.Inst{Op: isa.OpJr, Rs1: isa.RegRA, HasImm: true}
+	// call from three sites, return in LIFO order
+	sites := []uint64{0x1000, 0x2000, 0x3000}
+	for _, pc := range sites {
+		p.Predict(call, pc) // pushes pc+4
+	}
+	for i := len(sites) - 1; i >= 0; i-- {
+		got := p.Predict(ret, 0x9000)
+		if got != sites[i]+4 {
+			t.Fatalf("RAS predicted %#x, want %#x", got, sites[i]+4)
+		}
+	}
+}
+
+func TestBTBLearnsIndirectTarget(t *testing.T) {
+	p := New(DefaultConfig())
+	jalr := isa.Inst{Op: isa.OpJalr, Rd: 31, Rs1: 5, HasImm: true}
+	pc := uint64(0x4000)
+	target := uint64(0x7777000)
+	if got := p.Predict(jalr, pc); got == target {
+		t.Fatal("cold BTB should not know the target")
+	}
+	p.Update(jalr, pc, target, true)
+	if got := p.Predict(jalr, pc); got != target {
+		t.Fatalf("BTB predicted %#x, want %#x", got, target)
+	}
+}
+
+func TestDirectJumpsAlwaysRight(t *testing.T) {
+	p := New(DefaultConfig())
+	j := isa.Inst{Op: isa.OpJ, Imm: -8}
+	pc := uint64(0x5000)
+	if got := p.Predict(j, pc); got != isa.BranchTarget(j, pc) {
+		t.Fatalf("direct jump predicted %#x", got)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	p := New(DefaultConfig())
+	in := beq(4)
+	p.Predict(in, 0x100)
+	p.Update(in, 0x100, 0x104, true)
+	if p.Lookups != 1 || p.Mispredict != 1 {
+		t.Fatalf("stats %d/%d", p.Lookups, p.Mispredict)
+	}
+	p.Reset()
+	if p.Lookups != 0 || p.Mispredict != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}

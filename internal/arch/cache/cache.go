@@ -1,0 +1,233 @@
+// Package cache implements the non-blocking cache hierarchy (split L1
+// instruction/data caches over a unified L2) used by the timing models.
+//
+// Each cache is set-associative with true-LRU replacement. Non-blocking
+// behaviour is modeled with miss status holding registers (MSHRs): a miss
+// records the cycle at which its line becomes ready; overlapping accesses
+// to the same line merge into the outstanding miss and see only the
+// remaining latency. Per the paper, the cache simulator is external,
+// dynamic code: fast-forwarding simulators call it on every replay and
+// verify its latency results against the memoized ones.
+package cache
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+	HitLat    uint64 // latency of a hit, in cycles
+	MSHRs     int    // max outstanding misses (0 = blocking)
+}
+
+// HierarchyConfig describes the full memory system.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+	MemLat       uint64 // latency of a memory access beyond L2
+}
+
+// DefaultHierarchy mirrors the class of machine the paper simulates
+// (R10000-era): 32 KB split L1s, 512 KB unified L2.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:    Config{Name: "L1I", SizeBytes: 32 << 10, LineBytes: 32, Assoc: 2, HitLat: 1, MSHRs: 4},
+		L1D:    Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 32, Assoc: 2, HitLat: 1, MSHRs: 8},
+		L2:     Config{Name: "L2", SizeBytes: 512 << 10, LineBytes: 64, Assoc: 4, HitLat: 8, MSHRs: 8},
+		MemLat: 40,
+	}
+}
+
+// Stats accumulates per-cache counters.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	MSHRHits uint64 // merged into an outstanding miss
+}
+
+type set struct {
+	tags []uint64 // tags in LRU order, most recent first
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg      Config
+	sets     []set
+	lineBits uint
+	setMask  uint64
+	mshrLine []uint64 // line address per active MSHR
+	mshrDone []uint64 // ready cycle per active MSHR
+	mshrMax  uint64   // latest outstanding completion; skip scans beyond it
+	Stats    Stats
+}
+
+// NewCache builds a cache for cfg.
+func NewCache(cfg Config) *Cache {
+	nLines := cfg.SizeBytes / cfg.LineBytes
+	nSets := nLines / cfg.Assoc
+	if nSets < 1 {
+		nSets = 1
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([]set, nSets),
+		lineBits: lineBits,
+		setMask:  uint64(nSets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i].tags = make([]uint64, 0, cfg.Assoc)
+	}
+	if cfg.MSHRs > 0 {
+		c.mshrLine = make([]uint64, cfg.MSHRs)
+		c.mshrDone = make([]uint64, cfg.MSHRs)
+	}
+	return c
+}
+
+// Reset clears contents, MSHRs, and stats.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i].tags = c.sets[i].tags[:0]
+	}
+	for i := range c.mshrDone {
+		c.mshrDone[i] = 0
+	}
+	c.mshrMax = 0
+	c.Stats = Stats{}
+}
+
+func (c *Cache) line(addr uint64) uint64 { return addr >> c.lineBits }
+
+// lookup probes the cache and updates LRU order. It reports a hit and,
+// on miss, installs the line (fill happens logically at access time; the
+// latency is accounted separately).
+func (c *Cache) lookup(addr uint64) bool {
+	ln := c.line(addr)
+	s := &c.sets[ln&c.setMask]
+	for i, t := range s.tags {
+		if t == ln {
+			// move to MRU
+			copy(s.tags[1:i+1], s.tags[:i])
+			s.tags[0] = ln
+			return true
+		}
+	}
+	// miss: install at MRU, evicting LRU if full
+	if len(s.tags) < c.cfg.Assoc {
+		s.tags = append(s.tags, 0)
+	}
+	copy(s.tags[1:], s.tags)
+	s.tags[0] = ln
+	return false
+}
+
+// mshrRemaining consults the MSHRs for an outstanding miss on addr's line.
+// It returns the remaining latency if found.
+func (c *Cache) mshrRemaining(addr, now uint64) (uint64, bool) {
+	if now >= c.mshrMax {
+		return 0, false // no miss outstanding anywhere
+	}
+	ln := c.line(addr)
+	for i := range c.mshrLine {
+		if c.mshrDone[i] > now && c.mshrLine[i] == ln {
+			return c.mshrDone[i] - now, true
+		}
+	}
+	return 0, false
+}
+
+// mshrAllocate records an outstanding miss completing at done.
+func (c *Cache) mshrAllocate(addr, done uint64) {
+	if len(c.mshrLine) == 0 {
+		return
+	}
+	// Reuse an expired slot; otherwise overwrite the soonest-to-complete
+	// (models MSHR exhaustion conservatively without stalling the model).
+	best, bestDone := 0, ^uint64(0)
+	for i := range c.mshrLine {
+		if c.mshrDone[i] < bestDone {
+			best, bestDone = i, c.mshrDone[i]
+		}
+	}
+	c.mshrLine[best] = c.line(addr)
+	c.mshrDone[best] = done
+	if done > c.mshrMax {
+		c.mshrMax = done
+	}
+}
+
+// Hierarchy is the complete memory system.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+}
+
+// New builds a hierarchy for cfg.
+func New(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		L1I: NewCache(cfg.L1I),
+		L1D: NewCache(cfg.L1D),
+		L2:  NewCache(cfg.L2),
+	}
+}
+
+// Reset clears the whole hierarchy.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+}
+
+// access runs the two-level protocol through l1 and the shared L2.
+func (h *Hierarchy) access(l1 *Cache, addr, now uint64) uint64 {
+	l1.Stats.Accesses++
+	if rem, ok := l1.mshrRemaining(addr, now); ok {
+		l1.Stats.MSHRHits++
+		l1.lookup(addr) // keep LRU state warm
+		return rem
+	}
+	if l1.lookup(addr) {
+		l1.Stats.Hits++
+		return l1.cfg.HitLat
+	}
+	l1.Stats.Misses++
+	lat := l1.cfg.HitLat
+	h.L2.Stats.Accesses++
+	if rem, ok := h.L2.mshrRemaining(addr, now); ok {
+		h.L2.Stats.MSHRHits++
+		h.L2.lookup(addr)
+		lat += rem
+	} else if h.L2.lookup(addr) {
+		h.L2.Stats.Hits++
+		lat += h.L2.cfg.HitLat
+	} else {
+		h.L2.Stats.Misses++
+		lat += h.L2.cfg.HitLat + h.cfg.MemLat
+		h.L2.mshrAllocate(addr, now+lat)
+	}
+	l1.mshrAllocate(addr, now+lat)
+	return lat
+}
+
+// Data performs a data access (load or store) at cycle now and returns its
+// latency in cycles. Stores use the same path (write-allocate,
+// write-back is not separately modeled — timing only).
+func (h *Hierarchy) Data(addr, now uint64, write bool) uint64 {
+	return h.access(h.L1D, addr, now)
+}
+
+// Inst performs an instruction fetch access at cycle now.
+func (h *Hierarchy) Inst(addr, now uint64) uint64 {
+	return h.access(h.L1I, addr, now)
+}
+
+// MinLatency reports the L1 hit latency (the fast path), used by pipeline
+// models for scheduling hints.
+func (h *Hierarchy) MinLatency() uint64 { return h.cfg.L1D.HitLat }

@@ -1,0 +1,121 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHitAfterMiss(t *testing.T) {
+	h := New(DefaultHierarchy())
+	lat1 := h.Data(0x1000, 0, false)
+	if lat1 <= h.cfg.L1D.HitLat {
+		t.Fatalf("first access latency %d should be a miss", lat1)
+	}
+	lat2 := h.Data(0x1000, lat1+1, false)
+	if lat2 != h.cfg.L1D.HitLat {
+		t.Fatalf("second access latency %d, want hit %d", lat2, h.cfg.L1D.HitLat)
+	}
+	if h.L1D.Stats.Misses != 1 || h.L1D.Stats.Hits != 1 {
+		t.Fatalf("stats %+v", h.L1D.Stats)
+	}
+}
+
+func TestSameLineSharesMiss(t *testing.T) {
+	h := New(DefaultHierarchy())
+	lat1 := h.Data(0x2000, 0, false)
+	// Another access to the same line while the miss is outstanding must
+	// merge into the MSHR and see only the remaining latency.
+	lat2 := h.Data(0x2008, 5, false)
+	if lat2 >= lat1 {
+		t.Fatalf("MSHR merge latency %d not less than original %d", lat2, lat1)
+	}
+	if lat2 != lat1-5 {
+		t.Fatalf("remaining latency %d, want %d", lat2, lat1-5)
+	}
+	if h.L1D.Stats.MSHRHits != 1 {
+		t.Fatalf("stats %+v", h.L1D.Stats)
+	}
+}
+
+func TestL2CatchesL1Evictions(t *testing.T) {
+	cfg := DefaultHierarchy()
+	h := New(cfg)
+	// Fill more lines than L1 holds in one set's ways by striding a set.
+	// With 32K/32B/2-way there are 512 sets; addresses 32*512 apart share
+	// a set.
+	setStride := uint64(cfg.L1D.LineBytes * (cfg.L1D.SizeBytes / cfg.L1D.LineBytes / cfg.L1D.Assoc))
+	now := uint64(0)
+	for i := uint64(0); i < 4; i++ {
+		now += h.Data(i*setStride, now, false)
+	}
+	// The first line has been evicted from L1 but should hit in L2.
+	lat := h.Data(0, now+100, false)
+	want := cfg.L1D.HitLat + cfg.L2.HitLat
+	if lat != want {
+		t.Fatalf("L1-evicted access latency %d, want L2 hit %d", lat, want)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	c := NewCache(Config{Name: "t", SizeBytes: 64, LineBytes: 32, Assoc: 2, HitLat: 1})
+	// one set of two ways; lines A, B, C map to it (size 64 = 2 lines)
+	if c.lookup(0) {
+		t.Fatal("cold hit")
+	}
+	if c.lookup(1 << 10) {
+		t.Fatal("cold hit")
+	}
+	if !c.lookup(0) {
+		t.Fatal("A should still be resident")
+	}
+	// insert C: evicts B (LRU), keeps A (MRU)
+	if c.lookup(2 << 10) {
+		t.Fatal("cold hit")
+	}
+	if !c.lookup(0) {
+		t.Fatal("A evicted wrongly")
+	}
+	if c.lookup(1 << 10) {
+		t.Fatal("B should have been evicted")
+	}
+}
+
+func TestInstAndDataSeparate(t *testing.T) {
+	h := New(DefaultHierarchy())
+	h.Inst(0x1000, 0)
+	if h.L1D.Stats.Accesses != 0 {
+		t.Fatal("I-fetch touched the D-cache")
+	}
+	if h.L1I.Stats.Accesses != 1 {
+		t.Fatal("I-fetch missed the I-cache stats")
+	}
+}
+
+// Property: latency is always at least the L1 hit latency and at most the
+// full miss path.
+func TestLatencyBounds(t *testing.T) {
+	cfg := DefaultHierarchy()
+	h := New(cfg)
+	maxLat := cfg.L1D.HitLat + cfg.L2.HitLat + cfg.MemLat
+	now := uint64(0)
+	f := func(addr uint32, advance uint8) bool {
+		now += uint64(advance)
+		lat := h.Data(uint64(addr), now, false)
+		return lat >= cfg.L1D.HitLat && lat <= maxLat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	h := New(DefaultHierarchy())
+	h.Data(0x100, 0, false)
+	h.Reset()
+	if h.L1D.Stats.Accesses != 0 {
+		t.Fatal("stats survive reset")
+	}
+	if lat := h.Data(0x100, 0, false); lat <= h.cfg.L1D.HitLat {
+		t.Fatal("contents survive reset")
+	}
+}

@@ -1,0 +1,328 @@
+package fastsim
+
+import (
+	"bytes"
+	"testing"
+
+	"facile/internal/arch/funcsim"
+	"facile/internal/arch/uarch"
+	"facile/internal/isa/asm"
+	"facile/internal/isa/loader"
+)
+
+func asmOrDie(t *testing.T, src string) *loader.Program {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// checkEquivalence is the paper's central validation: the memoizing
+// simulator must compute exactly the same simulated cycle counts (and
+// architectural results) as the same simulator without memoization, and
+// both must match the golden functional model architecturally.
+func checkEquivalence(t *testing.T, src string) (memo uarch.Result, st Stats) {
+	t.Helper()
+	p := asmOrDie(t, src)
+	_, golden, err := funcsim.Run(p, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := New(uarch.Default(), p, Options{Memoize: false})
+	resPlain := plain.Run(0)
+
+	ms := New(uarch.Default(), p, Options{Memoize: true})
+	resMemo := ms.Run(0)
+
+	if resPlain.Cycles != resMemo.Cycles {
+		t.Errorf("cycle counts differ: no-memo %d, memo %d", resPlain.Cycles, resMemo.Cycles)
+	}
+	if resPlain.Insts != resMemo.Insts || resMemo.Insts != golden.Insts {
+		t.Errorf("inst counts: no-memo %d, memo %d, golden %d",
+			resPlain.Insts, resMemo.Insts, golden.Insts)
+	}
+	if !bytes.Equal(resMemo.Output, golden.Output) {
+		t.Errorf("memo output %q != golden %q", resMemo.Output, golden.Output)
+	}
+	if !bytes.Equal(resPlain.Output, golden.Output) {
+		t.Errorf("no-memo output %q != golden %q", resPlain.Output, golden.Output)
+	}
+	if resMemo.ExitStatus != golden.ExitStatus {
+		t.Errorf("exit %d != golden %d", resMemo.ExitStatus, golden.ExitStatus)
+	}
+	return resMemo, ms.Stats()
+}
+
+const sumLoop = `
+start:  li   r1, 2000
+        li   r4, 0
+loop:   beq  r1, r0, done
+        add  r4, r4, r1
+        sub  r1, r1, 1
+        b    loop
+done:   li   r2, 2
+        mov  r3, r4
+        syscall
+        li   r2, 1
+        li   r3, 0
+        syscall
+`
+
+func TestSumLoopEquivalence(t *testing.T) {
+	res, st := checkEquivalence(t, sumLoop)
+	if !bytes.Contains(res.Output, []byte("2001000")) {
+		t.Fatalf("output %q", res.Output)
+	}
+	if st.FastInsts == 0 {
+		t.Fatal("nothing was fast-forwarded")
+	}
+	if st.FastForwardedPc < 90 {
+		t.Fatalf("fast-forwarded only %.2f%% of a steady loop", st.FastForwardedPc)
+	}
+}
+
+func TestMemoryWorkloadEquivalence(t *testing.T) {
+	_, st := checkEquivalence(t, `
+start:  la   r1, buf
+        li   r5, 512
+        li   r6, 0
+st:     beq  r5, r0, ld
+        std  r6, r1, 0
+        add  r1, r1, 64
+        add  r6, r6, 3
+        sub  r5, r5, 1
+        b    st
+ld:     la   r1, buf
+        li   r5, 512
+        li   r7, 0
+ldl:    beq  r5, r0, out
+        ldd  r8, r1, 0
+        add  r7, r7, r8
+        add  r1, r1, 64
+        sub  r5, r5, 1
+        b    ldl
+out:    li   r2, 2
+        mov  r3, r7
+        syscall
+        halt
+        .data
+buf:    .space 32768
+`)
+	if st.Misses == 0 && st.KeyMisses == 0 {
+		t.Log("note: no misses at all (unexpected but not wrong)")
+	}
+}
+
+func TestBranchyWorkloadEquivalence(t *testing.T) {
+	// Data-dependent control flow forces dynamic-result forks and
+	// mid-step recoveries.
+	_, st := checkEquivalence(t, `
+start:  li   r10, 500
+        li   r11, 0
+loop:   beq  r10, r0, done
+        li   r2, 4
+        syscall
+        and  r5, r3, 7
+        beq  r5, r0, bump
+        and  r6, r3, 1
+        bne  r6, r0, odd
+        add  r11, r11, 2
+        b    next
+odd:    add  r11, r11, 1
+        b    next
+bump:   add  r11, r11, 10
+next:   sub  r10, r10, 1
+        b    loop
+done:   li   r2, 2
+        mov  r3, r11
+        syscall
+        halt
+`)
+	if st.Misses == 0 {
+		t.Error("expected mid-step recoveries on data-dependent branches")
+	}
+	if st.FastInsts == 0 {
+		t.Error("expected replayed instructions")
+	}
+}
+
+func TestCallHeavyEquivalence(t *testing.T) {
+	checkEquivalence(t, `
+start:  li   r10, 200
+        li   r11, 0
+outer:  beq  r10, r0, done
+        li   r3, 7
+        call work
+        add  r11, r11, r3
+        sub  r10, r10, 1
+        b    outer
+done:   li   r2, 2
+        mov  r3, r11
+        syscall
+        halt
+work:   mul  r3, r3, r3
+        rem  r3, r3, 100
+        ret
+`)
+}
+
+func TestFPEquivalence(t *testing.T) {
+	checkEquivalence(t, `
+start:  li    r1, 500
+        li    r4, 1
+        cvtif f1, r4
+        cvtif f2, r4
+loop:   beq   r1, r0, done
+        fadd  f1, f1, f2
+        fmul  f3, f1, f2
+        fdiv  f4, f3, f1
+        sub   r1, r1, 1
+        b     loop
+done:   cvtfi r3, f1
+        li    r2, 2
+        syscall
+        halt
+`)
+}
+
+func TestIndirectJumpEquivalence(t *testing.T) {
+	// A jump table: indirect targets exercise the BTB dynres path.
+	checkEquivalence(t, `
+start:  li   r10, 300
+        li   r11, 0
+loop:   beq  r10, r0, done
+        and  r5, r10, 3
+        sll  r5, r5, 3
+        la   r6, table
+        add  r6, r6, r5
+        ldd  r7, r6, 0
+        jalr r31, r7, 0
+        sub  r10, r10, 1
+        b    loop
+done:   li   r2, 2
+        mov  r3, r11
+        syscall
+        halt
+f0:     add  r11, r11, 1
+        ret
+f1:     add  r11, r11, 2
+        ret
+f2:     add  r11, r11, 3
+        ret
+f3:     add  r11, r11, 4
+        ret
+        .data
+table:  .dword f0, f1, f2, f3
+`)
+}
+
+func TestMemoIsActuallyFaster(t *testing.T) {
+	// A long, regular loop: with memoization the run must do far fewer
+	// slow-simulated instructions than total instructions.
+	src := `
+start:  li   r1, 50000
+        li   r4, 0
+loop:   beq  r1, r0, done
+        add  r4, r4, r1
+        xor  r5, r4, r1
+        and  r6, r5, 255
+        add  r4, r4, r6
+        sub  r1, r1, 1
+        b    loop
+done:   halt
+`
+	p := asmOrDie(t, src)
+	s := New(uarch.Default(), p, Options{Memoize: true})
+	s.Run(0)
+	st := s.Stats()
+	if st.FastForwardedPc < 99 {
+		t.Fatalf("fast-forwarded %.3f%%, want > 99%% on a steady loop", st.FastForwardedPc)
+	}
+}
+
+func TestCacheCapClearing(t *testing.T) {
+	// A tiny cap forces clears; results must stay correct.
+	p := asmOrDie(t, sumLoop)
+	capped := New(uarch.Default(), p, Options{Memoize: true, CacheCapBytes: 1 << 14})
+	resCapped := capped.Run(0)
+	plain := New(uarch.Default(), p, Options{Memoize: false})
+	resPlain := plain.Run(0)
+	if resCapped.Cycles != resPlain.Cycles {
+		t.Fatalf("capped cycles %d != plain %d", resCapped.Cycles, resPlain.Cycles)
+	}
+	if capped.Stats().CacheClears == 0 {
+		t.Fatal("expected at least one cache clear with a 16 KiB cap")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := asmOrDie(t, sumLoop)
+	s := New(uarch.Default(), p, Options{Memoize: true})
+	res := s.Run(0)
+	st := s.Stats()
+	if st.SlowInsts+st.FastInsts != res.Insts {
+		t.Fatalf("slow %d + fast %d != total %d", st.SlowInsts, st.FastInsts, res.Insts)
+	}
+	if st.TotalMemoBytes == 0 || st.CacheEntries == 0 {
+		t.Fatalf("no memoized data recorded: %+v", st)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	// Run a while, snapshot, restore into a second engine, and compare
+	// serialized forms.
+	p := asmOrDie(t, sumLoop)
+	s := New(uarch.Default(), p, Options{Memoize: false})
+	for i := 0; i < 5 && !s.eng.haltSeen; i++ {
+		s.eng.runStep(&nopSink{s: s})
+	}
+	key := s.eng.snapshotKey()
+	e2 := newEngine(uarch.Default(), p, 0)
+	getSlot := func(i int) (uint64, uint64) { return s.slotAddrAt(i), s.slotNPCAt(i) }
+	if err := e2.restoreFromKey(key, getSlot, s.eng.cycle); err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.snapshotKey(); got != key {
+		t.Fatalf("restore/snapshot not a fixed point:\n  %x\n  %x", key, got)
+	}
+	if len(e2.win) != len(s.eng.win) {
+		t.Fatalf("window size %d != %d", len(e2.win), len(s.eng.win))
+	}
+	for i := range e2.win {
+		a, b := &e2.win[i], &s.eng.win[i]
+		if a.pc != b.pc || a.state != b.state || a.remain != b.remain || a.mispred != b.mispred {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestMaxInstsBound(t *testing.T) {
+	p := asmOrDie(t, `
+start:  b start
+`)
+	s := New(uarch.Default(), p, Options{Memoize: true})
+	res := s.Run(2000)
+	if res.Insts < 2000 || res.Insts > 3000 {
+		t.Fatalf("committed %d, want ~2000", res.Insts)
+	}
+}
+
+func TestStepGranularityEquivalence(t *testing.T) {
+	// Step size is a granularity choice, not a semantics choice: every
+	// StepCommits setting must produce identical cycle counts.
+	p := asmOrDie(t, sumLoop)
+	ref := New(uarch.Default(), p, Options{Memoize: false}).Run(0)
+	for _, sc := range []int{4, 16, 48, 128} {
+		s := New(uarch.Default(), p, Options{Memoize: true, StepCommits: sc})
+		res := s.Run(0)
+		if res.Cycles != ref.Cycles {
+			t.Fatalf("StepCommits=%d: cycles %d != reference %d", sc, res.Cycles, ref.Cycles)
+		}
+		if s.Stats().FastInsts == 0 {
+			t.Fatalf("StepCommits=%d: never replayed", sc)
+		}
+	}
+}

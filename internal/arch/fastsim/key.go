@@ -1,0 +1,121 @@
+package fastsim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"facile/internal/isa/loader"
+)
+
+// snapshotKey serializes the run-time static pipeline state — the paper's
+// compressed instruction queue (Figure 3) — into a byte string used as the
+// specialized action cache key. Only rt-static data goes in: fetch state
+// and, per in-flight instruction, its PC, pipeline stage, remaining
+// latency, and misprediction flag. Register values, memory, cache and
+// predictor contents, and the cycle count are dynamic and excluded.
+//
+// PCs are stored varint-encoded relative to the text base, so a 32-entry
+// window typically compresses to a few dozen bytes, matching the paper's
+// "fewer than 40 bytes" observation.
+func (e *engine) snapshotKey() string {
+	var buf [16 + 16*64]byte
+	n := 0
+	n += binary.PutUvarint(buf[n:], (e.fetchPC-loader.TextBase)/4)
+	flags := byte(0)
+	if e.stalled {
+		flags |= 1
+	}
+	if e.serialize {
+		flags |= 2
+	}
+	buf[n] = flags
+	n++
+	n += binary.PutUvarint(buf[n:], e.resumeIn)
+	n += binary.PutUvarint(buf[n:], uint64(len(e.win)))
+	for i := range e.win {
+		ent := &e.win[i]
+		n += binary.PutUvarint(buf[n:], (ent.pc-loader.TextBase)/4)
+		b := byte(ent.state)
+		if ent.mispred {
+			b |= 4
+		}
+		buf[n] = b
+		n++
+		if ent.state == stExecuting {
+			n += binary.PutUvarint(buf[n:], ent.remain)
+		}
+	}
+	return string(buf[:n])
+}
+
+// restoreFromKey rebuilds the engine's rt-static pipeline state from key
+// (the inverse of snapshotKey) and re-derives everything else: decoded
+// instructions from the rt-static text, and each entry's dynamic effective
+// address / resolved next PC from the replayer's slot arrays (dynamic
+// global state that persists across steps, as in the paper's
+// global-variable communication between the fast and slow simulators).
+// cycle is the absolute cycle at which the restored step begins.
+func (e *engine) restoreFromKey(key string, getSlot func(int) (addr, npc uint64), cycle uint64) error {
+	buf := []byte(key)
+	n := 0
+	rd := func() (uint64, error) {
+		v, k := binary.Uvarint(buf[n:])
+		if k <= 0 {
+			return 0, fmt.Errorf("fastsim: corrupt action cache key")
+		}
+		n += k
+		return v, nil
+	}
+	fpc, err := rd()
+	if err != nil {
+		return err
+	}
+	e.fetchPC = loader.TextBase + fpc*4
+	if n >= len(buf) {
+		return fmt.Errorf("fastsim: truncated key")
+	}
+	flags := buf[n]
+	n++
+	e.stalled = flags&1 != 0
+	e.serialize = flags&2 != 0
+	if e.resumeIn, err = rd(); err != nil {
+		return err
+	}
+	cnt, err := rd()
+	if err != nil {
+		return err
+	}
+	if cnt > uint64(e.cfg.Window) {
+		return fmt.Errorf("fastsim: key window size %d exceeds configuration", cnt)
+	}
+	e.win = e.win[:0]
+	for i := uint64(0); i < cnt; i++ {
+		var ent entry
+		pc, err := rd()
+		if err != nil {
+			return err
+		}
+		ent.pc = loader.TextBase + pc*4
+		if n >= len(buf) {
+			return fmt.Errorf("fastsim: truncated key entry")
+		}
+		b := buf[n]
+		n++
+		ent.state = entryState(b & 3)
+		ent.mispred = b&4 != 0
+		if ent.state == stExecuting {
+			if ent.remain, err = rd(); err != nil {
+				return err
+			}
+		}
+		ent.d = e.decorFor(ent.pc)
+		ent.addr, ent.actualNPC = getSlot(int(i))
+		e.win = append(e.win, ent)
+	}
+	for i := range e.win {
+		e.computeDeps(i)
+	}
+	e.cycle = cycle
+	e.haltSeen = false
+	return nil
+}

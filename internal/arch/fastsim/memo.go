@@ -1,0 +1,604 @@
+package fastsim
+
+import (
+	"fmt"
+
+	"facile/internal/arch/funcsim"
+	"facile/internal/arch/uarch"
+	"facile/internal/isa"
+	"facile/internal/isa/loader"
+)
+
+// Action kinds. Actions are the dynamic basic blocks of the hand-coded
+// simulator: the only work the fast simulator performs.
+const (
+	aExec    uint8 = iota // functionally execute instruction (pc, in, slot)
+	aICache               // I-cache access; dynamic result = latency
+	aDCache               // D-cache access for slot's address; result = latency
+	aPredict              // branch predictor query; result = predicted next PC
+	aNextPC               // resolved next PC of slot; dynamic result test
+	aUpdate               // predictor update at commit of slot
+	aShift                // k instructions committed; window slots shift left
+	aHalted               // dynamic halt-flag test
+	aEnd                  // step boundary; links to the next cache entry
+)
+
+const flagWrite = 1
+const flagMispred = 2
+
+// fork is one recorded successor of a dynamic-result action: the control
+// path taken when the dynamic value equaled val.
+type fork struct {
+	val  uint64
+	next *action
+}
+
+// action is one node in the specialized action cache.
+type action struct {
+	kind  uint8
+	flags uint8
+	cls   isa.Class // aExec: precomputed classification
+	slot  uint16
+	dcyc  uint32 // cycles elapsed since the previous action (rt-static)
+	pc    uint64
+	in    isa.Inst
+	forks []fork // successors of dynamic-result actions, keyed by value
+	next  *action
+
+	// aEnd only:
+	nextKey string
+	link    *centry
+	linkGen uint64
+}
+
+// findFork returns the successor recorded for value v, if any.
+func (a *action) findFork(v uint64) (*action, bool) {
+	for i := range a.forks {
+		if a.forks[i].val == v {
+			return a.forks[i].next, true
+		}
+	}
+	return nil, false
+}
+
+// centry is one specialized action cache entry: a key (the compressed
+// instruction queue) and the recorded action graph.
+type centry struct {
+	key   string
+	first *action
+	gen   uint64
+}
+
+// Approximate byte accounting for Table 2. We charge the in-memory cost of
+// each node rather than a serialized form; the paper's absolute megabyte
+// counts depended on its binary format, so EXPERIMENTS.md compares shapes,
+// not absolute sizes.
+const (
+	actionBytes = 96
+	forkBytes   = 24
+	entryBytes  = 48
+)
+
+// acache is the specialized action cache with the paper's
+// clear-when-full policy (§6.1: "fixing a maximum cache size and clearing
+// the cache when it fills").
+type acache struct {
+	m        map[string]*centry
+	bytes    uint64
+	capBytes uint64 // 0 = unlimited
+	gen      uint64
+
+	totalBytes uint64 // monotonic: everything ever memoized (Table 2)
+	clears     uint64
+}
+
+func newACache(capBytes uint64) *acache {
+	return &acache{m: make(map[string]*centry), capBytes: capBytes}
+}
+
+func (c *acache) get(key string) *centry { return c.m[key] }
+
+func (c *acache) put(e *centry) {
+	if c.capBytes > 0 && c.bytes > c.capBytes {
+		// Clear when full; in-progress replays detect stale entries via gen.
+		c.m = make(map[string]*centry)
+		c.bytes = 0
+		c.gen++
+		c.clears++
+	}
+	e.gen = c.gen
+	c.m[e.key] = e
+	c.charge(uint64(entryBytes + len(e.key)))
+}
+
+func (c *acache) charge(n uint64) {
+	c.bytes += n
+	c.totalBytes += n
+}
+
+// Stats reports memoization statistics.
+type Stats struct {
+	SlowInsts uint64 // instructions committed by the slow simulator
+	FastInsts uint64 // instructions replayed by the fast simulator
+	Steps     uint64 // slow steps recorded
+	Replays   uint64 // steps replayed by the fast simulator
+	Misses    uint64 // mid-step action cache misses (recoveries)
+	KeyMisses uint64 // step-boundary key lookups that missed
+
+	CacheBytes      uint64 // current cache occupancy (accounting model)
+	CacheEntries    uint64
+	TotalMemoBytes  uint64 // monotonic bytes ever memoized (Table 2)
+	CacheClears     uint64
+	FastForwardedPc float64 // percentage of instructions fast-forwarded
+}
+
+// Options configures a fast-forwarding simulator.
+type Options struct {
+	Memoize       bool
+	CacheCapBytes uint64 // 0 = unlimited
+
+	// StepCommits bounds the instructions committed per step when no
+	// control transfer ends it earlier (0 = default 48). Larger steps
+	// amortize key lookups over more work but multiply cache entries when
+	// state recurrence is imperfect — the granularity trade-off of paper
+	// §2.1.
+	StepCommits int
+}
+
+// Sim is the fast-forwarding out-of-order simulator.
+type Sim struct {
+	cfg  uarch.Config
+	prog *loader.Program
+	eng  *engine
+	opt  Options
+	ac   *acache
+
+	// Dynamic global state shared between the fast and slow simulators
+	// (the paper's global-variable channel): per-slot effective addresses
+	// and resolved next PCs of in-flight instructions. Each in-flight
+	// instruction keeps one fixed cell in a ring for its lifetime; a
+	// window shift just advances base, and the step-start snapshot needed
+	// for miss recovery is only a saved base/cycle pair (the cells of
+	// entries alive at step start are never overwritten within a step).
+	ringAddr []uint64
+	ringNPC  []uint64
+	ringMask uint32
+	base     uint32
+
+	// step-start snapshot for miss recovery
+	startBase  uint32
+	startCycle uint64
+	curKey     string
+	path       []uint64 // dynamic values produced along the replayed path
+
+	cycle      uint64
+	engineLive bool
+	done       bool
+
+	slowInsts uint64
+	fastInsts uint64
+	steps     uint64
+	replays   uint64
+	misses    uint64
+	keyMisses uint64
+}
+
+// New builds a fast-forwarding simulator for prog.
+func New(cfg uarch.Config, prog *loader.Program, opt Options) *Sim {
+	if opt.StepCommits <= 0 {
+		opt.StepCommits = defaultStepCommits
+	}
+	ring := 1
+	for ring < 2*(cfg.Window+opt.StepCommits+cfg.FetchWidth+4) {
+		ring <<= 1
+	}
+	s := &Sim{
+		cfg:        cfg,
+		prog:       prog,
+		eng:        newEngine(cfg, prog, opt.StepCommits),
+		opt:        opt,
+		ac:         newACache(opt.CacheCapBytes),
+		ringAddr:   make([]uint64, ring),
+		ringNPC:    make([]uint64, ring),
+		ringMask:   uint32(ring - 1),
+		engineLive: true,
+	}
+	return s
+}
+
+func (s *Sim) setSlot(slot int, addr, npc uint64) {
+	i := (s.base + uint32(slot)) & s.ringMask
+	s.ringAddr[i] = addr
+	s.ringNPC[i] = npc
+}
+
+func (s *Sim) slotAddrAt(slot int) uint64 {
+	return s.ringAddr[(s.base+uint32(slot))&s.ringMask]
+}
+
+func (s *Sim) slotNPCAt(slot int) uint64 {
+	return s.ringNPC[(s.base+uint32(slot))&s.ringMask]
+}
+
+// State exposes the canonical architectural state.
+func (s *Sim) State() *funcsim.State { return s.eng.st }
+
+// Stats returns memoization statistics for the run so far.
+func (s *Sim) Stats() Stats {
+	total := s.slowInsts + s.fastInsts
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(s.fastInsts) / float64(total)
+	}
+	return Stats{
+		SlowInsts:       s.slowInsts,
+		FastInsts:       s.fastInsts,
+		Steps:           s.steps,
+		Replays:         s.replays,
+		Misses:          s.misses,
+		KeyMisses:       s.keyMisses,
+		CacheBytes:      s.ac.bytes,
+		CacheEntries:    uint64(len(s.ac.m)),
+		TotalMemoBytes:  s.ac.totalBytes,
+		CacheClears:     s.ac.clears,
+		FastForwardedPc: pct,
+	}
+}
+
+// dynExec performs the dynamic half of fetching one instruction: effective
+// address computation, next-PC resolution, and functional execution.
+func dynExec(st *funcsim.State, in isa.Inst, pc uint64, cls isa.Class) (addr, npc uint64) {
+	switch cls {
+	case isa.ClassLoad, isa.ClassStore:
+		addr = funcsim.EffAddr(st, in)
+		npc = pc + 4
+	case isa.ClassBranch, isa.ClassJump:
+		npc = funcsim.NextPC(st, in, pc)
+	default:
+		npc = pc + 4
+	}
+	funcsim.Apply(st, in, pc)
+	return addr, npc
+}
+
+// needNextPCTest reports whether an instruction's resolved next PC is a
+// dynamic value (conditional outcome or indirect target) that requires a
+// dynamic-result test. Direct jumps have rt-static targets.
+func needNextPCTest(in isa.Inst, cls isa.Class) bool {
+	switch cls {
+	case isa.ClassBranch:
+		return true
+	case isa.ClassJump:
+		return in.Op == isa.OpJr || in.Op == isa.OpJalr
+	}
+	return false
+}
+
+func (s *Sim) shiftSlots(k int) {
+	s.base = (s.base + uint32(k)) & s.ringMask
+}
+
+// Run simulates until the program halts or maxInsts commit.
+func (s *Sim) Run(maxInsts uint64) uarch.Result {
+	for !s.done {
+		if maxInsts > 0 && s.slowInsts+s.fastInsts >= maxInsts {
+			break
+		}
+		if s.opt.Memoize {
+			if !s.engineLive {
+				if e := s.ac.get(s.curKey); e != nil {
+					s.replayFrom(e, maxInsts)
+					continue
+				}
+				s.keyMisses++
+				s.restoreEngine()
+			} else {
+				key := s.eng.snapshotKey()
+				if e := s.ac.get(key); e != nil {
+					s.beginReplay(key)
+					s.replayFrom(e, maxInsts)
+					continue
+				}
+			}
+		}
+		s.runStepSlow()
+	}
+	st := s.eng.st
+	return uarch.Result{
+		Cycles:        s.cycle,
+		Insts:         s.slowInsts + s.fastInsts,
+		ExitStatus:    st.ExitStatus,
+		Output:        st.Output,
+		BranchLookups: s.eng.pred.Lookups,
+		Mispredicts:   s.eng.pred.Mispredict,
+		L1DMisses:     s.eng.mem.L1D.Stats.Misses,
+		L2Misses:      s.eng.mem.L2.Stats.Misses,
+	}
+}
+
+// beginReplay records the step-start snapshot (key, dynamic slot values,
+// cycle) needed to restore the slow simulator on a miss, then marks the
+// engine state stale.
+func (s *Sim) beginReplay(key string) {
+	s.curKey = key
+	s.startBase = s.base
+	s.startCycle = s.cycle
+	s.engineLive = false
+}
+
+func (s *Sim) restoreEngine() {
+	getSlot := func(i int) (uint64, uint64) {
+		j := (s.startBase + uint32(i)) & s.ringMask
+		return s.ringAddr[j], s.ringNPC[j]
+	}
+	if err := s.eng.restoreFromKey(s.curKey, getSlot, s.startCycle); err != nil {
+		// Keys are produced by snapshotKey; failure here is a programming
+		// error, not an input error.
+		panic(fmt.Sprintf("fastsim: %v", err))
+	}
+	s.base = s.startBase
+	s.cycle = s.startCycle
+	s.engineLive = true
+}
+
+// runStepSlow runs one step of the slow/complete simulator, recording its
+// actions into a fresh cache entry (when memoizing).
+func (s *Sim) runStepSlow() {
+	s.steps++
+	if !s.opt.Memoize {
+		c := s.eng.runStep(&nopSink{s: s})
+		s.slowInsts += uint64(c)
+		s.cycle = s.eng.cycle
+		s.done = s.eng.haltSeen
+		return
+	}
+	ent := &centry{key: s.eng.snapshotKey()}
+	rec := &recorder{s: s, tail: &ent.first, lastCycle: s.eng.cycle}
+	s.eng.runStep(rec)
+	s.finishSlowStep(rec, ent)
+}
+
+// finishSlowStep seals a recorded entry (normal or recovery) and installs
+// it in the action cache.
+func (s *Sim) finishSlowStep(rec *recorder, ent *centry) {
+	s.cycle = s.eng.cycle
+	if s.eng.haltSeen {
+		s.done = true
+	} else {
+		end := &action{kind: aEnd, nextKey: s.eng.snapshotKey()}
+		rec.emit(end)
+	}
+	if ent != nil {
+		s.ac.put(ent)
+	}
+}
+
+// --- recorder: normal slow simulation ------------------------------------
+
+type recorder struct {
+	s         *Sim
+	tail      **action
+	lastCycle uint64
+}
+
+func (r *recorder) emit(a *action) {
+	a.dcyc = uint32(r.s.eng.cycle - r.lastCycle)
+	r.lastCycle = r.s.eng.cycle
+	*r.tail = a
+	r.tail = &a.next
+	r.s.ac.charge(actionBytes)
+}
+
+// emitResult records a dynamic-result fork for value v on the (just
+// emitted) dynres action a and directs subsequent recording into it.
+func (r *recorder) emitResult(a *action, v uint64) {
+	a.forks = append(a.forks, fork{val: v})
+	r.tail = &a.forks[len(a.forks)-1].next
+	r.s.ac.charge(forkBytes)
+}
+
+func (r *recorder) exec(slot int, pc uint64, in isa.Inst, cls isa.Class) (uint64, uint64) {
+	addr, npc := dynExec(r.s.eng.st, in, pc, cls)
+	r.s.setSlot(slot, addr, npc)
+	r.emit(&action{kind: aExec, cls: cls, slot: uint16(slot), pc: pc, in: in})
+	if needNextPCTest(in, cls) {
+		a := &action{kind: aNextPC, slot: uint16(slot)}
+		r.emit(a)
+		r.emitResult(a, npc)
+	}
+	return addr, npc
+}
+
+func (r *recorder) icache(pc uint64) uint64 {
+	lat := r.s.eng.mem.Inst(pc, r.s.eng.cycle)
+	a := &action{kind: aICache, pc: pc}
+	r.emit(a)
+	r.emitResult(a, lat)
+	return lat
+}
+
+func (r *recorder) dcache(slot int, addr uint64, write bool) uint64 {
+	lat := r.s.eng.mem.Data(addr, r.s.eng.cycle, write)
+	a := &action{kind: aDCache, slot: uint16(slot)}
+	if write {
+		a.flags |= flagWrite
+	}
+	r.emit(a)
+	r.emitResult(a, lat)
+	return lat
+}
+
+func (r *recorder) predict(pc uint64, in isa.Inst) uint64 {
+	npc := r.s.eng.pred.Predict(in, pc)
+	a := &action{kind: aPredict, pc: pc, in: in}
+	r.emit(a)
+	r.emitResult(a, npc)
+	return npc
+}
+
+func (r *recorder) update(slot int, pc uint64, in isa.Inst, actual uint64, mispred bool) {
+	r.s.eng.pred.Update(in, pc, actual, mispred)
+	a := &action{kind: aUpdate, slot: uint16(slot), pc: pc, in: in}
+	if mispred {
+		a.flags |= flagMispred
+	}
+	r.emit(a)
+}
+
+func (r *recorder) halted() bool {
+	h := r.s.eng.st.Halted
+	a := &action{kind: aHalted}
+	r.emit(a)
+	r.emitResult(a, b2u(h))
+	return h
+}
+
+func (r *recorder) shifted(k int) {
+	r.s.shiftSlots(k)
+	r.s.slowInsts += uint64(k)
+	r.emit(&action{kind: aShift, slot: uint16(k)})
+}
+
+// --- nopSink: memoization disabled ---------------------------------------
+
+type nopSink struct {
+	s *Sim
+}
+
+func (n *nopSink) exec(slot int, pc uint64, in isa.Inst, cls isa.Class) (uint64, uint64) {
+	addr, npc := dynExec(n.s.eng.st, in, pc, cls)
+	n.s.setSlot(slot, addr, npc)
+	return addr, npc
+}
+
+func (n *nopSink) icache(pc uint64) uint64 {
+	return n.s.eng.mem.Inst(pc, n.s.eng.cycle)
+}
+
+func (n *nopSink) dcache(slot int, addr uint64, write bool) uint64 {
+	return n.s.eng.mem.Data(addr, n.s.eng.cycle, write)
+}
+
+func (n *nopSink) predict(pc uint64, in isa.Inst) uint64 {
+	return n.s.eng.pred.Predict(in, pc)
+}
+
+func (n *nopSink) update(slot int, pc uint64, in isa.Inst, actual uint64, mispred bool) {
+	n.s.eng.pred.Update(in, pc, actual, mispred)
+}
+
+func (n *nopSink) halted() bool { return n.s.eng.st.Halted }
+
+func (n *nopSink) shifted(k int) {
+	n.s.shiftSlots(k)
+}
+
+// --- recoverer: slow simulation after an action cache miss ----------------
+
+// recoverer replays the dynamic values the fast simulator already produced
+// (the paper's recovery stack) so the slow simulator can catch up to the
+// miss point without re-executing dynamic operations, then switches to
+// normal recording for the rest of the step.
+//
+// The path holds one value per dynamic operation performed by the partial
+// replay, in order, ending with the miss value itself (the dynamic result
+// the replay computed but found no recorded successor for). When the last
+// value is consumed the slow simulator has caught up to the miss point and
+// the recorder takes over, appending fresh actions onto the new fork.
+type recoverer struct {
+	s      *Sim
+	path   []uint64
+	idx    int
+	rec    *recorder // becomes active after the miss point
+	active bool      // rec has taken over
+}
+
+func (rv *recoverer) take(what string) uint64 {
+	if rv.idx >= len(rv.path) {
+		panic("fastsim: recovery cursor overran the replayed path at " + what)
+	}
+	v := rv.path[rv.idx]
+	rv.idx++
+	if rv.idx == len(rv.path) {
+		// Caught up to the miss point: record everything from here on.
+		rv.active = true
+		rv.rec.lastCycle = rv.s.eng.cycle
+	}
+	return v
+}
+
+func (rv *recoverer) exec(slot int, pc uint64, in isa.Inst, cls isa.Class) (uint64, uint64) {
+	if rv.active {
+		return rv.rec.exec(slot, pc, in, cls)
+	}
+	// The replay already applied the functional effects; reconstruct the
+	// outputs. Only instructions whose exec produced a dynamic value the
+	// timing model consumes (addresses, resolved next PCs) logged one.
+	var addr, npc uint64
+	switch {
+	case cls == isa.ClassLoad || cls == isa.ClassStore:
+		addr, npc = rv.take("exec"), pc+4
+	case needNextPCTest(in, cls):
+		addr, npc = 0, rv.take("exec")
+	case cls == isa.ClassJump: // direct jump: target is rt-static
+		addr, npc = 0, isa.BranchTarget(in, pc)
+	default:
+		addr, npc = 0, pc+4
+	}
+	// Keep the dynamic slot globals evolving exactly as the replay did.
+	rv.s.setSlot(slot, addr, npc)
+	return addr, npc
+}
+
+func (rv *recoverer) icache(pc uint64) uint64 {
+	if rv.active {
+		return rv.rec.icache(pc)
+	}
+	return rv.take("icache")
+}
+
+func (rv *recoverer) dcache(slot int, addr uint64, write bool) uint64 {
+	if rv.active {
+		return rv.rec.dcache(slot, addr, write)
+	}
+	return rv.take("dcache")
+}
+
+func (rv *recoverer) predict(pc uint64, in isa.Inst) uint64 {
+	if rv.active {
+		return rv.rec.predict(pc, in)
+	}
+	return rv.take("predict")
+}
+
+func (rv *recoverer) update(slot int, pc uint64, in isa.Inst, actual uint64, mispred bool) {
+	if rv.active {
+		rv.rec.update(slot, pc, in, actual, mispred)
+		return
+	}
+	// The replay already trained the predictor; nothing was logged.
+}
+
+func (rv *recoverer) halted() bool {
+	if rv.active {
+		return rv.rec.halted()
+	}
+	return rv.take("halted") == 1
+}
+
+func (rv *recoverer) shifted(k int) {
+	if rv.active {
+		rv.rec.shifted(k)
+		return
+	}
+	// The replay already counted these instructions as fast-forwarded;
+	// only the slot globals need to move. Nothing was logged.
+	rv.s.shiftSlots(k)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+package fastsim
+
+import (
+	"facile/internal/isa"
+)
+
+// replayFrom is the fast/residual simulator: it walks the recorded action
+// graph starting at entry e, performing only the dynamic work (functional
+// execution, predictor and cache-simulator calls) and verifying each
+// dynamic result against the recorded forks. It returns when the program
+// halts, when an action cache miss hands control back to the slow
+// simulator, or when the instruction budget is exhausted at a step
+// boundary.
+func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
+	st := s.eng.st
+	s.path = s.path[:0]
+	a := e.first
+	for {
+		if a == nil {
+			// Recording always seals a step with aEnd (or ends inside a
+			// halted test); a nil link mid-chain is a bug, not an input.
+			panic("fastsim: broken action chain")
+		}
+		s.cycle += uint64(a.dcyc)
+		switch a.kind {
+		case aExec:
+			addr, npc := dynExec(st, a.in, a.pc, a.cls)
+			s.setSlot(int(a.slot), addr, npc)
+			// Log only values the recovery protocol consumes.
+			switch {
+			case a.cls == isa.ClassLoad || a.cls == isa.ClassStore:
+				s.path = append(s.path, addr)
+			case needNextPCTest(a.in, a.cls):
+				s.path = append(s.path, npc)
+			}
+			a = a.next
+
+		case aNextPC:
+			v := s.slotNPCAt(int(a.slot))
+			next, ok := a.findFork(v)
+			if !ok {
+				s.miss(a)
+				return
+			}
+			a = next
+
+		case aICache:
+			lat := s.eng.mem.Inst(a.pc, s.cycle)
+			s.path = append(s.path, lat)
+			next, ok := a.findFork(lat)
+			if !ok {
+				s.miss(a)
+				return
+			}
+			a = next
+
+		case aDCache:
+			lat := s.eng.mem.Data(s.slotAddrAt(int(a.slot)), s.cycle, a.flags&flagWrite != 0)
+			s.path = append(s.path, lat)
+			next, ok := a.findFork(lat)
+			if !ok {
+				s.miss(a)
+				return
+			}
+			a = next
+
+		case aPredict:
+			npc := s.eng.pred.Predict(a.in, a.pc)
+			s.path = append(s.path, npc)
+			next, ok := a.findFork(npc)
+			if !ok {
+				s.miss(a)
+				return
+			}
+			a = next
+
+		case aUpdate:
+			s.eng.pred.Update(a.in, a.pc, s.slotNPCAt(int(a.slot)), a.flags&flagMispred != 0)
+			a = a.next
+
+		case aShift:
+			s.shiftSlots(int(a.slot))
+			s.fastInsts += uint64(a.slot)
+			a = a.next
+
+		case aHalted:
+			h := b2u(st.Halted)
+			s.path = append(s.path, h)
+			if h == 1 {
+				s.done = true
+				return
+			}
+			next, ok := a.findFork(h)
+			if !ok {
+				s.miss(a)
+				return
+			}
+			a = next
+
+		case aEnd:
+			// Step boundary: refresh the recovery snapshot, then chain to
+			// the next entry (the paper's INDEX action follows the link
+			// rather than doing a full cache lookup).
+			s.replays++
+			s.curKey = a.nextKey
+			s.startBase = s.base
+			s.startCycle = s.cycle
+			s.path = s.path[:0]
+			if maxInsts > 0 && s.slowInsts+s.fastInsts >= maxInsts {
+				return // Run's loop notices the budget; engine stays stale
+			}
+			if a.link == nil || a.linkGen != s.ac.gen {
+				le := s.ac.get(a.nextKey)
+				if le == nil {
+					s.keyMisses++
+					return // boundary miss: Run restores the slow simulator
+				}
+				a.link = le
+				a.linkGen = s.ac.gen
+			}
+			e = a.link
+			a = e.first
+		}
+	}
+}
+
+// miss handles a mid-step action cache miss at dynamic-result action a:
+// restore the slow simulator from the step's key, run it in recovery mode
+// consuming the values the replay already produced (s.path, whose last
+// element is the missing result itself), and record the new control path
+// as a fresh fork of a.
+func (s *Sim) miss(a *action) {
+	s.misses++
+	s.steps++
+	v := s.path[len(s.path)-1]
+	s.restoreEngine()
+	a.forks = append(a.forks, fork{val: v})
+	s.ac.charge(forkBytes)
+	rec := &recorder{s: s, tail: &a.forks[len(a.forks)-1].next}
+	rv := &recoverer{s: s, path: s.path, rec: rec}
+	s.eng.runStep(rv)
+	if !rv.active {
+		panic("fastsim: recovery finished without reaching the miss point")
+	}
+	s.finishSlowStep(rec, nil)
+}

@@ -1,0 +1,328 @@
+// Package funcsim implements the functional (architectural) simulator for
+// SVR32. It is the golden model: every timing simulator in this repository
+// is validated against its register, memory, and program-output results.
+//
+// The package also exports the single shared implementation of SVR32
+// instruction semantics (Step / applyALU and friends) so that the
+// out-of-order models cannot diverge functionally from the golden model.
+package funcsim
+
+import (
+	"fmt"
+	"math"
+
+	"facile/internal/isa"
+	"facile/internal/isa/loader"
+	"facile/internal/mem"
+)
+
+// State is the complete architectural state of an SVR32 machine.
+type State struct {
+	R   [32]int64   // integer registers; R[0] reads as zero
+	F   [32]float64 // floating-point registers
+	PC  uint64
+	Mem *mem.Memory
+
+	Halted     bool
+	ExitStatus int64
+	Output     []byte // bytes produced through print syscalls
+
+	randState uint64
+
+	// InstCount counts architecturally retired instructions.
+	InstCount uint64
+}
+
+// NewState returns a machine state with prog loaded, PC at the entry point,
+// and the stack pointer initialized.
+func NewState(prog *loader.Program) *State {
+	st := &State{Mem: mem.New(), PC: prog.Entry, randState: 0x2545F4914F6CDD1D}
+	prog.LoadInto(st.Mem)
+	st.R[isa.RegSP] = int64(loader.StackTop)
+	return st
+}
+
+// Rand steps the deterministic xorshift PRNG used by the rand syscall.
+func (st *State) Rand() int64 {
+	x := st.randState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	st.randState = x
+	return int64(x>>1) & 0x7FFFFFFF
+}
+
+// SetReg writes an integer register, keeping r0 hardwired to zero.
+func (st *State) SetReg(r uint8, v int64) {
+	if r != 0 {
+		st.R[r] = v
+	}
+}
+
+// Syscall executes the system call currently encoded in the register file
+// (code in r2, argument in r3). It is shared by all simulators.
+func (st *State) Syscall() {
+	switch st.R[isa.RegSC] {
+	case isa.SysExit:
+		st.Halted = true
+		st.ExitStatus = st.R[isa.RegA0]
+	case isa.SysPrintInt:
+		st.Output = append(st.Output, []byte(fmt.Sprintf("%d\n", st.R[isa.RegA0]))...)
+	case isa.SysPrintChar:
+		st.Output = append(st.Output, byte(st.R[isa.RegA0]))
+	case isa.SysRand:
+		st.SetReg(isa.RegA0, st.Rand())
+	default:
+		// Unknown syscalls halt, so bugs surface rather than spin.
+		st.Halted = true
+		st.ExitStatus = -1
+	}
+}
+
+// EffAddr computes the effective address of a memory instruction.
+func EffAddr(st *State, in isa.Inst) uint64 {
+	off := in.Imm
+	if !in.HasImm {
+		off = st.R[in.Rs2]
+	}
+	return uint64(st.R[in.Rs1] + off)
+}
+
+// ALUResult computes the result of a register-writing non-memory
+// instruction. pc is the instruction's address (used by jal/jalr links).
+// It must only be called for opcodes with a register result.
+func ALUResult(st *State, in isa.Inst, pc uint64) int64 {
+	b := in.Imm
+	if !in.HasImm && isa.OpcodeFormat(in.Op) == isa.FmtRI {
+		b = st.R[in.Rs2]
+	}
+	a := st.R[in.Rs1]
+	switch in.Op {
+	case isa.OpAdd:
+		return a + b
+	case isa.OpSub:
+		return a - b
+	case isa.OpAnd:
+		return a & b
+	case isa.OpOr:
+		return a | b
+	case isa.OpXor:
+		return a ^ b
+	case isa.OpSll:
+		return a << (uint64(b) & 63)
+	case isa.OpSrl:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case isa.OpSra:
+		return a >> (uint64(b) & 63)
+	case isa.OpSlt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.OpSltu:
+		if uint64(a) < uint64(b) {
+			return 1
+		}
+		return 0
+	case isa.OpMul:
+		return a * b
+	case isa.OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case isa.OpRem:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case isa.OpSethi:
+		return in.Imm << 11
+	case isa.OpJal, isa.OpJalr:
+		return int64(pc + 4)
+	case isa.OpFcmp:
+		x, y := st.F[in.Rs1], st.F[in.Rs2]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	case isa.OpCvtfi:
+		return int64(st.F[in.Rs1])
+	}
+	panic(fmt.Sprintf("funcsim: ALUResult on %v", in.Op))
+}
+
+// FPResult computes the result of an FP-register-writing arithmetic
+// instruction.
+func FPResult(st *State, in isa.Inst) float64 {
+	a, b := st.F[in.Rs1], st.F[in.Rs2]
+	switch in.Op {
+	case isa.OpFadd:
+		return a + b
+	case isa.OpFsub:
+		return a - b
+	case isa.OpFmul:
+		return a * b
+	case isa.OpFdiv:
+		if b == 0 {
+			return math.Inf(sign(a))
+		}
+		return a / b
+	case isa.OpFneg:
+		return -a
+	case isa.OpFmov:
+		return a
+	case isa.OpCvtif:
+		return float64(st.R[in.Rs1])
+	}
+	panic(fmt.Sprintf("funcsim: FPResult on %v", in.Op))
+}
+
+func sign(a float64) int {
+	if a < 0 {
+		return -1
+	}
+	return 1
+}
+
+// BranchTaken evaluates a conditional branch's predicate.
+func BranchTaken(st *State, in isa.Inst) bool {
+	a, b := st.R[in.Rs1], st.R[in.Rs2]
+	switch in.Op {
+	case isa.OpBeq:
+		return a == b
+	case isa.OpBne:
+		return a != b
+	case isa.OpBlt:
+		return a < b
+	case isa.OpBge:
+		return a >= b
+	case isa.OpBltu:
+		return uint64(a) < uint64(b)
+	case isa.OpBgeu:
+		return uint64(a) >= uint64(b)
+	}
+	panic(fmt.Sprintf("funcsim: BranchTaken on %v", in.Op))
+}
+
+// NextPC computes the successor PC of the instruction in at pc, evaluating
+// branch predicates and jump targets against st.
+func NextPC(st *State, in isa.Inst, pc uint64) uint64 {
+	switch isa.Classify(in.Op) {
+	case isa.ClassBranch:
+		if BranchTaken(st, in) {
+			return isa.BranchTarget(in, pc)
+		}
+		return pc + 4
+	case isa.ClassJump:
+		switch in.Op {
+		case isa.OpJ, isa.OpJal:
+			return isa.BranchTarget(in, pc)
+		default: // jr, jalr
+			off := in.Imm
+			if !in.HasImm {
+				off = st.R[in.Rs2]
+			}
+			return uint64(st.R[in.Rs1] + off)
+		}
+	default:
+		return pc + 4
+	}
+}
+
+// Step architecturally executes the instruction at st.PC and advances PC.
+// It returns the executed instruction.
+func (st *State) Step(prog *loader.Program) (isa.Inst, error) {
+	in, err := prog.Fetch(st.PC)
+	if err != nil {
+		st.Halted = true
+		return isa.Inst{}, err
+	}
+	pc := st.PC
+	Apply(st, in, pc)
+	st.PC = NextPC(st, in, pc)
+	st.InstCount++
+	return in, nil
+}
+
+// Apply performs the data side effects of in at pc (register writes, memory
+// writes, syscalls) without touching st.PC. Control flow is resolved
+// separately via NextPC so timing simulators can reuse this code.
+func Apply(st *State, in isa.Inst, pc uint64) {
+	switch isa.Classify(in.Op) {
+	case isa.ClassNop:
+	case isa.ClassIntALU, isa.ClassIntMul:
+		st.SetReg(in.Rd, ALUResult(st, in, pc))
+	case isa.ClassLoad:
+		addr := EffAddr(st, in)
+		switch in.Op {
+		case isa.OpLdb:
+			st.SetReg(in.Rd, int64(int8(st.Mem.Read8(addr))))
+		case isa.OpLdw:
+			st.SetReg(in.Rd, int64(int32(st.Mem.Read32(addr))))
+		case isa.OpLdd:
+			st.SetReg(in.Rd, int64(st.Mem.Read64(addr)))
+		case isa.OpFld:
+			st.F[in.Rd] = math.Float64frombits(st.Mem.Read64(addr))
+		}
+	case isa.ClassStore:
+		addr := EffAddr(st, in)
+		switch in.Op {
+		case isa.OpStb:
+			st.Mem.Write8(addr, byte(st.R[in.Rd]))
+		case isa.OpStw:
+			st.Mem.Write32(addr, uint32(st.R[in.Rd]))
+		case isa.OpStd:
+			st.Mem.Write64(addr, uint64(st.R[in.Rd]))
+		case isa.OpFst:
+			st.Mem.Write64(addr, math.Float64bits(st.F[in.Rd]))
+		}
+	case isa.ClassBranch:
+		// predicate only; no data side effects
+	case isa.ClassJump:
+		if in.Op == isa.OpJal {
+			st.SetReg(isa.RegRA, int64(pc+4))
+		} else if in.Op == isa.OpJalr {
+			st.SetReg(in.Rd, int64(pc+4))
+		}
+	case isa.ClassFP:
+		switch in.Op {
+		case isa.OpFcmp, isa.OpCvtfi:
+			st.SetReg(in.Rd, ALUResult(st, in, pc))
+		default:
+			st.F[in.Rd] = FPResult(st, in)
+		}
+	case isa.ClassSys:
+		if in.Op == isa.OpHalt {
+			st.Halted = true
+		} else {
+			st.Syscall()
+		}
+	}
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Insts      uint64
+	ExitStatus int64
+	Output     []byte
+}
+
+// Run executes prog to completion (or maxInsts, whichever first) and
+// returns the result. maxInsts <= 0 means no limit.
+func Run(prog *loader.Program, maxInsts uint64) (*State, Result, error) {
+	st := NewState(prog)
+	for !st.Halted {
+		if maxInsts > 0 && st.InstCount >= maxInsts {
+			break
+		}
+		if _, err := st.Step(prog); err != nil {
+			return st, Result{}, err
+		}
+	}
+	return st, Result{Insts: st.InstCount, ExitStatus: st.ExitStatus, Output: st.Output}, nil
+}

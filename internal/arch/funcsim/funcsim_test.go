@@ -1,0 +1,181 @@
+package funcsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"facile/internal/isa"
+	"facile/internal/isa/asm"
+)
+
+func prog(t *testing.T, src string) *State {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := Run(p, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestR0Hardwired(t *testing.T) {
+	st := prog(t, `
+start:  add r0, r0, 42
+        add r1, r0, 1
+        halt
+`)
+	if st.R[0] != 0 || st.R[1] != 1 {
+		t.Fatalf("r0=%d r1=%d", st.R[0], st.R[1])
+	}
+}
+
+func TestALUSemantics(t *testing.T) {
+	st := prog(t, `
+start:  li  r1, -7
+        li  r2, 3
+        div r3, r1, r2      ; -2 (Go semantics)
+        rem r4, r1, r2      ; -1
+        div r5, r1, r0      ; x/0 = 0 by definition
+        sra r6, r1, 1       ; arithmetic: -4
+        srl r7, r1, 60      ; logical: 15
+        slt r8, r1, r2      ; 1
+        sltu r9, r1, r2     ; 0 (huge unsigned)
+        halt
+`)
+	want := map[int]int64{3: -2, 4: -1, 5: 0, 6: -4, 7: 15, 8: 1, 9: 0}
+	for r, v := range want {
+		if st.R[r] != v {
+			t.Errorf("r%d = %d, want %d", r, st.R[r], v)
+		}
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	st := prog(t, `
+start:  li  r1, 1
+        li  r2, 65          ; shift amounts use the low 6 bits
+        sll r3, r1, r2      ; 1 << 1
+        halt
+`)
+	if st.R[3] != 2 {
+		t.Fatalf("sll by 65 = %d, want 2", st.R[3])
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	run := func() []int64 {
+		st := prog(t, `
+start:  li r2, 4
+        syscall
+        mov r4, r3
+        li r2, 4
+        syscall
+        mov r5, r3
+        halt
+`)
+		return []int64{st.R[4], st.R[5]}
+	}
+	a, b := run(), run()
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatal("rand syscall is not deterministic")
+	}
+	if a[0] == a[1] {
+		t.Fatal("rand returned the same value twice")
+	}
+}
+
+func TestUnknownSyscallHalts(t *testing.T) {
+	st := prog(t, `
+start:  li r2, 99
+        syscall
+        li r1, 1     ; must not execute
+`)
+	if !st.Halted || st.ExitStatus != -1 || st.R[1] == 1 {
+		t.Fatalf("halted=%v exit=%d r1=%d", st.Halted, st.ExitStatus, st.R[1])
+	}
+}
+
+func TestFetchOutsideTextHalts(t *testing.T) {
+	p, err := asm.Assemble("t", "start: jr r0, r0, 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(p)
+	st.Step(p) // jr to 0
+	if _, err := st.Step(p); err == nil {
+		t.Fatal("expected fetch error")
+	}
+	if !st.Halted {
+		t.Fatal("state should be halted after a fetch error")
+	}
+}
+
+// Property: NextPC of a non-control instruction is always pc+4.
+func TestNextPCNonControl(t *testing.T) {
+	st := &State{}
+	f := func(op uint8, rd, rs1 uint8, imm int16) bool {
+		o := isa.Opcode(op % isa.NumOpcodes)
+		if !o.Valid() || isa.IsControl(o) {
+			return true
+		}
+		in := isa.Inst{Op: o, Rd: rd & 31, Rs1: rs1 & 31, HasImm: true, Imm: int64(imm % (1 << 14))}
+		return NextPC(st, in, 0x10000) == 0x10004
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BranchTaken(beq) == (a == b) for arbitrary register values.
+func TestBranchPredicates(t *testing.T) {
+	f := func(a, b int64) bool {
+		st := &State{}
+		st.R[1], st.R[2] = a, b
+		in := isa.Inst{Op: isa.OpBeq, Rs1: 1, Rs2: 2}
+		if BranchTaken(st, in) != (a == b) {
+			return false
+		}
+		in.Op = isa.OpBltu
+		return BranchTaken(st, in) == (uint64(a) < uint64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPNegDiv(t *testing.T) {
+	st := prog(t, `
+start:  li    r1, 1
+        cvtif f1, r1
+        li    r2, 0
+        cvtif f2, r2
+        fdiv  f3, f1, f2    ; 1/0 = +inf
+        fneg  f4, f3        ; -inf
+        fcmp  r5, f4, f1    ; -inf < 1 -> -1
+        halt
+`)
+	if st.R[5] != -1 {
+		t.Fatalf("fcmp = %d", st.R[5])
+	}
+	if !math.IsInf(st.F[3], 1) || !math.IsInf(st.F[4], -1) {
+		t.Fatalf("f3=%v f4=%v", st.F[3], st.F[4])
+	}
+}
+
+func TestMaxInstsStopsCleanly(t *testing.T) {
+	p, err := asm.Assemble("t", "start: b start\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := Run(p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts != 500 {
+		t.Fatalf("ran %d insts, want 500", res.Insts)
+	}
+}

@@ -1,0 +1,317 @@
+// Package ooo implements the conventional out-of-order timing simulator
+// that plays the role of SimpleScalar in the paper's evaluation: a detailed,
+// cycle-by-cycle model of an R10000-like core with branch prediction,
+// speculative fetch, register renaming (modeled as producer tracking over
+// the window), non-blocking caches, and in-order commit — with no
+// memoization whatsoever.
+//
+// Functional execution happens in order at fetch/decode time against the
+// architectural state (the classic "functional core + timing model" split
+// SimpleScalar uses), so architectural results always match the funcsim
+// golden model; mispredicted-path work is modeled as fetch stall until the
+// branch resolves plus a redirect penalty.
+package ooo
+
+import (
+	"facile/internal/arch/bpred"
+	"facile/internal/arch/cache"
+	"facile/internal/arch/funcsim"
+	"facile/internal/arch/uarch"
+	"facile/internal/isa"
+	"facile/internal/isa/loader"
+)
+
+type entryState uint8
+
+const (
+	stWaiting entryState = iota
+	stExecuting
+	stDone
+)
+
+type entry struct {
+	pc        uint64
+	in        isa.Inst
+	cls       isa.Class
+	fu        uarch.FU
+	state     entryState
+	doneAt    uint64
+	addr      uint64 // effective address for memory ops
+	actualNPC uint64
+	predNPC   uint64
+	mispred   bool
+	uses      []isa.RegRef
+	def       isa.RegRef
+	hasDef    bool
+	isSync    bool // syscall/halt: serializes the pipeline
+}
+
+// Simulator is a conventional out-of-order simulator instance.
+type Simulator struct {
+	cfg  uarch.Config
+	prog *loader.Program
+	st   *funcsim.State
+	pred *bpred.Predictor
+	mem  *cache.Hierarchy
+
+	win       []entry
+	fetchPC   uint64
+	stalled   bool   // fetch stalled on an unresolved mispredicted branch
+	resumeAt  uint64 // cycle at which fetch may resume (redirect / icache)
+	serialize bool   // a syscall/halt is in flight
+	cycle     uint64
+	committed uint64
+	haltSeen  bool
+}
+
+// New builds a simulator for prog with configuration cfg.
+func New(cfg uarch.Config, prog *loader.Program) *Simulator {
+	s := &Simulator{
+		cfg:     cfg,
+		prog:    prog,
+		st:      funcsim.NewState(prog),
+		pred:    bpred.New(cfg.Pred),
+		mem:     cache.New(cfg.Mem),
+		win:     make([]entry, 0, cfg.Window),
+		fetchPC: prog.Entry,
+	}
+	return s
+}
+
+// State exposes the architectural state (for validation).
+func (s *Simulator) State() *funcsim.State { return s.st }
+
+// Cycle reports the current simulated cycle.
+func (s *Simulator) Cycle() uint64 { return s.cycle }
+
+// Run simulates until the program halts or maxInsts instructions commit
+// (maxInsts <= 0 means unlimited).
+func (s *Simulator) Run(maxInsts uint64) uarch.Result {
+	for !s.haltSeen {
+		if maxInsts > 0 && s.committed >= maxInsts {
+			break
+		}
+		s.step()
+	}
+	return uarch.Result{
+		Cycles:        s.cycle,
+		Insts:         s.committed,
+		ExitStatus:    s.st.ExitStatus,
+		Output:        s.st.Output,
+		BranchLookups: s.pred.Lookups,
+		Mispredicts:   s.pred.Mispredict,
+		L1DMisses:     s.mem.L1D.Stats.Misses,
+		L2Misses:      s.mem.L2.Stats.Misses,
+	}
+}
+
+// step advances the simulation by one cycle: commit, writeback, issue,
+// fetch/dispatch (processed backwards so a result is visible to younger
+// stages one cycle later).
+func (s *Simulator) step() {
+	s.commit()
+	if s.haltSeen {
+		return
+	}
+	if s.stalled && len(s.win) == 0 {
+		// Runaway fetch drained the pipeline with no resolving branch:
+		// nothing can ever commit again. Treat as termination.
+		s.haltSeen = true
+		return
+	}
+	s.writeback()
+	s.issue()
+	s.fetch()
+	s.cycle++
+}
+
+func (s *Simulator) commit() {
+	n := 0
+	for n < s.cfg.CommitWidth && len(s.win) > 0 && s.win[0].state == stDone {
+		e := &s.win[0]
+		if e.cls == isa.ClassBranch || e.cls == isa.ClassJump {
+			s.pred.Update(e.in, e.pc, e.actualNPC, e.mispred)
+		}
+		if e.isSync {
+			s.serialize = false
+			if e.in.Op == isa.OpHalt || s.st.Halted {
+				s.haltSeen = true
+			}
+		}
+		s.committed++
+		copy(s.win, s.win[1:])
+		s.win = s.win[:len(s.win)-1]
+		n++
+		if s.haltSeen {
+			return
+		}
+	}
+}
+
+func (s *Simulator) writeback() {
+	for i := range s.win {
+		e := &s.win[i]
+		if e.state == stExecuting && e.doneAt <= s.cycle {
+			e.state = stDone
+			if e.mispred {
+				// branch resolved: redirect fetch down the correct path
+				at := s.cycle + s.cfg.MispredictPenalty
+				if at > s.resumeAt {
+					s.resumeAt = at
+				}
+				s.stalled = false
+			}
+		}
+	}
+}
+
+// ready reports whether every source operand of win[i] has been produced.
+// A conventional simulator scans the window (this is the per-cycle cost
+// that memoization later removes).
+func (s *Simulator) ready(i int) bool {
+	e := &s.win[i]
+	for _, u := range e.uses {
+		for j := i - 1; j >= 0; j-- {
+			p := &s.win[j]
+			if p.hasDef && p.def == u {
+				if p.state != stDone {
+					return false
+				}
+				break
+			}
+		}
+	}
+	return true
+}
+
+// memOrderOK enforces conservative memory disambiguation: a load may not
+// issue before every older store has executed; stores stay ordered among
+// themselves.
+func (s *Simulator) memOrderOK(i int) bool {
+	e := &s.win[i]
+	for j := 0; j < i; j++ {
+		p := &s.win[j]
+		if p.cls == isa.ClassStore && p.state != stDone {
+			return false
+		}
+		if e.cls == isa.ClassStore && p.cls == isa.ClassLoad && p.state == stWaiting {
+			// keep stores behind un-issued older loads as well
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Simulator) issue() {
+	var fuUsed [uarch.NumFU]int
+	fuAvail := [uarch.NumFU]int{
+		uarch.FUIntALU: s.cfg.IntALUs,
+		uarch.FUIntMul: s.cfg.IntMuls,
+		uarch.FUFPU:    s.cfg.FPUs,
+		uarch.FULSU:    s.cfg.LSUs,
+	}
+	for i := range s.win {
+		e := &s.win[i]
+		if e.state != stWaiting {
+			continue
+		}
+		if e.fu != uarch.FUNone && fuUsed[e.fu] >= fuAvail[e.fu] {
+			continue
+		}
+		if !s.ready(i) {
+			continue
+		}
+		if e.cls == isa.ClassLoad || e.cls == isa.ClassStore {
+			if !s.memOrderOK(i) {
+				continue
+			}
+		}
+		if e.isSync && i != 0 {
+			continue // syscalls execute only at the window head
+		}
+		lat := uarch.Latency(e.in.Op)
+		if e.cls == isa.ClassLoad || e.cls == isa.ClassStore {
+			lat += s.mem.Data(e.addr, s.cycle, e.cls == isa.ClassStore)
+		}
+		e.state = stExecuting
+		e.doneAt = s.cycle + lat
+		if e.fu != uarch.FUNone {
+			fuUsed[e.fu]++
+		}
+	}
+}
+
+func (s *Simulator) fetch() {
+	if s.stalled || s.serialize || s.cycle < s.resumeAt {
+		return
+	}
+	for n := 0; n < s.cfg.FetchWidth; n++ {
+		if len(s.win) >= s.cfg.Window {
+			return
+		}
+		pc := s.fetchPC
+		if !s.prog.InText(pc) {
+			// runaway fetch (e.g., return to 0): serialize until drained —
+			// the architectural model will have halted by then.
+			s.stalled = true
+			return
+		}
+		ilat := s.mem.Inst(pc, s.cycle)
+		if ilat > s.cfg.Mem.L1I.HitLat {
+			// I-cache miss: bubble until the line arrives
+			s.resumeAt = s.cycle + ilat
+			return
+		}
+		in, err := s.prog.Fetch(pc)
+		if err != nil {
+			s.stalled = true
+			return
+		}
+		e := entry{
+			pc:  pc,
+			in:  in,
+			cls: isa.Classify(in.Op),
+			fu:  uarch.FUFor(in.Op),
+		}
+		e.uses = isa.Uses(in)
+		e.def, e.hasDef = isa.Def(in)
+
+		// In-order functional execution against architectural state.
+		if e.cls == isa.ClassLoad || e.cls == isa.ClassStore {
+			e.addr = funcsim.EffAddr(s.st, in)
+		}
+		e.actualNPC = funcsim.NextPC(s.st, in, pc)
+		funcsim.Apply(s.st, in, pc)
+
+		switch e.cls {
+		case isa.ClassBranch, isa.ClassJump:
+			e.predNPC = s.pred.Predict(in, pc)
+			e.mispred = e.predNPC != e.actualNPC
+		case isa.ClassSys:
+			e.isSync = true
+			e.predNPC = pc + 4
+		default:
+			e.predNPC = pc + 4
+		}
+
+		s.win = append(s.win, e)
+		s.fetchPC = e.actualNPC
+
+		if e.isSync {
+			s.serialize = true
+			return
+		}
+		if e.mispred {
+			s.stalled = true
+			return
+		}
+		if (e.cls == isa.ClassBranch || e.cls == isa.ClassJump) && e.actualNPC != pc+4 {
+			return // one taken control transfer ends the fetch group
+		}
+	}
+}
+
+// Run is a convenience wrapper: build and run in one call.
+func Run(cfg uarch.Config, prog *loader.Program, maxInsts uint64) uarch.Result {
+	return New(cfg, prog).Run(maxInsts)
+}

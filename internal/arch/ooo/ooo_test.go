@@ -1,0 +1,303 @@
+package ooo
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"facile/internal/arch/funcsim"
+	"facile/internal/arch/uarch"
+	"facile/internal/isa/asm"
+	"facile/internal/isa/loader"
+)
+
+func asmOrDie(t *testing.T, src string) *loader.Program {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// checkAgainstGolden runs src on both the golden functional simulator and
+// the OOO timing simulator and requires identical architectural outcomes.
+func checkAgainstGolden(t *testing.T, src string) uarch.Result {
+	t.Helper()
+	p := asmOrDie(t, src)
+	_, want, err := funcsim.Run(p, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(uarch.Default(), p, 0)
+	if res.Insts != want.Insts {
+		t.Errorf("insts = %d, golden %d", res.Insts, want.Insts)
+	}
+	if res.ExitStatus != want.ExitStatus {
+		t.Errorf("exit = %d, golden %d", res.ExitStatus, want.ExitStatus)
+	}
+	if !bytes.Equal(res.Output, want.Output) {
+		t.Errorf("output = %q, golden %q", res.Output, want.Output)
+	}
+	if res.Cycles == 0 {
+		t.Error("zero cycles")
+	}
+	ipc := res.IPC()
+	if ipc <= 0.01 || ipc > float64(uarch.Default().CommitWidth) {
+		t.Errorf("implausible IPC %.3f (cycles=%d insts=%d)", ipc, res.Cycles, res.Insts)
+	}
+	return res
+}
+
+const sumLoop = `
+start:  li   r1, 1000
+        li   r4, 0
+loop:   beq  r1, r0, done
+        add  r4, r4, r1
+        sub  r1, r1, 1
+        b    loop
+done:   li   r2, 2
+        mov  r3, r4
+        syscall
+        li   r2, 1
+        li   r3, 0
+        syscall
+`
+
+func TestSumLoopMatchesGolden(t *testing.T) {
+	res := checkAgainstGolden(t, sumLoop)
+	if !bytes.Contains(res.Output, []byte("500500")) {
+		t.Fatalf("output %q", res.Output)
+	}
+}
+
+func TestMemoryWorkload(t *testing.T) {
+	// Strided stores then loads: exercises the D-cache and disambiguation.
+	checkAgainstGolden(t, `
+start:  la   r1, buf
+        li   r5, 256
+        li   r6, 0
+st:     beq  r5, r0, ld
+        std  r6, r1, 0
+        add  r1, r1, 64       ; stride past a cache line
+        add  r6, r6, 3
+        sub  r5, r5, 1
+        b    st
+ld:     la   r1, buf
+        li   r5, 256
+        li   r7, 0
+ldl:    beq  r5, r0, out
+        ldd  r8, r1, 0
+        add  r7, r7, r8
+        add  r1, r1, 64
+        sub  r5, r5, 1
+        b    ldl
+out:    li   r2, 2
+        mov  r3, r7
+        syscall
+        halt
+        .data
+buf:    .space 16384
+`)
+}
+
+func TestCallHeavyWorkload(t *testing.T) {
+	checkAgainstGolden(t, `
+start:  li   r10, 50
+        li   r11, 0
+outer:  beq  r10, r0, done
+        li   r3, 7
+        call work
+        add  r11, r11, r3
+        sub  r10, r10, 1
+        b    outer
+done:   li   r2, 2
+        mov  r3, r11
+        syscall
+        halt
+work:   mul  r3, r3, r3
+        rem  r3, r3, 100
+        ret
+`)
+}
+
+func TestFPWorkload(t *testing.T) {
+	checkAgainstGolden(t, `
+start:  li    r1, 100
+        li    r4, 1
+        cvtif f1, r4
+        cvtif f2, r4
+loop:   beq   r1, r0, done
+        fadd  f1, f1, f2
+        fmul  f3, f1, f2
+        sub   r1, r1, 1
+        b     loop
+done:   cvtfi r3, f1
+        li    r2, 2
+        syscall
+        halt
+`)
+}
+
+func TestBranchyWorkload(t *testing.T) {
+	// Data-dependent branching via the deterministic rand syscall.
+	checkAgainstGolden(t, `
+start:  li   r10, 300
+        li   r11, 0
+loop:   beq  r10, r0, done
+        li   r2, 4
+        syscall          ; r3 = rand
+        and  r5, r3, 7
+        beq  r5, r0, bump
+        and  r6, r3, 1
+        bne  r6, r0, odd
+        add  r11, r11, 2
+        b    next
+odd:    add  r11, r11, 1
+        b    next
+bump:   add  r11, r11, 10
+next:   sub  r10, r10, 1
+        b    loop
+done:   li   r2, 2
+        mov  r3, r11
+        syscall
+        halt
+`)
+}
+
+func TestMispredictsAreCounted(t *testing.T) {
+	// Alternating branch that gshare should struggle with briefly, plus a
+	// long stable loop: predictor stats must be populated.
+	res := checkAgainstGolden(t, sumLoop)
+	if res.BranchLookups == 0 {
+		t.Fatal("no branch lookups recorded")
+	}
+	if res.Mispredicts >= res.BranchLookups {
+		t.Fatalf("mispredicts %d >= lookups %d", res.Mispredicts, res.BranchLookups)
+	}
+}
+
+func TestDependentChainSlowerThanILP(t *testing.T) {
+	// Loop a 64-instruction body 200 times so the I-cache is warm and the
+	// difference comes from the execution core, not compulsory misses.
+	mk := func(dep bool) string {
+		var b bytes.Buffer
+		b.WriteString("start:  li r20, 200\n")
+		b.WriteString("loop:   beq r20, r0, done\n")
+		for i := 0; i < 64; i++ {
+			if dep {
+				fmt.Fprintf(&b, "        mul r1, r1, r1\n")
+			} else {
+				fmt.Fprintf(&b, "        add r%d, r0, %d\n", 1+i%8, i)
+			}
+		}
+		b.WriteString("        sub r20, r20, 1\n        b loop\ndone:   halt\n")
+		return b.String()
+	}
+	dep := Run(uarch.Default(), asmOrDie(t, mk(true)), 0)
+	ilp := Run(uarch.Default(), asmOrDie(t, mk(false)), 0)
+	if dep.Cycles <= ilp.Cycles {
+		t.Fatalf("dependent chain (%d cycles) should be slower than independent ops (%d cycles)",
+			dep.Cycles, ilp.Cycles)
+	}
+}
+
+func TestCacheMissesSlowDown(t *testing.T) {
+	// Same instruction count; one walks 8 bytes (same line), the other 4KB
+	// strides (always missing).
+	mk := func(stride int) string {
+		return fmt.Sprintf(`
+start:  la  r1, buf
+        li  r5, 400
+loop:   beq r5, r0, done
+        ldd r6, r1, 0
+        add r1, r1, %d
+        sub r5, r5, 1
+        b   loop
+done:   halt
+        .data
+buf:    .space 8
+`, stride)
+	}
+	near := Run(uarch.Default(), asmOrDie(t, mk(0)), 0)
+	far := Run(uarch.Default(), asmOrDie(t, mk(4096)), 0)
+	if far.Cycles <= near.Cycles {
+		t.Fatalf("striding run (%d cycles) should be slower than resident run (%d cycles)",
+			far.Cycles, near.Cycles)
+	}
+	if far.L1DMisses <= near.L1DMisses {
+		t.Fatalf("miss counts: far %d <= near %d", far.L1DMisses, near.L1DMisses)
+	}
+}
+
+func TestMaxInstsBound(t *testing.T) {
+	p := asmOrDie(t, `
+start:  b start
+`)
+	res := Run(uarch.Default(), p, 1000)
+	if res.Insts < 1000 || res.Insts > 1100 {
+		t.Fatalf("committed %d, want ~1000", res.Insts)
+	}
+}
+
+func TestRunawayFetchTerminates(t *testing.T) {
+	// Return to address 0: the simulator must not hang.
+	p := asmOrDie(t, `
+start:  jr r0, r0, 0
+`)
+	res := Run(uarch.Default(), p, 0)
+	if res.Cycles == 0 {
+		t.Fatal("no cycles simulated")
+	}
+}
+
+func TestWidthScaling(t *testing.T) {
+	// A 1-wide, 4-entry-window machine must be slower than the default
+	// 4-wide, 32-entry one on ILP-rich code.
+	src := func() string {
+		var b bytes.Buffer
+		b.WriteString("start:  li r20, 300\nloop:   beq r20, r0, done\n")
+		for i := 0; i < 24; i++ {
+			fmt.Fprintf(&b, "        add r%d, r0, %d\n", 1+i%8, i)
+		}
+		b.WriteString("        sub r20, r20, 1\n        b loop\ndone:   halt\n")
+		return b.String()
+	}()
+	p := asmOrDie(t, src)
+	wide := Run(uarch.Default(), p, 0)
+	narrow := uarch.Default()
+	narrow.FetchWidth, narrow.CommitWidth, narrow.IntALUs, narrow.Window = 1, 1, 1, 4
+	nres := Run(narrow, p, 0)
+	if nres.Cycles <= wide.Cycles {
+		t.Fatalf("narrow machine (%d cycles) not slower than wide (%d)", nres.Cycles, wide.Cycles)
+	}
+	if nres.Insts != wide.Insts {
+		t.Fatalf("configs disagree on instruction count: %d vs %d", nres.Insts, wide.Insts)
+	}
+}
+
+func TestMispredictPenaltyMatters(t *testing.T) {
+	// Raising the redirect penalty must cost cycles on branchy code.
+	p := asmOrDie(t, `
+start:  li   r10, 400
+        li   r11, 0
+loop:   beq  r10, r0, done
+        li   r2, 4
+        syscall
+        and  r5, r3, 1
+        beq  r5, r0, even
+        add  r11, r11, 1
+        b    next
+even:   add  r11, r11, 2
+next:   sub  r10, r10, 1
+        b    loop
+done:   halt
+`)
+	base := Run(uarch.Default(), p, 0)
+	slowCfg := uarch.Default()
+	slowCfg.MispredictPenalty = 30
+	slow := Run(slowCfg, p, 0)
+	if slow.Cycles <= base.Cycles {
+		t.Fatalf("30-cycle penalty (%d cycles) not slower than 3-cycle (%d)", slow.Cycles, base.Cycles)
+	}
+}

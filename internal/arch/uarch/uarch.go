@@ -1,0 +1,114 @@
+// Package uarch holds the micro-architecture configuration shared by the
+// out-of-order timing models (the conventional baseline, the hand-coded
+// memoizing simulator, and the Facile-described simulator's external
+// components). The default models a MIPS R10000-like core, as in the paper.
+package uarch
+
+import (
+	"facile/internal/arch/bpred"
+	"facile/internal/arch/cache"
+	"facile/internal/isa"
+)
+
+// Config describes the simulated core.
+type Config struct {
+	FetchWidth  int
+	CommitWidth int
+	Window      int // out-of-order window / ROB entries
+
+	IntALUs int
+	IntMuls int
+	FPUs    int
+	LSUs    int
+
+	MispredictPenalty uint64 // extra redirect cycles after a branch resolves
+
+	Pred bpred.Config
+	Mem  cache.HierarchyConfig
+}
+
+// Default returns the R10000-like configuration used by the experiments:
+// 4-wide, 32-entry window, 2 integer ALUs, split 32K L1s, 512K L2.
+func Default() Config {
+	return Config{
+		FetchWidth:        4,
+		CommitWidth:       4,
+		Window:            32,
+		IntALUs:           2,
+		IntMuls:           1,
+		FPUs:              2,
+		LSUs:              1,
+		MispredictPenalty: 3,
+		Pred:              bpred.DefaultConfig(),
+		Mem:               cache.DefaultHierarchy(),
+	}
+}
+
+// FU identifies a functional-unit class.
+type FU int
+
+// Functional units.
+const (
+	FUNone FU = iota
+	FUIntALU
+	FUIntMul
+	FUFPU
+	FULSU
+	NumFU
+)
+
+// FUFor maps an opcode to the functional unit that executes it.
+func FUFor(op isa.Opcode) FU {
+	switch isa.Classify(op) {
+	case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump:
+		return FUIntALU
+	case isa.ClassIntMul:
+		return FUIntMul
+	case isa.ClassFP:
+		return FUFPU
+	case isa.ClassLoad, isa.ClassStore:
+		return FULSU
+	default:
+		return FUNone // nop, syscall, halt occupy no unit
+	}
+}
+
+// Latency reports the execution latency of op in cycles, excluding cache
+// time for memory operations (which is added from the hierarchy).
+func Latency(op isa.Opcode) uint64 {
+	switch op {
+	case isa.OpMul:
+		return 3
+	case isa.OpDiv, isa.OpRem:
+		return 20
+	case isa.OpFadd, isa.OpFsub, isa.OpFneg, isa.OpFmov, isa.OpFcmp, isa.OpCvtif, isa.OpCvtfi:
+		return 2
+	case isa.OpFmul:
+		return 3
+	case isa.OpFdiv:
+		return 12
+	default:
+		return 1
+	}
+}
+
+// Result summarizes a timing simulation.
+type Result struct {
+	Cycles     uint64
+	Insts      uint64 // committed instructions
+	ExitStatus int64
+	Output     []byte
+
+	BranchLookups uint64
+	Mispredicts   uint64
+	L1DMisses     uint64
+	L2Misses      uint64
+}
+
+// IPC reports committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}

@@ -1,0 +1,70 @@
+package uarch
+
+import (
+	"testing"
+
+	"facile/internal/isa"
+)
+
+func TestFUCoverage(t *testing.T) {
+	for op := isa.Opcode(0); op < isa.NumOpcodes; op++ {
+		if !op.Valid() {
+			continue
+		}
+		fu := FUFor(op)
+		switch isa.Classify(op) {
+		case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump:
+			if fu != FUIntALU {
+				t.Errorf("%v -> %v, want int ALU", op, fu)
+			}
+		case isa.ClassIntMul:
+			if fu != FUIntMul {
+				t.Errorf("%v -> %v, want int mul", op, fu)
+			}
+		case isa.ClassFP:
+			if fu != FUFPU {
+				t.Errorf("%v -> %v, want FPU", op, fu)
+			}
+		case isa.ClassLoad, isa.ClassStore:
+			if fu != FULSU {
+				t.Errorf("%v -> %v, want LSU", op, fu)
+			}
+		default:
+			if fu != FUNone {
+				t.Errorf("%v -> %v, want none", op, fu)
+			}
+		}
+		if Latency(op) < 1 {
+			t.Errorf("%v latency %d < 1", op, Latency(op))
+		}
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	if !(Latency(isa.OpAdd) < Latency(isa.OpMul) && Latency(isa.OpMul) < Latency(isa.OpDiv)) {
+		t.Fatal("integer latency ordering broken")
+	}
+	if !(Latency(isa.OpFadd) <= Latency(isa.OpFmul) && Latency(isa.OpFmul) < Latency(isa.OpFdiv)) {
+		t.Fatal("FP latency ordering broken")
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	c := Default()
+	if c.Window < c.FetchWidth || c.IntALUs < 1 || c.LSUs < 1 {
+		t.Fatalf("%+v", c)
+	}
+	if c.Mem.L1D.SizeBytes <= 0 || c.Mem.L2.SizeBytes < c.Mem.L1D.SizeBytes {
+		t.Fatal("cache sizing broken")
+	}
+}
+
+func TestResultIPC(t *testing.T) {
+	r := Result{Cycles: 200, Insts: 100}
+	if r.IPC() != 0.5 {
+		t.Fatalf("IPC %f", r.IPC())
+	}
+	if (Result{}).IPC() != 0 {
+		t.Fatal("zero-cycle IPC")
+	}
+}

@@ -1,0 +1,347 @@
+// Package bench implements the paper's evaluation harness: for every table
+// and figure in §6 it runs the corresponding simulators over the
+// SPEC95-substitute workload suite and reports the same rows/series the
+// paper reports. Absolute numbers depend on the host; the shapes (who
+// wins, by what factor, where the crossovers fall) are the reproduction
+// target — see EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"facile/facile"
+	"facile/internal/arch/fastsim"
+	"facile/internal/arch/ooo"
+	"facile/internal/arch/uarch"
+	"facile/internal/facsim"
+	"facile/internal/workloads"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	Scale     int      // workload scale factor
+	Names     []string // benchmarks to run; nil = full suite
+	CacheCap  uint64   // action cache cap in bytes (0 = unlimited)
+	PaperCapM uint64   // cap used for the figure runs, in MB (paper: 256)
+}
+
+// DefaultConfig mirrors the paper's setup at a laptop-friendly scale.
+func DefaultConfig() Config {
+	return Config{Scale: 10, PaperCapM: 256}
+}
+
+func (c Config) names() []string {
+	if len(c.Names) > 0 {
+		return c.Names
+	}
+	return workloads.Names()
+}
+
+// Row is one benchmark's measurements for a figure: simulated instructions
+// per second of host time for each simulator.
+type Row struct {
+	Name   string
+	Insts  uint64
+	Cycles uint64
+
+	MemoMIPS   float64 // memoizing simulator
+	NoMemoMIPS float64 // same simulator without memoization
+	BaseMIPS   float64 // conventional baseline ("SimpleScalar")
+
+	FastFwdPct float64 // Table 1
+	MemoBytes  uint64  // Table 2
+	Misses     uint64
+	Clears     uint64
+}
+
+func mips(insts uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(insts) / d.Seconds() / 1e6
+}
+
+// hmean computes the harmonic mean of positive values.
+func hmean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		s += 1 / v
+	}
+	return float64(len(vals)) / s
+}
+
+// Figure11 reproduces the paper's Figure 11 and Tables 1–2 inputs: the
+// hand-coded memoizing simulator (FastSim's role) with and without
+// fast-forwarding versus the conventional out-of-order baseline
+// (SimpleScalar's role).
+func Figure11(cfg Config) ([]Row, error) {
+	ucfg := uarch.Default()
+	var rows []Row
+	for _, name := range cfg.names() {
+		w, err := workloads.Get(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+
+		t0 := time.Now()
+		base := ooo.Run(ucfg, w.Prog, 0)
+		dBase := time.Since(t0)
+
+		t0 = time.Now()
+		plainSim := fastsim.New(ucfg, w.Prog, fastsim.Options{Memoize: false})
+		plain := plainSim.Run(0)
+		dPlain := time.Since(t0)
+
+		t0 = time.Now()
+		memoSim := fastsim.New(ucfg, w.Prog, fastsim.Options{
+			Memoize:       true,
+			CacheCapBytes: cfg.PaperCapM << 20,
+		})
+		memo := memoSim.Run(0)
+		dMemo := time.Since(t0)
+
+		if plain.Cycles != memo.Cycles {
+			return nil, fmt.Errorf("%s: memoized cycle count %d != plain %d (validation failure)",
+				name, memo.Cycles, plain.Cycles)
+		}
+		st := memoSim.Stats()
+		rows = append(rows, Row{
+			Name:       name,
+			Insts:      memo.Insts,
+			Cycles:     memo.Cycles,
+			MemoMIPS:   mips(memo.Insts, dMemo),
+			NoMemoMIPS: mips(plain.Insts, dPlain),
+			BaseMIPS:   mips(base.Insts, dBase),
+			FastFwdPct: st.FastForwardedPc,
+			MemoBytes:  st.TotalMemoBytes,
+			Misses:     st.Misses,
+			Clears:     st.CacheClears,
+		})
+	}
+	return rows, nil
+}
+
+// Table2 reproduces the quantity-of-memoized-data table with an unlimited
+// cache (the paper measured total memoized data, not the capped working
+// set).
+func Table2(cfg Config) ([]Row, error) {
+	ucfg := uarch.Default()
+	var rows []Row
+	for _, name := range cfg.names() {
+		w, err := workloads.Get(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		s := fastsim.New(ucfg, w.Prog, fastsim.Options{Memoize: true})
+		res := s.Run(0)
+		st := s.Stats()
+		rows = append(rows, Row{
+			Name:       name,
+			Insts:      res.Insts,
+			FastFwdPct: st.FastForwardedPc,
+			MemoBytes:  st.TotalMemoBytes,
+			Misses:     st.Misses,
+		})
+	}
+	return rows, nil
+}
+
+// Figure12 reproduces the paper's Figure 12: the Facile-compiled
+// out-of-order simulator with and without fast-forwarding versus the
+// conventional baseline.
+func Figure12(cfg Config) ([]Row, error) {
+	ucfg := uarch.Default()
+	var rows []Row
+	for _, name := range cfg.names() {
+		w, err := workloads.Get(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+
+		t0 := time.Now()
+		base := ooo.Run(ucfg, w.Prog, 0)
+		dBase := time.Since(t0)
+
+		inPlain, err := facsim.NewOOO(w.Prog, facsim.Options{Memoize: false})
+		if err != nil {
+			return nil, err
+		}
+		t0 = time.Now()
+		plain, err := inPlain.Run(0)
+		if err != nil {
+			return nil, fmt.Errorf("%s (no memo): %w", name, err)
+		}
+		dPlain := time.Since(t0)
+
+		inMemo, err := facsim.NewOOO(w.Prog, facsim.Options{
+			Memoize:       true,
+			CacheCapBytes: cfg.PaperCapM << 20,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t0 = time.Now()
+		memo, err := inMemo.Run(0)
+		if err != nil {
+			return nil, fmt.Errorf("%s (memo): %w", name, err)
+		}
+		dMemo := time.Since(t0)
+
+		if plain.Cycles != memo.Cycles {
+			return nil, fmt.Errorf("%s: Facile memo cycles %d != plain %d (validation failure)",
+				name, memo.Cycles, plain.Cycles)
+		}
+		st := memo.Stats
+		total := st.SlowSteps + st.Replays
+		ffPct := 0.0
+		if total > 0 {
+			ffPct = 100 * float64(st.Replays) / float64(total)
+		}
+		rows = append(rows, Row{
+			Name:       name,
+			Insts:      memo.Insts,
+			Cycles:     memo.Cycles,
+			MemoMIPS:   mips(memo.Insts, dMemo),
+			NoMemoMIPS: mips(plain.Insts, dPlain),
+			BaseMIPS:   mips(base.Insts, dBase),
+			FastFwdPct: ffPct,
+			MemoBytes:  st.TotalMemoBytes,
+			Misses:     st.Misses,
+			Clears:     st.CacheClears,
+		})
+	}
+	return rows, nil
+}
+
+// CapSweepPoint is one point of the cache-capacity ablation (§6.1:
+// limiting and clearing the cache costs little performance).
+type CapSweepPoint struct {
+	CapBytes  uint64
+	MIPS      float64
+	Clears    uint64
+	PeakBytes uint64
+	Cycles    uint64
+}
+
+// CacheCapSweep reruns one benchmark under shrinking action-cache caps.
+func CacheCapSweep(name string, scale int, caps []uint64) ([]CapSweepPoint, error) {
+	ucfg := uarch.Default()
+	w, err := workloads.Get(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	var pts []CapSweepPoint
+	for _, cap := range caps {
+		s := fastsim.New(ucfg, w.Prog, fastsim.Options{Memoize: true, CacheCapBytes: cap})
+		t0 := time.Now()
+		res := s.Run(0)
+		d := time.Since(t0)
+		st := s.Stats()
+		pts = append(pts, CapSweepPoint{
+			CapBytes:  cap,
+			MIPS:      mips(res.Insts, d),
+			Clears:    st.CacheClears,
+			PeakBytes: st.CacheBytes,
+			Cycles:    res.Cycles,
+		})
+	}
+	return pts, nil
+}
+
+// LoCReport reproduces the paper's §6.2 code-size comparison: lines of
+// Facile per simulator description (the paper: 1,959 Facile + 992 C for
+// the out-of-order simulator; 703 Facile functional; 965 Facile in-order).
+func LoCReport() map[string]int {
+	out := map[string]int{}
+	for name, src := range facile.Sources() {
+		n := 0
+		for _, line := range strings.Split(src, "\n") {
+			t := strings.TrimSpace(line)
+			if t == "" || strings.HasPrefix(t, "//") {
+				continue
+			}
+			n++
+		}
+		out[name] = n
+	}
+	return out
+}
+
+// --- formatting -----------------------------------------------------------
+
+// WriteFigure writes a figure's rows in the paper's layout: one bar group
+// per benchmark with the three simulators, plus speedup summaries.
+func WriteFigure(w io.Writer, title string, rows []Row) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-14s %12s | %10s %10s %10s | %8s %8s\n",
+		"benchmark", "sim insts", "memo", "no-memo", "baseline", "memo/no", "memo/base")
+	fmt.Fprintf(w, "%-14s %12s | %10s %10s %10s | %8s %8s\n",
+		"", "", "Msim-i/s", "Msim-i/s", "Msim-i/s", "", "")
+	var spMemoNo, spMemoBase, spNoBase []float64
+	for _, r := range rows {
+		sn := r.MemoMIPS / math.Max(r.NoMemoMIPS, 1e-9)
+		sb := r.MemoMIPS / math.Max(r.BaseMIPS, 1e-9)
+		fmt.Fprintf(w, "%-14s %12d | %10.2f %10.2f %10.2f | %7.1fx %7.1fx\n",
+			r.Name, r.Insts, r.MemoMIPS, r.NoMemoMIPS, r.BaseMIPS, sn, sb)
+		spMemoNo = append(spMemoNo, sn)
+		spMemoBase = append(spMemoBase, sb)
+		spNoBase = append(spNoBase, r.NoMemoMIPS/math.Max(r.BaseMIPS, 1e-9))
+	}
+	fmt.Fprintf(w, "harmonic means: memo/no-memo %.2fx   memo/baseline %.2fx   no-memo/baseline %.2fx\n",
+		hmean(spMemoNo), hmean(spMemoBase), hmean(spNoBase))
+}
+
+// WriteTable1 writes the percentage-fast-forwarded table.
+func WriteTable1(w io.Writer, rows []Row) {
+	fmt.Fprintf(w, "Table 1: Percentage of instructions fast-forwarded\n")
+	fmt.Fprintf(w, "%-14s %12s %10s %10s\n", "benchmark", "insts", "% fastfwd", "misses")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12d %9.3f%% %10d\n", r.Name, r.Insts, r.FastFwdPct, r.Misses)
+	}
+}
+
+// WriteTable2 writes the quantity-of-memoized-data table.
+func WriteTable2(w io.Writer, rows []Row) {
+	fmt.Fprintf(w, "Table 2: Quantity of memoized data\n")
+	fmt.Fprintf(w, "%-14s %12s %12s\n", "benchmark", "insts", "MB cached")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12d %12.2f\n", r.Name, r.Insts, float64(r.MemoBytes)/(1<<20))
+	}
+}
+
+// WriteCapSweep writes the cache-capacity ablation.
+func WriteCapSweep(w io.Writer, name string, pts []CapSweepPoint) {
+	fmt.Fprintf(w, "Cache-capacity ablation (%s): clear-when-full policy\n", name)
+	fmt.Fprintf(w, "%12s %10s %8s %12s %12s\n", "cap", "Msim-i/s", "clears", "peak bytes", "cycles")
+	for _, p := range pts {
+		cap := "unlimited"
+		if p.CapBytes > 0 {
+			cap = fmt.Sprintf("%d KiB", p.CapBytes>>10)
+		}
+		fmt.Fprintf(w, "%12s %10.2f %8d %12d %12d\n", cap, p.MIPS, p.Clears, p.PeakBytes, p.Cycles)
+	}
+}
+
+// WriteLoC writes the description-size report.
+func WriteLoC(w io.Writer) {
+	fmt.Fprintf(w, "Facile description sizes (non-blank, non-comment lines; paper §6.2)\n")
+	paper := map[string]string{
+		"svr32.fac":   "ISA description (shared)",
+		"func.fac":    "functional simulator (paper: 703 lines of Facile)",
+		"inorder.fac": "in-order pipeline (paper: 965 lines of Facile + 11 C)",
+		"ooo.fac":     "out-of-order simulator (paper: 1,959 lines of Facile + 992 C)",
+	}
+	for _, name := range []string{"svr32.fac", "func.fac", "inorder.fac", "ooo.fac"} {
+		fmt.Fprintf(w, "%-14s %5d lines   %s\n", name, LoCReport()[name], paper[name])
+	}
+}

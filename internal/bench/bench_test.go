@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSuiteCrossValidation is the repository's capstone test: every
+// simulator agrees with the golden model on every benchmark, and every
+// memoizing simulator produces cycle counts identical to its
+// non-memoizing twin.
+func TestSuiteCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation sweep is not short")
+	}
+	for _, name := range names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if err := ValidateBenchmark(name, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func names() []string {
+	cfg := DefaultConfig()
+	return cfg.names()
+}
+
+func TestFigure11SmallRun(t *testing.T) {
+	cfg := Config{Scale: 1, Names: []string{"129.compress", "101.tomcatv"}, PaperCapM: 256}
+	rows, err := Figure11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MemoMIPS <= 0 || r.NoMemoMIPS <= 0 || r.BaseMIPS <= 0 {
+			t.Fatalf("%s: nonpositive rates %+v", r.Name, r)
+		}
+		if r.MemoMIPS < r.NoMemoMIPS {
+			t.Errorf("%s: memoization slower than not (%.2f < %.2f)", r.Name, r.MemoMIPS, r.NoMemoMIPS)
+		}
+		if r.FastFwdPct < 90 {
+			t.Errorf("%s: only %.2f%% fast-forwarded", r.Name, r.FastFwdPct)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFigure(&buf, "test", rows)
+	WriteTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "129.compress") {
+		t.Fatal("formatting lost rows")
+	}
+}
+
+func TestTable2SmallRun(t *testing.T) {
+	cfg := Config{Scale: 1, Names: []string{"129.compress"}}
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].MemoBytes == 0 {
+		t.Fatal("no memoized bytes recorded")
+	}
+	var buf bytes.Buffer
+	WriteTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "MB cached") {
+		t.Fatal("bad table format")
+	}
+}
+
+func TestFigure12SmallRun(t *testing.T) {
+	cfg := Config{Scale: 1, Names: []string{"129.compress"}, PaperCapM: 256}
+	rows, err := Figure12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].MemoMIPS <= rows[0].NoMemoMIPS {
+		t.Fatalf("Facile memoization must win: %+v", rows[0])
+	}
+}
+
+func TestCacheCapSweepRuns(t *testing.T) {
+	pts, err := CacheCapSweep("129.compress", 1, []uint64{0, 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Cycles != pts[1].Cycles {
+		t.Fatalf("capping changed simulated cycles: %+v", pts)
+	}
+	if pts[1].Clears == 0 {
+		t.Fatal("tiny cap should clear at least once")
+	}
+}
+
+func TestLoCReport(t *testing.T) {
+	loc := LoCReport()
+	for _, f := range []string{"svr32.fac", "func.fac", "inorder.fac", "ooo.fac"} {
+		if loc[f] == 0 {
+			t.Fatalf("no line count for %s", f)
+		}
+	}
+	var buf bytes.Buffer
+	WriteLoC(&buf)
+	if !strings.Contains(buf.String(), "ooo.fac") {
+		t.Fatal("bad LoC format")
+	}
+}
+
+func TestHMean(t *testing.T) {
+	if h := hmean([]float64{2, 2, 2}); h != 2 {
+		t.Fatalf("hmean = %f", h)
+	}
+	if h := hmean(nil); h != 0 {
+		t.Fatalf("hmean(nil) = %f", h)
+	}
+	if h := hmean([]float64{1, 0}); h != 0 {
+		t.Fatalf("hmean with zero = %f", h)
+	}
+}

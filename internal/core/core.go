@@ -1,0 +1,72 @@
+// Package core is the public facade of the Facile implementation: it ties
+// together the parser, semantic checker, compiler, and the
+// fast-forwarding runtime.
+//
+// Typical use:
+//
+//	sim, err := core.CompileSource(src, core.Options{})
+//	m := sim.NewMachine(text, rt.Options{Memoize: true})
+//	m.RegisterExtern("dcache", ...)
+//	m.SetIntArgs(entryPC)
+//	m.SetStop(func(*rt.Machine) bool { return halted })
+//	err = m.Run(0)
+package core
+
+import (
+	"facile/internal/lang/compile"
+	"facile/internal/lang/ir"
+	"facile/internal/lang/parser"
+	"facile/internal/lang/types"
+	"facile/internal/rt"
+)
+
+// Options controls compilation.
+type Options struct {
+	// LiftLiveOnly enables the liveness optimization on write-throughs of
+	// run-time static values (paper §6.3, item 3).
+	LiftLiveOnly bool
+
+	// NoOptimize disables constant folding / copy propagation / dead-code
+	// elimination (paper §6.3, item 5), for ablations.
+	NoOptimize bool
+}
+
+// Simulator is a compiled Facile simulator description.
+type Simulator struct {
+	Checked *types.Checked
+	Prog    *ir.Program
+}
+
+// CompileSource parses, checks, and compiles a Facile program.
+func CompileSource(src string, opt Options) (*Simulator, error) {
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	checked, err := types.Check(astProg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := compile.Compile(checked, compile.Options{
+		LiftLiveOnly: opt.LiftLiveOnly,
+		NoOptimize:   opt.NoOptimize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{Checked: checked, Prog: p}, nil
+}
+
+// NewMachine instantiates a runtime machine for the compiled simulator.
+func (s *Simulator) NewMachine(text rt.TextSource, opt rt.Options) *rt.Machine {
+	return rt.New(s.Prog, text, opt)
+}
+
+// nullText is used by simulators that never fetch.
+type nullText struct{}
+
+func (nullText) FetchWord(uint64) uint32 { return 0 }
+
+// NullText returns a TextSource that reads all-zero words, for Facile
+// programs that do not decode target instructions.
+func NullText() rt.TextSource { return nullText{} }

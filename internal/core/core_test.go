@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"facile/internal/rt"
+)
+
+func TestCompileSourceErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"fun main( {", "expected"},        // syntax
+		{"val x;", "must define fun main"}, // semantic
+		{"fun f(x){return f(x);} fun main(p){f(p); set_args(p);}", "recursion"},
+		{"extern e(0);\nfun main(q: queue(2,1), p){q?push(e()); set_args(q,p);}", "dynamic value"},
+	}
+	for _, c := range cases {
+		_, err := CompileSource(c.src, Options{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("CompileSource(%q) error = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestEndToEndFacade(t *testing.T) {
+	sim, err := CompileSource(`
+val n = 0;
+fun main(x) { n = n + x; set_args((x + 1) % 3); }
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine(NullText(), rt.Options{Memoize: true})
+	if err := m.SetIntArgs(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Global("n"); v != 30 { // cycle 1,2,0 sums to 1 per step avg
+		t.Fatalf("n = %d, want 30", v)
+	}
+}
+
+func TestNullText(t *testing.T) {
+	if NullText().FetchWord(12345) != 0 {
+		t.Fatal("NullText must read zero")
+	}
+}
+
+func TestCompileOptionsPropagate(t *testing.T) {
+	src := `
+val g = 0;
+extern e(1);
+fun main(x) { g = x; e(x); set_args(x); }
+`
+	a, err := CompileSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompileSource(src, Options{LiftLiveOnly: true, NoOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prog.NumStatic+a.Prog.NumDynamic >= b.Prog.NumStatic+b.Prog.NumDynamic {
+		t.Fatal("NoOptimize should yield more instructions")
+	}
+}

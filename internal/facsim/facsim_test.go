@@ -1,0 +1,271 @@
+package facsim
+
+import (
+	"bytes"
+	"testing"
+
+	"facile/internal/arch/funcsim"
+	"facile/internal/isa/asm"
+	"facile/internal/isa/loader"
+	wl "facile/internal/workloads"
+)
+
+// wlGet fetches a bundled workload (aliased import: this file declares a
+// local map named workloads).
+func wlGet(name string, scale int) (*wl.Workload, error) { return wl.Get(name, scale) }
+
+func asmOrDie(t *testing.T, src string) *loader.Program {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const mixedWorkload = `
+start:  li   r1, 400
+        li   r4, 0
+        la   r9, buf
+loop:   beq  r1, r0, done
+        and  r7, r1, 63
+        sll  r7, r7, 3
+        add  r8, r9, r7
+        ldd  r6, r8, 0
+        add  r6, r6, r1
+        std  r6, r8, 0
+        add  r4, r4, r6
+        and  r5, r1, 3
+        bne  r5, r0, skip
+        call bump
+skip:   sub  r1, r1, 1
+        b    loop
+done:   li   r2, 2
+        mov  r3, r4
+        syscall
+        li   r2, 1
+        li   r3, 0
+        syscall
+bump:   add  r4, r4, 7
+        ret
+        .data
+buf:    .space 512
+`
+
+const fpWorkload = `
+start:  li    r1, 120
+        li    r4, 3
+        cvtif f1, r4
+        cvtif f2, r4
+loop:   beq   r1, r0, done
+        fadd  f1, f1, f2
+        fmul  f3, f1, f2
+        fdiv  f4, f3, f2
+        fcmp  r5, f4, f1
+        sub   r1, r1, 1
+        b     loop
+done:   cvtfi r3, f1
+        li    r2, 2
+        syscall
+        halt
+`
+
+const randWorkload = `
+start:  li   r10, 200
+        li   r11, 0
+loop:   beq  r10, r0, done
+        li   r2, 4
+        syscall
+        and  r5, r3, 7
+        beq  r5, r0, bump
+        and  r6, r3, 1
+        bne  r6, r0, odd
+        add  r11, r11, 2
+        b    next
+odd:    add  r11, r11, 1
+        b    next
+bump:   add  r11, r11, 10
+next:   sub  r10, r10, 1
+        b    loop
+done:   li   r2, 2
+        mov  r3, r11
+        syscall
+        halt
+`
+
+var workloads = map[string]string{
+	"mixed": mixedWorkload,
+	"fp":    fpWorkload,
+	"rand":  randWorkload,
+}
+
+// golden runs the Go functional reference.
+func golden(t *testing.T, prog *loader.Program) (*funcsim.State, funcsim.Result) {
+	t.Helper()
+	st, res, err := funcsim.Run(prog, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, res
+}
+
+// checkArch compares a Facile run's architectural outcome to the golden
+// functional model.
+func checkArch(t *testing.T, name string, in *Instance, res Result, gst *funcsim.State, g funcsim.Result) {
+	t.Helper()
+	if !bytes.Equal(res.Output, g.Output) {
+		t.Errorf("%s: output %q != golden %q", name, res.Output, g.Output)
+	}
+	if res.Exit != g.ExitStatus {
+		t.Errorf("%s: exit %d != golden %d", name, res.Exit, g.ExitStatus)
+	}
+	R, ok := in.M.Array("R")
+	if !ok {
+		t.Fatalf("%s: no R array", name)
+	}
+	for r := 1; r < 32; r++ {
+		if R[r] != gst.R[r] {
+			t.Errorf("%s: R[%d] = %d, golden %d", name, r, R[r], gst.R[r])
+		}
+	}
+}
+
+func TestFunctionalMatchesGolden(t *testing.T) {
+	for name, src := range workloads {
+		t.Run(name, func(t *testing.T) {
+			prog := asmOrDie(t, src)
+			gst, g := golden(t, prog)
+			for _, memo := range []bool{false, true} {
+				in, err := NewFunctional(prog, Options{Memoize: memo})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := in.Run(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkArch(t, name, in, res, gst, g)
+				if res.Stats.SlowSteps+res.Stats.Replays != g.Insts {
+					t.Errorf("steps %d+%d != golden insts %d",
+						res.Stats.SlowSteps, res.Stats.Replays, g.Insts)
+				}
+				if memo && res.Stats.Replays == 0 {
+					t.Error("memoized functional run never replayed")
+				}
+			}
+		})
+	}
+}
+
+// checkTimingEquivalence runs a timing simulator with and without
+// memoization: architectural results must match the golden model, and the
+// cycle counts must be identical (the paper's central claim).
+func checkTimingEquivalence(t *testing.T, mk func(*loader.Program, Options) (*Instance, error), src string) (Result, Result) {
+	t.Helper()
+	prog := asmOrDie(t, src)
+	gst, g := golden(t, prog)
+
+	inPlain, err := mk(prog, Options{Memoize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPlain, err := inPlain.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkArch(t, "plain", inPlain, resPlain, gst, g)
+
+	inMemo, err := mk(prog, Options{Memoize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMemo, err := inMemo.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkArch(t, "memo", inMemo, resMemo, gst, g)
+
+	if resPlain.Cycles != resMemo.Cycles {
+		t.Errorf("cycle counts differ: plain %d, memo %d", resPlain.Cycles, resMemo.Cycles)
+	}
+	if resPlain.Insts != resMemo.Insts || resMemo.Insts != g.Insts {
+		t.Errorf("insts: plain %d, memo %d, golden %d", resPlain.Insts, resMemo.Insts, g.Insts)
+	}
+	if resPlain.Cycles == 0 {
+		t.Error("zero cycles simulated")
+	}
+	return resPlain, resMemo
+}
+
+func TestInOrderEquivalence(t *testing.T) {
+	for name, src := range workloads {
+		t.Run(name, func(t *testing.T) {
+			_, memo := checkTimingEquivalence(t, NewInOrder, src)
+			if memo.Stats.Replays == 0 {
+				t.Error("in-order memoized run never replayed")
+			}
+		})
+	}
+}
+
+func TestOOOEquivalence(t *testing.T) {
+	for name, src := range workloads {
+		t.Run(name, func(t *testing.T) {
+			plain, memo := checkTimingEquivalence(t, NewOOO, src)
+			if memo.Stats.Replays == 0 {
+				t.Error("OOO memoized run never replayed")
+			}
+			// Out-of-order overlap: IPC should beat one-per-cycle on the
+			// mixed loop workloads at least modestly.
+			if plain.Cycles > plain.Insts*12 {
+				t.Errorf("implausibly slow OOO model: %d cycles for %d insts",
+					plain.Cycles, plain.Insts)
+			}
+		})
+	}
+}
+
+func TestInOrderOnBundledWorkloads(t *testing.T) {
+	// The in-order Facile simulator over two real (small) benchmarks:
+	// memo/no-memo cycle equality plus golden-architectural agreement.
+	for _, name := range []string{"130.li", "129.compress"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := wlGet(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gst, g, err := funcsim.Run(w.Prog, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cyc [2]uint64
+			for i, memo := range []bool{false, true} {
+				in, err := NewInOrder(w.Prog, Options{Memoize: memo})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := in.Run(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(res.Output, g.Output) {
+					t.Fatalf("memo=%v output %q != golden %q", memo, res.Output, g.Output)
+				}
+				if res.Insts != g.Insts {
+					t.Fatalf("memo=%v insts %d != golden %d", memo, res.Insts, g.Insts)
+				}
+				R, _ := in.M.Array("R")
+				for r := 1; r < 32; r++ {
+					if R[r] != gst.R[r] {
+						t.Fatalf("memo=%v R[%d]=%d, golden %d", memo, r, R[r], gst.R[r])
+					}
+				}
+				cyc[i] = res.Cycles
+			}
+			if cyc[0] != cyc[1] {
+				t.Fatalf("in-order cycles differ: %d vs %d", cyc[0], cyc[1])
+			}
+		})
+	}
+}

@@ -1,0 +1,602 @@
+// Package asm implements a two-pass assembler for the SVR32 ISA.
+//
+// Syntax, one statement per line (comments start with ';' or '#'):
+//
+//	        .text
+//	start:  li    r1, 100          ; pseudo: load 32-bit constant
+//	loop:   beq   r1, r0, done
+//	        sub   r1, r1, 1
+//	        b     loop             ; pseudo for j
+//	done:   halt
+//	        .data
+//	tab:    .dword 1, 2, 3
+//	msg:    .asciiz "hi"
+//	buf:    .space 64
+//
+// Registers are written rN (integer) or fN (floating point); both map to
+// the same 5-bit register field. Immediates are decimal, 0x-hex, or
+// character literals. Branch and jump operands may be labels or absolute
+// addresses. Pseudo-instructions: li, la, mov, fpush?, b, call, ret, inc,
+// dec (see pseudoSize).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"facile/internal/isa"
+	"facile/internal/isa/loader"
+)
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+type stmt struct {
+	line    int
+	label   string
+	mnem    string
+	args    []string
+	sec     section
+	textOff int // word offset in text (instructions)
+	dataOff int // byte offset in data (directives)
+}
+
+// Assemble assembles src into a loadable program named name.
+func Assemble(name, src string) (*loader.Program, error) {
+	a := &assembler{
+		symbols: make(map[string]uint64),
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	entry := loader.TextBase
+	if e, ok := a.symbols["start"]; ok {
+		entry = e
+	} else if e, ok := a.symbols["main"]; ok {
+		entry = e
+	}
+	return &loader.Program{
+		Name:    name,
+		Entry:   entry,
+		Text:    a.text,
+		Data:    a.data,
+		Symbols: a.symbols,
+	}, nil
+}
+
+type assembler struct {
+	stmts   []stmt
+	symbols map[string]uint64
+	text    []uint32
+	data    []byte
+}
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// pass1 tokenizes, assigns offsets, and records label addresses.
+func (a *assembler) pass1(src string) error {
+	sec := secText
+	textOff, dataOff := 0, 0
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		s := raw
+		if j := strings.IndexAny(s, ";#"); j >= 0 {
+			// Keep ';'/'#' inside string or char literals.
+			if k := strings.IndexAny(s, `"'`); k < 0 || j < k {
+				s = s[:j]
+			} else {
+				s = stripCommentOutsideQuotes(s)
+			}
+		}
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		var label string
+		if j := strings.Index(s, ":"); j >= 0 && isLabelPrefix(s[:j]) {
+			label = s[:j]
+			s = strings.TrimSpace(s[j+1:])
+		}
+		if label != "" {
+			if _, dup := a.symbols[label]; dup {
+				return errf(line, "duplicate label %q", label)
+			}
+			if sec == secText {
+				a.symbols[label] = loader.TextBase + uint64(textOff)*4
+			} else {
+				a.symbols[label] = loader.DataBase + uint64(dataOff)
+			}
+		}
+		if s == "" {
+			continue
+		}
+		mnem, rest := splitMnemonic(s)
+		st := stmt{line: line, label: label, mnem: mnem, args: splitArgs(rest), sec: sec, textOff: textOff, dataOff: dataOff}
+		switch mnem {
+		case ".text":
+			sec = secText
+			continue
+		case ".data":
+			sec = secData
+			continue
+		}
+		st.sec = sec
+		if sec == secText {
+			n, err := instWords(mnem, st.args, line)
+			if err != nil {
+				return err
+			}
+			st.textOff = textOff
+			textOff += n
+		} else {
+			n, err := dataBytes(mnem, st.args, line)
+			if err != nil {
+				return err
+			}
+			st.dataOff = dataOff
+			dataOff += n
+		}
+		a.stmts = append(a.stmts, st)
+	}
+	a.text = make([]uint32, textOff)
+	a.data = make([]byte, dataOff)
+	return nil
+}
+
+func stripCommentOutsideQuotes(s string) string {
+	inStr, inChr := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"' && !inChr:
+			inStr = !inStr
+		case c == '\'' && !inStr:
+			inChr = !inChr
+		case (c == ';' || c == '#') && !inStr && !inChr:
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func isLabelPrefix(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || c == '.':
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitMnemonic(s string) (mnem, rest string) {
+	j := strings.IndexAny(s, " \t")
+	if j < 0 {
+		return strings.ToLower(s), ""
+	}
+	return strings.ToLower(s[:j]), strings.TrimSpace(s[j+1:])
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var args []string
+	depth := 0
+	inStr, inChr := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"' && !inChr:
+			inStr = !inStr
+		case c == '\'' && !inStr:
+			inChr = !inChr
+		case c == '(' && !inStr && !inChr:
+			depth++
+		case c == ')' && !inStr && !inChr:
+			depth--
+		case c == ',' && depth == 0 && !inStr && !inChr:
+			args = append(args, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	args = append(args, strings.TrimSpace(s[start:]))
+	return args
+}
+
+// instWords reports how many instruction words a mnemonic expands to.
+func instWords(mnem string, args []string, line int) (int, error) {
+	switch mnem {
+	case "li", "la":
+		return 2, nil
+	case "mov", "fmovr", "b", "call", "ret", "inc", "dec", "not", "neg":
+		return 1, nil
+	}
+	if _, ok := isa.OpcodeByName(mnem); ok {
+		return 1, nil
+	}
+	return 0, errf(line, "unknown mnemonic %q", mnem)
+}
+
+func dataBytes(mnem string, args []string, line int) (int, error) {
+	switch mnem {
+	case ".dword":
+		return 8 * len(args), nil
+	case ".word":
+		return 4 * len(args), nil
+	case ".byte":
+		return len(args), nil
+	case ".space":
+		n, err := parseInt(args[0])
+		if err != nil || n < 0 {
+			return 0, errf(line, "bad .space size %q", args[0])
+		}
+		return int(n), nil
+	case ".asciiz":
+		s, err := strconv.Unquote(args[0])
+		if err != nil {
+			return 0, errf(line, "bad string %q: %v", args[0], err)
+		}
+		return len(s) + 1, nil
+	case ".align":
+		// alignment handled as padding to the next multiple inside pass1
+		// would complicate offsets; keep data 8-aligned by construction and
+		// treat .align as a no-op validator.
+		return 0, nil
+	}
+	return 0, errf(line, "unknown data directive %q", mnem)
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		r, err := strconv.Unquote(s)
+		if err != nil || len(r) != 1 {
+			return 0, fmt.Errorf("bad char literal %q", s)
+		}
+		return int64(r[0]), nil
+	}
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// pass2 encodes statements into the text and data images.
+func (a *assembler) pass2() error {
+	for _, st := range a.stmts {
+		var err error
+		if st.sec == secText {
+			err = a.encodeInst(st)
+		} else {
+			err = a.encodeData(st)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *assembler) encodeData(st stmt) error {
+	off := st.dataOff
+	switch st.mnem {
+	case ".dword":
+		for _, arg := range st.args {
+			v, err := a.dataValue(arg, st.line)
+			if err != nil {
+				return err
+			}
+			for i := uint(0); i < 8; i++ {
+				a.data[off] = byte(uint64(v) >> (8 * i))
+				off++
+			}
+		}
+	case ".word":
+		for _, arg := range st.args {
+			v, err := a.dataValue(arg, st.line)
+			if err != nil {
+				return err
+			}
+			for i := uint(0); i < 4; i++ {
+				a.data[off] = byte(uint64(v) >> (8 * i))
+				off++
+			}
+		}
+	case ".byte":
+		for _, arg := range st.args {
+			v, err := a.dataValue(arg, st.line)
+			if err != nil {
+				return err
+			}
+			a.data[off] = byte(v)
+			off++
+		}
+	case ".asciiz":
+		s, err := strconv.Unquote(st.args[0])
+		if err != nil {
+			return errf(st.line, "bad string: %v", err)
+		}
+		copy(a.data[off:], s)
+	case ".space", ".align":
+		// zero-initialized / no-op
+	}
+	return nil
+}
+
+func (a *assembler) dataValue(arg string, line int) (int64, error) {
+	if addr, ok := a.symbols[arg]; ok {
+		return int64(addr), nil
+	}
+	v, err := parseInt(arg)
+	if err != nil {
+		return 0, errf(line, "bad value %q", arg)
+	}
+	return v, nil
+}
+
+func (a *assembler) put(off int, w uint32) { a.text[off] = w }
+
+func (a *assembler) encodeInst(st stmt) error {
+	pc := loader.TextBase + uint64(st.textOff)*4
+	enc := func(in isa.Inst) error {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return errf(st.line, "%v", err)
+		}
+		a.put(st.textOff, w)
+		return nil
+	}
+	// Pseudo-instructions first.
+	switch st.mnem {
+	case "li", "la":
+		if len(st.args) != 2 {
+			return errf(st.line, "%s needs rd, value", st.mnem)
+		}
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return err
+		}
+		var v int64
+		if st.mnem == "la" {
+			addr, ok := a.symbols[st.args[1]]
+			if !ok {
+				return errf(st.line, "unknown label %q", st.args[1])
+			}
+			v = int64(addr)
+		} else {
+			v, err = a.operandValue(st.args[1], st.line)
+			if err != nil {
+				return err
+			}
+		}
+		if v < -(1<<31) || v >= 1<<31 {
+			return errf(st.line, "li/la constant %d does not fit in signed 32 bits", v)
+		}
+		u := uint32(v)
+		hi := isa.Inst{Op: isa.OpSethi, Rd: rd, Imm: int64(int32(u) >> 11)}
+		lo := isa.Inst{Op: isa.OpOr, Rd: rd, Rs1: rd, HasImm: true, Imm: int64(u & 0x7FF)}
+		w1, err := isa.Encode(hi)
+		if err != nil {
+			return errf(st.line, "%v", err)
+		}
+		w2, err := isa.Encode(lo)
+		if err != nil {
+			return errf(st.line, "%v", err)
+		}
+		a.put(st.textOff, w1)
+		a.put(st.textOff+1, w2)
+		return nil
+	case "mov":
+		rd, err1 := a.reg(st.args[0], st.line)
+		rs, err2 := a.reg(st.args[1], st.line)
+		if err1 != nil || err2 != nil {
+			return errf(st.line, "mov needs rd, rs")
+		}
+		return enc(isa.Inst{Op: isa.OpAdd, Rd: rd, Rs1: rs, HasImm: true, Imm: 0})
+	case "fmovr":
+		rd, err1 := a.reg(st.args[0], st.line)
+		rs, err2 := a.reg(st.args[1], st.line)
+		if err1 != nil || err2 != nil {
+			return errf(st.line, "fmovr needs fd, fs")
+		}
+		return enc(isa.Inst{Op: isa.OpFmov, Rd: rd, Rs1: rs})
+	case "b":
+		off, err := a.jumpOffset(st.args[0], pc, st.line)
+		if err != nil {
+			return err
+		}
+		return enc(isa.Inst{Op: isa.OpJ, Imm: off})
+	case "call":
+		off, err := a.jumpOffset(st.args[0], pc, st.line)
+		if err != nil {
+			return err
+		}
+		return enc(isa.Inst{Op: isa.OpJal, Imm: off})
+	case "ret":
+		return enc(isa.Inst{Op: isa.OpJr, Rs1: isa.RegRA, HasImm: true, Imm: 0})
+	case "inc":
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return err
+		}
+		return enc(isa.Inst{Op: isa.OpAdd, Rd: rd, Rs1: rd, HasImm: true, Imm: 1})
+	case "dec":
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return err
+		}
+		return enc(isa.Inst{Op: isa.OpSub, Rd: rd, Rs1: rd, HasImm: true, Imm: 1})
+	case "not":
+		rd, err1 := a.reg(st.args[0], st.line)
+		rs, err2 := a.reg(st.args[1], st.line)
+		if err1 != nil || err2 != nil {
+			return errf(st.line, "not needs rd, rs")
+		}
+		return enc(isa.Inst{Op: isa.OpXor, Rd: rd, Rs1: rs, HasImm: true, Imm: -1})
+	case "neg":
+		rd, err1 := a.reg(st.args[0], st.line)
+		rs, err2 := a.reg(st.args[1], st.line)
+		if err1 != nil || err2 != nil {
+			return errf(st.line, "neg needs rd, rs")
+		}
+		return enc(isa.Inst{Op: isa.OpSub, Rd: rd, Rs2: rs})
+	}
+
+	op, ok := isa.OpcodeByName(st.mnem)
+	if !ok {
+		return errf(st.line, "unknown mnemonic %q", st.mnem)
+	}
+	switch isa.OpcodeFormat(op) {
+	case isa.FmtNone:
+		if len(st.args) != 0 {
+			return errf(st.line, "%s takes no operands", op)
+		}
+		return enc(isa.Inst{Op: op})
+	case isa.FmtHI:
+		if len(st.args) != 2 {
+			return errf(st.line, "%s needs rd, imm21", op)
+		}
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return err
+		}
+		v, err := a.operandValue(st.args[1], st.line)
+		if err != nil {
+			return err
+		}
+		return enc(isa.Inst{Op: op, Rd: rd, Imm: v})
+	case isa.FmtJ:
+		if len(st.args) != 1 {
+			return errf(st.line, "%s needs a target", op)
+		}
+		off, err := a.jumpOffset(st.args[0], pc, st.line)
+		if err != nil {
+			return err
+		}
+		return enc(isa.Inst{Op: op, Imm: off})
+	case isa.FmtBR:
+		if len(st.args) != 3 {
+			return errf(st.line, "%s needs rs1, rs2, target", op)
+		}
+		rs1, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(st.args[1], st.line)
+		if err != nil {
+			return err
+		}
+		off, err := a.jumpOffset(st.args[2], pc, st.line)
+		if err != nil {
+			return err
+		}
+		return enc(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: off})
+	case isa.FmtRI:
+		return a.encodeRI(op, st, enc)
+	}
+	return errf(st.line, "unhandled format for %s", op)
+}
+
+func (a *assembler) encodeRI(op isa.Opcode, st stmt, enc func(isa.Inst) error) error {
+	// Unary FP forms: fneg/fmov/cvtif/cvtfi take rd, rs1.
+	switch op {
+	case isa.OpFneg, isa.OpFmov, isa.OpCvtif, isa.OpCvtfi:
+		if len(st.args) != 2 {
+			return errf(st.line, "%s needs rd, rs", op)
+		}
+		rd, err := a.reg(st.args[0], st.line)
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(st.args[1], st.line)
+		if err != nil {
+			return err
+		}
+		return enc(isa.Inst{Op: op, Rd: rd, Rs1: rs})
+	}
+	if len(st.args) != 3 {
+		return errf(st.line, "%s needs rd, rs1, rs2|imm", op)
+	}
+	rd, err := a.reg(st.args[0], st.line)
+	if err != nil {
+		return err
+	}
+	rs1, err := a.reg(st.args[1], st.line)
+	if err != nil {
+		return err
+	}
+	if rs2, err2 := a.reg(st.args[2], st.line); err2 == nil {
+		return enc(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	}
+	v, err := a.operandValue(st.args[2], st.line)
+	if err != nil {
+		return err
+	}
+	return enc(isa.Inst{Op: op, Rd: rd, Rs1: rs1, HasImm: true, Imm: v})
+}
+
+func (a *assembler) reg(s string, line int) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'f') {
+		return 0, errf(line, "bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, errf(line, "bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func (a *assembler) operandValue(s string, line int) (int64, error) {
+	if addr, ok := a.symbols[s]; ok {
+		return int64(addr), nil
+	}
+	v, err := parseInt(s)
+	if err != nil {
+		return 0, errf(line, "bad operand %q", s)
+	}
+	return v, nil
+}
+
+// jumpOffset resolves a label or absolute address into a signed word offset
+// relative to pc+4.
+func (a *assembler) jumpOffset(s string, pc uint64, line int) (int64, error) {
+	var target uint64
+	if addr, ok := a.symbols[s]; ok {
+		target = addr
+	} else {
+		v, err := parseInt(s)
+		if err != nil {
+			return 0, errf(line, "unknown target %q", s)
+		}
+		target = uint64(v)
+	}
+	diff := int64(target) - int64(pc+4)
+	if diff%4 != 0 {
+		return 0, errf(line, "misaligned target %q", s)
+	}
+	return diff / 4, nil
+}

@@ -1,0 +1,347 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"facile/internal/arch/funcsim"
+	"facile/internal/isa"
+	"facile/internal/isa/loader"
+)
+
+func mustAsm(t *testing.T, src string) *loader.Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string) (*funcsim.State, funcsim.Result) {
+	t.Helper()
+	p := mustAsm(t, src)
+	st, res, err := funcsim.Run(p, 1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return st, res
+}
+
+func TestCountdownLoop(t *testing.T) {
+	st, _ := run(t, `
+        .text
+start:  li   r1, 10
+        li   r4, 0
+loop:   beq  r1, r0, done
+        add  r4, r4, r1
+        sub  r1, r1, 1
+        b    loop
+done:   halt
+`)
+	if st.R[4] != 55 {
+		t.Fatalf("sum = %d, want 55", st.R[4])
+	}
+}
+
+func TestLiLargeConstant(t *testing.T) {
+	st, _ := run(t, `
+start:  li r1, 0x12345678
+        li r2, -42
+        halt
+`)
+	if st.R[1] != 0x12345678 {
+		t.Fatalf("r1 = %#x", st.R[1])
+	}
+	if st.R[2] != -42 {
+		t.Fatalf("r2 = %d", st.R[2])
+	}
+}
+
+func TestDataDirectivesAndLoads(t *testing.T) {
+	st, _ := run(t, `
+        .text
+start:  la   r1, tab
+        ldd  r2, r1, 0
+        ldd  r3, r1, 8
+        ldw  r5, r1, 16
+        la   r6, msg
+        ldb  r7, r6, 1
+        halt
+        .data
+tab:    .dword 100, -7
+        .word  1234
+msg:    .asciiz "hi"
+`)
+	if st.R[2] != 100 || st.R[3] != -7 || st.R[5] != 1234 {
+		t.Fatalf("loads: r2=%d r3=%d r5=%d", st.R[2], st.R[3], st.R[5])
+	}
+	if st.R[7] != 'i' {
+		t.Fatalf("ldb = %d, want 'i'", st.R[7])
+	}
+}
+
+func TestStoresRoundTrip(t *testing.T) {
+	st, _ := run(t, `
+start:  la   r1, buf
+        li   r2, 777
+        std  r2, r1, 0
+        ldd  r3, r1, 0
+        stb  r2, r1, 8
+        ldb  r4, r1, 8
+        stw  r2, r1, 16
+        ldw  r5, r1, 16
+        halt
+        .data
+buf:    .space 32
+`)
+	if st.R[3] != 777 || st.R[4] != int64(int8(uint8(777&0xFF))) || st.R[5] != 777 {
+		t.Fatalf("stores: r3=%d r4=%d r5=%d", st.R[3], st.R[4], st.R[5])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	st, _ := run(t, `
+start:  li   r3, 5
+        call double
+        call double
+        halt
+double: add  r3, r3, r3
+        ret
+`)
+	if st.R[3] != 20 {
+		t.Fatalf("r3 = %d, want 20", st.R[3])
+	}
+}
+
+func TestJalrIndirect(t *testing.T) {
+	st, _ := run(t, `
+start:  la   r1, fn
+        jalr r31, r1, 0
+        halt
+fn:     li   r4, 99
+        ret
+`)
+	if st.R[4] != 99 {
+		t.Fatalf("r4 = %d, want 99", st.R[4])
+	}
+}
+
+func TestSyscallsOutput(t *testing.T) {
+	_, res := run(t, `
+start:  li r2, 2
+        li r3, 42
+        syscall
+        li r2, 3
+        li r3, '!'
+        syscall
+        li r2, 1
+        li r3, 7
+        syscall
+`)
+	if string(res.Output) != "42\n!" {
+		t.Fatalf("output = %q", res.Output)
+	}
+	if res.ExitStatus != 7 {
+		t.Fatalf("exit = %d", res.ExitStatus)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	st, _ := run(t, `
+start:  li    r1, 3
+        cvtif f1, r1
+        li    r1, 4
+        cvtif f2, r1
+        fmul  f3, f1, f2
+        fadd  f3, f3, f2      ; 16
+        fdiv  f4, f3, f1      ; 16/3
+        fcmp  r5, f3, f1
+        cvtfi r6, f3
+        fneg  f5, f3
+        cvtfi r7, f5
+        halt
+`)
+	if st.R[6] != 16 {
+		t.Fatalf("cvtfi = %d, want 16", st.R[6])
+	}
+	if st.R[5] != 1 {
+		t.Fatalf("fcmp = %d, want 1", st.R[5])
+	}
+	if st.R[7] != -16 {
+		t.Fatalf("fneg/cvtfi = %d, want -16", st.R[7])
+	}
+}
+
+func TestFldFst(t *testing.T) {
+	st, _ := run(t, `
+start:  la   r1, vals
+        fld  f1, r1, 0
+        fld  f2, r1, 8
+        fadd f3, f1, f2
+        la   r2, out
+        fst  f3, r2, 0
+        fld  f4, r2, 0
+        cvtfi r5, f4
+        halt
+        .data
+vals:   .dword 0x4008000000000000   ; 3.0
+        .dword 0x4010000000000000   ; 4.0
+out:    .space 8
+`)
+	if st.R[5] != 7 {
+		t.Fatalf("fld/fst sum = %d, want 7", st.R[5])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"start: bogus r1, r2, r3",
+		"start: add r1, r2",          // arity
+		"start: add r99, r2, r3",     // bad register
+		"start: beq r1, r2, nowhere", // unknown label
+		"dup: halt\ndup: halt",       // duplicate label
+		"start: li r1, 0x123456789",  // li out of range
+		".data\nx: .space -1",
+	}
+	for _, src := range cases {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("Assemble accepted %q", src)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("error %v lacks line info", err)
+		}
+	}
+}
+
+func TestCommentsAndLiterals(t *testing.T) {
+	st, _ := run(t, `
+; full line comment
+start:  li r1, ';'   ; trailing comment with quote
+        li r2, '#'
+        halt         # hash comment
+`)
+	if st.R[1] != ';' || st.R[2] != '#' {
+		t.Fatalf("char literals: r1=%d r2=%d", st.R[1], st.R[2])
+	}
+}
+
+func TestEntrySymbol(t *testing.T) {
+	p := mustAsm(t, `
+        nop
+main:   halt
+`)
+	if p.Entry != loader.TextBase+4 {
+		t.Fatalf("entry = %#x, want %#x", p.Entry, loader.TextBase+4)
+	}
+	if _, ok := p.Symbol("main"); !ok {
+		t.Fatal("main symbol missing")
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p := mustAsm(t, `
+start:  add r1, r2, r3
+        beq r1, r0, start
+        halt
+`)
+	lines := p.Disassemble()
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "add r1, r2, r3") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+}
+
+func TestFetchBounds(t *testing.T) {
+	p := mustAsm(t, "start: halt")
+	if _, err := p.Fetch(loader.TextBase + 100); err == nil {
+		t.Fatal("fetch past text succeeded")
+	}
+	if _, err := p.Fetch(loader.TextBase + 1); err == nil {
+		t.Fatal("misaligned fetch succeeded")
+	}
+	in, err := p.Fetch(loader.TextBase)
+	if err != nil || in.Op != isa.OpHalt {
+		t.Fatalf("fetch = %v, %v", in, err)
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	st, _ := run(t, `
+start:  li   r1, 5
+        inc  r1
+        inc  r1
+        dec  r1          ; 6
+        not  r2, r1      ; ^6 = -7
+        neg  r3, r1      ; -6
+        mov  r4, r3
+        halt
+`)
+	if st.R[1] != 6 || st.R[2] != ^int64(6) || st.R[3] != -6 || st.R[4] != -6 {
+		t.Fatalf("r1=%d r2=%d r3=%d r4=%d", st.R[1], st.R[2], st.R[3], st.R[4])
+	}
+}
+
+func TestDataLabelValues(t *testing.T) {
+	// .dword of a label stores its address; code loads and jumps to it.
+	st, _ := run(t, `
+start:  la   r1, vec
+        ldd  r2, r1, 0
+        jalr r31, r2, 0
+        halt
+fn:     li   r4, 123
+        ret
+        .data
+vec:    .dword fn
+`)
+	if st.R[4] != 123 {
+		t.Fatalf("r4=%d", st.R[4])
+	}
+}
+
+func TestWord32Directive(t *testing.T) {
+	st, _ := run(t, `
+start:  la  r1, w
+        ldw r2, r1, 0     ; sign-extended 32-bit load
+        halt
+        .data
+w:      .word -5
+`)
+	if st.R[2] != -5 {
+		t.Fatalf("r2=%d", st.R[2])
+	}
+}
+
+func TestMisalignedJumpTargetRejected(t *testing.T) {
+	if _, err := Assemble("bad", "start: b 0x10001\n"); err == nil {
+		t.Fatal("accepted misaligned jump target")
+	}
+}
+
+func TestBranchOutOfRangeRejected(t *testing.T) {
+	// A branch to a target beyond off16 range must be a clean error.
+	src := "start: beq r0, r0, far\n"
+	for i := 0; i < 40000; i++ {
+		src += "        nop\n"
+	}
+	src += "far:    halt\n"
+	if _, err := Assemble("bad", src); err == nil {
+		t.Fatal("accepted out-of-range branch")
+	}
+}
+
+func TestSymbolsInOperands(t *testing.T) {
+	// Data labels are usable as immediate operands via li (la is sugar).
+	st, _ := run(t, `
+start:  li   r1, buf
+        la   r2, buf
+        sub  r3, r1, r2
+        halt
+        .data
+buf:    .space 8
+`)
+	if st.R[3] != 0 {
+		t.Fatalf("li label != la label (diff %d)", st.R[3])
+	}
+}

@@ -1,0 +1,360 @@
+// Package isa defines SVR32, the SPARC-flavored RISC target ISA simulated
+// throughout this repository.
+//
+// SVR32 stands in for the paper's SPARC-V8/V9 target. It keeps the features
+// the Facile description language exercises — an i-bit immediate format
+// whose register form requires a zero "fill" field (the paper's add/fill
+// example), a sethi-style upper-immediate instruction, compare-and-branch
+// instructions, and a floating-point register file — while staying simple
+// enough that complete workloads can be written with the bundled assembler.
+//
+// Instructions are 32 bits wide. There are 32 integer registers of 64 bits
+// (r0 is hardwired to zero) and 32 floating-point registers holding
+// float64. Memory is byte-addressed, little-endian.
+//
+// Formats:
+//
+//	RI:  op[31:26] rd[25:21] rs1[20:16] i[15]  i=1: simm15[14:0]
+//	                                           i=0: fill[14:5]=0 rs2[4:0]
+//	BR:  op[31:26] rs1[25:21] rs2[20:16] off16[15:0]   (word offset)
+//	J:   op[31:26] off26[25:0]                         (word offset)
+//	HI:  op[31:26] rd[25:21] imm21[20:0]               (rd = imm21<<11)
+package isa
+
+import "fmt"
+
+// Opcode identifies an SVR32 instruction.
+type Opcode uint8
+
+// Opcode space. One opcode per instruction keeps the Facile pattern
+// declarations (and the decoders generated from them) straightforward.
+const (
+	OpNop  Opcode = 0x00
+	OpAdd  Opcode = 0x01
+	OpSub  Opcode = 0x02
+	OpAnd  Opcode = 0x03
+	OpOr   Opcode = 0x04
+	OpXor  Opcode = 0x05
+	OpSll  Opcode = 0x06
+	OpSrl  Opcode = 0x07
+	OpSra  Opcode = 0x08
+	OpSlt  Opcode = 0x09
+	OpSltu Opcode = 0x0A
+	OpMul  Opcode = 0x0B
+	OpDiv  Opcode = 0x0C
+	OpRem  Opcode = 0x0D
+
+	OpSethi Opcode = 0x10
+
+	OpLdb Opcode = 0x14
+	OpLdw Opcode = 0x16
+	OpLdd Opcode = 0x17
+	OpStb Opcode = 0x18
+	OpStw Opcode = 0x1A
+	OpStd Opcode = 0x1B
+
+	OpBeq  Opcode = 0x20
+	OpBne  Opcode = 0x21
+	OpBlt  Opcode = 0x22
+	OpBge  Opcode = 0x23
+	OpBltu Opcode = 0x24
+	OpBgeu Opcode = 0x25
+	OpJ    Opcode = 0x26
+	OpJal  Opcode = 0x27
+	OpJr   Opcode = 0x28
+	OpJalr Opcode = 0x29
+
+	OpSyscall Opcode = 0x2C
+	OpHalt    Opcode = 0x2D
+
+	OpFadd  Opcode = 0x30
+	OpFsub  Opcode = 0x31
+	OpFmul  Opcode = 0x32
+	OpFdiv  Opcode = 0x33
+	OpFcmp  Opcode = 0x35
+	OpFld   Opcode = 0x36
+	OpFst   Opcode = 0x37
+	OpCvtif Opcode = 0x38
+	OpCvtfi Opcode = 0x39
+	OpFneg  Opcode = 0x3A
+	OpFmov  Opcode = 0x3B
+
+	// NumOpcodes bounds the opcode space (6 bits).
+	NumOpcodes = 0x40
+)
+
+// Register-name conventions used by the assembler and disassembler.
+const (
+	RegZero = 0  // hardwired zero
+	RegSC   = 2  // syscall code
+	RegA0   = 3  // syscall / call argument 0
+	RegSP   = 29 // stack pointer
+	RegFP   = 30 // frame pointer
+	RegRA   = 31 // return address (link register for jal/jalr)
+)
+
+// Syscall codes (placed in r2 before executing the syscall instruction).
+const (
+	SysExit      = 1 // terminate; status in r3
+	SysPrintInt  = 2 // append decimal of r3 to the program output
+	SysPrintChar = 3 // append byte r3 to the program output
+	SysRand      = 4 // deterministic PRNG value into r3
+)
+
+// Inst is a decoded SVR32 instruction.
+type Inst struct {
+	Op     Opcode
+	Rd     uint8
+	Rs1    uint8
+	Rs2    uint8
+	Imm    int64 // sign-extended immediate / branch or jump word offset / sethi payload
+	HasImm bool  // RI format: i-bit was set
+	Raw    uint32
+}
+
+// Format classifies an opcode's encoding format.
+type Format uint8
+
+// Encoding formats.
+const (
+	FmtRI Format = iota
+	FmtBR
+	FmtJ
+	FmtHI
+	FmtNone // nop, halt, syscall (operand-free)
+)
+
+// OpcodeFormat reports the encoding format of op.
+func OpcodeFormat(op Opcode) Format {
+	switch op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return FmtBR
+	case OpJ, OpJal:
+		return FmtJ
+	case OpSethi:
+		return FmtHI
+	case OpNop, OpHalt, OpSyscall:
+		return FmtNone
+	default:
+		return FmtRI
+	}
+}
+
+// Valid reports whether op names a defined SVR32 instruction.
+func (op Opcode) Valid() bool { return opNames[op] != "" }
+
+var opNames = [NumOpcodes]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpSll: "sll", OpSrl: "srl", OpSra: "sra", OpSlt: "slt",
+	OpSltu: "sltu", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpSethi: "sethi",
+	OpLdb:   "ldb", OpLdw: "ldw", OpLdd: "ldd",
+	OpStb: "stb", OpStw: "stw", OpStd: "std",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBltu: "bltu", OpBgeu: "bgeu",
+	OpJ: "j", OpJal: "jal", OpJr: "jr", OpJalr: "jalr",
+	OpSyscall: "syscall", OpHalt: "halt",
+	OpFadd: "fadd", OpFsub: "fsub", OpFmul: "fmul", OpFdiv: "fdiv",
+	OpFcmp: "fcmp", OpFld: "fld", OpFst: "fst",
+	OpCvtif: "cvtif", OpCvtfi: "cvtfi", OpFneg: "fneg", OpFmov: "fmov",
+}
+
+// String returns the mnemonic for op.
+func (op Opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op%#02x", uint8(op))
+}
+
+// OpcodeByName maps a mnemonic to its opcode. ok is false for unknown names.
+func OpcodeByName(name string) (op Opcode, ok bool) {
+	for i, n := range opNames {
+		if n == name && (n != "" || i == 0) {
+			if n == "" {
+				continue
+			}
+			return Opcode(i), true
+		}
+	}
+	return 0, false
+}
+
+// signExtend sign-extends the low bits bits of v.
+func signExtend(v uint32, bits uint) int64 {
+	shift := 64 - bits
+	return int64(uint64(v)<<shift) >> shift
+}
+
+// Decode decodes a raw instruction word.
+// Invalid encodings decode to an instruction whose Op is not Valid, or to a
+// well-formed Inst with a non-zero fill flagged via the error.
+func Decode(raw uint32) (Inst, error) {
+	op := Opcode(raw >> 26)
+	in := Inst{Op: op, Raw: raw}
+	if !op.Valid() {
+		return in, fmt.Errorf("isa: invalid opcode %#02x in word %#08x", uint8(op), raw)
+	}
+	switch OpcodeFormat(op) {
+	case FmtRI:
+		in.Rd = uint8(raw >> 21 & 0x1F)
+		in.Rs1 = uint8(raw >> 16 & 0x1F)
+		if raw>>15&1 == 1 {
+			in.HasImm = true
+			in.Imm = signExtend(raw&0x7FFF, 15)
+		} else {
+			if raw>>5&0x3FF != 0 {
+				return in, fmt.Errorf("isa: non-zero fill field in register-form word %#08x", raw)
+			}
+			in.Rs2 = uint8(raw & 0x1F)
+		}
+	case FmtBR:
+		in.Rs1 = uint8(raw >> 21 & 0x1F)
+		in.Rs2 = uint8(raw >> 16 & 0x1F)
+		in.Imm = signExtend(raw&0xFFFF, 16)
+	case FmtJ:
+		in.Imm = signExtend(raw&0x3FFFFFF, 26)
+	case FmtHI:
+		in.Rd = uint8(raw >> 21 & 0x1F)
+		in.Imm = signExtend(raw&0x1FFFFF, 21)
+	case FmtNone:
+		// no operands
+	}
+	return in, nil
+}
+
+// Encode encodes in into a raw instruction word. It is the inverse of Decode
+// for valid instructions.
+func Encode(in Inst) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: cannot encode invalid opcode %#02x", uint8(in.Op))
+	}
+	raw := uint32(in.Op) << 26
+	switch OpcodeFormat(in.Op) {
+	case FmtRI:
+		raw |= uint32(in.Rd&0x1F) << 21
+		raw |= uint32(in.Rs1&0x1F) << 16
+		if in.HasImm {
+			if in.Imm < -(1<<14) || in.Imm >= 1<<14 {
+				return 0, fmt.Errorf("isa: immediate %d out of simm15 range for %v", in.Imm, in.Op)
+			}
+			raw |= 1 << 15
+			raw |= uint32(in.Imm) & 0x7FFF
+		} else {
+			raw |= uint32(in.Rs2 & 0x1F)
+		}
+	case FmtBR:
+		raw |= uint32(in.Rs1&0x1F) << 21
+		raw |= uint32(in.Rs2&0x1F) << 16
+		if in.Imm < -(1<<15) || in.Imm >= 1<<15 {
+			return 0, fmt.Errorf("isa: branch offset %d out of off16 range", in.Imm)
+		}
+		raw |= uint32(in.Imm) & 0xFFFF
+	case FmtJ:
+		if in.Imm < -(1<<25) || in.Imm >= 1<<25 {
+			return 0, fmt.Errorf("isa: jump offset %d out of off26 range", in.Imm)
+		}
+		raw |= uint32(in.Imm) & 0x3FFFFFF
+	case FmtHI:
+		raw |= uint32(in.Rd&0x1F) << 21
+		if in.Imm < -(1<<20) || in.Imm >= 1<<20 {
+			return 0, fmt.Errorf("isa: sethi payload %d out of simm21 range", in.Imm)
+		}
+		raw |= uint32(in.Imm) & 0x1FFFFF
+	case FmtNone:
+	}
+	return raw, nil
+}
+
+// Class groups opcodes by the functional unit / pipeline treatment they
+// receive in the micro-architecture models.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul // mul/div/rem: long-latency integer unit
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches
+	ClassJump   // unconditional control transfer
+	ClassFP     // floating-point arithmetic
+	ClassSys    // syscall / halt
+)
+
+// Classify reports the instruction class of op.
+func Classify(op Opcode) Class {
+	switch op {
+	case OpNop:
+		return ClassNop
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu, OpSethi:
+		return ClassIntALU
+	case OpMul, OpDiv, OpRem:
+		return ClassIntMul
+	case OpLdb, OpLdw, OpLdd, OpFld:
+		return ClassLoad
+	case OpStb, OpStw, OpStd, OpFst:
+		return ClassStore
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return ClassBranch
+	case OpJ, OpJal, OpJr, OpJalr:
+		return ClassJump
+	case OpFadd, OpFsub, OpFmul, OpFdiv, OpFcmp, OpCvtif, OpCvtfi, OpFneg, OpFmov:
+		return ClassFP
+	default:
+		return ClassSys
+	}
+}
+
+// IsControl reports whether op can change the program counter.
+func IsControl(op Opcode) bool {
+	c := Classify(op)
+	return c == ClassBranch || c == ClassJump
+}
+
+// MemBytes reports the access width in bytes for memory instructions,
+// and 0 for all others.
+func MemBytes(op Opcode) int {
+	switch op {
+	case OpLdb, OpStb:
+		return 1
+	case OpLdw, OpStw:
+		return 4
+	case OpLdd, OpStd, OpFld, OpFst:
+		return 8
+	}
+	return 0
+}
+
+// Disasm renders a decoded instruction as assembler text. pc is the address
+// of the instruction, used to resolve branch and jump targets.
+func Disasm(in Inst, pc uint64) string {
+	switch OpcodeFormat(in.Op) {
+	case FmtRI:
+		switch in.Op {
+		case OpJr, OpJalr:
+			if in.HasImm {
+				return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+			}
+			return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+		}
+		if in.HasImm {
+			return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+		}
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FmtBR:
+		return fmt.Sprintf("%s r%d, r%d, %#x", in.Op, in.Rs1, in.Rs2, BranchTarget(in, pc))
+	case FmtJ:
+		return fmt.Sprintf("%s %#x", in.Op, BranchTarget(in, pc))
+	case FmtHI:
+		return fmt.Sprintf("%s r%d, %#x", in.Op, in.Rd, in.Imm)
+	default:
+		return in.Op.String()
+	}
+}
+
+// BranchTarget computes the target address of a branch or jump at pc.
+func BranchTarget(in Inst, pc uint64) uint64 {
+	return pc + 4 + uint64(in.Imm)*4
+}

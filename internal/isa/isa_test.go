@@ -1,0 +1,172 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeAddImmediate(t *testing.T) {
+	// add r1, r2, -3
+	in := Inst{Op: OpAdd, Rd: 1, Rs1: 2, HasImm: true, Imm: -3}
+	w, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != OpAdd || got.Rd != 1 || got.Rs1 != 2 || !got.HasImm || got.Imm != -3 {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+}
+
+func TestDecodeRejectsNonZeroFill(t *testing.T) {
+	in := Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}
+	w, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w |= 1 << 7 // poke a bit into the fill field
+	if _, err := Decode(w); err == nil {
+		t.Fatal("decode accepted non-zero fill field")
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	if _, err := Decode(uint32(0x3F) << 26); err == nil {
+		t.Fatal("decode accepted undefined opcode 0x3f")
+	}
+}
+
+func TestEncodeRangeChecks(t *testing.T) {
+	cases := []Inst{
+		{Op: OpAdd, HasImm: true, Imm: 1 << 14},
+		{Op: OpAdd, HasImm: true, Imm: -(1<<14 + 1)},
+		{Op: OpBeq, Imm: 1 << 15},
+		{Op: OpJ, Imm: 1 << 25},
+		{Op: OpSethi, Imm: 1 << 20},
+		{Op: OpSethi, Imm: -(1<<20 + 1)},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) accepted out-of-range operand", in)
+		}
+	}
+}
+
+// TestEncodeDecodeRoundTrip is a property test: any valid instruction
+// encodes and decodes back to itself.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ops := make([]Opcode, 0, NumOpcodes)
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		if op.Valid() {
+			ops = append(ops, op)
+		}
+	}
+	f := func(opIdx uint8, rd, rs1, rs2 uint8, imm int32, hasImm bool) bool {
+		op := ops[int(opIdx)%len(ops)]
+		in := Inst{Op: op, Rd: rd & 31, Rs1: rs1 & 31, Rs2: rs2 & 31}
+		switch OpcodeFormat(op) {
+		case FmtRI:
+			if hasImm {
+				in.HasImm = true
+				in.Imm = int64(imm % (1 << 14))
+				in.Rs2 = 0
+			}
+			switch op {
+			case OpFneg, OpFmov, OpCvtif, OpCvtfi:
+				// fine either way
+			}
+		case FmtBR:
+			in.Rd = 0
+			in.Imm = int64(imm % (1 << 15))
+		case FmtJ:
+			in.Rd, in.Rs1, in.Rs2 = 0, 0, 0
+			in.Imm = int64(imm % (1 << 25))
+		case FmtHI:
+			in.Rs1, in.Rs2 = 0, 0
+			in.Imm = int64(imm % (1 << 20))
+		case FmtNone:
+			in.Rd, in.Rs1, in.Rs2 = 0, 0, 0
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		if err != nil {
+			return false
+		}
+		got.Raw = 0
+		return got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		if !op.Valid() {
+			continue
+		}
+		got, ok := OpcodeByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpcodeByName("bogus"); ok {
+		t.Error("OpcodeByName accepted bogus mnemonic")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[Opcode]Class{
+		OpNop: ClassNop, OpAdd: ClassIntALU, OpMul: ClassIntMul,
+		OpLdd: ClassLoad, OpFld: ClassLoad, OpStd: ClassStore,
+		OpBeq: ClassBranch, OpJal: ClassJump, OpJr: ClassJump,
+		OpFadd: ClassFP, OpSyscall: ClassSys, OpHalt: ClassSys,
+		OpSethi: ClassIntALU, OpFcmp: ClassFP,
+	}
+	for op, want := range cases {
+		if got := Classify(op); got != want {
+			t.Errorf("Classify(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	cases := map[Opcode]int{
+		OpLdb: 1, OpStb: 1, OpLdw: 4, OpStw: 4,
+		OpLdd: 8, OpStd: 8, OpFld: 8, OpFst: 8, OpAdd: 0,
+	}
+	for op, want := range cases {
+		if got := MemBytes(op); got != want {
+			t.Errorf("MemBytes(%v) = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	in := Inst{Op: OpBeq, Imm: -2}
+	if got := BranchTarget(in, 0x10010); got != 0x1000C {
+		t.Fatalf("BranchTarget = %#x, want 0x1000c", got)
+	}
+}
+
+func TestDisasmSmoke(t *testing.T) {
+	words := []Inst{
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpAdd, Rd: 1, Rs1: 2, HasImm: true, Imm: 5},
+		{Op: OpBeq, Rs1: 1, Rs2: 0, Imm: 4},
+		{Op: OpJ, Imm: -1},
+		{Op: OpSethi, Rd: 7, Imm: 0x1234},
+		{Op: OpHalt},
+	}
+	for _, in := range words {
+		if s := Disasm(in, 0x10000); s == "" {
+			t.Errorf("empty disassembly for %+v", in)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package loader defines the executable image format produced by the
+// assembler and consumed by every simulator, plus the conventional memory
+// layout (text base, data base, initial stack pointer).
+package loader
+
+import (
+	"fmt"
+
+	"facile/internal/isa"
+	"facile/internal/mem"
+)
+
+// Conventional memory layout for SVR32 programs.
+const (
+	TextBase  uint64 = 0x10000
+	DataBase  uint64 = 0x400000
+	StackTop  uint64 = 0x7FFFF0
+	HeapBase  uint64 = 0x500000
+	StackSize uint64 = 0x40000
+)
+
+// Program is a loaded SVR32 executable image.
+type Program struct {
+	Name    string
+	Entry   uint64
+	Text    []uint32 // instruction words, starting at TextBase
+	Data    []byte   // initialized data, starting at DataBase
+	Symbols map[string]uint64
+}
+
+// TextEnd returns the first address past the text segment.
+func (p *Program) TextEnd() uint64 { return TextBase + uint64(len(p.Text))*4 }
+
+// InText reports whether addr falls inside the text segment.
+func (p *Program) InText(addr uint64) bool {
+	return addr >= TextBase && addr < p.TextEnd()
+}
+
+// FetchWord returns the instruction word at addr, which must be
+// word-aligned and inside the text segment; otherwise it returns 0 (which
+// decodes to nop) — simulators treat runaway fetch as a halt condition via
+// the functional model's bounds checks.
+func (p *Program) FetchWord(addr uint64) uint32 {
+	if !p.InText(addr) || addr%4 != 0 {
+		return 0
+	}
+	return p.Text[(addr-TextBase)/4]
+}
+
+// Fetch decodes the instruction at addr.
+func (p *Program) Fetch(addr uint64) (isa.Inst, error) {
+	if !p.InText(addr) {
+		return isa.Inst{}, fmt.Errorf("loader: fetch outside text segment: %#x", addr)
+	}
+	if addr%4 != 0 {
+		return isa.Inst{}, fmt.Errorf("loader: misaligned fetch: %#x", addr)
+	}
+	return isa.Decode(p.Text[(addr-TextBase)/4])
+}
+
+// LoadInto writes the program image into m.
+func (p *Program) LoadInto(m *mem.Memory) {
+	for i, w := range p.Text {
+		m.Write32(TextBase+uint64(i)*4, w)
+	}
+	m.WriteBytes(DataBase, p.Data)
+}
+
+// Symbol resolves a label to its address.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	a, ok := p.Symbols[name]
+	return a, ok
+}
+
+// Disassemble renders the whole text segment, one instruction per line.
+func (p *Program) Disassemble() []string {
+	out := make([]string, 0, len(p.Text))
+	for i, w := range p.Text {
+		pc := TextBase + uint64(i)*4
+		in, err := isa.Decode(w)
+		s := ""
+		if err != nil {
+			s = fmt.Sprintf("%#08x <invalid %v>", w, err)
+		} else {
+			s = isa.Disasm(in, pc)
+		}
+		out = append(out, fmt.Sprintf("%#08x: %s", pc, s))
+	}
+	return out
+}

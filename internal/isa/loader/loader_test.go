@@ -1,0 +1,84 @@
+package loader
+
+import (
+	"testing"
+
+	"facile/internal/isa"
+	"facile/internal/mem"
+)
+
+func sample() *Program {
+	w1, _ := isa.Encode(isa.Inst{Op: isa.OpAdd, Rd: 1, Rs1: 0, HasImm: true, Imm: 7})
+	w2, _ := isa.Encode(isa.Inst{Op: isa.OpHalt})
+	return &Program{
+		Name:    "sample",
+		Entry:   TextBase,
+		Text:    []uint32{w1, w2},
+		Data:    []byte{1, 2, 3},
+		Symbols: map[string]uint64{"start": TextBase},
+	}
+}
+
+func TestLoadInto(t *testing.T) {
+	p := sample()
+	m := mem.New()
+	p.LoadInto(m)
+	if m.Read32(TextBase) != p.Text[0] {
+		t.Fatal("text not loaded")
+	}
+	if m.Read8(DataBase+2) != 3 {
+		t.Fatal("data not loaded")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	p := sample()
+	if !p.InText(TextBase) || !p.InText(TextBase+4) {
+		t.Fatal("InText false negative")
+	}
+	if p.InText(TextBase+8) || p.InText(TextBase-4) {
+		t.Fatal("InText false positive")
+	}
+	if p.TextEnd() != TextBase+8 {
+		t.Fatalf("TextEnd %#x", p.TextEnd())
+	}
+	if p.FetchWord(TextBase+100) != 0 {
+		t.Fatal("out-of-text FetchWord should be 0")
+	}
+	if p.FetchWord(TextBase+1) != 0 {
+		t.Fatal("misaligned FetchWord should be 0")
+	}
+}
+
+func TestFetchDecodes(t *testing.T) {
+	p := sample()
+	in, err := p.Fetch(TextBase)
+	if err != nil || in.Op != isa.OpAdd || in.Imm != 7 {
+		t.Fatalf("%+v %v", in, err)
+	}
+}
+
+func TestSymbol(t *testing.T) {
+	p := sample()
+	if a, ok := p.Symbol("start"); !ok || a != TextBase {
+		t.Fatal("symbol lookup")
+	}
+	if _, ok := p.Symbol("missing"); ok {
+		t.Fatal("phantom symbol")
+	}
+}
+
+func TestDisassembleHandlesInvalid(t *testing.T) {
+	p := sample()
+	p.Text = append(p.Text, 0xFFFFFFFF)
+	lines := p.Disassemble()
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+func TestLayoutConstantsSane(t *testing.T) {
+	if TextBase >= DataBase || DataBase >= HeapBase || StackTop <= HeapBase {
+		t.Fatal("memory layout overlaps")
+	}
+}

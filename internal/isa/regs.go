@@ -1,0 +1,116 @@
+package isa
+
+// RegRef names one register operand: the register index plus which file it
+// lives in.
+type RegRef struct {
+	R  uint8
+	FP bool
+}
+
+// Uses returns the registers read by in (at most three: two sources plus a
+// store's data register or a syscall's implicit arguments).
+func Uses(in Inst) []RegRef {
+	var u []RegRef
+	addInt := func(r uint8) {
+		if r != 0 {
+			u = append(u, RegRef{R: r})
+		}
+	}
+	addFP := func(r uint8) { u = append(u, RegRef{R: r, FP: true}) }
+	switch Classify(in.Op) {
+	case ClassIntALU, ClassIntMul:
+		if in.Op == OpSethi {
+			return nil
+		}
+		addInt(in.Rs1)
+		if !in.HasImm {
+			addInt(in.Rs2)
+		}
+	case ClassLoad:
+		addInt(in.Rs1)
+		if !in.HasImm {
+			addInt(in.Rs2)
+		}
+	case ClassStore:
+		addInt(in.Rs1)
+		if !in.HasImm {
+			addInt(in.Rs2)
+		}
+		if in.Op == OpFst {
+			addFP(in.Rd)
+		} else {
+			addInt(in.Rd)
+		}
+	case ClassBranch:
+		addInt(in.Rs1)
+		addInt(in.Rs2)
+	case ClassJump:
+		if in.Op == OpJr || in.Op == OpJalr {
+			addInt(in.Rs1)
+			if !in.HasImm {
+				addInt(in.Rs2)
+			}
+		}
+	case ClassFP:
+		switch in.Op {
+		case OpCvtif:
+			addInt(in.Rs1)
+		case OpFneg, OpFmov, OpCvtfi:
+			addFP(in.Rs1)
+		default: // fadd fsub fmul fdiv fcmp
+			addFP(in.Rs1)
+			addFP(in.Rs2)
+		}
+	case ClassSys:
+		if in.Op == OpSyscall {
+			addInt(RegSC)
+			addInt(RegA0)
+		}
+	}
+	return u
+}
+
+// Def returns the register written by in, if any.
+func Def(in Inst) (RegRef, bool) {
+	switch Classify(in.Op) {
+	case ClassIntALU, ClassIntMul:
+		if in.Rd == 0 {
+			return RegRef{}, false
+		}
+		return RegRef{R: in.Rd}, true
+	case ClassLoad:
+		if in.Op == OpFld {
+			return RegRef{R: in.Rd, FP: true}, true
+		}
+		if in.Rd == 0 {
+			return RegRef{}, false
+		}
+		return RegRef{R: in.Rd}, true
+	case ClassJump:
+		switch in.Op {
+		case OpJal:
+			return RegRef{R: RegRA}, true
+		case OpJalr:
+			if in.Rd == 0 {
+				return RegRef{}, false
+			}
+			return RegRef{R: in.Rd}, true
+		}
+	case ClassFP:
+		switch in.Op {
+		case OpFcmp, OpCvtfi:
+			if in.Rd == 0 {
+				return RegRef{}, false
+			}
+			return RegRef{R: in.Rd}, true
+		default:
+			return RegRef{R: in.Rd, FP: true}, true
+		}
+	case ClassSys:
+		if in.Op == OpSyscall {
+			// rand writes r3; model syscalls as defining r3 conservatively.
+			return RegRef{R: RegA0}, true
+		}
+	}
+	return RegRef{}, false
+}

@@ -1,0 +1,344 @@
+// Package ast defines the abstract syntax tree for Facile programs.
+package ast
+
+import "facile/internal/lang/token"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Program is a parsed Facile source file.
+type Program struct {
+	Tokens  []*TokenDecl
+	Pats    []*PatDecl
+	Globals []*ValDecl
+	Externs []*ExternDecl
+	Sems    []*SemDecl
+	Funs    []*FunDecl
+}
+
+// Fun returns the function named name, if declared.
+func (p *Program) Fun(name string) *FunDecl {
+	for _, f := range p.Funs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- decls --
+
+// FieldDecl is one named bit range within a token: name lo:hi (inclusive).
+type FieldDecl struct {
+	Name   string
+	Lo, Hi int
+	P      token.Pos
+}
+
+// Pos implements Node.
+func (d *FieldDecl) Pos() token.Pos { return d.P }
+
+// TokenDecl declares a fixed-width token and its fields:
+//
+//	token instruction[32] fields op 26:31, rd 21:25;
+type TokenDecl struct {
+	Name   string
+	Width  int
+	Fields []*FieldDecl
+	P      token.Pos
+}
+
+// Pos implements Node.
+func (d *TokenDecl) Pos() token.Pos { return d.P }
+
+// PatDecl associates a name with constraints over token fields:
+//
+//	pat add = op==0x01 && (i==1 || fill==0);
+//
+// The expression may reference fields and other pattern names.
+type PatDecl struct {
+	Name string
+	Expr Expr
+	P    token.Pos
+}
+
+// Pos implements Node.
+func (d *PatDecl) Pos() token.Pos { return d.P }
+
+// ValKind distinguishes the declared forms of vals.
+type ValKind int
+
+// Val kinds.
+const (
+	ValInt    ValKind = iota // val x = expr;  or  val x;
+	ValStream                // val PC : stream;
+	ValArray                 // val R = array(32){0};
+	ValQueue                 // val q = queue(8, 4);  (capacity, tuple width)
+)
+
+// ValDecl declares a global or local value.
+type ValDecl struct {
+	Name string
+	Kind ValKind
+	Init Expr // ValInt: initializer (may be nil)
+
+	ArrayLen  int   // ValArray
+	ArrayInit int64 // ValArray: fill value
+	QueueCap  int   // ValQueue
+	QueueW    int   // ValQueue: tuple width
+
+	P token.Pos
+}
+
+// Pos implements Node.
+func (d *ValDecl) Pos() token.Pos { return d.P }
+
+// ExternDecl declares an external (host) function with NArgs int arguments
+// returning one int. External calls are dynamic: the compiler never memoizes
+// through them.
+type ExternDecl struct {
+	Name  string
+	NArgs int
+	P     token.Pos
+}
+
+// Pos implements Node.
+func (d *ExternDecl) Pos() token.Pos { return d.P }
+
+// SemDecl attaches simulation semantics to a pattern:
+//
+//	sem add { ... };
+type SemDecl struct {
+	PatName string
+	Body    *Block
+	P       token.Pos
+}
+
+// Pos implements Node.
+func (d *SemDecl) Pos() token.Pos { return d.P }
+
+// ParamKind classifies a main-function parameter.
+type ParamKind int
+
+// Parameter kinds.
+const (
+	ParamInt ParamKind = iota
+	ParamQueue
+)
+
+// Param is a function parameter. Queue-typed parameters (rt-static
+// instruction queues) are only legal on main.
+type Param struct {
+	Name     string
+	Kind     ParamKind
+	QueueCap int
+	QueueW   int
+	P        token.Pos
+}
+
+// FunDecl declares a function. The function named "main" is the memoized
+// simulator step function.
+type FunDecl struct {
+	Name   string
+	Params []*Param
+	Body   *Block
+	P      token.Pos
+}
+
+// Pos implements Node.
+func (d *FunDecl) Pos() token.Pos { return d.P }
+
+// ---------------------------------------------------------------- stmts --
+
+// Stmt is implemented by statements.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is a brace-delimited statement sequence.
+type Block struct {
+	Stmts []Stmt
+	P     token.Pos
+}
+
+// LocalDecl is a local val declaration statement.
+type LocalDecl struct {
+	Decl *ValDecl
+}
+
+// Assign assigns to a variable or array element.
+type Assign struct {
+	Target Expr // *Ident or *Index
+	Value  Expr
+	P      token.Pos
+}
+
+// If is a conditional statement.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *If, or nil
+	P    token.Pos
+}
+
+// While is a loop.
+type While struct {
+	Cond Expr
+	Body *Block
+	P    token.Pos
+}
+
+// Break exits the innermost loop.
+type Break struct{ P token.Pos }
+
+// Continue restarts the innermost loop.
+type Continue struct{ P token.Pos }
+
+// Return returns from the current function.
+type Return struct {
+	Value Expr // may be nil
+	P     token.Pos
+}
+
+// SwitchCase is one case of an integer switch.
+type SwitchCase struct {
+	Vals []int64 // constant case labels
+	Body *Block
+	P    token.Pos
+}
+
+// Switch is an integer switch with no fallthrough.
+type Switch struct {
+	Subject Expr
+	Cases   []*SwitchCase
+	Default *Block // may be nil
+	P       token.Pos
+}
+
+// PatCase is one case of a pattern switch.
+type PatCase struct {
+	PatName string
+	Body    *Block
+	P       token.Pos
+}
+
+// PatSwitch decodes the instruction at an address and dispatches on
+// pattern:
+//
+//	switch (PC) { pat add: ...; pat bz: ...; default: ...; }
+type PatSwitch struct {
+	Subject Expr
+	Cases   []*PatCase
+	Default *Block // may be nil
+	P       token.Pos
+}
+
+// ExprStmt evaluates an expression for effect (calls, ?exec()).
+type ExprStmt struct {
+	X Expr
+	P token.Pos
+}
+
+func (*Block) stmt()     {}
+func (*LocalDecl) stmt() {}
+func (*Assign) stmt()    {}
+func (*If) stmt()        {}
+func (*While) stmt()     {}
+func (*Break) stmt()     {}
+func (*Continue) stmt()  {}
+func (*Return) stmt()    {}
+func (*Switch) stmt()    {}
+func (*PatSwitch) stmt() {}
+func (*ExprStmt) stmt()  {}
+
+// Pos implementations.
+func (s *Block) Pos() token.Pos     { return s.P }
+func (s *LocalDecl) Pos() token.Pos { return s.Decl.P }
+func (s *Assign) Pos() token.Pos    { return s.P }
+func (s *If) Pos() token.Pos        { return s.P }
+func (s *While) Pos() token.Pos     { return s.P }
+func (s *Break) Pos() token.Pos     { return s.P }
+func (s *Continue) Pos() token.Pos  { return s.P }
+func (s *Return) Pos() token.Pos    { return s.P }
+func (s *Switch) Pos() token.Pos    { return s.P }
+func (s *PatSwitch) Pos() token.Pos { return s.P }
+func (s *ExprStmt) Pos() token.Pos  { return s.P }
+
+// ---------------------------------------------------------------- exprs --
+
+// Expr is implemented by expressions.
+type Expr interface {
+	Node
+	expr()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+	P   token.Pos
+}
+
+// Ident references a variable, parameter, global, or field (inside sem
+// bodies and pattern cases).
+type Ident struct {
+	Name string
+	P    token.Pos
+}
+
+// Index is arr[idx].
+type Index struct {
+	Arr Expr // *Ident naming an array
+	Idx Expr
+	P   token.Pos
+}
+
+// Unary is -x, !x, ~x.
+type Unary struct {
+	Op token.Kind
+	X  Expr
+	P  token.Pos
+}
+
+// Binary is x op y.
+type Binary struct {
+	Op   token.Kind
+	L, R Expr
+	P    token.Pos
+}
+
+// Call invokes a Facile function or an external.
+type Call struct {
+	Name string
+	Args []Expr
+	P    token.Pos
+}
+
+// Attr is an attribute application: x?name(args...). Attributes cover
+// sign/zero extension (sext/zext), token-stream operations (exec, fetch),
+// and queue operations (size, push, pop, get, set, front, full, clear).
+type Attr struct {
+	X    Expr
+	Name string
+	Args []Expr
+	P    token.Pos
+}
+
+func (*IntLit) expr() {}
+func (*Ident) expr()  {}
+func (*Index) expr()  {}
+func (*Unary) expr()  {}
+func (*Binary) expr() {}
+func (*Call) expr()   {}
+func (*Attr) expr()   {}
+
+// Pos implementations.
+func (e *IntLit) Pos() token.Pos { return e.P }
+func (e *Ident) Pos() token.Pos  { return e.P }
+func (e *Index) Pos() token.Pos  { return e.P }
+func (e *Unary) Pos() token.Pos  { return e.P }
+func (e *Binary) Pos() token.Pos { return e.P }
+func (e *Call) Pos() token.Pos   { return e.P }
+func (e *Attr) Pos() token.Pos   { return e.P }

@@ -1,0 +1,189 @@
+package compile
+
+import (
+	"sort"
+
+	"facile/internal/lang/ast"
+	"facile/internal/lang/ir"
+	"facile/internal/lang/token"
+)
+
+// Decode decision trees. A pattern switch (or ?exec dispatch) whose case
+// patterns all discriminate on one field — every disjunct of every pattern
+// has the shape `field == K` or `field == K && residual`, with one field
+// and pairwise-distinct constants — compiles into a binary search over the
+// extracted field instead of a linear chain of full pattern tests. This is
+// the decoding strategy of the New Jersey Machine-Code Toolkit that
+// Facile's encoding sublanguage derives from, and it cuts the slow
+// simulator's per-instruction decode cost from O(#patterns) to
+// O(log #patterns).
+//
+// The decode is run-time static (the fetched word derives from the
+// rt-static PC and the target text), so this purely accelerates the slow
+// simulator; the fast simulator never executes it.
+
+// dtLeaf is one discriminating constant: the residual condition (nil if
+// the disjunct was exactly field==K) and the index of the case to enter.
+type dtLeaf struct {
+	k        int64
+	residual ast.Expr
+	caseIdx  int
+}
+
+// analyzeTree reports whether every case pattern fits the decision-tree
+// shape, returning the shared discriminating field and the sorted leaves.
+func (lw *lowerer) analyzeTree(cases []*ast.PatCase) (string, []dtLeaf, bool) {
+	field := ""
+	var leaves []dtLeaf
+	seen := map[int64]bool{}
+	var splitDisjunct func(e ast.Expr, caseIdx int) bool
+	splitDisjunct = func(e ast.Expr, caseIdx int) bool {
+		// Peel top-level disjunctions.
+		if b, ok := e.(*ast.Binary); ok && b.Op == token.LOR {
+			return splitDisjunct(b.L, caseIdx) && splitDisjunct(b.R, caseIdx)
+		}
+		// A pattern reference expands in place.
+		if id, ok := e.(*ast.Ident); ok {
+			if p, isPat := lw.c.Pats[id.Name]; isPat {
+				return splitDisjunct(p.Expr, caseIdx)
+			}
+			return false
+		}
+		// field == K, possibly && residual.
+		var eq *ast.Binary
+		var residual ast.Expr
+		if b, ok := e.(*ast.Binary); ok {
+			switch b.Op {
+			case token.EQ:
+				eq = b
+			case token.LAND:
+				if l, ok := b.L.(*ast.Binary); ok && l.Op == token.EQ {
+					eq = l
+					residual = b.R
+				}
+			}
+		}
+		if eq == nil {
+			return false
+		}
+		id, ok := eq.L.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if _, isField := lw.c.Fields[id.Name]; !isField {
+			return false
+		}
+		lit, ok := eq.R.(*ast.IntLit)
+		if !ok {
+			return false
+		}
+		if field == "" {
+			field = id.Name
+		} else if field != id.Name {
+			return false
+		}
+		if seen[lit.Val] {
+			return false // overlapping constants: order would matter
+		}
+		seen[lit.Val] = true
+		leaves = append(leaves, dtLeaf{k: lit.Val, residual: residual, caseIdx: caseIdx})
+		return true
+	}
+	for i, cse := range cases {
+		if !splitDisjunct(lw.c.Pats[cse.PatName].Expr, i) {
+			return "", nil, false
+		}
+	}
+	if field == "" || len(leaves) < 4 {
+		return "", nil, false // tiny dispatches gain nothing
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].k < leaves[j].k })
+	return field, leaves, true
+}
+
+// dispatchTree emits the binary-search dispatch. word is the fetched
+// token; bodies are lowered once and shared by the leaves that reach them.
+func (lw *lowerer) dispatchTree(word int32, field string, leaves []dtLeaf,
+	cases []*ast.PatCase, def *ast.Block, pos token.Pos) {
+	f := lw.frame()
+	savedFields, savedWord := f.fields, f.word
+
+	// Extract the discriminating field once, up front.
+	f.fields = map[string]int32{}
+	f.word = word
+	fv := lw.fieldVReg(field, word, pos)
+
+	join := lw.newBlock()
+	defBlk := lw.newBlock()
+
+	// Lower each case body exactly once, with a fresh field-extraction
+	// scope so the body's extractions are dominated by its entry.
+	bodyBlk := make([]*ir.Block, len(cases))
+	after := lw.cur
+	for i, cse := range cases {
+		b := lw.newBlock()
+		bodyBlk[i] = b
+		lw.cur = b
+		f.fields = map[string]int32{}
+		f.word = word
+		lw.block(cse.Body)
+		lw.jmp(join)
+	}
+	lw.cur = after
+
+	// Recursive binary search over the sorted constants.
+	var emit func(lo, hi int)
+	emit = func(lo, hi int) {
+		if lo == hi {
+			leaf := leaves[lo]
+			kc := lw.newVReg()
+			lw.emit(ir.Inst{Op: ir.Const, D: kc, Imm: leaf.k, Pos: pos})
+			eq := lw.newVReg()
+			lw.emit(ir.Inst{Op: ir.Bin, Sub: uint8(token.EQ), D: eq, A: fv, B: kc, Pos: pos})
+			var hit *ir.Block
+			if leaf.residual != nil {
+				hit = lw.newBlock()
+			} else {
+				hit = bodyBlk[leaf.caseIdx]
+			}
+			lw.br(eq, hit, defBlk, pos)
+			if leaf.residual != nil {
+				lw.cur = hit
+				// Residual tests may extract further fields; a fresh scope
+				// keeps those extractions dominated by this block. The
+				// discriminant itself was extracted before the tree and
+				// dominates everything.
+				f.fields = map[string]int32{field: fv}
+				f.word = word
+				cond := lw.patCond(leaf.residual, word)
+				lw.br(cond, bodyBlk[leaf.caseIdx], defBlk, pos)
+			}
+			return
+		}
+		mid := (lo + hi + 1) / 2
+		kc := lw.newVReg()
+		lw.emit(ir.Inst{Op: ir.Const, D: kc, Imm: leaves[mid].k, Pos: pos})
+		lt := lw.newVReg()
+		lw.emit(ir.Inst{Op: ir.Bin, Sub: uint8(token.LT), D: lt, A: fv, B: kc, Pos: pos})
+		left := lw.newBlock()
+		right := lw.newBlock()
+		lw.br(lt, left, right, pos)
+		lw.cur = left
+		emit(lo, mid-1)
+		lw.cur = right
+		emit(mid, hi)
+	}
+	emit(0, len(leaves)-1)
+
+	// Default arm (no pattern matched).
+	lw.cur = defBlk
+	f.fields = map[string]int32{}
+	f.word = word
+	if def != nil {
+		lw.block(def)
+	}
+	lw.jmp(join)
+
+	f.fields, f.word = savedFields, savedWord
+	lw.cur = join
+}

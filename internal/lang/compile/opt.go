@@ -1,0 +1,260 @@
+package compile
+
+import (
+	"facile/internal/lang/ir"
+	"facile/internal/lang/token"
+	"facile/internal/lang/types"
+)
+
+// optimize implements the paper's §6.3 (#5) "worthwhile addition":
+// compile-time constant folding, plus the copy propagation and dead-code
+// elimination that whole-program inlining makes profitable (inlining
+// introduces a parameter-binding Mov per argument and a Const per literal;
+// most fold away). The pass runs before binding-time analysis, so both the
+// slow and fast simulators benefit, exactly as the paper anticipates.
+//
+// All rewrites are block-local (safe without a dataflow framework); the
+// cleanup iterates with global dead-code elimination until nothing
+// changes.
+func optimize(p *ir.Program) {
+	for {
+		changed := false
+		for _, b := range p.Blocks {
+			if foldBlock(b) {
+				changed = true
+			}
+		}
+		if dce(p) {
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// foldBlock performs local constant folding and copy propagation.
+func foldBlock(b *ir.Block) bool {
+	consts := map[int32]int64{}
+	copies := map[int32]int32{} // d -> source it aliases
+	changed := false
+
+	// resolve rewrites an operand through the current copy chains.
+	resolve := func(v int32) int32 {
+		for i := 0; i < 8; i++ { // chains are short; bound defensively
+			a, ok := copies[v]
+			if !ok {
+				return v
+			}
+			v = a
+		}
+		return v
+	}
+	// kill invalidates facts about a redefined vreg.
+	kill := func(d int32) {
+		delete(consts, d)
+		delete(copies, d)
+		for k, a := range copies {
+			if a == d {
+				delete(copies, k)
+			}
+		}
+	}
+	rewriteOperands := func(inst *ir.Inst) {
+		if inst.A >= 0 {
+			if n := resolve(inst.A); n != inst.A {
+				inst.A = n
+				changed = true
+			}
+		}
+		if inst.B >= 0 {
+			if n := resolve(inst.B); n != inst.B {
+				inst.B = n
+				changed = true
+			}
+		}
+		for i, a := range inst.Args {
+			if n := resolve(a); n != a {
+				inst.Args[i] = n
+				changed = true
+			}
+		}
+	}
+
+	for i := range b.Insts {
+		inst := &b.Insts[i]
+		rewriteOperands(inst)
+		switch inst.Op {
+		case ir.Bin:
+			ca, okA := consts[inst.A]
+			cb, okB := consts[inst.B]
+			if okA && okB {
+				*inst = ir.Inst{Op: ir.Const, D: inst.D,
+					Imm: types.EvalBinary(token.Kind(inst.Sub), ca, cb), Pos: inst.Pos}
+				changed = true
+			}
+		case ir.Un:
+			if ca, ok := consts[inst.A]; ok {
+				*inst = ir.Inst{Op: ir.Const, D: inst.D, Imm: evalUnConst(inst.Sub, ca), Pos: inst.Pos}
+				changed = true
+			}
+		case ir.Ext:
+			if ca, ok := consts[inst.A]; ok {
+				*inst = ir.Inst{Op: ir.Const, D: inst.D, Imm: extConst(ca, inst.Imm, inst.Sub == 1), Pos: inst.Pos}
+				changed = true
+			}
+		case ir.Mov:
+			if ca, ok := consts[inst.A]; ok {
+				*inst = ir.Inst{Op: ir.Const, D: inst.D, Imm: ca, Pos: inst.Pos}
+				changed = true
+			}
+		}
+		// Update facts for the (possibly rewritten) definition.
+		if inst.D >= 0 {
+			kill(inst.D)
+			switch inst.Op {
+			case ir.Const:
+				consts[inst.D] = inst.Imm
+			case ir.Mov:
+				if inst.A != inst.D {
+					copies[inst.D] = inst.A
+				}
+			}
+		}
+	}
+	// Terminator: resolve, and fold constant branches to jumps.
+	if b.Term.Op == ir.Br {
+		if n := resolve(b.Term.A); n != b.Term.A {
+			b.Term.A = n
+			changed = true
+		}
+		if c, ok := consts[b.Term.A]; ok {
+			succ := b.Succ[0]
+			if c == 0 {
+				succ = b.Succ[1]
+			}
+			b.Term = ir.Inst{Op: ir.Jmp, Pos: b.Term.Pos}
+			b.Succ = [2]int{succ, -1}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// operandsOf appends every vreg an instruction reads to out.
+func operandsOf(inst *ir.Inst, out []int32) []int32 {
+	add := func(v int32) {
+		if v >= 0 {
+			out = append(out, v)
+		}
+	}
+	switch inst.Op {
+	case ir.Const, ir.LoadG:
+		// no vreg operands
+	case ir.Mov, ir.Un, ir.Ext, ir.Fetch, ir.LoadA, ir.StoreG, ir.SetArg, ir.Pin:
+		add(inst.A)
+	case ir.Bin, ir.StoreA:
+		add(inst.A)
+		add(inst.B)
+	case ir.QOp:
+		add(inst.A)
+		add(inst.B)
+	case ir.CallExt:
+	case ir.Br:
+		add(inst.A)
+	}
+	for _, a := range inst.Args {
+		add(a)
+	}
+	return out
+}
+
+// pureDef reports whether an instruction's only effect is defining its
+// destination vreg (safe to delete when the destination is unused).
+func pureDef(inst *ir.Inst) bool {
+	switch inst.Op {
+	case ir.Const, ir.Mov, ir.Bin, ir.Un, ir.Ext, ir.Fetch, ir.LoadG, ir.LoadA:
+		return true
+	case ir.QOp:
+		switch inst.Sub {
+		case ir.QSize, ir.QGet, ir.QFront, ir.QFull:
+			return true
+		}
+	}
+	return false
+}
+
+// dce removes pure definitions whose results are never read, iterating the
+// use counts until stable.
+func dce(p *ir.Program) bool {
+	nv := p.NumVReg
+	used := make([]int32, nv)
+	var scratch []int32
+	for _, b := range p.Blocks {
+		for i := range b.Insts {
+			scratch = operandsOf(&b.Insts[i], scratch[:0])
+			for _, v := range scratch {
+				used[v]++
+			}
+		}
+		scratch = operandsOf(&b.Term, scratch[:0])
+		for _, v := range scratch {
+			used[v]++
+		}
+	}
+	// main's integer parameters are live by definition (seeded externally
+	// and serialized into keys).
+	nParams := 0
+	for _, prm := range p.Params {
+		if !prm.IsQueue {
+			nParams++
+		}
+	}
+
+	changed := false
+	for _, b := range p.Blocks {
+		kept := b.Insts[:0]
+		for i := range b.Insts {
+			inst := b.Insts[i]
+			if inst.D >= int32(nParams) && used[inst.D] == 0 && pureDef(&inst) {
+				// dead: drop it and release its operands' uses so chains
+				// die on later iterations
+				scratch = operandsOf(&inst, scratch[:0])
+				for _, v := range scratch {
+					used[v]--
+				}
+				changed = true
+				continue
+			}
+			kept = append(kept, inst)
+		}
+		b.Insts = kept
+	}
+	return changed
+}
+
+func evalUnConst(sub uint8, a int64) int64 {
+	switch token.Kind(sub) {
+	case token.MINUS:
+		return -a
+	case token.TILDE:
+		return ^a
+	case token.NOT:
+		if a == 0 {
+			return 1
+		}
+		return 0
+	}
+	return a
+}
+
+func extConst(a, bits int64, signed bool) int64 {
+	if bits >= 64 {
+		return a
+	}
+	sh := uint(64 - bits)
+	if signed {
+		return a << sh >> sh
+	}
+	return int64(uint64(a) << sh >> sh)
+}

@@ -1,0 +1,297 @@
+// Package lexer tokenizes Facile source text.
+//
+// Comments run from "//" to end of line or between "/*" and "*/". Integer
+// literals may be decimal, 0x-hexadecimal, 0b-binary, or character literals
+// in single quotes.
+package lexer
+
+import (
+	"fmt"
+
+	"facile/internal/lang/token"
+)
+
+// Error is a lexical error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans Facile source text into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			pos := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(pos, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.advance()
+	switch {
+	case isIdentStart(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		if kw, ok := token.Keywords[lit]; ok {
+			return token.Token{Kind: kw, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+	case isDigit(c):
+		return l.number(c, pos)
+	case c == '\'':
+		return l.charLit(pos)
+	}
+	two := func(next byte, k2, k1 token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: k2, Pos: pos}
+		}
+		return token.Token{Kind: k1, Pos: pos}
+	}
+	switch c {
+	case '+':
+		return token.Token{Kind: token.PLUS, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.MINUS, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.STAR, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.SLASH, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.PERCENT, Pos: pos}
+	case '^':
+		return token.Token{Kind: token.CARET, Pos: pos}
+	case '~':
+		return token.Token{Kind: token.TILDE, Pos: pos}
+	case '&':
+		return two('&', token.LAND, token.AMP)
+	case '|':
+		return two('|', token.LOR, token.PIPE)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Kind: token.SHL, Pos: pos}
+		}
+		return two('=', token.LE, token.LT)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.SHR, Pos: pos}
+		}
+		return two('=', token.GE, token.GT)
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		return two('=', token.NE, token.NOT)
+	case '?':
+		return token.Token{Kind: token.QUESTION, Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACK, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACK, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: pos}
+	case ':':
+		return token.Token{Kind: token.COLON, Pos: pos}
+	}
+	l.errorf(pos, "unexpected character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+func (l *Lexer) number(first byte, pos token.Pos) token.Token {
+	start := l.off - 1
+	base := 10
+	if first == '0' && (l.peek() == 'x' || l.peek() == 'X') {
+		base = 16
+		l.advance()
+	} else if first == '0' && (l.peek() == 'b' || l.peek() == 'B') {
+		base = 2
+		l.advance()
+	}
+	for l.off < len(l.src) {
+		c := l.peek()
+		if isDigit(c) || c == '_' ||
+			base == 16 && (c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			l.advance()
+			continue
+		}
+		break
+	}
+	lit := l.src[start:l.off]
+	digits := lit
+	switch base {
+	case 16, 2:
+		digits = lit[2:]
+	}
+	var v uint64
+	ok := len(digits) > 0
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		if c == '_' {
+			continue
+		}
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		}
+		if d >= uint64(base) {
+			ok = false
+			break
+		}
+		v = v*uint64(base) + d
+	}
+	if !ok {
+		l.errorf(pos, "malformed integer literal %q", lit)
+		return token.Token{Kind: token.ILLEGAL, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.INT, Lit: lit, Val: int64(v), Pos: pos}
+}
+
+func (l *Lexer) charLit(pos token.Pos) token.Token {
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated character literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: pos}
+	}
+	c := l.advance()
+	if c == '\\' && l.off < len(l.src) {
+		esc := l.advance()
+		switch esc {
+		case 'n':
+			c = '\n'
+		case 't':
+			c = '\t'
+		case 'r':
+			c = '\r'
+		case '0':
+			c = 0
+		case '\'', '\\':
+			c = esc
+		default:
+			l.errorf(pos, "unknown escape \\%c", esc)
+		}
+	}
+	if l.off >= len(l.src) || l.advance() != '\'' {
+		l.errorf(pos, "unterminated character literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: pos}
+	}
+	return token.Token{Kind: token.INT, Lit: fmt.Sprintf("'%c'", c), Val: int64(c), Pos: pos}
+}
+
+// All scans the entire input and returns every token up to and including EOF.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package lexer
+
+import (
+	"testing"
+
+	"facile/internal/lang/token"
+)
+
+func kinds(ts []token.Token) []token.Kind {
+	ks := make([]token.Kind, len(ts))
+	for i, t := range ts {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := New("val x = 10 + 0x1f;").All()
+	want := []token.Kind{token.KwVal, token.IDENT, token.ASSIGN, token.INT,
+		token.PLUS, token.INT, token.SEMI, token.EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[3].Val != 10 || toks[5].Val != 0x1f {
+		t.Fatalf("values: %d, %d", toks[3].Val, toks[5].Val)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks := New("<< >> <= >= == != && || & | ^ ~ ! ?").All()
+	want := []token.Kind{token.SHL, token.SHR, token.LE, token.GE, token.EQ,
+		token.NE, token.LAND, token.LOR, token.AMP, token.PIPE, token.CARET,
+		token.TILDE, token.NOT, token.QUESTION, token.EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := New(`
+// line comment
+val /* block
+   comment */ x;
+`).All()
+	want := []token.Kind{token.KwVal, token.IDENT, token.SEMI, token.EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	lx := New("val x; /* never closed")
+	lx.All()
+	if len(lx.Errors()) == 0 {
+		t.Fatal("expected error for unterminated block comment")
+	}
+}
+
+func TestNumberBases(t *testing.T) {
+	toks := New("0b1010 0xFF 1_000_000").All()
+	if toks[0].Val != 10 || toks[1].Val != 255 || toks[2].Val != 1000000 {
+		t.Fatalf("values: %d %d %d", toks[0].Val, toks[1].Val, toks[2].Val)
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	toks := New(`'a' '\n' '\\' '\''`).All()
+	want := []int64{'a', '\n', '\\', '\''}
+	for i, v := range want {
+		if toks[i].Kind != token.INT || toks[i].Val != v {
+			t.Fatalf("char %d: %+v, want %d", i, toks[i], v)
+		}
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	toks := New("token fields pat val fun sem extern if else while break continue return switch case default array queue stream").All()
+	want := []token.Kind{token.KwToken, token.KwFields, token.KwPat, token.KwVal,
+		token.KwFun, token.KwSem, token.KwExtern, token.KwIf, token.KwElse,
+		token.KwWhile, token.KwBreak, token.KwContinue, token.KwReturn,
+		token.KwSwitch, token.KwCase, token.KwDefault, token.KwArray,
+		token.KwQueue, token.KwStream, token.EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := New("a\n  b").All()
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestIllegalChar(t *testing.T) {
+	lx := New("val @ x;")
+	lx.All()
+	if len(lx.Errors()) == 0 {
+		t.Fatal("expected error for '@'")
+	}
+}

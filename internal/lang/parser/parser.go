@@ -1,0 +1,541 @@
+// Package parser implements a recursive-descent parser for Facile.
+package parser
+
+import (
+	"fmt"
+
+	"facile/internal/lang/ast"
+	"facile/internal/lang/lexer"
+	"facile/internal/lang/token"
+)
+
+// Error is a syntax error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []token.Token
+	pos  int
+	errs []error
+}
+
+// Parse parses a Facile source file.
+func Parse(src string) (*ast.Program, error) {
+	lx := lexer.New(src)
+	toks := lx.All()
+	if errs := lx.Errors(); len(errs) > 0 {
+		return nil, errs[0]
+	}
+	p := &parser{toks: toks}
+	prog := p.parseProgram()
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token.Token  { return p.toks[p.pos] }
+func (p *parser) peek() token.Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	t := p.cur()
+	p.errorf(t.Pos, "expected %s, found %s", k, t)
+	// Panic-free recovery: synthesize the expected token and continue; the
+	// first recorded error is what the caller reports.
+	return token.Token{Kind: k, Pos: t.Pos}
+}
+
+func (p *parser) expectIdent() string {
+	if p.at(token.IDENT) {
+		return p.next().Lit
+	}
+	t := p.cur()
+	p.errorf(t.Pos, "expected identifier, found %s", t)
+	p.next()
+	return "_error_"
+}
+
+func (p *parser) expectInt() int64 {
+	if p.at(token.INT) {
+		return p.next().Val
+	}
+	t := p.cur()
+	p.errorf(t.Pos, "expected integer, found %s", t)
+	p.next()
+	return 0
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for !p.at(token.EOF) && len(p.errs) < 10 {
+		switch p.cur().Kind {
+		case token.KwToken:
+			prog.Tokens = append(prog.Tokens, p.parseTokenDecl())
+		case token.KwPat:
+			prog.Pats = append(prog.Pats, p.parsePatDecl())
+		case token.KwVal:
+			prog.Globals = append(prog.Globals, p.parseValDecl())
+		case token.KwExtern:
+			prog.Externs = append(prog.Externs, p.parseExternDecl())
+		case token.KwSem:
+			prog.Sems = append(prog.Sems, p.parseSemDecl())
+		case token.KwFun:
+			prog.Funs = append(prog.Funs, p.parseFunDecl())
+		default:
+			t := p.next()
+			p.errorf(t.Pos, "expected declaration, found %s", t)
+		}
+	}
+	return prog
+}
+
+// token NAME[width] fields f lo:hi, ... ;
+func (p *parser) parseTokenDecl() *ast.TokenDecl {
+	pos := p.expect(token.KwToken).Pos
+	d := &ast.TokenDecl{P: pos}
+	d.Name = p.expectIdent()
+	p.expect(token.LBRACK)
+	d.Width = int(p.expectInt())
+	p.expect(token.RBRACK)
+	p.expect(token.KwFields)
+	for {
+		f := &ast.FieldDecl{P: p.cur().Pos}
+		f.Name = p.expectIdent()
+		f.Lo = int(p.expectInt())
+		p.expect(token.COLON)
+		f.Hi = int(p.expectInt())
+		d.Fields = append(d.Fields, f)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.SEMI)
+	return d
+}
+
+// pat name = expr ;
+func (p *parser) parsePatDecl() *ast.PatDecl {
+	pos := p.expect(token.KwPat).Pos
+	d := &ast.PatDecl{P: pos}
+	d.Name = p.expectIdent()
+	p.expect(token.ASSIGN)
+	d.Expr = p.parseExpr()
+	p.expect(token.SEMI)
+	return d
+}
+
+// val name ;                      (int, zero)
+// val name = expr ;               (int)
+// val name : stream ;             (stream)
+// val name = array(N){init} ;     (array)
+// val name = queue(cap, width) ;  (queue)
+func (p *parser) parseValDecl() *ast.ValDecl {
+	pos := p.expect(token.KwVal).Pos
+	d := &ast.ValDecl{P: pos}
+	d.Name = p.expectIdent()
+	switch {
+	case p.accept(token.COLON):
+		p.expect(token.KwStream)
+		d.Kind = ast.ValStream
+	case p.accept(token.ASSIGN):
+		switch p.cur().Kind {
+		case token.KwArray:
+			p.next()
+			p.expect(token.LPAREN)
+			d.Kind = ast.ValArray
+			d.ArrayLen = int(p.expectInt())
+			p.expect(token.RPAREN)
+			p.expect(token.LBRACE)
+			neg := p.accept(token.MINUS)
+			d.ArrayInit = p.expectInt()
+			if neg {
+				d.ArrayInit = -d.ArrayInit
+			}
+			p.expect(token.RBRACE)
+		case token.KwQueue:
+			p.next()
+			p.expect(token.LPAREN)
+			d.Kind = ast.ValQueue
+			d.QueueCap = int(p.expectInt())
+			p.expect(token.COMMA)
+			d.QueueW = int(p.expectInt())
+			p.expect(token.RPAREN)
+		default:
+			d.Kind = ast.ValInt
+			d.Init = p.parseExpr()
+		}
+	default:
+		d.Kind = ast.ValInt
+	}
+	p.expect(token.SEMI)
+	return d
+}
+
+// extern name(nargs) ;
+func (p *parser) parseExternDecl() *ast.ExternDecl {
+	pos := p.expect(token.KwExtern).Pos
+	d := &ast.ExternDecl{P: pos}
+	d.Name = p.expectIdent()
+	p.expect(token.LPAREN)
+	d.NArgs = int(p.expectInt())
+	p.expect(token.RPAREN)
+	p.expect(token.SEMI)
+	return d
+}
+
+// sem patname { ... } ;
+func (p *parser) parseSemDecl() *ast.SemDecl {
+	pos := p.expect(token.KwSem).Pos
+	d := &ast.SemDecl{P: pos}
+	d.PatName = p.expectIdent()
+	d.Body = p.parseBlock()
+	p.accept(token.SEMI) // terminating semicolon is optional
+	return d
+}
+
+// fun name(params) { ... }
+func (p *parser) parseFunDecl() *ast.FunDecl {
+	pos := p.expect(token.KwFun).Pos
+	d := &ast.FunDecl{P: pos}
+	d.Name = p.expectIdent()
+	p.expect(token.LPAREN)
+	if !p.at(token.RPAREN) {
+		for {
+			prm := &ast.Param{P: p.cur().Pos}
+			prm.Name = p.expectIdent()
+			if p.accept(token.COLON) {
+				p.expect(token.KwQueue)
+				p.expect(token.LPAREN)
+				prm.Kind = ast.ParamQueue
+				prm.QueueCap = int(p.expectInt())
+				p.expect(token.COMMA)
+				prm.QueueW = int(p.expectInt())
+				p.expect(token.RPAREN)
+			}
+			d.Params = append(d.Params, prm)
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	d.Body = p.parseBlock()
+	return d
+}
+
+func (p *parser) parseBlock() *ast.Block {
+	b := &ast.Block{P: p.cur().Pos}
+	p.expect(token.LBRACE)
+	for !p.at(token.RBRACE) && !p.at(token.EOF) && len(p.errs) < 10 {
+		if s := p.parseStmt(); s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.SEMI:
+		p.next()
+		return nil
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.KwVal:
+		d := p.parseValDecl()
+		return &ast.LocalDecl{Decl: d}
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwWhile:
+		pos := p.next().Pos
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		return &ast.While{Cond: cond, Body: p.parseBlock(), P: pos}
+	case token.KwBreak:
+		pos := p.next().Pos
+		p.expect(token.SEMI)
+		return &ast.Break{P: pos}
+	case token.KwContinue:
+		pos := p.next().Pos
+		p.expect(token.SEMI)
+		return &ast.Continue{P: pos}
+	case token.KwReturn:
+		pos := p.next().Pos
+		var v ast.Expr
+		if !p.at(token.SEMI) {
+			v = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return &ast.Return{Value: v, P: pos}
+	case token.KwSwitch:
+		return p.parseSwitch()
+	}
+	// assignment or expression statement
+	pos := p.cur().Pos
+	e := p.parseExpr()
+	if p.accept(token.ASSIGN) {
+		v := p.parseExpr()
+		p.expect(token.SEMI)
+		switch e.(type) {
+		case *ast.Ident, *ast.Index:
+		default:
+			p.errorf(pos, "invalid assignment target")
+		}
+		return &ast.Assign{Target: e, Value: v, P: pos}
+	}
+	p.expect(token.SEMI)
+	return &ast.ExprStmt{X: e, P: pos}
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.expect(token.KwIf).Pos
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	then := p.blockOrSingle()
+	var els ast.Stmt
+	if p.accept(token.KwElse) {
+		if p.at(token.KwIf) {
+			els = p.parseIf()
+		} else {
+			els = p.blockOrSingle()
+		}
+	}
+	return &ast.If{Cond: cond, Then: then, Else: els, P: pos}
+}
+
+// blockOrSingle allows `if (c) stmt;` as shorthand for a one-statement block.
+func (p *parser) blockOrSingle() *ast.Block {
+	if p.at(token.LBRACE) {
+		return p.parseBlock()
+	}
+	pos := p.cur().Pos
+	s := p.parseStmt()
+	b := &ast.Block{P: pos}
+	if s != nil {
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b
+}
+
+// parseSwitch handles both integer switches and pattern switches; the two
+// are distinguished by the first case keyword.
+func (p *parser) parseSwitch() ast.Stmt {
+	pos := p.expect(token.KwSwitch).Pos
+	p.expect(token.LPAREN)
+	subj := p.parseExpr()
+	p.expect(token.RPAREN)
+	p.expect(token.LBRACE)
+
+	var intCases []*ast.SwitchCase
+	var patCases []*ast.PatCase
+	var def *ast.Block
+	for !p.at(token.RBRACE) && !p.at(token.EOF) && len(p.errs) < 10 {
+		switch p.cur().Kind {
+		case token.KwCase:
+			cpos := p.next().Pos
+			sc := &ast.SwitchCase{P: cpos}
+			for {
+				neg := p.accept(token.MINUS)
+				v := p.expectInt()
+				if neg {
+					v = -v
+				}
+				sc.Vals = append(sc.Vals, v)
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.COLON)
+			sc.Body = p.parseCaseBody()
+			intCases = append(intCases, sc)
+		case token.KwPat:
+			cpos := p.next().Pos
+			pc := &ast.PatCase{P: cpos}
+			pc.PatName = p.expectIdent()
+			p.expect(token.COLON)
+			pc.Body = p.parseCaseBody()
+			patCases = append(patCases, pc)
+		case token.KwDefault:
+			p.next()
+			p.expect(token.COLON)
+			def = p.parseCaseBody()
+		default:
+			t := p.next()
+			p.errorf(t.Pos, "expected case, pat, or default in switch, found %s", t)
+		}
+	}
+	p.expect(token.RBRACE)
+	if len(patCases) > 0 {
+		if len(intCases) > 0 {
+			p.errorf(pos, "switch mixes integer and pattern cases")
+		}
+		return &ast.PatSwitch{Subject: subj, Cases: patCases, Default: def, P: pos}
+	}
+	return &ast.Switch{Subject: subj, Cases: intCases, Default: def, P: pos}
+}
+
+// parseCaseBody collects statements until the next case/pat/default label
+// or the closing brace.
+func (p *parser) parseCaseBody() *ast.Block {
+	b := &ast.Block{P: p.cur().Pos}
+	for !p.at(token.KwCase) && !p.at(token.KwPat) && !p.at(token.KwDefault) &&
+		!p.at(token.RBRACE) && !p.at(token.EOF) && len(p.errs) < 10 {
+		if s := p.parseStmt(); s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	return b
+}
+
+// ---------------------------------------------------------------- exprs --
+
+// Binary operator precedence, loosest first.
+var precLevels = [][]token.Kind{
+	{token.LOR},
+	{token.LAND},
+	{token.PIPE},
+	{token.CARET},
+	{token.AMP},
+	{token.EQ, token.NE},
+	{token.LT, token.LE, token.GT, token.GE},
+	{token.SHL, token.SHR},
+	{token.PLUS, token.MINUS},
+	{token.STAR, token.SLASH, token.PERCENT},
+}
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(0) }
+
+func (p *parser) parseBinary(level int) ast.Expr {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	lhs := p.parseBinary(level + 1)
+	for {
+		matched := false
+		for _, k := range precLevels[level] {
+			if p.at(k) {
+				pos := p.next().Pos
+				rhs := p.parseBinary(level + 1)
+				lhs = &ast.Binary{Op: k, L: lhs, R: rhs, P: pos}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs
+		}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.cur().Kind {
+	case token.MINUS, token.NOT, token.TILDE:
+		t := p.next()
+		return &ast.Unary{Op: t.Kind, X: p.parseUnary(), P: t.Pos}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	e := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case token.LBRACK:
+			pos := p.next().Pos
+			idx := p.parseExpr()
+			p.expect(token.RBRACK)
+			e = &ast.Index{Arr: e, Idx: idx, P: pos}
+		case token.QUESTION:
+			pos := p.next().Pos
+			name := p.expectIdent()
+			a := &ast.Attr{X: e, Name: name, P: pos}
+			if p.accept(token.LPAREN) {
+				if !p.at(token.RPAREN) {
+					for {
+						a.Args = append(a.Args, p.parseExpr())
+						if !p.accept(token.COMMA) {
+							break
+						}
+					}
+				}
+				p.expect(token.RPAREN)
+			}
+			e = a
+		default:
+			return e
+		}
+	}
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.INT:
+		p.next()
+		return &ast.IntLit{Val: t.Val, P: t.Pos}
+	case token.IDENT:
+		p.next()
+		if p.at(token.LPAREN) {
+			p.next()
+			c := &ast.Call{Name: t.Lit, P: t.Pos}
+			if !p.at(token.RPAREN) {
+				for {
+					c.Args = append(c.Args, p.parseExpr())
+					if !p.accept(token.COMMA) {
+						break
+					}
+				}
+			}
+			p.expect(token.RPAREN)
+			return c
+		}
+		return &ast.Ident{Name: t.Lit, P: t.Pos}
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	p.next()
+	return &ast.IntLit{Val: 0, P: t.Pos}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,208 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"facile/internal/lang/ast"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("expected parse error containing %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+func TestTokenDecl(t *testing.T) {
+	p := parseOK(t, `token instruction[32] fields op 26:31, rd 21:25;`)
+	if len(p.Tokens) != 1 {
+		t.Fatal("no token decl")
+	}
+	tk := p.Tokens[0]
+	if tk.Name != "instruction" || tk.Width != 32 || len(tk.Fields) != 2 {
+		t.Fatalf("%+v", tk)
+	}
+	if tk.Fields[1].Name != "rd" || tk.Fields[1].Lo != 21 || tk.Fields[1].Hi != 25 {
+		t.Fatalf("%+v", tk.Fields[1])
+	}
+}
+
+func TestPatDecl(t *testing.T) {
+	p := parseOK(t, `
+token w[32] fields op 0:5, i 6:6, fill 7:16;
+pat add = op == 1 && (i == 1 || fill == 0);
+`)
+	if len(p.Pats) != 1 || p.Pats[0].Name != "add" {
+		t.Fatal("pattern missing")
+	}
+	b, ok := p.Pats[0].Expr.(*ast.Binary)
+	if !ok {
+		t.Fatalf("expr %T", p.Pats[0].Expr)
+	}
+	_ = b
+}
+
+func TestValForms(t *testing.T) {
+	p := parseOK(t, `
+val a;
+val b = 42;
+val s : stream;
+val r = array(32){-1};
+val q = queue(8, 4);
+`)
+	if len(p.Globals) != 5 {
+		t.Fatalf("%d globals", len(p.Globals))
+	}
+	if p.Globals[2].Kind != ast.ValStream {
+		t.Fatal("stream kind")
+	}
+	if p.Globals[3].Kind != ast.ValArray || p.Globals[3].ArrayLen != 32 || p.Globals[3].ArrayInit != -1 {
+		t.Fatalf("%+v", p.Globals[3])
+	}
+	if p.Globals[4].Kind != ast.ValQueue || p.Globals[4].QueueCap != 8 || p.Globals[4].QueueW != 4 {
+		t.Fatalf("%+v", p.Globals[4])
+	}
+}
+
+func TestFunAndQueueParam(t *testing.T) {
+	p := parseOK(t, `fun main(q: queue(16, 3), pc) { set_args(q, pc); }`)
+	f := p.Fun("main")
+	if f == nil || len(f.Params) != 2 {
+		t.Fatal("main params")
+	}
+	if f.Params[0].Kind != ast.ParamQueue || f.Params[0].QueueCap != 16 || f.Params[0].QueueW != 3 {
+		t.Fatalf("%+v", f.Params[0])
+	}
+	if f.Params[1].Kind != ast.ParamInt {
+		t.Fatal("second param should be int")
+	}
+}
+
+func TestStatements(t *testing.T) {
+	p := parseOK(t, `
+fun main(x) {
+    val y = 0;
+    while (y < 10) {
+        y = y + 1;
+        if (y == 5) { continue; }
+        if (y == 8) break;
+    }
+    switch (y) {
+      case 1, 2: y = 0;
+      case -3: y = 1;
+      default: y = 2;
+    }
+    return y;
+}
+`)
+	body := p.Fun("main").Body.Stmts
+	if len(body) != 4 {
+		t.Fatalf("%d stmts", len(body))
+	}
+	sw := body[2].(*ast.Switch)
+	if len(sw.Cases) != 2 || sw.Default == nil {
+		t.Fatalf("switch %+v", sw)
+	}
+	if sw.Cases[0].Vals[1] != 2 || sw.Cases[1].Vals[0] != -3 {
+		t.Fatalf("case values %+v", sw.Cases)
+	}
+}
+
+func TestPatternSwitch(t *testing.T) {
+	p := parseOK(t, `
+token w[32] fields op 0:5;
+pat a = op == 0;
+pat b = op == 1;
+fun main(pc) {
+    switch (pc) {
+      pat a: pc = pc + 1;
+      pat b: { pc = 0; }
+      default: ;
+    }
+    set_args(pc);
+}
+`)
+	ps := p.Fun("main").Body.Stmts[0].(*ast.PatSwitch)
+	if len(ps.Cases) != 2 || ps.Default == nil {
+		t.Fatalf("%+v", ps)
+	}
+}
+
+func TestMixedSwitchRejected(t *testing.T) {
+	parseErr(t, `
+token w[32] fields op 0:5;
+pat a = op == 0;
+fun main(x) {
+    switch (x) {
+      case 1: ;
+      pat a: ;
+    }
+}
+`, "mixes")
+}
+
+func TestAttrParsing(t *testing.T) {
+	p := parseOK(t, `
+fun main(x) {
+    val a = x?sext(15);
+    val b = x?pin();
+    x?exec();
+    val c = q_unchecked?size();
+    set_args(a + b + c);
+}
+`)
+	_ = p
+}
+
+func TestPrecedence(t *testing.T) {
+	p := parseOK(t, `fun main(x) { val y = 1 + 2 * 3 == 7 && 1 | 0; set_args(y); }`)
+	decl := p.Fun("main").Body.Stmts[0].(*ast.LocalDecl)
+	// top must be && (loosest in this expression)
+	b, ok := decl.Decl.Init.(*ast.Binary)
+	if !ok {
+		t.Fatalf("%T", decl.Decl.Init)
+	}
+	if b.Op.String() != "&&" {
+		t.Fatalf("top op %v", b.Op)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	parseErr(t, `fun main( { }`, "expected")
+	parseErr(t, `val = 3;`, "expected identifier")
+	parseErr(t, `fun main(x) { 1 + ; }`, "expected expression")
+	parseErr(t, `fun main(x) { x + 1 = 2; }`, "invalid assignment target")
+}
+
+func TestSemDecl(t *testing.T) {
+	p := parseOK(t, `
+token w[32] fields op 0:5;
+pat a = op == 0;
+sem a { };
+sem a { val x = 1; x = x + 1; }
+`)
+	if len(p.Sems) != 2 {
+		t.Fatalf("%d sems", len(p.Sems))
+	}
+}
+
+func TestExternDecl(t *testing.T) {
+	p := parseOK(t, `extern foo(3);`)
+	if len(p.Externs) != 1 || p.Externs[0].NArgs != 3 {
+		t.Fatal("extern")
+	}
+}

@@ -1,0 +1,131 @@
+// Package token defines the lexical tokens of the Facile language.
+package token
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT // foo
+	INT   // 123, 0x1f, 'a'
+
+	// operators and punctuation
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	AMP      // &
+	PIPE     // |
+	CARET    // ^
+	SHL      // <<
+	SHR      // >>
+	LAND     // &&
+	LOR      // ||
+	NOT      // !
+	TILDE    // ~
+	EQ       // ==
+	NE       // !=
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	ASSIGN   // =
+	QUESTION // ? (attribute application e?sext(32))
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACK   // [
+	RBRACK   // ]
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+
+	// keywords
+	KwToken
+	KwFields
+	KwPat
+	KwVal
+	KwFun
+	KwSem
+	KwExtern
+	KwIf
+	KwElse
+	KwWhile
+	KwBreak
+	KwContinue
+	KwReturn
+	KwSwitch
+	KwCase
+	KwDefault
+	KwArray
+	KwQueue
+	KwStream
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "identifier", INT: "integer",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", SHL: "<<", SHR: ">>",
+	LAND: "&&", LOR: "||", NOT: "!", TILDE: "~",
+	EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	ASSIGN: "=", QUESTION: "?",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACK: "[", RBRACK: "]", COMMA: ",", SEMI: ";", COLON: ":",
+	KwToken: "token", KwFields: "fields", KwPat: "pat", KwVal: "val",
+	KwFun: "fun", KwSem: "sem", KwExtern: "extern",
+	KwIf: "if", KwElse: "else", KwWhile: "while",
+	KwBreak: "break", KwContinue: "continue", KwReturn: "return",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	KwArray: "array", KwQueue: "queue", KwStream: "stream",
+}
+
+// String returns a human-readable name for k.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps identifier spellings to keyword kinds.
+var Keywords = map[string]Kind{
+	"token": KwToken, "fields": KwFields, "pat": KwPat, "val": KwVal,
+	"fun": KwFun, "sem": KwSem, "extern": KwExtern,
+	"if": KwIf, "else": KwElse, "while": KwWhile,
+	"break": KwBreak, "continue": KwContinue, "return": KwReturn,
+	"switch": KwSwitch, "case": KwCase, "default": KwDefault,
+	"array": KwArray, "queue": KwQueue, "stream": KwStream,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT/INT
+	Val  int64  // value for INT
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

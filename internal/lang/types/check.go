@@ -1,0 +1,707 @@
+// Package types implements semantic analysis for Facile: symbol
+// resolution, arity and shape checking, the no-recursion restriction, and
+// the field-scoping rules for sem bodies and pattern cases.
+package types
+
+import (
+	"fmt"
+
+	"facile/internal/lang/ast"
+	"facile/internal/lang/token"
+)
+
+// Error is a semantic error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// SetArgs is the builtin that supplies the run-time static arguments for
+// the next call to main (the paper's `init = npc` idiom).
+const SetArgs = "set_args"
+
+// Checked is the output of semantic analysis: the program plus its symbol
+// tables, consumed by the compiler.
+type Checked struct {
+	Prog *ast.Program
+
+	TokenWidth int // instruction width in bits (single fixed-width token)
+	Fields     map[string]*ast.FieldDecl
+	Pats       map[string]*ast.PatDecl
+	PatOrder   []string // declaration order (decision trees honor it)
+	Sems       map[string]*ast.SemDecl
+	Globals    map[string]*ast.ValDecl
+	GlobalIdx  map[string]int // dense index per global scalar/stream
+	Arrays     map[string]int // global array name -> dense index
+	Queues     map[string]int // global queue name -> dense index
+	Externs    map[string]*ast.ExternDecl
+	ExternIdx  map[string]int
+	Funs       map[string]*ast.FunDecl
+	Main       *ast.FunDecl
+}
+
+// queue attribute arities; -1 marks push (width-dependent).
+var queueAttrs = map[string]int{
+	"size": 0, "push": -1, "pop": 0, "get": 2, "set": 3,
+	"front": 1, "full": 0, "clear": 0,
+}
+
+type checker struct {
+	c         *Checked
+	errs      []error
+	callGraph map[string]map[string]bool
+}
+
+func (ck *checker) errorf(pos token.Pos, format string, args ...any) {
+	ck.errs = append(ck.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Check performs semantic analysis of prog.
+func Check(prog *ast.Program) (*Checked, error) {
+	c := &Checked{
+		Prog:      prog,
+		Fields:    make(map[string]*ast.FieldDecl),
+		Pats:      make(map[string]*ast.PatDecl),
+		Sems:      make(map[string]*ast.SemDecl),
+		Globals:   make(map[string]*ast.ValDecl),
+		GlobalIdx: make(map[string]int),
+		Arrays:    make(map[string]int),
+		Queues:    make(map[string]int),
+		Externs:   make(map[string]*ast.ExternDecl),
+		ExternIdx: make(map[string]int),
+		Funs:      make(map[string]*ast.FunDecl),
+	}
+	ck := &checker{c: c, callGraph: map[string]map[string]bool{}}
+	ck.collect()
+	ck.checkPats()
+	ck.checkSems()
+	ck.checkFuns()
+	ck.checkNoRecursion()
+	if len(ck.errs) > 0 {
+		return nil, ck.errs[0]
+	}
+	return c, nil
+}
+
+func (ck *checker) collect() {
+	c := ck.c
+	for _, t := range c.Prog.Tokens {
+		if c.TokenWidth != 0 && t.Width != c.TokenWidth {
+			ck.errorf(t.P, "all tokens must share one width in this dialect (fixed-width ISAs)")
+		}
+		if t.Width <= 0 || t.Width > 64 {
+			ck.errorf(t.P, "token width %d out of range 1..64", t.Width)
+		}
+		c.TokenWidth = t.Width
+		for _, f := range t.Fields {
+			if _, dup := c.Fields[f.Name]; dup {
+				ck.errorf(f.P, "duplicate field %q", f.Name)
+			}
+			if f.Lo < 0 || f.Hi >= t.Width || f.Lo > f.Hi {
+				ck.errorf(f.P, "field %q bit range %d:%d invalid for %d-bit token",
+					f.Name, f.Lo, f.Hi, t.Width)
+			}
+			c.Fields[f.Name] = f
+		}
+	}
+	for _, p := range c.Prog.Pats {
+		if _, dup := c.Pats[p.Name]; dup {
+			ck.errorf(p.P, "duplicate pattern %q", p.Name)
+		}
+		c.Pats[p.Name] = p
+		c.PatOrder = append(c.PatOrder, p.Name)
+	}
+	for _, e := range c.Prog.Externs {
+		if _, dup := c.Externs[e.Name]; dup {
+			ck.errorf(e.P, "duplicate extern %q", e.Name)
+		}
+		c.ExternIdx[e.Name] = len(c.ExternIdx)
+		c.Externs[e.Name] = e
+	}
+	for _, g := range c.Prog.Globals {
+		if _, dup := c.Globals[g.Name]; dup {
+			ck.errorf(g.P, "duplicate global %q", g.Name)
+		}
+		c.Globals[g.Name] = g
+		switch g.Kind {
+		case ast.ValArray:
+			if g.ArrayLen <= 0 {
+				ck.errorf(g.P, "array %q must have positive length", g.Name)
+			}
+			c.Arrays[g.Name] = len(c.Arrays)
+		case ast.ValQueue:
+			if g.QueueCap <= 0 || g.QueueW <= 0 {
+				ck.errorf(g.P, "queue %q needs positive capacity and width", g.Name)
+			}
+			c.Queues[g.Name] = len(c.Queues)
+		default:
+			c.GlobalIdx[g.Name] = len(c.GlobalIdx)
+			if g.Init != nil {
+				if _, ok := constFold(g.Init); !ok {
+					ck.errorf(g.P, "global %q initializer must be constant", g.Name)
+				}
+			}
+		}
+	}
+	for _, f := range c.Prog.Funs {
+		if _, dup := c.Funs[f.Name]; dup {
+			ck.errorf(f.P, "duplicate function %q", f.Name)
+		}
+		if _, clash := c.Externs[f.Name]; clash {
+			ck.errorf(f.P, "function %q collides with an extern", f.Name)
+		}
+		c.Funs[f.Name] = f
+	}
+	c.Main = c.Funs["main"]
+	if c.Main == nil {
+		ck.errorf(token.Pos{Line: 1, Col: 1}, "program must define fun main — the simulator step function")
+		return
+	}
+	for _, f := range c.Prog.Funs {
+		seen := map[string]bool{}
+		for _, prm := range f.Params {
+			if seen[prm.Name] {
+				ck.errorf(prm.P, "duplicate parameter %q", prm.Name)
+			}
+			seen[prm.Name] = true
+			if prm.Kind == ast.ParamQueue && f != c.Main {
+				ck.errorf(prm.P, "queue parameters (run-time static state) are only legal on main")
+			}
+		}
+	}
+}
+
+// ConstFold evaluates constant expressions (literals combined with
+// arithmetic); ok is false when e is not constant.
+func ConstFold(e ast.Expr) (int64, bool) { return constFold(e) }
+
+// constFold evaluates constant expressions (literals combined with
+// arithmetic) for initializers.
+func constFold(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Val, true
+	case *ast.Unary:
+		v, ok := constFold(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.MINUS:
+			return -v, true
+		case token.TILDE:
+			return ^v, true
+		case token.NOT:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *ast.Binary:
+		l, ok1 := constFold(e.L)
+		r, ok2 := constFold(e.R)
+		if ok1 && ok2 {
+			return EvalBinary(e.Op, l, r), true
+		}
+	}
+	return 0, false
+}
+
+// EvalBinary evaluates a Facile binary operator over int64 with the
+// language's semantics (shared by the checker, compiler, and runtime).
+func EvalBinary(op token.Kind, l, r int64) int64 {
+	b := func(x bool) int64 {
+		if x {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case token.PLUS:
+		return l + r
+	case token.MINUS:
+		return l - r
+	case token.STAR:
+		return l * r
+	case token.SLASH:
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	case token.PERCENT:
+		if r == 0 {
+			return 0
+		}
+		return l % r
+	case token.AMP:
+		return l & r
+	case token.PIPE:
+		return l | r
+	case token.CARET:
+		return l ^ r
+	case token.SHL:
+		return l << (uint64(r) & 63)
+	case token.SHR:
+		// Facile integers are signed 64-bit; >> is an arithmetic shift.
+		// Logical shifts are provided by host externs where needed.
+		return l >> (uint64(r) & 63)
+	case token.EQ:
+		return b(l == r)
+	case token.NE:
+		return b(l != r)
+	case token.LT:
+		return b(l < r)
+	case token.LE:
+		return b(l <= r)
+	case token.GT:
+		return b(l > r)
+	case token.GE:
+		return b(l >= r)
+	case token.LAND:
+		return b(l != 0 && r != 0)
+	case token.LOR:
+		return b(l != 0 || r != 0)
+	}
+	panic(fmt.Sprintf("types: EvalBinary on %v", op))
+}
+
+// checkPats verifies pattern expressions reference only fields, integer
+// literals, comparisons/logical operators, and other (earlier or later,
+// acyclic) patterns.
+func (ck *checker) checkPats() {
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(name string, pos token.Pos)
+	var checkExpr func(e ast.Expr)
+	checkExpr = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.IntLit:
+		case *ast.Ident:
+			if _, isField := ck.c.Fields[e.Name]; isField {
+				return
+			}
+			if _, isPat := ck.c.Pats[e.Name]; isPat {
+				visit(e.Name, e.P)
+				return
+			}
+			ck.errorf(e.P, "pattern expression references %q, which is neither a field nor a pattern", e.Name)
+		case *ast.Unary:
+			if e.Op != token.NOT {
+				ck.errorf(e.P, "only ! is allowed as a unary operator in patterns")
+			}
+			checkExpr(e.X)
+		case *ast.Binary:
+			switch e.Op {
+			case token.LAND, token.LOR, token.EQ, token.NE, token.LT, token.LE, token.GT, token.GE, token.AMP, token.SHR, token.SHL:
+			default:
+				ck.errorf(e.P, "operator %v not allowed in pattern expressions", e.Op)
+			}
+			checkExpr(e.L)
+			checkExpr(e.R)
+		default:
+			ck.errorf(e.Pos(), "expression form not allowed in patterns")
+		}
+	}
+	visit = func(name string, pos token.Pos) {
+		switch state[name] {
+		case 1:
+			ck.errorf(pos, "pattern %q is recursively defined", name)
+			return
+		case 2:
+			return
+		}
+		state[name] = 1
+		checkExpr(ck.c.Pats[name].Expr)
+		state[name] = 2
+	}
+	for _, name := range ck.c.PatOrder {
+		visit(name, ck.c.Pats[name].P)
+	}
+}
+
+func (ck *checker) checkSems() {
+	for _, s := range ck.c.Prog.Sems {
+		if _, ok := ck.c.Pats[s.PatName]; !ok {
+			ck.errorf(s.P, "sem for undeclared pattern %q", s.PatName)
+			continue
+		}
+		if _, dup := ck.c.Sems[s.PatName]; dup {
+			ck.errorf(s.P, "duplicate sem for pattern %q", s.PatName)
+		}
+		ck.c.Sems[s.PatName] = s
+	}
+}
+
+// scope tracks local bindings during body checking.
+type scope struct {
+	parent *scope
+	names  map[string]ast.ValKind // locals and params (queue params as ValQueue)
+}
+
+func (s *scope) lookup(name string) (ast.ValKind, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if k, ok := cur.names[name]; ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func (s *scope) child() *scope {
+	return &scope{parent: s, names: map[string]ast.ValKind{}}
+}
+
+type bodyChecker struct {
+	ck        *checker
+	fun       *ast.FunDecl // nil for sem bodies
+	inSem     bool         // fields in scope
+	loopDepth int
+	calls     map[string]bool // functions this body calls
+}
+
+func (ck *checker) checkFuns() {
+	for _, f := range ck.c.Prog.Funs {
+		bc := &bodyChecker{ck: ck, fun: f, calls: map[string]bool{}}
+		sc := &scope{names: map[string]ast.ValKind{}}
+		for _, prm := range f.Params {
+			k := ast.ValInt
+			if prm.Kind == ast.ParamQueue {
+				k = ast.ValQueue
+			}
+			sc.names[prm.Name] = k
+		}
+		bc.block(f.Body, sc)
+		ck.callGraph[f.Name] = bc.calls
+	}
+	for _, s := range ck.c.Prog.Sems {
+		bc := &bodyChecker{ck: ck, inSem: true, calls: map[string]bool{}}
+		bc.block(s.Body, &scope{names: map[string]ast.ValKind{}})
+		ck.callGraph["sem "+s.PatName] = bc.calls
+	}
+}
+
+func (bc *bodyChecker) block(b *ast.Block, sc *scope) {
+	inner := sc.child()
+	for _, s := range b.Stmts {
+		bc.stmt(s, inner)
+	}
+}
+
+func (bc *bodyChecker) stmt(s ast.Stmt, sc *scope) {
+	ck := bc.ck
+	switch s := s.(type) {
+	case *ast.Block:
+		bc.block(s, sc)
+	case *ast.LocalDecl:
+		d := s.Decl
+		switch d.Kind {
+		case ast.ValArray, ast.ValQueue:
+			ck.errorf(d.P, "arrays and queues must be declared globally")
+		}
+		if d.Init != nil {
+			bc.expr(d.Init, sc)
+		}
+		if _, dup := sc.names[d.Name]; dup {
+			ck.errorf(d.P, "redeclaration of %q in the same block", d.Name)
+		}
+		sc.names[d.Name] = d.Kind
+	case *ast.Assign:
+		bc.expr(s.Value, sc)
+		switch t := s.Target.(type) {
+		case *ast.Ident:
+			if k, ok := sc.lookup(t.Name); ok {
+				if k == ast.ValQueue {
+					ck.errorf(t.P, "cannot assign to queue %q; use queue attributes", t.Name)
+				}
+				return
+			}
+			if g, ok := ck.c.Globals[t.Name]; ok {
+				if g.Kind == ast.ValArray || g.Kind == ast.ValQueue {
+					ck.errorf(t.P, "cannot assign whole %s %q", kindName(g.Kind), t.Name)
+				}
+				return
+			}
+			ck.errorf(t.P, "assignment to undeclared %q", t.Name)
+		case *ast.Index:
+			bc.expr(t.Idx, sc)
+			arr, ok := t.Arr.(*ast.Ident)
+			if !ok {
+				ck.errorf(t.P, "indexed assignment target must be a named array")
+				return
+			}
+			if g, ok := ck.c.Globals[arr.Name]; !ok || g.Kind != ast.ValArray {
+				ck.errorf(t.P, "%q is not a global array", arr.Name)
+			}
+		}
+	case *ast.If:
+		bc.expr(s.Cond, sc)
+		bc.block(s.Then, sc)
+		if s.Else != nil {
+			bc.stmt(s.Else, sc)
+		}
+	case *ast.While:
+		bc.expr(s.Cond, sc)
+		bc.loopDepth++
+		bc.block(s.Body, sc)
+		bc.loopDepth--
+	case *ast.Break:
+		if bc.loopDepth == 0 {
+			ck.errorf(s.P, "break outside loop")
+		}
+	case *ast.Continue:
+		if bc.loopDepth == 0 {
+			ck.errorf(s.P, "continue outside loop")
+		}
+	case *ast.Return:
+		if s.Value != nil {
+			bc.expr(s.Value, sc)
+		}
+	case *ast.Switch:
+		bc.expr(s.Subject, sc)
+		seen := map[int64]bool{}
+		for _, c := range s.Cases {
+			for _, v := range c.Vals {
+				if seen[v] {
+					ck.errorf(c.P, "duplicate case %d", v)
+				}
+				seen[v] = true
+			}
+			bc.block(c.Body, sc)
+		}
+		if s.Default != nil {
+			bc.block(s.Default, sc)
+		}
+	case *ast.PatSwitch:
+		bc.expr(s.Subject, sc)
+		seen := map[string]bool{}
+		for _, c := range s.Cases {
+			if _, ok := ck.c.Pats[c.PatName]; !ok {
+				ck.errorf(c.P, "unknown pattern %q", c.PatName)
+			}
+			if seen[c.PatName] {
+				ck.errorf(c.P, "duplicate pattern case %q", c.PatName)
+			}
+			seen[c.PatName] = true
+			saved := bc.inSem
+			bc.inSem = true // fields in scope inside pattern cases
+			bc.block(c.Body, sc)
+			bc.inSem = saved
+		}
+		if s.Default != nil {
+			bc.block(s.Default, sc)
+		}
+	case *ast.ExprStmt:
+		bc.expr(s.X, sc)
+	}
+}
+
+func kindName(k ast.ValKind) string {
+	switch k {
+	case ast.ValArray:
+		return "array"
+	case ast.ValQueue:
+		return "queue"
+	case ast.ValStream:
+		return "stream"
+	default:
+		return "val"
+	}
+}
+
+func (bc *bodyChecker) expr(e ast.Expr, sc *scope) {
+	ck := bc.ck
+	switch e := e.(type) {
+	case *ast.IntLit:
+	case *ast.Ident:
+		if _, ok := sc.lookup(e.Name); ok {
+			return
+		}
+		if _, ok := ck.c.Globals[e.Name]; ok {
+			return
+		}
+		if bc.inSem {
+			if _, ok := ck.c.Fields[e.Name]; ok {
+				return
+			}
+		}
+		ck.errorf(e.P, "undeclared identifier %q", e.Name)
+	case *ast.Index:
+		arr, ok := e.Arr.(*ast.Ident)
+		if !ok {
+			ck.errorf(e.P, "only named arrays can be indexed")
+			return
+		}
+		if g, ok := ck.c.Globals[arr.Name]; !ok || g.Kind != ast.ValArray {
+			ck.errorf(e.P, "%q is not a global array", arr.Name)
+		}
+		bc.expr(e.Idx, sc)
+	case *ast.Unary:
+		bc.expr(e.X, sc)
+	case *ast.Binary:
+		bc.expr(e.L, sc)
+		bc.expr(e.R, sc)
+	case *ast.Call:
+		bc.call(e, sc)
+	case *ast.Attr:
+		bc.attr(e, sc)
+	}
+}
+
+func (bc *bodyChecker) call(e *ast.Call, sc *scope) {
+	ck := bc.ck
+	for _, a := range e.Args {
+		bc.expr(a, sc)
+	}
+	if e.Name == SetArgs {
+		if bc.fun == nil || bc.fun.Name != "main" {
+			// set_args is legal anywhere main's inlined body can reach, so
+			// allow it in sems and helpers too; arity is checked against main.
+		}
+		main := ck.c.Main
+		if main == nil {
+			return
+		}
+		if len(e.Args) != len(main.Params) {
+			ck.errorf(e.P, "%s needs %d arguments to match main's parameters", SetArgs, len(main.Params))
+		}
+		for i, a := range e.Args {
+			if i < len(main.Params) && main.Params[i].Kind == ast.ParamQueue {
+				id, ok := a.(*ast.Ident)
+				if !ok {
+					ck.errorf(a.Pos(), "argument %d of %s must name main's queue parameter %q",
+						i+1, SetArgs, main.Params[i].Name)
+					continue
+				}
+				if k, found := sc.lookup(id.Name); !found || k != ast.ValQueue {
+					ck.errorf(a.Pos(), "argument %d of %s must be the queue parameter %q",
+						i+1, SetArgs, main.Params[i].Name)
+				}
+			}
+		}
+		return
+	}
+	if f, ok := ck.c.Funs[e.Name]; ok {
+		if e.Name == "main" {
+			ck.errorf(e.P, "main cannot be called directly")
+		}
+		if len(e.Args) != len(f.Params) {
+			ck.errorf(e.P, "%q expects %d arguments, got %d", e.Name, len(f.Params), len(e.Args))
+		}
+		bc.calls[e.Name] = true
+		return
+	}
+	if x, ok := ck.c.Externs[e.Name]; ok {
+		if len(e.Args) != x.NArgs {
+			ck.errorf(e.P, "extern %q expects %d arguments, got %d", e.Name, x.NArgs, len(e.Args))
+		}
+		return
+	}
+	ck.errorf(e.P, "call to undeclared function %q", e.Name)
+}
+
+func (bc *bodyChecker) attr(e *ast.Attr, sc *scope) {
+	ck := bc.ck
+	for _, a := range e.Args {
+		bc.expr(a, sc)
+	}
+	// Queue attributes require a queue receiver.
+	if arity, isQ := queueAttrs[e.Name]; isQ {
+		id, ok := e.X.(*ast.Ident)
+		if !ok {
+			ck.errorf(e.P, "?%s requires a named queue", e.Name)
+			return
+		}
+		var width int
+		if k, found := sc.lookup(id.Name); found && k == ast.ValQueue {
+			if main := ck.c.Main; main != nil {
+				for _, prm := range main.Params {
+					if prm.Name == id.Name {
+						width = prm.QueueW
+					}
+				}
+			}
+		} else if g, found := ck.c.Globals[id.Name]; found && g.Kind == ast.ValQueue {
+			width = g.QueueW
+		} else {
+			ck.errorf(e.P, "?%s requires a queue, but %q is not one", e.Name, id.Name)
+			return
+		}
+		want := arity
+		if e.Name == "push" {
+			want = width
+		}
+		if len(e.Args) != want {
+			ck.errorf(e.P, "?%s on %q expects %d arguments, got %d", e.Name, id.Name, want, len(e.Args))
+		}
+		return
+	}
+	switch e.Name {
+	case "sext", "zext":
+		bc.expr(e.X, sc)
+		if len(e.Args) != 1 {
+			ck.errorf(e.P, "?%s expects one argument (bit width)", e.Name)
+			return
+		}
+		if v, ok := constFold(e.Args[0]); !ok || v < 1 || v > 64 {
+			ck.errorf(e.P, "?%s width must be a constant in 1..64", e.Name)
+		}
+	case "pin":
+		bc.expr(e.X, sc)
+		if len(e.Args) != 0 {
+			ck.errorf(e.P, "?pin takes no arguments")
+		}
+	case "exec", "fetch":
+		bc.expr(e.X, sc)
+		if len(e.Args) != 0 {
+			ck.errorf(e.P, "?%s takes no arguments", e.Name)
+		}
+		if ck.c.TokenWidth == 0 {
+			ck.errorf(e.P, "?%s requires a token declaration", e.Name)
+		}
+	default:
+		ck.errorf(e.P, "unknown attribute ?%s", e.Name)
+	}
+}
+
+// checkNoRecursion enforces the language restriction that simplifies
+// inter-procedural analysis and miss recovery (paper §3.2).
+func (ck *checker) checkNoRecursion() {
+	// The call graph includes sem bodies, reachable via ?exec from any
+	// function; approximate by linking every function that uses ?exec or a
+	// pattern switch to every sem. Conservatively: link all funs to all
+	// sems, and forbid sems calling anything that can reach a sem or main.
+	state := map[string]int{}
+	var visit func(name string, pos token.Pos) bool
+	visit = func(name string, pos token.Pos) bool {
+		switch state[name] {
+		case 1:
+			ck.errorf(pos, "recursion detected through %q — Facile forbids recursion", name)
+			return false
+		case 2:
+			return true
+		}
+		state[name] = 1
+		for callee := range ck.callGraph[name] {
+			f := ck.c.Funs[callee]
+			if f == nil {
+				continue
+			}
+			if !visit(callee, f.P) {
+				return false
+			}
+		}
+		state[name] = 2
+		return true
+	}
+	for name, f := range ck.c.Funs {
+		visit(name, f.P)
+	}
+	for _, s := range ck.c.Prog.Sems {
+		// sems may call helper functions; helpers must not use ?exec
+		// (which would re-enter sems). Detect: any function reachable from
+		// a sem that itself (transitively) dispatches is rejected at
+		// compile time by the inliner; here we just check direct cycles.
+		visit("sem "+s.PatName, s.P)
+	}
+}

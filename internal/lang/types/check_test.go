@@ -1,0 +1,207 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"facile/internal/lang/parser"
+	"facile/internal/lang/token"
+)
+
+func checkOK(t *testing.T, src string) *Checked {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := Check(p)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return c
+}
+
+func checkErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Check(p); err == nil {
+		t.Fatalf("expected semantic error containing %q", wantSub)
+	} else if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+const miniISA = `
+token w[32] fields op 26:31, rd 21:25, f 0:15;
+pat a = op == 1;
+pat b = op == 2;
+val R = array(8){0};
+sem a { R[rd] = f; }
+`
+
+func TestMinimalProgram(t *testing.T) {
+	c := checkOK(t, miniISA+`fun main(pc) { PC2 = pc; set_args(pc + 4); } val PC2;`)
+	if c.Main == nil || c.TokenWidth != 32 {
+		t.Fatal("main/token missing")
+	}
+	if len(c.PatOrder) != 2 || c.PatOrder[0] != "a" {
+		t.Fatalf("pat order %v", c.PatOrder)
+	}
+}
+
+func TestMissingMain(t *testing.T) {
+	checkErr(t, `val x;`, "must define fun main")
+}
+
+func TestRecursionRejected(t *testing.T) {
+	checkErr(t, `
+fun f(x) { return g(x); }
+fun g(x) { return f(x); }
+fun main(p) { f(p); set_args(p); }
+`, "recursion")
+	checkErr(t, `
+fun f(x) { return f(x); }
+fun main(p) { f(p); set_args(p); }
+`, "recursion")
+}
+
+func TestPatternErrors(t *testing.T) {
+	checkErr(t, `
+token w[32] fields op 0:5;
+pat a = b;
+pat b = a;
+fun main(p) { set_args(p); }
+`, "recursively")
+	checkErr(t, `
+token w[32] fields op 0:5;
+pat a = nosuch == 1;
+fun main(p) { set_args(p); }
+`, "neither a field nor a pattern")
+	checkErr(t, `
+token w[32] fields op 0:5;
+pat a = op + 1;
+fun main(p) { set_args(p); }
+`, "not allowed in pattern")
+}
+
+func TestFieldRangeErrors(t *testing.T) {
+	checkErr(t, `
+token w[32] fields op 30:40;
+fun main(p) { set_args(p); }
+`, "bit range")
+	checkErr(t, `
+token w[80] fields op 0:5;
+fun main(p) { set_args(p); }
+`, "out of range")
+}
+
+func TestScopeErrors(t *testing.T) {
+	checkErr(t, `fun main(p) { x = 1; set_args(p); }`, "undeclared")
+	checkErr(t, `fun main(p) { val y = nope; set_args(p); }`, "undeclared")
+	checkErr(t, miniISA+`fun main(p) { val z = rd; set_args(p); }`, "undeclared") // field outside sem
+}
+
+func TestFieldsInScopeInsideSemAndPatCase(t *testing.T) {
+	checkOK(t, miniISA+`
+fun main(p) {
+    switch (p) {
+      pat b: { R[rd] = f + 1; }
+    }
+    set_args(p);
+}
+`)
+}
+
+func TestQueueRules(t *testing.T) {
+	checkErr(t, `
+fun helper(q: queue(4, 2)) { return 0; }
+fun main(p) { set_args(p); }
+`, "only legal on main")
+	checkErr(t, `
+fun main(q: queue(4, 2), p) { q = p; set_args(q, p); }
+`, "cannot assign to queue")
+	checkErr(t, `
+fun main(q: queue(4, 2), p) { q?push(p); set_args(q, p); }
+`, "expects 2 arguments")
+	checkErr(t, `
+fun main(q: queue(4, 2), p) { set_args(p, p); }
+`, "must be the queue parameter")
+	checkOK(t, `
+fun main(q: queue(4, 2), p) {
+    if (!q?full()) { q?push(p, p * 2); }
+    if (q?size() > 2) { q?pop(); }
+    set_args(q, q?front(0) + q?get(1, 1));
+}
+`)
+}
+
+func TestSetArgsArity(t *testing.T) {
+	checkErr(t, `fun main(a, b) { set_args(a); }`, "needs 2 arguments")
+}
+
+func TestArityErrors(t *testing.T) {
+	checkErr(t, `
+fun f(a, b) { return a + b; }
+fun main(p) { f(p); set_args(p); }
+`, "expects 2 arguments")
+	checkErr(t, `
+extern e(2);
+fun main(p) { e(p); set_args(p); }
+`, "expects 2 arguments")
+	checkErr(t, `fun main(p) { nosuch(p); set_args(p); }`, "undeclared function")
+}
+
+func TestAttrErrors(t *testing.T) {
+	checkErr(t, `fun main(p) { val x = p?sext(0); set_args(p); }`, "must be a constant in 1..64")
+	checkErr(t, `fun main(p) { val x = p?bogus(); set_args(p); }`, "unknown attribute")
+	checkErr(t, `fun main(p) { p?exec(); set_args(p); }`, "requires a token declaration")
+	checkErr(t, `fun main(p) { val x = p?size(); set_args(p); }`, "requires a queue")
+}
+
+func TestDuplicateErrors(t *testing.T) {
+	checkErr(t, `val x; val x; fun main(p) { set_args(p); }`, "duplicate global")
+	checkErr(t, `fun f(a, a) { return 0; } fun main(p) { set_args(p); }`, "duplicate parameter")
+	checkErr(t, `
+token w[32] fields op 0:5, op 6:7;
+fun main(p) { set_args(p); }
+`, "duplicate field")
+	checkErr(t, `
+token w[32] fields op 0:5;
+pat a = op == 0;
+pat a = op == 1;
+fun main(p) { set_args(p); }
+`, "duplicate pattern")
+	checkErr(t, `
+token w[32] fields op 0:5;
+pat a = op == 0;
+sem a { }
+sem a { }
+fun main(p) { set_args(p); }
+`, "duplicate sem")
+	checkErr(t, `
+token w[32] fields op 0:5;
+sem nosem { }
+fun main(p) { set_args(p); }
+`, "undeclared pattern")
+}
+
+func TestLocalArrayRejected(t *testing.T) {
+	checkErr(t, `fun main(p) { val a = array(4){0}; set_args(p); }`, "declared globally")
+}
+
+func TestBreakOutsideLoop(t *testing.T) {
+	checkErr(t, `fun main(p) { break; set_args(p); }`, "break outside loop")
+	checkErr(t, `fun main(p) { continue; set_args(p); }`, "continue outside loop")
+}
+
+func TestEvalBinaryDivByZero(t *testing.T) {
+	if EvalBinary(tokSLASH(), 5, 0) != 0 || EvalBinary(tokPERCENT(), 5, 0) != 0 {
+		t.Fatal("division by zero must yield 0")
+	}
+}
+
+func tokSLASH() token.Kind   { return token.SLASH }
+func tokPERCENT() token.Kind { return token.PERCENT }

@@ -1,0 +1,152 @@
+// Package mem implements the sparse, paged, little-endian byte-addressed
+// memory used by every simulator in this repository.
+package mem
+
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// Memory is a sparse 64-bit address space. Reads of unmapped addresses
+// return zero; writes allocate pages on demand. The zero value is ready to
+// use after calling New (pages map must exist).
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// Clone returns a deep copy of m.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for k, p := range m.pages {
+		np := *p
+		c.pages[k] = &np
+	}
+	return c
+}
+
+// Reset drops every mapped page.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint64]*page)
+}
+
+// FootprintBytes reports the bytes of mapped storage.
+func (m *Memory) FootprintBytes() uint64 {
+	return uint64(len(m.pages)) * pageSize
+}
+
+func (m *Memory) pageFor(addr uint64, alloc bool) *page {
+	key := addr >> pageBits
+	p := m.pages[key]
+	if p == nil && alloc {
+		p = new(page)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Read8 reads one byte.
+func (m *Memory) Read8(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write8 writes one byte.
+func (m *Memory) Write8(addr uint64, v byte) {
+	m.pageFor(addr, true)[addr&pageMask] = v
+}
+
+// Read64 reads a little-endian 64-bit value. Accesses may straddle pages.
+func (m *Memory) Read64(addr uint64) uint64 {
+	if addr&pageMask <= pageSize-8 {
+		if p := m.pageFor(addr, false); p != nil {
+			o := addr & pageMask
+			return uint64(p[o]) | uint64(p[o+1])<<8 | uint64(p[o+2])<<16 | uint64(p[o+3])<<24 |
+				uint64(p[o+4])<<32 | uint64(p[o+5])<<40 | uint64(p[o+6])<<48 | uint64(p[o+7])<<56
+		}
+		return 0
+	}
+	var v uint64
+	for i := uint(0); i < 8; i++ {
+		v |= uint64(m.Read8(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write64 writes a little-endian 64-bit value.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	if addr&pageMask <= pageSize-8 {
+		p := m.pageFor(addr, true)
+		o := addr & pageMask
+		p[o] = byte(v)
+		p[o+1] = byte(v >> 8)
+		p[o+2] = byte(v >> 16)
+		p[o+3] = byte(v >> 24)
+		p[o+4] = byte(v >> 32)
+		p[o+5] = byte(v >> 40)
+		p[o+6] = byte(v >> 48)
+		p[o+7] = byte(v >> 56)
+		return
+	}
+	for i := uint(0); i < 8; i++ {
+		m.Write8(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// Read32 reads a little-endian 32-bit value.
+func (m *Memory) Read32(addr uint64) uint32 {
+	if addr&pageMask <= pageSize-4 {
+		if p := m.pageFor(addr, false); p != nil {
+			o := addr & pageMask
+			return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+		}
+		return 0
+	}
+	var v uint32
+	for i := uint(0); i < 4; i++ {
+		v |= uint32(m.Read8(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write32 writes a little-endian 32-bit value.
+func (m *Memory) Write32(addr uint64, v uint32) {
+	if addr&pageMask <= pageSize-4 {
+		p := m.pageFor(addr, true)
+		o := addr & pageMask
+		p[o] = byte(v)
+		p[o+1] = byte(v >> 8)
+		p[o+2] = byte(v >> 16)
+		p[o+3] = byte(v >> 24)
+		return
+	}
+	for i := uint(0); i < 4; i++ {
+		m.Write8(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i, c := range b {
+		m.Write8(addr+uint64(i), c)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = m.Read8(addr + uint64(i))
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnmappedReadsZero(t *testing.T) {
+	m := New()
+	if m.Read8(0x1234) != 0 || m.Read32(0x99999) != 0 || m.Read64(1<<40) != 0 {
+		t.Fatal("unmapped memory should read zero")
+	}
+}
+
+func TestRead64WriteRoundTrip(t *testing.T) {
+	f := func(addr uint64, v uint64) bool {
+		addr %= 1 << 30
+		m := New()
+		m.Write64(addr, v)
+		return m.Read64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageStraddle(t *testing.T) {
+	m := New()
+	// Last byte of a page through the first bytes of the next.
+	addr := uint64(pageSize - 3)
+	m.Write64(addr, 0x1122334455667788)
+	if got := m.Read64(addr); got != 0x1122334455667788 {
+		t.Fatalf("straddled Read64 = %#x", got)
+	}
+	m.Write32(uint64(pageSize-2), 0xAABBCCDD)
+	if got := m.Read32(uint64(pageSize - 2)); got != 0xAABBCCDD {
+		t.Fatalf("straddled Read32 = %#x", got)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New()
+	m.Write32(0x100, 0x04030201)
+	for i := uint64(0); i < 4; i++ {
+		if got := m.Read8(0x100 + i); got != byte(i+1) {
+			t.Fatalf("byte %d = %#x, want %#x", i, got, i+1)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	m := New()
+	b := []byte("hello, memory subsystem")
+	m.WriteBytes(0xFF0, b) // straddles a page
+	if got := m.ReadBytes(0xFF0, len(b)); !bytes.Equal(got, b) {
+		t.Fatalf("ReadBytes = %q", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New()
+	m.Write64(64, 7)
+	c := m.Clone()
+	c.Write64(64, 9)
+	if m.Read64(64) != 7 || c.Read64(64) != 9 {
+		t.Fatal("Clone shares pages with original")
+	}
+}
+
+func TestResetAndFootprint(t *testing.T) {
+	m := New()
+	if m.FootprintBytes() != 0 {
+		t.Fatal("fresh memory has nonzero footprint")
+	}
+	m.Write8(0, 1)
+	m.Write8(1<<20, 1)
+	if m.FootprintBytes() != 2*pageSize {
+		t.Fatalf("footprint = %d, want %d", m.FootprintBytes(), 2*pageSize)
+	}
+	m.Reset()
+	if m.FootprintBytes() != 0 || m.Read8(0) != 0 {
+		t.Fatal("Reset did not clear memory")
+	}
+}

@@ -1,0 +1,143 @@
+package rt
+
+import "encoding/binary"
+
+// node is one action in the specialized action cache: an executed dynamic
+// basic block, identified by its action number (the block ID), plus the
+// run-time static placeholder data its dynamic instructions consume.
+// Dynamic-result nodes (dynamic branches and dynamic next-step arguments)
+// fork by observed value; end-of-step nodes carry the global lifts and the
+// link to the next cache entry (the paper's INDEX action).
+type node struct {
+	blockID int32
+	data    []int64 // placeholder values, in dynamic-segment order
+	next    *node
+	forks   []nfork
+
+	// end-of-step (DTRet) only:
+	nextKey string
+	link    *centry
+	linkGen uint64
+}
+
+type nfork struct {
+	val  int64
+	next *node
+}
+
+func (n *node) findFork(v int64) (*node, bool) {
+	for i := range n.forks {
+		if n.forks[i].val == v {
+			return n.forks[i].next, true
+		}
+	}
+	return nil, false
+}
+
+// centry is one specialized action cache entry, keyed by the serialized
+// run-time static arguments of main.
+type centry struct {
+	key   string
+	first *node
+	gen   uint64
+}
+
+// Byte-accounting model for the cache-size cap and the Table 2 metric.
+const (
+	nodeBytes  = 72
+	forkBytes  = 24
+	entryBytes = 48
+	valBytes   = 8
+)
+
+// acache is the specialized action cache with clear-when-full (§6.1).
+type acache struct {
+	m        map[string]*centry
+	bytes    uint64
+	capBytes uint64
+	gen      uint64
+
+	totalBytes uint64
+	clears     uint64
+}
+
+func newACache(capBytes uint64) *acache {
+	return &acache{m: make(map[string]*centry), capBytes: capBytes}
+}
+
+func (c *acache) get(key string) *centry { return c.m[key] }
+
+func (c *acache) put(e *centry) {
+	if c.capBytes > 0 && c.bytes > c.capBytes {
+		c.m = make(map[string]*centry)
+		c.bytes = 0
+		c.gen++
+		c.clears++
+	}
+	e.gen = c.gen
+	c.m[e.key] = e
+	c.charge(uint64(entryBytes + len(e.key)))
+}
+
+func (c *acache) charge(n uint64) {
+	c.bytes += n
+	c.totalBytes += n
+}
+
+// buildKey serializes the run-time static inputs of main — the integer
+// arguments and the contents of every queue parameter — into the action
+// cache key. The encoding is invertible: miss recovery restores main's
+// arguments from the key (paper §2.1: "reads its static input from the
+// cache entry's index key").
+func buildKey(argI []int64, argQ []*Queue) string {
+	n := 0
+	for range argI {
+		n += binary.MaxVarintLen64
+	}
+	for _, q := range argQ {
+		n += binary.MaxVarintLen64 * (1 + len(q.data))
+	}
+	buf := make([]byte, n)
+	off := 0
+	for _, v := range argI {
+		off += binary.PutVarint(buf[off:], v)
+	}
+	for _, q := range argQ {
+		off += binary.PutUvarint(buf[off:], uint64(q.Size()))
+		for _, v := range q.data {
+			off += binary.PutVarint(buf[off:], v)
+		}
+	}
+	return string(buf[:off])
+}
+
+// parseKey restores main's arguments from a cache key.
+func parseKey(key string, argI []int64, argQ []*Queue) bool {
+	buf := []byte(key)
+	off := 0
+	for i := range argI {
+		v, k := binary.Varint(buf[off:])
+		if k <= 0 {
+			return false
+		}
+		argI[i] = v
+		off += k
+	}
+	for _, q := range argQ {
+		sz, k := binary.Uvarint(buf[off:])
+		if k <= 0 || int(sz) > q.Cap() {
+			return false
+		}
+		off += k
+		q.data = q.data[:0]
+		for j := 0; j < int(sz)*q.Width(); j++ {
+			v, k := binary.Varint(buf[off:])
+			if k <= 0 {
+				return false
+			}
+			q.data = append(q.data, v)
+			off += k
+		}
+	}
+	return off == len(buf)
+}

@@ -1,0 +1,551 @@
+package rt
+
+import (
+	"fmt"
+
+	"facile/internal/lang/ir"
+	"facile/internal/lang/token"
+	"facile/internal/lang/types"
+)
+
+// Extern is a host (Go) function callable from Facile. External calls are
+// dynamic: the compiler never memoizes through them, so externs may hold
+// arbitrary mutable state (cache simulators, branch predictors, target
+// memory, output devices).
+type Extern func(args []int64) int64
+
+// TextSource provides the target program's text segment: the token stream
+// Facile's ?fetch/?exec read. Target instructions are run-time static
+// (paper §4.1, footnote: they do not change after loading).
+type TextSource interface {
+	FetchWord(addr uint64) uint32
+}
+
+// Options configures a Machine.
+type Options struct {
+	Memoize        bool
+	CacheCapBytes  uint64 // 0 = unlimited
+	StepInstBudget uint64 // IR instructions per step before aborting; 0 = default
+}
+
+const defaultStepBudget = 200_000_000
+
+// Stats reports run-time statistics.
+type Stats struct {
+	SlowSteps uint64 // steps executed by the slow/complete simulator
+	Replays   uint64 // steps replayed by the fast/residual simulator
+	Misses    uint64 // mid-step action cache misses (recoveries)
+	KeyMisses uint64 // step-boundary lookups that missed
+
+	SlowInsts uint64 // IR instructions executed by the slow simulator
+	FastOps   uint64 // dynamic instructions executed by the fast simulator
+
+	CacheBytes     uint64
+	CacheEntries   uint64
+	TotalMemoBytes uint64
+	CacheClears    uint64
+}
+
+// Machine executes a compiled Facile program with optional
+// fast-forwarding.
+type Machine struct {
+	p    *ir.Program
+	text TextSource
+	opt  Options
+
+	globals []int64
+	arrays  [][]int64
+	queuesG []*Queue
+	argQ    []*Queue // main queue parameters (run-time static state)
+	argI    []int64  // main integer arguments for the current step
+	argBuf  []int64  // next-step integer arguments (set_args targets)
+	vregs   []int64
+	externs []Extern
+
+	ac      *acache
+	started bool
+	curKey  string // key of the next step to run
+	stepKey string // key of the entry currently being replayed
+	path    []int64
+	stop    func(*Machine) bool
+	done    bool
+
+	stats Stats
+}
+
+// New builds a machine for the compiled program p over the given target
+// text.
+func New(p *ir.Program, text TextSource, opt Options) *Machine {
+	if opt.StepInstBudget == 0 {
+		opt.StepInstBudget = defaultStepBudget
+	}
+	m := &Machine{
+		p:       p,
+		text:    text,
+		opt:     opt,
+		globals: make([]int64, len(p.Globals)),
+		arrays:  make([][]int64, len(p.Arrays)),
+		queuesG: make([]*Queue, len(p.QueuesG)),
+		vregs:   make([]int64, p.NumVReg),
+		externs: make([]Extern, len(p.Externs)),
+		ac:      newACache(opt.CacheCapBytes),
+	}
+	for i, g := range p.Globals {
+		m.globals[i] = g.Init
+	}
+	for i, a := range p.Arrays {
+		m.arrays[i] = make([]int64, a.Len)
+		for j := range m.arrays[i] {
+			m.arrays[i][j] = a.Init
+		}
+	}
+	for i, q := range p.QueuesG {
+		m.queuesG[i] = NewQueue(q.Cap, q.Width)
+	}
+	nInt := 0
+	for _, prm := range p.Params {
+		if prm.IsQueue {
+			m.argQ = append(m.argQ, NewQueue(prm.Queue.Cap, prm.Queue.Width))
+		} else {
+			nInt++
+		}
+	}
+	m.argI = make([]int64, nInt)
+	m.argBuf = make([]int64, nInt)
+	return m
+}
+
+// RegisterExtern installs the host implementation of a declared extern.
+func (m *Machine) RegisterExtern(name string, fn Extern) error {
+	for i, n := range m.p.Externs {
+		if n == name {
+			m.externs[i] = fn
+			return nil
+		}
+	}
+	return fmt.Errorf("rt: program declares no extern %q", name)
+}
+
+// SetStop installs the termination predicate, evaluated at every step
+// boundary (identically for memoized and non-memoized runs).
+func (m *Machine) SetStop(fn func(*Machine) bool) { m.stop = fn }
+
+// SetIntArgs seeds main's integer arguments for the first step.
+func (m *Machine) SetIntArgs(args ...int64) error {
+	if len(args) != len(m.argI) {
+		return fmt.Errorf("rt: main takes %d integer arguments, got %d", len(m.argI), len(args))
+	}
+	copy(m.argI, args)
+	return nil
+}
+
+// ArgQueue returns main's i-th queue parameter for seeding initial state.
+func (m *Machine) ArgQueue(i int) *Queue { return m.argQ[i] }
+
+// Global returns the current value of a global by name (for drivers and
+// tests; Facile programs expose results through globals and externs).
+func (m *Machine) Global(name string) (int64, bool) {
+	for i, g := range m.p.Globals {
+		if g.Name == name {
+			return m.globals[i], true
+		}
+	}
+	return 0, false
+}
+
+// SetGlobal writes a global by name.
+func (m *Machine) SetGlobal(name string, v int64) bool {
+	for i, g := range m.p.Globals {
+		if g.Name == name {
+			m.globals[i] = v
+			return true
+		}
+	}
+	return false
+}
+
+// Array returns a global array by name.
+func (m *Machine) Array(name string) ([]int64, bool) {
+	for i, a := range m.p.Arrays {
+		if a.Name == name {
+			return m.arrays[i], true
+		}
+	}
+	return nil, false
+}
+
+// Stats returns run statistics.
+func (m *Machine) Stats() Stats {
+	st := m.stats
+	st.CacheBytes = m.ac.bytes
+	st.CacheEntries = uint64(len(m.ac.m))
+	st.TotalMemoBytes = m.ac.totalBytes
+	st.CacheClears = m.ac.clears
+	return st
+}
+
+// Done reports whether the stop predicate has fired.
+func (m *Machine) Done() bool { return m.done }
+
+// Run executes steps until the stop predicate fires or maxSteps steps
+// complete (0 = unlimited).
+func (m *Machine) Run(maxSteps uint64) error {
+	if !m.started {
+		m.curKey = buildKey(m.argI, m.argQ)
+		m.started = true
+	}
+	steps := func() uint64 { return m.stats.SlowSteps + m.stats.Replays }
+	for !m.done {
+		if maxSteps > 0 && steps() >= maxSteps {
+			return nil
+		}
+		if m.opt.Memoize {
+			if e := m.ac.get(m.curKey); e != nil {
+				if err := m.replayFrom(e, maxSteps); err != nil {
+					return err
+				}
+				continue
+			}
+			m.stats.KeyMisses++
+		}
+		if !parseKey(m.curKey, m.argI, m.argQ) {
+			return fmt.Errorf("rt: corrupt action cache key")
+		}
+		var rec *recorder
+		var ent *centry
+		if m.opt.Memoize {
+			ent = &centry{key: m.curKey}
+			rec = &recorder{m: m, tail: &ent.first}
+		}
+		if err := m.runStepSlow(rec, nil); err != nil {
+			return err
+		}
+		if ent != nil {
+			m.ac.put(ent)
+		}
+	}
+	return nil
+}
+
+// recorder appends new actions to the specialized action cache during slow
+// simulation.
+type recorder struct {
+	m    *Machine
+	tail **node
+}
+
+func (r *recorder) attach(n *node) {
+	*r.tail = n
+	r.tail = &n.next
+	r.m.ac.charge(nodeBytes + uint64(cap(n.data))*valBytes)
+}
+
+// fork records a dynamic result v on node n and redirects recording into
+// the new successor chain.
+func (r *recorder) fork(n *node, v int64) {
+	n.forks = append(n.forks, nfork{val: v})
+	r.tail = &n.forks[len(n.forks)-1].next
+	r.m.ac.charge(forkBytes)
+}
+
+// runStepSlow executes one step of the slow/complete simulator. When path
+// is non-nil the step starts in recovery mode: run-time static code
+// executes normally, dynamic instructions are skipped (the failed replay
+// already performed them), and dynamic-result tests consume the values in
+// path — whose last element is the miss value itself. rec, when non-nil,
+// records new actions (recovery mode pre-attaches rec.tail to the miss
+// node's new fork).
+func (m *Machine) runStepSlow(rec *recorder, path []int64) error {
+	m.stats.SlowSteps++
+	// Seed main's integer-parameter vregs (they occupy the first vregs in
+	// declaration order).
+	for i := range m.argI {
+		m.vregs[i] = m.argI[i]
+	}
+	copy(m.argBuf, m.argI) // set_args defaults to re-running with same args
+	recovering := len(path) > 0
+	pi := 0
+	budget := m.opt.StepInstBudget
+	bi := m.p.Entry
+	for {
+		blk := m.p.Blocks[bi]
+		var n *node
+		if rec != nil && !recovering && blk.HasDyn {
+			n = &node{blockID: int32(bi)}
+			if blk.NPh > 0 {
+				n.data = make([]int64, 0, blk.NPh)
+			}
+			rec.attach(n)
+		}
+		dynIdx := 0
+		if budget < uint64(len(blk.Insts)) {
+			return fmt.Errorf("rt: step exceeded the instruction budget (non-terminating step?)")
+		}
+		budget -= uint64(len(blk.Insts))
+		m.stats.SlowInsts += uint64(len(blk.Insts))
+		vr := m.vregs
+		for i := range blk.Insts {
+			inst := &blk.Insts[i]
+			if inst.BT == ir.BTStatic {
+				// Inline fast paths for the hottest rt-static ops; the
+				// generic interpreter handles the rest.
+				switch inst.Op {
+				case ir.Const:
+					vr[inst.D] = inst.Imm
+				case ir.Bin:
+					vr[inst.D] = types.EvalBinary(token.Kind(inst.Sub), vr[inst.A], vr[inst.B])
+				case ir.Mov:
+					vr[inst.D] = vr[inst.A]
+				default:
+					m.exec(inst)
+				}
+				continue
+			}
+			if inst.BT == ir.BTStaticWT {
+				// Run-time static computation whose value dynamic code can
+				// observe: execute it, then memoize the result so the fast
+				// simulator re-applies it during replay (the placeholder is
+				// the just-computed value).
+				m.exec(inst)
+				if !recovering {
+					if rec != nil {
+						di := &blk.Dyn[dynIdx]
+						n.data = appendPh(n.data, di, m.vregs)
+					}
+					dynIdx++
+				}
+				continue
+			}
+			if inst.Op == ir.SetArg {
+				if recovering {
+					m.argBuf[inst.Imm] = path[pi]
+					pi++
+					if pi == len(path) {
+						recovering = false
+					}
+				} else {
+					v := m.vregs[inst.A]
+					m.argBuf[inst.Imm] = v
+					if rec != nil {
+						rec.fork(n, v)
+					}
+				}
+				continue
+			}
+			if inst.Op == ir.Pin {
+				// dynamic result test: the pinned value becomes rt-static
+				if recovering {
+					m.vregs[inst.D] = path[pi]
+					pi++
+					if pi == len(path) {
+						recovering = false
+					}
+				} else {
+					v := m.vregs[inst.A]
+					m.vregs[inst.D] = v
+					if rec != nil {
+						rec.fork(n, v)
+					}
+				}
+				continue
+			}
+			if recovering {
+				dynIdx++
+				continue
+			}
+			if rec != nil {
+				di := &blk.Dyn[dynIdx]
+				n.data = appendPh(n.data, di, m.vregs)
+			}
+			dynIdx++
+			m.exec(inst)
+		}
+		switch blk.Term.Op {
+		case ir.Jmp:
+			bi = blk.Succ[0]
+		case ir.Br:
+			var taken bool
+			if blk.Term.BT == ir.BTDynamic {
+				if recovering {
+					taken = path[pi] != 0
+					pi++
+					if pi == len(path) {
+						recovering = false
+					}
+				} else {
+					v := int64(0)
+					if m.vregs[blk.Term.A] != 0 {
+						v = 1
+					}
+					taken = v != 0
+					if rec != nil {
+						rec.fork(n, v)
+					}
+				}
+			} else {
+				taken = m.vregs[blk.Term.A] != 0
+			}
+			if taken {
+				bi = blk.Succ[0]
+			} else {
+				bi = blk.Succ[1]
+			}
+		case ir.Ret:
+			if recovering {
+				return fmt.Errorf("rt: recovery did not reach the miss point before the step ended")
+			}
+			copy(m.argI, m.argBuf)
+			key := buildKey(m.argI, m.argQ)
+			if rec != nil {
+				n.nextKey = key
+				m.ac.charge(uint64(len(key)))
+			}
+			m.curKey = key
+			if m.stop != nil && m.stop(m) {
+				m.done = true
+			}
+			return nil
+		}
+	}
+}
+
+// appendPh appends the current values of di's run-time static placeholder
+// operands, in the order the fast simulator reads them.
+func appendPh(data []int64, di *ir.DynInst, vregs []int64) []int64 {
+	if di.A.Kind == ir.SrcPh {
+		data = append(data, vregs[di.A.VReg])
+	}
+	if di.B.Kind == ir.SrcPh {
+		data = append(data, vregs[di.B.VReg])
+	}
+	for _, a := range di.Args {
+		if a.Kind == ir.SrcPh {
+			data = append(data, vregs[a.VReg])
+		}
+	}
+	return data
+}
+
+func (m *Machine) queue(qid int32) *Queue {
+	if qid >= 0 {
+		return m.queuesG[qid]
+	}
+	return m.argQ[^qid]
+}
+
+// exec interprets one IR instruction against the machine state.
+func (m *Machine) exec(inst *ir.Inst) {
+	v := m.vregs
+	switch inst.Op {
+	case ir.Const:
+		v[inst.D] = inst.Imm
+	case ir.Mov:
+		v[inst.D] = v[inst.A]
+	case ir.Bin:
+		v[inst.D] = types.EvalBinary(token.Kind(inst.Sub), v[inst.A], v[inst.B])
+	case ir.Un:
+		v[inst.D] = evalUn(inst.Sub, v[inst.A])
+	case ir.Ext:
+		v[inst.D] = extend(v[inst.A], inst.Imm, inst.Sub == 1)
+	case ir.LoadG:
+		v[inst.D] = m.globals[inst.Imm]
+	case ir.StoreG:
+		m.globals[inst.Imm] = v[inst.A]
+	case ir.LoadA:
+		arr := m.arrays[inst.Imm]
+		i := v[inst.A]
+		if i >= 0 && i < int64(len(arr)) {
+			v[inst.D] = arr[i]
+		} else {
+			v[inst.D] = 0
+		}
+	case ir.StoreA:
+		arr := m.arrays[inst.Imm]
+		i := v[inst.A]
+		if i >= 0 && i < int64(len(arr)) {
+			arr[i] = v[inst.B]
+		}
+	case ir.Fetch:
+		v[inst.D] = int64(m.text.FetchWord(uint64(v[inst.A])))
+	case ir.QOp:
+		m.execQOp(inst)
+	case ir.CallExt:
+		fn := m.externs[inst.Imm]
+		if fn == nil {
+			panic(fmt.Sprintf("rt: extern %q not registered", m.p.Externs[inst.Imm]))
+		}
+		args := make([]int64, len(inst.Args))
+		for i, a := range inst.Args {
+			args[i] = v[a]
+		}
+		v[inst.D] = fn(args)
+	case ir.SetArg:
+		m.argBuf[inst.Imm] = v[inst.A]
+	case ir.Pin:
+		v[inst.D] = v[inst.A]
+	}
+}
+
+func (m *Machine) execQOp(inst *ir.Inst) {
+	v := m.vregs
+	q := m.queue(inst.QID)
+	var res int64
+	switch inst.Sub {
+	case ir.QSize:
+		res = int64(q.Size())
+	case ir.QPush:
+		vals := make([]int64, len(inst.Args))
+		for i, a := range inst.Args {
+			vals[i] = v[a]
+		}
+		q.Push(vals)
+	case ir.QPop:
+		res = q.Pop()
+	case ir.QGet:
+		res = q.Get(v[inst.A], v[inst.B])
+	case ir.QSet:
+		q.Set(v[inst.A], v[inst.B], v[inst.Args[0]])
+	case ir.QFront:
+		res = q.Front(v[inst.A])
+	case ir.QFull:
+		if q.Full() {
+			res = 1
+		}
+	case ir.QClear:
+		q.Clear()
+	}
+	if inst.D >= 0 {
+		v[inst.D] = res
+	}
+}
+
+func evalUn(sub uint8, a int64) int64 {
+	switch token.Kind(sub) {
+	case token.MINUS:
+		return -a
+	case token.TILDE:
+		return ^a
+	case token.NOT:
+		if a == 0 {
+			return 1
+		}
+		return 0
+	}
+	panic(fmt.Sprintf("rt: unknown unary op %d", sub))
+}
+
+func extend(a int64, bits int64, signed bool) int64 {
+	if bits >= 64 {
+		return a
+	}
+	shift := uint(64 - bits)
+	if signed {
+		return a << shift >> shift
+	}
+	return int64(uint64(a) << shift >> shift)
+}
+
+// DebugState exposes internals for tests (current key bytes and args).
+func (m *Machine) DebugState() (key string, argI []int64) {
+	return m.curKey, append([]int64(nil), m.argI...)
+}

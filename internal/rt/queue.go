@@ -1,0 +1,89 @@
+// Package rt implements the Facile run-time system: the slow/complete
+// interpreter, the fast/residual replayer, the specialized action cache
+// that couples them, and the built-in data structures (double-ended
+// queues, token streams backed by the target text).
+package rt
+
+import "fmt"
+
+// Queue is Facile's built-in bounded queue of fixed-width integer tuples,
+// used to model micro-architecture structures such as the paper's
+// instruction queue. Queues passed as main parameters are run-time static:
+// their contents are part of the specialized action cache key.
+type Queue struct {
+	width int
+	cap   int
+	data  []int64 // size*width values, front first
+}
+
+// NewQueue builds a queue with the given capacity (entries) and tuple
+// width (fields per entry).
+func NewQueue(capacity, width int) *Queue {
+	return &Queue{width: width, cap: capacity, data: make([]int64, 0, capacity*width)}
+}
+
+// Size reports the number of entries.
+func (q *Queue) Size() int { return len(q.data) / q.width }
+
+// Width reports the tuple width.
+func (q *Queue) Width() int { return q.width }
+
+// Cap reports the capacity in entries.
+func (q *Queue) Cap() int { return q.cap }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue) Full() bool { return q.Size() >= q.cap }
+
+// Push appends one entry; it panics if vals has the wrong width and
+// silently drops when full (Facile programs guard with ?full()).
+func (q *Queue) Push(vals []int64) {
+	if len(vals) != q.width {
+		panic(fmt.Sprintf("rt: queue push width %d != %d", len(vals), q.width))
+	}
+	if q.Full() {
+		return
+	}
+	q.data = append(q.data, vals...)
+}
+
+// Pop removes the front entry; out-of-range is a no-op returning 0.
+func (q *Queue) Pop() int64 {
+	if q.Size() == 0 {
+		return 0
+	}
+	v := q.data[0]
+	copy(q.data, q.data[q.width:])
+	q.data = q.data[:len(q.data)-q.width]
+	return v
+}
+
+// Get reads field f of entry i (0 = front); out-of-range reads 0.
+func (q *Queue) Get(i, f int64) int64 {
+	if i < 0 || f < 0 || int(i) >= q.Size() || int(f) >= q.width {
+		return 0
+	}
+	return q.data[int(i)*q.width+int(f)]
+}
+
+// Set writes field f of entry i; out-of-range is a no-op.
+func (q *Queue) Set(i, f, v int64) {
+	if i < 0 || f < 0 || int(i) >= q.Size() || int(f) >= q.width {
+		return
+	}
+	q.data[int(i)*q.width+int(f)] = v
+}
+
+// Front reads field f of the front entry.
+func (q *Queue) Front(f int64) int64 { return q.Get(0, f) }
+
+// Clear empties the queue.
+func (q *Queue) Clear() { q.data = q.data[:0] }
+
+// Snapshot returns a copy of the contents (for key building and tests).
+func (q *Queue) Snapshot() []int64 { return append([]int64(nil), q.data...) }
+
+// Restore replaces the contents (for miss recovery).
+func (q *Queue) Restore(data []int64) {
+	q.data = q.data[:0]
+	q.data = append(q.data, data...)
+}

@@ -1,0 +1,187 @@
+package rt
+
+import (
+	"fmt"
+
+	"facile/internal/lang/ir"
+	"facile/internal/lang/token"
+	"facile/internal/lang/types"
+)
+
+// replayFrom is the fast/residual simulator: it walks recorded action
+// nodes, executing only each block's dynamic segment (with run-time static
+// placeholder values supplied from the cache) and verifying every dynamic
+// result against the recorded forks. A value with no recorded successor is
+// an action cache miss: the slow simulator is restored from the entry's
+// key and re-run in recovery mode over the replayed path.
+func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
+	m.stepKey = e.key
+	m.path = m.path[:0]
+	n := e.first
+	for {
+		if n == nil {
+			return fmt.Errorf("rt: broken action chain in cache")
+		}
+		blk := m.p.Blocks[n.blockID]
+		ph := 0
+		for i := range blk.Dyn {
+			m.execDyn(&blk.Dyn[i], n.data, &ph)
+		}
+		m.stats.FastOps += uint64(len(blk.Dyn))
+		switch blk.DynTerm {
+		case ir.DTNone:
+			n = n.next
+		case ir.DTBr:
+			v := int64(0)
+			if m.vregs[blk.TermSrc.VReg] != 0 {
+				v = 1
+			}
+			m.path = append(m.path, v)
+			next, ok := n.findFork(v)
+			if !ok {
+				return m.missRecover(n)
+			}
+			n = next
+		case ir.DTSetArg, ir.DTPin:
+			v := m.vregs[blk.TermSrc.VReg]
+			m.path = append(m.path, v)
+			next, ok := n.findFork(v)
+			if !ok {
+				return m.missRecover(n)
+			}
+			n = next
+		case ir.DTRet:
+			m.stats.Replays++
+			m.curKey = n.nextKey
+			m.path = m.path[:0]
+			if m.stop != nil && m.stop(m) {
+				m.done = true
+				return nil
+			}
+			if maxSteps > 0 && m.stats.SlowSteps+m.stats.Replays >= maxSteps {
+				return nil
+			}
+			if n.link == nil || n.linkGen != m.ac.gen {
+				le := m.ac.get(n.nextKey)
+				if le == nil {
+					// step-boundary miss: Run's loop restores the slow
+					// simulator from curKey
+					return nil
+				}
+				n.link = le
+				n.linkGen = m.ac.gen
+			}
+			e = n.link
+			m.stepKey = e.key
+			n = e.first
+		}
+	}
+}
+
+// missRecover implements the paper's miss recovery: restore main's
+// arguments from the entry's index key, attach a new fork for the
+// unexpected dynamic result, and re-run the slow simulator in recovery
+// mode consuming the replayed path.
+func (m *Machine) missRecover(n *node) error {
+	m.stats.Misses++
+	if !parseKey(m.stepKey, m.argI, m.argQ) {
+		return fmt.Errorf("rt: corrupt entry key during recovery")
+	}
+	v := m.path[len(m.path)-1]
+	n.forks = append(n.forks, nfork{val: v})
+	m.ac.charge(forkBytes)
+	rec := &recorder{m: m, tail: &n.forks[len(n.forks)-1].next}
+	return m.runStepSlow(rec, m.path)
+}
+
+// execDyn executes one dynamic instruction of the fast simulator, reading
+// operands from dynamic vregs, recorded placeholders, or constants.
+func (m *Machine) execDyn(di *ir.DynInst, data []int64, ph *int) {
+	rd := func(s ir.Src) int64 {
+		switch s.Kind {
+		case ir.SrcVReg:
+			return m.vregs[s.VReg]
+		case ir.SrcPh:
+			v := data[*ph]
+			*ph++
+			return v
+		case ir.SrcConst:
+			return s.Const
+		}
+		return 0
+	}
+	switch di.Op {
+	case ir.Mov:
+		m.vregs[di.D] = rd(di.A)
+	case ir.Bin:
+		a := rd(di.A)
+		b := rd(di.B)
+		m.vregs[di.D] = types.EvalBinary(token.Kind(di.Sub), a, b)
+	case ir.Un:
+		m.vregs[di.D] = evalUn(di.Sub, rd(di.A))
+	case ir.Ext:
+		m.vregs[di.D] = extend(rd(di.A), di.Imm, di.Sub == 1)
+	case ir.LoadG:
+		m.vregs[di.D] = m.globals[di.Imm]
+	case ir.StoreG:
+		m.globals[di.Imm] = rd(di.A)
+	case ir.LoadA:
+		arr := m.arrays[di.Imm]
+		i := rd(di.A)
+		if i >= 0 && i < int64(len(arr)) {
+			m.vregs[di.D] = arr[i]
+		} else {
+			m.vregs[di.D] = 0
+		}
+	case ir.StoreA:
+		arr := m.arrays[di.Imm]
+		i := rd(di.A)
+		val := rd(di.B)
+		if i >= 0 && i < int64(len(arr)) {
+			arr[i] = val
+		}
+	case ir.Fetch:
+		m.vregs[di.D] = int64(m.text.FetchWord(uint64(rd(di.A))))
+	case ir.QOp:
+		// only dynamic (global) queues reach the fast simulator
+		q := m.queue(di.QID)
+		var res int64
+		switch di.Sub {
+		case ir.QSize:
+			res = int64(q.Size())
+		case ir.QPush:
+			vals := make([]int64, len(di.Args))
+			for i, a := range di.Args {
+				vals[i] = rd(a)
+			}
+			q.Push(vals)
+		case ir.QPop:
+			res = q.Pop()
+		case ir.QGet:
+			res = q.Get(rd(di.A), rd(di.B))
+		case ir.QSet:
+			a, b := rd(di.A), rd(di.B)
+			q.Set(a, b, rd(di.Args[0]))
+		case ir.QFront:
+			res = q.Front(rd(di.A))
+		case ir.QFull:
+			if q.Full() {
+				res = 1
+			}
+		case ir.QClear:
+			q.Clear()
+		}
+		if di.D >= 0 {
+			m.vregs[di.D] = res
+		}
+	case ir.CallExt:
+		fn := m.externs[di.Imm]
+		args := make([]int64, len(di.Args))
+		for i, a := range di.Args {
+			args[i] = rd(a)
+		}
+		m.vregs[di.D] = fn(args)
+	default:
+		panic(fmt.Sprintf("rt: unexpected dynamic op %d", di.Op))
+	}
+}

@@ -1,0 +1,152 @@
+package rt_test
+
+import (
+	"reflect"
+	"testing"
+
+	"facile/internal/core"
+	"facile/internal/rt"
+)
+
+// deepSrc mixes every memoization-relevant construct: rt-static and
+// dynamic global stores, a data-dependent branch tree, an external call, a
+// queue parameter, and a pinned dynamic result.
+const deepSrc = `
+val acc = 0;
+val last = 0;
+val hist = array(16){0};
+extern feed(1);
+
+fun main(q: queue(6, 2), k) {
+    // rt-static queue churn
+    if (q?full()) { q?pop(); }
+    q?push(k, k * 3 % 7);
+
+    // pinned dynamic result steering rt-static work
+    val v = feed(k)?pin();
+    val bonus = 0;
+    if (v % 2 == 0) { bonus = 10; } else { bonus = 1; }
+
+    // dynamic branch tree
+    val h = acc % 4;
+    if (h < 0) { h = -h; }
+    hist[h] = hist[h] + 1;
+    if (acc > 100) { acc = acc - 50; }
+    else {
+        if (acc % 3 == 0) { acc = acc + bonus + v; }
+        else { acc = acc + 1; }
+    }
+    last = k;           // rt-static store, dynamically read next step
+    acc = acc + last;   // dynamic read of the rt-static value (same step)
+    set_args(q, (k + 1) % 5);
+}
+`
+
+// runDeep executes deepSrc for steps with the given options and returns
+// (acc, hist, stats).
+func runDeep(t *testing.T, steps uint64, ropt rt.Options, copt core.Options, feedMod int64) (int64, []int64, rt.Stats) {
+	t.Helper()
+	sim, err := core.CompileSource(deepSrc, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine(core.NullText(), ropt)
+	i := int64(0)
+	m.RegisterExtern("feed", func(a []int64) int64 {
+		i++
+		return (i*i + a[0]) % feedMod
+	})
+	if err := m.SetIntArgs(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := m.Global("acc")
+	hist, _ := m.Array("hist")
+	return acc, append([]int64{}, hist...), m.Stats()
+}
+
+func TestDeepProgramMemoEquivalence(t *testing.T) {
+	const steps = 600
+	accP, histP, _ := runDeep(t, steps, rt.Options{Memoize: false}, core.Options{}, 9)
+	accM, histM, st := runDeep(t, steps, rt.Options{Memoize: true}, core.Options{}, 9)
+	if accP != accM || !reflect.DeepEqual(histP, histM) {
+		t.Fatalf("divergence: acc %d vs %d, hist %v vs %v", accP, accM, histP, histM)
+	}
+	if st.Replays == 0 || st.Misses == 0 {
+		t.Fatalf("expected replays and recoveries: %+v", st)
+	}
+}
+
+func TestDeepProgramLivenessEquivalence(t *testing.T) {
+	// The liveness write-through optimization must not change results.
+	const steps = 600
+	accA, histA, _ := runDeep(t, steps, rt.Options{Memoize: true}, core.Options{}, 9)
+	accB, histB, _ := runDeep(t, steps, rt.Options{Memoize: true}, core.Options{LiftLiveOnly: true}, 9)
+	if accA != accB || !reflect.DeepEqual(histA, histB) {
+		t.Fatalf("liveness optimization changed results: %d vs %d", accA, accB)
+	}
+}
+
+func TestDeepProgramNoOptimizeEquivalence(t *testing.T) {
+	const steps = 600
+	accA, histA, _ := runDeep(t, steps, rt.Options{Memoize: true}, core.Options{}, 9)
+	accB, histB, _ := runDeep(t, steps, rt.Options{Memoize: true}, core.Options{NoOptimize: true}, 9)
+	if accA != accB || !reflect.DeepEqual(histA, histB) {
+		t.Fatalf("optimizer changed results: %d vs %d", accA, accB)
+	}
+}
+
+func TestDeepProgramClearDuringUse(t *testing.T) {
+	// A cap small enough to clear repeatedly mid-run: stale entry links
+	// must be detected by generation counters and results stay exact.
+	const steps = 800
+	accP, histP, _ := runDeep(t, steps, rt.Options{Memoize: false}, core.Options{}, 11)
+	accM, histM, st := runDeep(t, steps, rt.Options{Memoize: true, CacheCapBytes: 4096}, core.Options{}, 11)
+	if accP != accM || !reflect.DeepEqual(histP, histM) {
+		t.Fatalf("divergence under cache clearing: acc %d vs %d", accP, accM)
+	}
+	if st.CacheClears == 0 {
+		t.Fatalf("expected clears with a 4 KiB cap: %+v", st)
+	}
+}
+
+func TestDeepProgramHighMissRate(t *testing.T) {
+	// A wide feed modulus makes pin values churn: many forks, many
+	// recoveries; correctness must hold at any hit rate.
+	const steps = 400
+	accP, histP, _ := runDeep(t, steps, rt.Options{Memoize: false}, core.Options{}, 101)
+	accM, histM, st := runDeep(t, steps, rt.Options{Memoize: true}, core.Options{}, 101)
+	if accP != accM || !reflect.DeepEqual(histP, histM) {
+		t.Fatalf("divergence at high miss rate: %d vs %d", accP, accM)
+	}
+	if st.Misses < 10 {
+		t.Fatalf("expected many recoveries, got %d", st.Misses)
+	}
+}
+
+func TestRunResumesAcrossCalls(t *testing.T) {
+	// Run with step budgets must be resumable without disturbing the memo
+	// state (regression test for the stale-args re-key bug).
+	sim, err := core.CompileSource(deepSrc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.NewMachine(core.NullText(), rt.Options{Memoize: true})
+	i := int64(0)
+	m.RegisterExtern("feed", func(a []int64) int64 { i++; return (i*i + a[0]) % 9 })
+	if err := m.SetIntArgs(0); err != nil {
+		t.Fatal(err)
+	}
+	for target := uint64(50); target <= 600; target += 50 {
+		if err := m.Run(target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	accChunked, _ := m.Global("acc")
+	accOnce, _, _ := runDeep(t, 600, rt.Options{Memoize: true}, core.Options{}, 9)
+	if accChunked != accOnce {
+		t.Fatalf("chunked runs diverge: %d vs %d", accChunked, accOnce)
+	}
+}

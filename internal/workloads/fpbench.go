@@ -1,0 +1,568 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// fpPrologue extends the common prologue with f1=1.0, f2=0.5, f3=2.0.
+const fpPrologue = `
+        li   r4, 1
+        cvtif f1, r4
+        li   r4, 2
+        cvtif f3, r4
+        fdiv f2, f1, f3
+`
+
+// fpChecksum converts f10 into the integer checksum register.
+const fpChecksum = `
+        cvtfi r4, f10
+        add  r20, r20, r4
+`
+
+// 101.tomcatv — vectorized mesh-generation character: a 1D five-point
+// stencil swept repeatedly over an array. Extremely regular; the paper's
+// best fast-forwarding rate (99.997%).
+func genTomcatv(scale int) string {
+	return stencil("tomcatv", 30*scale, 128, 3)
+}
+
+// 102.swim — shallow-water model: same stencil family with a second
+// array and coupled updates.
+func genSwim(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue + fpPrologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 25*scale)
+	b.WriteString(`        la   r22, u
+        la   r23, v
+        call finit2
+        li   r4, 0
+        cvtif f10, r4
+sweep:  beq  r21, r0, fin
+        li   r1, 1
+body:   sll  r5, r1, 3
+        add  r6, r22, r5
+        add  r7, r23, r5
+        fld  f4, r6, -8
+        fld  f5, r6, 8
+        fld  f6, r7, 0
+        fadd f7, f4, f5
+        fmul f7, f7, f2
+        fsub f7, f7, f6
+        fst  f7, r6, 0
+        fadd f8, f6, f7
+        fmul f8, f8, f2
+        fst  f8, r7, 0
+        fadd f10, f10, f7
+        add  r1, r1, 1
+        li   r8, 127
+        blt  r1, r8, body
+        sub  r21, r21, 1
+        b    sweep
+fin:
+` + fpChecksum + epilogue + `
+finit2: li   r1, 0
+fi2:    sll  r5, r1, 3
+        add  r6, r22, r5
+        add  r7, r23, r5
+        cvtif f4, r1
+        fmul f4, f4, f2
+        fst  f4, r6, 0
+        fst  f4, r7, 0
+        add  r1, r1, 1
+        li   r8, 128
+        blt  r1, r8, fi2
+        ret
+        .data
+u:      .space 1024
+v:      .space 1024
+`)
+	return b.String()
+}
+
+// 103.su2cor — quantum-physics character: dense matrix-vector products in
+// a doubly nested loop.
+func genSu2cor(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue + fpPrologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 12*scale)
+	b.WriteString(`        la   r22, mat
+        la   r23, vec
+        call vinit
+        li   r4, 0
+        cvtif f10, r4
+iter:   beq  r21, r0, fin
+        li   r1, 0             ; row
+row:    li   r4, 0
+        cvtif f5, r4           ; accumulator
+        li   r2, 0             ; col
+col:    sll  r5, r1, 4         ; 16 cols * 8B = row stride 128... use 16
+        add  r5, r5, r2
+        sll  r5, r5, 3
+        add  r6, r22, r5
+        fld  f4, r6, 0
+        sll  r7, r2, 3
+        add  r7, r23, r7
+        fld  f6, r7, 0
+        fmul f7, f4, f6
+        fadd f5, f5, f7
+        add  r2, r2, 1
+        li   r8, 16
+        blt  r2, r8, col
+        sll  r7, r1, 3
+        add  r7, r23, r7
+        fmul f5, f5, f2
+        fst  f5, r7, 0
+        fadd f10, f10, f5
+        add  r1, r1, 1
+        li   r8, 16
+        blt  r1, r8, row
+        sub  r21, r21, 1
+        b    iter
+fin:
+` + fpChecksum + epilogue + `
+vinit:  li   r1, 0
+vi:     cvtif f4, r1
+        fmul f4, f4, f2
+        sll  r5, r1, 3
+        add  r6, r23, r5
+        fst  f4, r6, 0
+        add  r1, r1, 1
+        li   r8, 16
+        blt  r1, r8, vi
+        li   r1, 0
+mi:     cvtif f4, r1
+        fmul f4, f4, f2
+        sll  r5, r1, 3
+        add  r6, r22, r5
+        fst  f4, r6, 0
+        add  r1, r1, 1
+        li   r8, 256
+        blt  r1, r8, mi
+        ret
+        .data
+mat:    .space 2048
+vec:    .space 256
+`)
+	return b.String()
+}
+
+// 104.hydro2d — hydrodynamics character: stencil with flux-limiter
+// branches (a data-dependent clamp inside regular loops).
+func genHydro2d(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue + fpPrologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 25*scale)
+	b.WriteString(`        la   r22, grid
+        call ginit
+        li   r4, 0
+        cvtif f10, r4
+        li   r9, 0
+        cvtif f9, r9           ; zero for limiter compare
+sweep:  beq  r21, r0, fin
+        li   r1, 1
+body:   sll  r5, r1, 3
+        add  r6, r22, r5
+        fld  f4, r6, -8
+        fld  f5, r6, 0
+        fld  f6, r6, 8
+        fsub f7, f6, f4        ; gradient
+        fcmp r7, f7, f9
+        bge  r7, r0, pos
+        fneg f7, f7            ; limiter: |gradient|
+pos:    fmul f7, f7, f2
+        fadd f5, f5, f7
+        fst  f5, r6, 0
+        fadd f10, f10, f7
+        add  r1, r1, 1
+        li   r8, 159
+        blt  r1, r8, body
+        sub  r21, r21, 1
+        b    sweep
+fin:
+` + fpChecksum + epilogue + `
+ginit:  li   r1, 0
+gi:     mul  r4, r1, r1
+        and  r4, r4, 63
+        sub  r4, r4, 31
+        cvtif f4, r4
+        sll  r5, r1, 3
+        add  r6, r22, r5
+        fst  f4, r6, 0
+        add  r1, r1, 1
+        li   r8, 160
+        blt  r1, r8, gi
+        ret
+        .data
+grid:   .space 1280
+`)
+	return b.String()
+}
+
+// 107.mgrid — multigrid character: nested sweeps at three resolutions
+// (stride 1, 2, 4) over one array. In the paper, mgrid had the single
+// largest fast-forwarding speedup.
+func genMgrid(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue + fpPrologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 12*scale)
+	b.WriteString(`        la   r22, g
+        call ginit
+        li   r4, 0
+        cvtif f10, r4
+vcycle: beq  r21, r0, fin
+        li   r9, 1             ; stride: 1, 2, 4
+level:  li   r1, 8
+lbody:  sll  r5, r1, 3
+        add  r6, r22, r5
+        sll  r7, r9, 3
+        sub  r8, r6, r7
+        fld  f4, r8, 0
+        add  r8, r6, r7
+        fld  f5, r8, 0
+        fld  f6, r6, 0
+        fadd f7, f4, f5
+        fmul f7, f7, f2
+        fsub f7, f7, f6
+        fmul f7, f7, f2
+        fadd f6, f6, f7
+        fst  f6, r6, 0
+        fadd f10, f10, f7
+        add  r1, r1, r9
+        li   r4, 248
+        blt  r1, r4, lbody
+        sll  r9, r9, 1
+        li   r4, 8
+        blt  r9, r4, level
+        sub  r21, r21, 1
+        b    vcycle
+fin:
+` + fpChecksum + epilogue + `
+ginit:  li   r1, 0
+gi:     and  r4, r1, 31
+        cvtif f4, r4
+        fmul f4, f4, f2
+        sll  r5, r1, 3
+        add  r6, r22, r5
+        fst  f4, r6, 0
+        add  r1, r1, 1
+        li   r8, 256
+        blt  r1, r8, gi
+        ret
+        .data
+g:      .space 2048
+`)
+	return b.String()
+}
+
+// 110.applu — LU-solver character: forward/backward substitution sweeps
+// with division (long-latency fdiv in the dependence chain).
+func genApplu(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue + fpPrologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 18*scale)
+	b.WriteString(`        la   r22, a
+        call ainit
+        li   r4, 0
+        cvtif f10, r4
+iter:   beq  r21, r0, fin
+        ; forward sweep with divide
+        li   r1, 1
+fwd:    sll  r5, r1, 3
+        add  r6, r22, r5
+        fld  f4, r6, -8
+        fld  f5, r6, 0
+        fadd f6, f5, f1
+        fdiv f7, f4, f6
+        fadd f5, f5, f7
+        fst  f5, r6, 0
+        add  r1, r1, 1
+        li   r8, 48
+        blt  r1, r8, fwd
+        ; backward sweep
+        li   r1, 46
+bwd:    sll  r5, r1, 3
+        add  r6, r22, r5
+        fld  f4, r6, 8
+        fld  f5, r6, 0
+        fmul f6, f4, f2
+        fsub f5, f5, f6
+        fst  f5, r6, 0
+        fadd f10, f10, f5
+        sub  r1, r1, 1
+        blt  r0, r1, bwd
+        sub  r21, r21, 1
+        b    iter
+fin:
+` + fpChecksum + epilogue + `
+ainit:  li   r1, 0
+ai:     add  r4, r1, 3
+        cvtif f4, r4
+        sll  r5, r1, 3
+        add  r6, r22, r5
+        fst  f4, r6, 0
+        add  r1, r1, 1
+        li   r8, 48
+        blt  r1, r8, ai
+        ret
+        .data
+a:      .space 512
+`)
+	return b.String()
+}
+
+// 125.turb3d — turbulence/FFT character: butterfly loops with
+// power-of-two strides and paired updates.
+func genTurb3d(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue + fpPrologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 15*scale)
+	b.WriteString(`        la   r22, buf
+        call binit
+        li   r4, 0
+        cvtif f10, r4
+iter:   beq  r21, r0, fin
+        li   r9, 1             ; butterfly stride
+stage:  li   r1, 0
+bfly:   sll  r5, r1, 3
+        add  r6, r22, r5
+        sll  r7, r9, 3
+        add  r8, r6, r7
+        fld  f4, r6, 0
+        fld  f5, r8, 0
+        fadd f6, f4, f5
+        fsub f7, f4, f5
+        fmul f7, f7, f2
+        fst  f6, r6, 0
+        fst  f7, r8, 0
+        add  r1, r1, 1
+        ; skip the partner half: if (i & stride) advance past it
+        and  r4, r1, r9
+        beq  r4, r0, bnext
+        add  r1, r1, r9
+bnext:  li   r4, 64
+        blt  r1, r4, bfly
+        sll  r9, r9, 1
+        li   r4, 32
+        blt  r9, r4, stage
+        fld  f8, r22, 0
+        fadd f10, f10, f8
+        sub  r21, r21, 1
+        b    iter
+fin:
+` + fpChecksum + epilogue + `
+binit:  li   r1, 0
+bi:     and  r4, r1, 15
+        sub  r4, r4, 7
+        cvtif f4, r4
+        sll  r5, r1, 3
+        add  r6, r22, r5
+        fst  f4, r6, 0
+        add  r1, r1, 1
+        li   r8, 96
+        blt  r1, r8, bi
+        ret
+        .data
+buf:    .space 768
+`)
+	return b.String()
+}
+
+// 141.apsi — weather-model character: mixed integer/FP loops with
+// conditional accumulation (temperature thresholding).
+func genApsi(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue + fpPrologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 20*scale)
+	b.WriteString(`        la   r22, t
+        call tinit
+        li   r4, 0
+        cvtif f10, r4
+        li   r4, 20
+        cvtif f9, r4           ; threshold
+iter:   beq  r21, r0, fin
+        li   r1, 0
+body:   sll  r5, r1, 3
+        add  r6, r22, r5
+        fld  f4, r6, 0
+        fcmp r7, f4, f9
+        blt  r7, r0, cold
+        fsub f4, f4, f2        ; hot cell: cool it
+        fadd f10, f10, f1
+        b    wr
+cold:   fadd f4, f4, f2
+wr:     fst  f4, r6, 0
+        add  r1, r1, 1
+        li   r8, 96
+        blt  r1, r8, body
+        sub  r21, r21, 1
+        b    iter
+fin:
+` + fpChecksum + epilogue + `
+tinit:  li   r1, 0
+ti:     mul  r4, r1, 5
+        and  r4, r4, 63
+        cvtif f4, r4
+        sll  r5, r1, 3
+        add  r6, r22, r5
+        fst  f4, r6, 0
+        add  r1, r1, 1
+        li   r8, 96
+        blt  r1, r8, ti
+        ret
+        .data
+t:      .space 768
+`)
+	return b.String()
+}
+
+// 145.fpppp — quantum-chemistry character: very long straight-line
+// floating-point basic blocks inside a modest loop. fpppp is the paper's
+// canonical "huge basic block" benchmark and its biggest Facile speedup
+// (23.8x).
+func genFpppp(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue + fpPrologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 50*scale)
+	b.WriteString(`        la   r22, d
+        call dinit
+        li   r4, 0
+        cvtif f10, r4
+iter:   beq  r21, r0, fin
+`)
+	// One long, branch-free block of dependent and independent FP ops
+	// (the fpppp signature).
+	for k := 0; k < 40; k++ {
+		fmt.Fprintf(&b, `        fld  f4, r22, %d
+        fld  f5, r22, %d
+        fmul f6, f4, f5
+        fadd f7, f6, f2
+        fsub f8, f7, f4
+        fmul f8, f8, f2
+        fst  f8, r22, %d
+        fadd f10, f10, f8
+`, (k%12)*8, ((k+5)%12)*8, ((k+3)%12)*8)
+	}
+	b.WriteString(`        sub  r21, r21, 1
+        b    iter
+fin:
+` + fpChecksum + epilogue + `
+dinit:  li   r1, 0
+di:     add  r4, r1, 1
+        cvtif f4, r4
+        sll  r5, r1, 3
+        add  r6, r22, r5
+        fst  f4, r6, 0
+        add  r1, r1, 1
+        li   r8, 12
+        blt  r1, r8, di
+        ret
+        .data
+d:      .space 96
+`)
+	return b.String()
+}
+
+// 146.wave5 — plasma-physics character: particle push with gather/scatter
+// through an index array (indirect FP memory access).
+func genWave5(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue + fpPrologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 18*scale)
+	b.WriteString(`        la   r22, field
+        la   r23, part
+        la   r24, idx
+        call winit
+        li   r4, 0
+        cvtif f10, r4
+iter:   beq  r21, r0, fin
+        li   r1, 0
+push:   sll  r5, r1, 3
+        add  r6, r24, r5
+        ldd  r7, r6, 0         ; particle's cell index
+        sll  r7, r7, 3
+        add  r7, r22, r7
+        fld  f4, r7, 0         ; gather field
+        add  r8, r23, r5
+        fld  f5, r8, 0         ; particle velocity
+        fmul f6, f4, f2
+        fadd f5, f5, f6
+        fst  f5, r8, 0         ; update particle
+        fst  f5, r7, 0         ; scatter back
+        fadd f10, f10, f6
+        add  r1, r1, 1
+        li   r9, 64
+        blt  r1, r9, push
+        sub  r21, r21, 1
+        b    iter
+fin:
+` + fpChecksum + epilogue + `
+winit:  li   r1, 0
+wi:
+` + lcg("r5") + `
+        and  r5, r5, 63
+        sll  r6, r1, 3
+        add  r7, r24, r6
+        std  r5, r7, 0
+        cvtif f4, r1
+        fmul f4, f4, f2
+        add  r8, r22, r6
+        fst  f4, r8, 0
+        add  r9, r23, r6
+        fst  f4, r9, 0
+        add  r1, r1, 1
+        li   r9, 64
+        blt  r1, r9, wi
+        ret
+        .data
+field:  .space 512
+part:   .space 512
+idx:    .space 512
+`)
+	return b.String()
+}
+
+// stencil emits a generic repeated three-point stencil benchmark.
+func stencil(name string, iters, n, _ int) string {
+	var b strings.Builder
+	b.WriteString(prologue + fpPrologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", iters)
+	fmt.Fprintf(&b, `        la   r22, arr
+        call sinit
+        li   r4, 0
+        cvtif f10, r4
+sweep:  beq  r21, r0, fin
+        li   r1, 1
+body:   sll  r5, r1, 3
+        add  r6, r22, r5
+        fld  f4, r6, -8
+        fld  f5, r6, 0
+        fld  f6, r6, 8
+        fadd f7, f4, f6
+        fmul f7, f7, f2
+        fadd f7, f7, f5
+        fmul f7, f7, f2
+        fst  f7, r6, 0
+        fadd f10, f10, f7
+        add  r1, r1, 1
+        li   r8, %d
+        blt  r1, r8, body
+        sub  r21, r21, 1
+        b    sweep
+fin:
+`+fpChecksum+epilogue+`
+sinit:  li   r1, 0
+si:     and  r4, r1, 15
+        cvtif f4, r4
+        sll  r5, r1, 3
+        add  r6, r22, r5
+        fst  f4, r6, 0
+        add  r1, r1, 1
+        li   r8, %d
+        blt  r1, r8, si
+        ret
+        .data
+arr:    .space %d
+`, n-1, n, n*8)
+	return b.String()
+}

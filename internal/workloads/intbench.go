@@ -1,0 +1,532 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// 099.go — game-tree search character: an iterative minimax-like sweep
+// over a board array with data-dependent scoring branches and a manually
+// managed evaluation stack. Irregular control flow over a large code
+// footprint; in the paper this benchmark memoized by far the most data.
+func genGo(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 60*scale) // outer positions
+	var disp, bodies strings.Builder
+	for k := 1; k < 8; k++ {
+		fmt.Fprintf(&disp, "        li   r10, %d\n        beq  r9, r10, p%d\n", k, k)
+	}
+	disp.WriteString("        b    skip")
+	for k := 1; k < 8; k++ {
+		// each piece kind inspects a different neighborhood and scores
+		// with a different branchy rule, some mutating the board
+		fmt.Fprintf(&bodies, "p%d:     ldd  r10, r6, %d\n", k, 8*(k%3+1))
+		fmt.Fprintf(&bodies, "        beq  r10, r0, p%dq\n", k)
+		fmt.Fprintf(&bodies, "        and  r11, r10, %d\n", k|1)
+		fmt.Fprintf(&bodies, "        beq  r11, r0, p%dc\n", k)
+		fmt.Fprintf(&bodies, "        add  r20, r20, %d\n        b    skip\n", k)
+		fmt.Fprintf(&bodies, "p%dq:    add  r20, r20, %d\n        b    skip\n", k, k*3)
+		fmt.Fprintf(&bodies, "p%dc:    sub  r20, r20, %d\n", k, k*2)
+		if k%2 == 1 {
+			fmt.Fprintf(&bodies, "        std  r0, r6, %d\n", 8*(k%3+1))
+		}
+		fmt.Fprintf(&bodies, "        b    skip\n")
+	}
+	body := `        la   r22, board
+        li   r1, 0
+fill:   bge  r1, r0, f2        ; always taken (pattern noise)
+f2:     slt  r4, r1, r0
+        beq  r4, r0, f3
+f3:
+` + lcg("r5") + `
+        and  r5, r5, 7
+        sll  r6, r1, 3
+        add  r6, r22, r6
+        std  r5, r6, 0
+        add  r1, r1, 1
+        blt  r1, r0, fill      ; never
+        li   r7, 192
+        blt  r1, r7, fill
+
+outer:  beq  r21, r0, finish
+        ; evaluate the board: dispatch each square to a per-piece-kind
+        ; evaluator (go's large search/evaluation code footprint)
+        li   r1, 0             ; square index
+eval:   li   r7, 184
+        bge  r1, r7, next
+        sll  r6, r1, 3
+        add  r6, r22, r6
+        ldd  r8, r6, 0         ; piece
+        beq  r8, r0, skip      ; empty square
+        and  r9, r8, 7         ; piece kind
+GO_DISPATCH
+GO_BODIES
+skip:   add  r1, r1, 1
+        b    eval
+next:   ; drop a new random piece
+` + lcg("r5") + `
+        and  r12, r5, 127
+        sll  r12, r12, 3
+        add  r12, r22, r12
+        and  r13, r5, 7
+        std  r13, r12, 0
+        sub  r21, r21, 1
+        b    outer
+` + epilogue + `
+        .data
+board:  .space 1600
+`
+	body = strings.Replace(body, "GO_DISPATCH", strings.TrimRight(disp.String(), "\n"), 1)
+	body = strings.Replace(body, "GO_BODIES", strings.TrimRight(bodies.String(), "\n"), 1)
+	b.WriteString(body)
+	return b.String()
+}
+
+// 124.m88ksim — CPU-simulator character: a fetch/dispatch loop over a
+// synthetic instruction memory, a branch tree decoding opcode classes, and
+// a small register file array. Highly repetitive dispatch with occasional
+// data-dependent taken branches.
+func genM88ksim(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 1500*scale)
+	b.WriteString(`        la   r22, imem
+        la   r23, regs
+        li   r1, 0             ; simulated pc
+        li   r4, 0
+seed:   bge  r4, r0, s2
+s2:
+` + lcg("r5") + `
+        sll  r6, r4, 3
+        add  r6, r22, r6
+        std  r5, r6, 0
+        add  r4, r4, 1
+        li   r7, 256
+        blt  r4, r7, seed
+
+loop:   beq  r21, r0, finish
+        and  r8, r1, 255
+        sll  r8, r8, 3
+        add  r8, r22, r8
+        ldd  r9, r8, 0         ; simulated instruction word
+        and  r10, r9, 3        ; opcode class
+        beq  r10, r0, c_alu
+        li   r11, 1
+        beq  r10, r11, c_mem
+        li   r11, 2
+        beq  r10, r11, c_br
+        ; class 3: nop-ish
+        add  r20, r20, 1
+        b    adv
+c_alu:  srl  r12, r9, 2
+        and  r12, r12, 7       ; simulated rd
+        sll  r13, r12, 3
+        add  r13, r23, r13
+        ldd  r14, r13, 0
+        srl  r15, r9, 5
+        and  r15, r15, 63
+        add  r14, r14, r15
+        std  r14, r13, 0
+        add  r20, r20, r15
+        b    adv
+c_mem:  srl  r12, r9, 2
+        and  r12, r12, 7
+        sll  r13, r12, 3
+        add  r13, r23, r13
+        ldd  r14, r13, 0
+        and  r14, r14, 255
+        sll  r14, r14, 3
+        add  r14, r22, r14
+        ldd  r16, r14, 0
+        add  r20, r20, r16
+        b    adv
+c_br:   srl  r12, r9, 2
+        and  r12, r12, 1
+        beq  r12, r0, adv      ; not taken
+        srl  r1, r9, 3
+        and  r1, r1, 255       ; jump simulated pc
+        sub  r21, r21, 1
+        b    loop
+adv:    add  r1, r1, 1
+        sub  r21, r21, 1
+        b    loop
+` + epilogue + `
+        .data
+imem:   .space 2048
+regs:   .space 64
+`)
+	return b.String()
+}
+
+// 126.gcc — compiler character: a table-driven state machine over a
+// pseudo-token stream with many distinct states and irregular transitions.
+// The paper's worst case for fast-forwarding (99.689%) and second-largest
+// memoizer.
+func genGcc(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 1800*scale)
+	var disp, bodies strings.Builder
+	for h := 0; h < 16; h++ {
+		fmt.Fprintf(&disp, "        li   r12, %d\n        beq  r11, r12, h%d\n", h, h)
+		// each handler mixes a distinct arithmetic flavor over the token
+		fmt.Fprintf(&bodies, "h%d:     mul  r14, r8, %d\n", h, 3+2*h)
+		fmt.Fprintf(&bodies, "        xor  r14, r14, %d\n", h*h+1)
+		fmt.Fprintf(&bodies, "        and  r14, r14, 2047\n")
+		if h%3 == 0 {
+			fmt.Fprintf(&bodies, "        add  r20, r20, r14\n")
+		} else if h%3 == 1 {
+			fmt.Fprintf(&bodies, "        sub  r20, r20, r14\n")
+		} else {
+			fmt.Fprintf(&bodies, "        xor  r20, r20, r14\n")
+		}
+		if h%4 == 2 {
+			// some handlers touch the table too
+			fmt.Fprintf(&bodies, "        std  r14, r10, 0\n")
+		}
+		fmt.Fprintf(&bodies, "        b    adv\n")
+	}
+	body := `        la   r22, table
+        li   r4, 0
+tinit:
+` + lcg("r5") + `
+        and  r5, r5, 63
+        sll  r6, r4, 3
+        add  r6, r22, r6
+        std  r5, r6, 0
+        add  r4, r4, 1
+        li   r7, 512
+        blt  r4, r7, tinit
+        li   r1, 0             ; automaton state
+
+loop:   beq  r21, r0, finish
+` + lcg("r5") + `
+        and  r8, r5, 31        ; pseudo token
+        ; transition: state' = table[(state*8 + token) mod 512]
+        sll  r9, r1, 3
+        add  r9, r9, r8
+        and  r9, r9, 511
+        sll  r10, r9, 3
+        add  r10, r22, r10
+        ldd  r1, r10, 0
+        and  r1, r1, 63
+        ; dispatch on state class through a 16-way branch chain of
+        ; distinct handlers (gcc's large, irregular code footprint)
+        and  r11, r1, 15
+HANDLER_DISPATCH
+        ; fallthrough: rewrite a table entry (self-modifying automaton)
+        and  r13, r5, 15
+        bne  r13, r0, adv
+        std  r8, r10, 0
+        b    adv
+HANDLER_BODIES
+adv:    sub  r21, r21, 1
+        b    loop
+` + epilogue + `
+        .data
+table:  .space 4096
+`
+	body = strings.Replace(body, "HANDLER_DISPATCH", strings.TrimRight(disp.String(), "\n"), 1)
+	body = strings.Replace(body, "HANDLER_BODIES", strings.TrimRight(bodies.String(), "\n"), 1)
+	b.WriteString(body)
+	return b.String()
+}
+
+// 129.compress — LZW character: a hashing loop with table probes and
+// data-dependent hit/miss branches; small and regular enough that the
+// paper's compress memoized the least data of the integer codes.
+func genCompress(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 2000*scale)
+	b.WriteString(`        la   r22, htab
+        li   r1, 0             ; current code
+loop:   beq  r21, r0, finish
+` + lcg("r5") + `
+        and  r6, r5, 255       ; next "byte"
+        ; fcode = code<<8 | byte ; probe hash table
+        sll  r7, r1, 8
+        or   r7, r7, r6
+        mul  r8, r7, 61
+        and  r8, r8, 1023
+        sll  r9, r8, 3
+        add  r9, r22, r9
+        ldd  r10, r9, 0
+        beq  r10, r7, hit
+        beq  r10, r0, insert
+        ; collision: secondary probe
+        add  r8, r8, 97
+        and  r8, r8, 1023
+        sll  r9, r8, 3
+        add  r9, r22, r9
+        ldd  r10, r9, 0
+        beq  r10, r7, hit
+insert: std  r7, r9, 0
+        add  r20, r20, 1
+        mov  r1, r6
+        b    adv
+hit:    add  r1, r1, 1
+        and  r1, r1, 4095
+        add  r20, r20, 2
+adv:    sub  r21, r21, 1
+        b    loop
+` + epilogue + `
+        .data
+htab:   .space 8192
+`)
+	return b.String()
+}
+
+// 130.li — lisp-interpreter character: a type-tag dispatch loop over cons
+// cells in a heap array with linked-list walks. In the paper li
+// fast-forwarded 99.997% of instructions.
+func genLi(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 1200*scale)
+	b.WriteString(`        la   r22, heap
+        ; build a circular list of 128 cells: [tag, next]
+        li   r1, 0
+build:  sll  r4, r1, 4
+        add  r4, r22, r4
+` + lcg("r5") + `
+        and  r5, r5, 3
+        std  r5, r4, 0         ; tag
+        add  r6, r1, 1
+        and  r6, r6, 127
+        sll  r6, r6, 4
+        add  r6, r22, r6
+        std  r6, r4, 8         ; next pointer
+        add  r1, r1, 1
+        li   r7, 128
+        blt  r1, r7, build
+        mov  r8, r22           ; cursor
+
+loop:   beq  r21, r0, finish
+        ldd  r9, r8, 0         ; tag
+        beq  r9, r0, t_nil
+        li   r10, 1
+        beq  r9, r10, t_num
+        li   r10, 2
+        beq  r9, r10, t_cons
+        ; t_sym: intern-ish hash
+        mul  r11, r8, 31
+        and  r11, r11, 255
+        add  r20, r20, r11
+        b    step
+t_nil:  add  r20, r20, 1
+        b    step
+t_num:  add  r20, r20, 42
+        b    step
+t_cons: ldd  r12, r8, 8       ; walk two cells
+        ldd  r12, r12, 8
+        add  r20, r20, 2
+        mov  r8, r12
+        sub  r21, r21, 1
+        b    loop
+step:   ldd  r8, r8, 8
+        sub  r21, r21, 1
+        b    loop
+` + epilogue + `
+        .data
+heap:   .space 2048
+`)
+	return b.String()
+}
+
+// 132.ijpeg — image-compression character: an 8x8 integer DCT-like
+// transform in nested loops plus quantization with clamping branches.
+// Regular loops with short data-dependent diversions.
+func genIjpeg(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 40*scale) // blocks
+	b.WriteString(`        la   r22, blk
+blocks: beq  r21, r0, finish
+        ; fill the 8x8 block
+        li   r1, 0
+fill:
+` + lcg("r5") + `
+        and  r5, r5, 255
+        sll  r6, r1, 3
+        add  r6, r22, r6
+        std  r5, r6, 0
+        add  r1, r1, 1
+        li   r7, 64
+        blt  r1, r7, fill
+        ; row transform: butterfly-ish passes
+        li   r1, 0
+rows:   sll  r8, r1, 6        ; row base (8 entries * 8 bytes)
+        add  r8, r22, r8
+        li   r2, 0
+cols:   sll  r9, r2, 3
+        add  r10, r8, r9
+        ldd  r11, r10, 0
+        li   r12, 56
+        sub  r13, r12, r9
+        add  r13, r8, r13
+        ldd  r14, r13, 0
+        add  r15, r11, r14
+        sub  r16, r11, r14
+        std  r15, r10, 0
+        std  r16, r13, 0
+        add  r2, r2, 1
+        li   r7, 4
+        blt  r2, r7, cols
+        add  r1, r1, 1
+        li   r7, 8
+        blt  r1, r7, rows
+        ; quantize with clamping
+        li   r1, 0
+quant:  sll  r6, r1, 3
+        add  r6, r22, r6
+        ldd  r11, r6, 0
+        sra  r11, r11, 3
+        li   r7, 255
+        ble_skip:
+        bge  r11, r0, qpos
+        li   r11, 0
+qpos:   blt  r11, r7, qok
+        mov  r11, r7
+qok:    add  r20, r20, r11
+        add  r1, r1, 1
+        li   r7, 64
+        blt  r1, r7, quant
+        sub  r21, r21, 1
+        b    blocks
+` + epilogue + `
+        .data
+blk:    .space 512
+`)
+	return b.String()
+}
+
+// 134.perl — scripting character: byte-string scanning with class
+// branches (identifier/digit/space) and a rolling hash, plus a hash-table
+// update. Branch-heavy but with strong locality.
+func genPerl(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 1600*scale)
+	b.WriteString(`        la   r22, str
+        la   r23, hash
+        ; synthesize the "string"
+        li   r1, 0
+mk:
+` + lcg("r5") + `
+        and  r5, r5, 127
+        add  r6, r22, r1
+        stb  r5, r6, 0
+        add  r1, r1, 1
+        li   r7, 512
+        blt  r1, r7, mk
+        li   r1, 0             ; cursor
+        li   r8, 0             ; rolling hash
+
+loop:   beq  r21, r0, finish
+        and  r9, r1, 511
+        add  r10, r22, r9
+        ldb  r11, r10, 0
+        li   r12, '0'
+        blt  r11, r12, other
+        li   r12, '9'
+        ble2:
+        bge  r12, r11, digit
+        li   r12, 'a'
+        blt  r11, r12, other
+        li   r12, 'z'
+        bge  r12, r11, alpha
+other:  ; separator: flush hash into table
+        and  r13, r8, 255
+        sll  r13, r13, 3
+        add  r13, r23, r13
+        ldd  r14, r13, 0
+        add  r14, r14, 1
+        std  r14, r13, 0
+        add  r20, r20, r14
+        li   r8, 0
+        b    adv
+digit:  mul  r8, r8, 10
+        add  r8, r8, r11
+        and  r8, r8, 16383
+        b    adv
+alpha:  mul  r8, r8, 31
+        add  r8, r8, r11
+        and  r8, r8, 16383
+        add  r20, r20, 1
+adv:    add  r1, r1, 1
+        sub  r21, r21, 1
+        b    loop
+` + epilogue + `
+        .data
+str:    .space 512
+hash:   .space 2048
+`)
+	return b.String()
+}
+
+// 147.vortex — object-database character: records linked through index
+// fields, with lookups, field updates, and occasional insertions. Pointer
+// chasing with moderate branch diversity.
+func genVortex(scale int) string {
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", 1200*scale)
+	b.WriteString(`        la   r22, db
+        ; records of 4 dwords: [key, val, left, right]
+        li   r1, 0
+mkdb:
+` + lcg("r5") + `
+        sll  r4, r1, 5
+        add  r4, r22, r4
+        and  r6, r5, 1023
+        std  r6, r4, 0         ; key
+        std  r5, r4, 8         ; val
+        srl  r7, r5, 3
+        and  r7, r7, 63
+        sll  r7, r7, 5
+        add  r7, r22, r7
+        std  r7, r4, 16        ; left link
+        srl  r8, r5, 9
+        and  r8, r8, 63
+        sll  r8, r8, 5
+        add  r8, r22, r8
+        std  r8, r4, 24        ; right link
+        add  r1, r1, 1
+        li   r9, 64
+        blt  r1, r9, mkdb
+        mov  r10, r22          ; cursor
+
+loop:   beq  r21, r0, finish
+` + lcg("r5") + `
+        and  r11, r5, 1023     ; probe key
+        ; three-hop search
+        li   r12, 3
+walk:   beq  r12, r0, miss
+        ldd  r13, r10, 0
+        beq  r13, r11, found
+        blt  r13, r11, right
+        ldd  r10, r10, 16
+        sub  r12, r12, 1
+        b    walk
+right:  ldd  r10, r10, 24
+        sub  r12, r12, 1
+        b    walk
+found:  ldd  r14, r10, 8
+        add  r20, r20, r14
+        ; update the record
+        add  r14, r14, 1
+        std  r14, r10, 8
+        b    adv
+miss:   ; insert: overwrite the cursor's key
+        std  r11, r10, 0
+        add  r20, r20, 1
+adv:    sub  r21, r21, 1
+        b    loop
+` + epilogue + `
+        .data
+db:     .space 2048
+`)
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"facile/internal/isa/asm"
+	"facile/internal/isa/loader"
+)
+
+// Random generates a random-but-terminating SVR32 program from seed, for
+// differential testing: every simulator must agree on its results. The
+// program runs a fixed-trip outer loop whose body is a random mix of
+// arithmetic, memory traffic in a scratch region, bounded forward
+// branches, and calls, then prints a checksum and exits.
+func Random(seed int64, bodyOps, iters int) (*loader.Program, error) {
+	r := seed
+	next := func(n int) int {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		v := int(uint64(r) % uint64(n))
+		return v
+	}
+	reg := func() int { return 4 + next(12) } // r4..r15 scratch
+
+	var b strings.Builder
+	b.WriteString(prologue)
+	fmt.Fprintf(&b, "        li   r21, %d\n", iters)
+	b.WriteString("        la   r22, scratch\n")
+	b.WriteString("        li   r23, 1016\n")     // index mask (127*8)
+	b.WriteString("        li   r19, 0xffffff\n") // checksum mask
+	b.WriteString("loop:   beq  r21, r0, finish\n")
+	skip := 0
+	inSkip := 0
+	for i := 0; i < bodyOps; i++ {
+		if inSkip > 0 {
+			inSkip--
+			if inSkip == 0 {
+				fmt.Fprintf(&b, "sk%d:\n", skip)
+				skip++
+			}
+		}
+		switch next(10) {
+		case 0:
+			fmt.Fprintf(&b, "        add  r%d, r%d, r%d\n", reg(), reg(), reg())
+		case 1:
+			fmt.Fprintf(&b, "        sub  r%d, r%d, %d\n", reg(), reg(), next(100))
+		case 2:
+			fmt.Fprintf(&b, "        mul  r%d, r%d, %d\n", reg(), reg(), 1+next(7))
+		case 3:
+			fmt.Fprintf(&b, "        xor  r%d, r%d, r%d\n", reg(), reg(), reg())
+		case 4:
+			fmt.Fprintf(&b, "        and  r%d, r%d, %d\n", reg(), reg(), 1+next(1023))
+		case 5: // store to scratch (masked index)
+			d, a := reg(), reg()
+			fmt.Fprintf(&b, "        and  r16, r%d, 1016\n", a)
+			fmt.Fprintf(&b, "        add  r17, r22, r16\n")
+			fmt.Fprintf(&b, "        std  r%d, r17, 0\n", d)
+		case 6: // load from scratch
+			d, a := reg(), reg()
+			fmt.Fprintf(&b, "        and  r16, r%d, 1016\n", a)
+			fmt.Fprintf(&b, "        add  r17, r22, r16\n")
+			fmt.Fprintf(&b, "        ldd  r%d, r17, 0\n", d)
+		case 7: // bounded forward skip on a data-dependent condition
+			if inSkip == 0 && i+3 < bodyOps {
+				fmt.Fprintf(&b, "        and  r18, r%d, %d\n", reg(), 1+next(7))
+				fmt.Fprintf(&b, "        beq  r18, r0, sk%d\n", skip)
+				inSkip = 1 + next(3)
+			} else {
+				fmt.Fprintf(&b, "        or   r%d, r%d, r%d\n", reg(), reg(), reg())
+			}
+		case 8: // mix the checksum
+			fmt.Fprintf(&b, "        add  r20, r20, r%d\n", reg())
+			fmt.Fprintf(&b, "        and  r20, r20, r19\n")
+		case 9: // deterministic pseudo-random churn
+			b.WriteString(lcg(fmt.Sprintf("r%d", reg())))
+		}
+	}
+	if inSkip > 0 {
+		fmt.Fprintf(&b, "sk%d:\n", skip)
+	}
+	b.WriteString("        sub  r21, r21, 1\n        b    loop\n")
+	b.WriteString(epilogue)
+	b.WriteString("        .data\nscratch: .space 1024\n")
+	return asm.Assemble(fmt.Sprintf("random-%d", seed), b.String())
+}

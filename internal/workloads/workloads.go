@@ -1,0 +1,138 @@
+// Package workloads provides the synthetic SVR32 benchmark suite standing
+// in for SPEC95 in the paper's evaluation. Each benchmark keeps the name
+// of the SPEC95 program it substitutes for and mimics its control-flow
+// character — the property fast-forwarding's effectiveness depends on:
+// regular floating-point loop nests replay almost perfectly and memoize
+// little data, while branchy, irregular integer codes (gcc, go) exercise
+// dynamic-result forks, recoveries, and large action caches.
+//
+// All programs are deterministic (in-program LCG for pseudo-random data),
+// print a checksum through the print syscall, and exit with status 0, so
+// every simulator's output can be validated against the golden functional
+// model.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"facile/internal/isa/asm"
+	"facile/internal/isa/loader"
+)
+
+// Workload is one generated benchmark.
+type Workload struct {
+	Name  string // SPEC95-style name, e.g. "126.gcc"
+	Class string // "int" or "fp"
+	Prog  *loader.Program
+}
+
+type generator struct {
+	class string
+	gen   func(scale int) string
+}
+
+var registry = map[string]generator{
+	"099.go":       {"int", genGo},
+	"124.m88ksim":  {"int", genM88ksim},
+	"126.gcc":      {"int", genGcc},
+	"129.compress": {"int", genCompress},
+	"130.li":       {"int", genLi},
+	"132.ijpeg":    {"int", genIjpeg},
+	"134.perl":     {"int", genPerl},
+	"147.vortex":   {"int", genVortex},
+	"101.tomcatv":  {"fp", genTomcatv},
+	"102.swim":     {"fp", genSwim},
+	"103.su2cor":   {"fp", genSu2cor},
+	"104.hydro2d":  {"fp", genHydro2d},
+	"107.mgrid":    {"fp", genMgrid},
+	"110.applu":    {"fp", genApplu},
+	"125.turb3d":   {"fp", genTurb3d},
+	"141.apsi":     {"fp", genApsi},
+	"145.fpppp":    {"fp", genFpppp},
+	"146.wave5":    {"fp", genWave5},
+}
+
+// Names returns the benchmark names in the paper's table order (integer
+// benchmarks first, then floating point).
+func Names() []string {
+	var ints, fps []string
+	for name, g := range registry {
+		if g.class == "int" {
+			ints = append(ints, name)
+		} else {
+			fps = append(fps, name)
+		}
+	}
+	sort.Strings(ints)
+	sort.Strings(fps)
+	return append(ints, fps...)
+}
+
+// Source returns the generated assembly for a benchmark at the given
+// scale (roughly proportional to dynamic instruction count; scale 1 runs
+// tens of thousands of instructions).
+func Source(name string, scale int) (string, error) {
+	g, ok := registry[name]
+	if !ok {
+		return "", fmt.Errorf("workloads: unknown benchmark %q", name)
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return g.gen(scale), nil
+}
+
+// Get assembles a benchmark at the given scale.
+func Get(name string, scale int) (*Workload, error) {
+	src, err := Source(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", name, err)
+	}
+	return &Workload{Name: name, Class: registry[name].class, Prog: prog}, nil
+}
+
+// Suite assembles the full 18-benchmark suite.
+func Suite(scale int) ([]*Workload, error) {
+	var ws []*Workload
+	for _, name := range Names() {
+		w, err := Get(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// prologue emits the common setup: r25 = LCG state, r26 = LCG multiplier,
+// r27 = mask, r20 = checksum.
+const prologue = `
+start:  li   r25, 12345        ; LCG state
+        li   r26, 1103515245   ; LCG multiplier
+        li   r27, 0x7fffffff   ; LCG mask
+        li   r20, 0            ; checksum
+`
+
+// epilogue prints the checksum in r20 and exits cleanly.
+const epilogue = `
+finish: li   r2, 2
+        mov  r3, r20
+        syscall
+        li   r2, 1
+        li   r3, 0
+        syscall
+`
+
+// lcg emits: dst = next pseudo-random value (clobbers r25).
+func lcg(dst string) string {
+	return fmt.Sprintf(`        mul  r25, r25, r26
+        add  r25, r25, 12345
+        and  r25, r25, r27
+        mov  %s, r25
+`, dst)
+}

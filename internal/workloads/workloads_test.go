@@ -1,0 +1,108 @@
+package workloads
+
+import (
+	"testing"
+
+	"facile/internal/arch/funcsim"
+)
+
+func TestSuiteAssembles(t *testing.T) {
+	ws, err := Suite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 18 {
+		t.Fatalf("suite has %d benchmarks, want 18", len(ws))
+	}
+	ints, fps := 0, 0
+	for _, w := range ws {
+		switch w.Class {
+		case "int":
+			ints++
+		case "fp":
+			fps++
+		default:
+			t.Errorf("%s: bad class %q", w.Name, w.Class)
+		}
+	}
+	if ints != 8 || fps != 10 {
+		t.Fatalf("classes: %d int / %d fp, want 8/10 (SPEC95 shape)", ints, fps)
+	}
+}
+
+func TestBenchmarksRunAndTerminate(t *testing.T) {
+	ws, err := Suite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			st, res, err := funcsim.Run(w.Prog, 30_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Halted {
+				t.Fatalf("did not halt within 30M instructions (ran %d)", res.Insts)
+			}
+			if res.ExitStatus != 0 {
+				t.Fatalf("exit status %d", res.ExitStatus)
+			}
+			if len(res.Output) == 0 {
+				t.Fatal("no checksum output")
+			}
+			if res.Insts < 10_000 {
+				t.Errorf("only %d instructions at scale 1; too small to be meaningful", res.Insts)
+			}
+			t.Logf("%s: %d insts, checksum %q", w.Name, res.Insts, res.Output)
+		})
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	for _, name := range []string{"126.gcc", "101.tomcatv"} {
+		w1, err := Get(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w4, err := Get(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, r1, err := funcsim.Run(w1.Prog, 50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, r4, err := funcsim.Run(w4.Prog, 50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r4.Insts < 2*r1.Insts {
+			t.Errorf("%s: scale 4 ran %d insts, scale 1 ran %d — not growing", name, r4.Insts, r1.Insts)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w, err := Get("099.go", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a, err := funcsim.Run(w.Prog, 30_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := funcsim.Run(w.Prog, 30_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Output) != string(b.Output) || a.Insts != b.Insts {
+		t.Fatal("benchmark is not deterministic")
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, err := Get("999.bogus", 1); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
