@@ -4,7 +4,11 @@
 // Usage:
 //
 //	fsim -sim func|inorder|ooo|fac-func|fac-inorder|fac-ooo|fastsim [-memo] \
-//	     (-bench 126.gcc [-scale N] | file.s)
+//	     [-selfcheck] (-bench 126.gcc [-scale N] | file.s)
+//
+// -selfcheck re-executes every replayable step on the slow simulator,
+// verifying the action cache against ground truth; a divergence exits
+// non-zero (status 3).
 package main
 
 import (
@@ -31,7 +35,12 @@ func main() {
 	benchName := flag.String("bench", "", "run a bundled benchmark by name")
 	scale := flag.Int("scale", 1, "benchmark scale factor")
 	capMB := flag.Uint64("cap", 0, "action cache cap in MB (0 = unlimited)")
+	selfCheck := flag.Bool("selfcheck", false,
+		"re-execute every replayable step on the slow simulator and verify the action cache (implies -memo)")
 	flag.Parse()
+	if *selfCheck {
+		*memo = true
+	}
 
 	var prog *loader.Program
 	switch {
@@ -81,19 +90,39 @@ func main() {
 		report(res.Insts, res.Cycles, res.Output, time.Since(t0))
 		fmt.Printf("IPC %.3f, %d mispredicts, %d L1D misses\n", res.IPC(), res.Mispredicts, res.L1DMisses)
 	case "fastsim":
-		s := fastsim.New(uarch.Default(), prog, fastsim.Options{Memoize: *memo, CacheCapBytes: capBytes})
+		opt := fastsim.Options{Memoize: *memo, CacheCapBytes: capBytes}
+		if *selfCheck {
+			opt.SelfCheck = 1.0
+		}
+		s := fastsim.New(uarch.Default(), prog, opt)
 		res := s.Run(0)
 		report(res.Insts, res.Cycles, res.Output, time.Since(t0))
 		st := s.Stats()
 		fmt.Printf("fast-forwarded %.3f%%, %d misses, %.1f MB memoized, %d clears\n",
 			st.FastForwardedPc, st.Misses, float64(st.TotalMemoBytes)/(1<<20), st.CacheClears)
+		if st.Faults != 0 || st.DegradedSteps != 0 || *selfCheck {
+			fmt.Printf("faults: %d detected, %d invalidations, %d degraded steps, %d watchdog trips\n",
+				st.Faults, st.Invalidations, st.DegradedSteps, st.WatchdogTrips)
+		}
+		if *selfCheck {
+			fmt.Printf("self-check: %d steps verified, %d divergences\n",
+				st.SelfChecks, st.SelfCheckDivergences)
+			if st.SelfCheckDivergences != 0 {
+				fmt.Fprintf(os.Stderr, "fsim: self-check divergence: %v\n", s.LastFault())
+				os.Exit(3)
+			}
+		}
 	case "fac-func", "fac-inorder", "fac-ooo":
 		mk := map[string]func(*loader.Program, facsim.Options) (*facsim.Instance, error){
 			"fac-func":    facsim.NewFunctional,
 			"fac-inorder": facsim.NewInOrder,
 			"fac-ooo":     facsim.NewOOO,
 		}[*simName]
-		in, err := mk(prog, facsim.Options{Memoize: *memo, CacheCapBytes: capBytes})
+		opt := facsim.Options{Memoize: *memo, CacheCapBytes: capBytes}
+		if *selfCheck {
+			opt.SelfCheck = 1.0
+		}
+		in, err := mk(prog, opt)
 		if err != nil {
 			die(err)
 		}
@@ -105,6 +134,19 @@ func main() {
 		fmt.Printf("steps: %d slow, %d replayed, %d recoveries, %.1f MB memoized\n",
 			res.Stats.SlowSteps, res.Stats.Replays, res.Stats.Misses,
 			float64(res.Stats.TotalMemoBytes)/(1<<20))
+		st := res.Stats
+		if st.Faults != 0 || st.DegradedSteps != 0 || *selfCheck {
+			fmt.Printf("faults: %d detected, %d invalidations, %d degraded steps, %d watchdog trips\n",
+				st.Faults, st.Invalidations, st.DegradedSteps, st.WatchdogTrips)
+		}
+		if *selfCheck {
+			fmt.Printf("self-check: %d steps verified, %d divergences\n",
+				st.SelfChecks, st.SelfCheckDivergences)
+			if st.SelfCheckDivergences != 0 {
+				fmt.Fprintf(os.Stderr, "fsim: self-check divergence: %v\n", in.M.LastFault())
+				os.Exit(3)
+			}
+		}
 	default:
 		die(fmt.Errorf("unknown simulator %q", *simName))
 	}

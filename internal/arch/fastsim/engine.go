@@ -117,6 +117,14 @@ type engine struct {
 	// amount of calculation performed in a step").
 	stepCommits int
 
+	// maxStepCycles is the runaway-step watchdog: a slow step that
+	// simulates more cycles than this is cut off (0 = unbounded). If the
+	// cut-off step committed nothing, the pipeline can never make progress
+	// and the engine halts rather than livelocking through an endless
+	// sequence of watchdog-bounded steps.
+	maxStepCycles uint64
+	wdTrips       uint64
+
 	// dynamic machine components, owned here but touched only via sinks
 	// or the replayer:
 	st   *funcsim.State
@@ -204,12 +212,21 @@ const defaultStepCommits = 48
 // operation to s. It returns the number of instructions committed.
 func (e *engine) runStep(s sink) int {
 	committed := 0
+	var cycles uint64
 	for !e.haltSeen {
 		boundary := e.stepCycle(s, &committed)
 		if e.haltSeen {
 			break
 		}
 		if boundary || committed >= e.stepCommits {
+			break
+		}
+		cycles++
+		if e.maxStepCycles > 0 && cycles >= e.maxStepCycles {
+			e.wdTrips++
+			if committed == 0 {
+				e.haltSeen = true
+			}
 			break
 		}
 	}

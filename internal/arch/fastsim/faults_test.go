@@ -1,0 +1,235 @@
+package fastsim
+
+import (
+	"bytes"
+	"testing"
+
+	"facile/internal/arch/funcsim"
+	"facile/internal/arch/uarch"
+	"facile/internal/faults"
+)
+
+// The recovery contract under injected faults: the run must not panic, the
+// architectural output must still match the golden functional model, and
+// the fault counters must show the recovery path actually fired.
+
+var faultWorkloads = []struct {
+	name string
+	src  string
+}{
+	{"sum-loop", sumLoop},
+	{"branchy", `
+start:  li   r10, 300
+        li   r11, 0
+loop:   beq  r10, r0, done
+        li   r2, 4
+        syscall
+        and  r5, r3, 7
+        beq  r5, r0, bump
+        add  r11, r11, 1
+        b    next
+bump:   add  r11, r11, 10
+next:   sub  r10, r10, 1
+        b    loop
+done:   li   r2, 2
+        mov  r3, r11
+        syscall
+        halt
+`},
+}
+
+func TestInjectedFaultRecovery(t *testing.T) {
+	cases := []struct {
+		name        string
+		kinds       []faults.Injection
+		exactCycles bool // degradation preserves cycle counts
+		check       func(t *testing.T, st Stats)
+	}{
+		{
+			name:        "break-chain",
+			kinds:       []faults.Injection{faults.InjBreakChain},
+			exactCycles: true,
+			check: func(t *testing.T, st Stats) {
+				if st.Faults == 0 || st.DegradedSteps == 0 || st.Invalidations == 0 {
+					t.Errorf("expected broken-chain faults to degrade steps: %+v", st)
+				}
+			},
+		},
+		{
+			name:        "flip-fork",
+			kinds:       []faults.Injection{faults.InjFlipFork},
+			exactCycles: true,
+			check: func(t *testing.T, st Stats) {
+				if st.Misses == 0 {
+					t.Errorf("flipped forks should surface as value misses: %+v", st)
+				}
+			},
+		},
+		{
+			// Corrupt successor keys lose the in-flight pipeline state, so
+			// only architectural results (not cycle timing) are preserved.
+			name:  "truncate-key",
+			kinds: []faults.Injection{faults.InjTruncate},
+			check: func(t *testing.T, st Stats) {
+				if st.Faults == 0 {
+					t.Errorf("expected corrupt-key faults: %+v", st)
+				}
+			},
+		},
+		{
+			name:        "gen-bump",
+			kinds:       []faults.Injection{faults.InjGenBump},
+			exactCycles: true,
+			check: func(t *testing.T, st Stats) {
+				if st.CacheClears == 0 {
+					t.Errorf("expected injected cache clears: %+v", st)
+				}
+			},
+		},
+		{
+			name: "all-kinds",
+			kinds: []faults.Injection{
+				faults.InjBreakChain, faults.InjFlipFork,
+				faults.InjTruncate, faults.InjGenBump,
+			},
+			check: func(t *testing.T, st Stats) {
+				if st.Faults == 0 {
+					t.Errorf("expected at least one fault: %+v", st)
+				}
+			},
+		},
+	}
+	for _, w := range faultWorkloads {
+		for _, tc := range cases {
+			t.Run(w.name+"/"+tc.name, func(t *testing.T) {
+				p := asmOrDie(t, w.src)
+				_, golden, err := funcsim.Run(p, 50_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plain := New(uarch.Default(), p, Options{Memoize: false}).Run(0)
+
+				ij := faults.NewInjector(7, 5, tc.kinds...)
+				s := New(uarch.Default(), p, Options{Memoize: true, Inject: ij})
+				res := s.Run(0)
+
+				if !bytes.Equal(res.Output, golden.Output) {
+					t.Errorf("output %q != golden %q", res.Output, golden.Output)
+				}
+				if res.ExitStatus != golden.ExitStatus {
+					t.Errorf("exit %d != golden %d", res.ExitStatus, golden.ExitStatus)
+				}
+				if tc.exactCycles && res.Cycles != plain.Cycles {
+					t.Errorf("cycles %d != plain %d", res.Cycles, plain.Cycles)
+				}
+				if ij.Fired() == 0 {
+					t.Fatal("injector never fired")
+				}
+				tc.check(t, s.Stats())
+			})
+		}
+	}
+}
+
+func TestSelfCheckCleanRun(t *testing.T) {
+	// With no corruption, self-checking must observe zero divergences and
+	// must not perturb cycle counts or architectural results.
+	for _, w := range faultWorkloads {
+		t.Run(w.name, func(t *testing.T) {
+			p := asmOrDie(t, w.src)
+			_, golden, err := funcsim.Run(p, 50_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain := New(uarch.Default(), p, Options{Memoize: false}).Run(0)
+			s := New(uarch.Default(), p, Options{Memoize: true, SelfCheck: 0.5})
+			res := s.Run(0)
+			st := s.Stats()
+			if res.Cycles != plain.Cycles {
+				t.Errorf("cycles %d != plain %d", res.Cycles, plain.Cycles)
+			}
+			if !bytes.Equal(res.Output, golden.Output) {
+				t.Errorf("output %q != golden %q", res.Output, golden.Output)
+			}
+			if st.SelfChecks == 0 {
+				t.Error("no steps were self-checked")
+			}
+			if st.SelfCheckDivergences != 0 {
+				t.Errorf("clean run diverged %d times (last: %v)",
+					st.SelfCheckDivergences, s.LastFault())
+			}
+		})
+	}
+}
+
+func TestSelfCheckCatchesCorruption(t *testing.T) {
+	// Structural corruption that a full self-check sweep must detect:
+	// severed chains and truncated successor keys both disagree with the
+	// live slow step.
+	p := asmOrDie(t, sumLoop)
+	_, golden, err := funcsim.Run(p, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ij := faults.NewInjector(11, 7, faults.InjBreakChain, faults.InjTruncate)
+	s := New(uarch.Default(), p, Options{
+		Memoize:   true,
+		SelfCheck: 1.0,
+		Inject:    ij,
+	})
+	res := s.Run(0)
+	st := s.Stats()
+	if !bytes.Equal(res.Output, golden.Output) {
+		t.Errorf("output %q != golden %q", res.Output, golden.Output)
+	}
+	if res.ExitStatus != golden.ExitStatus {
+		t.Errorf("exit %d != golden %d", res.ExitStatus, golden.ExitStatus)
+	}
+	if st.SelfCheckDivergences == 0 {
+		t.Errorf("self-check missed injected corruption: %+v", st)
+	}
+	if st.Invalidations == 0 {
+		t.Errorf("divergence must invalidate the entry: %+v", st)
+	}
+}
+
+func TestClearWhenFullOnOverflowingPut(t *testing.T) {
+	// The clear must happen on the put that overflows the cap, not one
+	// put later (and it clears the overflowing entry too).
+	c := newACache(200)
+	keys := []string{"aaaa", "bbbb", "cccc", "dddd"}
+	for i, k := range keys {
+		c.put(&centry{key: k})
+		occupied := uint64(i+1) * (entryBytes + 4)
+		if occupied <= 200 {
+			if c.g.Clears != 0 {
+				t.Fatalf("cleared at %d bytes, under the 200-byte cap", occupied)
+			}
+			continue
+		}
+		if c.g.Clears != 1 || len(c.m) != 0 || c.g.Bytes != 0 {
+			t.Fatalf("put #%d crossed the cap but state is m=%d bytes=%d clears=%d",
+				i+1, len(c.m), c.g.Bytes, c.g.Clears)
+		}
+		break
+	}
+}
+
+func TestWatchdogBoundsReplayActions(t *testing.T) {
+	// An absurdly low action watchdog forces every long replay to degrade;
+	// results must still match the golden model.
+	p := asmOrDie(t, sumLoop)
+	_, golden, err := funcsim.Run(p, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(uarch.Default(), p, Options{Memoize: true, MaxReplayActions: 4})
+	res := s.Run(0)
+	st := s.Stats()
+	if !bytes.Equal(res.Output, golden.Output) {
+		t.Errorf("output %q != golden %q", res.Output, golden.Output)
+	}
+	if st.WatchdogTrips == 0 || st.DegradedSteps == 0 {
+		t.Errorf("expected watchdog trips to degrade steps: %+v", st)
+	}
+}

@@ -1,12 +1,12 @@
 package fastsim
 
 import (
-	"fmt"
-
 	"facile/internal/arch/funcsim"
 	"facile/internal/arch/uarch"
+	"facile/internal/faults"
 	"facile/internal/isa"
 	"facile/internal/isa/loader"
+	"facile/internal/memocache"
 )
 
 // Action kinds. Actions are the dynamic basic blocks of the hand-coded
@@ -81,39 +81,49 @@ const (
 
 // acache is the specialized action cache with the paper's
 // clear-when-full policy (§6.1: "fixing a maximum cache size and clearing
-// the cache when it fills").
+// the cache when it fills"). Byte accounting, the clear policy, and the
+// staleness generation live in memocache.Gauge, shared with internal/rt.
 type acache struct {
-	m        map[string]*centry
-	bytes    uint64
-	capBytes uint64 // 0 = unlimited
-	gen      uint64
-
-	totalBytes uint64 // monotonic: everything ever memoized (Table 2)
-	clears     uint64
+	m map[string]*centry
+	g memocache.Gauge
 }
 
 func newACache(capBytes uint64) *acache {
-	return &acache{m: make(map[string]*centry), capBytes: capBytes}
+	return &acache{m: make(map[string]*centry), g: memocache.Gauge{CapBytes: capBytes}}
 }
 
 func (c *acache) get(key string) *centry { return c.m[key] }
 
 func (c *acache) put(e *centry) {
-	if c.capBytes > 0 && c.bytes > c.capBytes {
-		// Clear when full; in-progress replays detect stale entries via gen.
-		c.m = make(map[string]*centry)
-		c.bytes = 0
-		c.gen++
-		c.clears++
-	}
-	e.gen = c.gen
+	e.gen = c.g.Gen
 	c.m[e.key] = e
 	c.charge(uint64(entryBytes + len(e.key)))
+	if c.g.Over() {
+		// Clear when full — on the put that overflowed the cap, including
+		// the entry just installed. In-progress replays detect stale
+		// entries via the generation.
+		c.m = make(map[string]*centry)
+		c.g.Cleared()
+	}
 }
 
 func (c *acache) charge(n uint64) {
-	c.bytes += n
-	c.totalBytes += n
+	c.g.Charge(n)
+}
+
+// invalidate discards entry e after a fault. The generation moves so any
+// replay-cached link to e re-validates and misses.
+func (c *acache) invalidate(e *centry) {
+	if cur, ok := c.m[e.key]; ok && cur == e {
+		delete(c.m, e.key)
+	}
+	c.g.Invalidated()
+}
+
+// clearNow discards the whole cache, as clear-when-full would.
+func (c *acache) clearNow() {
+	c.m = make(map[string]*centry)
+	c.g.Cleared()
 }
 
 // Stats reports memoization statistics.
@@ -130,6 +140,14 @@ type Stats struct {
 	TotalMemoBytes  uint64 // monotonic bytes ever memoized (Table 2)
 	CacheClears     uint64
 	FastForwardedPc float64 // percentage of instructions fast-forwarded
+
+	// Fault recovery and graceful degradation.
+	Faults               uint64 // invariant violations recovered on the fast path
+	Invalidations        uint64 // cache entries discarded by fault recovery
+	DegradedSteps        uint64 // steps abandoned mid-replay and re-run slow
+	WatchdogTrips        uint64 // runaway-step watchdog activations
+	SelfChecks           uint64 // replayable steps re-executed slow for checking
+	SelfCheckDivergences uint64 // self-checks that disagreed with the cache
 }
 
 // Options configures a fast-forwarding simulator.
@@ -143,6 +161,28 @@ type Options struct {
 	// state recurrence is imperfect — the granularity trade-off of paper
 	// §2.1.
 	StepCommits int
+
+	// SelfCheck is the fraction of replayable steps (0..1) that are
+	// re-executed on the slow simulator instead of replayed, verifying the
+	// recorded actions against the live run. A structural disagreement is a
+	// fault: the entry is invalidated and the step finishes slow. Because
+	// the checked step runs entirely on the always-correct slow path,
+	// self-checking never perturbs cycle counts.
+	SelfCheck     float64
+	SelfCheckSeed uint64 // sampling PRNG seed (0 = fixed default)
+
+	// Inject, when non-nil, deterministically corrupts cache entries just
+	// before replay so tests can drive every recovery path on demand.
+	Inject *faults.Injector
+
+	// MaxReplayActions bounds the actions replayed within one step before
+	// the watchdog trips and degrades the step to the slow simulator
+	// (0 = default 1<<20). It catches cycles in a corrupted action graph.
+	MaxReplayActions uint64
+
+	// MaxStepCycles bounds the cycles one slow step may simulate before the
+	// watchdog trips (0 = default 1<<22).
+	MaxStepCycles uint64
 }
 
 // Sim is the fast-forwarding out-of-order simulator.
@@ -170,6 +210,12 @@ type Sim struct {
 	startCycle uint64
 	curKey     string
 	path       []uint64 // dynamic values produced along the replayed path
+	ops        uint64   // sink-level operations performed by the current replay
+
+	// lastNPC is the resolved next PC of the most recently fetched
+	// instruction — the architectural resume point if the rt-static
+	// pipeline state is ever lost (see drainReset).
+	lastNPC uint64
 
 	cycle      uint64
 	engineLive bool
@@ -181,12 +227,26 @@ type Sim struct {
 	replays   uint64
 	misses    uint64
 	keyMisses uint64
+
+	scState    uint64 // self-check sampling PRNG
+	faultCount uint64
+	degraded   uint64
+	wdTrips    uint64
+	selfChecks uint64
+	scDiverged uint64
+	lastFault  *faults.Fault
 }
 
 // New builds a fast-forwarding simulator for prog.
 func New(cfg uarch.Config, prog *loader.Program, opt Options) *Sim {
 	if opt.StepCommits <= 0 {
 		opt.StepCommits = defaultStepCommits
+	}
+	if opt.MaxReplayActions == 0 {
+		opt.MaxReplayActions = 1 << 20
+	}
+	if opt.MaxStepCycles == 0 {
+		opt.MaxStepCycles = 1 << 22
 	}
 	ring := 1
 	for ring < 2*(cfg.Window+opt.StepCommits+cfg.FetchWidth+4) {
@@ -202,7 +262,13 @@ func New(cfg uarch.Config, prog *loader.Program, opt Options) *Sim {
 		ringNPC:    make([]uint64, ring),
 		ringMask:   uint32(ring - 1),
 		engineLive: true,
+		lastNPC:    prog.Entry,
+		scState:    opt.SelfCheckSeed,
 	}
+	if s.scState == 0 {
+		s.scState = 0xD1B54A32D192ED03
+	}
+	s.eng.maxStepCycles = opt.MaxStepCycles
 	return s
 }
 
@@ -210,6 +276,7 @@ func (s *Sim) setSlot(slot int, addr, npc uint64) {
 	i := (s.base + uint32(slot)) & s.ringMask
 	s.ringAddr[i] = addr
 	s.ringNPC[i] = npc
+	s.lastNPC = npc
 }
 
 func (s *Sim) slotAddrAt(slot int) uint64 {
@@ -237,11 +304,18 @@ func (s *Sim) Stats() Stats {
 		Replays:         s.replays,
 		Misses:          s.misses,
 		KeyMisses:       s.keyMisses,
-		CacheBytes:      s.ac.bytes,
+		CacheBytes:      s.ac.g.Bytes,
 		CacheEntries:    uint64(len(s.ac.m)),
-		TotalMemoBytes:  s.ac.totalBytes,
-		CacheClears:     s.ac.clears,
+		TotalMemoBytes:  s.ac.g.TotalBytes,
+		CacheClears:     s.ac.g.Clears,
 		FastForwardedPc: pct,
+
+		Faults:               s.faultCount,
+		Invalidations:        s.ac.g.Invalidations,
+		DegradedSteps:        s.degraded,
+		WatchdogTrips:        s.wdTrips + s.eng.wdTrips,
+		SelfChecks:           s.selfChecks,
+		SelfCheckDivergences: s.scDiverged,
 	}
 }
 
@@ -285,22 +359,47 @@ func (s *Sim) Run(maxInsts uint64) uarch.Result {
 			break
 		}
 		if s.opt.Memoize {
-			if !s.engineLive {
-				if e := s.ac.get(s.curKey); e != nil {
+			key := s.curKey
+			if s.engineLive {
+				key = s.eng.snapshotKey()
+			}
+			if e := s.ac.get(key); e != nil {
+				if inj := s.opt.Inject.Arm(); inj != faults.InjNone {
+					s.injectFault(e, inj)
+					if e = s.ac.get(key); e == nil {
+						// The injection cleared the cache out from under us;
+						// treat it as the key miss it now is.
+						if !s.engineLive {
+							s.keyMisses++
+							s.restoreEngine()
+						}
+						goto slow
+					}
+				}
+				if s.selfCheckDue() {
+					restored := true
+					if !s.engineLive {
+						restored = s.restoreEngine()
+					}
+					if restored {
+						s.selfCheckStep(e)
+						continue
+					}
+					// Corrupt step key: the drain reset already put the
+					// engine back on the architectural stream; run slow.
+				} else {
+					if s.engineLive {
+						s.beginReplay(key)
+					}
 					s.replayFrom(e, maxInsts)
 					continue
 				}
+			} else if !s.engineLive {
 				s.keyMisses++
 				s.restoreEngine()
-			} else {
-				key := s.eng.snapshotKey()
-				if e := s.ac.get(key); e != nil {
-					s.beginReplay(key)
-					s.replayFrom(e, maxInsts)
-					continue
-				}
 			}
 		}
+	slow:
 		s.runStepSlow()
 	}
 	st := s.eng.st
@@ -326,19 +425,77 @@ func (s *Sim) beginReplay(key string) {
 	s.engineLive = false
 }
 
-func (s *Sim) restoreEngine() {
+// restoreEngine rebuilds the slow simulator from the step-start snapshot.
+// It reports false if the recorded key no longer parses (a corrupt-key
+// fault), in which case drainReset has already put the engine back on the
+// architectural instruction stream with an empty pipeline.
+func (s *Sim) restoreEngine() bool {
 	getSlot := func(i int) (uint64, uint64) {
 		j := (s.startBase + uint32(i)) & s.ringMask
 		return s.ringAddr[j], s.ringNPC[j]
 	}
 	if err := s.eng.restoreFromKey(s.curKey, getSlot, s.startCycle); err != nil {
-		// Keys are produced by snapshotKey; failure here is a programming
-		// error, not an input error.
-		panic(fmt.Sprintf("fastsim: %v", err))
+		s.fault(faults.CorruptKey, err.Error())
+		s.drainReset()
+		return false
 	}
 	s.base = s.startBase
 	s.cycle = s.startCycle
 	s.engineLive = true
+	return true
+}
+
+// drainReset recovers from an unrecoverable rt-static pipeline state: every
+// fetched instruction has already executed functionally (fetch applies
+// functional effects in program order), so an empty window refetching from
+// the last resolved next PC preserves the architectural stream exactly —
+// only the timing of the instructions that were in flight is approximated.
+func (s *Sim) drainReset() {
+	e := s.eng
+	e.win = e.win[:0]
+	e.fetchPC = s.lastNPC
+	e.stalled = false
+	e.serialize = false
+	e.resumeIn = 0
+	e.cycle = s.cycle
+	e.haltSeen = e.st.Halted
+	s.engineLive = true
+	if e.haltSeen {
+		s.done = true
+	}
+}
+
+// fault records one recovered invariant violation.
+func (s *Sim) fault(kind faults.Kind, detail string) {
+	s.faultCount++
+	s.lastFault = faults.New(kind, "fastsim", detail)
+}
+
+// LastFault returns the most recently recovered fault, if any.
+func (s *Sim) LastFault() *faults.Fault { return s.lastFault }
+
+// stepHook reports whether per-step policies (fault injection, self-check
+// sampling) require the Run loop to mediate every step boundary instead of
+// letting the replayer chain entries directly.
+func (s *Sim) stepHook() bool {
+	return s.opt.Inject != nil || s.opt.SelfCheck > 0
+}
+
+// selfCheckDue samples the configured self-check fraction.
+func (s *Sim) selfCheckDue() bool {
+	f := s.opt.SelfCheck
+	if f <= 0 {
+		return false
+	}
+	if f >= 1 {
+		return true
+	}
+	x := s.scState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.scState = x
+	return float64(x>>11)/(1<<53) < f
 }
 
 // runStepSlow runs one step of the slow/complete simulator, recording its
@@ -359,12 +516,13 @@ func (s *Sim) runStepSlow() {
 }
 
 // finishSlowStep seals a recorded entry (normal or recovery) and installs
-// it in the action cache.
+// it in the action cache. A nil rec (degraded step: nothing worth keeping)
+// just seals the cycle/halt state.
 func (s *Sim) finishSlowStep(rec *recorder, ent *centry) {
 	s.cycle = s.eng.cycle
 	if s.eng.haltSeen {
 		s.done = true
-	} else {
+	} else if rec != nil {
 		end := &action{kind: aEnd, nextKey: s.eng.snapshotKey()}
 		rec.emit(end)
 	}
@@ -461,8 +619,12 @@ func (r *recorder) shifted(k int) {
 
 // --- nopSink: memoization disabled ---------------------------------------
 
+// nopSink records nothing. With countSlow set it still accounts committed
+// instructions as slow-simulated — the degraded-step recovery uses it as
+// the live sink, since a step abandoned after a fault must not record.
 type nopSink struct {
-	s *Sim
+	s         *Sim
+	countSlow bool
 }
 
 func (n *nopSink) exec(slot int, pc uint64, in isa.Inst, cls isa.Class) (uint64, uint64) {
@@ -491,45 +653,96 @@ func (n *nopSink) halted() bool { return n.s.eng.st.Halted }
 
 func (n *nopSink) shifted(k int) {
 	n.s.shiftSlots(k)
+	if n.countSlow {
+		n.s.slowInsts += uint64(k)
+	}
 }
 
 // --- recoverer: slow simulation after an action cache miss ----------------
 
 // recoverer replays the dynamic values the fast simulator already produced
 // (the paper's recovery stack) so the slow simulator can catch up to the
-// miss point without re-executing dynamic operations, then switches to
-// normal recording for the rest of the step.
+// miss point without re-executing dynamic operations, then switches to a
+// live sink for the rest of the step.
 //
-// The path holds one value per dynamic operation performed by the partial
-// replay, in order, ending with the miss value itself (the dynamic result
-// the replay computed but found no recorded successor for). When the last
-// value is consumed the slow simulator has caught up to the miss point and
-// the recorder takes over, appending fresh actions onto the new fork.
+// Two cursor modes decide where the hand-over happens:
+//
+//   - Value cursor (classic miss recovery): the path holds one value per
+//     dynamic operation performed by the partial replay, ending with the
+//     miss value itself (the dynamic result the replay computed but found
+//     no recorded successor for). When the last value is consumed the slow
+//     simulator has caught up and the recorder takes over, appending fresh
+//     actions onto the new fork. A value miss always happens at a
+//     dynamic-result action, so path exhaustion marks the miss point
+//     exactly.
+//
+//   - Operation cursor (fault degradation): a structural fault can strike
+//     after operations that log no value (updates, shifts, plain execs),
+//     so path exhaustion alone would hand over too early and re-execute
+//     work the replay already performed. The op cursor counts the
+//     sink-level operations the replay completed and hands over only after
+//     the re-run has performed that many.
+//
+// If the cursor overruns the recorded path the entry and the re-run step
+// disagree; the recoverer goes live immediately (returning zero values for
+// the overrun reads) instead of panicking, and reports the overrun to the
+// caller for fault accounting.
 type recoverer struct {
-	s      *Sim
-	path   []uint64
-	idx    int
-	rec    *recorder // becomes active after the miss point
-	active bool      // rec has taken over
+	s    *Sim
+	path []uint64
+	idx  int
+
+	useOps bool   // operation-cursor mode
+	ops    uint64 // ops performed by the replay before the fault
+	opIdx  uint64
+
+	live    sink      // takes over after the cursor is exhausted
+	rec     *recorder // non-nil when live records (classic miss recovery)
+	active  bool      // live has taken over
+	overrun bool      // cursor ran past the replayed path
+}
+
+func (rv *recoverer) goLive() {
+	if rv.active {
+		return
+	}
+	rv.active = true
+	if rv.rec != nil {
+		rv.rec.lastCycle = rv.s.eng.cycle
+	}
 }
 
 func (rv *recoverer) take(what string) uint64 {
 	if rv.idx >= len(rv.path) {
-		panic("fastsim: recovery cursor overran the replayed path at " + what)
+		// The recorded entry and the re-run step disagree about the step's
+		// dynamic operations. Degrade instead of crashing.
+		rv.overrun = true
+		rv.goLive()
+		return 0
 	}
 	v := rv.path[rv.idx]
 	rv.idx++
-	if rv.idx == len(rv.path) {
-		// Caught up to the miss point: record everything from here on.
-		rv.active = true
-		rv.rec.lastCycle = rv.s.eng.cycle
+	if !rv.useOps && rv.idx == len(rv.path) {
+		// Caught up to the miss point: go live from here on.
+		rv.goLive()
 	}
 	return v
 }
 
+// opDone advances the operation cursor after a fully replayed operation.
+func (rv *recoverer) opDone() {
+	if !rv.useOps || rv.active {
+		return
+	}
+	rv.opIdx++
+	if rv.opIdx >= rv.ops {
+		rv.goLive()
+	}
+}
+
 func (rv *recoverer) exec(slot int, pc uint64, in isa.Inst, cls isa.Class) (uint64, uint64) {
 	if rv.active {
-		return rv.rec.exec(slot, pc, in, cls)
+		return rv.live.exec(slot, pc, in, cls)
 	}
 	// The replay already applied the functional effects; reconstruct the
 	// outputs. Only instructions whose exec produced a dynamic value the
@@ -547,53 +760,64 @@ func (rv *recoverer) exec(slot int, pc uint64, in isa.Inst, cls isa.Class) (uint
 	}
 	// Keep the dynamic slot globals evolving exactly as the replay did.
 	rv.s.setSlot(slot, addr, npc)
+	rv.opDone()
 	return addr, npc
 }
 
 func (rv *recoverer) icache(pc uint64) uint64 {
 	if rv.active {
-		return rv.rec.icache(pc)
+		return rv.live.icache(pc)
 	}
-	return rv.take("icache")
+	v := rv.take("icache")
+	rv.opDone()
+	return v
 }
 
 func (rv *recoverer) dcache(slot int, addr uint64, write bool) uint64 {
 	if rv.active {
-		return rv.rec.dcache(slot, addr, write)
+		return rv.live.dcache(slot, addr, write)
 	}
-	return rv.take("dcache")
+	v := rv.take("dcache")
+	rv.opDone()
+	return v
 }
 
 func (rv *recoverer) predict(pc uint64, in isa.Inst) uint64 {
 	if rv.active {
-		return rv.rec.predict(pc, in)
+		return rv.live.predict(pc, in)
 	}
-	return rv.take("predict")
+	v := rv.take("predict")
+	rv.opDone()
+	return v
 }
 
 func (rv *recoverer) update(slot int, pc uint64, in isa.Inst, actual uint64, mispred bool) {
 	if rv.active {
-		rv.rec.update(slot, pc, in, actual, mispred)
+		rv.live.update(slot, pc, in, actual, mispred)
 		return
 	}
 	// The replay already trained the predictor; nothing was logged.
+	rv.opDone()
 }
 
 func (rv *recoverer) halted() bool {
 	if rv.active {
-		return rv.rec.halted()
+		return rv.live.halted()
 	}
-	return rv.take("halted") == 1
+	h := rv.take("halted") == 1
+	rv.opDone()
+	return h
 }
 
 func (rv *recoverer) shifted(k int) {
 	if rv.active {
-		rv.rec.shifted(k)
+		rv.live.shifted(k)
 		return
 	}
 	// The replay already counted these instructions as fast-forwarded;
 	// only the slot globals need to move. Nothing was logged.
 	rv.s.shiftSlots(k)
+	rv.opDone()
 }
 
 func b2u(b bool) uint64 {

@@ -1,6 +1,9 @@
 package fastsim
 
 import (
+	"fmt"
+
+	"facile/internal/faults"
 	"facile/internal/isa"
 )
 
@@ -11,15 +14,35 @@ import (
 // halts, when an action cache miss hands control back to the slow
 // simulator, or when the instruction budget is exhausted at a step
 // boundary.
+//
+// Structural faults — a severed chain, or a step whose replay exceeds the
+// action watchdog — never panic: the offending entry is invalidated, the
+// partial replay is discarded, and the step re-runs on the slow simulator
+// (degradeStep). The replay tracks s.ops, the count of sink-level
+// operations it has completed this step, so the degraded re-run knows
+// exactly where to switch from consuming replayed values to running live.
 func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 	st := s.eng.st
 	s.path = s.path[:0]
+	s.ops = 0
+	var acts uint64
 	a := e.first
 	for {
 		if a == nil {
 			// Recording always seals a step with aEnd (or ends inside a
-			// halted test); a nil link mid-chain is a bug, not an input.
-			panic("fastsim: broken action chain")
+			// halted test); a nil link mid-chain means the entry is corrupt.
+			s.fault(faults.BrokenChain, "nil action link before end of step")
+			s.degradeStep(e)
+			return
+		}
+		acts++
+		if acts > s.opt.MaxReplayActions {
+			// A cycle in a corrupted graph, or a runaway step.
+			s.fault(faults.WatchdogReplay,
+				fmt.Sprintf("replayed %d actions in one step", acts))
+			s.wdTrips++
+			s.degradeStep(e)
+			return
 		}
 		s.cycle += uint64(a.dcyc)
 		switch a.kind {
@@ -33,13 +56,14 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 			case needNextPCTest(a.in, a.cls):
 				s.path = append(s.path, npc)
 			}
+			s.ops++ // one sink.exec call covers a following aNextPC test too
 			a = a.next
 
 		case aNextPC:
 			v := s.slotNPCAt(int(a.slot))
 			next, ok := a.findFork(v)
 			if !ok {
-				s.miss(a)
+				s.miss(a, e)
 				return
 			}
 			a = next
@@ -47,9 +71,10 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 		case aICache:
 			lat := s.eng.mem.Inst(a.pc, s.cycle)
 			s.path = append(s.path, lat)
+			s.ops++
 			next, ok := a.findFork(lat)
 			if !ok {
-				s.miss(a)
+				s.miss(a, e)
 				return
 			}
 			a = next
@@ -57,9 +82,10 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 		case aDCache:
 			lat := s.eng.mem.Data(s.slotAddrAt(int(a.slot)), s.cycle, a.flags&flagWrite != 0)
 			s.path = append(s.path, lat)
+			s.ops++
 			next, ok := a.findFork(lat)
 			if !ok {
-				s.miss(a)
+				s.miss(a, e)
 				return
 			}
 			a = next
@@ -67,32 +93,36 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 		case aPredict:
 			npc := s.eng.pred.Predict(a.in, a.pc)
 			s.path = append(s.path, npc)
+			s.ops++
 			next, ok := a.findFork(npc)
 			if !ok {
-				s.miss(a)
+				s.miss(a, e)
 				return
 			}
 			a = next
 
 		case aUpdate:
 			s.eng.pred.Update(a.in, a.pc, s.slotNPCAt(int(a.slot)), a.flags&flagMispred != 0)
+			s.ops++
 			a = a.next
 
 		case aShift:
 			s.shiftSlots(int(a.slot))
 			s.fastInsts += uint64(a.slot)
+			s.ops++
 			a = a.next
 
 		case aHalted:
 			h := b2u(st.Halted)
 			s.path = append(s.path, h)
+			s.ops++
 			if h == 1 {
 				s.done = true
 				return
 			}
 			next, ok := a.findFork(h)
 			if !ok {
-				s.miss(a)
+				s.miss(a, e)
 				return
 			}
 			a = next
@@ -106,20 +136,33 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 			s.startBase = s.base
 			s.startCycle = s.cycle
 			s.path = s.path[:0]
+			s.ops = 0
+			acts = 0
 			if maxInsts > 0 && s.slowInsts+s.fastInsts >= maxInsts {
 				return // Run's loop notices the budget; engine stays stale
 			}
-			if a.link == nil || a.linkGen != s.ac.gen {
+			if s.stepHook() {
+				// Fault injection / self-check sampling are per-step
+				// policies applied by the Run loop; hand each chained step
+				// back instead of following the link directly.
+				return
+			}
+			if a.link == nil || a.linkGen != s.ac.g.Gen {
 				le := s.ac.get(a.nextKey)
 				if le == nil {
 					s.keyMisses++
 					return // boundary miss: Run restores the slow simulator
 				}
 				a.link = le
-				a.linkGen = s.ac.gen
+				a.linkGen = s.ac.g.Gen
 			}
 			e = a.link
 			a = e.first
+
+		default:
+			s.fault(faults.BadAction, fmt.Sprintf("unknown action kind %d", a.kind))
+			s.degradeStep(e)
+			return
 		}
 	}
 }
@@ -128,19 +171,73 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 // restore the slow simulator from the step's key, run it in recovery mode
 // consuming the values the replay already produced (s.path, whose last
 // element is the missing result itself), and record the new control path
-// as a fresh fork of a.
-func (s *Sim) miss(a *action) {
+// as a fresh fork of a. A recovery that disagrees with the replayed path
+// (overrun or incomplete consumption) is a fault: the entry is invalidated
+// and the step's recording is abandoned.
+func (s *Sim) miss(a *action, e *centry) {
 	s.misses++
 	s.steps++
 	v := s.path[len(s.path)-1]
-	s.restoreEngine()
+	if !s.restoreEngine() {
+		// Corrupt step key: recovery alignment is impossible. The drain
+		// reset already put the engine back on the architectural stream.
+		s.invalidateEntry(e)
+		s.degraded++
+		return
+	}
 	a.forks = append(a.forks, fork{val: v})
 	s.ac.charge(forkBytes)
 	rec := &recorder{s: s, tail: &a.forks[len(a.forks)-1].next}
-	rv := &recoverer{s: s, path: s.path, rec: rec}
+	rv := &recoverer{s: s, path: s.path, rec: rec, live: rec}
 	s.eng.runStep(rv)
-	if !rv.active {
-		panic("fastsim: recovery finished without reaching the miss point")
+	if rv.overrun || !rv.active {
+		kind := faults.RecoveryIncomplete
+		detail := "recovery finished without reaching the miss point"
+		if rv.overrun {
+			kind = faults.RecoveryOverrun
+			detail = "recovery cursor overran the replayed path"
+		}
+		s.fault(kind, detail)
+		s.invalidateEntry(e)
+		s.degraded++
+		// Drop the half-recorded fork so the dead entry can't replay it.
+		a.forks = a.forks[:len(a.forks)-1]
+		s.finishSlowStep(nil, nil)
+		return
 	}
 	s.finishSlowStep(rec, nil)
+}
+
+// degradeStep abandons a partial replay after a structural fault: the
+// offending entry is invalidated, the slow simulator is restored to the
+// step-start state, and the step re-runs in recovery mode — consuming the
+// dynamic values the replay already produced, without recording anything —
+// so the step finishes on the always-correct slow path.
+func (s *Sim) degradeStep(e *centry) {
+	s.steps++
+	s.degraded++
+	s.invalidateEntry(e)
+	if !s.restoreEngine() {
+		return // drained: the engine is already back on the live stream
+	}
+	rv := &recoverer{
+		s:      s,
+		path:   s.path,
+		useOps: true,
+		ops:    s.ops,
+		live:   &nopSink{s: s, countSlow: true},
+	}
+	if rv.ops == 0 {
+		rv.goLive() // fault before any replayed operation: run fully live
+	}
+	s.eng.runStep(rv)
+	if rv.overrun {
+		s.fault(faults.RecoveryOverrun, "degraded re-run overran the replayed path")
+	}
+	s.finishSlowStep(nil, nil)
+}
+
+// invalidateEntry discards e from the action cache after a fault.
+func (s *Sim) invalidateEntry(e *centry) {
+	s.ac.invalidate(e)
 }

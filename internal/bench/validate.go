@@ -61,6 +61,26 @@ func ValidateBenchmark(name string, scale int) error {
 		return fmt.Errorf("%s: fastsim cycles %d (memo) != %d (plain)", name, memo.Cycles, plain.Cycles)
 	}
 
+	// Memoizing with self-checking over a deliberately small cache: sampled
+	// steps re-run on the slow simulator and must never diverge from the
+	// recorded actions, and cycle counts must still match the plain run.
+	scSim := fastsim.New(cfg, w.Prog, fastsim.Options{
+		Memoize:       true,
+		SelfCheck:     0.25,
+		CacheCapBytes: 1 << 16,
+	})
+	scRes := scSim.Run(0)
+	if err := check("fastsim+selfcheck", scRes.Output, scRes.ExitStatus); err != nil {
+		return err
+	}
+	if scRes.Cycles != plain.Cycles {
+		return fmt.Errorf("%s: fastsim+selfcheck cycles %d != %d (plain)", name, scRes.Cycles, plain.Cycles)
+	}
+	if st := scSim.Stats(); st.SelfCheckDivergences != 0 {
+		return fmt.Errorf("%s: fastsim self-check diverged %d times (last: %v)",
+			name, st.SelfCheckDivergences, scSim.LastFault())
+	}
+
 	// Facile simulators: functional, and OOO in both modes with identical
 	// cycles. (The in-order model is validated in the facsim tests; it is
 	// too slow to sweep the whole suite here.)
@@ -101,6 +121,31 @@ func ValidateBenchmark(name string, scale int) error {
 	}
 	if oooCycles[0] != oooCycles[1] {
 		return fmt.Errorf("%s: facile ooo cycles %d (memo) != %d (plain)", name, oooCycles[1], oooCycles[0])
+	}
+
+	// Facile OOO memoizing with self-checking over a small cache: results
+	// and cycles must match the plain run with zero divergences.
+	fsc, err := facsim.NewOOO(w.Prog, facsim.Options{
+		Memoize:       true,
+		SelfCheck:     0.25,
+		CacheCapBytes: 1 << 18,
+	})
+	if err != nil {
+		return err
+	}
+	fscRes, err := fsc.Run(0)
+	if err != nil {
+		return fmt.Errorf("%s: facile ooo (self-check): %w", name, err)
+	}
+	if err := check("facile-ooo+selfcheck", fscRes.Output, fscRes.Exit); err != nil {
+		return err
+	}
+	if fscRes.Cycles != oooCycles[0] {
+		return fmt.Errorf("%s: facile ooo self-check cycles %d != %d (plain)", name, fscRes.Cycles, oooCycles[0])
+	}
+	if fscRes.Stats.SelfCheckDivergences != 0 {
+		return fmt.Errorf("%s: facile ooo self-check diverged %d times (last: %v)",
+			name, fscRes.Stats.SelfCheckDivergences, fsc.M.LastFault())
 	}
 	return nil
 }

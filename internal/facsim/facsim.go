@@ -16,6 +16,7 @@ import (
 	"facile/internal/arch/cache"
 	"facile/internal/arch/uarch"
 	"facile/internal/core"
+	"facile/internal/faults"
 	"facile/internal/isa"
 	"facile/internal/isa/loader"
 	"facile/internal/mem"
@@ -258,6 +259,23 @@ func compiled() error {
 type Options struct {
 	Memoize       bool
 	CacheCapBytes uint64
+
+	// Fault tolerance (see rt.Options): SelfCheck re-executes a sampled
+	// fraction of replayable steps on the slow simulator for verification;
+	// Inject deterministically corrupts cache entries for testing.
+	SelfCheck     float64
+	SelfCheckSeed uint64
+	Inject        *faults.Injector
+}
+
+func (o Options) rtOptions() rt.Options {
+	return rt.Options{
+		Memoize:       o.Memoize,
+		CacheCapBytes: o.CacheCapBytes,
+		SelfCheck:     o.SelfCheck,
+		SelfCheckSeed: o.SelfCheckSeed,
+		Inject:        o.Inject,
+	}
 }
 
 // Instance is a runnable Facile simulator over a target program.
@@ -272,7 +290,7 @@ func NewFunctional(prog *loader.Program, opt Options) (*Instance, error) {
 		return nil, err
 	}
 	env := NewEnv(prog)
-	m := simFunc.NewMachine(text{prog}, rt.Options{Memoize: opt.Memoize, CacheCapBytes: opt.CacheCapBytes})
+	m := simFunc.NewMachine(text{prog}, opt.rtOptions())
 	if err := env.registerBase(m); err != nil {
 		return nil, err
 	}
@@ -290,7 +308,7 @@ func NewInOrder(prog *loader.Program, opt Options) (*Instance, error) {
 		return nil, err
 	}
 	env := NewEnv(prog)
-	m := simInOrder.NewMachine(text{prog}, rt.Options{Memoize: opt.Memoize, CacheCapBytes: opt.CacheCapBytes})
+	m := simInOrder.NewMachine(text{prog}, opt.rtOptions())
 	if err := env.registerBase(m); err != nil {
 		return nil, err
 	}
@@ -311,7 +329,7 @@ func NewOOO(prog *loader.Program, opt Options) (*Instance, error) {
 		return nil, err
 	}
 	env := NewEnv(prog)
-	m := simOOO.NewMachine(text{prog}, rt.Options{Memoize: opt.Memoize, CacheCapBytes: opt.CacheCapBytes})
+	m := simOOO.NewMachine(text{prog}, opt.rtOptions())
 	if err := env.registerBase(m); err != nil {
 		return nil, err
 	}
@@ -379,7 +397,7 @@ func NewOOOCustom(prog *loader.Program, opt Options, copt core.Options) (*Instan
 		return nil, err
 	}
 	env := NewEnv(prog)
-	m := sim.NewMachine(text{prog}, rt.Options{Memoize: opt.Memoize, CacheCapBytes: opt.CacheCapBytes})
+	m := sim.NewMachine(text{prog}, opt.rtOptions())
 	if err := env.registerBase(m); err != nil {
 		return nil, err
 	}

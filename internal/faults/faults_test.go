@@ -1,0 +1,74 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultError(t *testing.T) {
+	err := New(BrokenChain, "fastsim", "nil link")
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatal("New must return a *Fault")
+	}
+	if f.Kind != BrokenChain || f.Engine != "fastsim" {
+		t.Fatalf("fields: %+v", f)
+	}
+	if f.Error() == "" || f.Kind.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestKindStringsDistinct(t *testing.T) {
+	kinds := []Kind{
+		BrokenChain, CorruptKey, TruncatedData, BadAction,
+		RecoveryOverrun, RecoveryIncomplete,
+		WatchdogReplay, WatchdogStep, SelfCheckDivergence,
+	}
+	seen := map[string]Kind{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" {
+			t.Fatalf("kind %d renders empty", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("kinds %d and %d share the string %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}
+
+func TestInjectorDeterministicAndNilSafe(t *testing.T) {
+	var nilIJ *Injector
+	if nilIJ.Arm() != InjNone || nilIJ.Fired() != 0 {
+		t.Fatal("nil injector must be inert")
+	}
+
+	mk := func() *Injector { return NewInjector(42, 3, InjBreakChain, InjFlipFork) }
+	a, b := mk(), mk()
+	var seqA, seqB []Injection
+	for i := 0; i < 30; i++ {
+		seqA = append(seqA, a.Arm())
+		seqB = append(seqB, b.Arm())
+	}
+	fired := 0
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("same seed diverged at call %d: %v vs %v", i, seqA[i], seqB[i])
+		}
+		if seqA[i] != InjNone {
+			fired++
+		}
+	}
+	if fired != 10 {
+		t.Fatalf("every=3 over 30 calls fired %d times, want 10", fired)
+	}
+	if a.Fired() != 10 {
+		t.Fatalf("Fired() = %d, want 10", a.Fired())
+	}
+	for _, inj := range seqA {
+		if inj != InjNone && inj != InjBreakChain && inj != InjFlipFork {
+			t.Fatalf("injected kind %v outside the configured set", inj)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package memocache holds the byte-accounting and clear-when-full policy
+// shared by the two specialized action caches (internal/arch/fastsim and
+// internal/rt). Keeping the policy in one place guarantees the engines
+// agree on when a capped cache clears and how fault invalidations interact
+// with the generation counter that in-flight replays use to detect
+// staleness.
+package memocache
+
+// Gauge tracks a cache's byte occupancy against an optional cap and
+// implements the paper's clear-when-full policy (§6.1: "fixing a maximum
+// cache size and clearing the cache when it fills"). Occupancy is checked
+// *after* charging an installed entry, so the cache clears on the put that
+// overflows it rather than one put later.
+//
+// Gen is the staleness generation: a replay that cached a direct link to an
+// entry re-validates the link whenever Gen has moved. Both clears and fault
+// invalidations bump Gen, so a discarded entry can never be re-entered
+// through a stale link.
+type Gauge struct {
+	Bytes    uint64 // current occupancy (accounting model)
+	CapBytes uint64 // 0 = unlimited
+	Gen      uint64
+
+	TotalBytes    uint64 // monotonic: everything ever memoized (Table 2)
+	Clears        uint64
+	Invalidations uint64 // entries discarded by fault recovery
+}
+
+// Charge adds n bytes to the occupancy and the monotonic total.
+func (g *Gauge) Charge(n uint64) {
+	g.Bytes += n
+	g.TotalBytes += n
+}
+
+// Over reports whether the occupancy exceeds the cap (if any). Callers
+// check it after charging a newly installed entry.
+func (g *Gauge) Over() bool {
+	return g.CapBytes > 0 && g.Bytes > g.CapBytes
+}
+
+// Cleared records a whole-cache clear: occupancy resets and the generation
+// moves so in-flight replays drop their cached links.
+func (g *Gauge) Cleared() {
+	g.Bytes = 0
+	g.Gen++
+	g.Clears++
+}
+
+// Invalidated records a single-entry fault invalidation. The entry's bytes
+// remain charged (per-entry sizes are not tracked; the next clear-when-full
+// resets the gauge), but the generation moves so cached links to the dead
+// entry are re-validated and miss.
+func (g *Gauge) Invalidated() {
+	g.Gen++
+	g.Invalidations++
+}

@@ -1,6 +1,10 @@
 package rt
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"facile/internal/memocache"
+)
 
 // node is one action in the specialized action cache: an executed dynamic
 // basic block, identified by its action number (the block ID), plus the
@@ -51,37 +55,49 @@ const (
 )
 
 // acache is the specialized action cache with clear-when-full (§6.1).
+// Byte accounting, the clear policy, and the staleness generation live in
+// memocache.Gauge, shared with internal/arch/fastsim.
 type acache struct {
-	m        map[string]*centry
-	bytes    uint64
-	capBytes uint64
-	gen      uint64
-
-	totalBytes uint64
-	clears     uint64
+	m map[string]*centry
+	g memocache.Gauge
 }
 
 func newACache(capBytes uint64) *acache {
-	return &acache{m: make(map[string]*centry), capBytes: capBytes}
+	return &acache{m: make(map[string]*centry), g: memocache.Gauge{CapBytes: capBytes}}
 }
 
 func (c *acache) get(key string) *centry { return c.m[key] }
 
 func (c *acache) put(e *centry) {
-	if c.capBytes > 0 && c.bytes > c.capBytes {
-		c.m = make(map[string]*centry)
-		c.bytes = 0
-		c.gen++
-		c.clears++
-	}
-	e.gen = c.gen
+	e.gen = c.g.Gen
 	c.m[e.key] = e
 	c.charge(uint64(entryBytes + len(e.key)))
+	if c.g.Over() {
+		// Clear when full — on the put that overflowed the cap, including
+		// the entry just installed. In-progress replays detect stale
+		// entries via the generation.
+		c.m = make(map[string]*centry)
+		c.g.Cleared()
+	}
 }
 
 func (c *acache) charge(n uint64) {
-	c.bytes += n
-	c.totalBytes += n
+	c.g.Charge(n)
+}
+
+// invalidate discards entry e after a fault. The generation moves so any
+// replay-cached link to e re-validates and misses.
+func (c *acache) invalidate(e *centry) {
+	if cur, ok := c.m[e.key]; ok && cur == e {
+		delete(c.m, e.key)
+	}
+	c.g.Invalidated()
+}
+
+// clearNow discards the whole cache, as clear-when-full would.
+func (c *acache) clearNow() {
+	c.m = make(map[string]*centry)
+	c.g.Cleared()
 }
 
 // buildKey serializes the run-time static inputs of main — the integer
@@ -109,6 +125,37 @@ func buildKey(argI []int64, argQ []*Queue) string {
 		}
 	}
 	return string(buf[:off])
+}
+
+// validKey reports whether key would parse as main's run-time static
+// arguments, without mutating anything. The fast simulator uses it to
+// vet a recorded successor key before adopting it — a corrupt key caught
+// here is recoverable; one caught after adoption is not.
+func validKey(key string, nArgI int, argQ []*Queue) bool {
+	buf := []byte(key)
+	off := 0
+	for i := 0; i < nArgI; i++ {
+		_, k := binary.Varint(buf[off:])
+		if k <= 0 {
+			return false
+		}
+		off += k
+	}
+	for _, q := range argQ {
+		sz, k := binary.Uvarint(buf[off:])
+		if k <= 0 || int(sz) > q.Cap() {
+			return false
+		}
+		off += k
+		for j := 0; j < int(sz)*q.Width(); j++ {
+			_, k := binary.Varint(buf[off:])
+			if k <= 0 {
+				return false
+			}
+			off += k
+		}
+	}
+	return off == len(buf)
 }
 
 // parseKey restores main's arguments from a cache key.

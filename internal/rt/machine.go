@@ -3,6 +3,7 @@ package rt
 import (
 	"fmt"
 
+	"facile/internal/faults"
 	"facile/internal/lang/ir"
 	"facile/internal/lang/token"
 	"facile/internal/lang/types"
@@ -26,6 +27,25 @@ type Options struct {
 	Memoize        bool
 	CacheCapBytes  uint64 // 0 = unlimited
 	StepInstBudget uint64 // IR instructions per step before aborting; 0 = default
+
+	// SelfCheck is the fraction of replayable steps (0..1) that are
+	// re-executed on the slow simulator instead of replayed, verifying the
+	// recorded action nodes against the live run. A structural disagreement
+	// is a fault: the entry is invalidated and the step finishes live,
+	// unrecorded. The checked step runs entirely on the always-correct slow
+	// path, so self-checking never perturbs program results.
+	SelfCheck     float64
+	SelfCheckSeed uint64 // sampling PRNG seed (0 = fixed default)
+
+	// Inject, when non-nil, deterministically corrupts cache entries just
+	// before replay so tests can drive every recovery path on demand.
+	Inject *faults.Injector
+
+	// MaxReplayNodes bounds the action nodes replayed within one step
+	// before the watchdog trips and degrades the step to the slow
+	// simulator (0 = default 1<<20). It catches cycles in a corrupted
+	// action graph.
+	MaxReplayNodes uint64
 }
 
 const defaultStepBudget = 200_000_000
@@ -44,6 +64,13 @@ type Stats struct {
 	CacheEntries   uint64
 	TotalMemoBytes uint64
 	CacheClears    uint64
+
+	Faults               uint64 // typed faults detected during replay/recovery
+	Invalidations        uint64 // cache entries discarded after a fault
+	DegradedSteps        uint64 // steps re-run on the slow simulator after a fault
+	WatchdogTrips        uint64 // replay-node or step-budget watchdog firings
+	SelfChecks           uint64 // replayable steps re-executed for verification
+	SelfCheckDivergences uint64 // self-checks that disagreed with the cache
 }
 
 // Machine executes a compiled Facile program with optional
@@ -67,8 +94,13 @@ type Machine struct {
 	curKey  string // key of the next step to run
 	stepKey string // key of the entry currently being replayed
 	path    []int64
+	nodes   uint64 // action nodes completed by the current replayed step
 	stop    func(*Machine) bool
 	done    bool
+
+	blkExt    [][]int32 // extern indices each block's dynamic segment calls
+	scState   uint64    // self-check sampling PRNG state
+	lastFault *faults.Fault
 
 	stats Stats
 }
@@ -78,6 +110,9 @@ type Machine struct {
 func New(p *ir.Program, text TextSource, opt Options) *Machine {
 	if opt.StepInstBudget == 0 {
 		opt.StepInstBudget = defaultStepBudget
+	}
+	if opt.MaxReplayNodes == 0 {
+		opt.MaxReplayNodes = 1 << 20
 	}
 	m := &Machine{
 		p:       p,
@@ -112,6 +147,20 @@ func New(p *ir.Program, text TextSource, opt Options) *Machine {
 	}
 	m.argI = make([]int64, nInt)
 	m.argBuf = make([]int64, nInt)
+	// Precompute, per block, the externs its dynamic segment calls, so the
+	// replayer can vet a recorded block reference before executing it.
+	m.blkExt = make([][]int32, len(p.Blocks))
+	for bi := range p.Blocks {
+		for _, di := range p.Blocks[bi].Dyn {
+			if di.Op == ir.CallExt {
+				m.blkExt[bi] = append(m.blkExt[bi], int32(di.Imm))
+			}
+		}
+	}
+	m.scState = opt.SelfCheckSeed
+	if m.scState == 0 {
+		m.scState = 0xD1B54A32D192ED03
+	}
 	return m
 }
 
@@ -177,11 +226,45 @@ func (m *Machine) Array(name string) ([]int64, bool) {
 // Stats returns run statistics.
 func (m *Machine) Stats() Stats {
 	st := m.stats
-	st.CacheBytes = m.ac.bytes
+	st.CacheBytes = m.ac.g.Bytes
 	st.CacheEntries = uint64(len(m.ac.m))
-	st.TotalMemoBytes = m.ac.totalBytes
-	st.CacheClears = m.ac.clears
+	st.TotalMemoBytes = m.ac.g.TotalBytes
+	st.CacheClears = m.ac.g.Clears
+	st.Invalidations = m.ac.g.Invalidations
 	return st
+}
+
+// LastFault returns the most recent fault detected by replay, recovery, or
+// self-checking (nil if none).
+func (m *Machine) LastFault() *faults.Fault { return m.lastFault }
+
+func (m *Machine) fault(k faults.Kind, detail string) {
+	m.stats.Faults++
+	m.lastFault = &faults.Fault{Kind: k, Engine: "rt", Detail: detail}
+}
+
+// stepHook reports whether per-step policies (fault injection, self-check
+// sampling) are active, in which case the replayer hands every chained step
+// back to Run instead of following cache links internally.
+func (m *Machine) stepHook() bool {
+	return m.opt.Inject != nil || m.opt.SelfCheck > 0
+}
+
+// selfCheckDue samples the self-check rate deterministically.
+func (m *Machine) selfCheckDue() bool {
+	f := m.opt.SelfCheck
+	if f <= 0 {
+		return false
+	}
+	if f >= 1 {
+		return true
+	}
+	x := m.scState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	m.scState = x
+	return float64(x>>11)/(1<<53) < f
 }
 
 // Done reports whether the stop predicate has fired.
@@ -200,8 +283,19 @@ func (m *Machine) Run(maxSteps uint64) error {
 			return nil
 		}
 		if m.opt.Memoize {
-			if e := m.ac.get(m.curKey); e != nil {
-				if err := m.replayFrom(e, maxSteps); err != nil {
+			e := m.ac.get(m.curKey)
+			if e != nil {
+				if inj := m.opt.Inject.Arm(); inj != faults.InjNone {
+					m.injectFault(e, inj)
+					e = m.ac.get(m.curKey)
+				}
+			}
+			if e != nil {
+				if m.selfCheckDue() {
+					if err := m.selfCheckStep(e); err != nil {
+						return err
+					}
+				} else if err := m.replayFrom(e, maxSteps); err != nil {
 					return err
 				}
 				continue
@@ -209,15 +303,19 @@ func (m *Machine) Run(maxSteps uint64) error {
 			m.stats.KeyMisses++
 		}
 		if !parseKey(m.curKey, m.argI, m.argQ) {
-			return fmt.Errorf("rt: corrupt action cache key")
+			// Should be unreachable: successor keys are vetted before
+			// adoption. Rebuild a parseable key from the current arguments
+			// so the run continues instead of crashing.
+			m.fault(faults.CorruptKey, "unparseable step key at slow-path entry")
+			m.curKey = buildKey(m.argI, m.argQ)
 		}
-		var rec *recorder
+		var sink stepSink
 		var ent *centry
 		if m.opt.Memoize {
 			ent = &centry{key: m.curKey}
-			rec = &recorder{m: m, tail: &ent.first}
+			sink = &recorder{m: m, tail: &ent.first}
 		}
-		if err := m.runStepSlow(rec, nil); err != nil {
+		if err := m.runStepSlow(sink, nil); err != nil {
 			return err
 		}
 		if ent != nil {
@@ -227,35 +325,115 @@ func (m *Machine) Run(maxSteps uint64) error {
 	return nil
 }
 
+// stepSink observes one slow step's dynamic structure: block entries,
+// memoized placeholder values, dynamic results, and the end-of-step
+// successor key. The recorder implements it to grow the action cache; the
+// self-check verifier implements it to compare a live step against a
+// recorded chain.
+type stepSink interface {
+	enterBlock(bi int, blk *ir.Block)
+	ph(di *ir.DynInst, vregs []int64)
+	fork(v int64)
+	ret(key string)
+}
+
 // recorder appends new actions to the specialized action cache during slow
 // simulation.
 type recorder struct {
 	m    *Machine
 	tail **node
+	n    *node // node for the block currently executing
 }
 
-func (r *recorder) attach(n *node) {
+func (r *recorder) enterBlock(bi int, blk *ir.Block) {
+	n := &node{blockID: int32(bi)}
+	if blk.NPh > 0 {
+		n.data = make([]int64, 0, blk.NPh)
+	}
 	*r.tail = n
 	r.tail = &n.next
 	r.m.ac.charge(nodeBytes + uint64(cap(n.data))*valBytes)
+	r.n = n
 }
 
-// fork records a dynamic result v on node n and redirects recording into
-// the new successor chain.
-func (r *recorder) fork(n *node, v int64) {
+func (r *recorder) ph(di *ir.DynInst, vregs []int64) {
+	r.n.data = appendPh(r.n.data, di, vregs)
+}
+
+// fork records a dynamic result v on the current node and redirects
+// recording into the new successor chain.
+func (r *recorder) fork(v int64) {
+	n := r.n
 	n.forks = append(n.forks, nfork{val: v})
 	r.tail = &n.forks[len(n.forks)-1].next
 	r.m.ac.charge(forkBytes)
 }
 
-// runStepSlow executes one step of the slow/complete simulator. When path
-// is non-nil the step starts in recovery mode: run-time static code
-// executes normally, dynamic instructions are skipped (the failed replay
-// already performed them), and dynamic-result tests consume the values in
-// path — whose last element is the miss value itself. rec, when non-nil,
-// records new actions (recovery mode pre-attaches rec.tail to the miss
-// node's new fork).
-func (m *Machine) runStepSlow(rec *recorder, path []int64) error {
+func (r *recorder) ret(key string) {
+	if r.n != nil {
+		r.n.nextKey = key
+		r.m.ac.charge(uint64(len(key)))
+	}
+}
+
+// rcursor aligns a slow re-run with the partial replay it replaces. In
+// value mode (useNodes false — the classic miss recovery) the cursor
+// consumes the replayed dynamic results in path and goes live when the last
+// one — the miss value itself — is applied. In node mode (structural-fault
+// degradation) the miss point is not a dynamic result, so the cursor counts
+// completed dynamic blocks instead and goes live after `nodes` of them,
+// still consuming path values at the dynamic-result tests in between. A
+// rekey cursor never goes live: it skims the whole step only to rebuild the
+// successor key a replay completed with but recorded corruptly.
+type rcursor struct {
+	path     []int64
+	pi       int
+	useNodes bool
+	nodes    uint64
+	visited  uint64
+	rekey    bool
+
+	live       bool
+	overrun    bool // consumed past the end of the replayed path
+	incomplete bool // step ended before the cursor went live
+}
+
+// take consumes the next replayed dynamic result; fallback is the live
+// value to use if the path is exhausted early (a fault, flagged overrun).
+func (c *rcursor) take(fallback int64) int64 {
+	if c.pi >= len(c.path) {
+		c.overrun = true
+		c.live = !c.rekey
+		return fallback
+	}
+	v := c.path[c.pi]
+	c.pi++
+	if !c.useNodes && c.pi == len(c.path) {
+		c.live = true
+	}
+	return v
+}
+
+// blockDone marks a dynamic block complete; in node mode the cursor goes
+// live once it has skipped as many blocks as the replay completed.
+func (c *rcursor) blockDone() {
+	if c.live || !c.useNodes {
+		return
+	}
+	c.visited++
+	if !c.rekey && c.visited >= c.nodes {
+		c.live = true
+	}
+}
+
+// runStepSlow executes one step of the slow/complete simulator. When cur is
+// non-nil the step starts in recovery mode: run-time static code executes
+// normally, dynamic instructions are skipped (the failed replay already
+// performed them), and dynamic-result tests consume replayed values from
+// the cursor until it goes live. sink, when non-nil, observes the step's
+// dynamic structure from the moment the cursor is live (miss recovery
+// pre-attaches the recorder to the miss node's new fork).
+func (m *Machine) runStepSlow(sink stepSink, cur *rcursor) error {
 	m.stats.SlowSteps++
 	// Seed main's integer-parameter vregs (they occupy the first vregs in
 	// declaration order).
@@ -263,22 +441,18 @@ func (m *Machine) runStepSlow(rec *recorder, path []int64) error {
 		m.vregs[i] = m.argI[i]
 	}
 	copy(m.argBuf, m.argI) // set_args defaults to re-running with same args
-	recovering := len(path) > 0
-	pi := 0
+	live := func() bool { return cur == nil || cur.live }
 	budget := m.opt.StepInstBudget
 	bi := m.p.Entry
 	for {
 		blk := m.p.Blocks[bi]
-		var n *node
-		if rec != nil && !recovering && blk.HasDyn {
-			n = &node{blockID: int32(bi)}
-			if blk.NPh > 0 {
-				n.data = make([]int64, 0, blk.NPh)
-			}
-			rec.attach(n)
+		if sink != nil && live() && blk.HasDyn {
+			sink.enterBlock(bi, blk)
 		}
 		dynIdx := 0
 		if budget < uint64(len(blk.Insts)) {
+			m.fault(faults.WatchdogStep, "step exceeded the instruction budget")
+			m.stats.WatchdogTrips++
 			return fmt.Errorf("rt: step exceeded the instruction budget (non-terminating step?)")
 		}
 		budget -= uint64(len(blk.Insts))
@@ -307,55 +481,43 @@ func (m *Machine) runStepSlow(rec *recorder, path []int64) error {
 				// simulator re-applies it during replay (the placeholder is
 				// the just-computed value).
 				m.exec(inst)
-				if !recovering {
-					if rec != nil {
-						di := &blk.Dyn[dynIdx]
-						n.data = appendPh(n.data, di, m.vregs)
-					}
-					dynIdx++
+				if sink != nil && live() {
+					sink.ph(&blk.Dyn[dynIdx], m.vregs)
 				}
+				dynIdx++
 				continue
 			}
 			if inst.Op == ir.SetArg {
-				if recovering {
-					m.argBuf[inst.Imm] = path[pi]
-					pi++
-					if pi == len(path) {
-						recovering = false
-					}
+				if !live() {
+					m.argBuf[inst.Imm] = cur.take(m.vregs[inst.A])
 				} else {
 					v := m.vregs[inst.A]
 					m.argBuf[inst.Imm] = v
-					if rec != nil {
-						rec.fork(n, v)
+					if sink != nil {
+						sink.fork(v)
 					}
 				}
 				continue
 			}
 			if inst.Op == ir.Pin {
 				// dynamic result test: the pinned value becomes rt-static
-				if recovering {
-					m.vregs[inst.D] = path[pi]
-					pi++
-					if pi == len(path) {
-						recovering = false
-					}
+				if !live() {
+					m.vregs[inst.D] = cur.take(m.vregs[inst.A])
 				} else {
 					v := m.vregs[inst.A]
 					m.vregs[inst.D] = v
-					if rec != nil {
-						rec.fork(n, v)
+					if sink != nil {
+						sink.fork(v)
 					}
 				}
 				continue
 			}
-			if recovering {
+			if !live() {
 				dynIdx++
 				continue
 			}
-			if rec != nil {
-				di := &blk.Dyn[dynIdx]
-				n.data = appendPh(n.data, di, m.vregs)
+			if sink != nil {
+				sink.ph(&blk.Dyn[dynIdx], m.vregs)
 			}
 			dynIdx++
 			m.exec(inst)
@@ -366,20 +528,13 @@ func (m *Machine) runStepSlow(rec *recorder, path []int64) error {
 		case ir.Br:
 			var taken bool
 			if blk.Term.BT == ir.BTDynamic {
-				if recovering {
-					taken = path[pi] != 0
-					pi++
-					if pi == len(path) {
-						recovering = false
-					}
+				if !live() {
+					taken = cur.take(b2i(m.vregs[blk.Term.A])) != 0
 				} else {
-					v := int64(0)
-					if m.vregs[blk.Term.A] != 0 {
-						v = 1
-					}
+					v := b2i(m.vregs[blk.Term.A])
 					taken = v != 0
-					if rec != nil {
-						rec.fork(n, v)
+					if sink != nil {
+						sink.fork(v)
 					}
 				}
 			} else {
@@ -391,14 +546,13 @@ func (m *Machine) runStepSlow(rec *recorder, path []int64) error {
 				bi = blk.Succ[1]
 			}
 		case ir.Ret:
-			if recovering {
-				return fmt.Errorf("rt: recovery did not reach the miss point before the step ended")
+			if !live() && !cur.rekey {
+				cur.incomplete = true
 			}
 			copy(m.argI, m.argBuf)
 			key := buildKey(m.argI, m.argQ)
-			if rec != nil {
-				n.nextKey = key
-				m.ac.charge(uint64(len(key)))
+			if sink != nil && live() {
+				sink.ret(key)
 			}
 			m.curKey = key
 			if m.stop != nil && m.stop(m) {
@@ -406,7 +560,17 @@ func (m *Machine) runStepSlow(rec *recorder, path []int64) error {
 			}
 			return nil
 		}
+		if blk.HasDyn && cur != nil {
+			cur.blockDone()
+		}
 	}
+}
+
+func b2i(v int64) int64 {
+	if v != 0 {
+		return 1
+	}
+	return 0
 }
 
 // appendPh appends the current values of di's run-time static placeholder
@@ -531,7 +695,9 @@ func evalUn(sub uint8, a int64) int64 {
 		}
 		return 0
 	}
-	panic(fmt.Sprintf("rt: unknown unary op %d", sub))
+	// Unknown sub-op: a compiler bug, but this is reachable from the replay
+	// fast path, so produce a value rather than panicking.
+	return 0
 }
 
 func extend(a int64, bits int64, signed bool) int64 {

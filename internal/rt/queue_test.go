@@ -130,18 +130,23 @@ func TestActionCacheClearGeneration(t *testing.T) {
 	}
 	c.charge(1000) // exceed cap
 	e2 := &centry{key: "b"}
-	c.put(e2) // triggers clear, then inserts e2
-	if c.get("a") != nil {
-		t.Fatal("clear did not evict")
+	c.put(e2) // the overflowing put clears everything, e2 included
+	if c.get("a") != nil || c.get("b") != nil {
+		t.Fatal("clear-when-full must evict every entry, the overflowing one included")
 	}
-	if c.get("b") != e2 {
+	if c.g.Gen != e1.gen+1 {
+		t.Fatalf("generation not bumped: %d -> %d", e1.gen, c.g.Gen)
+	}
+	if c.g.Clears != 1 {
+		t.Fatalf("clears = %d", c.g.Clears)
+	}
+	e3 := &centry{key: "c"}
+	c.put(e3) // fits in the freshly cleared cache
+	if c.get("c") != e3 {
 		t.Fatal("post-clear insert missing")
 	}
-	if e2.gen != e1.gen+1 {
-		t.Fatalf("generation not bumped: %d -> %d", e1.gen, e2.gen)
-	}
-	if c.clears != 1 {
-		t.Fatalf("clears = %d", c.clears)
+	if e3.gen != e1.gen+1 {
+		t.Fatalf("post-clear generation: %d -> %d", e1.gen, e3.gen)
 	}
 }
 

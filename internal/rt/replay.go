@@ -3,6 +3,7 @@ package rt
 import (
 	"fmt"
 
+	"facile/internal/faults"
 	"facile/internal/lang/ir"
 	"facile/internal/lang/token"
 	"facile/internal/lang/types"
@@ -14,15 +15,52 @@ import (
 // result against the recorded forks. A value with no recorded successor is
 // an action cache miss: the slow simulator is restored from the entry's
 // key and re-run in recovery mode over the replayed path.
+//
+// Structural faults — a severed chain, an out-of-range block reference, a
+// truncated placeholder record, a runaway node count, or an unparseable
+// successor key — never panic: the offending entry is invalidated, the
+// partial replay is discarded, and the step finishes on the slow simulator
+// (degradeStep / rekeyStep). m.nodes tracks how many action nodes the
+// replay completed this step, so the degraded re-run knows exactly where to
+// switch from skipping already-applied dynamic work to running live.
 func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
 	m.stepKey = e.key
 	m.path = m.path[:0]
+	m.nodes = 0
 	n := e.first
 	for {
 		if n == nil {
-			return fmt.Errorf("rt: broken action chain in cache")
+			// Recording always seals a step with a DTRet node; a nil link
+			// mid-chain means the entry is corrupt.
+			m.fault(faults.BrokenChain, "nil action link before end of step")
+			return m.degradeStep(e)
+		}
+		if m.nodes >= m.opt.MaxReplayNodes {
+			// A cycle in a corrupted graph, or a runaway step.
+			m.fault(faults.WatchdogReplay,
+				fmt.Sprintf("replayed %d action nodes in one step", m.nodes))
+			m.stats.WatchdogTrips++
+			return m.degradeStep(e)
+		}
+		if n.blockID < 0 || int(n.blockID) >= len(m.p.Blocks) {
+			m.fault(faults.BadAction,
+				fmt.Sprintf("action references block %d of %d", n.blockID, len(m.p.Blocks)))
+			return m.degradeStep(e)
 		}
 		blk := m.p.Blocks[n.blockID]
+		if len(n.data) != blk.NPh {
+			m.fault(faults.TruncatedData,
+				fmt.Sprintf("action carries %d placeholder values, block %d needs %d",
+					len(n.data), n.blockID, blk.NPh))
+			return m.degradeStep(e)
+		}
+		for _, xi := range m.blkExt[n.blockID] {
+			if m.externs[xi] == nil {
+				m.fault(faults.BadAction,
+					fmt.Sprintf("action needs unregistered extern %q", m.p.Externs[xi]))
+				return m.degradeStep(e)
+			}
+		}
 		ph := 0
 		for i := range blk.Dyn {
 			m.execDyn(&blk.Dyn[i], n.data, &ph)
@@ -31,6 +69,7 @@ func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
 		switch blk.DynTerm {
 		case ir.DTNone:
 			n = n.next
+			m.nodes++
 		case ir.DTBr:
 			v := int64(0)
 			if m.vregs[blk.TermSrc.VReg] != 0 {
@@ -39,21 +78,31 @@ func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
 			m.path = append(m.path, v)
 			next, ok := n.findFork(v)
 			if !ok {
-				return m.missRecover(n)
+				return m.missRecover(n, e)
 			}
 			n = next
+			m.nodes++
 		case ir.DTSetArg, ir.DTPin:
 			v := m.vregs[blk.TermSrc.VReg]
 			m.path = append(m.path, v)
 			next, ok := n.findFork(v)
 			if !ok {
-				return m.missRecover(n)
+				return m.missRecover(n, e)
 			}
 			n = next
+			m.nodes++
 		case ir.DTRet:
+			// Vet the recorded successor key before adopting it: a corrupt
+			// key caught here is recoverable (rekeyStep rebuilds it from the
+			// replayed path); one caught after adoption is not.
+			if !validKey(n.nextKey, len(m.argI), m.argQ) {
+				m.fault(faults.CorruptKey, "recorded successor key does not parse")
+				return m.rekeyStep(e)
+			}
 			m.stats.Replays++
 			m.curKey = n.nextKey
 			m.path = m.path[:0]
+			m.nodes = 0
 			if m.stop != nil && m.stop(m) {
 				m.done = true
 				return nil
@@ -61,7 +110,13 @@ func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
 			if maxSteps > 0 && m.stats.SlowSteps+m.stats.Replays >= maxSteps {
 				return nil
 			}
-			if n.link == nil || n.linkGen != m.ac.gen {
+			if m.stepHook() {
+				// Fault injection / self-check sampling are per-step
+				// policies applied by the Run loop; hand each chained step
+				// back instead of following the link directly.
+				return nil
+			}
+			if n.link == nil || n.linkGen != m.ac.g.Gen {
 				le := m.ac.get(n.nextKey)
 				if le == nil {
 					// step-boundary miss: Run's loop restores the slow
@@ -69,11 +124,15 @@ func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
 					return nil
 				}
 				n.link = le
-				n.linkGen = m.ac.gen
+				n.linkGen = m.ac.g.Gen
 			}
 			e = n.link
 			m.stepKey = e.key
 			n = e.first
+		default:
+			m.fault(faults.BadAction,
+				fmt.Sprintf("unknown dynamic terminal %d", blk.DynTerm))
+			return m.degradeStep(e)
 		}
 	}
 }
@@ -81,27 +140,114 @@ func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
 // missRecover implements the paper's miss recovery: restore main's
 // arguments from the entry's index key, attach a new fork for the
 // unexpected dynamic result, and re-run the slow simulator in recovery
-// mode consuming the replayed path.
-func (m *Machine) missRecover(n *node) error {
+// mode consuming the replayed path. A recovery that disagrees with the
+// replayed path (overrun or incomplete consumption) is a fault: the entry
+// is invalidated and the half-recorded fork is dropped.
+func (m *Machine) missRecover(n *node, e *centry) error {
 	m.stats.Misses++
 	if !parseKey(m.stepKey, m.argI, m.argQ) {
-		return fmt.Errorf("rt: corrupt entry key during recovery")
+		return m.degradeLost(e, "unparseable entry key at miss recovery")
 	}
 	v := m.path[len(m.path)-1]
 	n.forks = append(n.forks, nfork{val: v})
 	m.ac.charge(forkBytes)
 	rec := &recorder{m: m, tail: &n.forks[len(n.forks)-1].next}
-	return m.runStepSlow(rec, m.path)
+	cur := &rcursor{path: m.path}
+	if err := m.runStepSlow(rec, cur); err != nil {
+		return err
+	}
+	if cur.overrun || cur.incomplete {
+		kind := faults.RecoveryIncomplete
+		detail := "recovery finished without reaching the miss point"
+		if cur.overrun {
+			kind = faults.RecoveryOverrun
+			detail = "recovery cursor overran the replayed path"
+		}
+		m.fault(kind, detail)
+		m.ac.invalidate(e)
+		m.stats.DegradedSteps++
+		// Drop the half-recorded fork so the dead entry can't replay it.
+		n.forks = n.forks[:len(n.forks)-1]
+	}
+	return nil
+}
+
+// degradeStep abandons a partial replay after a structural fault: the
+// offending entry is invalidated, main's arguments are restored from the
+// entry's key, and the step re-runs in node-cursor recovery mode — skipping
+// the dynamic blocks the replay already completed, consuming the dynamic
+// values it produced, and going live at the fault point — so the step
+// finishes on the always-correct slow path, unrecorded.
+func (m *Machine) degradeStep(e *centry) error {
+	m.stats.DegradedSteps++
+	m.ac.invalidate(e)
+	if !parseKey(m.stepKey, m.argI, m.argQ) {
+		m.fault(faults.CorruptKey, "unparseable entry key during degradation")
+		return m.runStepSlow(nil, nil)
+	}
+	cur := &rcursor{path: m.path, useNodes: true, nodes: m.nodes}
+	if cur.nodes == 0 {
+		cur.live = true // fault before any completed node: run fully live
+	}
+	if err := m.runStepSlow(nil, cur); err != nil {
+		return err
+	}
+	if cur.overrun {
+		m.fault(faults.RecoveryOverrun, "degraded re-run overran the replayed path")
+	} else if cur.incomplete {
+		m.fault(faults.RecoveryIncomplete, "degraded re-run ended before the fault point")
+	}
+	return nil
+}
+
+// rekeyStep handles a corrupt successor key discovered at a replayed step's
+// end. The step's dynamic effects are already (correctly) applied, so the
+// slow simulator re-runs it with a cursor that never goes live: run-time
+// static code recomputes the argument state, the replayed path supplies the
+// dynamic results, and the Ret rebuilds the successor key the recording
+// lost.
+func (m *Machine) rekeyStep(e *centry) error {
+	m.stats.DegradedSteps++
+	m.ac.invalidate(e)
+	if !parseKey(m.stepKey, m.argI, m.argQ) {
+		m.fault(faults.CorruptKey, "unparseable entry key during rekey")
+		return m.runStepSlow(nil, nil)
+	}
+	cur := &rcursor{path: m.path, useNodes: true, rekey: true}
+	if err := m.runStepSlow(nil, cur); err != nil {
+		return err
+	}
+	if cur.overrun {
+		m.fault(faults.RecoveryOverrun, "rekey re-run overran the replayed path")
+	}
+	return nil
+}
+
+// degradeLost is the last-resort fallback when even the entry's own key is
+// unparseable: recovery alignment is impossible, so fault, invalidate, and
+// finish the step live from the current (possibly stale) arguments rather
+// than crash. Unreachable unless cache memory is corrupted between
+// validation and use.
+func (m *Machine) degradeLost(e *centry, detail string) error {
+	m.fault(faults.CorruptKey, detail)
+	m.ac.invalidate(e)
+	m.stats.DegradedSteps++
+	return m.runStepSlow(nil, nil)
 }
 
 // execDyn executes one dynamic instruction of the fast simulator, reading
-// operands from dynamic vregs, recorded placeholders, or constants.
+// operands from dynamic vregs, recorded placeholders, or constants. Every
+// access is guarded: recorded data is untrusted, and replay must degrade,
+// not panic.
 func (m *Machine) execDyn(di *ir.DynInst, data []int64, ph *int) {
 	rd := func(s ir.Src) int64 {
 		switch s.Kind {
 		case ir.SrcVReg:
 			return m.vregs[s.VReg]
 		case ir.SrcPh:
+			if *ph >= len(data) {
+				return 0
+			}
 			v := data[*ph]
 			*ph++
 			return v
@@ -154,7 +300,9 @@ func (m *Machine) execDyn(di *ir.DynInst, data []int64, ph *int) {
 			for i, a := range di.Args {
 				vals[i] = rd(a)
 			}
-			q.Push(vals)
+			if len(vals) == q.Width() {
+				q.Push(vals)
+			}
 		case ir.QPop:
 			res = q.Pop()
 		case ir.QGet:
@@ -180,8 +328,10 @@ func (m *Machine) execDyn(di *ir.DynInst, data []int64, ph *int) {
 		for i, a := range di.Args {
 			args[i] = rd(a)
 		}
-		m.vregs[di.D] = fn(args)
-	default:
-		panic(fmt.Sprintf("rt: unexpected dynamic op %d", di.Op))
+		if fn != nil {
+			m.vregs[di.D] = fn(args)
+		} else {
+			m.vregs[di.D] = 0
+		}
 	}
 }
