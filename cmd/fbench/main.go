@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	fbench -exp fig11|table1|table2|fig12|loc|cachecap|all [-scale N] [-bench name,...]
+//	fbench -exp fig11|table1|table2|fig12|loc|cachecap|all
+//	       [-scale N] [-bench name,...] [-parallel N] [-json PATH]
+//
+// -parallel shards the suite's benchmarks across N goroutines; every
+// deterministic output field is bit-identical to a sequential run, only
+// the host-timing (MIPS, wall-clock) fields vary. -json writes the full
+// machine-readable report alongside the text output.
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"facile/internal/bench"
 )
@@ -21,16 +28,24 @@ func main() {
 	scale := flag.Int("scale", 10, "workload scale factor")
 	benches := flag.String("bench", "", "comma-separated benchmark names (default: full suite)")
 	capName := flag.String("capbench", "126.gcc", "benchmark for the cache-capacity ablation")
+	parallel := flag.Int("parallel", 1, "benchmarks simulated concurrently")
+	jsonPath := flag.String("json", "", "write a machine-readable report to this path")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
+	cfg.Workers = *parallel
 	if *benches != "" {
 		cfg.Names = strings.Split(*benches, ",")
 	}
 
+	started := time.Now()
+	report := bench.NewReport(cfg.Scale, cfg.Workers, started)
+
 	var run func(string) error
 	run = func(name string) error {
+		t0 := time.Now()
+		e := bench.Experiment{Name: name}
 		switch name {
 		case "fig11", "table1":
 			rows, err := bench.Figure11(cfg)
@@ -42,20 +57,24 @@ func main() {
 			} else {
 				bench.WriteTable1(os.Stdout, rows)
 			}
+			e.Rows = rows
 		case "table2":
 			rows, err := bench.Table2(cfg)
 			if err != nil {
 				return err
 			}
 			bench.WriteTable2(os.Stdout, rows)
+			e.Rows = rows
 		case "fig12":
 			rows, err := bench.Figure12(cfg)
 			if err != nil {
 				return err
 			}
 			bench.WriteFigure(os.Stdout, "Figure 12: Facile-compiled OOO simulator vs conventional baseline", rows)
+			e.Rows = rows
 		case "loc":
 			bench.WriteLoC(os.Stdout)
+			e.LoC = bench.LoCReport()
 		case "cachecap":
 			caps := []uint64{0, 16 << 20, 4 << 20, 1 << 20, 256 << 10, 64 << 10}
 			pts, err := bench.CacheCapSweep(*capName, cfg.Scale, caps)
@@ -63,20 +82,31 @@ func main() {
 				return err
 			}
 			bench.WriteCapSweep(os.Stdout, *capName, pts)
+			e.Sweep = pts
 		case "all":
-			for _, e := range []string{"fig11", "table1", "table2", "fig12", "cachecap", "loc"} {
-				if err := run(e); err != nil {
+			for _, sub := range []string{"fig11", "table1", "table2", "fig12", "cachecap", "loc"} {
+				if err := run(sub); err != nil {
 					return err
 				}
 				fmt.Println()
 			}
+			return nil
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
+		e.WallSec = time.Since(t0).Seconds()
+		report.Add(e)
 		return nil
 	}
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "fbench:", err)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		if err := report.WriteFile(*jsonPath, time.Since(started)); err != nil {
+			fmt.Fprintln(os.Stderr, "fbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fbench: wrote %s\n", *jsonPath)
 	}
 }

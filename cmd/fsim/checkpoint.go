@@ -1,0 +1,196 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"facile/internal/arch/fastsim"
+	"facile/internal/arch/funcsim"
+	"facile/internal/arch/ooo"
+	"facile/internal/arch/uarch"
+	"facile/internal/facsim"
+	"facile/internal/isa/loader"
+	"facile/internal/parsim"
+	"facile/internal/snapshot"
+)
+
+// ckpt carries the checkpoint/restore settings for one fsim run.
+type ckpt struct {
+	every   uint64 // save every N committed instructions/steps (0 = never)
+	dir     string
+	restore string // snapshot file to resume from ("" = fresh run)
+	base    string // file-name stem for saved checkpoints
+}
+
+func (c ckpt) active() bool { return c.every > 0 || c.restore != "" }
+
+// save frames, writes, and announces one checkpoint.
+func (c ckpt) save(kind string, n uint64, state func(*snapshot.Writer) error) {
+	w := snapshot.NewWriter()
+	if err := state(w); err != nil {
+		die(err)
+	}
+	path := filepath.Join(c.dir, fmt.Sprintf("%s-%012d.facsnap", c.base, n))
+	hash, err := snapshot.WriteFile(path, kind, w)
+	if err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "fsim: checkpoint %s (state %s)\n", path, hash[:16])
+}
+
+// open reads the restore file and verifies it was written by the same
+// engine kind the user asked for.
+func (c ckpt) open(kind string) *snapshot.Reader {
+	gotKind, r, hash, err := snapshot.ReadFile(c.restore)
+	if err != nil {
+		die(err)
+	}
+	if gotKind != kind {
+		die(fmt.Errorf("%s is a %q snapshot; -sim expects %q", c.restore, gotKind, kind))
+	}
+	fmt.Fprintf(os.Stderr, "fsim: restored %s (state %s)\n", c.restore, hash[:16])
+	return r
+}
+
+// runFuncCkpt drives the golden functional simulator with checkpoints.
+func runFuncCkpt(prog *loader.Program, c ckpt, t0 time.Time) {
+	st := funcsim.NewState(prog)
+	if c.restore != "" {
+		if err := st.LoadState(c.open(funcsim.SnapshotKind)); err != nil {
+			die(err)
+		}
+	}
+	for !st.Halted {
+		var budget uint64
+		if c.every > 0 {
+			budget = st.InstCount + c.every
+		}
+		if err := st.RunOn(prog, budget); err != nil {
+			die(err)
+		}
+		if st.Halted || c.every == 0 {
+			break
+		}
+		c.save(funcsim.SnapshotKind, st.InstCount, func(w *snapshot.Writer) error {
+			st.SaveState(w)
+			return nil
+		})
+	}
+	report(st.InstCount, 0, st.Output, time.Since(t0))
+	fmt.Printf("final state %s\n", st.Hash()[:16])
+}
+
+// runOOOCkpt drives the conventional baseline with checkpoints.
+func runOOOCkpt(prog *loader.Program, c ckpt, t0 time.Time) {
+	s := ooo.New(uarch.Default(), prog)
+	if c.restore != "" {
+		if err := s.LoadState(c.open(ooo.SnapshotKind)); err != nil {
+			die(err)
+		}
+	}
+	var res uarch.Result
+	for {
+		var budget uint64
+		if c.every > 0 {
+			budget = s.Committed() + c.every
+		}
+		res = s.Run(budget)
+		if c.every == 0 || res.Insts < budget {
+			break // halted (or ran dry) before the next boundary
+		}
+		c.save(ooo.SnapshotKind, s.Committed(), func(w *snapshot.Writer) error {
+			s.SaveState(w)
+			return nil
+		})
+	}
+	report(res.Insts, res.Cycles, res.Output, time.Since(t0))
+	fmt.Printf("IPC %.3f, %d mispredicts, %d L1D misses\n", res.IPC(), res.Mispredicts, res.L1DMisses)
+	fmt.Printf("final state %s\n", s.Hash()[:16])
+}
+
+// runFastsimCkpt drives the fast-forwarding simulator with checkpoints.
+// The action cache is not part of a snapshot, so a restored run re-warms
+// it: timing and outputs match the uninterrupted run bit-for-bit while the
+// slow/replayed split differs.
+func runFastsimCkpt(prog *loader.Program, opt fastsim.Options, c ckpt, t0 time.Time) (*fastsim.Sim, uarch.Result) {
+	s := fastsim.New(uarch.Default(), prog, opt)
+	if c.restore != "" {
+		if err := s.LoadState(c.open(fastsim.SnapshotKind)); err != nil {
+			die(err)
+		}
+	}
+	var res uarch.Result
+	for {
+		var budget uint64
+		if c.every > 0 {
+			budget = s.Committed() + c.every
+		}
+		res = s.Run(budget)
+		if c.every == 0 || s.Done() {
+			break
+		}
+		c.save(fastsim.SnapshotKind, s.Committed(), func(w *snapshot.Writer) error {
+			return s.SaveState(w)
+		})
+	}
+	return s, res
+}
+
+// runFacCkpt drives a Facile-compiled simulator with checkpoints (the
+// boundary unit is Facile steps, not target instructions).
+func runFacCkpt(in *facsim.Instance, c ckpt, t0 time.Time) facsim.Result {
+	if c.restore != "" {
+		if err := in.LoadState(c.open(in.Kind)); err != nil {
+			die(err)
+		}
+	}
+	steps := func() uint64 {
+		st := in.M.Stats()
+		return st.SlowSteps + st.Replays
+	}
+	for !in.M.Done() {
+		var budget uint64
+		if c.every > 0 {
+			budget = steps() + c.every
+		}
+		if err := in.M.Run(budget); err != nil {
+			die(err)
+		}
+		if in.M.Done() || c.every == 0 {
+			break
+		}
+		c.save(in.Kind, steps(), func(w *snapshot.Writer) error {
+			in.SaveState(w)
+			return nil
+		})
+	}
+	res, err := in.Run(0) // program done; collects results only
+	if err != nil {
+		die(err)
+	}
+	return res
+}
+
+// runParsim splits the workload into instruction intervals via functional
+// warm-up and runs the detailed intervals concurrently on cloned machines.
+// The merged deterministic results are bit-identical for any worker count.
+func runParsim(prog *loader.Program, opt fastsim.Options, workers int, interval uint64, t0 time.Time) {
+	plan, err := parsim.PlanIntervals(prog, interval)
+	if err != nil {
+		die(err)
+	}
+	warm := time.Since(t0)
+	m, err := parsim.RunIntervals(uarch.Default(), prog, plan, opt, workers)
+	if err != nil {
+		die(err)
+	}
+	report(m.Insts, m.Cycles, m.Output, time.Since(t0))
+	st := m.Stats
+	fmt.Printf("intervals: %d × %d insts, %d workers, warm-up %v\n",
+		len(plan.Intervals), interval, workers, warm.Round(time.Millisecond))
+	fmt.Printf("fast-forwarded %.3f%%, %d misses, %.1f MB memoized, %d clears\n",
+		st.FastForwardedPc, st.Misses, float64(st.TotalMemoBytes)/(1<<20), st.CacheClears)
+	fmt.Printf("final state %s\n", m.ArchHash[:16])
+}

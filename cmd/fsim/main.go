@@ -4,11 +4,18 @@
 // Usage:
 //
 //	fsim -sim func|inorder|ooo|fac-func|fac-inorder|fac-ooo|fastsim [-memo] \
-//	     [-selfcheck] (-bench 126.gcc [-scale N] | file.s)
+//	     [-selfcheck] [-checkpoint-every N [-checkpoint-dir D]] [-restore FILE] \
+//	     [-parsim N [-interval M]] (-bench 126.gcc [-scale N] | file.s)
 //
 // -selfcheck re-executes every replayable step on the slow simulator,
 // verifying the action cache against ground truth; a divergence exits
 // non-zero (status 3).
+//
+// -checkpoint-every saves a versioned snapshot of the complete simulator
+// state every N committed instructions (Facile steps for fac-*); -restore
+// resumes from one, producing bit-identical results to the uninterrupted
+// run. -parsim splits the workload into -interval-sized slices via
+// functional warm-up and simulates them concurrently on cloned machines.
 package main
 
 import (
@@ -37,6 +44,13 @@ func main() {
 	capMB := flag.Uint64("cap", 0, "action cache cap in MB (0 = unlimited)")
 	selfCheck := flag.Bool("selfcheck", false,
 		"re-execute every replayable step on the slow simulator and verify the action cache (implies -memo)")
+	ckEvery := flag.Uint64("checkpoint-every", 0,
+		"save a snapshot every N committed instructions (fac-*: Facile steps); 0 = never")
+	ckDir := flag.String("checkpoint-dir", ".", "directory for saved snapshots")
+	restorePath := flag.String("restore", "", "resume from a snapshot file (same -sim/-bench/-scale as the saving run)")
+	parWorkers := flag.Int("parsim", 0,
+		"run parallel interval simulation with N workers (requires -sim fastsim)")
+	parInterval := flag.Uint64("interval", 1<<20, "interval length in instructions for -parsim")
 	flag.Parse()
 	if *selfCheck {
 		*memo = true
@@ -77,15 +91,36 @@ func main() {
 	}
 
 	capBytes := *capMB << 20
+	ck := ckpt{every: *ckEvery, dir: *ckDir, restore: *restorePath, base: *simName}
+	if *benchName != "" {
+		ck.base = *simName + "-" + *benchName
+	}
+
 	t0 := time.Now()
+	if *parWorkers > 0 {
+		if *simName != "fastsim" {
+			die(fmt.Errorf("-parsim requires -sim fastsim"))
+		}
+		opt := fastsim.Options{Memoize: *memo, CacheCapBytes: capBytes}
+		runParsim(prog, opt, *parWorkers, *parInterval, t0)
+		return
+	}
 	switch *simName {
 	case "func":
+		if ck.active() {
+			runFuncCkpt(prog, ck, t0)
+			return
+		}
 		_, res, err := funcsim.Run(prog, 0)
 		if err != nil {
 			die(err)
 		}
 		report(res.Insts, 0, res.Output, time.Since(t0))
 	case "ooo":
+		if ck.active() {
+			runOOOCkpt(prog, ck, t0)
+			return
+		}
 		res := ooo.Run(uarch.Default(), prog, 0)
 		report(res.Insts, res.Cycles, res.Output, time.Since(t0))
 		fmt.Printf("IPC %.3f, %d mispredicts, %d L1D misses\n", res.IPC(), res.Mispredicts, res.L1DMisses)
@@ -94,8 +129,14 @@ func main() {
 		if *selfCheck {
 			opt.SelfCheck = 1.0
 		}
-		s := fastsim.New(uarch.Default(), prog, opt)
-		res := s.Run(0)
+		var s *fastsim.Sim
+		var res uarch.Result
+		if ck.active() {
+			s, res = runFastsimCkpt(prog, opt, ck, t0)
+		} else {
+			s = fastsim.New(uarch.Default(), prog, opt)
+			res = s.Run(0)
+		}
 		report(res.Insts, res.Cycles, res.Output, time.Since(t0))
 		st := s.Stats()
 		fmt.Printf("fast-forwarded %.3f%%, %d misses, %.1f MB memoized, %d clears\n",
@@ -126,9 +167,14 @@ func main() {
 		if err != nil {
 			die(err)
 		}
-		res, err := in.Run(0)
-		if err != nil {
-			die(err)
+		var res facsim.Result
+		if ck.active() {
+			res = runFacCkpt(in, ck, t0)
+		} else {
+			res, err = in.Run(0)
+			if err != nil {
+				die(err)
+			}
 		}
 		report(res.Insts, res.Cycles, res.Output, time.Since(t0))
 		fmt.Printf("steps: %d slow, %d replayed, %d recoveries, %.1f MB memoized\n",

@@ -1,0 +1,44 @@
+package bpred
+
+import (
+	"fmt"
+
+	"facile/internal/snapshot"
+)
+
+// SaveState serializes the predictor: counter table, global history, BTB,
+// return address stack, and lookup statistics (deterministic simulation
+// outputs, part of the hashed STATE section).
+func (p *Predictor) SaveState(w *snapshot.Writer) {
+	w.Bytes(p.counters)
+	w.U64(p.history)
+	w.U64s(p.btbTag)
+	w.U64s(p.btbDst)
+	w.U64s(p.ras)
+	w.U64(uint64(p.rasTop))
+	w.U64(p.Lookups)
+	w.U64(p.Mispredict)
+}
+
+// LoadState restores a predictor built with the same configuration.
+func (p *Predictor) LoadState(r *snapshot.Reader) error {
+	counters := r.Bytes()
+	if r.Err() == nil && len(counters) != len(p.counters) {
+		return fmt.Errorf("bpred: snapshot has %d counters, configured %d", len(counters), len(p.counters))
+	}
+	copy(p.counters, counters)
+	p.history = r.U64()
+	btbTag := r.U64s()
+	btbDst := r.U64s()
+	ras := r.U64s()
+	if r.Err() == nil && (len(btbTag) != len(p.btbTag) || len(btbDst) != len(p.btbDst) || len(ras) != len(p.ras)) {
+		return fmt.Errorf("bpred: snapshot table sizes do not match configuration")
+	}
+	copy(p.btbTag, btbTag)
+	copy(p.btbDst, btbDst)
+	copy(p.ras, ras)
+	p.rasTop = int(r.U64())
+	p.Lookups = r.U64()
+	p.Mispredict = r.U64()
+	return r.Err()
+}

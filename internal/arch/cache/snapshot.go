@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"fmt"
+
+	"facile/internal/snapshot"
+)
+
+// SaveState serializes the cache's dynamic state: per-set tag lists in LRU
+// order, the MSHR file, and the access statistics (which are deterministic
+// simulation outputs, so they belong to the hashed STATE section).
+func (c *Cache) SaveState(w *snapshot.Writer) {
+	w.U64(uint64(len(c.sets)))
+	for i := range c.sets {
+		w.U64s(c.sets[i].tags)
+	}
+	w.U64s(c.mshrLine)
+	w.U64s(c.mshrDone)
+	w.U64(c.mshrMax)
+	w.U64(c.Stats.Accesses)
+	w.U64(c.Stats.Hits)
+	w.U64(c.Stats.Misses)
+	w.U64(c.Stats.MSHRHits)
+}
+
+// LoadState restores a cache built with the same configuration.
+func (c *Cache) LoadState(r *snapshot.Reader) error {
+	n := r.U64()
+	if r.Err() == nil && n != uint64(len(c.sets)) {
+		return fmt.Errorf("cache: snapshot has %d sets, %s is configured with %d", n, c.cfg.Name, len(c.sets))
+	}
+	for i := range c.sets {
+		tags := r.U64s()
+		if len(tags) > c.cfg.Assoc {
+			return fmt.Errorf("cache: snapshot set %d holds %d ways, %s allows %d", i, len(tags), c.cfg.Name, c.cfg.Assoc)
+		}
+		c.sets[i].tags = append(c.sets[i].tags[:0], tags...)
+	}
+	mshrLine := r.U64s()
+	mshrDone := r.U64s()
+	if r.Err() == nil && (len(mshrLine) != len(c.mshrLine) || len(mshrDone) != len(c.mshrDone)) {
+		return fmt.Errorf("cache: snapshot MSHR count mismatch for %s", c.cfg.Name)
+	}
+	copy(c.mshrLine, mshrLine)
+	copy(c.mshrDone, mshrDone)
+	c.mshrMax = r.U64()
+	c.Stats.Accesses = r.U64()
+	c.Stats.Hits = r.U64()
+	c.Stats.Misses = r.U64()
+	c.Stats.MSHRHits = r.U64()
+	return r.Err()
+}
+
+// SaveState serializes all three levels of the hierarchy.
+func (h *Hierarchy) SaveState(w *snapshot.Writer) {
+	h.L1I.SaveState(w)
+	h.L1D.SaveState(w)
+	h.L2.SaveState(w)
+}
+
+// LoadState restores a hierarchy built with the same configuration.
+func (h *Hierarchy) LoadState(r *snapshot.Reader) error {
+	if err := h.L1I.LoadState(r); err != nil {
+		return err
+	}
+	if err := h.L1D.LoadState(r); err != nil {
+		return err
+	}
+	return h.L2.LoadState(r)
+}

@@ -1,0 +1,70 @@
+package fastsim
+
+import (
+	"bytes"
+	"testing"
+
+	"facile/internal/arch/uarch"
+	"facile/internal/snapshot"
+	"facile/internal/workloads"
+)
+
+// TestCloneIsolation: a fastsim clone must share no mutable state with its
+// parent — architectural registers, memory pages, predictor, caches,
+// window entries, and the dynamic slot rings are all rebuilt.
+func TestCloneIsolation(t *testing.T) {
+	w, err := workloads.Get("126.gcc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := New(uarch.Default(), w.Prog, Options{Memoize: true})
+	parent.Run(5000)
+	if parent.Done() {
+		t.Fatal("workload too small for a mid-run clone")
+	}
+	hash := func(s *Sim) string {
+		ww := snapshot.NewWriter()
+		if err := s.SaveState(ww); err != nil {
+			t.Fatal(err)
+		}
+		return ww.StateHash()
+	}
+	before := hash(parent)
+
+	clone, err := parent.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash(clone) != before {
+		t.Fatal("clone does not reproduce parent state")
+	}
+
+	// Scribble over the clone's architectural and dynamic state.
+	st := clone.State()
+	for i := range st.R {
+		st.R[i] = -7
+	}
+	st.Mem.Write64(0x2000, 0xFFFFFFFF)
+	for i := range clone.ringAddr {
+		clone.ringAddr[i] = 0xBAD
+	}
+	if hash(parent) != before {
+		t.Fatal("mutating the clone perturbed the parent")
+	}
+
+	// Running a fresh clone must leave the parent frozen, and both must
+	// finish with identical deterministic results.
+	clone2, err := parent.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resClone := clone2.Run(0)
+	if hash(parent) != before {
+		t.Fatal("running the clone perturbed the parent")
+	}
+	resParent := parent.Run(0)
+	if resParent.Cycles != resClone.Cycles || resParent.Insts != resClone.Insts ||
+		resParent.ExitStatus != resClone.ExitStatus || !bytes.Equal(resParent.Output, resClone.Output) {
+		t.Fatalf("parent and clone finished differently:\n%+v\n%+v", resParent, resClone)
+	}
+}

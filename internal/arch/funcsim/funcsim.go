@@ -316,13 +316,8 @@ type Result struct {
 // returns the result. maxInsts <= 0 means no limit.
 func Run(prog *loader.Program, maxInsts uint64) (*State, Result, error) {
 	st := NewState(prog)
-	for !st.Halted {
-		if maxInsts > 0 && st.InstCount >= maxInsts {
-			break
-		}
-		if _, err := st.Step(prog); err != nil {
-			return st, Result{}, err
-		}
+	if err := st.RunOn(prog, maxInsts); err != nil {
+		return st, Result{}, err
 	}
 	return st, Result{Insts: st.InstCount, ExitStatus: st.ExitStatus, Output: st.Output}, nil
 }

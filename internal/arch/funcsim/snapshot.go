@@ -1,0 +1,88 @@
+package funcsim
+
+import (
+	"math"
+
+	"facile/internal/isa/loader"
+	"facile/internal/mem"
+	"facile/internal/snapshot"
+)
+
+// SnapshotKind identifies golden functional-simulator snapshots.
+const SnapshotKind = "func"
+
+// SaveState serializes the complete architectural state. Field order is the
+// snapshot format contract; bump snapshot.Version on any change.
+func (st *State) SaveState(w *snapshot.Writer) {
+	for _, v := range st.R {
+		w.I64(v)
+	}
+	for _, v := range st.F {
+		w.U64(math.Float64bits(v))
+	}
+	w.U64(st.PC)
+	w.Bool(st.Halted)
+	w.I64(st.ExitStatus)
+	w.Bytes(st.Output)
+	w.U64(st.randState)
+	w.U64(st.InstCount)
+	st.Mem.SaveState(w)
+}
+
+// LoadState replaces the architectural state from a snapshot.
+func (st *State) LoadState(r *snapshot.Reader) error {
+	for i := range st.R {
+		st.R[i] = r.I64()
+	}
+	for i := range st.F {
+		st.F[i] = math.Float64frombits(r.U64())
+	}
+	st.PC = r.U64()
+	st.Halted = r.Bool()
+	st.ExitStatus = r.I64()
+	st.Output = r.Bytes()
+	st.randState = r.U64()
+	st.InstCount = r.U64()
+	if st.Mem == nil {
+		st.Mem = mem.New()
+	}
+	if err := st.Mem.LoadState(r); err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// Clone returns a deep copy sharing nothing with st: memory pages, the
+// output buffer, and all register state are copied. Mutating the clone
+// never perturbs the parent (the precondition for parallel interval
+// simulation on cloned machines).
+func (st *State) Clone() *State {
+	c := *st
+	c.Mem = st.Mem.Clone()
+	c.Output = append([]byte(nil), st.Output...)
+	return &c
+}
+
+// Hash returns the stable content hash of the architectural state: two runs
+// that reach the same architectural point by different routes (memoized or
+// not, checkpointed or not) report the same hash.
+func (st *State) Hash() string {
+	w := snapshot.NewWriter()
+	st.SaveState(w)
+	return w.StateHash()
+}
+
+// RunOn executes prog until the machine halts or InstCount reaches
+// maxInsts (a cumulative budget, so checkpointed runs chunk cleanly;
+// maxInsts == 0 means no limit).
+func (st *State) RunOn(prog *loader.Program, maxInsts uint64) error {
+	for !st.Halted {
+		if maxInsts > 0 && st.InstCount >= maxInsts {
+			return nil
+		}
+		if _, err := st.Step(prog); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package ooo
+
+import (
+	"fmt"
+
+	"facile/internal/arch/uarch"
+	"facile/internal/isa"
+	"facile/internal/snapshot"
+)
+
+// SnapshotKind identifies conventional-baseline snapshots.
+const SnapshotKind = "ooo"
+
+// Committed reports total instructions committed (Run budgets are
+// cumulative against this counter, so checkpointed runs chunk cleanly).
+func (s *Simulator) Committed() uint64 { return s.committed }
+
+// SaveState serializes the complete simulator state: architectural state,
+// predictor, cache hierarchy, and the in-flight window. Decoded forms
+// (instruction, class, FU, operand lists) are re-derived from the program
+// text on load, so only dynamic per-entry fields are written.
+func (s *Simulator) SaveState(w *snapshot.Writer) {
+	s.st.SaveState(w)
+	s.pred.SaveState(w)
+	s.mem.SaveState(w)
+	w.U64(s.fetchPC)
+	w.Bool(s.stalled)
+	w.Bool(s.serialize)
+	w.U64(s.resumeAt)
+	w.U64(s.cycle)
+	w.U64(s.committed)
+	w.Bool(s.haltSeen)
+	w.U64(uint64(len(s.win)))
+	for i := range s.win {
+		e := &s.win[i]
+		w.U64(e.pc)
+		w.U8(uint8(e.state))
+		w.U64(e.doneAt)
+		w.U64(e.addr)
+		w.U64(e.actualNPC)
+		w.U64(e.predNPC)
+		w.Bool(e.mispred)
+	}
+}
+
+// LoadState restores a simulator built over the same program and
+// configuration. Window entries are re-decorated from the program text.
+func (s *Simulator) LoadState(r *snapshot.Reader) error {
+	if err := s.st.LoadState(r); err != nil {
+		return err
+	}
+	if err := s.pred.LoadState(r); err != nil {
+		return err
+	}
+	if err := s.mem.LoadState(r); err != nil {
+		return err
+	}
+	s.fetchPC = r.U64()
+	s.stalled = r.Bool()
+	s.serialize = r.Bool()
+	s.resumeAt = r.U64()
+	s.cycle = r.U64()
+	s.committed = r.U64()
+	s.haltSeen = r.Bool()
+	n := r.U64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n > uint64(s.cfg.Window) {
+		return fmt.Errorf("ooo: snapshot window %d exceeds configured %d", n, s.cfg.Window)
+	}
+	s.win = s.win[:0]
+	for i := uint64(0); i < n; i++ {
+		var e entry
+		e.pc = r.U64()
+		st := r.U8()
+		e.doneAt = r.U64()
+		e.addr = r.U64()
+		e.actualNPC = r.U64()
+		e.predNPC = r.U64()
+		e.mispred = r.Bool()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if st > uint8(stDone) {
+			return fmt.Errorf("ooo: snapshot entry %d has invalid state %d", i, st)
+		}
+		e.state = entryState(st)
+		in, err := s.prog.Fetch(e.pc)
+		if err != nil {
+			return fmt.Errorf("ooo: snapshot entry %d does not decode against this program: %w", i, err)
+		}
+		e.in = in
+		e.cls = isa.Classify(in.Op)
+		e.fu = uarch.FUFor(in.Op)
+		e.uses = isa.Uses(in)
+		e.def, e.hasDef = isa.Def(in)
+		e.isSync = e.cls == isa.ClassSys
+		s.win = append(s.win, e)
+	}
+	return r.Err()
+}
+
+// Clone returns an independent deep copy via a snapshot round-trip, which
+// structurally guarantees the clone shares no mutable state with s.
+func (s *Simulator) Clone() (*Simulator, error) {
+	w := snapshot.NewWriter()
+	s.SaveState(w)
+	c := New(s.cfg, s.prog)
+	if err := c.LoadState(snapshot.NewReader(w.Payload())); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Hash returns the stable content hash of the full simulator state.
+func (s *Simulator) Hash() string {
+	w := snapshot.NewWriter()
+	s.SaveState(w)
+	return w.StateHash()
+}

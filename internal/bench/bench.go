@@ -18,6 +18,7 @@ import (
 	"facile/internal/arch/ooo"
 	"facile/internal/arch/uarch"
 	"facile/internal/facsim"
+	"facile/internal/parsim"
 	"facile/internal/workloads"
 )
 
@@ -27,6 +28,7 @@ type Config struct {
 	Names     []string // benchmarks to run; nil = full suite
 	CacheCap  uint64   // action cache cap in bytes (0 = unlimited)
 	PaperCapM uint64   // cap used for the figure runs, in MB (paper: 256)
+	Workers   int      // benchmarks simulated concurrently (<=1 = sequential)
 }
 
 // DefaultConfig mirrors the paper's setup at a laptop-friendly scale.
@@ -44,18 +46,20 @@ func (c Config) names() []string {
 // Row is one benchmark's measurements for a figure: simulated instructions
 // per second of host time for each simulator.
 type Row struct {
-	Name   string
-	Insts  uint64
-	Cycles uint64
+	Name   string `json:"name"`
+	Insts  uint64 `json:"insts"`
+	Cycles uint64 `json:"cycles,omitempty"`
 
-	MemoMIPS   float64 // memoizing simulator
-	NoMemoMIPS float64 // same simulator without memoization
-	BaseMIPS   float64 // conventional baseline ("SimpleScalar")
+	MemoMIPS   float64 `json:"memo_mips,omitempty"`    // memoizing simulator
+	NoMemoMIPS float64 `json:"no_memo_mips,omitempty"` // same simulator without memoization
+	BaseMIPS   float64 `json:"base_mips,omitempty"`    // conventional baseline ("SimpleScalar")
 
-	FastFwdPct float64 // Table 1
-	MemoBytes  uint64  // Table 2
-	Misses     uint64
-	Clears     uint64
+	FastFwdPct float64 `json:"fastfwd_pct"` // Table 1
+	MemoBytes  uint64  `json:"memo_bytes"`  // Table 2
+	Misses     uint64  `json:"misses"`
+	Clears     uint64  `json:"clears"`
+
+	WallSec float64 `json:"wall_sec"` // host wall-clock spent on this row (all configs)
 }
 
 func mips(insts uint64, d time.Duration) float64 {
@@ -84,13 +88,18 @@ func hmean(vals []float64) float64 {
 // hand-coded memoizing simulator (FastSim's role) with and without
 // fast-forwarding versus the conventional out-of-order baseline
 // (SimpleScalar's role).
+// Benchmarks are sharded across cfg.Workers goroutines (parsim.ForEach);
+// every deterministic field of a Row is independent of the worker count,
+// only the MIPS/WallSec timing fields vary with host load.
 func Figure11(cfg Config) ([]Row, error) {
 	ucfg := uarch.Default()
-	var rows []Row
-	for _, name := range cfg.names() {
+	names := cfg.names()
+	rows := make([]Row, len(names))
+	err := parsim.ForEach(len(names), cfg.Workers, func(i int) error {
+		name := names[i]
 		w, err := workloads.Get(name, cfg.Scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		t0 := time.Now()
@@ -111,11 +120,11 @@ func Figure11(cfg Config) ([]Row, error) {
 		dMemo := time.Since(t0)
 
 		if plain.Cycles != memo.Cycles {
-			return nil, fmt.Errorf("%s: memoized cycle count %d != plain %d (validation failure)",
+			return fmt.Errorf("%s: memoized cycle count %d != plain %d (validation failure)",
 				name, memo.Cycles, plain.Cycles)
 		}
 		st := memoSim.Stats()
-		rows = append(rows, Row{
+		rows[i] = Row{
 			Name:       name,
 			Insts:      memo.Insts,
 			Cycles:     memo.Cycles,
@@ -126,7 +135,12 @@ func Figure11(cfg Config) ([]Row, error) {
 			MemoBytes:  st.TotalMemoBytes,
 			Misses:     st.Misses,
 			Clears:     st.CacheClears,
-		})
+			WallSec:    (dBase + dPlain + dMemo).Seconds(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -136,22 +150,29 @@ func Figure11(cfg Config) ([]Row, error) {
 // set).
 func Table2(cfg Config) ([]Row, error) {
 	ucfg := uarch.Default()
-	var rows []Row
-	for _, name := range cfg.names() {
-		w, err := workloads.Get(name, cfg.Scale)
+	names := cfg.names()
+	rows := make([]Row, len(names))
+	err := parsim.ForEach(len(names), cfg.Workers, func(i int) error {
+		w, err := workloads.Get(names[i], cfg.Scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s := fastsim.New(ucfg, w.Prog, fastsim.Options{Memoize: true})
+		t0 := time.Now()
 		res := s.Run(0)
 		st := s.Stats()
-		rows = append(rows, Row{
-			Name:       name,
+		rows[i] = Row{
+			Name:       names[i],
 			Insts:      res.Insts,
 			FastFwdPct: st.FastForwardedPc,
 			MemoBytes:  st.TotalMemoBytes,
 			Misses:     st.Misses,
-		})
+			WallSec:    time.Since(t0).Seconds(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -161,11 +182,13 @@ func Table2(cfg Config) ([]Row, error) {
 // conventional baseline.
 func Figure12(cfg Config) ([]Row, error) {
 	ucfg := uarch.Default()
-	var rows []Row
-	for _, name := range cfg.names() {
+	names := cfg.names()
+	rows := make([]Row, len(names))
+	err := parsim.ForEach(len(names), cfg.Workers, func(i int) error {
+		name := names[i]
 		w, err := workloads.Get(name, cfg.Scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		t0 := time.Now()
@@ -174,12 +197,12 @@ func Figure12(cfg Config) ([]Row, error) {
 
 		inPlain, err := facsim.NewOOO(w.Prog, facsim.Options{Memoize: false})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t0 = time.Now()
 		plain, err := inPlain.Run(0)
 		if err != nil {
-			return nil, fmt.Errorf("%s (no memo): %w", name, err)
+			return fmt.Errorf("%s (no memo): %w", name, err)
 		}
 		dPlain := time.Since(t0)
 
@@ -188,17 +211,17 @@ func Figure12(cfg Config) ([]Row, error) {
 			CacheCapBytes: cfg.PaperCapM << 20,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t0 = time.Now()
 		memo, err := inMemo.Run(0)
 		if err != nil {
-			return nil, fmt.Errorf("%s (memo): %w", name, err)
+			return fmt.Errorf("%s (memo): %w", name, err)
 		}
 		dMemo := time.Since(t0)
 
 		if plain.Cycles != memo.Cycles {
-			return nil, fmt.Errorf("%s: Facile memo cycles %d != plain %d (validation failure)",
+			return fmt.Errorf("%s: Facile memo cycles %d != plain %d (validation failure)",
 				name, memo.Cycles, plain.Cycles)
 		}
 		st := memo.Stats
@@ -207,7 +230,7 @@ func Figure12(cfg Config) ([]Row, error) {
 		if total > 0 {
 			ffPct = 100 * float64(st.Replays) / float64(total)
 		}
-		rows = append(rows, Row{
+		rows[i] = Row{
 			Name:       name,
 			Insts:      memo.Insts,
 			Cycles:     memo.Cycles,
@@ -218,7 +241,12 @@ func Figure12(cfg Config) ([]Row, error) {
 			MemoBytes:  st.TotalMemoBytes,
 			Misses:     st.Misses,
 			Clears:     st.CacheClears,
-		})
+			WallSec:    (dBase + dPlain + dMemo).Seconds(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -226,11 +254,11 @@ func Figure12(cfg Config) ([]Row, error) {
 // CapSweepPoint is one point of the cache-capacity ablation (§6.1:
 // limiting and clearing the cache costs little performance).
 type CapSweepPoint struct {
-	CapBytes  uint64
-	MIPS      float64
-	Clears    uint64
-	PeakBytes uint64
-	Cycles    uint64
+	CapBytes  uint64  `json:"cap_bytes"`
+	MIPS      float64 `json:"mips"`
+	Clears    uint64  `json:"clears"`
+	PeakBytes uint64  `json:"peak_bytes"`
+	Cycles    uint64  `json:"cycles"`
 }
 
 // CacheCapSweep reruns one benchmark under shrinking action-cache caps.

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Report is the machine-readable form of an fbench invocation: one
+// Experiment per figure/table run, with per-benchmark rows and engine
+// statistics. Row fields derived from host timing (MIPS, wall-clock)
+// vary between hosts and runs; every other field is deterministic.
+type Report struct {
+	Tool      string       `json:"tool"`
+	Started   time.Time    `json:"started"`
+	WallSec   float64      `json:"wall_sec"`
+	Scale     int          `json:"scale"`
+	Workers   int          `json:"workers"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Results   []Experiment `json:"results"`
+}
+
+// Experiment is one figure/table of the evaluation.
+type Experiment struct {
+	Name    string  `json:"name"`
+	WallSec float64 `json:"wall_sec"`
+	Rows    []Row   `json:"rows,omitempty"`
+
+	// Sweep carries the cache-capacity ablation's points (nil otherwise).
+	Sweep []CapSweepPoint `json:"sweep,omitempty"`
+
+	// LoC carries the description-size report (nil otherwise).
+	LoC map[string]int `json:"loc,omitempty"`
+}
+
+// NewReport starts a report for the given run parameters.
+func NewReport(scale, workers int, started time.Time) *Report {
+	return &Report{
+		Tool:      "fbench",
+		Started:   started,
+		Scale:     scale,
+		Workers:   workers,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Add appends one experiment's results.
+func (r *Report) Add(exp Experiment) {
+	r.Results = append(r.Results, exp)
+}
+
+// WriteFile finalizes the report and writes it as indented JSON.
+func (r *Report) WriteFile(path string, wall time.Duration) error {
+	r.WallSec = wall.Seconds()
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

@@ -1,0 +1,43 @@
+package bench
+
+import "testing"
+
+// stripTiming zeroes the host-timing fields, leaving only the
+// deterministic row content.
+func stripTiming(rows []Row) []Row {
+	out := append([]Row(nil), rows...)
+	for i := range out {
+		out[i].MemoMIPS, out[i].NoMemoMIPS, out[i].BaseMIPS, out[i].WallSec = 0, 0, 0, 0
+	}
+	return out
+}
+
+// TestParallelRowsMatchSequential: sharding an experiment's benchmarks
+// across workers must not change any deterministic row field.
+func TestParallelRowsMatchSequential(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 1
+	cfg.Names = []string{"126.gcc", "129.compress", "130.li", "102.swim"}
+
+	cfg.Workers = 1
+	seq, err := Figure11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		cfg.Workers = workers
+		par, err := Figure11(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := stripTiming(seq), stripTiming(par)
+		if len(a) != len(b) {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("workers=%d: row %d differs\nseq: %+v\npar: %+v", workers, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package facsim
+
+import (
+	"bytes"
+	"testing"
+
+	wl "facile/internal/workloads"
+)
+
+// TestCloneIsolation: mutating a clone — directly or by running it — must
+// never perturb the parent. Machine.Array/Global hand out live views of
+// the machine's state, so any sharing between parent and clone would show
+// up as a parent hash change.
+func TestCloneIsolation(t *testing.T) {
+	w, err := wl.Get("129.compress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{KindFunctional, KindInOrder, KindOOO} {
+		t.Run(kind, func(t *testing.T) {
+			parent, err := New(kind, w.Prog, Options{Memoize: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := parent.M.Run(200); err != nil {
+				t.Fatal(err)
+			}
+			before := parent.Hash()
+
+			clone, err := parent.Clone()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if clone.Hash() != before {
+				t.Fatal("clone does not reproduce parent state")
+			}
+
+			// Scribble over the clone's live register array and memory.
+			if r, ok := clone.M.Array("R"); ok {
+				for i := range r {
+					r[i] = -1
+				}
+			}
+			clone.Env.Mem.Write64(0x1000, 0xDEADBEEF)
+			clone.Env.Output = append(clone.Env.Output, "junk"...)
+			if parent.Hash() != before {
+				t.Fatal("mutating the clone perturbed the parent")
+			}
+
+			// Run a fresh clone to completion; the parent must stay frozen
+			// and then finish identically to an undisturbed instance.
+			clone2, err := parent.Clone()
+			if err != nil {
+				t.Fatal(err)
+			}
+			resClone, err := clone2.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parent.Hash() != before {
+				t.Fatal("running the clone perturbed the parent")
+			}
+			resParent, err := parent.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resParent.Cycles != resClone.Cycles || resParent.Insts != resClone.Insts ||
+				resParent.Exit != resClone.Exit || !bytes.Equal(resParent.Output, resClone.Output) {
+				t.Fatalf("parent and clone finished differently:\n%+v\n%+v", resParent, resClone)
+			}
+		})
+	}
+}

@@ -282,6 +282,12 @@ func (o Options) rtOptions() rt.Options {
 type Instance struct {
 	M   *rt.Machine
 	Env *Env
+
+	// Kind names the constructor that built this instance (a facsim.Kind*
+	// constant); snapshot restore and Clone use it to rebuild the machine.
+	// Empty for NewOOOCustom instances, which are not snapshot-rebuildable.
+	Kind string
+	opt  Options
 }
 
 // NewFunctional builds the Facile functional simulator for prog.
@@ -299,7 +305,7 @@ func NewFunctional(prog *loader.Program, opt Options) (*Instance, error) {
 	}
 	seedSP(m)
 	m.SetStop(func(*rt.Machine) bool { return env.Halted })
-	return &Instance{M: m, Env: env}, nil
+	return &Instance{M: m, Env: env, Kind: KindFunctional, opt: opt}, nil
 }
 
 // NewInOrder builds the Facile in-order pipeline simulator for prog.
@@ -320,7 +326,7 @@ func NewInOrder(prog *loader.Program, opt Options) (*Instance, error) {
 	}
 	seedSP(m)
 	m.SetStop(stopOnDone)
-	return &Instance{M: m, Env: env}, nil
+	return &Instance{M: m, Env: env, Kind: KindInOrder, opt: opt}, nil
 }
 
 // NewOOO builds the Facile out-of-order simulator for prog.
@@ -342,7 +348,7 @@ func NewOOO(prog *loader.Program, opt Options) (*Instance, error) {
 	}
 	seedSP(m)
 	m.SetStop(stopOnDone)
-	return &Instance{M: m, Env: env}, nil
+	return &Instance{M: m, Env: env, Kind: KindOOO, opt: opt}, nil
 }
 
 func stopOnDone(m *rt.Machine) bool {

@@ -1,0 +1,121 @@
+package facsim
+
+import (
+	"fmt"
+
+	"facile/internal/isa/loader"
+	"facile/internal/snapshot"
+)
+
+// Snapshot kinds for the three bundled Facile simulators. The kind string
+// stored in a snapshot file must match the constructor used on restore —
+// the three descriptions have different globals, queues, and main
+// signatures, so a cross-kind load fails the rt.Machine shape checks.
+const (
+	KindFunctional = "fac-func"
+	KindInOrder    = "fac-inorder"
+	KindOOO        = "fac-ooo"
+)
+
+// New builds an instance of the named kind (a facsim.Kind* constant).
+func New(kind string, prog *loader.Program, opt Options) (*Instance, error) {
+	switch kind {
+	case KindFunctional:
+		return NewFunctional(prog, opt)
+	case KindInOrder:
+		return NewInOrder(prog, opt)
+	case KindOOO:
+		return NewOOO(prog, opt)
+	}
+	return nil, fmt.Errorf("facsim: unknown simulator kind %q", kind)
+}
+
+// SaveState serializes the environment's dynamic state. The program text
+// and extern bindings are structural and rebuilt by the constructor.
+func (e *Env) SaveState(w *snapshot.Writer) {
+	e.Mem.SaveState(w)
+	w.Bytes(e.Output)
+	w.Bool(e.Halted)
+	w.I64(e.Exit)
+	w.U64(e.rand)
+	hasTiming := e.Pred != nil
+	w.Bool(hasTiming)
+	if hasTiming {
+		e.Pred.SaveState(w)
+		e.Caches.SaveState(w)
+	}
+}
+
+// LoadState restores the environment in place, so the extern closures the
+// machine already holds keep observing the restored state.
+func (e *Env) LoadState(r *snapshot.Reader) error {
+	if err := e.Mem.LoadState(r); err != nil {
+		return err
+	}
+	e.Output = append(e.Output[:0], r.Bytes()...)
+	e.Halted = r.Bool()
+	e.Exit = r.I64()
+	e.rand = r.U64()
+	hasTiming := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if hasTiming != (e.Pred != nil) {
+		return fmt.Errorf("facsim: snapshot timing state does not match simulator kind")
+	}
+	if hasTiming {
+		if err := e.Pred.LoadState(r); err != nil {
+			return err
+		}
+		if err := e.Caches.LoadState(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveState serializes the instance: environment first, then the Facile
+// machine's run-time state. The action cache is excluded (see
+// rt.Machine.SaveState); a restored instance re-warms it.
+func (in *Instance) SaveState(w *snapshot.Writer) {
+	in.Env.SaveState(w)
+	in.M.SaveState(w)
+}
+
+// LoadState restores an instance built by the same constructor over the
+// same program.
+func (in *Instance) LoadState(r *snapshot.Reader) error {
+	if err := in.Env.LoadState(r); err != nil {
+		return err
+	}
+	return in.M.LoadState(r)
+}
+
+// Clone returns an independent deep copy built through the instance's own
+// constructor and an in-memory snapshot round-trip, which structurally
+// guarantees the clone shares no mutable state (memory pages, queues,
+// globals, predictor/cache tables) with in. The clone's action cache
+// starts empty and re-warms.
+func (in *Instance) Clone() (*Instance, error) {
+	if in.Kind == "" {
+		return nil, fmt.Errorf("facsim: custom-compiled instances cannot be cloned")
+	}
+	w := snapshot.NewWriter()
+	in.SaveState(w)
+	c, err := New(in.Kind, in.Env.Prog, in.opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.LoadState(snapshot.NewReader(w.Payload())); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Hash returns the stable content hash of the instance's complete
+// deterministic state (environment plus machine STATE section).
+func (in *Instance) Hash() string {
+	w := snapshot.NewWriter()
+	in.SaveState(w)
+	return w.StateHash()
+}

@@ -1,0 +1,48 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"facile/internal/snapshot"
+)
+
+// SaveState serializes the memory deterministically: page keys in ascending
+// order, each followed by its raw contents. Unmapped pages read as zero and
+// are simply absent.
+func (m *Memory) SaveState(w *snapshot.Writer) {
+	keys := make([]uint64, 0, len(m.pages))
+	for k := range m.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.U64(uint64(len(keys)))
+	for _, k := range keys {
+		w.U64(k)
+		w.Bytes(m.pages[k][:])
+	}
+}
+
+// LoadState replaces the memory's contents from a snapshot.
+func (m *Memory) LoadState(r *snapshot.Reader) error {
+	n := r.U64()
+	pages := make(map[uint64]*page, n)
+	for i := uint64(0); i < n; i++ {
+		k := r.U64()
+		b := r.Bytes()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if len(b) != pageSize {
+			return fmt.Errorf("mem: snapshot page %#x has %d bytes, want %d", k, len(b), pageSize)
+		}
+		p := new(page)
+		copy(p[:], b)
+		pages[k] = p
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	m.pages = pages
+	return nil
+}

@@ -1,0 +1,153 @@
+package parsim
+
+import (
+	"fmt"
+
+	"facile/internal/arch/fastsim"
+	"facile/internal/arch/funcsim"
+	"facile/internal/arch/uarch"
+	"facile/internal/isa/loader"
+)
+
+// Interval is one slice of a workload: the architectural state at its
+// start (produced by functional warm-up) and the number of instructions
+// the detailed simulator should commit from there.
+type Interval struct {
+	Index int
+	Start *funcsim.State // owned by the plan; cloned per run
+	Insts uint64
+}
+
+// Plan is an interval decomposition of a single workload.
+type Plan struct {
+	Intervals  []Interval
+	TotalInsts uint64
+}
+
+// PlanIntervals runs the functional simulator over the whole program,
+// capturing a deep-cloned architectural snapshot every `every` committed
+// instructions. Each interval depends only on its start state, which is
+// what lets the detailed intervals run concurrently yet deterministically.
+func PlanIntervals(prog *loader.Program, every uint64) (*Plan, error) {
+	if every == 0 {
+		return nil, fmt.Errorf("parsim: interval length must be positive")
+	}
+	st := funcsim.NewState(prog)
+	p := &Plan{}
+	for !st.Halted {
+		start := st.Clone()
+		if err := st.RunOn(prog, st.InstCount+every); err != nil {
+			return nil, fmt.Errorf("parsim: functional warm-up: %w", err)
+		}
+		n := st.InstCount - start.InstCount
+		if n == 0 {
+			return nil, fmt.Errorf("parsim: functional simulator made no progress at pc %#x", st.PC)
+		}
+		p.Intervals = append(p.Intervals, Interval{Index: len(p.Intervals), Start: start, Insts: n})
+	}
+	p.TotalInsts = st.InstCount
+	if len(p.Intervals) == 0 {
+		return nil, fmt.Errorf("parsim: program halts before executing any instruction")
+	}
+	return p, nil
+}
+
+// IntervalResult is the detailed simulation of one interval.
+type IntervalResult struct {
+	Index  int
+	Insts  uint64 // committed by this interval (may overshoot to a step boundary)
+	Cycles uint64
+	Res    uarch.Result
+	Stats  fastsim.Stats
+}
+
+// Merged is the deterministic combination of all interval results. Its
+// deterministic fields are bit-identical for any worker count, because
+// every interval is a pure function of its start snapshot and the merge
+// walks intervals in index order.
+type Merged struct {
+	Intervals []IntervalResult
+
+	Insts      uint64
+	Cycles     uint64
+	Output     []byte
+	ExitStatus int64
+	Stats      fastsim.Stats
+
+	// ArchHash is the architectural content hash at program exit (from the
+	// final interval), comparable across runs and worker counts.
+	ArchHash string
+}
+
+// RunIntervals runs every interval of plan on its own cloned fast-forwarding
+// simulator, up to `workers` concurrently, and merges the results in
+// interval order. Each interval starts with a cold pipeline, cold caches,
+// and an empty action cache seeded only by the interval's architectural
+// snapshot; the last interval runs to program halt so the merged output and
+// exit status are the complete program's.
+func RunIntervals(cfg uarch.Config, prog *loader.Program, plan *Plan, opt fastsim.Options, workers int) (*Merged, error) {
+	n := len(plan.Intervals)
+	results := make([]IntervalResult, n)
+	finals := make([]*funcsim.State, n)
+	err := ForEach(n, workers, func(i int) error {
+		iv := plan.Intervals[i]
+		s := fastsim.NewAt(cfg, prog, opt, iv.Start.Clone())
+		budget := iv.Insts // Run counts from the interval start
+		if i == n-1 {
+			budget = 0 // run the tail to halt for complete output
+		}
+		res := s.Run(budget)
+		if i == n-1 && !s.State().Halted {
+			return fmt.Errorf("parsim: final interval did not halt after %d instructions", res.Insts)
+		}
+		results[i] = IntervalResult{
+			Index:  i,
+			Insts:  res.Insts,
+			Cycles: res.Cycles,
+			Res:    res,
+			Stats:  s.Stats(),
+		}
+		finals[i] = s.State()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Merged{Intervals: results}
+	for i := range results {
+		r := &results[i]
+		m.Insts += r.Insts
+		m.Cycles += r.Cycles
+		addStats(&m.Stats, &r.Stats)
+	}
+	last := finals[n-1]
+	m.Output = last.Output
+	m.ExitStatus = last.ExitStatus
+	m.ArchHash = last.Hash()
+	total := m.Stats.SlowInsts + m.Stats.FastInsts
+	if total > 0 {
+		m.Stats.FastForwardedPc = 100 * float64(m.Stats.FastInsts) / float64(total)
+	}
+	return m, nil
+}
+
+// addStats accumulates src into dst field-wise (FastForwardedPc is
+// recomputed by the caller from the merged totals).
+func addStats(dst, src *fastsim.Stats) {
+	dst.SlowInsts += src.SlowInsts
+	dst.FastInsts += src.FastInsts
+	dst.Steps += src.Steps
+	dst.Replays += src.Replays
+	dst.Misses += src.Misses
+	dst.KeyMisses += src.KeyMisses
+	dst.CacheBytes += src.CacheBytes
+	dst.CacheEntries += src.CacheEntries
+	dst.TotalMemoBytes += src.TotalMemoBytes
+	dst.CacheClears += src.CacheClears
+	dst.Faults += src.Faults
+	dst.Invalidations += src.Invalidations
+	dst.DegradedSteps += src.DegradedSteps
+	dst.WatchdogTrips += src.WatchdogTrips
+	dst.SelfChecks += src.SelfChecks
+	dst.SelfCheckDivergences += src.SelfCheckDivergences
+}

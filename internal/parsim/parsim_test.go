@@ -1,0 +1,125 @@
+package parsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"facile/internal/arch/fastsim"
+	"facile/internal/arch/uarch"
+	"facile/internal/workloads"
+)
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		var ran [57]int32
+		err := ForEach(len(ran), workers, func(i int) error {
+			atomic.AddInt32(&ran[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, n := range ran {
+			if n != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachLowestError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(10, workers, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3" {
+			t.Fatalf("workers=%d: err = %v, want item 3", workers, err)
+		}
+	}
+	if err := ForEach(0, 4, func(int) error { return errors.New("no") }); err != nil {
+		t.Fatalf("empty ForEach: %v", err)
+	}
+}
+
+// TestIntervalParallelDeterminism is the core parsim property: splitting a
+// workload into intervals and simulating them on cloned machines yields
+// bit-identical merged results for any worker count.
+func TestIntervalParallelDeterminism(t *testing.T) {
+	w, err := workloads.Get("126.gcc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.Default()
+	opt := fastsim.Options{Memoize: true}
+	plan, err := PlanIntervals(w.Prog, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Intervals) < 3 {
+		t.Fatalf("want a multi-interval plan, got %d intervals", len(plan.Intervals))
+	}
+
+	ref, err := RunIntervals(cfg, w.Prog, plan, opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged run must still be the real program: compare against the
+	// whole-program fast-forwarding simulator's architectural results.
+	whole := fastsim.New(cfg, w.Prog, opt)
+	wholeRes := whole.Run(0)
+	if ref.ExitStatus != wholeRes.ExitStatus || !bytes.Equal(ref.Output, wholeRes.Output) {
+		t.Fatalf("interval simulation changed program results: exit %d output %q, want %d %q",
+			ref.ExitStatus, ref.Output, wholeRes.ExitStatus, wholeRes.Output)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		got, err := RunIntervals(cfg, w.Prog, plan, opt, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: merged result differs from sequential\nseq: %+v\npar: %+v",
+				workers, ref, got)
+		}
+	}
+}
+
+// TestPlanIntervals covers the decomposition invariants: intervals tile the
+// whole instruction stream and each start state is independent.
+func TestPlanIntervals(t *testing.T) {
+	w, err := workloads.Get("129.compress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const every = 5_000
+	plan, err := PlanIntervals(w.Prog, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for i, iv := range plan.Intervals {
+		if iv.Index != i {
+			t.Fatalf("interval %d has index %d", i, iv.Index)
+		}
+		if iv.Start.InstCount != sum {
+			t.Fatalf("interval %d starts at %d, want %d", i, iv.Start.InstCount, sum)
+		}
+		if i < len(plan.Intervals)-1 && iv.Insts != every {
+			t.Fatalf("interior interval %d has %d insts, want %d", i, iv.Insts, every)
+		}
+		sum += iv.Insts
+	}
+	if sum != plan.TotalInsts {
+		t.Fatalf("intervals cover %d insts, plan says %d", sum, plan.TotalInsts)
+	}
+	if _, err := PlanIntervals(w.Prog, 0); err == nil {
+		t.Fatal("zero interval length accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"facile/internal/arch/fastsim"
+	"facile/internal/arch/uarch"
+	"facile/internal/isa/loader"
+	"facile/internal/snapshot"
+	"facile/internal/workloads"
+)
+
+// fastsimFingerprint runs the fast-forwarding simulator to completion and
+// returns everything a deterministic simulator must reproduce: results,
+// statistics, and the full-state snapshot hash.
+func fastsimFingerprint(p *loader.Program) (uarch.Result, fastsim.Stats, string, error) {
+	s := fastsim.New(uarch.Default(), p, fastsim.Options{Memoize: true})
+	res := s.Run(0)
+	w := snapshot.NewWriter()
+	if err := s.SaveState(w); err != nil {
+		return res, fastsim.Stats{}, "", err
+	}
+	return res, s.Stats(), w.StateHash(), nil
+}
+
+func sameResult(a, b uarch.Result) bool {
+	return a.Cycles == b.Cycles && a.Insts == b.Insts && a.ExitStatus == b.ExitStatus &&
+		bytes.Equal(a.Output, b.Output) && a.BranchLookups == b.BranchLookups &&
+		a.Mispredicts == b.Mispredicts && a.L1DMisses == b.L1DMisses && a.L2Misses == b.L2Misses
+}
+
+// TestSuiteDeterminism: two sequential runs of every bundled workload must
+// produce identical final statistics, exit status, and snapshot hash. This
+// is the precondition for everything the snapshot/parsim layer promises.
+func TestSuiteDeterminism(t *testing.T) {
+	for _, name := range workloads.Names() {
+		t.Run(name, func(t *testing.T) {
+			p := prog(t, name)
+			resA, stA, hashA, err := fastsimFingerprint(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resB, stB, hashB, err := fastsimFingerprint(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameResult(resA, resB) {
+				t.Fatalf("results differ between runs:\n%+v\n%+v", resA, resB)
+			}
+			if stA != stB {
+				t.Fatalf("stats differ between runs:\n%+v\n%+v", stA, stB)
+			}
+			if hashA != hashB {
+				t.Fatalf("snapshot hash differs between runs: %s vs %s", hashA, hashB)
+			}
+		})
+	}
+}
+
+// TestRandomWorkloadDeterminism extends the property to generated
+// workloads: the same seed must fingerprint identically run-to-run.
+func TestRandomWorkloadDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 7, 20260805} {
+		p1, err := workloads.Random(seed, 40, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := workloads.Random(seed, 40, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resA, stA, hashA, err := fastsimFingerprint(p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resB, stB, hashB, err := fastsimFingerprint(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResult(resA, resB) || stA != stB || hashA != hashB {
+			t.Fatalf("seed %d: runs differ (hash %s vs %s)", seed, hashA, hashB)
+		}
+	}
+}

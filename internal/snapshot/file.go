@@ -1,0 +1,91 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+)
+
+// Blob format (version 1):
+//
+//	magic   [8]byte  "FACSNAP1"
+//	version uvarint
+//	kind    string   engine kind ("func", "ooo", "fastsim", "fac-ooo", ...)
+//	auxOff  uvarint  offset of the accounting section within the payload
+//	payload bytes    length-prefixed
+//	digest  [32]byte SHA-256 of everything before it (integrity check)
+//
+// The stable content hash reported alongside a snapshot is the SHA-256 of
+// payload[:auxOff] — the STATE section only — so it is independent of
+// accounting counters and of the container framing.
+
+const magic = "FACSNAP1"
+
+// Version is the current snapshot format version. Bump it on any change to
+// a SaveState field order; Decode rejects mismatches rather than guessing.
+const Version = 1
+
+// Encode frames a completed Writer into a self-describing blob.
+func Encode(kind string, w *Writer) []byte {
+	var hdr Writer
+	hdr.buf = append(hdr.buf, magic...)
+	hdr.U64(Version)
+	hdr.String(kind)
+	hdr.U64(uint64(w.stateLen()))
+	hdr.Bytes(w.Payload())
+	sum := sha256.Sum256(hdr.buf)
+	return append(hdr.buf, sum[:]...)
+}
+
+// Decode verifies and unpacks a blob. It returns the engine kind, a Reader
+// positioned at the start of the payload, and the STATE content hash.
+func Decode(blob []byte) (kind string, r *Reader, stateHash string, err error) {
+	if len(blob) < len(magic)+sha256.Size || string(blob[:len(magic)]) != magic {
+		return "", nil, "", fmt.Errorf("snapshot: not a snapshot (bad magic)")
+	}
+	body, digest := blob[:len(blob)-sha256.Size], blob[len(blob)-sha256.Size:]
+	if sum := sha256.Sum256(body); string(sum[:]) != string(digest) {
+		return "", nil, "", fmt.Errorf("snapshot: integrity check failed (corrupt file)")
+	}
+	hr := NewReader(body[len(magic):])
+	ver := hr.U64()
+	if hr.Err() == nil && ver != Version {
+		return "", nil, "", fmt.Errorf("snapshot: format version %d, this build reads %d", ver, Version)
+	}
+	kind = hr.String()
+	auxOff := hr.U64()
+	payload := hr.Bytes()
+	if err := hr.Err(); err != nil {
+		return "", nil, "", err
+	}
+	if auxOff > uint64(len(payload)) {
+		return "", nil, "", fmt.Errorf("snapshot: accounting offset %d beyond payload", auxOff)
+	}
+	sum := sha256.Sum256(payload[:auxOff])
+	return kind, NewReader(payload), hex.EncodeToString(sum[:]), nil
+}
+
+// WriteFile atomically writes an encoded snapshot and returns its STATE
+// content hash.
+func WriteFile(path, kind string, w *Writer) (stateHash string, err error) {
+	blob := Encode(kind, w)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return w.StateHash(), nil
+}
+
+// ReadFile reads and verifies a snapshot file.
+func ReadFile(path string) (kind string, r *Reader, stateHash string, err error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, "", err
+	}
+	return Decode(blob)
+}

@@ -1,0 +1,219 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"facile/internal/arch/fastsim"
+	"facile/internal/arch/funcsim"
+	"facile/internal/arch/ooo"
+	"facile/internal/arch/uarch"
+	"facile/internal/facsim"
+	"facile/internal/isa/loader"
+	"facile/internal/snapshot"
+	"facile/internal/workloads"
+)
+
+func prog(t *testing.T, name string) *loader.Program {
+	t.Helper()
+	w, err := workloads.Get(name, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Prog
+}
+
+// TestFuncRoundTrip: save → load → continue must reproduce the
+// uninterrupted run exactly for the golden functional simulator.
+func TestFuncRoundTrip(t *testing.T) {
+	p := prog(t, "126.gcc")
+	full := funcsim.NewState(p)
+	if err := full.RunOn(p, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	half := funcsim.NewState(p)
+	if err := half.RunOn(p, full.InstCount/2); err != nil {
+		t.Fatal(err)
+	}
+	w := snapshot.NewWriter()
+	half.SaveState(w)
+
+	restored := funcsim.NewState(p)
+	if err := restored.LoadState(snapshot.NewReader(w.Payload())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Hash() != half.Hash() {
+		t.Fatal("restored state hash differs from saved state")
+	}
+	if err := restored.RunOn(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := half.RunOn(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []*funcsim.State{restored, half} {
+		if st.InstCount != full.InstCount || st.ExitStatus != full.ExitStatus ||
+			!bytes.Equal(st.Output, full.Output) || st.Hash() != full.Hash() {
+			t.Fatalf("continued run diverged: %d insts (want %d), hash %s (want %s)",
+				st.InstCount, full.InstCount, st.Hash(), full.Hash())
+		}
+	}
+}
+
+// TestOOORoundTrip: the conventional baseline must resume mid-pipeline
+// (in-flight window, predictor, caches) with bit-identical results.
+func TestOOORoundTrip(t *testing.T) {
+	p := prog(t, "129.compress")
+	cfg := uarch.Default()
+	full := ooo.New(cfg, p)
+	fullRes := full.Run(0)
+
+	half := ooo.New(cfg, p)
+	half.Run(fullRes.Insts / 2)
+	w := snapshot.NewWriter()
+	half.SaveState(w)
+
+	restored := ooo.New(cfg, p)
+	if err := restored.LoadState(snapshot.NewReader(w.Payload())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Hash() != half.Hash() {
+		t.Fatal("restored state hash differs from saved state")
+	}
+	resA := half.Run(0)
+	resB := restored.Run(0)
+	if resA.Cycles != resB.Cycles || resA.Insts != resB.Insts || !bytes.Equal(resA.Output, resB.Output) {
+		t.Fatal("restored run diverged from interrupted run")
+	}
+	if resB.Cycles != fullRes.Cycles || resB.Insts != fullRes.Insts ||
+		resB.ExitStatus != fullRes.ExitStatus || !bytes.Equal(resB.Output, fullRes.Output) ||
+		resB.Mispredicts != fullRes.Mispredicts || resB.L1DMisses != fullRes.L1DMisses {
+		t.Fatalf("restored run != uninterrupted run:\n%+v\n%+v", resB, fullRes)
+	}
+	if restored.Hash() != full.Hash() {
+		t.Fatal("final state hash differs from uninterrupted run")
+	}
+}
+
+// TestFastsimRoundTrip: the fast-forwarding simulator must resume with
+// bit-identical timing and architectural results. The action cache is
+// deliberately absent from snapshots, so the restored run's slow/replayed
+// split differs while cycles, instructions, and outputs do not.
+func TestFastsimRoundTrip(t *testing.T) {
+	p := prog(t, "126.gcc")
+	cfg := uarch.Default()
+	opt := fastsim.Options{Memoize: true}
+	full := fastsim.New(cfg, p, opt)
+	fullRes := full.Run(0)
+
+	half := fastsim.New(cfg, p, opt)
+	half.Run(fullRes.Insts / 2)
+	w := snapshot.NewWriter()
+	if err := half.SaveState(w); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := fastsim.New(cfg, p, opt)
+	if err := restored.LoadState(snapshot.NewReader(w.Payload())); err != nil {
+		t.Fatal(err)
+	}
+	resB := restored.Run(0)
+	if resB.Cycles != fullRes.Cycles || resB.Insts != fullRes.Insts ||
+		resB.ExitStatus != fullRes.ExitStatus || !bytes.Equal(resB.Output, fullRes.Output) ||
+		resB.Mispredicts != fullRes.Mispredicts || resB.L1DMisses != fullRes.L1DMisses {
+		t.Fatalf("restored run != uninterrupted run:\n%+v\n%+v", resB, fullRes)
+	}
+	// Architectural end states match even though memoization history differs.
+	if restored.State().Hash() != full.State().Hash() {
+		t.Fatal("final architectural hash differs from uninterrupted run")
+	}
+	stR, stF := restored.Stats(), full.Stats()
+	if stR.SlowInsts+stR.FastInsts != stF.SlowInsts+stF.FastInsts {
+		t.Fatalf("total committed instructions differ: %d vs %d",
+			stR.SlowInsts+stR.FastInsts, stF.SlowInsts+stF.FastInsts)
+	}
+}
+
+// TestFacsimRoundTrip: all three Facile-compiled simulators must resume
+// mid-run through the file container with identical results.
+func TestFacsimRoundTrip(t *testing.T) {
+	p := prog(t, "129.compress")
+	for _, kind := range []string{facsim.KindFunctional, facsim.KindInOrder, facsim.KindOOO} {
+		t.Run(kind, func(t *testing.T) {
+			opt := facsim.Options{Memoize: true}
+			full, err := facsim.New(kind, p, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullRes, err := full.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			half, err := facsim.New(kind, p, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps := fullRes.Stats.SlowSteps + fullRes.Stats.Replays
+			if err := half.M.Run(steps / 2); err != nil {
+				t.Fatal(err)
+			}
+			w := snapshot.NewWriter()
+			half.SaveState(w)
+			path := t.TempDir() + "/half.facsnap"
+			if _, err := snapshot.WriteFile(path, kind, w); err != nil {
+				t.Fatal(err)
+			}
+
+			gotKind, r, _, err := snapshot.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotKind != kind {
+				t.Fatalf("file kind %q, want %q", gotKind, kind)
+			}
+			restored, err := facsim.New(kind, p, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.LoadState(r); err != nil {
+				t.Fatal(err)
+			}
+			resB, err := restored.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resB.Cycles != fullRes.Cycles || resB.Insts != fullRes.Insts ||
+				resB.Exit != fullRes.Exit || !bytes.Equal(resB.Output, fullRes.Output) {
+				t.Fatalf("restored run != uninterrupted run:\n%+v\n%+v", resB, fullRes)
+			}
+			if restored.Hash() != full.Hash() {
+				t.Fatal("final state hash differs from uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestSnapshotKindMismatch: loading a snapshot into the wrong engine must
+// fail the shape validation, not corrupt state silently.
+func TestSnapshotKindMismatch(t *testing.T) {
+	p := prog(t, "129.compress")
+	fn, err := facsim.New(facsim.KindFunctional, p, facsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn.M.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	w := snapshot.NewWriter()
+	fn.SaveState(w)
+
+	oooIn, err := facsim.New(facsim.KindOOO, p, facsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oooIn.LoadState(snapshot.NewReader(w.Payload())); err == nil {
+		t.Fatal("loading a fac-func snapshot into fac-ooo succeeded")
+	}
+}
