@@ -20,16 +20,29 @@ import (
 	"facile/internal/core"
 	"facile/internal/lang/compile"
 	"facile/internal/lang/ir"
+	"facile/internal/obs"
 )
 
 func main() {
 	dump := flag.Bool("dump", false, "dump the compiled IR with binding times")
 	bta := flag.Bool("bta", true, "print the binding-time analysis summary")
 	live := flag.Bool("live", false, "enable the liveness write-through optimization (paper §6.3 #3)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve /debug/vars, /debug/metrics and /debug/pprof on this address; keeps the process alive after compiling")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: faciled [-dump] [-live] file.fac [more.fac ...]")
 		os.Exit(2)
+	}
+	var rec *obs.Recorder
+	if *debugAddr != "" {
+		rec = obs.NewRecorder(obs.Config{})
+		_, addr, err := obs.Serve(*debugAddr, rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faciled:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "faciled: debug endpoint at http://%s/debug/vars\n", addr)
 	}
 	var sb strings.Builder
 	for _, f := range flag.Args() {
@@ -41,7 +54,9 @@ func main() {
 		sb.Write(src)
 		sb.WriteString("\n")
 	}
+	rec.Begin("faciled.compile")
 	sim, err := core.CompileSource(sb.String(), core.Options{LiftLiveOnly: *live})
+	rec.End("faciled.compile")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faciled:", err)
 		os.Exit(1)
@@ -64,5 +79,9 @@ func main() {
 	}
 	if *dump {
 		fmt.Print(p.Dump())
+	}
+	if *debugAddr != "" {
+		fmt.Fprintln(os.Stderr, "faciled: serving debug endpoint (interrupt to exit)")
+		select {}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"facile/internal/arch/uarch"
 	"facile/internal/facsim"
 	"facile/internal/isa/loader"
+	"facile/internal/obs"
 	"facile/internal/parsim"
 	"facile/internal/snapshot"
 )
@@ -22,6 +23,9 @@ type ckpt struct {
 	dir     string
 	restore string // snapshot file to resume from ("" = fresh run)
 	base    string // file-name stem for saved checkpoints
+
+	rec         *obs.Recorder // observability recorder (nil = off)
+	sampleEvery uint64
 }
 
 func (c ckpt) active() bool { return c.every > 0 || c.restore != "" }
@@ -57,6 +61,7 @@ func (c ckpt) open(kind string) *snapshot.Reader {
 // runFuncCkpt drives the golden functional simulator with checkpoints.
 func runFuncCkpt(prog *loader.Program, c ckpt, t0 time.Time) {
 	st := funcsim.NewState(prog)
+	st.SetObs(c.rec, c.sampleEvery)
 	if c.restore != "" {
 		if err := st.LoadState(c.open(funcsim.SnapshotKind)); err != nil {
 			die(err)
@@ -85,6 +90,7 @@ func runFuncCkpt(prog *loader.Program, c ckpt, t0 time.Time) {
 // runOOOCkpt drives the conventional baseline with checkpoints.
 func runOOOCkpt(prog *loader.Program, c ckpt, t0 time.Time) {
 	s := ooo.New(uarch.Default(), prog)
+	s.SetObs(c.rec, c.sampleEvery)
 	if c.restore != "" {
 		if err := s.LoadState(c.open(ooo.SnapshotKind)); err != nil {
 			die(err)

@@ -32,6 +32,7 @@ import (
 	"facile/internal/facsim"
 	"facile/internal/isa/asm"
 	"facile/internal/isa/loader"
+	"facile/internal/obs"
 	"facile/internal/workloads"
 )
 
@@ -51,10 +52,31 @@ func main() {
 	parWorkers := flag.Int("parsim", 0,
 		"run parallel interval simulation with N workers (requires -sim fastsim)")
 	parInterval := flag.Uint64("interval", 1<<20, "interval length in instructions for -parsim")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome trace_event JSON file of the run (open in Perfetto / chrome://tracing)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run (e.g. :8080)")
+	sampleEvery := flag.Uint64("sample-every", 0,
+		"instructions between observability samples (0 = default)")
 	flag.Parse()
 	if *selfCheck {
 		*memo = true
 	}
+
+	var rec *obs.Recorder
+	if *traceOut != "" || *debugAddr != "" {
+		rec = obs.NewRecorder(obs.Config{})
+	}
+	if *debugAddr != "" {
+		_, addr, err := obs.Serve(*debugAddr, rec)
+		if err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "fsim: debug endpoint at http://%s/debug/vars\n", addr)
+	}
+	// Written on normal exit only; die() paths skip the trace (the run did
+	// not finish, so its event stream would be misleading anyway).
+	defer writeTrace(rec, *traceOut)
 
 	var prog *loader.Program
 	switch {
@@ -91,7 +113,8 @@ func main() {
 	}
 
 	capBytes := *capMB << 20
-	ck := ckpt{every: *ckEvery, dir: *ckDir, restore: *restorePath, base: *simName}
+	ck := ckpt{every: *ckEvery, dir: *ckDir, restore: *restorePath, base: *simName,
+		rec: rec, sampleEvery: *sampleEvery}
 	if *benchName != "" {
 		ck.base = *simName + "-" + *benchName
 	}
@@ -101,7 +124,8 @@ func main() {
 		if *simName != "fastsim" {
 			die(fmt.Errorf("-parsim requires -sim fastsim"))
 		}
-		opt := fastsim.Options{Memoize: *memo, CacheCapBytes: capBytes}
+		opt := fastsim.Options{Memoize: *memo, CacheCapBytes: capBytes,
+			Obs: rec, SampleEvery: *sampleEvery}
 		runParsim(prog, opt, *parWorkers, *parInterval, t0)
 		return
 	}
@@ -111,21 +135,25 @@ func main() {
 			runFuncCkpt(prog, ck, t0)
 			return
 		}
-		_, res, err := funcsim.Run(prog, 0)
-		if err != nil {
+		st := funcsim.NewState(prog)
+		st.SetObs(rec, *sampleEvery)
+		if err := st.RunOn(prog, 0); err != nil {
 			die(err)
 		}
-		report(res.Insts, 0, res.Output, time.Since(t0))
+		report(st.InstCount, 0, st.Output, time.Since(t0))
 	case "ooo":
 		if ck.active() {
 			runOOOCkpt(prog, ck, t0)
 			return
 		}
-		res := ooo.Run(uarch.Default(), prog, 0)
+		s := ooo.New(uarch.Default(), prog)
+		s.SetObs(rec, *sampleEvery)
+		res := s.Run(0)
 		report(res.Insts, res.Cycles, res.Output, time.Since(t0))
 		fmt.Printf("IPC %.3f, %d mispredicts, %d L1D misses\n", res.IPC(), res.Mispredicts, res.L1DMisses)
 	case "fastsim":
-		opt := fastsim.Options{Memoize: *memo, CacheCapBytes: capBytes}
+		opt := fastsim.Options{Memoize: *memo, CacheCapBytes: capBytes,
+			Obs: rec, SampleEvery: *sampleEvery}
 		if *selfCheck {
 			opt.SelfCheck = 1.0
 		}
@@ -159,7 +187,8 @@ func main() {
 			"fac-inorder": facsim.NewInOrder,
 			"fac-ooo":     facsim.NewOOO,
 		}[*simName]
-		opt := facsim.Options{Memoize: *memo, CacheCapBytes: capBytes}
+		opt := facsim.Options{Memoize: *memo, CacheCapBytes: capBytes,
+			Obs: rec, SampleEvery: *sampleEvery}
 		if *selfCheck {
 			opt.SelfCheck = 1.0
 		}
@@ -207,6 +236,31 @@ func report(insts, cycles uint64, output []byte, d time.Duration) {
 		fmt.Printf("[%d instructions, %v, %.2f Msim-inst/s]\n",
 			insts, d.Round(time.Millisecond), float64(insts)/d.Seconds()/1e6)
 	}
+}
+
+// writeTrace dumps the recorder's event ring and sampled time series as a
+// Chrome trace_event JSON file (Perfetto / chrome://tracing loadable).
+func writeTrace(rec *obs.Recorder, path string) {
+	if rec == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		die(err)
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		die(err)
+	}
+	if err := f.Close(); err != nil {
+		die(err)
+	}
+	var n uint64
+	for _, c := range rec.Totals() {
+		n += c
+	}
+	fmt.Fprintf(os.Stderr, "fsim: wrote %s (%d lifecycle events, %d samples)\n",
+		path, n, len(rec.Samples()))
 }
 
 func die(err error) {

@@ -1,0 +1,81 @@
+package fastsim
+
+import (
+	"fmt"
+	"testing"
+
+	"facile/internal/arch/uarch"
+	"facile/internal/faults"
+)
+
+// sumEntryBytes is the occupancy the gauge should report: the bytes charged
+// by every entry still installed in the cache.
+func sumEntryBytes(c *acache) uint64 {
+	var n uint64
+	for _, e := range c.m {
+		n += e.bytes
+	}
+	return n
+}
+
+func TestInvalidationRefundsEntryBytes(t *testing.T) {
+	c := newACache(0, nil)
+	var ents []*centry
+	for i := 0; i < 6; i++ {
+		e := &centry{key: fmt.Sprintf("key%d", i)}
+		c.put(e)
+		c.charge(e, uint64(100*(i+1)))
+		ents = append(ents, e)
+	}
+	if c.g.Bytes != sumEntryBytes(c) {
+		t.Fatalf("occupancy %d != charged entry bytes %d", c.g.Bytes, sumEntryBytes(c))
+	}
+	// N invalidations must leave the occupancy equal to the bytes of the
+	// surviving entries.
+	for _, i := range []int{1, 3, 4} {
+		c.invalidate(ents[i])
+	}
+	if want := sumEntryBytes(c); c.g.Bytes != want {
+		t.Fatalf("after invalidations: occupancy %d, surviving entries hold %d", c.g.Bytes, want)
+	}
+	if len(c.m) != 3 {
+		t.Fatalf("expected 3 surviving entries, have %d", len(c.m))
+	}
+	// Invalidating a dead entry again must not refund twice.
+	before := c.g.Bytes
+	c.invalidate(ents[1])
+	if c.g.Bytes != before {
+		t.Fatalf("double invalidation changed occupancy: %d -> %d", before, c.g.Bytes)
+	}
+	if c.g.Invalidations != 4 {
+		t.Fatalf("invalidations = %d, want 4", c.g.Invalidations)
+	}
+	// A stale invalidation after a clear must not underflow the fresh gauge.
+	c.clearNow()
+	c.invalidate(ents[0])
+	if c.g.Bytes != 0 {
+		t.Fatalf("post-clear stale invalidation left occupancy %d", c.g.Bytes)
+	}
+}
+
+func TestFaultRunKeepsAccountingConsistent(t *testing.T) {
+	// End to end: a run that invalidates entries via injected faults must
+	// leave the gauge equal to the surviving entries' charged bytes.
+	for _, w := range faultWorkloads {
+		t.Run(w.name, func(t *testing.T) {
+			p := asmOrDie(t, w.src)
+			ij := faults.NewInjector(7, 5,
+				faults.InjBreakChain, faults.InjFlipFork, faults.InjTruncate)
+			s := New(uarch.Default(), p, Options{Memoize: true, Inject: ij})
+			s.Run(0)
+			st := s.Stats()
+			if st.Invalidations == 0 {
+				t.Fatalf("injector produced no invalidations: %+v", st)
+			}
+			if want := sumEntryBytes(s.ac); st.CacheBytes != want {
+				t.Errorf("occupancy %d != surviving entries' bytes %d (stats %+v)",
+					st.CacheBytes, want, st)
+			}
+		})
+	}
+}

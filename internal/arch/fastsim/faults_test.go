@@ -196,7 +196,7 @@ func TestSelfCheckCatchesCorruption(t *testing.T) {
 func TestClearWhenFullOnOverflowingPut(t *testing.T) {
 	// The clear must happen on the put that overflows the cap, not one
 	// put later (and it clears the overflowing entry too).
-	c := newACache(200)
+	c := newACache(200, nil)
 	keys := []string{"aaaa", "bbbb", "cccc", "dddd"}
 	for i, k := range keys {
 		c.put(&centry{key: k})

@@ -7,6 +7,7 @@ import (
 	"facile/internal/isa"
 	"facile/internal/isa/loader"
 	"facile/internal/memocache"
+	"facile/internal/obs"
 )
 
 // Action kinds. Actions are the dynamic basic blocks of the hand-coded
@@ -67,6 +68,7 @@ type centry struct {
 	key   string
 	first *action
 	gen   uint64
+	bytes uint64 // bytes charged against the gauge for this entry
 }
 
 // Approximate byte accounting for Table 2. We charge the in-memory cost of
@@ -84,46 +86,72 @@ const (
 // the cache when it fills"). Byte accounting, the clear policy, and the
 // staleness generation live in memocache.Gauge, shared with internal/rt.
 type acache struct {
-	m map[string]*centry
-	g memocache.Gauge
+	m   map[string]*centry
+	g   memocache.Gauge
+	rec *obs.Recorder
 }
 
-func newACache(capBytes uint64) *acache {
-	return &acache{m: make(map[string]*centry), g: memocache.Gauge{CapBytes: capBytes}}
+func newACache(capBytes uint64, rec *obs.Recorder) *acache {
+	return &acache{
+		m:   make(map[string]*centry),
+		g:   memocache.Gauge{CapBytes: capBytes},
+		rec: rec,
+	}
 }
 
 func (c *acache) get(key string) *centry { return c.m[key] }
 
 func (c *acache) put(e *centry) {
 	e.gen = c.g.Gen
+	if old := c.m[e.key]; old != nil && old != e {
+		// Re-recording a key (e.g. after a corrupt-key recovery re-ran a
+		// step the cache already held) replaces the old entry; refund it or
+		// its bytes stay charged forever.
+		c.g.Refund(old.bytes)
+		old.bytes = 0
+	}
 	c.m[e.key] = e
-	c.charge(uint64(entryBytes + len(e.key)))
+	c.charge(e, uint64(entryBytes+len(e.key)))
 	if c.g.Over() {
 		// Clear when full — on the put that overflowed the cap, including
 		// the entry just installed. In-progress replays detect stale
 		// entries via the generation.
-		c.m = make(map[string]*centry)
-		c.g.Cleared()
+		c.clearNow()
 	}
 }
 
-func (c *acache) charge(n uint64) {
+// charge accounts n freshly memoized bytes to the gauge and, when the bytes
+// belong to a particular entry, to that entry — so a later invalidation can
+// refund exactly what the entry charged.
+func (c *acache) charge(e *centry, n uint64) {
+	if e != nil {
+		e.bytes += n
+	}
 	c.g.Charge(n)
 }
 
-// invalidate discards entry e after a fault. The generation moves so any
+// invalidate discards entry e after a fault, refunding its charged bytes.
+// The refund happens only while e is still the cache's current entry for
+// its key: after a clear the gauge was already reset, and refunding a stale
+// entry would double-count. The generation moves either way so any
 // replay-cached link to e re-validates and misses.
 func (c *acache) invalidate(e *centry) {
+	var refund uint64
 	if cur, ok := c.m[e.key]; ok && cur == e {
 		delete(c.m, e.key)
+		refund = e.bytes
 	}
-	c.g.Invalidated()
+	e.bytes = 0
+	c.g.Invalidated(refund)
+	c.rec.Event(obs.EvInvalidation, refund)
 }
 
 // clearNow discards the whole cache, as clear-when-full would.
 func (c *acache) clearNow() {
+	freed := c.g.Bytes
 	c.m = make(map[string]*centry)
 	c.g.Cleared()
+	c.rec.Event(obs.EvClearWhenFull, freed)
 }
 
 // Stats reports memoization statistics.
@@ -183,6 +211,18 @@ type Options struct {
 	// MaxStepCycles bounds the cycles one slow step may simulate before the
 	// watchdog trips (0 = default 1<<22).
 	MaxStepCycles uint64
+
+	// Obs, when non-nil, receives the memoization lifecycle (recorded /
+	// replayed / miss / fault / invalidation / clear events), a sampled
+	// time series of cache occupancy and slow-vs-fast split, and registry
+	// metrics. Nil disables observability at the cost of one nil check per
+	// event site.
+	Obs *obs.Recorder
+
+	// SampleEvery is the committed-instruction interval between time-series
+	// samples (0 = obs.DefaultSampleEvery). Sampling is progress-driven, so
+	// a run's series is deterministic.
+	SampleEvery uint64
 }
 
 // Sim is the fast-forwarding out-of-order simulator.
@@ -235,6 +275,11 @@ type Sim struct {
 	selfChecks uint64
 	scDiverged uint64
 	lastFault  *faults.Fault
+
+	obs        *obs.Recorder
+	sampler    *obs.Sampler
+	hStepActs  *obs.Histogram // actions replayed per fast step
+	hEntrySize *obs.Histogram // bytes charged per installed entry
 }
 
 // New builds a fast-forwarding simulator for prog.
@@ -257,19 +302,36 @@ func New(cfg uarch.Config, prog *loader.Program, opt Options) *Sim {
 		prog:       prog,
 		eng:        newEngine(cfg, prog, opt.StepCommits),
 		opt:        opt,
-		ac:         newACache(opt.CacheCapBytes),
+		ac:         newACache(opt.CacheCapBytes, opt.Obs),
 		ringAddr:   make([]uint64, ring),
 		ringNPC:    make([]uint64, ring),
 		ringMask:   uint32(ring - 1),
 		engineLive: true,
 		lastNPC:    prog.Entry,
 		scState:    opt.SelfCheckSeed,
+		obs:        opt.Obs,
 	}
 	if s.scState == 0 {
 		s.scState = 0xD1B54A32D192ED03
 	}
 	s.eng.maxStepCycles = opt.MaxStepCycles
+	s.hStepActs = opt.Obs.Registry().Histogram("fastsim.replay_actions_per_step")
+	s.hEntrySize = opt.Obs.Registry().Histogram("fastsim.entry_bytes")
+	s.sampler = obs.NewSampler(opt.Obs, opt.SampleEvery, s.sampleNow)
 	return s
+}
+
+// sampleNow snapshots the quantities the sampled time series tracks. Called
+// only from the engine's own loop, so reads need no synchronization.
+func (s *Sim) sampleNow() obs.Sample {
+	return obs.Sample{
+		Cycles:       s.cycle,
+		Insts:        s.slowInsts + s.fastInsts,
+		SlowInsts:    s.slowInsts,
+		FastInsts:    s.fastInsts,
+		CacheBytes:   s.ac.g.Bytes,
+		CacheEntries: uint64(len(s.ac.m)),
+	}
 }
 
 func (s *Sim) setSlot(slot int, addr, npc uint64) {
@@ -354,7 +416,11 @@ func (s *Sim) shiftSlots(k int) {
 
 // Run simulates until the program halts or maxInsts commit.
 func (s *Sim) Run(maxInsts uint64) uarch.Result {
+	s.obs.Begin("fastsim.run")
+	defer s.obs.End("fastsim.run")
+	defer s.sampler.Flush()
 	for !s.done {
+		s.sampler.Tick(s.slowInsts + s.fastInsts)
 		if maxInsts > 0 && s.slowInsts+s.fastInsts >= maxInsts {
 			break
 		}
@@ -371,6 +437,7 @@ func (s *Sim) Run(maxInsts uint64) uarch.Result {
 						// treat it as the key miss it now is.
 						if !s.engineLive {
 							s.keyMisses++
+							s.obs.Event(obs.EvKeyMiss, uint64(len(key)))
 							s.restoreEngine()
 						}
 						goto slow
@@ -396,6 +463,7 @@ func (s *Sim) Run(maxInsts uint64) uarch.Result {
 				}
 			} else if !s.engineLive {
 				s.keyMisses++
+				s.obs.Event(obs.EvKeyMiss, uint64(len(key)))
 				s.restoreEngine()
 			}
 		}
@@ -469,6 +537,7 @@ func (s *Sim) drainReset() {
 func (s *Sim) fault(kind faults.Kind, detail string) {
 	s.faultCount++
 	s.lastFault = faults.New(kind, "fastsim", detail)
+	s.obs.EventDetail(obs.EvFault, 0, kind.String())
 }
 
 // LastFault returns the most recently recovered fault, if any.
@@ -510,7 +579,7 @@ func (s *Sim) runStepSlow() {
 		return
 	}
 	ent := &centry{key: s.eng.snapshotKey()}
-	rec := &recorder{s: s, tail: &ent.first, lastCycle: s.eng.cycle}
+	rec := &recorder{s: s, ent: ent, tail: &ent.first, lastCycle: s.eng.cycle}
 	s.eng.runStep(rec)
 	s.finishSlowStep(rec, ent)
 }
@@ -528,6 +597,8 @@ func (s *Sim) finishSlowStep(rec *recorder, ent *centry) {
 	}
 	if ent != nil {
 		s.ac.put(ent)
+		s.obs.Event(obs.EvStepRecorded, ent.bytes)
+		s.hEntrySize.Observe(ent.bytes)
 	}
 }
 
@@ -535,6 +606,7 @@ func (s *Sim) finishSlowStep(rec *recorder, ent *centry) {
 
 type recorder struct {
 	s         *Sim
+	ent       *centry // entry the recorded bytes are charged to
 	tail      **action
 	lastCycle uint64
 }
@@ -544,7 +616,7 @@ func (r *recorder) emit(a *action) {
 	r.lastCycle = r.s.eng.cycle
 	*r.tail = a
 	r.tail = &a.next
-	r.s.ac.charge(actionBytes)
+	r.s.ac.charge(r.ent, actionBytes)
 }
 
 // emitResult records a dynamic-result fork for value v on the (just
@@ -552,7 +624,7 @@ func (r *recorder) emit(a *action) {
 func (r *recorder) emitResult(a *action, v uint64) {
 	a.forks = append(a.forks, fork{val: v})
 	r.tail = &a.forks[len(a.forks)-1].next
-	r.s.ac.charge(forkBytes)
+	r.s.ac.charge(r.ent, forkBytes)
 }
 
 func (r *recorder) exec(slot int, pc uint64, in isa.Inst, cls isa.Class) (uint64, uint64) {

@@ -5,6 +5,7 @@ import (
 
 	"facile/internal/faults"
 	"facile/internal/isa"
+	"facile/internal/obs"
 )
 
 // replayFrom is the fast/residual simulator: it walks the recorded action
@@ -132,6 +133,8 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 			// the next entry (the paper's INDEX action follows the link
 			// rather than doing a full cache lookup).
 			s.replays++
+			s.obs.Event(obs.EvStepReplayed, acts)
+			s.hStepActs.Observe(acts)
 			s.curKey = a.nextKey
 			s.startBase = s.base
 			s.startCycle = s.cycle
@@ -151,6 +154,7 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 				le := s.ac.get(a.nextKey)
 				if le == nil {
 					s.keyMisses++
+					s.obs.Event(obs.EvKeyMiss, uint64(len(a.nextKey)))
 					return // boundary miss: Run restores the slow simulator
 				}
 				a.link = le
@@ -177,6 +181,7 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 func (s *Sim) miss(a *action, e *centry) {
 	s.misses++
 	s.steps++
+	s.obs.Event(obs.EvMidStepMiss, s.ops)
 	v := s.path[len(s.path)-1]
 	if !s.restoreEngine() {
 		// Corrupt step key: recovery alignment is impossible. The drain
@@ -186,8 +191,8 @@ func (s *Sim) miss(a *action, e *centry) {
 		return
 	}
 	a.forks = append(a.forks, fork{val: v})
-	s.ac.charge(forkBytes)
-	rec := &recorder{s: s, tail: &a.forks[len(a.forks)-1].next}
+	s.ac.charge(e, forkBytes)
+	rec := &recorder{s: s, ent: e, tail: &a.forks[len(a.forks)-1].next}
 	rv := &recoverer{s: s, path: s.path, rec: rec, live: rec}
 	s.eng.runStep(rv)
 	if rv.overrun || !rv.active {

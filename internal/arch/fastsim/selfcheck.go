@@ -5,6 +5,7 @@ import (
 
 	"facile/internal/faults"
 	"facile/internal/isa"
+	"facile/internal/obs"
 )
 
 // Self-check mode: a sampled fraction of replayable steps is run on the
@@ -82,9 +83,10 @@ func (c *checker) forkOn(a *action, v uint64) {
 	}
 	s := c.s
 	s.misses++
+	s.obs.Event(obs.EvMidStepMiss, 0)
 	a.forks = append(a.forks, fork{val: v})
-	s.ac.charge(forkBytes)
-	c.rec = &recorder{s: s, tail: &a.forks[len(a.forks)-1].next, lastCycle: s.eng.cycle}
+	s.ac.charge(c.ent, forkBytes)
+	c.rec = &recorder{s: s, ent: c.ent, tail: &a.forks[len(a.forks)-1].next, lastCycle: s.eng.cycle}
 	c.mode = scRecord
 }
 

@@ -14,6 +14,7 @@ import (
 	"facile/internal/isa"
 	"facile/internal/isa/loader"
 	"facile/internal/mem"
+	"facile/internal/obs"
 )
 
 // State is the complete architectural state of an SVR32 machine.
@@ -31,6 +32,24 @@ type State struct {
 
 	// InstCount counts architecturally retired instructions.
 	InstCount uint64
+
+	// sampler is transient observability state: it is not architectural,
+	// so SaveState/LoadState skip it and Clone drops it (its snapshot
+	// closure captures this State, not the clone).
+	sampler *obs.Sampler
+}
+
+// SetObs attaches an observability recorder: RunOn emits a sampled time
+// series of retired instructions on the recorder's track. The functional
+// simulator has no timing model or cache, so only the instruction counters
+// are meaningful (everything is "slow" by definition).
+func (st *State) SetObs(rec *obs.Recorder, sampleEvery uint64) {
+	st.sampler = obs.NewSampler(rec, sampleEvery, func() obs.Sample {
+		return obs.Sample{
+			Insts:     st.InstCount,
+			SlowInsts: st.InstCount,
+		}
+	})
 }
 
 // NewState returns a machine state with prog loaded, PC at the entry point,

@@ -60,6 +60,7 @@ func (st *State) Clone() *State {
 	c := *st
 	c.Mem = st.Mem.Clone()
 	c.Output = append([]byte(nil), st.Output...)
+	c.sampler = nil // the sampler's snapshot closure captures st, not c
 	return &c
 }
 
@@ -76,7 +77,9 @@ func (st *State) Hash() string {
 // maxInsts (a cumulative budget, so checkpointed runs chunk cleanly;
 // maxInsts == 0 means no limit).
 func (st *State) RunOn(prog *loader.Program, maxInsts uint64) error {
+	defer st.sampler.Flush()
 	for !st.Halted {
+		st.sampler.Tick(st.InstCount)
 		if maxInsts > 0 && st.InstCount >= maxInsts {
 			return nil
 		}

@@ -19,6 +19,7 @@ import (
 	"facile/internal/arch/uarch"
 	"facile/internal/isa"
 	"facile/internal/isa/loader"
+	"facile/internal/obs"
 )
 
 type entryState uint8
@@ -62,6 +63,24 @@ type Simulator struct {
 	cycle     uint64
 	committed uint64
 	haltSeen  bool
+
+	obsRec  *obs.Recorder
+	sampler *obs.Sampler
+}
+
+// SetObs attaches an observability recorder: the Run loop emits a sampled
+// time series of committed instructions and IPC on the recorder's track.
+// Every instruction here is slow-simulated (ooo has no memoization), so the
+// slow/fast split is all-slow.
+func (s *Simulator) SetObs(rec *obs.Recorder, sampleEvery uint64) {
+	s.obsRec = rec
+	s.sampler = obs.NewSampler(rec, sampleEvery, func() obs.Sample {
+		return obs.Sample{
+			Cycles:    s.cycle,
+			Insts:     s.committed,
+			SlowInsts: s.committed,
+		}
+	})
 }
 
 // New builds a simulator for prog with configuration cfg.
@@ -87,7 +106,11 @@ func (s *Simulator) Cycle() uint64 { return s.cycle }
 // Run simulates until the program halts or maxInsts instructions commit
 // (maxInsts <= 0 means unlimited).
 func (s *Simulator) Run(maxInsts uint64) uarch.Result {
+	s.obsRec.Begin("ooo.run")
+	defer s.obsRec.End("ooo.run")
+	defer s.sampler.Flush()
 	for !s.haltSeen {
+		s.sampler.Tick(s.committed)
 		if maxInsts > 0 && s.committed >= maxInsts {
 			break
 		}

@@ -19,6 +19,7 @@ import (
 	"facile/internal/arch/uarch"
 	"facile/internal/facsim"
 	"facile/internal/parsim"
+	"facile/internal/rt"
 	"facile/internal/workloads"
 )
 
@@ -60,6 +61,59 @@ type Row struct {
 	Clears     uint64  `json:"clears"`
 
 	WallSec float64 `json:"wall_sec"` // host wall-clock spent on this row (all configs)
+
+	// Metrics is the full memoization-counter snapshot for the memoizing
+	// configuration of this row (nil for rows without one). It rides along
+	// in the -json report so regressions in cache behaviour are visible
+	// without rerunning under -debug-addr.
+	Metrics *RowMetrics `json:"metrics,omitempty"`
+}
+
+// RowMetrics is the per-row snapshot of the memoizing engine's counters,
+// in the same gauge-vs-counter terms the observability layer uses:
+// CacheBytes/CacheEntries are point-in-time gauges at end of run,
+// everything else is a monotonic counter.
+type RowMetrics struct {
+	SlowSteps     uint64 `json:"slow_steps"`
+	Replays       uint64 `json:"replays"`
+	Misses        uint64 `json:"misses"`
+	KeyMisses     uint64 `json:"key_misses"`
+	CacheBytes    uint64 `json:"cache_bytes"`
+	CacheEntries  uint64 `json:"cache_entries"`
+	CacheClears   uint64 `json:"cache_clears"`
+	Faults        uint64 `json:"faults"`
+	Invalidations uint64 `json:"invalidations"`
+	DegradedSteps uint64 `json:"degraded_steps"`
+}
+
+func fastsimMetrics(st fastsim.Stats) *RowMetrics {
+	return &RowMetrics{
+		SlowSteps:     st.Steps,
+		Replays:       st.Replays,
+		Misses:        st.Misses,
+		KeyMisses:     st.KeyMisses,
+		CacheBytes:    st.CacheBytes,
+		CacheEntries:  st.CacheEntries,
+		CacheClears:   st.CacheClears,
+		Faults:        st.Faults,
+		Invalidations: st.Invalidations,
+		DegradedSteps: st.DegradedSteps,
+	}
+}
+
+func rtMetrics(st rt.Stats) *RowMetrics {
+	return &RowMetrics{
+		SlowSteps:     st.SlowSteps,
+		Replays:       st.Replays,
+		Misses:        st.Misses,
+		KeyMisses:     st.KeyMisses,
+		CacheBytes:    st.CacheBytes,
+		CacheEntries:  st.CacheEntries,
+		CacheClears:   st.CacheClears,
+		Faults:        st.Faults,
+		Invalidations: st.Invalidations,
+		DegradedSteps: st.DegradedSteps,
+	}
 }
 
 func mips(insts uint64, d time.Duration) float64 {
@@ -136,6 +190,7 @@ func Figure11(cfg Config) ([]Row, error) {
 			Misses:     st.Misses,
 			Clears:     st.CacheClears,
 			WallSec:    (dBase + dPlain + dMemo).Seconds(),
+			Metrics:    fastsimMetrics(st),
 		}
 		return nil
 	})
@@ -168,6 +223,7 @@ func Table2(cfg Config) ([]Row, error) {
 			MemoBytes:  st.TotalMemoBytes,
 			Misses:     st.Misses,
 			WallSec:    time.Since(t0).Seconds(),
+			Metrics:    fastsimMetrics(st),
 		}
 		return nil
 	})
@@ -242,6 +298,7 @@ func Figure12(cfg Config) ([]Row, error) {
 			Misses:     st.Misses,
 			Clears:     st.CacheClears,
 			WallSec:    (dBase + dPlain + dMemo).Seconds(),
+			Metrics:    rtMetrics(st),
 		}
 		return nil
 	})

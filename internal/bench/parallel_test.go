@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // stripTiming zeroes the host-timing fields, leaving only the
 // deterministic row content.
@@ -35,7 +38,9 @@ func TestParallelRowsMatchSequential(t *testing.T) {
 			t.Fatalf("workers=%d: %d rows, want %d", workers, len(b), len(a))
 		}
 		for i := range a {
-			if a[i] != b[i] {
+			// DeepEqual, not ==: Metrics is a pointer whose pointee (not
+			// identity) must match across worker counts.
+			if !reflect.DeepEqual(a[i], b[i]) {
 				t.Fatalf("workers=%d: row %d differs\nseq: %+v\npar: %+v", workers, i, a[i], b[i])
 			}
 		}

@@ -20,6 +20,7 @@ import (
 	"facile/internal/isa"
 	"facile/internal/isa/loader"
 	"facile/internal/mem"
+	"facile/internal/obs"
 	"facile/internal/rt"
 )
 
@@ -266,6 +267,12 @@ type Options struct {
 	SelfCheck     float64
 	SelfCheckSeed uint64
 	Inject        *faults.Injector
+
+	// Obs, when non-nil, receives the underlying rt machine's memoization
+	// lifecycle and sampled time series (see rt.Options.Obs). SampleEvery
+	// is the sampling interval in executed operations (0 = default).
+	Obs         *obs.Recorder
+	SampleEvery uint64
 }
 
 func (o Options) rtOptions() rt.Options {
@@ -275,6 +282,8 @@ func (o Options) rtOptions() rt.Options {
 		SelfCheck:     o.SelfCheck,
 		SelfCheckSeed: o.SelfCheckSeed,
 		Inject:        o.Inject,
+		Obs:           o.Obs,
+		SampleEvery:   o.SampleEvery,
 	}
 }
 

@@ -46,11 +46,21 @@ func (g *Gauge) Cleared() {
 	g.Clears++
 }
 
-// Invalidated records a single-entry fault invalidation. The entry's bytes
-// remain charged (per-entry sizes are not tracked; the next clear-when-full
-// resets the gauge), but the generation moves so cached links to the dead
-// entry are re-validated and miss.
-func (g *Gauge) Invalidated() {
+// Refund removes n bytes from the occupancy (the monotonic total is
+// unaffected). Clamped so stale refunds after a clear cannot underflow.
+func (g *Gauge) Refund(n uint64) {
+	if n > g.Bytes {
+		n = g.Bytes
+	}
+	g.Bytes -= n
+}
+
+// Invalidated records a single-entry fault invalidation: the dead entry's
+// bytes are refunded from the occupancy and the generation moves so cached
+// links to the entry are re-validated and miss. Callers pass 0 when the
+// entry was no longer charged (e.g. a clear already reset the gauge).
+func (g *Gauge) Invalidated(entryBytes uint64) {
+	g.Refund(entryBytes)
 	g.Gen++
 	g.Invalidations++
 }

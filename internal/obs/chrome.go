@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace_event export: the recorder's retained events, sampled time
+// series, and per-kind totals serialized in the Trace Event Format that
+// Perfetto and chrome://tracing load. Each track (engine phase, parsim
+// interval worker) becomes one named thread; lifecycle events render as
+// instants, phases as begin/end spans, and the sampled series as counter
+// tracks. A final "memo.totals" counter carries the exact per-kind event
+// totals, which equal the run's final Stats even when the bounded ring has
+// dropped old events.
+
+// chromeEvent is one trace_event record. Fields follow the format's JSON
+// names; unused fields are omitted.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`    // instant-event scope
+	Cat   string         `json:"cat,omitempty"`  // event category
+	Args  map[string]any `json:"args,omitempty"` // payload
+}
+
+const chromePID = 1
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace serializes the recorder's trace as a JSON object with a
+// "traceEvents" array. Events are sorted by timestamp, so timestamps are
+// monotonic within every track.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	events := r.Events()
+	samples := r.Samples()
+
+	// Assign stable thread IDs per track, in order of first appearance.
+	tids := map[string]int{}
+	tid := func(track string) int {
+		id, ok := tids[track]
+		if !ok {
+			id = len(tids) + 1
+			tids[track] = id
+		}
+		return id
+	}
+	var out []chromeEvent
+	var last time.Duration
+	for _, ev := range events {
+		if ev.TS > last {
+			last = ev.TS
+		}
+		ce := chromeEvent{
+			TS:   us(ev.TS),
+			PID:  chromePID,
+			TID:  tid(ev.Track),
+			Cat:  "memo",
+			Args: map[string]any{"arg": ev.Arg, "seq": ev.Seq},
+		}
+		if ev.Detail != "" {
+			ce.Args["detail"] = ev.Detail
+		}
+		switch ev.Kind {
+		case EvPhaseBegin:
+			ce.Name, ce.Phase = ev.Detail, "B"
+		case EvPhaseEnd:
+			ce.Name, ce.Phase = ev.Detail, "E"
+		default:
+			ce.Name, ce.Phase, ce.Scope = ev.Kind.String(), "i", "t"
+		}
+		out = append(out, ce)
+	}
+	for _, s := range samples {
+		if s.TS > last {
+			last = s.TS
+		}
+		id := tid(s.Track)
+		out = append(out,
+			chromeEvent{
+				Name: s.Track + ".cache", Phase: "C", TS: us(s.TS), PID: chromePID, TID: id,
+				Args: map[string]any{"bytes": s.CacheBytes, "entries": s.CacheEntries},
+			},
+			chromeEvent{
+				Name: s.Track + ".split", Phase: "C", TS: us(s.TS), PID: chromePID, TID: id,
+				Args: map[string]any{"slow": s.SlowInsts, "fast": s.FastInsts},
+			},
+			chromeEvent{
+				Name: s.Track + ".ipc", Phase: "C", TS: us(s.TS), PID: chromePID, TID: id,
+				Args: map[string]any{"ipc": s.IPC},
+			},
+		)
+	}
+	// Exact lifecycle totals (ring overflow never affects these).
+	totals := map[string]any{}
+	for k, v := range r.Totals() {
+		totals[k] = v
+	}
+	totals["dropped_events"] = r.Dropped()
+	out = append(out, chromeEvent{
+		Name: "memo.totals", Phase: "C", TS: us(last), PID: chromePID, TID: 0, Args: totals,
+	})
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+
+	// Thread-name metadata rows label each track in the Perfetto UI.
+	meta := make([]chromeEvent, 0, len(tids))
+	for track, id := range tids {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: chromePID, TID: id,
+			Args: map[string]any{"name": track},
+		})
+	}
+	sort.Slice(meta, func(i, j int) bool { return meta[i].TID < meta[j].TID })
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{append(meta, out...), "ms"})
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Live debug endpoint: expvar-style JSON metrics plus net/http/pprof,
+// served while a simulation is running. Everything the handler reads is
+// behind the recorder's atomics/mutex, so serving concurrently with the
+// engines is race-free.
+//
+//	/debug/vars        full metrics dump (registry, totals, samples, events)
+//	/debug/metrics     registry only
+//	/debug/pprof/...   the standard Go profiling endpoints
+
+// Handler returns the debug mux for a recorder.
+func Handler(r *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeVars(w, r)
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Registry().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("facile debug endpoint\n\n/debug/vars\n/debug/metrics\n/debug/pprof/\n"))
+	})
+	return mux
+}
+
+type varsJSON struct {
+	Uptime  string            `json:"uptime"`
+	Totals  map[string]uint64 `json:"event_totals"`
+	Dropped uint64            `json:"dropped_events"`
+	Samples []Sample          `json:"samples"`
+	Events  []eventJSON       `json:"events"`
+	Metrics json.RawMessage   `json:"metrics"`
+}
+
+type eventJSON struct {
+	Seq    uint64  `json:"seq"`
+	TSMs   float64 `json:"ts_ms"`
+	Track  string  `json:"track"`
+	Kind   string  `json:"kind"`
+	Arg    uint64  `json:"arg"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+func writeVars(w http.ResponseWriter, r *Recorder) {
+	var v varsJSON
+	if r != nil {
+		v.Uptime = time.Since(r.c.start).String()
+		v.Totals = r.Totals()
+		v.Dropped = r.Dropped()
+		v.Samples = r.Samples()
+		for _, ev := range r.Events() {
+			v.Events = append(v.Events, eventJSON{
+				Seq:    ev.Seq,
+				TSMs:   float64(ev.TS.Nanoseconds()) / 1e6,
+				Track:  ev.Track,
+				Kind:   ev.Kind.String(),
+				Arg:    ev.Arg,
+				Detail: ev.Detail,
+			})
+		}
+		var buf jsonBuffer
+		_ = r.Registry().WriteJSON(&buf)
+		v.Metrics = json.RawMessage(buf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type jsonBuffer []byte
+
+func (b *jsonBuffer) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+// Serve starts the debug endpoint on addr (e.g. "localhost:6060"; an addr
+// ending in ":0" picks a free port). It returns the server and the bound
+// address; the caller closes the server when the run ends.
+func Serve(addr string, r *Recorder) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestDebugEndpoints(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.Event(EvStepReplayed, 3)
+	r.EventDetail(EvFault, 0, "broken-chain")
+	r.Sample(Sample{Insts: 10, Cycles: 20})
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	var vars struct {
+		EventTotals map[string]uint64 `json:"event_totals"`
+		Samples     []Sample          `json:"samples"`
+		Events      []struct {
+			Kind   string `json:"kind"`
+			Detail string `json:"detail"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.EventTotals["step-replayed"] != 1 || vars.EventTotals["fault"] != 1 {
+		t.Fatalf("event_totals = %v", vars.EventTotals)
+	}
+	if len(vars.Samples) != 1 || vars.Samples[0].Insts != 10 {
+		t.Fatalf("samples = %+v", vars.Samples)
+	}
+	found := false
+	for _, ev := range vars.Events {
+		if ev.Kind == "fault" && ev.Detail == "broken-chain" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fault event missing from /debug/vars events: %+v", vars.Events)
+	}
+
+	var metrics struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(get("/debug/metrics"), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Counters["events.step-replayed"] != 1 {
+		t.Fatalf("metrics counters = %v", metrics.Counters)
+	}
+
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Fatal("pprof cmdline empty")
+	}
+}
+
+func TestServeAndShutdown(t *testing.T) {
+	r := NewRecorder(Config{})
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

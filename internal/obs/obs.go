@@ -1,0 +1,264 @@
+// Package obs is the observability layer for the memoizing simulators: a
+// dependency-free metrics registry (atomic counters, gauges, power-of-two
+// bucket histograms), a bounded in-memory trace of the memoization
+// lifecycle (step recorded / replayed / key miss / mid-step miss / fault /
+// invalidation / clear-when-full), and a sampled time series of cache
+// occupancy, slow-vs-fast instruction split, and IPC.
+//
+// The paper's headline results are statements about exactly this lifecycle
+// (Table 2, Figures 6–8: slow/fast split, action-cache occupancy,
+// clear-when-full events); obs makes them visible while a run is in flight
+// instead of only as end-of-run Stats structs. Two export paths serve the
+// data: Chrome trace_event JSON (chrome.go, loadable in Perfetto) and a
+// live debug HTTP endpoint (http.go, expvar-style JSON plus pprof).
+//
+// Everything here is safe for concurrent use; engines hold a *Recorder and
+// every Recorder method is a no-op on a nil receiver, so instrumentation
+// costs one predictable-branch nil check when observability is off.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value (occupancy, entry counts).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is one bucket per possible bit length of a uint64 (bucket i
+// holds values v with bits.Len64(v) == i, i.e. power-of-two ranges), plus
+// bucket 0 for zero.
+const histBuckets = 65
+
+// Histogram is a power-of-two-bucket histogram: Observe(v) lands v in
+// bucket bits.Len64(v), so bucket i covers [2^(i-1), 2^i). Buckets, count,
+// and sum are all atomic; a concurrent snapshot is approximate (buckets may
+// be mid-update) but never torn per field.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Buckets returns the non-empty buckets as (low-bound, count) pairs in
+// ascending order. Bucket with low bound 0 holds observed zeros.
+func (h *Histogram) Buckets() []BucketCount {
+	if h == nil {
+		return nil
+	}
+	var out []BucketCount
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = uint64(1) << (i - 1)
+		}
+		out = append(out, BucketCount{Low: lo, Count: n})
+	}
+	return out
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	Low   uint64 `json:"low"`
+	Count uint64 `json:"count"`
+}
+
+// Registry is a named collection of metrics. Lookup creates on first use;
+// the returned metric pointers are stable and lock-free to update.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// histJSON is the JSON shape of one histogram.
+type histJSON struct {
+	Count   uint64        `json:"count"`
+	Sum     uint64        `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// WriteJSON dumps every metric as a single JSON object, expvar-style:
+// {"counters": {...}, "gauges": {...}, "histograms": {...}}. Keys are
+// sorted so the output is diff-friendly.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	r.mu.Lock()
+	counters := make(map[string]uint64, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c.Load()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g.Load()
+	}
+	hists := make(map[string]histJSON, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = histJSON{Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets()}
+	}
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Counters   map[string]uint64   `json:"counters"`
+		Gauges     map[string]int64    `json:"gauges"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}{counters, gauges, hists})
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one counter, gauge, and histogram from
+// many goroutines (run under -race) and checks the final values are exact.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 8
+	const perG = 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("c")
+			ga := reg.Gauge("g")
+			h := reg.Histogram("h")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c").Load(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.Gauge("g").Load(); got != goroutines*perG {
+		t.Errorf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	h := reg.Histogram("h")
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	var inBuckets uint64
+	for _, b := range h.Buckets() {
+		inBuckets += b.Count
+	}
+	if inBuckets != h.Count() {
+		t.Errorf("bucket sum %d != count %d", inBuckets, h.Count())
+	}
+	wantSum := uint64(goroutines) * (perG * (perG - 1) / 2)
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %d, want %d", got, wantSum)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	// 0 -> bucket low 0; 1 -> low 1; 2,3 -> low 2; 4 -> low 4; 1000 -> low 512.
+	want := []BucketCount{{0, 1}, {1, 1}, {2, 2}, {4, 1}, {512, 1}}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNilSafety exercises every exported method on nil receivers: the
+// engines instrument unconditionally and rely on nil being a free no-op.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	r.Event(EvStepReplayed, 1)
+	r.EventDetail(EvFault, 0, "x")
+	r.Begin("p")
+	r.End("p")
+	r.Sample(Sample{})
+	if r.Count(EvStepReplayed) != 0 || r.Totals() != nil || r.Dropped() != 0 {
+		t.Fatal("nil recorder reported state")
+	}
+	if r.Events() != nil || r.Samples() != nil || r.Registry() != nil {
+		t.Fatal("nil recorder returned data")
+	}
+	if r.WithTrack("t") != nil {
+		t.Fatal("nil WithTrack should stay nil")
+	}
+	var reg *Registry
+	reg.Counter("c").Inc()
+	reg.Gauge("g").Set(1)
+	reg.Histogram("h").Observe(1)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(nil, 0, nil)
+	if s != nil {
+		t.Fatal("NewSampler(nil recorder) should be nil")
+	}
+	s.Tick(1 << 20)
+	s.Flush()
+	var w bytes.Buffer
+	if err := (*Recorder)(nil).WriteChromeTrace(&w); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(w.Bytes()) {
+		t.Fatalf("nil trace is not valid JSON: %s", w.String())
+	}
+}
+
+// TestRingOverflowKeepsNewest is the bounded-trace contract: when more
+// events arrive than the ring holds, the newest survive, Dropped counts the
+// overwritten ones, and per-kind totals stay exact.
+func TestRingOverflowKeepsNewest(t *testing.T) {
+	r := NewRecorder(Config{RingSize: 8})
+	const total = 20
+	for i := 0; i < total; i++ {
+		r.Event(EvStepReplayed, uint64(i))
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(total - 8 + i); ev.Arg != want || ev.Seq != want {
+			t.Fatalf("event %d = seq %d arg %d, want %d (oldest-first, newest kept)",
+				i, ev.Seq, ev.Arg, want)
+		}
+	}
+	if got := r.Dropped(); got != total-8 {
+		t.Fatalf("dropped = %d, want %d", got, total-8)
+	}
+	if got := r.Count(EvStepReplayed); got != total {
+		t.Fatalf("total = %d, want %d (totals must survive overwrite)", got, total)
+	}
+	if got := r.Registry().Counter("events.step-replayed").Load(); got != total {
+		t.Fatalf("registry mirror = %d, want %d", got, total)
+	}
+}
+
+func TestSampleCapKeepsNewest(t *testing.T) {
+	r := NewRecorder(Config{SampleCap: 4})
+	for i := 0; i < 10; i++ {
+		r.Sample(Sample{Insts: uint64(i)})
+	}
+	got := r.Samples()
+	if len(got) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := uint64(6 + i); s.Insts != want {
+			t.Fatalf("sample %d has Insts %d, want %d", i, s.Insts, want)
+		}
+	}
+}
+
+// TestRecorderConcurrent emits events and samples from many goroutines on
+// several tracks while readers snapshot state; meaningful under -race.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(Config{RingSize: 64, SampleCap: 64})
+	const writers = 4
+	const perW = 5_000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := r.WithTrack(fmt.Sprintf("w%d", w))
+			for i := 0; i < perW; i++ {
+				tr.Event(EvStepReplayed, uint64(i))
+				if i%100 == 0 {
+					tr.Sample(Sample{Insts: uint64(i), Cycles: uint64(i + 1)})
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			r.Events()
+			r.Samples()
+			r.Totals()
+			var buf bytes.Buffer
+			_ = r.Registry().WriteJSON(&buf)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Count(EvStepReplayed); got != writers*perW {
+		t.Fatalf("total = %d, want %d", got, writers*perW)
+	}
+	seen := map[uint64]bool{}
+	for _, ev := range r.Events() {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate sequence number %d in retained trace", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+// chromeFile mirrors the trace_event container for decoding in tests.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name  string          `json:"name"`
+		Phase string          `json:"ph"`
+		TS    float64         `json:"ts"`
+		PID   int             `json:"pid"`
+		TID   int             `json:"tid"`
+		Cat   string          `json:"cat,omitempty"`
+		Args  json.RawMessage `json:"args,omitempty"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestChromeTraceShape checks the exported trace is valid JSON, has one
+// thread per track, and timestamps are monotonic within each track.
+func TestChromeTraceShape(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.Begin("run")
+	for i := 0; i < 5; i++ {
+		r.Event(EvStepReplayed, uint64(i))
+		r.Sample(Sample{Insts: uint64(i * 10), Cycles: uint64(i*10 + 5), CacheBytes: 100})
+	}
+	w := r.WithTrack("interval-1")
+	w.Event(EvMidStepMiss, 7)
+	w.Event(EvClearWhenFull, 1)
+	r.End("run")
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("trace is not valid JSON: %.200s", buf.String())
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+
+	names := map[int]string{}
+	lastTS := map[int]float64{}
+	sawTotals := false
+	for _, ev := range f.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			var meta struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(ev.Args, &meta); err != nil {
+				t.Fatal(err)
+			}
+			names[ev.TID] = meta.Name
+			continue
+		case "i", "B", "E", "C":
+		default:
+			t.Fatalf("unexpected phase %q", ev.Phase)
+		}
+		if ev.Name == "memo.totals" {
+			sawTotals = true
+			var totals map[string]uint64
+			if err := json.Unmarshal(ev.Args, &totals); err != nil {
+				t.Fatal(err)
+			}
+			if totals["step-replayed"] != 5 || totals["mid-step-miss"] != 1 ||
+				totals["clear-when-full"] != 1 {
+				t.Fatalf("memo.totals = %v", totals)
+			}
+		}
+		if prev, ok := lastTS[ev.TID]; ok && ev.TS < prev {
+			t.Fatalf("timestamps regress on tid %d: %f after %f (%s)",
+				ev.TID, ev.TS, prev, ev.Name)
+		}
+		lastTS[ev.TID] = ev.TS
+	}
+	if !sawTotals {
+		t.Fatal("no memo.totals counter event")
+	}
+	wantTracks := map[string]bool{"main": false, "interval-1": false}
+	for _, n := range names {
+		if _, ok := wantTracks[n]; ok {
+			wantTracks[n] = true
+		}
+	}
+	for track, seen := range wantTracks {
+		if !seen {
+			t.Fatalf("no thread_name metadata for track %q (have %v)", track, names)
+		}
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+}
+
+func TestSamplerBoundaries(t *testing.T) {
+	r := NewRecorder(Config{})
+	var insts uint64
+	s := NewSampler(r, 100, func() Sample { return Sample{Insts: insts} })
+	for insts = 0; insts < 1000; insts += 7 {
+		s.Tick(insts)
+	}
+	n := len(r.Samples())
+	// Crossings of 100, 200, ... 900: at most one sample per boundary.
+	if n < 5 || n > 10 {
+		t.Fatalf("sampled %d points for 9 boundaries", n)
+	}
+	s.Flush()
+	if got := len(r.Samples()); got != n+1 {
+		t.Fatalf("flush added %d samples, want 1", got-n)
+	}
+}
+
+func TestRegistryWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Add(3)
+	reg.Gauge("b").Set(-2)
+	reg.Histogram("h").Observe(9)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Counters   map[string]uint64   `json:"counters"`
+		Gauges     map[string]int64    `json:"gauges"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Counters["a"] != 3 || out.Gauges["b"] != -2 || out.Histograms["h"].Count != 1 {
+		t.Fatalf("round-trip mismatch: %+v", out)
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+// Sampler turns a stream of simulated progress into a periodic time
+// series: every time progress crosses the next `every` boundary, the
+// snapshot callback runs and its Sample is appended to the recorder.
+//
+// Sampling is driven by simulated progress (committed instructions, steps)
+// rather than wall-clock time, so the series is deterministic for a given
+// run and costs nothing when observability is off (a nil Sampler ticks for
+// free). Engines call Tick once per outer loop iteration and Flush once at
+// the end of a run so the final point is always present.
+type Sampler struct {
+	rec   *Recorder
+	every uint64
+	next  uint64
+	snap  func() Sample
+}
+
+// DefaultSampleEvery is the default progress interval between samples.
+const DefaultSampleEvery = 1 << 16
+
+// NewSampler builds a sampler appending to rec every `every` units of
+// progress (0 = DefaultSampleEvery). Returns nil when rec is nil, so
+// callers can Tick unconditionally.
+func NewSampler(rec *Recorder, every uint64, snap func() Sample) *Sampler {
+	if rec == nil {
+		return nil
+	}
+	if every == 0 {
+		every = DefaultSampleEvery
+	}
+	return &Sampler{rec: rec, every: every, next: every, snap: snap}
+}
+
+// Tick records a sample if progress has crossed the next boundary.
+func (s *Sampler) Tick(progress uint64) {
+	if s == nil || progress < s.next {
+		return
+	}
+	s.next = progress + s.every
+	s.rec.Sample(s.snap())
+}
+
+// Flush unconditionally records a final sample.
+func (s *Sampler) Flush() {
+	if s == nil {
+		return
+	}
+	s.rec.Sample(s.snap())
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies one memoization-lifecycle event.
+type EventKind uint8
+
+// Lifecycle event kinds. The first seven mirror the engines' Stats
+// counters one-for-one: every increment of the corresponding counter emits
+// exactly one event, so a trace's per-kind totals equal the run's final
+// Stats.
+const (
+	// EvStepRecorded: a slow step finished and its action entry was
+	// installed in the specialized action cache.
+	EvStepRecorded EventKind = iota
+	// EvStepReplayed: the fast simulator replayed one step from the cache.
+	EvStepReplayed
+	// EvKeyMiss: a step-boundary cache lookup missed.
+	EvKeyMiss
+	// EvMidStepMiss: a dynamic result had no recorded successor mid-step
+	// (the paper's recovery-stack protocol fired).
+	EvMidStepMiss
+	// EvFault: a structural invariant violation was detected and recovered.
+	EvFault
+	// EvInvalidation: a cache entry was discarded by fault recovery.
+	EvInvalidation
+	// EvClearWhenFull: the whole action cache was cleared (capacity policy
+	// or injected).
+	EvClearWhenFull
+	// EvPhaseBegin/EvPhaseEnd bracket an engine phase or a parsim interval
+	// worker's slice (Detail names the phase).
+	EvPhaseBegin
+	EvPhaseEnd
+
+	NumEventKinds
+)
+
+var eventNames = [NumEventKinds]string{
+	"step-recorded",
+	"step-replayed",
+	"key-miss",
+	"mid-step-miss",
+	"fault",
+	"invalidation",
+	"clear-when-full",
+	"phase-begin",
+	"phase-end",
+}
+
+func (k EventKind) String() string {
+	if k < NumEventKinds {
+		return eventNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one recorded lifecycle event.
+type Event struct {
+	Seq    uint64        // global sequence number (monotonic across tracks)
+	TS     time.Duration // host time since the recorder started
+	Track  string        // engine phase / worker the event belongs to
+	Kind   EventKind
+	Arg    uint64 // kind-specific quantity (bytes, step count, ...)
+	Detail string // kind-specific annotation (fault kind, phase name)
+}
+
+// Sample is one point of the sampled time series. Field meaning follows
+// the emitting engine: for the target-ISA engines Insts/Cycles are
+// committed target instructions and simulated cycles (IPC = Insts/Cycles);
+// for the rt engine Insts counts executed operations and Cycles is 0.
+type Sample struct {
+	TS    time.Duration `json:"ts"`
+	Track string        `json:"track"`
+
+	Cycles       uint64  `json:"cycles"`
+	Insts        uint64  `json:"insts"`
+	SlowInsts    uint64  `json:"slow_insts"`
+	FastInsts    uint64  `json:"fast_insts"`
+	CacheBytes   uint64  `json:"cache_bytes"`
+	CacheEntries uint64  `json:"cache_entries"`
+	IPC          float64 `json:"ipc"`
+}
+
+// core is the state shared by a recorder and all its track views.
+type core struct {
+	start time.Time
+	reg   *Registry
+
+	totals     [NumEventKinds]atomic.Uint64
+	evCounters [NumEventKinds]*Counter // registry mirror of totals
+	seq        atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []Event // bounded trace; overwrites oldest when full
+	head    int     // next write position
+	n       int     // events currently stored
+	dropped uint64  // events overwritten after the ring filled
+
+	samples   []Sample
+	sampleCap int
+}
+
+// Config sizes a Recorder.
+type Config struct {
+	// RingSize bounds the in-memory event trace (default 4096). When the
+	// ring is full the oldest events are overwritten; per-kind totals keep
+	// counting regardless, so trace summaries stay exact.
+	RingSize int
+	// SampleCap bounds the sampled time series (default 65536); when full,
+	// sampling keeps the newest points the same way the event ring does.
+	SampleCap int
+}
+
+// Recorder is a handle on the observability core for one track (an engine
+// phase or a parsim interval worker). All tracks of one recorder share the
+// metrics registry, event ring, sample series, and per-kind totals; only
+// the track label differs. A nil *Recorder is a valid no-op sink.
+type Recorder struct {
+	c     *core
+	track string
+}
+
+// NewRecorder builds a recorder whose events carry the "main" track.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 4096
+	}
+	if cfg.SampleCap <= 0 {
+		cfg.SampleCap = 65536
+	}
+	c := &core{
+		start:     time.Now(),
+		reg:       NewRegistry(),
+		ring:      make([]Event, cfg.RingSize),
+		sampleCap: cfg.SampleCap,
+	}
+	for k := EventKind(0); k < NumEventKinds; k++ {
+		c.evCounters[k] = c.reg.Counter("events." + k.String())
+	}
+	return &Recorder{c: c, track: "main"}
+}
+
+// WithTrack returns a view of the same recorder whose events and samples
+// are labeled with the given track.
+func (r *Recorder) WithTrack(track string) *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{c: r.c, track: track}
+}
+
+// Track returns the recorder's track label.
+func (r *Recorder) Track() string {
+	if r == nil {
+		return ""
+	}
+	return r.track
+}
+
+// Registry returns the shared metrics registry (nil on a nil recorder).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.c.reg
+}
+
+// Event records one lifecycle event with a kind-specific quantity.
+func (r *Recorder) Event(kind EventKind, arg uint64) {
+	r.EventDetail(kind, arg, "")
+}
+
+// EventDetail records one lifecycle event with an annotation.
+func (r *Recorder) EventDetail(kind EventKind, arg uint64, detail string) {
+	if r == nil || kind >= NumEventKinds {
+		return
+	}
+	c := r.c
+	c.totals[kind].Add(1)
+	c.evCounters[kind].Inc()
+	ev := Event{
+		Seq:    c.seq.Add(1) - 1,
+		TS:     time.Since(c.start),
+		Track:  r.track,
+		Kind:   kind,
+		Arg:    arg,
+		Detail: detail,
+	}
+	c.mu.Lock()
+	c.ring[c.head] = ev
+	c.head = (c.head + 1) % len(c.ring)
+	if c.n < len(c.ring) {
+		c.n++
+	} else {
+		c.dropped++
+	}
+	c.mu.Unlock()
+}
+
+// Begin marks the start of a named phase on this recorder's track.
+func (r *Recorder) Begin(phase string) {
+	r.EventDetail(EvPhaseBegin, 0, phase)
+}
+
+// End marks the end of a named phase on this recorder's track.
+func (r *Recorder) End(phase string) {
+	r.EventDetail(EvPhaseEnd, 0, phase)
+}
+
+// Sample appends one time-series point; TS and Track are filled in.
+func (r *Recorder) Sample(s Sample) {
+	if r == nil {
+		return
+	}
+	c := r.c
+	s.TS = time.Since(c.start)
+	s.Track = r.track
+	if s.Cycles > 0 {
+		s.IPC = float64(s.Insts) / float64(s.Cycles)
+	}
+	c.mu.Lock()
+	if len(c.samples) >= c.sampleCap {
+		copy(c.samples, c.samples[1:])
+		c.samples = c.samples[:len(c.samples)-1]
+	}
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
+
+// Count returns the total number of events of the given kind recorded so
+// far, including events the bounded ring has already overwritten.
+func (r *Recorder) Count(kind EventKind) uint64 {
+	if r == nil || kind >= NumEventKinds {
+		return 0
+	}
+	return r.c.totals[kind].Load()
+}
+
+// Totals returns the per-kind event totals.
+func (r *Recorder) Totals() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]uint64, NumEventKinds)
+	for k := EventKind(0); k < NumEventKinds; k++ {
+		out[k.String()] = r.c.totals[k].Load()
+	}
+	return out
+}
+
+// Dropped reports how many events the bounded ring has overwritten.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	return r.c.dropped
+}
+
+// Events returns the retained trace, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, 0, c.n)
+	start := c.head - c.n
+	if start < 0 {
+		start += len(c.ring)
+	}
+	for i := 0; i < c.n; i++ {
+		out = append(out, c.ring[(start+i)%len(c.ring)])
+	}
+	return out
+}
+
+// Samples returns a copy of the sampled time series, oldest first.
+func (r *Recorder) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	return append([]Sample(nil), r.c.samples...)
+}

@@ -91,7 +91,13 @@ func RunIntervals(cfg uarch.Config, prog *loader.Program, plan *Plan, opt fastsi
 	finals := make([]*funcsim.State, n)
 	err := ForEach(n, workers, func(i int) error {
 		iv := plan.Intervals[i]
-		s := fastsim.NewAt(cfg, prog, opt, iv.Start.Clone())
+		ivOpt := opt
+		if opt.Obs != nil {
+			// One observability track per interval worker, so the exported
+			// trace shows each interval as its own named Perfetto thread.
+			ivOpt.Obs = opt.Obs.WithTrack(fmt.Sprintf("interval-%d", i))
+		}
+		s := fastsim.NewAt(cfg, prog, ivOpt, iv.Start.Clone())
 		budget := iv.Insts // Run counts from the interval start
 		if i == n-1 {
 			budget = 0 // run the tail to halt for complete output
@@ -132,7 +138,11 @@ func RunIntervals(cfg uarch.Config, prog *loader.Program, plan *Plan, opt fastsi
 }
 
 // addStats accumulates src into dst field-wise (FastForwardedPc is
-// recomputed by the caller from the merged totals).
+// recomputed by the caller from the merged totals). Monotonic counters sum;
+// CacheBytes and CacheEntries are point-in-time gauges of each interval's
+// private action cache, so summing them would report phantom occupancy no
+// cache ever had — gauges merge by maximum (the largest any interval's
+// cache grew).
 func addStats(dst, src *fastsim.Stats) {
 	dst.SlowInsts += src.SlowInsts
 	dst.FastInsts += src.FastInsts
@@ -140,8 +150,8 @@ func addStats(dst, src *fastsim.Stats) {
 	dst.Replays += src.Replays
 	dst.Misses += src.Misses
 	dst.KeyMisses += src.KeyMisses
-	dst.CacheBytes += src.CacheBytes
-	dst.CacheEntries += src.CacheEntries
+	dst.CacheBytes = maxU64(dst.CacheBytes, src.CacheBytes)
+	dst.CacheEntries = maxU64(dst.CacheEntries, src.CacheEntries)
 	dst.TotalMemoBytes += src.TotalMemoBytes
 	dst.CacheClears += src.CacheClears
 	dst.Faults += src.Faults
@@ -150,4 +160,11 @@ func addStats(dst, src *fastsim.Stats) {
 	dst.WatchdogTrips += src.WatchdogTrips
 	dst.SelfChecks += src.SelfChecks
 	dst.SelfCheckDivergences += src.SelfCheckDivergences
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
 }

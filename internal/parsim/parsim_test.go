@@ -79,6 +79,23 @@ func TestIntervalParallelDeterminism(t *testing.T) {
 			ref.ExitStatus, ref.Output, wholeRes.ExitStatus, wholeRes.Output)
 	}
 
+	// Gauges merge by maximum, counters by sum: the merged point-in-time
+	// fields must equal the largest per-interval value, never the sum (each
+	// interval has a private cache, so a sum is occupancy no cache ever had).
+	var maxBytes, maxEntries, sumReplays uint64
+	for _, r := range ref.Intervals {
+		maxBytes = maxU64(maxBytes, r.Stats.CacheBytes)
+		maxEntries = maxU64(maxEntries, r.Stats.CacheEntries)
+		sumReplays += r.Stats.Replays
+	}
+	if ref.Stats.CacheBytes != maxBytes || ref.Stats.CacheEntries != maxEntries {
+		t.Fatalf("merged gauges (bytes=%d entries=%d) != per-interval maxima (%d, %d)",
+			ref.Stats.CacheBytes, ref.Stats.CacheEntries, maxBytes, maxEntries)
+	}
+	if ref.Stats.Replays != sumReplays {
+		t.Fatalf("merged replay counter %d != per-interval sum %d", ref.Stats.Replays, sumReplays)
+	}
+
 	for _, workers := range []int{1, 2, 8} {
 		got, err := RunIntervals(cfg, w.Prog, plan, opt, workers)
 		if err != nil {
@@ -87,6 +104,10 @@ func TestIntervalParallelDeterminism(t *testing.T) {
 		if !reflect.DeepEqual(got, ref) {
 			t.Fatalf("workers=%d: merged result differs from sequential\nseq: %+v\npar: %+v",
 				workers, ref, got)
+		}
+		if got.Stats.CacheBytes != ref.Stats.CacheBytes ||
+			got.Stats.CacheEntries != ref.Stats.CacheEntries {
+			t.Fatalf("workers=%d: merged gauge fields differ from sequential", workers)
 		}
 	}
 }

@@ -1,0 +1,55 @@
+package rt
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sumEntryBytes(c *acache) uint64 {
+	var n uint64
+	for _, e := range c.m {
+		n += e.bytes
+	}
+	return n
+}
+
+func TestInvalidationRefundsEntryBytes(t *testing.T) {
+	c := newACache(0, nil)
+	var ents []*centry
+	for i := 0; i < 6; i++ {
+		e := &centry{key: fmt.Sprintf("key%d", i)}
+		c.put(e)
+		c.charge(e, uint64(64*(i+1)))
+		ents = append(ents, e)
+	}
+	for _, i := range []int{0, 2, 5} {
+		c.invalidate(ents[i])
+	}
+	if want := sumEntryBytes(c); c.g.Bytes != want {
+		t.Fatalf("after invalidations: occupancy %d, surviving entries hold %d", c.g.Bytes, want)
+	}
+	if len(c.m) != 3 {
+		t.Fatalf("expected 3 surviving entries, have %d", len(c.m))
+	}
+	// Invalidating a dead entry again must not refund twice.
+	before := c.g.Bytes
+	c.invalidate(ents[0])
+	if c.g.Bytes != before {
+		t.Fatalf("double invalidation changed occupancy: %d -> %d", before, c.g.Bytes)
+	}
+	if c.g.Invalidations != 4 {
+		t.Fatalf("invalidations = %d, want 4", c.g.Invalidations)
+	}
+	// Overwriting a key refunds the replaced entry's bytes.
+	repl := &centry{key: "key1"}
+	c.put(repl)
+	if want := sumEntryBytes(c); c.g.Bytes != want {
+		t.Fatalf("after overwrite: occupancy %d, entries hold %d", c.g.Bytes, want)
+	}
+	// A stale invalidation after a clear must not underflow the fresh gauge.
+	c.clearNow()
+	c.invalidate(ents[3])
+	if c.g.Bytes != 0 {
+		t.Fatalf("post-clear stale invalidation left occupancy %d", c.g.Bytes)
+	}
+}

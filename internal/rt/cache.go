@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"facile/internal/memocache"
+	"facile/internal/obs"
 )
 
 // node is one action in the specialized action cache: an executed dynamic
@@ -44,6 +45,7 @@ type centry struct {
 	key   string
 	first *node
 	gen   uint64
+	bytes uint64 // bytes charged against the gauge for this entry
 }
 
 // Byte-accounting model for the cache-size cap and the Table 2 metric.
@@ -58,46 +60,72 @@ const (
 // Byte accounting, the clear policy, and the staleness generation live in
 // memocache.Gauge, shared with internal/arch/fastsim.
 type acache struct {
-	m map[string]*centry
-	g memocache.Gauge
+	m   map[string]*centry
+	g   memocache.Gauge
+	rec *obs.Recorder
 }
 
-func newACache(capBytes uint64) *acache {
-	return &acache{m: make(map[string]*centry), g: memocache.Gauge{CapBytes: capBytes}}
+func newACache(capBytes uint64, rec *obs.Recorder) *acache {
+	return &acache{
+		m:   make(map[string]*centry),
+		g:   memocache.Gauge{CapBytes: capBytes},
+		rec: rec,
+	}
 }
 
 func (c *acache) get(key string) *centry { return c.m[key] }
 
 func (c *acache) put(e *centry) {
 	e.gen = c.g.Gen
+	if old := c.m[e.key]; old != nil && old != e {
+		// Re-recording a key (e.g. after a corrupt-key recovery re-ran a
+		// step the cache already held) replaces the old entry; refund it or
+		// its bytes stay charged forever.
+		c.g.Refund(old.bytes)
+		old.bytes = 0
+	}
 	c.m[e.key] = e
-	c.charge(uint64(entryBytes + len(e.key)))
+	c.charge(e, uint64(entryBytes+len(e.key)))
 	if c.g.Over() {
 		// Clear when full — on the put that overflowed the cap, including
 		// the entry just installed. In-progress replays detect stale
 		// entries via the generation.
-		c.m = make(map[string]*centry)
-		c.g.Cleared()
+		c.clearNow()
 	}
 }
 
-func (c *acache) charge(n uint64) {
+// charge accounts n freshly memoized bytes to the gauge and, when the bytes
+// belong to a particular entry, to that entry — so a later invalidation can
+// refund exactly what the entry charged.
+func (c *acache) charge(e *centry, n uint64) {
+	if e != nil {
+		e.bytes += n
+	}
 	c.g.Charge(n)
 }
 
-// invalidate discards entry e after a fault. The generation moves so any
+// invalidate discards entry e after a fault, refunding its charged bytes.
+// The refund happens only while e is still the cache's current entry for
+// its key: after a clear the gauge was already reset, and refunding a stale
+// entry would double-count. The generation moves either way so any
 // replay-cached link to e re-validates and misses.
 func (c *acache) invalidate(e *centry) {
+	var refund uint64
 	if cur, ok := c.m[e.key]; ok && cur == e {
 		delete(c.m, e.key)
+		refund = e.bytes
 	}
-	c.g.Invalidated()
+	e.bytes = 0
+	c.g.Invalidated(refund)
+	c.rec.Event(obs.EvInvalidation, refund)
 }
 
 // clearNow discards the whole cache, as clear-when-full would.
 func (c *acache) clearNow() {
+	freed := c.g.Bytes
 	c.m = make(map[string]*centry)
 	c.g.Cleared()
+	c.rec.Event(obs.EvClearWhenFull, freed)
 }
 
 // buildKey serializes the run-time static inputs of main — the integer

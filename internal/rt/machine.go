@@ -7,6 +7,7 @@ import (
 	"facile/internal/lang/ir"
 	"facile/internal/lang/token"
 	"facile/internal/lang/types"
+	"facile/internal/obs"
 )
 
 // Extern is a host (Go) function callable from Facile. External calls are
@@ -46,6 +47,14 @@ type Options struct {
 	// simulator (0 = default 1<<20). It catches cycles in a corrupted
 	// action graph.
 	MaxReplayNodes uint64
+
+	// Obs, when non-nil, receives the memoization lifecycle and a sampled
+	// time series of cache occupancy and slow-vs-fast operation split.
+	Obs *obs.Recorder
+
+	// SampleEvery is the executed-operation interval between time-series
+	// samples (0 = obs.DefaultSampleEvery).
+	SampleEvery uint64
 }
 
 const defaultStepBudget = 200_000_000
@@ -102,6 +111,9 @@ type Machine struct {
 	scState   uint64    // self-check sampling PRNG state
 	lastFault *faults.Fault
 
+	obs     *obs.Recorder
+	sampler *obs.Sampler
+
 	stats Stats
 }
 
@@ -123,8 +135,18 @@ func New(p *ir.Program, text TextSource, opt Options) *Machine {
 		queuesG: make([]*Queue, len(p.QueuesG)),
 		vregs:   make([]int64, p.NumVReg),
 		externs: make([]Extern, len(p.Externs)),
-		ac:      newACache(opt.CacheCapBytes),
+		ac:      newACache(opt.CacheCapBytes, opt.Obs),
+		obs:     opt.Obs,
 	}
+	m.sampler = obs.NewSampler(opt.Obs, opt.SampleEvery, func() obs.Sample {
+		return obs.Sample{
+			Insts:        m.stats.SlowInsts + m.stats.FastOps,
+			SlowInsts:    m.stats.SlowInsts,
+			FastInsts:    m.stats.FastOps,
+			CacheBytes:   m.ac.g.Bytes,
+			CacheEntries: uint64(len(m.ac.m)),
+		}
+	})
 	for i, g := range p.Globals {
 		m.globals[i] = g.Init
 	}
@@ -241,6 +263,7 @@ func (m *Machine) LastFault() *faults.Fault { return m.lastFault }
 func (m *Machine) fault(k faults.Kind, detail string) {
 	m.stats.Faults++
 	m.lastFault = &faults.Fault{Kind: k, Engine: "rt", Detail: detail}
+	m.obs.EventDetail(obs.EvFault, 0, k.String())
 }
 
 // stepHook reports whether per-step policies (fault injection, self-check
@@ -277,8 +300,12 @@ func (m *Machine) Run(maxSteps uint64) error {
 		m.curKey = buildKey(m.argI, m.argQ)
 		m.started = true
 	}
+	m.obs.Begin("rt.run")
+	defer m.obs.End("rt.run")
+	defer m.sampler.Flush()
 	steps := func() uint64 { return m.stats.SlowSteps + m.stats.Replays }
 	for !m.done {
+		m.sampler.Tick(m.stats.SlowInsts + m.stats.FastOps)
 		if maxSteps > 0 && steps() >= maxSteps {
 			return nil
 		}
@@ -301,6 +328,7 @@ func (m *Machine) Run(maxSteps uint64) error {
 				continue
 			}
 			m.stats.KeyMisses++
+			m.obs.Event(obs.EvKeyMiss, uint64(len(m.curKey)))
 		}
 		if !parseKey(m.curKey, m.argI, m.argQ) {
 			// Should be unreachable: successor keys are vetted before
@@ -313,13 +341,14 @@ func (m *Machine) Run(maxSteps uint64) error {
 		var ent *centry
 		if m.opt.Memoize {
 			ent = &centry{key: m.curKey}
-			sink = &recorder{m: m, tail: &ent.first}
+			sink = &recorder{m: m, ent: ent, tail: &ent.first}
 		}
 		if err := m.runStepSlow(sink, nil); err != nil {
 			return err
 		}
 		if ent != nil {
 			m.ac.put(ent)
+			m.obs.Event(obs.EvStepRecorded, ent.bytes)
 		}
 	}
 	return nil
@@ -341,6 +370,7 @@ type stepSink interface {
 // simulation.
 type recorder struct {
 	m    *Machine
+	ent  *centry // entry the recorded bytes are charged to
 	tail **node
 	n    *node // node for the block currently executing
 }
@@ -352,7 +382,7 @@ func (r *recorder) enterBlock(bi int, blk *ir.Block) {
 	}
 	*r.tail = n
 	r.tail = &n.next
-	r.m.ac.charge(nodeBytes + uint64(cap(n.data))*valBytes)
+	r.m.ac.charge(r.ent, nodeBytes+uint64(cap(n.data))*valBytes)
 	r.n = n
 }
 
@@ -366,13 +396,13 @@ func (r *recorder) fork(v int64) {
 	n := r.n
 	n.forks = append(n.forks, nfork{val: v})
 	r.tail = &n.forks[len(n.forks)-1].next
-	r.m.ac.charge(forkBytes)
+	r.m.ac.charge(r.ent, forkBytes)
 }
 
 func (r *recorder) ret(key string) {
 	if r.n != nil {
 		r.n.nextKey = key
-		r.m.ac.charge(uint64(len(key)))
+		r.m.ac.charge(r.ent, uint64(len(key)))
 	}
 }
 

@@ -122,13 +122,13 @@ func TestParseKeyRejectsCorrupt(t *testing.T) {
 }
 
 func TestActionCacheClearGeneration(t *testing.T) {
-	c := newACache(64)
+	c := newACache(64, nil)
 	e1 := &centry{key: "a"}
 	c.put(e1)
 	if c.get("a") != e1 {
 		t.Fatal("lookup")
 	}
-	c.charge(1000) // exceed cap
+	c.charge(e1, 1000) // exceed cap
 	e2 := &centry{key: "b"}
 	c.put(e2) // the overflowing put clears everything, e2 included
 	if c.get("a") != nil || c.get("b") != nil {

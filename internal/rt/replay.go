@@ -7,6 +7,7 @@ import (
 	"facile/internal/lang/ir"
 	"facile/internal/lang/token"
 	"facile/internal/lang/types"
+	"facile/internal/obs"
 )
 
 // replayFrom is the fast/residual simulator: it walks recorded action
@@ -100,6 +101,7 @@ func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
 				return m.rekeyStep(e)
 			}
 			m.stats.Replays++
+			m.obs.Event(obs.EvStepReplayed, m.nodes)
 			m.curKey = n.nextKey
 			m.path = m.path[:0]
 			m.nodes = 0
@@ -145,13 +147,14 @@ func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
 // is invalidated and the half-recorded fork is dropped.
 func (m *Machine) missRecover(n *node, e *centry) error {
 	m.stats.Misses++
+	m.obs.Event(obs.EvMidStepMiss, m.nodes)
 	if !parseKey(m.stepKey, m.argI, m.argQ) {
 		return m.degradeLost(e, "unparseable entry key at miss recovery")
 	}
 	v := m.path[len(m.path)-1]
 	n.forks = append(n.forks, nfork{val: v})
-	m.ac.charge(forkBytes)
-	rec := &recorder{m: m, tail: &n.forks[len(n.forks)-1].next}
+	m.ac.charge(e, forkBytes)
+	rec := &recorder{m: m, ent: e, tail: &n.forks[len(n.forks)-1].next}
 	cur := &rcursor{path: m.path}
 	if err := m.runStepSlow(rec, cur); err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 
 	"facile/internal/faults"
 	"facile/internal/lang/ir"
+	"facile/internal/obs"
 )
 
 // Self-check mode: a sampled fraction of replayable steps is re-executed on
@@ -129,9 +130,10 @@ func (c *rchecker) fork(v int64) {
 	// Benign first-time value: extend the verified entry from here, as miss
 	// recovery would (the slow run is already producing the new path).
 	c.m.stats.Misses++
+	c.m.obs.Event(obs.EvMidStepMiss, 0)
 	n.forks = append(n.forks, nfork{val: v})
-	c.m.ac.charge(forkBytes)
-	c.rec = &recorder{m: c.m, tail: &n.forks[len(n.forks)-1].next}
+	c.m.ac.charge(c.ent, forkBytes)
+	c.rec = &recorder{m: c.m, ent: c.ent, tail: &n.forks[len(n.forks)-1].next}
 	c.mode = scRecord
 }
 

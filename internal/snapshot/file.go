@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // Blob format (version 1):
@@ -67,16 +68,40 @@ func Decode(blob []byte) (kind string, r *Reader, stateHash string, err error) {
 }
 
 // WriteFile atomically writes an encoded snapshot and returns its STATE
-// content hash.
+// content hash. The temporary file is fsynced before the rename — without
+// it a crash shortly after WriteFile can leave the final name pointing at
+// zero-length or partial data, which defeats the whole point of the
+// write-then-rename dance. Every failure path removes the temporary file.
 func WriteFile(path, kind string, w *Writer) (stateHash string, err error) {
 	blob := Encode(kind, w)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return "", err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return "", err
+	}
+	// Sync the directory so the rename itself is durable. Best-effort: some
+	// platforms cannot fsync a directory handle.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 	return w.StateHash(), nil
 }

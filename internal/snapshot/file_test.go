@@ -1,0 +1,66 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	var w Writer
+	w.U64(42)
+	w.String("hello")
+	w.BeginAux()
+	w.U64(7)
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	hash, err := WriteFile(path, "test", &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, r, gotHash, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "test" || gotHash != hash {
+		t.Fatalf("kind %q hash %q, want test/%q", kind, gotHash, hash)
+	}
+	if v := r.U64(); v != 42 {
+		t.Fatalf("payload u64 = %d", v)
+	}
+}
+
+func TestWriteFileFailedRenameLeavesNoLitter(t *testing.T) {
+	dir := t.TempDir()
+	// Renaming a file onto a non-empty directory fails, after the temporary
+	// file was written and synced — the interesting failure path.
+	target := filepath.Join(dir, "snap.bin")
+	if err := os.MkdirAll(filepath.Join(target, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var w Writer
+	w.U64(1)
+	w.BeginAux()
+	if _, err := WriteFile(target, "test", &w); err == nil {
+		t.Fatal("rename onto a non-empty directory should fail")
+	}
+	if _, err := os.Stat(target + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("failed WriteFile left %s.tmp behind (stat err: %v)", target, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "snap.bin" {
+		t.Fatalf("unexpected directory contents after failed write: %v", ents)
+	}
+}
+
+func TestWriteFileUnwritableDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "missing", "nested")
+	var w Writer
+	w.U64(1)
+	w.BeginAux()
+	if _, err := WriteFile(filepath.Join(dir, "snap.bin"), "test", &w); err == nil {
+		t.Fatal("write into a missing directory should fail")
+	}
+}
