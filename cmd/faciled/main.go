@@ -12,11 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
+	"facile/internal/cli"
 	"facile/internal/core"
 	"facile/internal/lang/compile"
 	"facile/internal/lang/ir"
@@ -29,19 +33,26 @@ func main() {
 	live := flag.Bool("live", false, "enable the liveness write-through optimization (paper §6.3 #3)")
 	debugAddr := flag.String("debug-addr", "",
 		"serve /debug/vars, /debug/metrics and /debug/pprof on this address; keeps the process alive after compiling")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		cli.PrintVersion("faciled")
+		return
+	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: faciled [-dump] [-live] file.fac [more.fac ...]")
 		os.Exit(2)
 	}
 	var rec *obs.Recorder
+	var debugSrv *http.Server
 	if *debugAddr != "" {
 		rec = obs.NewRecorder(obs.Config{})
-		_, addr, err := obs.Serve(*debugAddr, rec)
+		srv, addr, err := obs.Serve(*debugAddr, rec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "faciled:", err)
 			os.Exit(1)
 		}
+		debugSrv = srv
 		fmt.Fprintf(os.Stderr, "faciled: debug endpoint at http://%s/debug/vars\n", addr)
 	}
 	var sb strings.Builder
@@ -80,8 +91,16 @@ func main() {
 	if *dump {
 		fmt.Print(p.Dump())
 	}
-	if *debugAddr != "" {
+	if debugSrv != nil {
+		// Stay up for scraping, but exit cleanly on SIGINT/SIGTERM instead
+		// of blocking forever (the old `select {}` ignored signals sent to
+		// a backgrounded process group and had to be SIGKILLed).
 		fmt.Fprintln(os.Stderr, "faciled: serving debug endpoint (interrupt to exit)")
-		select {}
+		ctx, stop := cli.ShutdownContext(context.Background())
+		<-ctx.Done()
+		stop()
+		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = debugSrv.Shutdown(shCtx)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"facile/internal/arch/funcsim"
+	"facile/internal/cli"
 	"facile/internal/isa/asm"
 )
 
@@ -19,7 +20,12 @@ func main() {
 	runIt := flag.Bool("run", false, "run on the functional simulator")
 	dis := flag.Bool("dis", false, "print disassembly")
 	maxInsts := flag.Uint64("max", 100_000_000, "instruction limit for -run")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		cli.PrintVersion("fasm")
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fasm [-run] [-dis] file.s")
 		os.Exit(2)

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"facile/internal/cli"
+	"facile/internal/serve"
+	"facile/internal/workloads"
+)
+
+// runClient is the fsimd client mode: instead of simulating locally, it
+// submits one job per benchmark to a running fsimd, waits for them all,
+// and reports each job's result plus the serving-economics columns (warm
+// start, fast-step share). Repeated invocations against the same server
+// demonstrate warm-cache sharing: the second run of the same suite starts
+// from the caches the first run parked.
+func runClient(server, engine string, names []string, scale int, memoize bool) error {
+	if len(names) == 0 {
+		names = workloads.Names()
+	}
+	c := serve.NewClient(server)
+	ctx, stop := cli.ShutdownContext(context.Background())
+	defer stop()
+
+	ids := make([]string, 0, len(names))
+	for _, name := range names {
+		st, err := c.Submit(ctx, serve.JobRequest{
+			Bench:   name,
+			Scale:   scale,
+			Engine:  engine,
+			Memoize: memoize,
+		})
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", name, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	fmt.Fprintf(os.Stderr, "fbench: submitted %d job(s) to %s\n", len(ids), server)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "JOB\tBENCH\tSTATE\tINSTS\tWARM\tFAST%\tERROR")
+	failed := 0
+	for i, id := range ids {
+		st, err := c.Wait(ctx, id, 50*time.Millisecond)
+		if err != nil {
+			return fmt.Errorf("wait %s: %w", id, err)
+		}
+		var insts uint64
+		if st.Result != nil {
+			insts = st.Result.Insts
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%v\t%.1f\t%s\n",
+			st.ID, names[i], st.State, insts, st.WarmStart, st.FastSharePc, st.Error)
+		if st.State != serve.StateDone {
+			failed++
+		}
+	}
+	tw.Flush()
+	if failed > 0 {
+		return fmt.Errorf("%d job(s) did not complete", failed)
+	}
+	return nil
+}

@@ -6,11 +6,17 @@
 //
 //	fbench -exp fig11|table1|table2|fig12|loc|cachecap|all
 //	       [-scale N] [-bench name,...] [-parallel N] [-json PATH]
+//	fbench -server http://HOST:PORT [-engine NAME] [-memoize]
+//	       [-scale N] [-bench name,...]
 //
 // -parallel shards the suite's benchmarks across N goroutines; every
 // deterministic output field is bit-identical to a sequential run, only
 // the host-timing (MIPS, wall-clock) fields vary. -json writes the full
 // machine-readable report alongside the text output.
+//
+// -server switches to client mode: each selected benchmark is submitted
+// as a job to a running fsimd and the per-job results (including the
+// warm-start and fast-share columns) are reported when they finish.
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"time"
 
 	"facile/internal/bench"
+	"facile/internal/cli"
+	"facile/internal/runcfg"
 )
 
 func main() {
@@ -30,7 +38,26 @@ func main() {
 	capName := flag.String("capbench", "126.gcc", "benchmark for the cache-capacity ablation")
 	parallel := flag.Int("parallel", 1, "benchmarks simulated concurrently")
 	jsonPath := flag.String("json", "", "write a machine-readable report to this path")
+	server := flag.String("server", "", "fsimd base URL; submit jobs there instead of simulating locally")
+	engine := flag.String("engine", runcfg.EngineFastsim, "engine for -server jobs")
+	memoize := flag.Bool("memoize", true, "memoize -server jobs (required for warm-cache sharing)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		cli.PrintVersion("fbench")
+		return
+	}
+	if *server != "" {
+		var names []string
+		if *benches != "" {
+			names = strings.Split(*benches, ",")
+		}
+		if err := runClient(*server, *engine, names, *scale, *memoize); err != nil {
+			fmt.Fprintln(os.Stderr, "fbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale

@@ -7,13 +7,10 @@ import (
 	"time"
 
 	"facile/internal/arch/fastsim"
-	"facile/internal/arch/funcsim"
-	"facile/internal/arch/ooo"
 	"facile/internal/arch/uarch"
-	"facile/internal/facsim"
 	"facile/internal/isa/loader"
-	"facile/internal/obs"
 	"facile/internal/parsim"
+	"facile/internal/runcfg"
 	"facile/internal/snapshot"
 )
 
@@ -23,9 +20,6 @@ type ckpt struct {
 	dir     string
 	restore string // snapshot file to resume from ("" = fresh run)
 	base    string // file-name stem for saved checkpoints
-
-	rec         *obs.Recorder // observability recorder (nil = off)
-	sampleEvery uint64
 }
 
 func (c ckpt) active() bool { return c.every > 0 || c.restore != "" }
@@ -58,125 +52,32 @@ func (c ckpt) open(kind string) *snapshot.Reader {
 	return r
 }
 
-// runFuncCkpt drives the golden functional simulator with checkpoints.
-func runFuncCkpt(prog *loader.Program, c ckpt, t0 time.Time) {
-	st := funcsim.NewState(prog)
-	st.SetObs(c.rec, c.sampleEvery)
+// runCkpt drives any engine to completion through the runcfg protocol:
+// restore first if asked, then run in c.every-sized chunks, saving a
+// snapshot at each boundary. With checkpointing inactive it is a single
+// uninterrupted run. For memoizing engines the action cache is not part of
+// a snapshot, so a restored run re-warms it: timing and outputs match the
+// uninterrupted run bit-for-bit while the slow/replayed split differs.
+func runCkpt(r runcfg.Runner, c ckpt) runcfg.Result {
 	if c.restore != "" {
-		if err := st.LoadState(c.open(funcsim.SnapshotKind)); err != nil {
+		if err := r.Load(c.open(r.SnapshotKind())); err != nil {
 			die(err)
 		}
 	}
-	for !st.Halted {
+	for !r.Done() {
 		var budget uint64
 		if c.every > 0 {
-			budget = st.InstCount + c.every
+			budget = r.Progress() + c.every
 		}
-		if err := st.RunOn(prog, budget); err != nil {
+		if err := r.Run(budget); err != nil {
 			die(err)
 		}
-		if st.Halted || c.every == 0 {
+		if r.Done() || c.every == 0 {
 			break
 		}
-		c.save(funcsim.SnapshotKind, st.InstCount, func(w *snapshot.Writer) error {
-			st.SaveState(w)
-			return nil
-		})
+		c.save(r.SnapshotKind(), r.Progress(), r.Save)
 	}
-	report(st.InstCount, 0, st.Output, time.Since(t0))
-	fmt.Printf("final state %s\n", st.Hash()[:16])
-}
-
-// runOOOCkpt drives the conventional baseline with checkpoints.
-func runOOOCkpt(prog *loader.Program, c ckpt, t0 time.Time) {
-	s := ooo.New(uarch.Default(), prog)
-	s.SetObs(c.rec, c.sampleEvery)
-	if c.restore != "" {
-		if err := s.LoadState(c.open(ooo.SnapshotKind)); err != nil {
-			die(err)
-		}
-	}
-	var res uarch.Result
-	for {
-		var budget uint64
-		if c.every > 0 {
-			budget = s.Committed() + c.every
-		}
-		res = s.Run(budget)
-		if c.every == 0 || res.Insts < budget {
-			break // halted (or ran dry) before the next boundary
-		}
-		c.save(ooo.SnapshotKind, s.Committed(), func(w *snapshot.Writer) error {
-			s.SaveState(w)
-			return nil
-		})
-	}
-	report(res.Insts, res.Cycles, res.Output, time.Since(t0))
-	fmt.Printf("IPC %.3f, %d mispredicts, %d L1D misses\n", res.IPC(), res.Mispredicts, res.L1DMisses)
-	fmt.Printf("final state %s\n", s.Hash()[:16])
-}
-
-// runFastsimCkpt drives the fast-forwarding simulator with checkpoints.
-// The action cache is not part of a snapshot, so a restored run re-warms
-// it: timing and outputs match the uninterrupted run bit-for-bit while the
-// slow/replayed split differs.
-func runFastsimCkpt(prog *loader.Program, opt fastsim.Options, c ckpt, t0 time.Time) (*fastsim.Sim, uarch.Result) {
-	s := fastsim.New(uarch.Default(), prog, opt)
-	if c.restore != "" {
-		if err := s.LoadState(c.open(fastsim.SnapshotKind)); err != nil {
-			die(err)
-		}
-	}
-	var res uarch.Result
-	for {
-		var budget uint64
-		if c.every > 0 {
-			budget = s.Committed() + c.every
-		}
-		res = s.Run(budget)
-		if c.every == 0 || s.Done() {
-			break
-		}
-		c.save(fastsim.SnapshotKind, s.Committed(), func(w *snapshot.Writer) error {
-			return s.SaveState(w)
-		})
-	}
-	return s, res
-}
-
-// runFacCkpt drives a Facile-compiled simulator with checkpoints (the
-// boundary unit is Facile steps, not target instructions).
-func runFacCkpt(in *facsim.Instance, c ckpt, t0 time.Time) facsim.Result {
-	if c.restore != "" {
-		if err := in.LoadState(c.open(in.Kind)); err != nil {
-			die(err)
-		}
-	}
-	steps := func() uint64 {
-		st := in.M.Stats()
-		return st.SlowSteps + st.Replays
-	}
-	for !in.M.Done() {
-		var budget uint64
-		if c.every > 0 {
-			budget = steps() + c.every
-		}
-		if err := in.M.Run(budget); err != nil {
-			die(err)
-		}
-		if in.M.Done() || c.every == 0 {
-			break
-		}
-		c.save(in.Kind, steps(), func(w *snapshot.Writer) error {
-			in.SaveState(w)
-			return nil
-		})
-	}
-	res, err := in.Run(0) // program done; collects results only
-	if err != nil {
-		die(err)
-	}
-	return res
+	return r.Result()
 }
 
 // runParsim splits the workload into instruction intervals via functional

@@ -22,22 +22,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"facile/internal/arch/fastsim"
-	"facile/internal/arch/funcsim"
-	"facile/internal/arch/ooo"
-	"facile/internal/arch/uarch"
 	"facile/internal/bench"
-	"facile/internal/facsim"
+	"facile/internal/cli"
 	"facile/internal/isa/asm"
 	"facile/internal/isa/loader"
 	"facile/internal/obs"
+	"facile/internal/runcfg"
 	"facile/internal/workloads"
 )
 
 func main() {
-	simName := flag.String("sim", "func", "simulator: func, ooo, fastsim, fac-func, fac-inorder, fac-ooo")
+	simName := flag.String("sim", "func", "simulator: "+strings.Join(runcfg.Engines(), ", "))
 	validate := flag.Bool("validate", false, "cross-validate all simulators on the chosen benchmark")
 	memo := flag.Bool("memo", false, "enable fast-forwarding (fastsim and fac-* simulators)")
 	benchName := flag.String("bench", "", "run a bundled benchmark by name")
@@ -58,7 +57,12 @@ func main() {
 		"serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run (e.g. :8080)")
 	sampleEvery := flag.Uint64("sample-every", 0,
 		"instructions between observability samples (0 = default)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		cli.PrintVersion("fsim")
+		return
+	}
 	if *selfCheck {
 		*memo = true
 	}
@@ -112,118 +116,73 @@ func main() {
 		return
 	}
 
-	capBytes := *capMB << 20
-	ck := ckpt{every: *ckEvery, dir: *ckDir, restore: *restorePath, base: *simName,
-		rec: rec, sampleEvery: *sampleEvery}
+	cfg := runcfg.Config{
+		Engine:        *simName,
+		Memoize:       *memo,
+		CacheCapBytes: *capMB << 20,
+		Obs:           rec,
+		SampleEvery:   *sampleEvery,
+	}
+	if *selfCheck {
+		cfg.SelfCheck = 1.0
+	}
+	ck := ckpt{every: *ckEvery, dir: *ckDir, restore: *restorePath, base: *simName}
 	if *benchName != "" {
 		ck.base = *simName + "-" + *benchName
 	}
 
 	t0 := time.Now()
 	if *parWorkers > 0 {
-		if *simName != "fastsim" {
+		if *simName != runcfg.EngineFastsim {
 			die(fmt.Errorf("-parsim requires -sim fastsim"))
 		}
-		opt := fastsim.Options{Memoize: *memo, CacheCapBytes: capBytes,
+		opt := fastsim.Options{Memoize: *memo, CacheCapBytes: cfg.CacheCapBytes,
 			Obs: rec, SampleEvery: *sampleEvery}
 		runParsim(prog, opt, *parWorkers, *parInterval, t0)
 		return
 	}
-	switch *simName {
-	case "func":
-		if ck.active() {
-			runFuncCkpt(prog, ck, t0)
-			return
-		}
-		st := funcsim.NewState(prog)
-		st.SetObs(rec, *sampleEvery)
-		if err := st.RunOn(prog, 0); err != nil {
-			die(err)
-		}
-		report(st.InstCount, 0, st.Output, time.Since(t0))
-	case "ooo":
-		if ck.active() {
-			runOOOCkpt(prog, ck, t0)
-			return
-		}
-		s := ooo.New(uarch.Default(), prog)
-		s.SetObs(rec, *sampleEvery)
-		res := s.Run(0)
-		report(res.Insts, res.Cycles, res.Output, time.Since(t0))
-		fmt.Printf("IPC %.3f, %d mispredicts, %d L1D misses\n", res.IPC(), res.Mispredicts, res.L1DMisses)
-	case "fastsim":
-		opt := fastsim.Options{Memoize: *memo, CacheCapBytes: capBytes,
-			Obs: rec, SampleEvery: *sampleEvery}
-		if *selfCheck {
-			opt.SelfCheck = 1.0
-		}
-		var s *fastsim.Sim
-		var res uarch.Result
-		if ck.active() {
-			s, res = runFastsimCkpt(prog, opt, ck, t0)
-		} else {
-			s = fastsim.New(uarch.Default(), prog, opt)
-			res = s.Run(0)
-		}
-		report(res.Insts, res.Cycles, res.Output, time.Since(t0))
-		st := s.Stats()
+
+	r, err := runcfg.New(prog, cfg)
+	if err != nil {
+		die(err)
+	}
+	res := runCkpt(r, ck)
+	report(res.Insts, res.Cycles, res.Output, time.Since(t0))
+	summarize(r, res, cfg, ck)
+}
+
+// summarize prints the engine-specific closing lines after the generic
+// instruction/cycle report.
+func summarize(r runcfg.Runner, res runcfg.Result, cfg runcfg.Config, ck ckpt) {
+	st := r.Stats()
+	switch {
+	case cfg.Engine == runcfg.EngineOOO:
+		fmt.Printf("IPC %.3f, %d mispredicts, %d L1D misses\n",
+			res.IPC(), res.Mispredicts, res.L1DMisses)
+	case cfg.Engine == runcfg.EngineFastsim:
 		fmt.Printf("fast-forwarded %.3f%%, %d misses, %.1f MB memoized, %d clears\n",
 			st.FastForwardedPc, st.Misses, float64(st.TotalMemoBytes)/(1<<20), st.CacheClears)
-		if st.Faults != 0 || st.DegradedSteps != 0 || *selfCheck {
-			fmt.Printf("faults: %d detected, %d invalidations, %d degraded steps, %d watchdog trips\n",
-				st.Faults, st.Invalidations, st.DegradedSteps, st.WatchdogTrips)
-		}
-		if *selfCheck {
-			fmt.Printf("self-check: %d steps verified, %d divergences\n",
-				st.SelfChecks, st.SelfCheckDivergences)
-			if st.SelfCheckDivergences != 0 {
-				fmt.Fprintf(os.Stderr, "fsim: self-check divergence: %v\n", s.LastFault())
-				os.Exit(3)
-			}
-		}
-	case "fac-func", "fac-inorder", "fac-ooo":
-		mk := map[string]func(*loader.Program, facsim.Options) (*facsim.Instance, error){
-			"fac-func":    facsim.NewFunctional,
-			"fac-inorder": facsim.NewInOrder,
-			"fac-ooo":     facsim.NewOOO,
-		}[*simName]
-		opt := facsim.Options{Memoize: *memo, CacheCapBytes: capBytes,
-			Obs: rec, SampleEvery: *sampleEvery}
-		if *selfCheck {
-			opt.SelfCheck = 1.0
-		}
-		in, err := mk(prog, opt)
-		if err != nil {
-			die(err)
-		}
-		var res facsim.Result
-		if ck.active() {
-			res = runFacCkpt(in, ck, t0)
-		} else {
-			res, err = in.Run(0)
-			if err != nil {
-				die(err)
-			}
-		}
-		report(res.Insts, res.Cycles, res.Output, time.Since(t0))
+	case strings.HasPrefix(cfg.Engine, "fac-"):
 		fmt.Printf("steps: %d slow, %d replayed, %d recoveries, %.1f MB memoized\n",
-			res.Stats.SlowSteps, res.Stats.Replays, res.Stats.Misses,
-			float64(res.Stats.TotalMemoBytes)/(1<<20))
-		st := res.Stats
-		if st.Faults != 0 || st.DegradedSteps != 0 || *selfCheck {
-			fmt.Printf("faults: %d detected, %d invalidations, %d degraded steps, %d watchdog trips\n",
-				st.Faults, st.Invalidations, st.DegradedSteps, st.WatchdogTrips)
+			st.SlowSteps, st.Replays, st.Misses, float64(st.TotalMemoBytes)/(1<<20))
+	}
+	selfChecking := cfg.SelfCheck > 0 && cfg.Memoizing()
+	if st.Faults != 0 || st.DegradedSteps != 0 || selfChecking {
+		fmt.Printf("faults: %d detected, %d invalidations, %d degraded steps, %d watchdog trips\n",
+			st.Faults, st.Invalidations, st.DegradedSteps, st.WatchdogTrips)
+	}
+	if ck.active() {
+		if h, ok := r.(interface{ Hash() string }); ok {
+			fmt.Printf("final state %s\n", h.Hash()[:16])
 		}
-		if *selfCheck {
-			fmt.Printf("self-check: %d steps verified, %d divergences\n",
-				st.SelfChecks, st.SelfCheckDivergences)
-			if st.SelfCheckDivergences != 0 {
-				fmt.Fprintf(os.Stderr, "fsim: self-check divergence: %v\n", in.M.LastFault())
-				os.Exit(3)
-			}
+	}
+	if selfChecking {
+		fmt.Printf("self-check: %d steps verified, %d divergences\n",
+			st.SelfChecks, st.SelfCheckDivergences)
+		if st.SelfCheckDivergences != 0 {
+			fmt.Fprintf(os.Stderr, "fsim: self-check divergence: %v\n", r.LastFault())
+			os.Exit(3)
 		}
-	default:
-		die(fmt.Errorf("unknown simulator %q", *simName))
 	}
 }
 

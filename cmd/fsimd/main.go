@@ -1,0 +1,117 @@
+// Command fsimd is the simulation job server: a long-lived daemon that
+// queues simulation jobs over an HTTP/JSON API, runs them on a fixed
+// worker pool, and shares warmed action caches between jobs of the same
+// cache lineage, so repeated work fast-forwards from the first step
+// instead of re-paying the specialization cost every run.
+//
+// Usage:
+//
+//	fsimd [-addr :8764] [-workers N] [-queue N] [-timeout D] [-chunk N]
+//	      [-spool DIR] [-debug-addr ADDR]
+//
+// On SIGINT/SIGTERM the server drains: submissions get 503, running jobs
+// checkpoint at their next chunk boundary, and everything unfinished is
+// spooled to -spool (when set) for the next fsimd process to resume.
+//
+// See README.md ("Running the server") for the API and curl examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"facile/internal/cli"
+	"facile/internal/obs"
+	"facile/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8764", "listen address for the job API")
+	workers := flag.Int("workers", 2, "worker pool size")
+	queueDepth := flag.Int("queue", 64, "bounded job queue depth (beyond it submissions get 429)")
+	timeout := flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
+	chunk := flag.Uint64("chunk", 1<<16, "instructions between cancellation/drain checks")
+	spool := flag.String("spool", "", "directory for drained-job spool files (resumed at startup)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve /debug/vars, /debug/metrics and /debug/pprof on this extra address")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		cli.PrintVersion("fsimd")
+		return
+	}
+
+	rec := obs.NewRecorder(obs.Config{})
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+		ChunkInsts:     *chunk,
+		Rec:            rec,
+	})
+
+	if *spool != "" {
+		jobs, err := serve.ReadSpool(*spool)
+		if err != nil {
+			die(err)
+		}
+		for _, rq := range jobs {
+			if _, err := srv.Resubmit(rq); err != nil {
+				fmt.Fprintf(os.Stderr, "fsimd: spooled job %s: %v\n", rq.ID, err)
+			}
+		}
+		if len(jobs) > 0 {
+			fmt.Fprintf(os.Stderr, "fsimd: resumed %d spooled job(s)\n", len(jobs))
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		die(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			die(err)
+		}
+	}()
+	if *debugAddr != "" {
+		_, dbg, err := obs.Serve(*debugAddr, rec)
+		if err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "fsimd: debug endpoint at http://%s/debug/vars\n", dbg)
+	}
+	fmt.Fprintf(os.Stderr, "fsimd version %s listening on http://%s (workers=%d queue=%d)\n",
+		cli.Version(), ln.Addr(), *workers, *queueDepth)
+
+	ctx, stop := cli.ShutdownContext(context.Background())
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal now kills the process (escape from a wedged drain)
+
+	fmt.Fprintln(os.Stderr, "fsimd: draining (running jobs checkpoint at the next chunk boundary)")
+	requeued := srv.Drain()
+	if *spool != "" && len(requeued) > 0 {
+		if err := serve.WriteSpool(*spool, requeued); err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "fsimd: spooled %d job(s) to %s\n", len(requeued), *spool)
+	} else if len(requeued) > 0 {
+		fmt.Fprintf(os.Stderr, "fsimd: dropped %d unfinished job(s) (no -spool directory)\n", len(requeued))
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shCtx)
+	fmt.Fprintln(os.Stderr, "fsimd: bye")
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "fsimd:", err)
+	os.Exit(1)
+}

@@ -30,8 +30,18 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 	a := e.first
 	for {
 		if a == nil {
-			// Recording always seals a step with aEnd (or ends inside a
-			// halted test); a nil link mid-chain means the entry is corrupt.
+			if st.Halted {
+				// Legitimate end of a halting entry: recording stops at the
+				// halt commit (after its aHalted test and final aShift)
+				// without sealing an aEnd, so the replayed chain ends here.
+				s.replays++
+				s.obs.Event(obs.EvStepReplayed, acts)
+				s.hStepActs.Observe(acts)
+				s.done = true
+				return
+			}
+			// Recording always seals a live step with aEnd; a nil link
+			// mid-chain means the entry is corrupt.
 			s.fault(faults.BrokenChain, "nil action link before end of step")
 			s.degradeStep(e)
 			return
@@ -114,13 +124,13 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 			a = a.next
 
 		case aHalted:
+			// The halt flag is a dynamic result like any other: follow the
+			// recorded fork so a replayed halting step still performs its
+			// final aShift (the instructions committed by the halt cycle).
+			// The chain then ends at a nil link, handled above.
 			h := b2u(st.Halted)
 			s.path = append(s.path, h)
 			s.ops++
-			if h == 1 {
-				s.done = true
-				return
-			}
 			next, ok := a.findFork(h)
 			if !ok {
 				s.miss(a, e)

@@ -1,0 +1,105 @@
+package fastsim
+
+import (
+	"bytes"
+	"testing"
+
+	"facile/internal/arch/uarch"
+)
+
+// TestWarmCacheAdoption detaches the action cache from a completed run and
+// adopts it into a fresh simulator over the same program: the second run
+// must produce identical results while fast-forwarding strictly more (its
+// very first step replays instead of recording).
+func TestWarmCacheAdoption(t *testing.T) {
+	p := asmOrDie(t, sumLoop)
+
+	s1 := New(uarch.Default(), p, Options{Memoize: true})
+	res1 := s1.Run(0)
+	st1 := s1.Stats()
+	wc := s1.DetachCache()
+	if wc == nil {
+		t.Fatal("DetachCache returned nil after a memoizing run")
+	}
+	if wc.Entries() == 0 || wc.Bytes() == 0 {
+		t.Fatalf("detached cache empty: %d entries, %d bytes", wc.Entries(), wc.Bytes())
+	}
+	if got := s1.Stats().CacheBytes; got != 0 {
+		t.Errorf("occupancy not refunded on detach: %d bytes", got)
+	}
+	if got := s1.Stats().CacheEntries; got != 0 {
+		t.Errorf("entries not cleared on detach: %d", got)
+	}
+
+	s2 := New(uarch.Default(), p, Options{Memoize: true})
+	if !s2.AdoptCache(wc) {
+		t.Fatal("AdoptCache refused a valid warm cache")
+	}
+	res2 := s2.Run(0)
+	st2 := s2.Stats()
+
+	if res1.Cycles != res2.Cycles || res1.Insts != res2.Insts {
+		t.Errorf("warm run diverged: cold %d insts/%d cycles, warm %d/%d",
+			res1.Insts, res1.Cycles, res2.Insts, res2.Cycles)
+	}
+	if !bytes.Equal(res1.Output, res2.Output) {
+		t.Errorf("warm output %q != cold %q", res2.Output, res1.Output)
+	}
+	if st2.FastForwardedPc <= st1.FastForwardedPc {
+		t.Errorf("warm fast-forward share %.3f%% not above cold %.3f%%",
+			st2.FastForwardedPc, st1.FastForwardedPc)
+	}
+	if st2.Steps >= st1.Steps {
+		t.Errorf("warm run recorded %d slow steps, expected fewer than cold %d",
+			st2.Steps, st1.Steps)
+	}
+	// The warm occupancy counts toward the gauge but not the per-run
+	// monotonic total.
+	if st2.CacheBytes < st1.CacheBytes {
+		t.Errorf("warm occupancy %d below cold final occupancy %d", st2.CacheBytes, st1.CacheBytes)
+	}
+	if st2.TotalMemoBytes >= st1.TotalMemoBytes {
+		t.Errorf("warm run memoized %d bytes, expected less than cold %d",
+			st2.TotalMemoBytes, st1.TotalMemoBytes)
+	}
+}
+
+// TestAdoptCacheRefusals covers the guard rails: empty caches, non-fresh
+// simulators, and caps smaller than the adopted occupancy are refused.
+func TestAdoptCacheRefusals(t *testing.T) {
+	p := asmOrDie(t, sumLoop)
+
+	s1 := New(uarch.Default(), p, Options{Memoize: true})
+	s1.Run(0)
+	wc := s1.DetachCache()
+	if s1.DetachCache() != nil {
+		t.Error("second DetachCache should return nil")
+	}
+
+	ran := New(uarch.Default(), p, Options{Memoize: true})
+	ran.Run(0)
+	if ran.AdoptCache(wc) {
+		t.Error("AdoptCache accepted a simulator that already ran")
+	}
+
+	tiny := New(uarch.Default(), p, Options{Memoize: true, CacheCapBytes: 16})
+	if tiny.AdoptCache(wc) {
+		t.Error("AdoptCache accepted a cache larger than the cap")
+	}
+
+	fresh := New(uarch.Default(), p, Options{Memoize: true})
+	if fresh.AdoptCache(nil) {
+		t.Error("AdoptCache accepted nil")
+	}
+	if !fresh.AdoptCache(wc) {
+		t.Error("AdoptCache refused a valid cache")
+	}
+	// Ownership transferred: the warm cache is spent.
+	if wc.Entries() != 0 || wc.Bytes() != 0 {
+		t.Errorf("adopted WarmCache not spent: %d entries, %d bytes", wc.Entries(), wc.Bytes())
+	}
+	fresh2 := New(uarch.Default(), p, Options{Memoize: true})
+	if fresh2.AdoptCache(wc) {
+		t.Error("AdoptCache accepted an already-adopted cache")
+	}
+}

@@ -103,6 +103,10 @@ func (s *Simulator) State() *funcsim.State { return s.st }
 // Cycle reports the current simulated cycle.
 func (s *Simulator) Cycle() uint64 { return s.cycle }
 
+// Halted reports whether the program's halt has committed; a subsequent
+// Run is a no-op.
+func (s *Simulator) Halted() bool { return s.haltSeen }
+
 // Run simulates until the program halts or maxInsts instructions commit
 // (maxInsts <= 0 means unlimited).
 func (s *Simulator) Run(maxInsts uint64) uarch.Result {

@@ -15,11 +15,10 @@ import (
 
 	"facile/facile"
 	"facile/internal/arch/fastsim"
-	"facile/internal/arch/ooo"
 	"facile/internal/arch/uarch"
-	"facile/internal/facsim"
+	"facile/internal/isa/loader"
 	"facile/internal/parsim"
-	"facile/internal/rt"
+	"facile/internal/runcfg"
 	"facile/internal/workloads"
 )
 
@@ -86,22 +85,7 @@ type RowMetrics struct {
 	DegradedSteps uint64 `json:"degraded_steps"`
 }
 
-func fastsimMetrics(st fastsim.Stats) *RowMetrics {
-	return &RowMetrics{
-		SlowSteps:     st.Steps,
-		Replays:       st.Replays,
-		Misses:        st.Misses,
-		KeyMisses:     st.KeyMisses,
-		CacheBytes:    st.CacheBytes,
-		CacheEntries:  st.CacheEntries,
-		CacheClears:   st.CacheClears,
-		Faults:        st.Faults,
-		Invalidations: st.Invalidations,
-		DegradedSteps: st.DegradedSteps,
-	}
-}
-
-func rtMetrics(st rt.Stats) *RowMetrics {
+func metrics(st runcfg.Stats) *RowMetrics {
 	return &RowMetrics{
 		SlowSteps:     st.SlowSteps,
 		Replays:       st.Replays,
@@ -114,6 +98,20 @@ func rtMetrics(st rt.Stats) *RowMetrics {
 		Invalidations: st.Invalidations,
 		DegradedSteps: st.DegradedSteps,
 	}
+}
+
+// timedRun builds an engine through the shared run-setup layer, drives it
+// to completion, and reports the result, unified stats, and wall time.
+func timedRun(prog *loader.Program, cfg runcfg.Config) (runcfg.Result, runcfg.Stats, time.Duration, error) {
+	r, err := runcfg.New(prog, cfg)
+	if err != nil {
+		return runcfg.Result{}, runcfg.Stats{}, 0, err
+	}
+	t0 := time.Now()
+	if err := r.Run(0); err != nil {
+		return runcfg.Result{}, runcfg.Stats{}, 0, err
+	}
+	return r.Result(), r.Stats(), time.Since(t0), nil
 }
 
 func mips(insts uint64, d time.Duration) float64 {
@@ -142,69 +140,14 @@ func hmean(vals []float64) float64 {
 // hand-coded memoizing simulator (FastSim's role) with and without
 // fast-forwarding versus the conventional out-of-order baseline
 // (SimpleScalar's role).
-// Benchmarks are sharded across cfg.Workers goroutines (parsim.ForEach);
-// every deterministic field of a Row is independent of the worker count,
-// only the MIPS/WallSec timing fields vary with host load.
 func Figure11(cfg Config) ([]Row, error) {
-	ucfg := uarch.Default()
-	names := cfg.names()
-	rows := make([]Row, len(names))
-	err := parsim.ForEach(len(names), cfg.Workers, func(i int) error {
-		name := names[i]
-		w, err := workloads.Get(name, cfg.Scale)
-		if err != nil {
-			return err
-		}
-
-		t0 := time.Now()
-		base := ooo.Run(ucfg, w.Prog, 0)
-		dBase := time.Since(t0)
-
-		t0 = time.Now()
-		plainSim := fastsim.New(ucfg, w.Prog, fastsim.Options{Memoize: false})
-		plain := plainSim.Run(0)
-		dPlain := time.Since(t0)
-
-		t0 = time.Now()
-		memoSim := fastsim.New(ucfg, w.Prog, fastsim.Options{
-			Memoize:       true,
-			CacheCapBytes: cfg.PaperCapM << 20,
-		})
-		memo := memoSim.Run(0)
-		dMemo := time.Since(t0)
-
-		if plain.Cycles != memo.Cycles {
-			return fmt.Errorf("%s: memoized cycle count %d != plain %d (validation failure)",
-				name, memo.Cycles, plain.Cycles)
-		}
-		st := memoSim.Stats()
-		rows[i] = Row{
-			Name:       name,
-			Insts:      memo.Insts,
-			Cycles:     memo.Cycles,
-			MemoMIPS:   mips(memo.Insts, dMemo),
-			NoMemoMIPS: mips(plain.Insts, dPlain),
-			BaseMIPS:   mips(base.Insts, dBase),
-			FastFwdPct: st.FastForwardedPc,
-			MemoBytes:  st.TotalMemoBytes,
-			Misses:     st.Misses,
-			Clears:     st.CacheClears,
-			WallSec:    (dBase + dPlain + dMemo).Seconds(),
-			Metrics:    fastsimMetrics(st),
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return rows, nil
+	return figureRows(cfg, runcfg.EngineFastsim)
 }
 
 // Table2 reproduces the quantity-of-memoized-data table with an unlimited
 // cache (the paper measured total memoized data, not the capped working
 // set).
 func Table2(cfg Config) ([]Row, error) {
-	ucfg := uarch.Default()
 	names := cfg.names()
 	rows := make([]Row, len(names))
 	err := parsim.ForEach(len(names), cfg.Workers, func(i int) error {
@@ -212,18 +155,20 @@ func Table2(cfg Config) ([]Row, error) {
 		if err != nil {
 			return err
 		}
-		s := fastsim.New(ucfg, w.Prog, fastsim.Options{Memoize: true})
-		t0 := time.Now()
-		res := s.Run(0)
-		st := s.Stats()
+		res, st, d, err := timedRun(w.Prog, runcfg.Config{
+			Engine: runcfg.EngineFastsim, Memoize: true,
+		})
+		if err != nil {
+			return err
+		}
 		rows[i] = Row{
 			Name:       names[i],
 			Insts:      res.Insts,
 			FastFwdPct: st.FastForwardedPc,
 			MemoBytes:  st.TotalMemoBytes,
 			Misses:     st.Misses,
-			WallSec:    time.Since(t0).Seconds(),
-			Metrics:    fastsimMetrics(st),
+			WallSec:    d.Seconds(),
+			Metrics:    metrics(st),
 		}
 		return nil
 	})
@@ -237,7 +182,16 @@ func Table2(cfg Config) ([]Row, error) {
 // out-of-order simulator with and without fast-forwarding versus the
 // conventional baseline.
 func Figure12(cfg Config) ([]Row, error) {
-	ucfg := uarch.Default()
+	return figureRows(cfg, runcfg.EngineFacOOO)
+}
+
+// figureRows runs the three-way comparison behind Figures 11 and 12: the
+// chosen memoizing engine with and without fast-forwarding versus the
+// conventional out-of-order baseline.
+// Benchmarks are sharded across cfg.Workers goroutines (parsim.ForEach);
+// every deterministic field of a Row is independent of the worker count,
+// only the MIPS/WallSec timing fields vary with host load.
+func figureRows(cfg Config, engine string) ([]Row, error) {
 	names := cfg.names()
 	rows := make([]Row, len(names))
 	err := parsim.ForEach(len(names), cfg.Workers, func(i int) error {
@@ -246,45 +200,23 @@ func Figure12(cfg Config) ([]Row, error) {
 		if err != nil {
 			return err
 		}
-
-		t0 := time.Now()
-		base := ooo.Run(ucfg, w.Prog, 0)
-		dBase := time.Since(t0)
-
-		inPlain, err := facsim.NewOOO(w.Prog, facsim.Options{Memoize: false})
+		base, _, dBase, err := timedRun(w.Prog, runcfg.Config{Engine: runcfg.EngineOOO})
 		if err != nil {
 			return err
 		}
-		t0 = time.Now()
-		plain, err := inPlain.Run(0)
+		plain, _, dPlain, err := timedRun(w.Prog, runcfg.Config{Engine: engine})
 		if err != nil {
 			return fmt.Errorf("%s (no memo): %w", name, err)
 		}
-		dPlain := time.Since(t0)
-
-		inMemo, err := facsim.NewOOO(w.Prog, facsim.Options{
-			Memoize:       true,
-			CacheCapBytes: cfg.PaperCapM << 20,
+		memo, st, dMemo, err := timedRun(w.Prog, runcfg.Config{
+			Engine: engine, Memoize: true, CacheCapBytes: cfg.PaperCapM << 20,
 		})
-		if err != nil {
-			return err
-		}
-		t0 = time.Now()
-		memo, err := inMemo.Run(0)
 		if err != nil {
 			return fmt.Errorf("%s (memo): %w", name, err)
 		}
-		dMemo := time.Since(t0)
-
 		if plain.Cycles != memo.Cycles {
-			return fmt.Errorf("%s: Facile memo cycles %d != plain %d (validation failure)",
+			return fmt.Errorf("%s: memoized cycle count %d != plain %d (validation failure)",
 				name, memo.Cycles, plain.Cycles)
-		}
-		st := memo.Stats
-		total := st.SlowSteps + st.Replays
-		ffPct := 0.0
-		if total > 0 {
-			ffPct = 100 * float64(st.Replays) / float64(total)
 		}
 		rows[i] = Row{
 			Name:       name,
@@ -293,12 +225,12 @@ func Figure12(cfg Config) ([]Row, error) {
 			MemoMIPS:   mips(memo.Insts, dMemo),
 			NoMemoMIPS: mips(plain.Insts, dPlain),
 			BaseMIPS:   mips(base.Insts, dBase),
-			FastFwdPct: ffPct,
+			FastFwdPct: st.FastForwardedPc,
 			MemoBytes:  st.TotalMemoBytes,
 			Misses:     st.Misses,
 			Clears:     st.CacheClears,
 			WallSec:    (dBase + dPlain + dMemo).Seconds(),
-			Metrics:    rtMetrics(st),
+			Metrics:    metrics(st),
 		}
 		return nil
 	})

@@ -1,0 +1,61 @@
+// Package cli holds the small pieces of process plumbing shared by every
+// command in this repository: the -version flag and orderly
+// signal-triggered shutdown.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"syscall"
+)
+
+// Version reports the module version and VCS revision baked into the
+// binary by the Go toolchain (runtime/debug.ReadBuildInfo). Binaries built
+// outside a VCS checkout degrade to "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "-dirty"
+		}
+		return fmt.Sprintf("%s (%s)", v, rev)
+	}
+	return v
+}
+
+// PrintVersion writes "<cmd> version <version>" to stdout. Commands call it
+// (and exit) when the -version flag is set.
+func PrintVersion(cmd string) {
+	fmt.Printf("%s version %s\n", cmd, Version())
+}
+
+// ShutdownContext returns a context canceled on SIGINT or SIGTERM, and a
+// stop function releasing the signal registration. A second signal while
+// the first is being handled kills the process with the default behavior,
+// so a wedged drain can always be interrupted.
+func ShutdownContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

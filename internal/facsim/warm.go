@@ -1,0 +1,12 @@
+package facsim
+
+import "facile/internal/rt"
+
+// DetachCache removes and returns the instance's action cache for reuse by
+// a later instance of the same kind over the same program and options (see
+// rt.Machine.DetachCache).
+func (in *Instance) DetachCache() *rt.WarmCache { return in.M.DetachCache() }
+
+// AdoptCache installs a previously detached cache into an instance that
+// has not run yet (see rt.Machine.AdoptCache).
+func (in *Instance) AdoptCache(wc *rt.WarmCache) bool { return in.M.AdoptCache(wc) }

@@ -339,3 +339,45 @@ func TestRegistryWriteJSON(t *testing.T) {
 		t.Fatalf("round-trip mismatch: %+v", out)
 	}
 }
+
+func TestSampleSeqAndSamplesSince(t *testing.T) {
+	rec := NewRecorder(Config{SampleCap: 8})
+	for i := 0; i < 12; i++ {
+		rec.Sample(Sample{Insts: uint64(i)})
+	}
+	got := rec.Samples()
+	if len(got) != 8 {
+		t.Fatalf("retained %d samples, want cap 8", len(got))
+	}
+	for i, s := range got {
+		if want := uint64(12 - 8 + i); s.Seq != want || s.Insts != want {
+			t.Fatalf("sample %d: seq=%d insts=%d, want both %d", i, s.Seq, s.Insts, want)
+		}
+	}
+
+	// Incremental polling: from 0 returns the whole retained window (with a
+	// gap where eviction discarded seqs 0-3); from lastSeen+1 returns only
+	// the tail; past the end returns nil.
+	if all := rec.SamplesSince(0); len(all) != 8 || all[0].Seq != 4 {
+		t.Fatalf("SamplesSince(0) = %d samples starting at seq %d, want 8 from 4",
+			len(all), all[0].Seq)
+	}
+	tail := rec.SamplesSince(10)
+	if len(tail) != 2 || tail[0].Seq != 10 || tail[1].Seq != 11 {
+		t.Fatalf("SamplesSince(10) = %+v, want seqs 10,11", tail)
+	}
+	if rest := rec.SamplesSince(12); rest != nil {
+		t.Fatalf("SamplesSince past end = %+v, want nil", rest)
+	}
+
+	// New samples show up under the same cursor.
+	rec.Sample(Sample{Insts: 12})
+	if next := rec.SamplesSince(12); len(next) != 1 || next[0].Seq != 12 {
+		t.Fatalf("SamplesSince(12) after new sample = %+v, want one sample seq 12", next)
+	}
+
+	var nilRec *Recorder
+	if nilRec.SamplesSince(0) != nil {
+		t.Fatal("nil recorder SamplesSince should return nil")
+	}
+}

@@ -73,6 +73,7 @@ type Event struct {
 // committed target instructions and simulated cycles (IPC = Insts/Cycles);
 // for the rt engine Insts counts executed operations and Cycles is 0.
 type Sample struct {
+	Seq   uint64        `json:"seq"` // monotonic across all tracks; filled by Recorder.Sample
 	TS    time.Duration `json:"ts"`
 	Track string        `json:"track"`
 
@@ -102,6 +103,7 @@ type core struct {
 
 	samples   []Sample
 	sampleCap int
+	sampleSeq uint64 // next Sample.Seq (guarded by mu)
 }
 
 // Config sizes a Recorder.
@@ -223,6 +225,8 @@ func (r *Recorder) Sample(s Sample) {
 		s.IPC = float64(s.Insts) / float64(s.Cycles)
 	}
 	c.mu.Lock()
+	s.Seq = c.sampleSeq
+	c.sampleSeq++
 	if len(c.samples) >= c.sampleCap {
 		copy(c.samples, c.samples[1:])
 		c.samples = c.samples[:len(c.samples)-1]
@@ -289,4 +293,33 @@ func (r *Recorder) Samples() []Sample {
 	r.c.mu.Lock()
 	defer r.c.mu.Unlock()
 	return append([]Sample(nil), r.c.samples...)
+}
+
+// SamplesSince returns the retained samples with Seq >= fromSeq, oldest
+// first. Start polling with fromSeq 0, then pass lastSeen+1 to consume the
+// series incrementally (the streaming endpoints do); samples evicted by
+// the bounded series are gone, so a slow consumer may observe a Seq gap
+// but never a duplicate.
+func (r *Recorder) SamplesSince(fromSeq uint64) []Sample {
+	if r == nil {
+		return nil
+	}
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Seqs are assigned in append order, so samples is sorted by Seq:
+	// binary-search the first entry at or past fromSeq.
+	lo, hi := 0, len(c.samples)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.samples[mid].Seq < fromSeq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(c.samples) {
+		return nil
+	}
+	return append([]Sample(nil), c.samples[lo:]...)
 }

@@ -1,6 +1,7 @@
 package parsim
 
 import (
+	"context"
 	"fmt"
 
 	"facile/internal/arch/fastsim"
@@ -86,10 +87,24 @@ type Merged struct {
 // snapshot; the last interval runs to program halt so the merged output and
 // exit status are the complete program's.
 func RunIntervals(cfg uarch.Config, prog *loader.Program, plan *Plan, opt fastsim.Options, workers int) (*Merged, error) {
+	return RunIntervalsCtx(context.Background(), cfg, prog, plan, opt, workers)
+}
+
+// ctxChunk is how many instructions an interval commits between context
+// checks in RunIntervalsCtx. Chunking is invisible to the results (Run
+// budgets are cumulative), it only bounds cancellation latency.
+const ctxChunk = 1 << 16
+
+// RunIntervalsCtx is RunIntervals with cooperative cancellation: once ctx
+// is done, no new interval starts and running intervals stop at the next
+// chunk boundary; the partial results are discarded and ctx's error is
+// returned. The merged result of an uncanceled run is bit-identical to
+// RunIntervals.
+func RunIntervalsCtx(ctx context.Context, cfg uarch.Config, prog *loader.Program, plan *Plan, opt fastsim.Options, workers int) (*Merged, error) {
 	n := len(plan.Intervals)
 	results := make([]IntervalResult, n)
 	finals := make([]*funcsim.State, n)
-	err := ForEach(n, workers, func(i int) error {
+	err := ForEachCtx(ctx, n, workers, func(i int) error {
 		iv := plan.Intervals[i]
 		ivOpt := opt
 		if opt.Obs != nil {
@@ -102,7 +117,20 @@ func RunIntervals(cfg uarch.Config, prog *loader.Program, plan *Plan, opt fastsi
 		if i == n-1 {
 			budget = 0 // run the tail to halt for complete output
 		}
-		res := s.Run(budget)
+		var res uarch.Result
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			target := s.Committed() + ctxChunk
+			if budget != 0 && target > budget {
+				target = budget
+			}
+			res = s.Run(target)
+			if s.Done() || (budget != 0 && s.Committed() >= budget) {
+				break
+			}
+		}
 		if i == n-1 && !s.State().Halted {
 			return fmt.Errorf("parsim: final interval did not halt after %d instructions", res.Insts)
 		}

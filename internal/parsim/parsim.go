@@ -12,7 +12,10 @@
 //     bit-identical to the sequential one.
 package parsim
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // ForEach invokes fn(i) for every i in [0, n), using up to `workers`
 // goroutines. Each item's results must be written only to slots owned by
@@ -24,6 +27,15 @@ import "sync"
 // All items run even when some fail; the returned error is the one from
 // the lowest-numbered failing item, again independent of scheduling.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done no
+// further items start (items already running finish normally — fn is never
+// interrupted mid-item). A canceled run returns ctx's error, which takes
+// precedence over item errors since the item set that ran is scheduling-
+// dependent once cancellation cuts it short.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -33,6 +45,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			errs[i] = fn(i)
 		}
 	} else {
@@ -47,11 +62,19 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				}
 			}()
 		}
+	feed:
 		for i := 0; i < n; i++ {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(next)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	for _, err := range errs {
 		if err != nil {

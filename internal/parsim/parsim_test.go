@@ -2,6 +2,7 @@ package parsim
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -142,5 +143,72 @@ func TestPlanIntervals(t *testing.T) {
 	}
 	if _, err := PlanIntervals(w.Prog, 0); err == nil {
 		t.Fatal("zero interval length accepted")
+	}
+}
+
+func TestForEachCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		release := make(chan struct{})
+		err := ForEachCtx(ctx, 100, workers, func(i int) error {
+			if int(ran.Add(1)) == workers {
+				cancel()       // cancel while mid-flight
+				close(release) // then let in-flight items finish
+			}
+			<-release
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// In-flight items finish, no new items start after cancel (the
+		// dispatcher may have handed each worker at most the one item it
+		// was already blocked sending).
+		if n := ran.Load(); n > int32(2*workers) {
+			t.Fatalf("workers=%d: %d items ran after cancel", workers, n)
+		}
+	}
+
+	// An uncanceled ForEachCtx behaves exactly like ForEach.
+	var n atomic.Int32
+	if err := ForEachCtx(context.Background(), 10, 4, func(int) error {
+		n.Add(1)
+		return nil
+	}); err != nil || n.Load() != 10 {
+		t.Fatalf("uncanceled: err=%v ran=%d, want nil/10", err, n.Load())
+	}
+}
+
+func TestRunIntervalsCtxCanceled(t *testing.T) {
+	w, err := workloads.Get("126.gcc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanIntervals(w.Prog, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunIntervalsCtx(ctx, uarch.Default(), w.Prog, plan,
+		fastsim.Options{Memoize: true}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// With a live context the chunked loop must match RunIntervals exactly.
+	a, err := RunIntervals(uarch.Default(), w.Prog, plan, fastsim.Options{Memoize: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunIntervalsCtx(context.Background(), uarch.Default(), w.Prog, plan,
+		fastsim.Options{Memoize: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Insts != b.Insts || a.Cycles != b.Cycles || a.ArchHash != b.ArchHash ||
+		!bytes.Equal(a.Output, b.Output) {
+		t.Fatalf("ctx run diverged: %d/%d/%s vs %d/%d/%s",
+			a.Insts, a.Cycles, a.ArchHash, b.Insts, b.Cycles, b.ArchHash)
 	}
 }

@@ -1,0 +1,68 @@
+package rt_test
+
+import (
+	"reflect"
+	"testing"
+
+	"facile/internal/core"
+	"facile/internal/rt"
+)
+
+// TestWarmCacheAdoption runs a memoizing machine, detaches its action
+// cache, adopts it into a fresh machine, and checks the warm machine
+// replays from the first step while computing identical results.
+func TestWarmCacheAdoption(t *testing.T) {
+	sim, err := core.CompileSource(counterSrc, core.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	const steps = 100
+	run := func(wc *rt.WarmCache) (*rt.Machine, []int64) {
+		var emitted []int64
+		m := sim.NewMachine(core.NullText(), rt.Options{Memoize: true})
+		if err := m.RegisterExtern("emit", func(a []int64) int64 {
+			emitted = append(emitted, a[0])
+			return 0
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetIntArgs(0); err != nil {
+			t.Fatal(err)
+		}
+		if wc != nil && !m.AdoptCache(wc) {
+			t.Fatal("AdoptCache refused a valid warm cache")
+		}
+		if err := m.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+		return m, emitted
+	}
+
+	cold, coldOut := run(nil)
+	coldStats := cold.Stats()
+	wc := cold.DetachCache()
+	if wc == nil || wc.Entries() == 0 {
+		t.Fatalf("detached cache empty: %+v", wc)
+	}
+	if got := cold.Stats().CacheBytes; got != 0 {
+		t.Errorf("occupancy not refunded on detach: %d bytes", got)
+	}
+
+	warm, warmOut := run(wc)
+	warmStats := warm.Stats()
+	if !reflect.DeepEqual(coldOut, warmOut) {
+		t.Errorf("warm emitted %v != cold %v", warmOut, coldOut)
+	}
+	if warmStats.SlowSteps >= coldStats.SlowSteps {
+		t.Errorf("warm ran %d slow steps, expected fewer than cold %d",
+			warmStats.SlowSteps, coldStats.SlowSteps)
+	}
+	if warmStats.Replays <= coldStats.Replays {
+		t.Errorf("warm replayed %d steps, expected more than cold %d",
+			warmStats.Replays, coldStats.Replays)
+	}
+	if warmStats.TotalMemoBytes >= coldStats.TotalMemoBytes {
+		t.Errorf("warm memoized %d bytes, expected less than cold %d",
+			warmStats.TotalMemoBytes, coldStats.TotalMemoBytes)
+	}
+}

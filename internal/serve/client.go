@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a minimal JSON client for the job API, used by the fbench
+// client mode and the end-to-end tests.
+type Client struct {
+	Base string // server base URL, e.g. "http://127.0.0.1:8764"
+	HC   *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HC: &http.Client{}}
+}
+
+// StatusError is a non-2xx API response.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d: %s", e.Code, e.Msg)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HC.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var ae apiError
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return &StatusError{Code: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Status fetches one job.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches all jobs.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Wait polls until the job reaches a terminal state (or ctx expires) and
+// returns its final status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled, StateRequeued:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}

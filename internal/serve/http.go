@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// HTTP/JSON API:
+//
+//	POST   /v1/jobs             submit a JobRequest; 202 + JobStatus,
+//	                            429 when the queue is full, 503 while draining
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        one job's status (final Stats once done)
+//	GET    /v1/jobs/{id}/events chunked JSON lines: the job's sampled time
+//	                            series as it runs, then a final status line
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/metrics          aggregate metrics registry (includes the
+//	                            serve.warm_* occupancy gauges)
+//	GET    /healthz             liveness + drain state
+
+// Handler returns the API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	err := s.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrJobDone):
+		writeErr(w, http.StatusConflict, err)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"state": "canceling"})
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.rec.Registry().WriteJSON(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	state := "ok"
+	if s.Draining() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": state})
+}
+
+// eventLine is one line of the events stream. Sample lines carry the
+// job's sampled time series (type "sample"); the stream ends with a
+// single "status" line holding the job's terminal JobStatus.
+type eventLine struct {
+	Type   string      `json:"type"`
+	Sample *sampleJSON `json:"sample,omitempty"`
+	Status *JobStatus  `json:"status,omitempty"`
+}
+
+// sampleJSON flattens obs.Sample with a millisecond timestamp.
+type sampleJSON struct {
+	Seq          uint64  `json:"seq"`
+	TSMs         float64 `json:"ts_ms"`
+	Insts        uint64  `json:"insts"`
+	Cycles       uint64  `json:"cycles"`
+	SlowInsts    uint64  `json:"slow_insts"`
+	FastInsts    uint64  `json:"fast_insts"`
+	CacheBytes   uint64  `json:"cache_bytes"`
+	CacheEntries uint64  `json:"cache_entries"`
+	IPC          float64 `json:"ipc"`
+}
+
+// eventsPollInterval is how often the events stream polls for new
+// samples while the job runs.
+const eventsPollInterval = 25 * time.Millisecond
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	doneCh, err := s.Done(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	track := "job-" + id
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	var cursor uint64
+	flush := func() bool {
+		wrote := false
+		for _, smp := range s.rec.SamplesSince(cursor) {
+			cursor = smp.Seq + 1
+			if smp.Track != track {
+				continue
+			}
+			line := eventLine{Type: "sample", Sample: &sampleJSON{
+				Seq:          smp.Seq,
+				TSMs:         float64(smp.TS.Nanoseconds()) / 1e6,
+				Insts:        smp.Insts,
+				Cycles:       smp.Cycles,
+				SlowInsts:    smp.SlowInsts,
+				FastInsts:    smp.FastInsts,
+				CacheBytes:   smp.CacheBytes,
+				CacheEntries: smp.CacheEntries,
+				IPC:          smp.IPC,
+			}}
+			if enc.Encode(line) != nil {
+				return false
+			}
+			wrote = true
+		}
+		if wrote && flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	ticker := time.NewTicker(eventsPollInterval)
+	defer ticker.Stop()
+	terminal := false
+	for !terminal {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-doneCh:
+			terminal = true
+		case <-ticker.C:
+		}
+		if !flush() {
+			return
+		}
+	}
+	st, err := s.Status(id)
+	if err == nil {
+		_ = enc.Encode(eventLine{Type: "status", Status: &st})
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

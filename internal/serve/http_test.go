@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"facile/internal/runcfg"
+)
+
+func newTestAPI(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, NewClient(ts.URL)
+}
+
+// TestHTTPJobLifecycle drives submit → status → list → final result over
+// the wire with the package client.
+func TestHTTPJobLifecycle(t *testing.T) {
+	_, c := newTestAPI(t, Config{Workers: 2, QueueDepth: 8})
+	ctx := context.Background()
+	req := JobRequest{Bench: "129.compress", Scale: 1, Engine: runcfg.EngineFunc}
+	ref := reference(t, req)
+
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || (st.State != StateQueued && st.State != StateRunning) {
+		t.Fatalf("submit returned id %q state %q", st.ID, st.State)
+	}
+	final, err := c.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, "http job", final, ref)
+
+	list, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v, want the one job", list)
+	}
+}
+
+// TestHTTPErrorMapping pins the status codes the API documents: 400 for a
+// bad request, 404 for unknown jobs, 409 for double cancel, 429 for queue
+// overflow, 503 while draining.
+func TestHTTPErrorMapping(t *testing.T) {
+	s, c := newTestAPI(t, Config{Workers: 1, QueueDepth: 1})
+	ctx := context.Background()
+
+	wantCode := func(err error, code int, what string) {
+		t.Helper()
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != code {
+			t.Fatalf("%s: err = %v, want HTTP %d", what, err, code)
+		}
+	}
+
+	_, err := c.Submit(ctx, JobRequest{Bench: "no-such-bench", Engine: runcfg.EngineFunc})
+	wantCode(err, http.StatusBadRequest, "bad bench")
+	_, err = c.Submit(ctx, JobRequest{Engine: runcfg.EngineFunc})
+	wantCode(err, http.StatusBadRequest, "no program")
+	_, err = c.Status(ctx, "job-999999")
+	wantCode(err, http.StatusNotFound, "unknown status")
+	err = c.Cancel(ctx, "job-999999")
+	wantCode(err, http.StatusNotFound, "unknown cancel")
+
+	long := JobRequest{Bench: "126.gcc", Scale: 300, Engine: runcfg.EngineFastsim,
+		Memoize: true, ChunkInsts: 2048}
+	head, err := c.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, head.ID, 0)
+	queued, err := c.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, long)
+	wantCode(err, http.StatusTooManyRequests, "overflow")
+
+	if err := c.Cancel(ctx, queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(ctx, head.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, queued.ID, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	err = c.Cancel(ctx, queued.ID)
+	wantCode(err, http.StatusConflict, "double cancel")
+	if _, err := c.Wait(ctx, head.ID, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	go s.Drain() // Drain blocks on workers; submissions must 503 at once
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err = c.Submit(ctx, long)
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit while draining: err = %v, want HTTP 503", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHTTPEventsStream reads the per-job NDJSON events feed: sample lines
+// while the job runs, one terminal status line at the end.
+func TestHTTPEventsStream(t *testing.T) {
+	s, c := newTestAPI(t, Config{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, JobRequest{Bench: "126.gcc", Scale: 20,
+		Engine: runcfg.EngineFastsim, Memoize: true, SampleEvery: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.HC.Get(c.Base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+
+	var samples int
+	var last eventLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev eventLine
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		switch ev.Type {
+		case "sample":
+			if ev.Sample == nil {
+				t.Fatal("sample line without sample body")
+			}
+			samples++
+		case "status":
+			last = ev
+		default:
+			t.Fatalf("unknown event type %q", ev.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if samples == 0 {
+		t.Fatal("stream carried no sample lines")
+	}
+	if last.Type != "status" || last.Status == nil {
+		t.Fatal("stream did not end with a status line")
+	}
+	if last.Status.State != StateDone || last.Status.Result == nil {
+		t.Fatalf("terminal status: state %s, result %v", last.Status.State, last.Status.Result)
+	}
+
+	// The feed replays from the start for late subscribers too.
+	resp2, err := c.HC.Get(c.Base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sc2 := bufio.NewScanner(resp2.Body)
+	sc2.Buffer(make([]byte, 1<<20), 1<<20)
+	lateSamples := 0
+	for sc2.Scan() {
+		if strings.Contains(sc2.Text(), `"type":"sample"`) {
+			lateSamples++
+		}
+	}
+	if lateSamples == 0 {
+		t.Fatal("late subscriber saw no samples")
+	}
+	if _, err := c.HC.Get(c.Base + "/v1/jobs/nope/events"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+}
+
+// TestHTTPMetricsAndHealth checks /v1/metrics exposes the serve counters
+// and warm gauges, and /healthz reflects the drain state.
+func TestHTTPMetricsAndHealth(t *testing.T) {
+	s, c := newTestAPI(t, Config{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+	req := JobRequest{Bench: "126.gcc", Scale: 2, Engine: runcfg.EngineFastsim, Memoize: true}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, st.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.HC.Get(c.Base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := json.Marshal(m)
+	for _, want := range []string{"serve.jobs_submitted", "serve.jobs_completed",
+		"serve.warm_bytes", "serve.warm_entries"} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("/v1/metrics missing %q in %s", want, blob)
+		}
+	}
+
+	health := func() string {
+		resp, err := c.HC.Get(c.Base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h["status"]
+	}
+	if got := health(); got != "ok" {
+		t.Fatalf("healthz = %q, want ok", got)
+	}
+	s.Drain()
+	if got := health(); got != "draining" {
+		t.Fatalf("healthz after drain = %q, want draining", got)
+	}
+}

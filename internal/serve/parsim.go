@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"errors"
+
+	"facile/internal/arch/fastsim"
+	"facile/internal/arch/uarch"
+	"facile/internal/parsim"
+	"facile/internal/runcfg"
+)
+
+// runParsimAttempt runs a job as parallel interval simulation: functional
+// warm-up plans the intervals, then the detailed intervals run on cloned
+// machines under the job's worker budget. Interval results only merge at
+// the end, so a drain cannot checkpoint mid-flight — the job requeues
+// cold instead (still losing no completed jobs, just this job's partial
+// progress), and no cache lineage applies (each interval's action cache
+// is private to its clone).
+func (s *Server) runParsimAttempt(ctx context.Context, j *Job) (jobOutcome, error) {
+	prog, err := j.req.program()
+	if err != nil {
+		return outcomeErr, err
+	}
+	rec := s.rec.WithTrack("job-" + j.id)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if dl := s.attemptDeadline(j); !dl.IsZero() {
+		var cancelDl context.CancelFunc
+		runCtx, cancelDl = context.WithDeadline(runCtx, dl)
+		defer cancelDl()
+	}
+	stopWatch := context.AfterFunc(s.drainCtx, cancel)
+	defer stopWatch()
+
+	plan, err := parsim.PlanIntervals(prog, j.req.IntervalInsts)
+	if err != nil {
+		return outcomeErr, err
+	}
+	opt := fastsim.Options{
+		Memoize:       j.req.Memoize,
+		CacheCapBytes: j.req.CacheCapBytes,
+		Obs:           rec,
+		SampleEvery:   j.req.SampleEvery,
+	}
+	m, err := parsim.RunIntervalsCtx(runCtx, uarch.Default(), prog, plan, opt, j.req.ParsimWorkers)
+	if err != nil {
+		switch {
+		case s.drainCtx.Err() != nil:
+			return outcomeDrain, nil
+		case ctx.Err() != nil:
+			return outcomeCanceled, ctx.Err()
+		case errors.Is(err, context.DeadlineExceeded) || runCtx.Err() == context.DeadlineExceeded:
+			return outcomeTimeout, nil
+		}
+		return outcomeErr, err
+	}
+
+	res := runcfg.Result{
+		Insts:  m.Insts,
+		Cycles: m.Cycles,
+		Output: m.Output,
+		Exit:   m.ExitStatus,
+	}
+	st := runcfg.Stats{
+		SlowSteps: m.Stats.Steps, Replays: m.Stats.Replays,
+		Misses: m.Stats.Misses, KeyMisses: m.Stats.KeyMisses,
+		CacheBytes: m.Stats.CacheBytes, CacheEntries: m.Stats.CacheEntries,
+		TotalMemoBytes: m.Stats.TotalMemoBytes, CacheClears: m.Stats.CacheClears,
+		Faults: m.Stats.Faults, Invalidations: m.Stats.Invalidations,
+		DegradedSteps: m.Stats.DegradedSteps, WatchdogTrips: m.Stats.WatchdogTrips,
+		SelfChecks: m.Stats.SelfChecks, SelfCheckDivergences: m.Stats.SelfCheckDivergences,
+		FastForwardedPc: m.Stats.FastForwardedPc,
+	}
+	s.mu.Lock()
+	j.result = &res
+	j.stats = &st
+	j.committed = m.Insts
+	s.mu.Unlock()
+	return outcomeOK, nil
+}

@@ -1,0 +1,837 @@
+// Package serve turns the simulators into a long-lived job service, the
+// piece that lets the paper's memoization economics compound across runs:
+// a one-shot fsim invocation pays the specialization cost of warming its
+// action cache every time, while a server can hand the cache built by one
+// job to the next job running the same (program, engine, configuration) —
+// its cache lineage — so steady-state jobs start fast-forwarding from the
+// first step.
+//
+// The server is a bounded FIFO queue in front of a fixed worker pool.
+// Submissions beyond the queue bound are rejected (the HTTP layer maps
+// that to 429), jobs run with per-job timeouts and one retry when the
+// failure is a recovered simulator fault (internal/faults), and SIGTERM
+// drain checkpoints in-flight jobs through internal/snapshot and requeues
+// them as restorable, so a restart loses no completed work.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"facile/internal/faults"
+	"facile/internal/isa/asm"
+	"facile/internal/isa/loader"
+	"facile/internal/obs"
+	"facile/internal/runcfg"
+	"facile/internal/snapshot"
+	"facile/internal/workloads"
+)
+
+// Job states. A job moves queued → running → one of the terminal states
+// (done, failed, canceled), or to requeued when a drain checkpoints it;
+// resubmitting a requeued job puts it back to queued with its progress.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+	StateRequeued = "requeued"
+)
+
+// Sentinel errors, mapped to HTTP statuses by the API layer.
+var (
+	ErrQueueFull  = errors.New("serve: queue full")
+	ErrDraining   = errors.New("serve: server draining")
+	ErrUnknownJob = errors.New("serve: unknown job")
+	ErrJobDone    = errors.New("serve: job already terminal")
+)
+
+// JobRequest describes one simulation job. Exactly one of Bench (a
+// bundled benchmark from internal/workloads) or Asm (SVR32 assembly
+// source) selects the program.
+type JobRequest struct {
+	Bench string `json:"bench,omitempty"`
+	Scale int    `json:"scale,omitempty"` // benchmark scale (default 1)
+	Asm   string `json:"asm,omitempty"`   // assembly source, assembled in the worker
+
+	Engine        string `json:"engine"` // runcfg engine name
+	Memoize       bool   `json:"memoize,omitempty"`
+	CacheCapBytes uint64 `json:"cache_cap_bytes,omitempty"`
+
+	// MaxInsts bounds the run (committed instructions; Facile steps for
+	// fac-* engines). 0 runs to completion.
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// ChunkInsts is the progress between cancellation/timeout/drain checks
+	// and therefore the drain checkpoint granularity (0 = server default).
+	ChunkInsts uint64 `json:"chunk_insts,omitempty"`
+	TimeoutMs  int64  `json:"timeout_ms,omitempty"` // 0 = server default
+
+	// ParsimWorkers > 1 runs the job as parallel interval simulation
+	// (fastsim only). Parsim jobs requeue cold on drain (their interval
+	// results are not snapshottable mid-flight) and do not join a cache
+	// lineage (each interval owns a private cache).
+	ParsimWorkers int    `json:"parsim_workers,omitempty"`
+	IntervalInsts uint64 `json:"interval_insts,omitempty"`
+
+	SampleEvery uint64 `json:"sample_every,omitempty"` // obs sampling stride
+}
+
+// Validate checks the request shape without assembling the program.
+func (r *JobRequest) Validate() error {
+	if (r.Bench == "") == (r.Asm == "") {
+		return fmt.Errorf("exactly one of bench or asm must be set")
+	}
+	if r.Bench != "" {
+		if _, err := workloads.Source(r.Bench, 1); err != nil {
+			return err
+		}
+	}
+	if r.Engine == "" {
+		r.Engine = runcfg.EngineFunc
+	}
+	if !runcfg.ValidEngine(r.Engine) {
+		return fmt.Errorf("unknown engine %q (valid: %v)", r.Engine, runcfg.Engines())
+	}
+	if r.Scale < 1 {
+		r.Scale = 1
+	}
+	if r.ParsimWorkers > 1 && r.Engine != runcfg.EngineFastsim {
+		return fmt.Errorf("parsim_workers requires engine %q", runcfg.EngineFastsim)
+	}
+	if r.ParsimWorkers > 1 && r.IntervalInsts == 0 {
+		r.IntervalInsts = 1 << 20
+	}
+	return nil
+}
+
+// runcfgConfig maps the request onto the shared run-setup layer.
+func (r *JobRequest) runcfgConfig(rec *obs.Recorder) runcfg.Config {
+	return runcfg.Config{
+		Engine:        r.Engine,
+		Memoize:       r.Memoize,
+		CacheCapBytes: r.CacheCapBytes,
+		Obs:           rec,
+		SampleEvery:   r.SampleEvery,
+	}
+}
+
+// LineageKey identifies the job's cache lineage: jobs with equal keys run
+// the same program under the same specialization-relevant configuration,
+// so their action caches are interchangeable. Empty for jobs that build
+// no shareable cache.
+func (r *JobRequest) LineageKey() string {
+	cfg := r.runcfgConfig(nil)
+	if !cfg.Memoizing() || r.ParsimWorkers > 1 {
+		return ""
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "bench=%s|scale=%d|", r.Bench, r.Scale)
+	if r.Asm != "" {
+		src := sha256.Sum256([]byte(r.Asm))
+		fmt.Fprintf(h, "asm=%x|", src)
+	}
+	fmt.Fprintf(h, "engine=%s|memo=%v|cap=%d", r.Engine, r.Memoize, r.CacheCapBytes)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// program assembles the job's program.
+func (r *JobRequest) program() (*loader.Program, error) {
+	if r.Bench != "" {
+		w, err := workloads.Get(r.Bench, r.Scale)
+		if err != nil {
+			return nil, err
+		}
+		return w.Prog, nil
+	}
+	return asm.Assemble("job.s", r.Asm)
+}
+
+// Job is the server-side record of one submission. All mutable fields are
+// guarded by the server mutex; JobStatus snapshots them for the API.
+type Job struct {
+	id  string
+	req JobRequest
+
+	state     string
+	err       string
+	attempt   int
+	queuedAt  time.Time
+	startedAt time.Time
+	doneAt    time.Time
+
+	committed    uint64 // progress at the last chunk boundary
+	restoredFrom uint64 // progress carried in on resubmit (0 = fresh)
+
+	warmStart   bool
+	warmEntries uint64
+	warmBytes   uint64
+	lineage     string
+
+	result *runcfg.Result
+	stats  *runcfg.Stats
+
+	cancelRequested bool
+	cancel          context.CancelFunc // set while running
+
+	resume     []byte // snapshot blob captured by drain
+	resumeKind string
+
+	done chan struct{} // closed when the job reaches a terminal state
+}
+
+// JobStatus is the API view of a job.
+type JobStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Engine  string `json:"engine"`
+	Bench   string `json:"bench,omitempty"`
+	Attempt int    `json:"attempt"`
+	Error   string `json:"error,omitempty"`
+
+	QueuedAt   time.Time `json:"queued_at"`
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+
+	Committed    uint64 `json:"committed"`
+	RestoredFrom uint64 `json:"restored_from,omitempty"`
+
+	// Warm-cache sharing: whether this job adopted a predecessor's action
+	// cache, how much it adopted, and the lineage it belongs to.
+	LineageKey  string `json:"lineage_key,omitempty"`
+	WarmStart   bool   `json:"warm_start"`
+	WarmEntries uint64 `json:"warm_entries,omitempty"`
+	WarmBytes   uint64 `json:"warm_bytes,omitempty"`
+
+	// FastSharePc is the slow/fast split achieved by the run so far —
+	// the serving-economics headline number.
+	FastSharePc float64 `json:"fast_share_pc"`
+
+	Result *runcfg.Result `json:"result,omitempty"`
+	Stats  *runcfg.Stats  `json:"stats,omitempty"`
+}
+
+// RequeuedJob is the restorable form of a drained job: the original
+// request plus the snapshot blob ([]byte marshals as base64) needed to
+// resume where the drain checkpointed it. It round-trips through JSON for
+// the spool directory.
+type RequeuedJob struct {
+	ID        string     `json:"id"`
+	Req       JobRequest `json:"req"`
+	Attempt   int        `json:"attempt"`
+	Committed uint64     `json:"committed"`
+	Kind      string     `json:"kind,omitempty"`   // snapshot kind
+	Resume    []byte     `json:"resume,omitempty"` // snapshot.Encode blob
+}
+
+// Config sizes a Server.
+type Config struct {
+	Workers        int           // worker pool size (default 2)
+	QueueDepth     int           // bounded FIFO depth (default 64)
+	DefaultTimeout time.Duration // per-job timeout when the request sets none (0 = none)
+	ChunkInsts     uint64        // default cancellation/checkpoint granularity (default 1<<16)
+
+	// Rec is the shared observability recorder; one is created when nil.
+	// Each job samples into its own track ("job-<id>").
+	Rec *obs.Recorder
+}
+
+// Server is the job service: bounded queue, worker pool, lineage table.
+type Server struct {
+	cfg Config
+	rec *obs.Recorder
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for List
+	queue    chan *Job
+	draining bool
+	nextID   uint64
+	lineages map[string]*lineage
+
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+	wg          sync.WaitGroup
+
+	// Warm-cache occupancy gauges: at any instant they equal the sum over
+	// lineages of the parked caches' sizes. A cache taken by a running job
+	// is charged to that job's engine gauge instead; a canceled or failed
+	// job's cache is dropped, never parked, so cancellation refunds the
+	// serve-level occupancy by construction.
+	warmBytes   *obs.Gauge
+	warmEntries *obs.Gauge
+}
+
+// lineage is one cache-lineage group: jobs with the same LineageKey hand
+// their specialized action cache forward through the parked slot.
+type lineage struct {
+	parked  runcfg.WarmCache // nil when no cache is parked
+	entries uint64
+	bytes   uint64
+	parks   uint64
+	takes   uint64
+}
+
+// New builds and starts a server (its worker pool runs until Drain).
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.ChunkInsts == 0 {
+		cfg.ChunkInsts = 1 << 16
+	}
+	rec := cfg.Rec
+	if rec == nil {
+		rec = obs.NewRecorder(obs.Config{})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		rec:         rec,
+		jobs:        make(map[string]*Job),
+		queue:       make(chan *Job, cfg.QueueDepth),
+		lineages:    make(map[string]*lineage),
+		drainCtx:    ctx,
+		drainCancel: cancel,
+		warmBytes:   rec.Registry().Gauge("serve.warm_bytes"),
+		warmEntries: rec.Registry().Gauge("serve.warm_entries"),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Recorder returns the server's observability recorder.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Submit validates and enqueues a job. It returns ErrDraining after a
+// drain started and ErrQueueFull when the bounded queue is at capacity —
+// backpressure the API layer reports as 503 and 429.
+func (s *Server) Submit(req JobRequest) (JobStatus, error) {
+	if err := req.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	s.nextID++
+	j := &Job{
+		id:       fmt.Sprintf("job-%06d", s.nextID),
+		req:      req,
+		state:    StateQueued,
+		attempt:  1,
+		queuedAt: time.Now(),
+		lineage:  req.LineageKey(),
+		done:     make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID--
+		s.counter("serve.queue_rejects").Inc()
+		return JobStatus{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.counter("serve.jobs_submitted").Inc()
+	return s.statusLocked(j), nil
+}
+
+// Resubmit enqueues a previously drained job under its original ID,
+// preserving its attempt count and checkpointed progress.
+func (s *Server) Resubmit(rq RequeuedJob) (JobStatus, error) {
+	if err := rq.Req.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	if _, exists := s.jobs[rq.ID]; exists {
+		return JobStatus{}, fmt.Errorf("serve: job %s already present", rq.ID)
+	}
+	attempt := rq.Attempt
+	if attempt < 1 {
+		attempt = 1
+	}
+	j := &Job{
+		id:           rq.ID,
+		req:          rq.Req,
+		state:        StateQueued,
+		attempt:      attempt,
+		queuedAt:     time.Now(),
+		lineage:      rq.Req.LineageKey(),
+		restoredFrom: rq.Committed,
+		committed:    rq.Committed,
+		resume:       rq.Resume,
+		resumeKind:   rq.Kind,
+		done:         make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.counter("serve.queue_rejects").Inc()
+		return JobStatus{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.counter("serve.jobs_resubmitted").Inc()
+	return s.statusLocked(j), nil
+}
+
+// Status reports one job.
+func (s *Server) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return s.statusLocked(j), nil
+}
+
+// List reports every job in submission order.
+func (s *Server) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// Cancel requests cancellation. A queued job is discarded when a worker
+// dequeues it; a running job stops at its next chunk boundary.
+func (s *Server) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return ErrUnknownJob
+	}
+	if j.state != StateQueued && j.state != StateRunning {
+		return ErrJobDone
+	}
+	j.cancelRequested = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return nil
+}
+
+// Done returns a channel closed when the job reaches a terminal state
+// (done, failed, canceled, or requeued by a drain).
+func (s *Server) Done(id string) (<-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, ErrUnknownJob
+	}
+	return j.done, nil
+}
+
+// WarmOccupancy reports the serve-level warm-cache gauges (entries,
+// bytes): the total size of all parked lineage caches.
+func (s *Server) WarmOccupancy() (entries, bytes int64) {
+	return s.warmEntries.Load(), s.warmBytes.Load()
+}
+
+// FlushWarm drops every parked lineage cache, refunding the gauges. It
+// returns the number of caches dropped.
+func (s *Server) FlushWarm() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ln := range s.lineages {
+		if ln.parked != nil {
+			s.warmEntries.Add(-int64(ln.entries))
+			s.warmBytes.Add(-int64(ln.bytes))
+			ln.parked, ln.entries, ln.bytes = nil, 0, 0
+			n++
+		}
+	}
+	return n
+}
+
+// Drain stops the server: no new submissions are accepted, workers stop
+// picking up work, running jobs checkpoint at their next chunk boundary
+// and are marked requeued, and still-queued jobs are requeued untouched.
+// It blocks until every worker has stopped and returns the restorable
+// jobs in their original submission order, ready for Resubmit (typically
+// on the next server process).
+func (s *Server) Drain() []RequeuedJob {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	s.drainCancel() // running jobs checkpoint; idle workers exit
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Whatever is still in the channel was never started: requeue as-is.
+	for {
+		select {
+		case j := <-s.queue:
+			s.finishLocked(j, StateRequeued, "")
+		default:
+			goto drained
+		}
+	}
+drained:
+	var out []RequeuedJob
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state != StateRequeued {
+			continue
+		}
+		out = append(out, RequeuedJob{
+			ID:        j.id,
+			Req:       j.req,
+			Attempt:   j.attempt,
+			Committed: j.committed,
+			Kind:      j.resumeKind,
+			Resume:    j.resume,
+		})
+		s.counter("serve.jobs_requeued").Inc()
+	}
+	return out
+}
+
+// Draining reports whether a drain has started.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// --- internals -------------------------------------------------------------
+
+func (s *Server) counter(name string) *obs.Counter {
+	return s.rec.Registry().Counter(name)
+}
+
+// statusLocked snapshots a job; callers hold s.mu.
+func (s *Server) statusLocked(j *Job) JobStatus {
+	st := JobStatus{
+		ID:           j.id,
+		State:        j.state,
+		Engine:       j.req.Engine,
+		Bench:        j.req.Bench,
+		Attempt:      j.attempt,
+		Error:        j.err,
+		QueuedAt:     j.queuedAt,
+		StartedAt:    j.startedAt,
+		FinishedAt:   j.doneAt,
+		Committed:    j.committed,
+		RestoredFrom: j.restoredFrom,
+		LineageKey:   j.lineage,
+		WarmStart:    j.warmStart,
+		WarmEntries:  j.warmEntries,
+		WarmBytes:    j.warmBytes,
+	}
+	if j.result != nil {
+		r := *j.result
+		st.Result = &r
+	}
+	if j.stats != nil {
+		c := *j.stats
+		st.Stats = &c
+		if total := c.SlowSteps + c.Replays; total > 0 {
+			st.FastSharePc = 100 * float64(c.Replays) / float64(total)
+		}
+		if c.FastForwardedPc > 0 {
+			st.FastSharePc = c.FastForwardedPc
+		}
+	}
+	return st
+}
+
+// finishLocked moves a job to a terminal state; callers hold s.mu.
+func (s *Server) finishLocked(j *Job, state, errMsg string) {
+	if j.state == StateDone || j.state == StateFailed ||
+		j.state == StateCanceled || j.state == StateRequeued {
+		return
+	}
+	j.state = state
+	j.err = errMsg
+	j.doneAt = time.Now()
+	j.cancel = nil
+	close(j.done)
+	switch state {
+	case StateDone:
+		s.counter("serve.jobs_completed").Inc()
+	case StateFailed:
+		s.counter("serve.jobs_failed").Inc()
+	case StateCanceled:
+		s.counter("serve.jobs_canceled").Inc()
+	}
+}
+
+// takeWarm removes the lineage's parked cache for a starting job.
+func (s *Server) takeWarm(key string) runcfg.WarmCache {
+	if key == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ln := s.lineages[key]
+	if ln == nil || ln.parked == nil {
+		return nil
+	}
+	wc := ln.parked
+	s.warmEntries.Add(-int64(ln.entries))
+	s.warmBytes.Add(-int64(ln.bytes))
+	ln.parked, ln.entries, ln.bytes = nil, 0, 0
+	ln.takes++
+	s.counter("serve.warm_takes").Inc()
+	return wc
+}
+
+// parkWarm stores a finished job's detached cache for the lineage's next
+// job. When a cache is already parked (a concurrent sibling finished
+// first), the one with more entries wins and the other is dropped.
+func (s *Server) parkWarm(key string, wc runcfg.WarmCache) {
+	if key == "" || wc == nil || wc.Entries() == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ln := s.lineages[key]
+	if ln == nil {
+		ln = &lineage{}
+		s.lineages[key] = ln
+	}
+	if ln.parked != nil {
+		if ln.parked.Entries() >= wc.Entries() {
+			return // keep the bigger cache
+		}
+		s.warmEntries.Add(-int64(ln.entries))
+		s.warmBytes.Add(-int64(ln.bytes))
+	}
+	ln.parked = wc
+	ln.entries = wc.Entries()
+	ln.bytes = wc.Bytes()
+	ln.parks++
+	s.warmEntries.Add(int64(ln.entries))
+	s.warmBytes.Add(int64(ln.bytes))
+	s.counter("serve.warm_parks").Inc()
+}
+
+// worker is one pool goroutine: it pulls jobs until the drain fires.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.drainCtx.Done():
+			return
+		case j, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// jobOutcome classifies how one attempt ended.
+type jobOutcome int
+
+const (
+	outcomeOK jobOutcome = iota
+	outcomeErr
+	outcomeCanceled
+	outcomeTimeout
+	outcomeDrain
+)
+
+// runJob drives one job through its attempts (at most one retry, and only
+// for recovered simulator faults — see internal/faults).
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	if j.cancelRequested {
+		s.finishLocked(j, StateCanceled, "canceled while queued")
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	j.state = StateRunning
+	j.startedAt = time.Now()
+	s.mu.Unlock()
+	defer cancel()
+
+	outcome, err := s.runAttempt(ctx, j, true)
+	if outcome == outcomeErr {
+		var f *faults.Fault
+		if errors.As(err, &f) {
+			// One faults-aware retry, cold: the cache that produced a
+			// structural fault is suspect, so the retry neither adopts a
+			// warm cache nor parks its own... it does park its own on
+			// success (a freshly built cache is trustworthy).
+			s.mu.Lock()
+			j.attempt++
+			j.committed = j.restoredFrom
+			s.mu.Unlock()
+			s.counter("serve.jobs_retried").Inc()
+			outcome, err = s.runAttempt(ctx, j, false)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch outcome {
+	case outcomeOK:
+		s.finishLocked(j, StateDone, "")
+	case outcomeCanceled:
+		s.finishLocked(j, StateCanceled, "canceled")
+	case outcomeTimeout:
+		s.finishLocked(j, StateFailed, "timeout")
+	case outcomeDrain:
+		s.finishLocked(j, StateRequeued, "")
+	default:
+		s.finishLocked(j, StateFailed, err.Error())
+	}
+}
+
+// runAttempt runs one attempt of a job. adoptWarm selects whether the
+// attempt may join its cache lineage (retries run cold).
+func (s *Server) runAttempt(ctx context.Context, j *Job, adoptWarm bool) (jobOutcome, error) {
+	if j.req.ParsimWorkers > 1 {
+		return s.runParsimAttempt(ctx, j)
+	}
+	prog, err := j.req.program()
+	if err != nil {
+		return outcomeErr, err
+	}
+	rec := s.rec.WithTrack("job-" + j.id)
+	r, err := newRunner(prog, j.req.runcfgConfig(rec))
+	if err != nil {
+		return outcomeErr, err
+	}
+
+	// Warm-start before restore: AdoptCache requires a runner that has not
+	// stepped yet, and the restored progress below does not invalidate the
+	// adopted entries (same program, same configuration).
+	if adoptWarm {
+		if wc := s.takeWarm(j.lineage); wc != nil {
+			// Size the cache before adoption: AdoptCache transfers ownership
+			// and empties the detached handle.
+			entries, bs := wc.Entries(), wc.Bytes()
+			if r.AdoptCache(wc) {
+				s.mu.Lock()
+				j.warmStart = true
+				j.warmEntries = entries
+				j.warmBytes = bs
+				s.mu.Unlock()
+				s.counter("serve.warm_hits").Inc()
+			}
+			// An adoption refusal drops the cache: it was detached (its
+			// lineage slot is empty) and re-parking a cache of unknown
+			// provenance is worse than rebuilding one.
+		}
+	}
+	s.mu.Lock()
+	resume, resumeKind := j.resume, j.resumeKind
+	s.mu.Unlock()
+	if len(resume) > 0 {
+		kind, rd, _, err := snapshot.Decode(resume)
+		if err != nil {
+			return outcomeErr, fmt.Errorf("restore: %w", err)
+		}
+		if kind != r.SnapshotKind() || kind != resumeKind {
+			return outcomeErr, fmt.Errorf("restore: snapshot kind %q does not match engine %q", kind, r.SnapshotKind())
+		}
+		if err := r.Load(rd); err != nil {
+			return outcomeErr, fmt.Errorf("restore: %w", err)
+		}
+	}
+
+	chunk := j.req.ChunkInsts
+	if chunk == 0 {
+		chunk = s.cfg.ChunkInsts
+	}
+	deadline := s.attemptDeadline(j)
+
+	for !r.Done() {
+		if err := ctx.Err(); err != nil {
+			return outcomeCanceled, err
+		}
+		if s.drainCtx.Err() != nil {
+			// Checkpoint at this chunk boundary and hand the job back.
+			w := snapshot.NewWriter()
+			if err := r.Save(w); err != nil {
+				return outcomeErr, fmt.Errorf("drain checkpoint: %w", err)
+			}
+			s.mu.Lock()
+			j.resume = snapshot.Encode(r.SnapshotKind(), w)
+			j.resumeKind = r.SnapshotKind()
+			j.committed = r.Progress()
+			s.mu.Unlock()
+			return outcomeDrain, nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return outcomeTimeout, nil
+		}
+		target := r.Progress() + chunk
+		if j.req.MaxInsts > 0 && target > j.req.MaxInsts {
+			target = j.req.MaxInsts
+		}
+		if err := r.Run(target); err != nil {
+			return outcomeErr, err
+		}
+		s.mu.Lock()
+		j.committed = r.Progress()
+		s.mu.Unlock()
+		if j.req.MaxInsts > 0 && r.Progress() >= j.req.MaxInsts {
+			break
+		}
+	}
+
+	res := r.Result()
+	st := r.Stats()
+	s.mu.Lock()
+	j.result = &res
+	j.stats = &st
+	j.committed = r.Progress()
+	j.resume, j.resumeKind = nil, ""
+	s.mu.Unlock()
+	s.parkWarm(j.lineage, r.DetachCache())
+	return outcomeOK, nil
+}
+
+// newRunner builds the job's engine; tests substitute it to exercise the
+// retry and failure paths that healthy engines rarely take.
+var newRunner = runcfg.New
+
+// attemptDeadline computes the wall-clock deadline for one attempt.
+func (s *Server) attemptDeadline(j *Job) time.Time {
+	d := s.cfg.DefaultTimeout
+	if j.req.TimeoutMs > 0 {
+		d = time.Duration(j.req.TimeoutMs) * time.Millisecond
+	}
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}

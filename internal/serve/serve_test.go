@@ -1,0 +1,671 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"facile/internal/faults"
+	"facile/internal/isa/loader"
+	"facile/internal/obs"
+	"facile/internal/runcfg"
+	"facile/internal/snapshot"
+	"facile/internal/workloads"
+)
+
+// newTestServer builds a server that is always drained at test end, so no
+// worker goroutine outlives its test.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() { s.Drain() })
+	return s
+}
+
+// waitTerminal blocks until the job leaves the queued/running states.
+func waitTerminal(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	ch, err := s.Done(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s did not finish", id)
+	}
+	st, err := s.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitRunning polls until the job is running with progress past `past`.
+func waitRunning(t *testing.T, s *Server, id string, past uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning && st.Committed > past {
+			return
+		}
+		if st.State != StateQueued && st.State != StateRunning {
+			t.Fatalf("job %s reached %s while waiting for running", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached running with progress > %d", id, past)
+}
+
+// reference runs the request directly through runcfg for ground truth.
+func reference(t *testing.T, req JobRequest) runcfg.Result {
+	t.Helper()
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prog := refProgram(t, req)
+	r, err := runcfg.New(prog, req.runcfgConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !r.Done() {
+		target := r.Progress() + 1<<16
+		if req.MaxInsts > 0 && target > req.MaxInsts {
+			target = req.MaxInsts
+		}
+		if err := r.Run(target); err != nil {
+			t.Fatal(err)
+		}
+		if req.MaxInsts > 0 && r.Progress() >= req.MaxInsts {
+			break
+		}
+	}
+	return r.Result()
+}
+
+func refProgram(t *testing.T, req JobRequest) *loader.Program {
+	t.Helper()
+	w, err := workloads.Get(req.Bench, req.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Prog
+}
+
+func checkResult(t *testing.T, name string, got JobStatus, want runcfg.Result) {
+	t.Helper()
+	if got.State != StateDone {
+		t.Fatalf("%s: state %s (err %q), want done", name, got.State, got.Error)
+	}
+	if got.Result == nil {
+		t.Fatalf("%s: no result", name)
+	}
+	if got.Result.Insts != want.Insts || got.Result.Cycles != want.Cycles ||
+		got.Result.Exit != want.Exit || !bytes.Equal(got.Result.Output, want.Output) {
+		t.Fatalf("%s: result %d insts/%d cycles/exit %d diverges from reference %d/%d/%d",
+			name, got.Result.Insts, got.Result.Cycles, got.Result.Exit,
+			want.Insts, want.Cycles, want.Exit)
+	}
+}
+
+// TestE2EConcurrentMixedJobs is the headline end-to-end check: many
+// concurrent submitters, mixed engines, every job completes with results
+// identical to a direct run of the same configuration.
+func TestE2EConcurrentMixedJobs(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	reqs := []JobRequest{
+		{Bench: "129.compress", Scale: 2, Engine: runcfg.EngineFunc},
+		{Bench: "126.gcc", Scale: 2, Engine: runcfg.EngineFastsim, Memoize: true},
+		{Bench: "101.tomcatv", Scale: 1, Engine: runcfg.EngineOOO},
+		{Bench: "130.li", Scale: 1, Engine: runcfg.EngineFacFunc, Memoize: true},
+		{Bench: "102.swim", Scale: 1, Engine: runcfg.EngineFastsim, Memoize: true},
+		{Bench: "129.compress", Scale: 1, Engine: runcfg.EngineFunc, MaxInsts: 5000},
+		{Bench: "099.go", Scale: 1, Engine: runcfg.EngineFastsim, Memoize: true},
+		{Bench: "126.gcc", Scale: 1, Engine: runcfg.EngineFunc},
+		{Bench: "132.ijpeg", Scale: 1, Engine: runcfg.EngineFastsim},
+	}
+	refs := make([]runcfg.Result, len(reqs))
+	for i, req := range reqs {
+		refs[i] = reference(t, req)
+	}
+
+	ids := make([]string, len(reqs))
+	var wg sync.WaitGroup
+	errs := make([]error, len(reqs))
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := s.Submit(reqs[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	for i, id := range ids {
+		st := waitTerminal(t, s, id)
+		checkResult(t, fmt.Sprintf("job %d (%s/%s)", i, reqs[i].Bench, reqs[i].Engine), st, refs[i])
+		if reqs[i].Memoize && st.Stats == nil {
+			t.Fatalf("job %d: memoizing job reported no stats", i)
+		}
+	}
+	if n := s.counter("serve.jobs_completed").Load(); n != uint64(len(reqs)) {
+		t.Fatalf("jobs_completed = %d, want %d", n, len(reqs))
+	}
+}
+
+// TestQueueOverflowBackpressure pins the bounded-queue contract: with the
+// single worker occupied and the queue at depth, the next submission is
+// rejected with ErrQueueFull.
+func TestQueueOverflowBackpressure(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+	long := JobRequest{Bench: "126.gcc", Scale: 300, Engine: runcfg.EngineFastsim,
+		Memoize: true, ChunkInsts: 1024}
+
+	first, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, first.ID, 0) // the worker now holds the first job
+	var accepted []string
+	for i := 0; i < 2; i++ {
+		st, err := s.Submit(long)
+		if err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+		accepted = append(accepted, st.ID)
+	}
+	if _, err := s.Submit(long); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+	if n := s.counter("serve.queue_rejects").Load(); n != 1 {
+		t.Fatalf("queue_rejects = %d, want 1", n)
+	}
+
+	// Backpressure is transient: cancel the head job and the queue drains.
+	if err := s.Cancel(first.ID); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range append([]string{first.ID}, accepted...) {
+		if err := s.Cancel(id); err != nil && !errors.Is(err, ErrJobDone) {
+			t.Fatal(err)
+		}
+		waitTerminal(t, s, id)
+	}
+	if _, err := s.Submit(JobRequest{Bench: "129.compress", Scale: 1, Engine: runcfg.EngineFunc}); err != nil {
+		t.Fatalf("post-drain submit: %v", err)
+	}
+}
+
+// TestWarmCacheLineage is the tentpole assertion: the second job of a
+// lineage starts with the first job's action cache and achieves a
+// strictly higher fast-step share, with identical simulation results.
+func TestWarmCacheLineage(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 16})
+	req := JobRequest{Bench: "126.gcc", Scale: 2, Engine: runcfg.EngineFastsim, Memoize: true}
+
+	st1, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := waitTerminal(t, s, st1.ID)
+	if cold.State != StateDone || cold.WarmStart {
+		t.Fatalf("first job: state %s warm %v, want done/cold", cold.State, cold.WarmStart)
+	}
+	entries, bs := s.WarmOccupancy()
+	if entries <= 0 || bs <= 0 {
+		t.Fatalf("after first job: warm occupancy %d entries/%d bytes, want parked cache", entries, bs)
+	}
+	if cold.LineageKey == "" {
+		t.Fatal("memoizing job has no lineage key")
+	}
+
+	st2, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := waitTerminal(t, s, st2.ID)
+	if warm.State != StateDone {
+		t.Fatalf("second job: state %s (err %q)", warm.State, warm.Error)
+	}
+	if !warm.WarmStart || warm.WarmEntries == 0 || warm.WarmBytes == 0 {
+		t.Fatalf("second job did not warm-start: warm=%v entries=%d bytes=%d",
+			warm.WarmStart, warm.WarmEntries, warm.WarmBytes)
+	}
+	if warm.LineageKey != cold.LineageKey {
+		t.Fatalf("lineage keys differ: %s vs %s", cold.LineageKey, warm.LineageKey)
+	}
+	if warm.FastSharePc <= cold.FastSharePc {
+		t.Fatalf("warm job fast share %.3f%% not strictly above cold %.3f%%",
+			warm.FastSharePc, cold.FastSharePc)
+	}
+	if cold.Result == nil || warm.Result == nil ||
+		cold.Result.Insts != warm.Result.Insts || cold.Result.Cycles != warm.Result.Cycles ||
+		!bytes.Equal(cold.Result.Output, warm.Result.Output) {
+		t.Fatal("warm job's simulation results diverge from the cold job's")
+	}
+
+	// The rt-based Facile engines share through the same protocol.
+	fac := JobRequest{Bench: "130.li", Scale: 1, Engine: runcfg.EngineFacFunc, Memoize: true}
+	f1, err := s.Submit(fac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcold := waitTerminal(t, s, f1.ID)
+	f2, err := s.Submit(fac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwarm := waitTerminal(t, s, f2.ID)
+	if !fwarm.WarmStart || fwarm.FastSharePc <= fcold.FastSharePc {
+		t.Fatalf("fac lineage: warm=%v share %.3f%% vs cold %.3f%%",
+			fwarm.WarmStart, fwarm.FastSharePc, fcold.FastSharePc)
+	}
+}
+
+// TestDrainCheckpointRequeueResume pins the drain protocol: in-flight
+// jobs checkpoint through internal/snapshot, requeue as restorable, and a
+// second server completes them (via the spool round trip) with results
+// identical to an uninterrupted run.
+func TestDrainCheckpointRequeueResume(t *testing.T) {
+	reqs := []JobRequest{
+		{Bench: "126.gcc", Scale: 300, Engine: runcfg.EngineFastsim, Memoize: true, ChunkInsts: 2048},
+		{Bench: "126.gcc", Scale: 30, Engine: runcfg.EngineOOO, ChunkInsts: 2048},
+	}
+	refs := make([]runcfg.Result, len(reqs))
+	for i, req := range reqs {
+		refs[i] = reference(t, req)
+	}
+
+	s1 := New(Config{Workers: 2, QueueDepth: 16})
+	ids := make([]string, len(reqs))
+	for i, req := range reqs {
+		st, err := s1.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	for _, id := range ids {
+		waitRunning(t, s1, id, 0)
+	}
+	requeued := s1.Drain()
+	if len(requeued) != len(reqs) {
+		t.Fatalf("drain requeued %d jobs, want %d", len(requeued), len(reqs))
+	}
+	for _, id := range ids {
+		st, err := s1.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateRequeued {
+			t.Fatalf("job %s: state %s after drain, want requeued", id, st.State)
+		}
+	}
+	for _, rq := range requeued {
+		if rq.Committed == 0 || len(rq.Resume) == 0 || rq.Kind == "" {
+			t.Fatalf("requeued job %s lacks a restorable checkpoint (committed=%d, %d resume bytes, kind %q)",
+				rq.ID, rq.Committed, len(rq.Resume), rq.Kind)
+		}
+	}
+	if _, err := s1.Submit(reqs[0]); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain: err = %v, want ErrDraining", err)
+	}
+
+	// Round-trip through the spool, as an fsimd restart would.
+	dir := t.TempDir()
+	if err := WriteSpool(dir, requeued); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(requeued) {
+		t.Fatalf("spool round trip: %d jobs, want %d", len(loaded), len(requeued))
+	}
+	if rest, err := ReadSpool(dir); err != nil || len(rest) != 0 {
+		t.Fatalf("spool not consumed: %d left, err %v", len(rest), err)
+	}
+
+	s2 := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+	for _, rq := range loaded {
+		if _, err := s2.Resubmit(rq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, rq := range loaded {
+		st := waitTerminal(t, s2, rq.ID)
+		checkResult(t, fmt.Sprintf("resumed job %s", rq.ID), st, refs[i])
+		if st.RestoredFrom == 0 {
+			t.Fatalf("resumed job %s reports no restored progress", rq.ID)
+		}
+		if st.RestoredFrom != rq.Committed {
+			t.Fatalf("resumed job %s restored from %d, spool said %d",
+				rq.ID, st.RestoredFrom, rq.Committed)
+		}
+		if st.RestoredFrom >= refs[i].Insts {
+			t.Fatalf("resumed job %s claims full progress %d >= %d at restore",
+				rq.ID, st.RestoredFrom, refs[i].Insts)
+		}
+	}
+}
+
+// TestCancelAndTimeoutRefundWarmOccupancy extends the cache-accounting
+// invariant to the server: the serve.warm_* gauges always equal the total
+// parked lineage caches, so canceled, timed-out, and flushed jobs refund
+// exactly what they took.
+func TestCancelAndTimeoutRefundWarmOccupancy(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 16})
+	lineageReq := JobRequest{Bench: "126.gcc", Scale: 300, Engine: runcfg.EngineFastsim,
+		Memoize: true, ChunkInsts: 2048}
+
+	// Donor job parks its cache.
+	donor, err := s.Submit(lineageReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := waitTerminal(t, s, donor.ID)
+	if dst.State != StateDone {
+		t.Fatalf("donor: %s (%s)", dst.State, dst.Error)
+	}
+	e0, b0 := s.WarmOccupancy()
+	if e0 <= 0 || b0 <= 0 {
+		t.Fatalf("no parked cache after donor: %d entries/%d bytes", e0, b0)
+	}
+
+	// A canceled job takes the cache and never parks it back: occupancy
+	// refunds to zero, not to a phantom copy.
+	victim, err := s.Submit(lineageReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, victim.ID, 0)
+	if e, b := s.WarmOccupancy(); e != 0 || b != 0 {
+		t.Fatalf("running warm job should hold the cache: occupancy %d/%d, want 0/0", e, b)
+	}
+	if err := s.Cancel(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	vst := waitTerminal(t, s, victim.ID)
+	if vst.State != StateCanceled {
+		t.Fatalf("victim: state %s, want canceled", vst.State)
+	}
+	if !vst.WarmStart {
+		t.Fatal("victim should have warm-started from the donor cache")
+	}
+	if e, b := s.WarmOccupancy(); e != 0 || b != 0 {
+		t.Fatalf("after cancel: occupancy %d/%d, want 0/0 (cache dropped, not leaked)", e, b)
+	}
+
+	// The next job of the lineage finds nothing parked: it runs cold.
+	rebuild := lineageReq
+	rebuild.MaxInsts = 30000
+	r1, err := s.Submit(rebuild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rst := waitTerminal(t, s, r1.ID)
+	if rst.State != StateDone || rst.WarmStart {
+		t.Fatalf("rebuild job: state %s warm %v, want done/cold", rst.State, rst.WarmStart)
+	}
+	e1, b1 := s.WarmOccupancy()
+	if e1 <= 0 || b1 <= 0 {
+		t.Fatal("rebuild job parked no cache")
+	}
+	if rst.Stats == nil || int64(rst.Stats.CacheEntries) != e1 || int64(rst.Stats.CacheBytes) != b1 {
+		t.Fatalf("parked occupancy (%d entries/%d bytes) != rebuild job's final cache (%d/%d)",
+			e1, b1, rst.Stats.CacheEntries, rst.Stats.CacheBytes)
+	}
+
+	// A timed-out job also takes and drops without leaking.
+	slow := lineageReq
+	slow.TimeoutMs = 60
+	t1, err := s.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tst := waitTerminal(t, s, t1.ID)
+	if tst.State != StateFailed || tst.Error != "timeout" {
+		t.Fatalf("timeout job: state %s err %q, want failed/timeout", tst.State, tst.Error)
+	}
+	if !tst.WarmStart {
+		t.Fatal("timeout job should have taken the parked cache")
+	}
+	if e, b := s.WarmOccupancy(); e != 0 || b != 0 {
+		t.Fatalf("after timeout: occupancy %d/%d, want 0/0", e, b)
+	}
+	if n := s.counter("serve.jobs_retried").Load(); n != 0 {
+		t.Fatalf("timeout must not retry: jobs_retried = %d", n)
+	}
+
+	// Flush is the final refund path.
+	quick := lineageReq
+	quick.MaxInsts = 30000
+	q1, err := s.Submit(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, q1.ID)
+	if e, _ := s.WarmOccupancy(); e <= 0 {
+		t.Fatal("expected a parked cache before flush")
+	}
+	if n := s.FlushWarm(); n != 1 {
+		t.Fatalf("FlushWarm dropped %d caches, want 1", n)
+	}
+	if e, b := s.WarmOccupancy(); e != 0 || b != 0 {
+		t.Fatalf("after flush: occupancy %d/%d, want 0/0", e, b)
+	}
+}
+
+// faultingRunner fails its first Run with a recovered simulator fault,
+// exercising the retry path that healthy engines rarely take.
+type faultingRunner struct {
+	runcfg.Runner
+	fired *bool
+}
+
+func (f *faultingRunner) Run(target uint64) error {
+	if !*f.fired {
+		*f.fired = true
+		return faults.New(faults.BrokenChain, "test", "injected for retry")
+	}
+	return f.Runner.Run(target)
+}
+
+func TestFaultsAwareRetry(t *testing.T) {
+	fired := false
+	orig := newRunner
+	newRunner = func(prog *loader.Program, cfg runcfg.Config) (runcfg.Runner, error) {
+		r, err := orig(prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &faultingRunner{Runner: r, fired: &fired}, nil
+	}
+	defer func() { newRunner = orig }()
+
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	req := JobRequest{Bench: "129.compress", Scale: 1, Engine: runcfg.EngineFunc}
+	ref := reference(t, req)
+
+	st, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, s, st.ID)
+	checkResult(t, "retried job", got, ref)
+	if got.Attempt != 2 {
+		t.Fatalf("attempt = %d, want 2 (one faults-aware retry)", got.Attempt)
+	}
+	if n := s.counter("serve.jobs_retried").Load(); n != 1 {
+		t.Fatalf("jobs_retried = %d, want 1", n)
+	}
+
+	// A non-fault error does not retry.
+	fired = false
+	newRunner = func(prog *loader.Program, cfg runcfg.Config) (runcfg.Runner, error) {
+		r, err := orig(prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &plainErrRunner{Runner: r}, nil
+	}
+	st2, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := waitTerminal(t, s, st2.ID)
+	if got2.State != StateFailed || got2.Attempt != 1 {
+		t.Fatalf("plain error: state %s attempt %d, want failed/1", got2.State, got2.Attempt)
+	}
+}
+
+type plainErrRunner struct{ runcfg.Runner }
+
+func (p *plainErrRunner) Run(uint64) error { return errors.New("not a fault") }
+
+// TestParsimJob runs a job through the intra-job parallel path and checks
+// the merged result against the sequential reference.
+func TestParsimJob(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	req := JobRequest{Bench: "126.gcc", Scale: 20, Engine: runcfg.EngineFastsim,
+		Memoize: true, ParsimWorkers: 4, IntervalInsts: 50000}
+	seq := reference(t, JobRequest{Bench: "126.gcc", Scale: 20,
+		Engine: runcfg.EngineFastsim, Memoize: true})
+
+	st, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, s, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("parsim job: %s (%s)", got.State, got.Error)
+	}
+	if got.LineageKey != "" || got.WarmStart {
+		t.Fatal("parsim jobs must not join a cache lineage")
+	}
+	if !bytes.Equal(got.Result.Output, seq.Output) || got.Result.Exit != seq.Exit {
+		t.Fatal("parsim output/exit diverge from the sequential run")
+	}
+	// Intervals overshoot to a step boundary, so the merged count may
+	// slightly exceed — but never undershoot — the sequential count.
+	if got.Result.Insts < seq.Insts || got.Result.Insts > seq.Insts+seq.Insts/100 {
+		t.Fatalf("parsim insts %d outside [%d, +1%%] of sequential", got.Result.Insts, seq.Insts)
+	}
+}
+
+// TestCancelQueuedJob covers the cancel-before-start path.
+func TestCancelQueuedJob(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	long := JobRequest{Bench: "126.gcc", Scale: 300, Engine: runcfg.EngineFastsim,
+		Memoize: true, ChunkInsts: 2048}
+	head, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, head.ID, 0)
+	queued, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(head.ID); err != nil {
+		t.Fatal(err)
+	}
+	qst := waitTerminal(t, s, queued.ID)
+	if qst.State != StateCanceled {
+		t.Fatalf("queued job: state %s, want canceled", qst.State)
+	}
+	if qst.Stats != nil || qst.Result != nil {
+		t.Fatal("canceled-in-queue job must not report results")
+	}
+	if err := s.Cancel(queued.ID); !errors.Is(err, ErrJobDone) {
+		t.Fatalf("double cancel: err = %v, want ErrJobDone", err)
+	}
+	if err := s.Cancel("job-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown cancel: err = %v, want ErrUnknownJob", err)
+	}
+}
+
+// TestSnapshotBlobIntegrity ensures drained resume blobs decode with the
+// engine's snapshot kind (guards the spool file format).
+func TestSnapshotBlobIntegrity(t *testing.T) {
+	s1 := New(Config{Workers: 1, QueueDepth: 4})
+	st, err := s1.Submit(JobRequest{Bench: "126.gcc", Scale: 300,
+		Engine: runcfg.EngineFastsim, Memoize: true, ChunkInsts: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s1, st.ID, 0)
+	requeued := s1.Drain()
+	if len(requeued) != 1 {
+		t.Fatalf("requeued %d, want 1", len(requeued))
+	}
+	kind, rd, hash, err := snapshot.Decode(requeued[0].Resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != requeued[0].Kind || rd == nil || hash == "" {
+		t.Fatalf("resume blob: kind %q (spool %q), hash %q", kind, requeued[0].Kind, hash)
+	}
+	// And the spool file survives a write/read cycle bit-exactly.
+	dir := t.TempDir()
+	if err := WriteSpool(dir, requeued); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || !bytes.Equal(back[0].Resume, requeued[0].Resume) {
+		t.Fatal("spooled resume blob corrupted in round trip")
+	}
+	if back[0].ID != requeued[0].ID || back[0].Committed != requeued[0].Committed {
+		t.Fatal("spooled job metadata corrupted in round trip")
+	}
+	_ = filepath.Join // keep filepath imported if assertions above change
+}
+
+// TestObsSamplesPerJobTrack checks that jobs sample into their own obs
+// track, the feed for the per-job events stream.
+func TestObsSamplesPerJobTrack(t *testing.T) {
+	rec := obs.NewRecorder(obs.Config{})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Rec: rec})
+	st, err := s.Submit(JobRequest{Bench: "126.gcc", Scale: 20,
+		Engine: runcfg.EngineFastsim, Memoize: true, SampleEvery: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, s, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("job: %s (%s)", got.State, got.Error)
+	}
+	var n int
+	for _, smp := range rec.SamplesSince(0) {
+		if smp.Track == "job-"+st.ID {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatalf("no samples on track job-%s", st.ID)
+	}
+}

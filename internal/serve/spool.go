@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Spool: drained jobs persist as one JSON file each ("<id>.job") so the
+// next fsimd process can pick them up. The write is staged through a .tmp
+// rename for the same crash-consistency reasons snapshot.WriteFile is.
+
+// WriteSpool persists requeued jobs to dir (created if missing).
+func WriteSpool(dir string, jobs []RequeuedJob) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, rq := range jobs {
+		blob, err := json.Marshal(rq)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, rq.ID+".job")
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSpool loads and removes every spooled job from dir, in job-ID order
+// (the original submission order, since IDs are sequential). A missing
+// directory is an empty spool, not an error.
+func ReadSpool(dir string) ([]RequeuedJob, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".job") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []RequeuedJob
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return out, err
+		}
+		var rq RequeuedJob
+		if err := json.Unmarshal(blob, &rq); err != nil {
+			return out, fmt.Errorf("spool %s: %w", name, err)
+		}
+		out = append(out, rq)
+		if err := os.Remove(path); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
