@@ -60,13 +60,21 @@ func main() {
 		if err != nil {
 			die(err)
 		}
+		resumed := 0
 		for _, rq := range jobs {
 			if _, err := srv.Resubmit(rq); err != nil {
+				// The spool file stays on disk for the next startup, so a
+				// full queue degrades to a delayed resume, not lost work.
+				fmt.Fprintf(os.Stderr, "fsimd: spooled job %s kept on disk: %v\n", rq.ID, err)
+				continue
+			}
+			resumed++
+			if err := serve.RemoveSpooled(*spool, rq.ID); err != nil {
 				fmt.Fprintf(os.Stderr, "fsimd: spooled job %s: %v\n", rq.ID, err)
 			}
 		}
-		if len(jobs) > 0 {
-			fmt.Fprintf(os.Stderr, "fsimd: resumed %d spooled job(s)\n", len(jobs))
+		if resumed > 0 {
+			fmt.Fprintf(os.Stderr, "fsimd: resumed %d spooled job(s)\n", resumed)
 		}
 	}
 

@@ -20,6 +20,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -326,7 +328,14 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	if s.draining {
 		return JobStatus{}, ErrDraining
 	}
+	// Resubmit advances nextID past resumed IDs, but a spooled ID that does
+	// not parse (hand-edited spool file) could still collide with the
+	// sequence, so skip any ID already taken.
+	prev := s.nextID
 	s.nextID++
+	for s.jobs[fmt.Sprintf("job-%06d", s.nextID)] != nil {
+		s.nextID++
+	}
 	j := &Job{
 		id:       fmt.Sprintf("job-%06d", s.nextID),
 		req:      req,
@@ -339,7 +348,7 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	select {
 	case s.queue <- j:
 	default:
-		s.nextID--
+		s.nextID = prev
 		s.counter("serve.queue_rejects").Inc()
 		return JobStatus{}, ErrQueueFull
 	}
@@ -362,6 +371,11 @@ func (s *Server) Resubmit(rq RequeuedJob) (JobStatus, error) {
 	}
 	if _, exists := s.jobs[rq.ID]; exists {
 		return JobStatus{}, fmt.Errorf("serve: job %s already present", rq.ID)
+	}
+	// Keep the fresh-submission sequence ahead of every resumed ID, or the
+	// next Submit would mint a duplicate and orphan the resumed job.
+	if n, ok := jobIDSeq(rq.ID); ok && n > s.nextID {
+		s.nextID = n
 	}
 	attempt := rq.Attempt
 	if attempt < 1 {
@@ -489,11 +503,18 @@ func (s *Server) Drain() []RequeuedJob {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Whatever is still in the channel was never started: requeue as-is.
+	// Whatever is still in the channel was never started: requeue as-is —
+	// unless cancellation was already requested, in which case the job
+	// finishes canceled (as the Cancel caller was told) instead of
+	// resurrecting as runnable after resume.
 	for {
 		select {
 		case j := <-s.queue:
-			s.finishLocked(j, StateRequeued, "")
+			if j.cancelRequested {
+				s.finishLocked(j, StateCanceled, "canceled while queued")
+			} else {
+				s.finishLocked(j, StateRequeued, "")
+			}
 		default:
 			goto drained
 		}
@@ -529,6 +550,19 @@ func (s *Server) Draining() bool {
 
 func (s *Server) counter(name string) *obs.Counter {
 	return s.rec.Registry().Counter(name)
+}
+
+// jobIDSeq extracts the sequence number from a "job-%06d" ID.
+func jobIDSeq(id string) (uint64, bool) {
+	const prefix = "job-"
+	if !strings.HasPrefix(id, prefix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[len(prefix):], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 // statusLocked snapshots a job; callers hold s.mu.
@@ -692,6 +726,9 @@ func (s *Server) runJob(j *Job) {
 			s.mu.Lock()
 			j.attempt++
 			j.committed = j.restoredFrom
+			// The faulted attempt's adopted cache is discarded with it.
+			j.warmStart = false
+			j.warmEntries, j.warmBytes = 0, 0
 			s.mu.Unlock()
 			s.counter("serve.jobs_retried").Inc()
 			outcome, err = s.runAttempt(ctx, j, false)

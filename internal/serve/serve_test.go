@@ -340,8 +340,10 @@ func TestDrainCheckpointRequeueResume(t *testing.T) {
 	if len(loaded) != len(requeued) {
 		t.Fatalf("spool round trip: %d jobs, want %d", len(loaded), len(requeued))
 	}
-	if rest, err := ReadSpool(dir); err != nil || len(rest) != 0 {
-		t.Fatalf("spool not consumed: %d left, err %v", len(rest), err)
+	// Reading must not consume the spool: files survive until each job's
+	// resume is acknowledged, so a failed Resubmit never loses work.
+	if again, err := ReadSpool(dir); err != nil || len(again) != len(requeued) {
+		t.Fatalf("spool consumed before resume: %d left, err %v", len(again), err)
 	}
 
 	s2 := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
@@ -349,6 +351,12 @@ func TestDrainCheckpointRequeueResume(t *testing.T) {
 		if _, err := s2.Resubmit(rq); err != nil {
 			t.Fatal(err)
 		}
+		if err := RemoveSpooled(dir, rq.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rest, err := ReadSpool(dir); err != nil || len(rest) != 0 {
+		t.Fatalf("spool not consumed after resume: %d left, err %v", len(rest), err)
 	}
 	for i, rq := range loaded {
 		st := waitTerminal(t, s2, rq.ID)
@@ -364,6 +372,25 @@ func TestDrainCheckpointRequeueResume(t *testing.T) {
 			t.Fatalf("resumed job %s claims full progress %d >= %d at restore",
 				rq.ID, st.RestoredFrom, refs[i].Insts)
 		}
+	}
+
+	// Fresh submissions on the resumed server must not reuse a resumed ID.
+	fresh, err := s2.Submit(JobRequest{Bench: "129.compress", Scale: 1,
+		Engine: runcfg.EngineFunc, MaxInsts: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rq := range loaded {
+		if fresh.ID == rq.ID {
+			t.Fatalf("fresh submission reused resumed job ID %s", fresh.ID)
+		}
+	}
+	seen := map[string]bool{}
+	for _, st := range s2.List() {
+		if seen[st.ID] {
+			t.Fatalf("duplicate job ID %s in List after resume", st.ID)
+		}
+		seen[st.ID] = true
 	}
 }
 
@@ -537,6 +564,47 @@ func TestFaultsAwareRetry(t *testing.T) {
 	}
 }
 
+// TestRetryClearsWarmStartMetrics: a job whose warm-started first attempt
+// faults retries cold, so its final status must not advertise the
+// discarded cache's warm-start sizes.
+func TestRetryClearsWarmStartMetrics(t *testing.T) {
+	fired := true // donor runs clean; flipped before the faulting victim
+	orig := newRunner
+	newRunner = func(prog *loader.Program, cfg runcfg.Config) (runcfg.Runner, error) {
+		r, err := orig(prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &faultingRunner{Runner: r, fired: &fired}, nil
+	}
+	defer func() { newRunner = orig }()
+
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	req := JobRequest{Bench: "126.gcc", Scale: 300, Engine: runcfg.EngineFastsim,
+		Memoize: true, ChunkInsts: 2048}
+	donor, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst := waitTerminal(t, s, donor.ID); dst.State != StateDone {
+		t.Fatalf("donor: %s (%s)", dst.State, dst.Error)
+	}
+
+	fired = false
+	victim, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, s, victim.ID)
+	if got.State != StateDone || got.Attempt != 2 {
+		t.Fatalf("victim: state %s attempt %d (%s), want done/2", got.State, got.Attempt, got.Error)
+	}
+	if got.WarmStart || got.WarmEntries != 0 || got.WarmBytes != 0 {
+		t.Fatalf("cold retry still reports warm start: warm_start=%v entries=%d bytes=%d",
+			got.WarmStart, got.WarmEntries, got.WarmBytes)
+	}
+}
+
 type plainErrRunner struct{ runcfg.Runner }
 
 func (p *plainErrRunner) Run(uint64) error { return errors.New("not a fault") }
@@ -603,6 +671,66 @@ func TestCancelQueuedJob(t *testing.T) {
 	}
 	if err := s.Cancel("job-999999"); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("unknown cancel: err = %v, want ErrUnknownJob", err)
+	}
+}
+
+// TestResubmitAdvancesIDSequence guards against fresh submissions minting
+// an ID a resumed job already holds, which would overwrite its record.
+func TestResubmitAdvancesIDSequence(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	rq := RequeuedJob{
+		ID:  "job-000005",
+		Req: JobRequest{Bench: "129.compress", Scale: 1, Engine: runcfg.EngineFunc, MaxInsts: 5000},
+	}
+	if _, err := s.Resubmit(rq); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Submit(rq.Req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "job-000006" {
+		t.Fatalf("fresh submission after resuming job-000005 got ID %s, want job-000006", st.ID)
+	}
+	if got := len(s.List()); got != 2 {
+		t.Fatalf("List has %d entries, want 2", got)
+	}
+	if _, err := s.Resubmit(rq); err == nil {
+		t.Fatal("resubmitting an already-present ID must fail")
+	}
+}
+
+// TestDrainFinishesCanceledQueuedJob: a job canceled while queued must not
+// be requeued by a drain — the Cancel caller was already told it is
+// canceling, so it must not resurrect as runnable after resume.
+func TestDrainFinishesCanceledQueuedJob(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	long := JobRequest{Bench: "126.gcc", Scale: 300, Engine: runcfg.EngineFastsim,
+		Memoize: true, ChunkInsts: 2048}
+	head, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, head.ID, 0)
+	queued, err := s.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	requeued := s.Drain()
+	for _, rq := range requeued {
+		if rq.ID == queued.ID {
+			t.Fatalf("drain requeued job %s despite its pending cancel", rq.ID)
+		}
+	}
+	qst, err := s.Status(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qst.State != StateCanceled {
+		t.Fatalf("canceled-then-drained job: state %s, want canceled", qst.State)
 	}
 }
 

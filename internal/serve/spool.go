@@ -36,9 +36,12 @@ func WriteSpool(dir string, jobs []RequeuedJob) error {
 	return nil
 }
 
-// ReadSpool loads and removes every spooled job from dir, in job-ID order
-// (the original submission order, since IDs are sequential). A missing
-// directory is an empty spool, not an error.
+// ReadSpool loads every spooled job from dir, in job-ID order (the
+// original submission order, since IDs are sequential). Files stay on
+// disk: the caller removes each with RemoveSpooled only after its
+// Resubmit succeeds, so a failed resume (queue full, bad request) never
+// loses the checkpoint. A missing directory is an empty spool, not an
+// error.
 func ReadSpool(dir string) ([]RequeuedJob, error) {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
@@ -66,9 +69,12 @@ func ReadSpool(dir string) ([]RequeuedJob, error) {
 			return out, fmt.Errorf("spool %s: %w", name, err)
 		}
 		out = append(out, rq)
-		if err := os.Remove(path); err != nil {
-			return out, err
-		}
 	}
 	return out, nil
+}
+
+// RemoveSpooled deletes one job's spool file, acknowledging a successful
+// resume.
+func RemoveSpooled(dir, id string) error {
+	return os.Remove(filepath.Join(dir, id+".job"))
 }
