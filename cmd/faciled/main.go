@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	faciled [-dump] [-bta] [-live] file.fac [more.fac ...]
+//	faciled [-dump] [-bta] [-live] [-vet] file.fac [more.fac ...]
 //
 // Multiple files are concatenated (the conventional layout appends a step
 // function to an ISA description, e.g. `faciled facile/svr32.fac
-// facile/ooo.fac`).
+// facile/ooo.fac`). Errors are reported with file:line:col positions
+// resolved across the concatenated files.
+//
+// -vet runs the fvet static-analysis suite over the file set as one
+// compilation unit and exits (status 1 on error-severity findings); see
+// cmd/fvet for the standalone tool with JSON/SARIF output and baselines.
 package main
 
 import (
@@ -17,13 +22,14 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"strings"
 	"time"
 
 	"facile/internal/cli"
 	"facile/internal/core"
 	"facile/internal/lang/compile"
 	"facile/internal/lang/ir"
+	"facile/internal/lang/source"
+	"facile/internal/lang/vet"
 	"facile/internal/obs"
 )
 
@@ -31,6 +37,7 @@ func main() {
 	dump := flag.Bool("dump", false, "dump the compiled IR with binding times")
 	bta := flag.Bool("bta", true, "print the binding-time analysis summary")
 	live := flag.Bool("live", false, "enable the liveness write-through optimization (paper §6.3 #3)")
+	runVet := flag.Bool("vet", false, "run the fvet static-analysis suite instead of compiling")
 	debugAddr := flag.String("debug-addr", "",
 		"serve /debug/vars, /debug/metrics and /debug/pprof on this address; keeps the process alive after compiling")
 	version := flag.Bool("version", false, "print version and exit")
@@ -55,21 +62,37 @@ func main() {
 		debugSrv = srv
 		fmt.Fprintf(os.Stderr, "faciled: debug endpoint at http://%s/debug/vars\n", addr)
 	}
-	var sb strings.Builder
+	fs := source.NewSet()
 	for _, f := range flag.Args() {
 		src, err := os.ReadFile(f)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "faciled:", err)
 			os.Exit(1)
 		}
-		sb.Write(src)
-		sb.WriteString("\n")
+		fs.Add(f, string(src))
+	}
+	if *runVet {
+		res := vet.RunSet(fs, vet.Options{})
+		if err := vet.WriteText(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, "faciled:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "faciled: vet: %d error(s), %d warning(s), %d info(s)\n",
+			res.Count(vet.SevError), res.Count(vet.SevWarning), res.Count(vet.SevInfo))
+		if res.HasErrors() {
+			os.Exit(1)
+		}
+		return
 	}
 	rec.Begin("faciled.compile")
-	sim, err := core.CompileSource(sb.String(), core.Options{LiftLiveOnly: *live})
+	sim, err := core.CompileSource(fs.Cat(), core.Options{LiftLiveOnly: *live})
 	rec.End("faciled.compile")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "faciled:", err)
+		if pos, msg := vet.ErrorPosition(err); pos.Line > 0 {
+			fmt.Fprintf(os.Stderr, "faciled: %s: %s\n", fs.Resolve(pos), msg)
+		} else {
+			fmt.Fprintln(os.Stderr, "faciled:", err)
+		}
 		os.Exit(1)
 	}
 	p := sim.Prog

@@ -16,6 +16,10 @@
 // resumes from one, producing bit-identical results to the uninterrupted
 // run. -parsim splits the workload into -interval-sized slices via
 // functional warm-up and simulates them concurrently on cloned machines.
+//
+// fac-* runs first vet the bundled Facile description (the fvet analyzer
+// suite) and refuse to start on error-severity findings; -no-vet skips
+// the preflight.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"facile/internal/arch/fastsim"
 	"facile/internal/bench"
 	"facile/internal/cli"
+	"facile/internal/facsim"
 	"facile/internal/isa/asm"
 	"facile/internal/isa/loader"
 	"facile/internal/obs"
@@ -57,6 +62,8 @@ func main() {
 		"serve /debug/vars, /debug/metrics and /debug/pprof on this address during the run (e.g. :8080)")
 	sampleEvery := flag.Uint64("sample-every", 0,
 		"instructions between observability samples (0 = default)")
+	noVet := flag.Bool("no-vet", false,
+		"skip the static-analysis preflight of the bundled Facile description (fac-* simulators)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -140,6 +147,16 @@ func main() {
 			Obs: rec, SampleEvery: *sampleEvery}
 		runParsim(prog, opt, *parWorkers, *parInterval, t0)
 		return
+	}
+
+	if !*noVet {
+		if sum, ok := facsim.Preflight(*simName); ok && !sum.OK() {
+			for _, f := range sum.ErrorFindings {
+				fmt.Fprintln(os.Stderr, "fsim: vet:", f)
+			}
+			die(fmt.Errorf("%s: %d error-severity vet finding(s) in the bundled description; rerun with -no-vet to override",
+				*simName, sum.Errors))
+		}
 	}
 
 	r, err := runcfg.New(prog, cfg)

@@ -1,0 +1,163 @@
+// Command fvet runs the Facile static-analysis suite over .fac sources
+// and reports diagnostics with stable codes and real file:line:col spans.
+//
+// Usage:
+//
+//	fvet [-json|-sarif] [-explain] [-enable codes] [-disable codes]
+//	     [-baseline file [-write-baseline]] file.fac [more.fac ...]
+//
+// Files are partitioned into compilation units automatically: every file
+// declaring `fun main` is analyzed together with the main-less library
+// files, so `fvet isa.fac stepA.fac stepB.fac` checks isa+stepA and
+// isa+stepB in one invocation.
+//
+// Exit status: 0 clean, 1 error-severity findings (or, with -baseline,
+// any finding not in the baseline), 2 usage or I/O failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"facile/internal/cli"
+	"facile/internal/lang/vet"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
+	explain := flag.Bool("explain", false, "include binding-time provenance reports (FV0101)")
+	enable := flag.String("enable", "", "comma-separated codes/analyzers to enable (default all; prefixes like FV01 work)")
+	disable := flag.String("disable", "", "comma-separated codes/analyzers to disable (wins over -enable)")
+	minSev := flag.String("severity", "info", "minimum severity to report: info, warning, or error")
+	baselinePath := flag.String("baseline", "", "compare findings against this baseline file; new findings fail")
+	writeBaseline := flag.Bool("write-baseline", false, "write the current findings to -baseline and exit 0")
+	sarifPath := flag.String("sarif-out", "", "also write a SARIF report to this file")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		cli.PrintVersion("fvet")
+		return
+	}
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: fvet [-json|-sarif] [-explain] [-enable codes] [-disable codes] file.fac ...")
+		os.Exit(2)
+	}
+
+	opt := vet.Options{Explain: *explain}
+	if *enable != "" {
+		opt.Enable = splitList(*enable)
+	}
+	if *disable != "" {
+		opt.Disable = splitList(*disable)
+	}
+	switch *minSev {
+	case "info":
+	case "warning":
+		opt.MinSeverity = vet.SevWarning
+	case "error":
+		opt.MinSeverity = vet.SevError
+	default:
+		fmt.Fprintf(os.Stderr, "fvet: unknown severity %q\n", *minSev)
+		os.Exit(2)
+	}
+
+	res, err := vet.RunFiles(flag.Args(), opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvet:", err)
+		os.Exit(2)
+	}
+
+	if *sarifPath != "" {
+		if err := writeFile(*sarifPath, func(f *os.File) error { return vet.WriteSARIF(f, res) }); err != nil {
+			fmt.Fprintln(os.Stderr, "fvet:", err)
+			os.Exit(2)
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		err = vet.WriteJSON(os.Stdout, res)
+	case *sarifOut:
+		err = vet.WriteSARIF(os.Stdout, res)
+	default:
+		err = vet.WriteText(os.Stdout, res)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvet:", err)
+		os.Exit(2)
+	}
+
+	if *baselinePath != "" {
+		os.Exit(gateBaseline(res, *baselinePath, *writeBaseline))
+	}
+	if !*jsonOut && !*sarifOut {
+		fmt.Fprintf(os.Stderr, "fvet: %d error(s), %d warning(s), %d info(s) across %d unit(s)\n",
+			res.Count(vet.SevError), res.Count(vet.SevWarning), res.Count(vet.SevInfo), len(res.Units))
+	}
+	if res.HasErrors() {
+		os.Exit(1)
+	}
+}
+
+// gateBaseline compares against (or rewrites) the baseline file and
+// returns the exit status.
+func gateBaseline(res *vet.Result, path string, write bool) int {
+	if write {
+		if err := writeFile(path, func(f *os.File) error { return vet.NewBaseline(res).WriteBaseline(f) }); err != nil {
+			fmt.Fprintln(os.Stderr, "fvet:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "fvet: wrote baseline %s (%d finding(s))\n", path, len(vet.NewBaseline(res).Findings))
+		return 0
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvet:", err)
+		return 2
+	}
+	defer f.Close()
+	base, err := vet.LoadBaseline(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fvet: %s: %v\n", path, err)
+		return 2
+	}
+	fresh, fixed := base.Compare(res)
+	if len(fixed) > 0 {
+		fmt.Fprintf(os.Stderr, "fvet: %d baseline finding(s) no longer produced; shrink %s with -write-baseline\n",
+			len(fixed), path)
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "fvet: %d finding(s) not in baseline %s:\n", len(fresh), path)
+		for _, d := range fresh {
+			fmt.Fprintf(os.Stderr, "  %s: %s %s: %s\n", d.Pos, d.Severity, d.Code, d.Message)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "fvet: clean against baseline %s\n", path)
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,46 @@
+package facsim
+
+import (
+	"sync"
+
+	"facile/facile"
+	"facile/internal/lang/source"
+	"facile/internal/lang/vet"
+)
+
+// Preflight summaries are cached per kind: the bundled descriptions are
+// fixed at build time, so one vet run serves every job that uses the
+// engine.
+var (
+	preflightMu    sync.Mutex
+	preflightCache = map[string]vet.Summary{}
+)
+
+// stepFile maps each simulator kind to its bundled step-function source.
+var stepFile = map[string]string{
+	KindFunctional: "func.fac",
+	KindInOrder:    "inorder.fac",
+	KindOOO:        "ooo.fac",
+}
+
+// Preflight vets the bundled Facile description behind kind and reports
+// whether the kind names a Facile simulator at all. Drivers reject runs
+// whose summary carries error-severity findings unless the user
+// explicitly overrides (fsim -no-vet, fsimd no_vet).
+func Preflight(kind string) (vet.Summary, bool) {
+	step, ok := stepFile[kind]
+	if !ok {
+		return vet.Summary{}, false
+	}
+	preflightMu.Lock()
+	defer preflightMu.Unlock()
+	if s, done := preflightCache[kind]; done {
+		return s, true
+	}
+	fs := source.NewSet()
+	fs.Add("facile/svr32.fac", facile.ISA())
+	fs.Add("facile/"+step, facile.Sources()[step])
+	s := vet.PreflightFiles(fs)
+	preflightCache[kind] = s
+	return s, true
+}

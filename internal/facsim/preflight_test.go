@@ -1,0 +1,32 @@
+package facsim
+
+import (
+	"testing"
+
+	"facile/internal/lang/vet"
+)
+
+// TestPreflightBundledClean pins the invariant the fsim/fsimd gates
+// depend on: every bundled description vets without error-severity
+// findings, and the per-kind summaries are cached.
+func TestPreflightBundledClean(t *testing.T) {
+	for _, kind := range []string{KindFunctional, KindInOrder, KindOOO} {
+		sum, ok := Preflight(kind)
+		if !ok {
+			t.Fatalf("Preflight(%q) not recognized as a Facile kind", kind)
+		}
+		if !sum.OK() {
+			t.Errorf("Preflight(%q) = %d error(s): %v", kind, sum.Errors, sum.ErrorFindings)
+		}
+		again, _ := Preflight(kind)
+		if again.Errors != sum.Errors || again.Warnings != sum.Warnings || again.Infos != sum.Infos {
+			t.Errorf("Preflight(%q) cache returned a different summary", kind)
+		}
+	}
+	if _, ok := Preflight("fastsim"); ok {
+		t.Error("Preflight(fastsim) claims a non-Facile engine is vettable")
+	}
+	if (vet.Summary{Errors: 1}).OK() {
+		t.Error("Summary.OK() ignores errors")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"facile/internal/lang/ir"
+	"facile/internal/lang/token"
 	"facile/internal/lang/types"
 )
 
@@ -30,6 +31,13 @@ import (
 // and the LiftLiveOnly option implements the liveness optimization that
 // elides write-throughs no dynamic reader can observe.
 func analyze(p *ir.Program, c *types.Checked, opt Options) error {
+	return analyzeFacts(p, c, opt, nil)
+}
+
+// analyzeFacts is analyze with optional evidence collection (facts may be
+// nil). When facts are requested, every lattice raise, first-cause edge,
+// and queue violation is recorded for the vet analyzers.
+func analyzeFacts(p *ir.Program, c *types.Checked, opt Options, facts *Facts) error {
 	nv := p.NumVReg
 	ng := len(p.Globals)
 
@@ -42,24 +50,52 @@ func analyze(p *ir.Program, c *types.Checked, opt Options) error {
 	}
 	in[p.Entry] = entry
 
-	var qerr error
+	if facts != nil {
+		facts.VRegCause = make([]Cause, nv)
+		facts.GlobalDynStore = make([]Cause, ng)
+		facts.GlobalStaticStore = make([]token.Pos, ng)
+	}
+
+	// Queue violations: the compiler's error is the first one, but all of
+	// them are collected (deduplicated — the fixpoint revisits blocks) so
+	// diagnostics can point at every site.
+	var violations []QueueViolation
+	vseen := map[QueueViolation]bool{}
+	violate := func(pos token.Pos, msg string) {
+		v := QueueViolation{Pos: pos, Msg: msg}
+		if vseen[v] {
+			return
+		}
+		vseen[v] = true
+		violations = append(violations, v)
+	}
+
 	bt := func(v int32) byte {
 		if v < 0 {
 			return ir.BTStatic
 		}
 		return vbt[v]
 	}
+	// setv raises vreg d to binding time b, recording the transition and
+	// (on the first raise to dynamic) the cause edge.
+	setv := func(d int32, b byte, cause Cause) bool {
+		if d >= 0 && vbt[d] < b {
+			if facts != nil {
+				facts.Transitions = append(facts.Transitions,
+					Transition{VReg: d, From: vbt[d], To: b, Pos: cause.Pos})
+				if b == ir.BTDynamic && facts.VRegCause[d].Kind == CauseNone {
+					facts.VRegCause[d] = cause
+				}
+			}
+			vbt[d] = b
+			return true
+		}
+		return false
+	}
 
 	// transferOne applies one instruction; reports whether any vreg
 	// binding time increased.
 	transferOne := func(inst *ir.Inst, gst []byte) bool {
-		setv := func(d int32, b byte) bool {
-			if d >= 0 && vbt[d] < b {
-				vbt[d] = b
-				return true
-			}
-			return false
-		}
 		switch inst.Op {
 		case ir.Const:
 			return false // constants are rt-static; dest stays as-is
@@ -67,35 +103,50 @@ func analyze(p *ir.Program, c *types.Checked, opt Options) error {
 			if inst.Op == ir.Pin {
 				return false // pinned results are rt-static by definition
 			}
-			return setv(inst.D, bt(inst.A))
+			return setv(inst.D, bt(inst.A), Cause{Kind: CauseVReg, Pos: inst.Pos, From: inst.A})
 		case ir.Bin:
 			b := bt(inst.A)
+			from := inst.A
 			if bb := bt(inst.B); bb > b {
 				b = bb
+				from = inst.B
 			}
-			return setv(inst.D, b)
+			return setv(inst.D, b, Cause{Kind: CauseVReg, Pos: inst.Pos, From: from})
 		case ir.LoadG:
-			return setv(inst.D, gst[inst.Imm])
+			return setv(inst.D, gst[inst.Imm],
+				Cause{Kind: CauseGlobal, Pos: inst.Pos, From: int32(inst.Imm)})
 		case ir.StoreG:
+			if facts != nil {
+				if bt(inst.A) == ir.BTDynamic {
+					if facts.GlobalDynStore[inst.Imm].Kind == CauseNone {
+						facts.GlobalDynStore[inst.Imm] = Cause{Kind: CauseVReg, Pos: inst.Pos, From: inst.A}
+					}
+				} else if facts.GlobalStaticStore[inst.Imm].Line == 0 {
+					facts.GlobalStaticStore[inst.Imm] = inst.Pos
+				}
+			}
 			gst[inst.Imm] = bt(inst.A)
 			return false
-		case ir.LoadA, ir.CallExt:
-			return setv(inst.D, ir.BTDynamic)
+		case ir.LoadA:
+			return setv(inst.D, ir.BTDynamic,
+				Cause{Kind: CauseArray, Pos: inst.Pos, From: int32(inst.Imm)})
+		case ir.CallExt:
+			return setv(inst.D, ir.BTDynamic,
+				Cause{Kind: CauseExtern, Pos: inst.Pos, From: int32(inst.Imm)})
 		case ir.QOp:
 			if inst.QID < 0 {
-				if qerr == nil {
-					if bt(inst.A) == ir.BTDynamic || bt(inst.B) == ir.BTDynamic {
-						qerr = &Error{Pos: inst.Pos, Msg: "dynamic value used to address a run-time static queue"}
-					}
-					for _, a := range inst.Args {
-						if bt(a) == ir.BTDynamic {
-							qerr = &Error{Pos: inst.Pos, Msg: "cannot store a dynamic value into a run-time static queue; route dynamic data through global state"}
-						}
+				if bt(inst.A) == ir.BTDynamic || bt(inst.B) == ir.BTDynamic {
+					violate(inst.Pos, "dynamic value used to address a run-time static queue")
+				}
+				for _, a := range inst.Args {
+					if bt(a) == ir.BTDynamic {
+						violate(inst.Pos, "cannot store a dynamic value into a run-time static queue; route dynamic data through global state")
 					}
 				}
-				return setv(inst.D, ir.BTStatic)
+				return setv(inst.D, ir.BTStatic, Cause{})
 			}
-			return setv(inst.D, ir.BTDynamic)
+			return setv(inst.D, ir.BTDynamic,
+				Cause{Kind: CauseQueue, Pos: inst.Pos, From: inst.QID})
 		}
 		return false
 	}
@@ -151,9 +202,6 @@ func analyze(p *ir.Program, c *types.Checked, opt Options) error {
 		if !vchanged {
 			break
 		}
-	}
-	if qerr != nil {
-		return qerr
 	}
 
 	// Marking pass A: classify instructions and find globals that are ever
@@ -352,6 +400,16 @@ func analyze(p *ir.Program, c *types.Checked, opt Options) error {
 			b.DynTerm = ir.DTRet
 		}
 		b.HasDyn = len(b.Dyn) > 0 || b.DynTerm != ir.DTNone
+	}
+	if facts != nil {
+		facts.VRegBT = append([]byte(nil), vbt...)
+		facts.DynRead = dynRead
+		facts.QueueViolations = violations
+	}
+	if len(violations) > 0 {
+		// Same contract as before facts existed: the compile error is the
+		// first violation encountered; the rest live in the facts.
+		return &Error{Pos: violations[0].Pos, Msg: violations[0].Msg}
 	}
 	return nil
 }

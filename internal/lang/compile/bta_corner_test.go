@@ -1,0 +1,204 @@
+package compile
+
+import (
+	"testing"
+
+	"facile/facile"
+	"facile/internal/lang/ir"
+	"facile/internal/lang/parser"
+	"facile/internal/lang/types"
+)
+
+func compileFacts(t *testing.T, src string, opt Options) (*ir.Program, *Facts) {
+	t.Helper()
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	checked, err := types.Check(astProg)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, f, err := CompileWithFacts(checked, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p, f
+}
+
+func globalIndex(t *testing.T, p *ir.Program, name string) int {
+	t.Helper()
+	for gi, g := range p.Globals {
+		if g.Name == name {
+			return gi
+		}
+	}
+	t.Fatalf("global %q not found", name)
+	return -1
+}
+
+// TestGlobalStaticDynamicStaticAcrossBackEdge drives a global through the
+// full flow-sensitive lifecycle in one step: a static store, then a loop
+// whose body re-dirties it dynamically — the back-edge must propagate the
+// dynamic state into the loop head, so the read inside the body is a
+// dynamic read — then a static store after the loop, which must still
+// write through because the global was read while dynamic.
+func TestGlobalStaticDynamicStaticAcrossBackEdge(t *testing.T) {
+	p, f := compileFacts(t, `
+val g = 0;
+val A = array(4){0};
+fun main(x) {
+    g = x;
+    val i = 0;
+    while (i < 3) {
+        A[i] = g;
+        g = A[i];
+        i = i + 1;
+    }
+    g = 2;
+    set_args(x);
+}
+`, Options{})
+	gi := globalIndex(t, p, "g")
+	if !f.DynRead[gi] {
+		t.Error("g was read inside the loop after the back-edge made it dynamic, but DynRead is false")
+	}
+	if f.GlobalDynStore[gi].Kind == CauseNone {
+		t.Error("the loop's dynamic store to g was not recorded in GlobalDynStore")
+	}
+	if f.GlobalStaticStore[gi].Line == 0 {
+		t.Error("the rt-static store to g was not recorded in GlobalStaticStore")
+	}
+	// The trailing static store must be a write-through (the value is
+	// needed when the global is later read dynamically).
+	wt := 0
+	for _, b := range p.Blocks {
+		for _, in := range b.Insts {
+			if in.Op == ir.StoreG && in.Imm == int64(gi) && in.BT == ir.BTStaticWT {
+				wt++
+			}
+		}
+	}
+	if wt == 0 {
+		t.Error("no write-through store to g survived; the liveness facts disagree with the lowering")
+	}
+}
+
+// TestLiftLiveOnlyElidesDeadWriteThrough pins the §6.3 #3 liveness
+// optimization against the facts layer: a global never read while
+// dynamic keeps DynRead false, and LiftLiveOnly elides its write-through
+// (the store stays, but run-time static, not BTStaticWT).
+func TestLiftLiveOnlyElidesDeadWriteThrough(t *testing.T) {
+	src := `
+val g = 0;
+extern e(1);
+fun main(x) {
+    g = x * 2;
+    e(x);
+    set_args((x + 1) % 4);
+}
+`
+	countWT := func(p *ir.Program, gi int) int {
+		n := 0
+		for _, b := range p.Blocks {
+			for _, in := range b.Insts {
+				if in.Op == ir.StoreG && in.Imm == int64(gi) && in.BT == ir.BTStaticWT {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	p0, f0 := compileFacts(t, src, Options{})
+	gi := globalIndex(t, p0, "g")
+	if f0.DynRead[gi] {
+		t.Fatal("g is never read while dynamic, but DynRead is true")
+	}
+	if countWT(p0, gi) == 0 {
+		t.Error("without LiftLiveOnly the store must write through")
+	}
+	p1, f1 := compileFacts(t, src, Options{LiftLiveOnly: true})
+	if f1.DynRead[gi] {
+		t.Fatal("LiftLiveOnly changed the DynRead fact")
+	}
+	if n := countWT(p1, gi); n != 0 {
+		t.Errorf("LiftLiveOnly left %d write-through store(s) to a dead global", n)
+	}
+}
+
+// checkMonotone asserts the lattice evidence: every recorded transition
+// is a strict raise (the fixpoint never lowers a binding time), each vreg
+// transitions at most once (the vreg lattice is two-level), and the final
+// classification agrees with the last transition.
+func checkMonotone(t *testing.T, f *Facts) {
+	t.Helper()
+	seen := map[int32]int{}
+	for _, tr := range f.Transitions {
+		if tr.From >= tr.To {
+			t.Errorf("vreg %d transition %d -> %d is not a raise", tr.VReg, tr.From, tr.To)
+		}
+		seen[tr.VReg]++
+	}
+	for v, n := range seen {
+		if n > 1 {
+			t.Errorf("vreg %d transitioned %d times; the two-level vreg lattice allows one raise", v, n)
+		}
+		if int(v) < len(f.VRegBT) && f.VRegBT[v] != ir.BTDynamic {
+			t.Errorf("vreg %d has a recorded raise but final binding time %d", v, f.VRegBT[v])
+		}
+	}
+}
+
+func TestLatticeMonotonicitySynthetic(t *testing.T) {
+	// The loop forces several fixpoint iterations: i starts static, the
+	// array read makes t dynamic, and the back-edge promotes the accumulator.
+	_, f := compileFacts(t, `
+val A = array(8){0};
+val out = 0;
+fun main(x) {
+    val acc = 0;
+    val i = 0;
+    while (i < 4) {
+        val t = A[i];
+        acc = acc + t;
+        i = i + 1;
+    }
+    out = acc;
+    set_args(x);
+}
+`, Options{})
+	if len(f.Transitions) == 0 {
+		t.Fatal("no lattice transitions recorded for a program with dynamic promotion")
+	}
+	checkMonotone(t, f)
+}
+
+// TestLatticeMonotonicityBundled runs the monotonicity assertions over
+// the real out-of-order description — the largest fixpoint the repo
+// exercises, including queue state and pins.
+func TestLatticeMonotonicityBundled(t *testing.T) {
+	astProg, err := parser.Parse(facile.OOOSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := types.Check(astProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f, err := CompileWithFacts(checked, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Transitions) == 0 {
+		t.Fatal("no transitions recorded for ooo.fac")
+	}
+	checkMonotone(t, f)
+	// Cause edges must point at genuinely dynamic sources.
+	for v, c := range f.VRegCause {
+		if c.Kind == CauseVReg {
+			if int(c.From) >= len(f.VRegBT) || f.VRegBT[c.From] != ir.BTDynamic {
+				t.Errorf("vreg %d blames vreg %d, which is not dynamic", v, c.From)
+			}
+		}
+	}
+}

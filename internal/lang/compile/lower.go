@@ -136,12 +136,33 @@ func (lw *lowerer) emit(in ir.Inst) {
 }
 
 // jmp terminates the current block with a jump to to, unless it already
-// has a terminator (break/continue/return ended it).
+// has a terminator (break/continue/return ended it). The synthesized
+// terminator inherits the position of the last real instruction in the
+// block so no control edge is left without a source span.
 func (lw *lowerer) jmp(to *ir.Block) {
 	if !lw.cur.Terminated() {
-		lw.cur.Term = ir.Inst{Op: ir.Jmp}
+		lw.cur.Term = ir.Inst{Op: ir.Jmp, Pos: lw.lastPos()}
 		lw.cur.Succ[0] = to.ID
 	}
+}
+
+// lastPos returns the position of the most recent instruction emitted into
+// the current block, for synthesized terminators.
+func (lw *lowerer) lastPos() token.Pos {
+	for i := len(lw.cur.Insts) - 1; i >= 0; i-- {
+		if lw.cur.Insts[i].Pos.Line > 0 {
+			return lw.cur.Insts[i].Pos
+		}
+	}
+	return token.Pos{}
+}
+
+// nameVReg records the source binding a vreg stands for.
+func (lw *lowerer) nameVReg(v int32, name, kind string, pos token.Pos) {
+	if lw.p.VRegNames == nil {
+		lw.p.VRegNames = map[int32]ir.VRegName{}
+	}
+	lw.p.VRegNames[v] = ir.VRegName{Name: name, Kind: kind, Pos: pos}
 }
 
 func (lw *lowerer) br(cond int32, then, els *ir.Block, pos token.Pos) {
@@ -162,7 +183,9 @@ func (lw *lowerer) lowerMain() error {
 	// Integer parameters occupy the first vregs, seeded by the runtime.
 	for _, prm := range main.Params {
 		if prm.Kind == ast.ParamInt {
-			f.locals[prm.Name] = lw.newVReg()
+			v := lw.newVReg()
+			f.locals[prm.Name] = v
+			lw.nameVReg(v, prm.Name, "param", prm.P)
 		}
 	}
 	lw.frames = append(lw.frames, f)
@@ -174,10 +197,18 @@ func (lw *lowerer) lowerMain() error {
 		lw.ret(main.P)
 	}
 	// Unreachable continuation blocks (after break/continue/return) may be
-	// left unterminated; seal them as returns.
+	// left unterminated; seal them as returns carrying the position of the
+	// block's last instruction (or of main as a fallback).
 	for _, b := range lw.blocks {
 		if !b.Terminated() {
-			b.Term = ir.Inst{Op: ir.Ret}
+			pos := main.P
+			for i := len(b.Insts) - 1; i >= 0; i-- {
+				if b.Insts[i].Pos.Line > 0 {
+					pos = b.Insts[i].Pos
+					break
+				}
+			}
+			b.Term = ir.Inst{Op: ir.Ret, Pos: pos}
 			b.Succ = [2]int{-1, -1}
 		}
 	}
@@ -249,6 +280,7 @@ func (lw *lowerer) stmt(s ast.Stmt) {
 			lw.emit(ir.Inst{Op: ir.Const, D: v, Imm: 0, Pos: s.Decl.P})
 		}
 		lw.frame().locals[s.Decl.Name] = v
+		lw.nameVReg(v, s.Decl.Name, "local", s.Decl.P)
 	case *ast.Assign:
 		lw.assign(s)
 	case *ast.If:
@@ -482,6 +514,7 @@ func (lw *lowerer) inline(f *ast.FunDecl, e *ast.Call) int32 {
 		pv := lw.newVReg()
 		lw.emit(ir.Inst{Op: ir.Mov, D: pv, A: av, Pos: e.P})
 		nf.locals[prm.Name] = pv
+		lw.nameVReg(pv, prm.Name, "param", prm.P)
 	}
 	cont := lw.newBlock()
 	nf.retBlk = cont.ID
@@ -627,6 +660,7 @@ func (lw *lowerer) fieldVReg(name string, word int32, pos token.Pos) int32 {
 	v := lw.newVReg()
 	lw.emit(ir.Inst{Op: ir.Bin, Sub: uint8(token.AMP), D: v, A: t, B: mk, Pos: pos})
 	f.fields[name] = v
+	lw.nameVReg(v, name, "field", fd.P)
 	return v
 }
 

@@ -172,6 +172,16 @@ type ParamDecl struct {
 	Queue   QueueDecl // when IsQueue
 }
 
+// VRegName records the source-level binding a virtual register was
+// created for, so diagnostics can speak in the programmer's vocabulary.
+// Inlining duplicates bindings (fresh vregs per call site), so several
+// vregs may share one (Name, Pos) pair.
+type VRegName struct {
+	Name string
+	Kind string // "param", "local", or "field"
+	Pos  token.Pos
+}
+
 // Program is a compiled Facile program.
 type Program struct {
 	Blocks  []*Block
@@ -183,6 +193,10 @@ type Program struct {
 	QueuesG []QueueDecl
 	Externs []string
 	Params  []ParamDecl
+
+	// VRegNames maps vregs to the source bindings they were created for
+	// (params, locals, decoded fields). Compiler temporaries are absent.
+	VRegNames map[int32]VRegName
 
 	// Stats from compilation, reported by the driver.
 	NumStatic  int // instructions classified run-time static

@@ -1,0 +1,104 @@
+// Package source maps positions in a concatenated multi-file Facile
+// program back to per-file coordinates.
+//
+// The compiler driver concatenates its input files into one blob (each
+// file followed by a newline, the conventional ISA + step-function
+// layout), so every token.Pos the pipeline reports is relative to that
+// blob. A Set records where each file starts inside the blob and resolves
+// blob positions to real file:line:col spans for diagnostics.
+package source
+
+import (
+	"fmt"
+	"strings"
+
+	"facile/internal/lang/token"
+)
+
+// Position is a resolved source position: a file name plus 1-based line
+// and column within that file. A zero Position means "unknown".
+type Position struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// IsValid reports whether the position carries a real line number.
+func (p Position) IsValid() bool { return p.Line > 0 }
+
+// String renders file:line:col (or just the file, or "-", when parts are
+// missing), the format editors and CI annotations understand.
+func (p Position) String() string {
+	if !p.IsValid() {
+		if p.File != "" {
+			return p.File
+		}
+		return "-"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+type file struct {
+	name string
+	base int // 1-based first blob line belonging to this file
+	nl   int // number of blob lines the file occupies (incl. the added \n)
+}
+
+// Set is an ordered collection of named sources forming one concatenated
+// program.
+type Set struct {
+	files []file
+	blob  strings.Builder
+	lines int // total blob lines emitted so far
+}
+
+// NewSet returns an empty Set.
+func NewSet() *Set { return &Set{} }
+
+// Add appends one file to the set, mirroring the driver convention of
+// writing the file content followed by a single newline.
+func (s *Set) Add(name, src string) {
+	nl := strings.Count(src, "\n") + 1 // the trailing "\n" terminates the last line
+	s.files = append(s.files, file{name: name, base: s.lines + 1, nl: nl})
+	s.blob.WriteString(src)
+	s.blob.WriteString("\n")
+	s.lines += nl
+}
+
+// Cat returns the concatenated program text, byte-identical to what the
+// driver feeds the compiler.
+func (s *Set) Cat() string { return s.blob.String() }
+
+// Files returns the file names in order.
+func (s *Set) Files() []string {
+	out := make([]string, len(s.files))
+	for i, f := range s.files {
+		out[i] = f.name
+	}
+	return out
+}
+
+// Resolve maps a blob-relative position to a file-relative one. Positions
+// with no line information (synthesized nodes) resolve to an invalid
+// Position; positions past the last file stick to the last file.
+func (s *Set) Resolve(p token.Pos) Position {
+	if p.Line <= 0 || len(s.files) == 0 {
+		return Position{}
+	}
+	// Files are in ascending base order; find the last file whose first
+	// line is <= p.Line.
+	lo, hi := 0, len(s.files)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.files[mid].base <= p.Line {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	f := s.files[lo]
+	return Position{File: f.name, Line: p.Line - f.base + 1, Col: p.Col}
+}

@@ -1,0 +1,59 @@
+package source
+
+import (
+	"testing"
+
+	"facile/internal/lang/token"
+)
+
+func TestResolveAcrossFiles(t *testing.T) {
+	s := NewSet()
+	s.Add("a.fac", "line1\nline2") // no trailing newline: 2 lines + added \n
+	s.Add("b.fac", "b1\nb2\nb3\n") // trailing newline: 3 lines + blank line 4
+	s.Add("c.fac", "only")
+
+	if got, want := s.Cat(), "line1\nline2\nb1\nb2\nb3\n\nonly\n"; got != want {
+		t.Fatalf("Cat() = %q, want %q", got, want)
+	}
+	cases := []struct {
+		line, col int
+		want      Position
+	}{
+		{1, 1, Position{"a.fac", 1, 1}},
+		{2, 5, Position{"a.fac", 2, 5}},
+		{3, 1, Position{"b.fac", 1, 1}},
+		{5, 2, Position{"b.fac", 3, 2}},
+		{6, 1, Position{"b.fac", 4, 1}}, // the appended blank line
+		{7, 3, Position{"c.fac", 1, 3}},
+		{99, 1, Position{"c.fac", 93, 1}}, // past-the-end sticks to the last file
+	}
+	for _, c := range cases {
+		got := s.Resolve(token.Pos{Line: c.line, Col: c.col})
+		if got != c.want {
+			t.Errorf("Resolve(%d:%d) = %v, want %v", c.line, c.col, got, c.want)
+		}
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	s := NewSet()
+	s.Add("a.fac", "x\n")
+	if got := s.Resolve(token.Pos{}); got.IsValid() {
+		t.Fatalf("zero pos resolved to %v", got)
+	}
+	if got := (&Set{}).Resolve(token.Pos{Line: 1, Col: 1}); got.IsValid() {
+		t.Fatalf("empty set resolved to %v", got)
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	if got := (Position{"f.fac", 3, 7}).String(); got != "f.fac:3:7" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (Position{}).String(); got != "-" {
+		t.Fatalf("zero String() = %q", got)
+	}
+	if got := (Position{File: "f.fac"}).String(); got != "f.fac" {
+		t.Fatalf("file-only String() = %q", got)
+	}
+}

@@ -1,0 +1,452 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+
+	"facile/internal/lang/source"
+)
+
+// runSrc vets one synthetic program as a single unit.
+func runSrc(t *testing.T, src string, opt Options) *Result {
+	t.Helper()
+	fs := source.NewSet()
+	fs.Add("test.fac", src)
+	return RunSet(fs, opt)
+}
+
+// byCode filters a result's diagnostics.
+func byCode(r *Result, code string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func wantCode(t *testing.T, r *Result, code string, n int) []Diagnostic {
+	t.Helper()
+	ds := byCode(r, code)
+	if len(ds) != n {
+		t.Errorf("%s: got %d finding(s), want %d\nall: %v", code, len(ds), n, r.Diags)
+	}
+	return ds
+}
+
+func TestPipelineErrors(t *testing.T) {
+	r := runSrc(t, "fun main( {", Options{})
+	ds := wantCode(t, r, "FV0001", 1)
+	if len(ds) == 1 && (ds[0].Severity != SevError || ds[0].Pos.Line == 0) {
+		t.Errorf("FV0001 = %+v, want error severity with a position", ds[0])
+	}
+	if !r.HasErrors() {
+		t.Error("parse failure does not count as errors")
+	}
+
+	r = runSrc(t, `
+fun main(x) {
+    nope(x);
+    set_args(x);
+}
+`, Options{})
+	ds = wantCode(t, r, "FV0002", 1)
+	if len(ds) == 1 && ds[0].Pos.Line != 3 {
+		t.Errorf("FV0002 at %s, want line 3", ds[0].Pos)
+	}
+}
+
+func TestBindtimePointlessPin(t *testing.T) {
+	r := runSrc(t, `
+fun main(x) {
+    val a = (x + 1)?pin();
+    set_args(a);
+}
+`, Options{})
+	ds := wantCode(t, r, "FV0102", 1)
+	if len(ds) == 1 && ds[0].Fix == "" {
+		t.Error("FV0102 carries no suggested fix")
+	}
+}
+
+func TestBindtimeUnpinnedExtern(t *testing.T) {
+	r := runSrc(t, `
+extern e(1);
+val out = 0;
+fun main(x) {
+    out = e(x);
+    set_args(x);
+}
+`, Options{})
+	ds := wantCode(t, r, "FV0103", 1)
+	if len(ds) == 1 && !strings.Contains(ds[0].Message, `"e"`) {
+		t.Errorf("FV0103 message %q does not name the extern", ds[0].Message)
+	}
+
+	// Pinning the result silences it.
+	r = runSrc(t, `
+extern e(1);
+val out = 0;
+fun main(x) {
+    out = e(x)?pin();
+    set_args(x);
+}
+`, Options{})
+	wantCode(t, r, "FV0103", 0)
+}
+
+func TestBindtimeExplainChains(t *testing.T) {
+	r := runSrc(t, `
+val A = array(4){0};
+val g = 0;
+fun main(x) {
+    val v = A[x] + 1;
+    g = v;
+    set_args(x);
+}
+`, Options{Explain: true})
+	found := false
+	for _, d := range byCode(r, "FV0101") {
+		if strings.Contains(d.Message, `local "v" is dynamic`) &&
+			strings.Contains(d.Message, `array "A"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("explain mode did not chain local v to the array read; got %v", byCode(r, "FV0101"))
+	}
+	// Explain is opt-in: without the flag no FV0101 appears.
+	r = runSrc(t, `
+val A = array(4){0};
+val g = 0;
+fun main(x) {
+    g = A[x];
+    set_args(x);
+}
+`, Options{})
+	wantCode(t, r, "FV0101", 0)
+}
+
+func TestWritethroughElidable(t *testing.T) {
+	// g is stored rt-static and never read by dynamic code: FV0201 counts
+	// the write-through, FV0202 calls it elidable under LiftLiveOnly.
+	r := runSrc(t, `
+val g = 0;
+extern e(1);
+fun main(x) {
+    g = x * 2;
+    e(x);
+    set_args((x + 1) % 4);
+}
+`, Options{})
+	wantCode(t, r, "FV0201", 1)
+	ds := wantCode(t, r, "FV0202", 1)
+	if len(ds) == 1 && !strings.Contains(ds[0].Fix, "LiftLiveOnly") {
+		t.Errorf("FV0202 fix %q does not mention LiftLiveOnly", ds[0].Fix)
+	}
+}
+
+func TestWritethroughNotElidableWhenDynRead(t *testing.T) {
+	// h is read at step entry while still dynamic (globals are dynamic
+	// until a static store), so its write-through must survive even under
+	// LiftLiveOnly: FV0201 yes, FV0202 no.
+	r := runSrc(t, `
+val h = 0;
+val A = array(4){0};
+fun main(x) {
+    A[x] = h;
+    h = x * 2;
+    set_args(x);
+}
+`, Options{})
+	wantCode(t, r, "FV0201", 1)
+	wantCode(t, r, "FV0202", 0)
+}
+
+func TestMemokeyDynamicAndPinDerivedKeys(t *testing.T) {
+	r := runSrc(t, `
+extern e(0);
+fun main(x) {
+    set_args(e());
+}
+`, Options{})
+	wantCode(t, r, "FV0301", 1)
+
+	r = runSrc(t, `
+extern e(0);
+fun main(x) {
+    val p = e()?pin();
+    set_args(x + p);
+}
+`, Options{})
+	ds := wantCode(t, r, "FV0302", 1)
+	if len(ds) == 1 && !strings.Contains(ds[0].Message, "?pin") {
+		t.Errorf("FV0302 message %q does not point at the pin site", ds[0].Message)
+	}
+	wantCode(t, r, "FV0301", 0)
+}
+
+func TestMemokeyQueueWidths(t *testing.T) {
+	r := runSrc(t, `
+fun main(q: queue(64, 2), x) {
+    set_args(q, x);
+}
+`, Options{})
+	ds := wantCode(t, r, "FV0303", 1)
+	if len(ds) == 1 && ds[0].Severity != SevWarning {
+		t.Errorf("FV0303 for 128 words = %v, want warning", ds[0].Severity)
+	}
+
+	r = runSrc(t, `
+fun main(q: queue(4, 1), x) {
+    set_args(q, x);
+}
+`, Options{})
+	ds = wantCode(t, r, "FV0303", 1)
+	if len(ds) == 1 && ds[0].Severity != SevInfo {
+		t.Errorf("FV0303 for 4 words = %v, want info", ds[0].Severity)
+	}
+	sum := wantCode(t, r, "FV0304", 1)
+	if len(sum) == 1 && !strings.Contains(sum[0].Message, "q[4x1]") {
+		t.Errorf("FV0304 summary %q does not describe the queue", sum[0].Message)
+	}
+}
+
+const dispatchHeader = `
+token t[8]
+  fields a 0:3, b 4:7;
+`
+
+func TestEncodingOverlapAndShadow(t *testing.T) {
+	// p1 and p2 overlap without subsumption (a word with a=1,b=2 matches
+	// both); p3 repeats p1 exactly, so p3 is shadowed.
+	r := runSrc(t, dispatchHeader+`
+pat p1 = a == 1;
+pat p2 = b == 2;
+pat p3 = a == 1;
+sem p1 { }
+sem p2 { }
+sem p3 { }
+val PC : stream;
+fun main(x) {
+    PC?exec();
+    set_args(x);
+}
+`, Options{})
+	if len(byCode(r, "FV0401")) == 0 {
+		t.Errorf("no FV0401 overlap finding; got %v", r.Diags)
+	}
+	ds := byCode(r, "FV0402")
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, "p3") {
+		t.Errorf("FV0402 = %v, want exactly one naming p3", ds)
+	}
+}
+
+func TestEncodingCoverageAndTree(t *testing.T) {
+	// Four single-constant cases on one 4-bit field: eligible for the
+	// binary decision tree, with 12 of 16 values undecoded.
+	r := runSrc(t, dispatchHeader+`
+pat p1 = a == 1;
+pat p2 = a == 2;
+pat p3 = a == 3;
+pat p4 = a == 4;
+sem p1 { }
+sem p2 { }
+sem p3 { }
+sem p4 { }
+val PC : stream;
+fun main(x) {
+    PC?exec();
+    set_args(x);
+}
+`, Options{})
+	cov := wantCode(t, r, "FV0403", 1)
+	if len(cov) == 1 && !strings.Contains(cov[0].Message, "4 of 16") {
+		t.Errorf("FV0403 message %q, want coverage of 4 of 16 values", cov[0].Message)
+	}
+	tree := wantCode(t, r, "FV0404", 1)
+	if len(tree) == 1 && !strings.Contains(tree[0].Message, "decision tree") {
+		t.Errorf("FV0404 message %q, want a decision-tree report", tree[0].Message)
+	}
+}
+
+func TestEncodingBadConstants(t *testing.T) {
+	// 99 does not fit the 4-bit field a (FV0405), making the pattern
+	// unsatisfiable (FV0406). The contradiction a==1 && a==2 is also
+	// unsatisfiable.
+	r := runSrc(t, dispatchHeader+`
+pat wide = a == 99;
+pat never = a == 1 && a == 2;
+sem wide { }
+sem never { }
+val PC : stream;
+fun main(x) {
+    PC?exec();
+    set_args(x);
+}
+`, Options{})
+	wantCode(t, r, "FV0405", 1)
+	wantCode(t, r, "FV0406", 2)
+}
+
+func TestEncodingPatSwitchSite(t *testing.T) {
+	// Pattern switches are dispatch sites too: the shadowed case is
+	// flagged even with no ?exec in the program.
+	r := runSrc(t, dispatchHeader+`
+pat p1 = a == 1;
+pat p2 = a == 1;
+val PC : stream;
+val g = 0;
+fun main(x) {
+    switch (PC) {
+      pat p1: { g = 1; }
+      pat p2: { g = 2; }
+    }
+    set_args(x);
+}
+`, Options{})
+	if len(byCode(r, "FV0402")) == 0 {
+		t.Errorf("no FV0402 for the shadowed pat-switch case; got %v", r.Diags)
+	}
+}
+
+func TestUnusedDeclarations(t *testing.T) {
+	r := runSrc(t, `
+token t[8]
+  fields a 0:3, b 4:7;
+pat pa = a == 1;
+pat pb = a == 2;
+sem pa { }
+extern never(0);
+val gunused = 0;
+fun helper(x) { return x; }
+fun main(k) {
+    val dead = k + 1;
+    set_args(k);
+}
+`, Options{})
+	for code, want := range map[string]string{
+		"FV0501": `"b"`,
+		"FV0502": `"pb"`,
+		"FV0503": `"never"`,
+		"FV0504": `"helper"`,
+		"FV0505": `"gunused"`,
+		"FV0507": `"dead"`,
+	} {
+		ds := wantCode(t, r, code, 1)
+		if len(ds) == 1 && !strings.Contains(ds[0].Message, want) {
+			t.Errorf("%s message %q does not name %s", code, ds[0].Message, want)
+		}
+	}
+}
+
+func TestUnusedWriteOnlyGlobal(t *testing.T) {
+	r := runSrc(t, `
+val wo = 0;
+fun main(k) {
+    wo = k;
+    set_args(k);
+}
+`, Options{})
+	ds := wantCode(t, r, "FV0506", 1)
+	if len(ds) == 1 && ds[0].Severity != SevInfo {
+		t.Errorf("FV0506 severity %v, want info (the host may read it)", ds[0].Severity)
+	}
+	wantCode(t, r, "FV0505", 0)
+}
+
+func TestStaticctxQueueViolations(t *testing.T) {
+	// Both violation sites are reported, not just the first the compiler
+	// errors on, and the rest of the program is still analyzed.
+	r := runSrc(t, `
+extern e(0);
+val out = 0;
+fun main(q: queue(4, 1), x) {
+    q?push(e());
+    val v = q?get(e(), 0);
+    out = v;
+    set_args(q, x);
+}
+`, Options{})
+	ds := wantCode(t, r, "FV0601", 2)
+	for _, d := range ds {
+		if d.Severity != SevError {
+			t.Errorf("FV0601 severity %v, want error", d.Severity)
+		}
+	}
+	if !r.HasErrors() {
+		t.Error("queue violations do not surface through HasErrors")
+	}
+	// The independent analyzers still ran on the violating program.
+	wantCode(t, r, "FV0304", 1)
+}
+
+func TestStaticctxUnreachable(t *testing.T) {
+	r := runSrc(t, `
+val g = 0;
+fun f(x) {
+    return x;
+    g = 7;
+}
+fun main(y) {
+    set_args(f(y));
+}
+`, Options{})
+	ds := wantCode(t, r, "FV0602", 1)
+	if len(ds) == 1 && ds[0].Pos.Line != 5 {
+		t.Errorf("FV0602 at %s, want the statement after return (line 5)", ds[0].Pos)
+	}
+}
+
+func TestOptionsEnableDisableSeverity(t *testing.T) {
+	src := `
+val g = 0;
+extern e(1);
+fun main(x) {
+    g = x * 2;
+    e(x);
+    set_args((x + 1) % 4);
+}
+`
+	// Enable only the writethrough analyzer.
+	r := runSrc(t, src, Options{Enable: []string{"writethrough"}})
+	for _, d := range r.Diags {
+		if !strings.HasPrefix(d.Code, "FV02") {
+			t.Errorf("enable=writethrough leaked %s", d.Code)
+		}
+	}
+	if len(r.Diags) == 0 {
+		t.Error("enable=writethrough produced nothing")
+	}
+	// Disable one code by prefix match.
+	r = runSrc(t, src, Options{Disable: []string{"FV0202"}})
+	wantCode(t, r, "FV0202", 0)
+	wantCode(t, r, "FV0201", 1)
+	// Severity floor drops infos.
+	r = runSrc(t, src, Options{MinSeverity: SevWarning})
+	for _, d := range r.Diags {
+		if d.Severity < SevWarning {
+			t.Errorf("MinSeverity=warning leaked %s (%v)", d.Code, d.Severity)
+		}
+	}
+}
+
+func TestPositionsResolveAcrossFiles(t *testing.T) {
+	fs := source.NewSet()
+	fs.Add("lib.fac", "val g = 0;\n")
+	fs.Add("step.fac", `
+fun main(x) {
+    val a = (x + 1)?pin();
+    set_args(a);
+}
+`)
+	r := RunSet(fs, Options{})
+	ds := byCode(r, "FV0102")
+	if len(ds) != 1 {
+		t.Fatalf("FV0102 findings = %v, want 1", ds)
+	}
+	if ds[0].Pos.File != "step.fac" || ds[0].Pos.Line != 3 {
+		t.Errorf("FV0102 at %s, want step.fac:3", ds[0].Pos)
+	}
+}

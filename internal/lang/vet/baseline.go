@@ -1,0 +1,78 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Baseline is a checked-in snapshot of accepted findings. A gated run
+// fails on findings not in the baseline (new debt); findings that
+// disappeared are reported so the baseline can shrink.
+type Baseline struct {
+	Version  int      `json:"version"`
+	Findings []string `json:"findings"` // sorted baseline keys
+}
+
+// BaselineKey identifies a finding stably across runs: code, position,
+// and message (messages embed counts, so a regression in degree also
+// counts as new).
+func BaselineKey(d Diagnostic) string {
+	return fmt.Sprintf("%s|%s|%s|%s", d.Code, d.Pos, d.Unit, d.Message)
+}
+
+// NewBaseline snapshots a result.
+func NewBaseline(r *Result) *Baseline {
+	b := &Baseline{Version: 1, Findings: []string{}}
+	seen := map[string]bool{}
+	for _, d := range r.Diags {
+		k := BaselineKey(d)
+		if !seen[k] {
+			seen[k] = true
+			b.Findings = append(b.Findings, k)
+		}
+	}
+	sort.Strings(b.Findings)
+	return b
+}
+
+// WriteBaseline serializes a baseline.
+func (b *Baseline) WriteBaseline(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// LoadBaseline parses a baseline.
+func LoadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Compare splits a result against the baseline: findings not in the
+// baseline (build-breaking), and baseline entries no longer produced
+// (safe to remove — baseline shrink is allowed).
+func (b *Baseline) Compare(r *Result) (fresh []Diagnostic, fixed []string) {
+	have := map[string]bool{}
+	for _, k := range b.Findings {
+		have[k] = true
+	}
+	produced := map[string]bool{}
+	for _, d := range r.Diags {
+		k := BaselineKey(d)
+		produced[k] = true
+		if !have[k] {
+			fresh = append(fresh, d)
+		}
+	}
+	for _, k := range b.Findings {
+		if !produced[k] {
+			fixed = append(fixed, k)
+		}
+	}
+	return fresh, fixed
+}

@@ -1,0 +1,54 @@
+package vet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBaselineRoundTripAndCompare(t *testing.T) {
+	r := runSrc(t, `
+val g = 0;
+extern e(1);
+fun main(x) {
+    g = x * 2;
+    e(x);
+    set_args((x + 1) % 4);
+}
+`, Options{})
+	if len(r.Diags) < 2 {
+		t.Fatalf("test program produced %d finding(s), want at least 2", len(r.Diags))
+	}
+	b := NewBaseline(r)
+
+	var buf bytes.Buffer
+	if err := b.WriteBaseline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Findings) != len(b.Findings) {
+		t.Fatalf("round trip lost findings: %d -> %d", len(b.Findings), len(loaded.Findings))
+	}
+
+	// A result identical to its own baseline is clean both ways.
+	fresh, fixed := loaded.Compare(r)
+	if len(fresh) != 0 || len(fixed) != 0 {
+		t.Errorf("self-compare: fresh=%v fixed=%v, want none", fresh, fixed)
+	}
+
+	// Removing an entry makes the corresponding finding fresh (gate fails).
+	short := &Baseline{Version: 1, Findings: loaded.Findings[1:]}
+	fresh, _ = short.Compare(r)
+	if len(fresh) != 1 || BaselineKey(fresh[0]) != loaded.Findings[0] {
+		t.Errorf("shrunken baseline: fresh=%v, want exactly the removed finding", fresh)
+	}
+
+	// An entry no longer produced is reported as fixed (shrink allowed).
+	extra := &Baseline{Version: 1, Findings: append([]string{"FV9999|gone.fac:1:1||stale"}, loaded.Findings...)}
+	fresh, fixed = extra.Compare(r)
+	if len(fresh) != 0 || len(fixed) != 1 || fixed[0] != "FV9999|gone.fac:1:1||stale" {
+		t.Errorf("stale baseline: fresh=%v fixed=%v, want only the stale key fixed", fresh, fixed)
+	}
+}

@@ -1,0 +1,219 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"facile/internal/lang/compile"
+	"facile/internal/lang/ir"
+	"facile/internal/lang/token"
+)
+
+// bindtimeAnalyzer explains and polices binding times. FV0101 is the
+// explain-mode provenance report: for every named binding the BTA decided
+// is dynamic, the shortest why-dynamic chain back to a root cause (array
+// read, extern call, queue op, or dynamic global read), derived from the
+// first-cause edges the §4.1 lattice fixpoint records. FV0102/FV0103 flag
+// avoidable dynamism.
+var bindtimeAnalyzer = &Analyzer{
+	Name: "bindtime",
+	Doc:  "binding-time provenance and avoidable-dynamism checks",
+	Codes: []CodeDoc{
+		{"FV0101", SevInfo, "why-dynamic provenance chain for a named binding (explain mode)"},
+		{"FV0102", SevWarning, "?pin applied to a value that is already run-time static"},
+		{"FV0103", SevWarning, "extern call with all run-time static arguments whose dynamic result is used unpinned"},
+	},
+	Run: runBindtime,
+}
+
+func runBindtime(p *Pass) {
+	if p.IR != nil {
+		pointlessPins(p)
+		unpinnedExterns(p)
+	}
+	if p.Opt.Explain && p.RawIR != nil && p.RawFacts != nil {
+		explainBindings(p)
+		explainGlobals(p)
+	}
+}
+
+// pointlessPins flags ?pin on rt-static operands: the pin has no effect
+// (the value is already part of the memoization state) but still ends the
+// basic block.
+func pointlessPins(p *Pass) {
+	for _, b := range p.IR.Blocks {
+		for i := range b.Insts {
+			inst := &b.Insts[i]
+			if inst.Op == ir.Pin && inst.BT == ir.BTStatic {
+				p.ReportFix("bindtime", "FV0102", SevWarning, inst.Pos,
+					"remove the ?pin",
+					"?pin of a value that is already run-time static has no effect")
+			}
+		}
+	}
+}
+
+// unpinnedExterns flags extern calls whose arguments are all rt-static
+// but whose (necessarily dynamic) result is consumed by something other
+// than a ?pin: if the extern is deterministic for those inputs, pinning
+// the result keeps the downstream computation run-time static.
+func unpinnedExterns(p *Pass) {
+	pinned := map[int32]bool{}
+	otherUse := map[int32]bool{}
+	for _, b := range p.IR.Blocks {
+		use := func(v int32) {
+			if v >= 0 {
+				otherUse[v] = true
+			}
+		}
+		for i := range b.Insts {
+			inst := &b.Insts[i]
+			if inst.Op == ir.Pin {
+				if inst.A >= 0 {
+					pinned[inst.A] = true
+				}
+				continue
+			}
+			use(inst.A)
+			use(inst.B)
+			for _, a := range inst.Args {
+				use(a)
+			}
+		}
+		use(b.Term.A)
+	}
+	for _, b := range p.IR.Blocks {
+		for i := range b.Insts {
+			inst := &b.Insts[i]
+			if inst.Op != ir.CallExt || inst.D < 0 {
+				continue
+			}
+			allStatic := true
+			for _, a := range inst.Args {
+				if a >= 0 && int(a) < len(p.Facts.VRegBT) && p.Facts.VRegBT[a] == ir.BTDynamic {
+					allStatic = false
+					break
+				}
+			}
+			if allStatic && otherUse[inst.D] && !pinned[inst.D] {
+				p.ReportFix("bindtime", "FV0103", SevWarning, inst.Pos,
+					"pin the result: extern(...)?pin()",
+					"extern %q is called with only run-time static arguments but its dynamic result is used unpinned; if the call is deterministic for these inputs, a ?pin keeps downstream computation run-time static",
+					p.IR.Externs[inst.Imm])
+			}
+		}
+	}
+}
+
+// explainBindings emits one FV0101 per dynamic named binding (param,
+// local, decoded field), with the why-dynamic chain. Inlining duplicates
+// bindings across call sites, so instances are deduplicated by
+// declaration; the chain shown is the first dynamic instance's.
+func explainBindings(p *Pass) {
+	prog, facts := p.RawIR, p.RawFacts
+	type declKey struct {
+		name string
+		pos  token.Pos
+	}
+	first := map[declKey]int32{}
+	var order []declKey
+	vregs := make([]int32, 0, len(prog.VRegNames))
+	for v := range prog.VRegNames {
+		vregs = append(vregs, v)
+	}
+	sort.Slice(vregs, func(i, j int) bool { return vregs[i] < vregs[j] })
+	for _, v := range vregs {
+		if int(v) >= len(facts.VRegBT) || facts.VRegBT[v] != ir.BTDynamic {
+			continue
+		}
+		n := prog.VRegNames[v]
+		k := declKey{n.Name, n.Pos}
+		if _, ok := first[k]; !ok {
+			first[k] = v
+			order = append(order, k)
+		}
+	}
+	for _, k := range order {
+		v := first[k]
+		n := prog.VRegNames[v]
+		p.Reportf("bindtime", "FV0101", SevInfo, n.Pos,
+			"%s %q is dynamic: %s", n.Kind, n.Name, p.chain(prog, facts, v))
+	}
+}
+
+// explainGlobals emits one FV0101 per global that the program reads,
+// describing its binding-time life cycle within a step.
+func explainGlobals(p *Pass) {
+	prog, facts := p.RawIR, p.RawFacts
+	read := make([]bool, len(prog.Globals))
+	for _, b := range prog.Blocks {
+		for i := range b.Insts {
+			if b.Insts[i].Op == ir.LoadG {
+				read[b.Insts[i].Imm] = true
+			}
+		}
+	}
+	for gi, g := range prog.Globals {
+		if !read[gi] || p.Checked == nil {
+			continue
+		}
+		decl := p.Checked.Globals[g.Name]
+		if decl == nil {
+			continue
+		}
+		life := "is dynamic at step entry"
+		if sp := facts.GlobalStaticStore[gi]; sp.Line > 0 {
+			life += fmt.Sprintf("; becomes run-time static at the store at %s", p.Position(sp))
+		}
+		if ds := facts.GlobalDynStore[gi]; ds.Kind != compile.CauseNone {
+			life += fmt.Sprintf("; re-assigned dynamic at %s", p.Position(ds.Pos))
+		}
+		p.Reportf("bindtime", "FV0101", SevInfo, decl.P,
+			"global %q %s (globals are flow-sensitive, §4.1)", g.Name, life)
+	}
+}
+
+// chain renders the why-dynamic provenance of vreg v by following the
+// first-cause edges recorded during the lattice fixpoint. Causes point
+// strictly backwards in analysis time, but a visited set guards against
+// global/vreg mutual recursion.
+func (p *Pass) chain(prog *ir.Program, facts *compile.Facts, v int32) string {
+	var steps []string
+	seen := map[int32]bool{}
+	for hop := 0; hop < 8; hop++ {
+		if v < 0 || int(v) >= len(facts.VRegCause) || seen[v] {
+			break
+		}
+		seen[v] = true
+		c := facts.VRegCause[v]
+		switch c.Kind {
+		case compile.CauseArray:
+			return joinChain(append(steps, fmt.Sprintf("element of array %q read at %s (array state is dynamic)",
+				prog.Arrays[c.From].Name, p.Position(c.Pos))))
+		case compile.CauseExtern:
+			return joinChain(append(steps, fmt.Sprintf("result of extern %q at %s",
+				prog.Externs[c.From], p.Position(c.Pos))))
+		case compile.CauseQueue:
+			return joinChain(append(steps, fmt.Sprintf("operation on global queue %q at %s",
+				prog.QueuesG[c.From].Name, p.Position(c.Pos))))
+		case compile.CauseGlobal:
+			return joinChain(append(steps, fmt.Sprintf("read of global %q at %s while it is dynamic",
+				prog.Globals[c.From].Name, p.Position(c.Pos))))
+		case compile.CauseVReg:
+			step := fmt.Sprintf("computed at %s", p.Position(c.Pos))
+			if n, ok := prog.VRegNames[c.From]; ok {
+				step = fmt.Sprintf("value of %s %q at %s", n.Kind, n.Name, p.Position(c.Pos))
+			}
+			if len(steps) == 0 || steps[len(steps)-1] != step {
+				steps = append(steps, step)
+			}
+			v = c.From
+		default:
+			return joinChain(append(steps, "(no recorded cause)"))
+		}
+	}
+	return joinChain(append(steps, "..."))
+}
+
+func joinChain(steps []string) string { return strings.Join(steps, " <- ") }

@@ -1,0 +1,519 @@
+package vet
+
+import (
+	"fmt"
+	"strings"
+
+	"facile/internal/lang/ast"
+	"facile/internal/lang/token"
+)
+
+// encodingAnalyzer checks the encoding sublanguage (the NJ Machine-Code
+// Toolkit heritage): overlapping token patterns, shadowed/unreachable
+// dispatch cases, constants that cannot fit their field, and a summary of
+// the undecoded opcode space. Patterns are reduced to a disjunction of
+// (mask, value) constraints over the token word — equality atoms are
+// exact (overlapping bit-range fields compose precisely); anything else
+// is kept conservative so no false overlap/shadow is ever reported.
+var encodingAnalyzer = &Analyzer{
+	Name: "encoding",
+	Doc:  "token-pattern overlap, shadowing, and decode-space coverage",
+	Codes: []CodeDoc{
+		{"FV0401", SevWarning, "two dispatched patterns overlap; the earlier one wins"},
+		{"FV0402", SevWarning, "dispatch case is unreachable: earlier patterns claim every matching word"},
+		{"FV0403", SevInfo, "undecoded opcode-space summary for the sem dispatch"},
+		{"FV0404", SevInfo, "whether a dispatch compiles to a binary decision tree or a linear chain"},
+		{"FV0405", SevWarning, "pattern constant does not fit its field"},
+		{"FV0406", SevWarning, "pattern can never match any word"},
+	},
+	Run: runEncoding,
+}
+
+// conj is one conjunct of a pattern in disjunctive normal form: the word
+// bits pinned by equality atoms, plus whether non-equality constraints
+// were dropped (exact=false narrows the match set unpredictably).
+type conj struct {
+	mask, val uint64
+	exact     bool
+	unsat     bool
+}
+
+const maxConjs = 128
+
+type patShape struct {
+	conjs   []conj
+	inexact bool // DNF blew the cap or contains non-equality structure we dropped entirely
+}
+
+type encoder struct {
+	p      *Pass
+	fields map[string]*ast.FieldDecl
+	pats   map[string]*ast.PatDecl
+	shapes map[string]*patShape
+	inProg map[string]bool // cycle guard
+}
+
+func newEncoder(p *Pass) *encoder {
+	e := &encoder{p: p,
+		fields: map[string]*ast.FieldDecl{},
+		pats:   map[string]*ast.PatDecl{},
+		shapes: map[string]*patShape{},
+		inProg: map[string]bool{},
+	}
+	for _, t := range p.AST.Tokens {
+		for _, f := range t.Fields {
+			e.fields[f.Name] = f
+		}
+	}
+	for _, pd := range p.AST.Pats {
+		e.pats[pd.Name] = pd
+	}
+	return e
+}
+
+func mergeConj(a, b conj) conj {
+	if a.unsat || b.unsat {
+		return conj{unsat: true}
+	}
+	common := a.mask & b.mask
+	if a.val&common != b.val&common {
+		return conj{unsat: true}
+	}
+	return conj{mask: a.mask | b.mask, val: a.val | b.val, exact: a.exact && b.exact}
+}
+
+// shape computes (and memoizes) the DNF of a pattern.
+func (e *encoder) shape(name string) *patShape {
+	if s, ok := e.shapes[name]; ok {
+		return s
+	}
+	if e.inProg[name] {
+		return &patShape{inexact: true} // cyclic reference; checker rejects it elsewhere
+	}
+	e.inProg[name] = true
+	pd := e.pats[name]
+	s := &patShape{}
+	if pd != nil {
+		s.conjs, s.inexact = e.dnf(pd.Expr, name)
+	} else {
+		s.inexact = true
+	}
+	delete(e.inProg, name)
+	e.shapes[name] = s
+	return s
+}
+
+// dnf expands a pattern expression. patName is the pattern being
+// expanded, for FV0405 attribution.
+func (e *encoder) dnf(x ast.Expr, patName string) ([]conj, bool) {
+	switch x := x.(type) {
+	case *ast.Binary:
+		switch x.Op {
+		case token.LOR:
+			l, li := e.dnf(x.L, patName)
+			r, ri := e.dnf(x.R, patName)
+			out := append(append([]conj{}, l...), r...)
+			if len(out) > maxConjs {
+				return nil, true
+			}
+			return out, li || ri
+		case token.LAND:
+			l, li := e.dnf(x.L, patName)
+			r, ri := e.dnf(x.R, patName)
+			if li || ri {
+				return nil, true
+			}
+			var out []conj
+			for _, a := range l {
+				for _, b := range r {
+					out = append(out, mergeConj(a, b))
+					if len(out) > maxConjs {
+						return nil, true
+					}
+				}
+			}
+			return out, false
+		case token.EQ:
+			if c, ok := e.eqAtom(x, patName); ok {
+				return []conj{c}, false
+			}
+		}
+	case *ast.Ident:
+		if _, isPat := e.pats[x.Name]; isPat {
+			s := e.shape(x.Name)
+			return append([]conj{}, s.conjs...), s.inexact
+		}
+	}
+	// Unknown structure: a conjunct that narrows the match set in ways we
+	// do not model. Sound for overlap (never claims a match) and for
+	// coverage (a shadowing conjunct must be exact).
+	return []conj{{exact: false}}, false
+}
+
+// eqAtom recognizes `field == K` (either operand order).
+func (e *encoder) eqAtom(x *ast.Binary, patName string) (conj, bool) {
+	id, lit := x.L, x.R
+	if _, ok := id.(*ast.Ident); !ok {
+		id, lit = x.R, x.L
+	}
+	name, ok := id.(*ast.Ident)
+	if !ok {
+		return conj{}, false
+	}
+	fd, isField := e.fields[name.Name]
+	if !isField {
+		return conj{}, false
+	}
+	k, ok := lit.(*ast.IntLit)
+	if !ok {
+		return conj{}, false
+	}
+	width := fd.Hi - fd.Lo + 1
+	if uint64(k.Val) >= 1<<uint(width) || k.Val < 0 {
+		e.p.ReportFix("encoding", "FV0405", SevWarning, k.P,
+			"shrink the constant or widen the field",
+			"pattern %q compares field %q (%d bits) with %d, which does not fit: the comparison is never true",
+			patName, fd.Name, width, k.Val)
+		return conj{unsat: true}, true
+	}
+	fmask := (uint64(1)<<uint(width) - 1) << uint(fd.Lo)
+	return conj{mask: fmask, val: uint64(k.Val) << uint(fd.Lo), exact: true}, true
+}
+
+// overlaps reports whether some word provably matches both shapes.
+func overlaps(a, b *patShape) bool {
+	for _, ca := range a.conjs {
+		if !ca.exact || ca.unsat {
+			continue
+		}
+		for _, cb := range b.conjs {
+			if !cb.exact || cb.unsat {
+				continue
+			}
+			if m := mergeConj(ca, cb); !m.unsat {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// subsumes reports whether exact conjunct a matches a superset of
+// conjunct b's words (b may be inexact: extra constraints only shrink b).
+func subsumes(a, b conj) bool {
+	return a.exact && !a.unsat && !b.unsat &&
+		a.mask&b.mask == a.mask && a.val == b.val&a.mask
+}
+
+// coveredByEarlier reports whether every word shape s can match is
+// claimed by one of the earlier shapes.
+func coveredByEarlier(s *patShape, earlier []*patShape) bool {
+	if s.inexact || len(s.conjs) == 0 {
+		return false
+	}
+	for _, c := range s.conjs {
+		if c.unsat {
+			continue
+		}
+		cov := false
+		for _, e := range earlier {
+			for _, ec := range e.conjs {
+				if subsumes(ec, c) {
+					cov = true
+					break
+				}
+			}
+			if cov {
+				break
+			}
+		}
+		if !cov {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatchSite is one place patterns are matched in order.
+type dispatchSite struct {
+	what  string // "?exec dispatch" or "pattern switch"
+	pos   token.Pos
+	names []string
+	poss  []token.Pos // per-case positions
+}
+
+// sites collects every dispatch context: each ?exec occurrence (cases =
+// patterns with sems, in declaration order) and each pattern switch.
+func (e *encoder) sites(p *Pass) []dispatchSite {
+	var out []dispatchSite
+	semOf := map[string]*ast.SemDecl{}
+	for _, s := range p.AST.Sems {
+		semOf[s.PatName] = s
+	}
+	var semNames []string
+	var semPoss []token.Pos
+	if p.Checked != nil {
+		for _, name := range p.Checked.PatOrder {
+			if s, ok := semOf[name]; ok {
+				semNames = append(semNames, name)
+				semPoss = append(semPoss, s.P)
+			}
+		}
+	}
+	eachBody(p.AST, func(owner string, body *ast.Block) {
+		walk(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Attr:
+				if n.Name == "exec" && len(semNames) > 0 {
+					out = append(out, dispatchSite{what: "?exec dispatch", pos: n.P,
+						names: semNames, poss: semPoss})
+				}
+			case *ast.PatSwitch:
+				ds := dispatchSite{what: "pattern switch", pos: n.P}
+				for _, c := range n.Cases {
+					ds.names = append(ds.names, c.PatName)
+					ds.poss = append(ds.poss, c.P)
+				}
+				out = append(out, ds)
+			}
+			return true
+		})
+	})
+	return out
+}
+
+func runEncoding(p *Pass) {
+	if p.AST == nil || len(p.AST.Pats) == 0 {
+		return
+	}
+	e := newEncoder(p)
+
+	// Per-pattern checks: FV0405 fires inside shape(); FV0406 here.
+	for _, pd := range p.AST.Pats {
+		s := e.shape(pd.Name)
+		if s.inexact || len(s.conjs) == 0 {
+			continue
+		}
+		allUnsat := true
+		for _, c := range s.conjs {
+			if !c.unsat {
+				allUnsat = false
+				break
+			}
+		}
+		if allUnsat {
+			p.Reportf("encoding", "FV0406", SevWarning, pd.P,
+				"pattern %q can never match any word (all of its alternatives are contradictory)", pd.Name)
+		}
+	}
+
+	// Per-dispatch checks. Sem-dispatch findings repeat per ?exec site;
+	// dedupe on (code, pos, message) happens naturally in the engine? No —
+	// the engine keeps duplicates within a unit, so dedupe here.
+	type repKey struct {
+		code string
+		pos  token.Pos
+		msg  string
+	}
+	reported := map[repKey]bool{}
+	once := func(code string, sev Severity, pos token.Pos, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		k := repKey{code, pos, msg}
+		if reported[k] {
+			return
+		}
+		reported[k] = true
+		p.Reportf("encoding", code, sev, pos, "%s", msg)
+	}
+
+	execSeen := false
+	for _, site := range e.sites(p) {
+		var shapes []*patShape
+		for _, n := range site.names {
+			shapes = append(shapes, e.shape(n))
+		}
+		for j := range site.names {
+			if coveredByEarlier(shapes[j], shapes[:j]) {
+				once("FV0402", SevWarning, site.poss[j],
+					"%s case %q is unreachable: every word it matches is claimed by earlier patterns",
+					site.what, site.names[j])
+				continue
+			}
+			for i := 0; i < j; i++ {
+				if overlaps(shapes[i], shapes[j]) {
+					once("FV0401", SevWarning, site.poss[j],
+						"patterns %q and %q overlap in this %s; %q is declared earlier and wins for words matching both",
+						site.names[i], site.names[j], site.what, site.names[i])
+					break
+				}
+			}
+		}
+		e.treeReport(site, once)
+		if site.what == "?exec dispatch" && !execSeen {
+			execSeen = true
+			e.coverage(site, once)
+		}
+	}
+}
+
+// treeReport mirrors the compiler's decision-tree eligibility test
+// (compile/dtree.go) and reports which decode strategy the dispatch gets.
+func (e *encoder) treeReport(site dispatchSite, once func(string, Severity, token.Pos, string, ...any)) {
+	if len(site.names) == 0 {
+		return
+	}
+	field := ""
+	leaves := 0
+	seen := map[int64]bool{}
+	ok := true
+	var split func(x ast.Expr) bool
+	split = func(x ast.Expr) bool {
+		if b, isBin := x.(*ast.Binary); isBin && b.Op == token.LOR {
+			return split(b.L) && split(b.R)
+		}
+		if id, isID := x.(*ast.Ident); isID {
+			if pd, isPat := e.pats[id.Name]; isPat {
+				return split(pd.Expr)
+			}
+			return false
+		}
+		var eq *ast.Binary
+		if b, isBin := x.(*ast.Binary); isBin {
+			switch b.Op {
+			case token.EQ:
+				eq = b
+			case token.LAND:
+				if l, isL := b.L.(*ast.Binary); isL && l.Op == token.EQ {
+					eq = l
+				}
+			}
+		}
+		if eq == nil {
+			return false
+		}
+		id, isID := eq.L.(*ast.Ident)
+		if !isID {
+			return false
+		}
+		if _, isField := e.fields[id.Name]; !isField {
+			return false
+		}
+		lit, isLit := eq.R.(*ast.IntLit)
+		if !isLit {
+			return false
+		}
+		if field == "" {
+			field = id.Name
+		} else if field != id.Name {
+			return false
+		}
+		if seen[lit.Val] {
+			return false
+		}
+		seen[lit.Val] = true
+		leaves++
+		return true
+	}
+	for _, n := range site.names {
+		pd := e.pats[n]
+		if pd == nil || !split(pd.Expr) {
+			ok = false
+			break
+		}
+	}
+	if ok && field != "" && leaves >= 4 {
+		once("FV0404", SevInfo, site.pos,
+			"%s over %d patterns compiles to a binary decision tree on field %q (%d leaves, O(log n) decode)",
+			site.what, len(site.names), field, leaves)
+	} else if len(site.names) >= 4 {
+		once("FV0404", SevInfo, site.pos,
+			"%s over %d patterns falls back to a linear chain of pattern tests (cases do not all discriminate on one field with distinct constants)",
+			site.what, len(site.names))
+	}
+}
+
+// coverage summarizes the undecoded opcode space of the sem dispatch: the
+// values of the shared discriminating field no pattern claims.
+func (e *encoder) coverage(site dispatchSite, once func(string, Severity, token.Pos, string, ...any)) {
+	// Find fields whose full bit range is pinned by every conjunct.
+	var cands []*ast.FieldDecl
+	all := []conj{}
+	for _, n := range site.names {
+		s := e.shape(n)
+		if s.inexact {
+			return
+		}
+		for _, c := range s.conjs {
+			if !c.unsat {
+				all = append(all, c)
+			}
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	for _, t := range e.p.AST.Tokens {
+		for _, fd := range t.Fields {
+			width := fd.Hi - fd.Lo + 1
+			if width > 16 {
+				continue // value space too large to enumerate usefully
+			}
+			fmask := (uint64(1)<<uint(width) - 1) << uint(fd.Lo)
+			pinned := true
+			for _, c := range all {
+				if c.mask&fmask != fmask {
+					pinned = false
+					break
+				}
+			}
+			if pinned {
+				cands = append(cands, fd)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	fd := cands[0] // declaration order; the dtree field when one exists
+	width := fd.Hi - fd.Lo + 1
+	total := 1 << uint(width)
+	covered := map[uint64]bool{}
+	for _, c := range all {
+		covered[(c.val>>uint(fd.Lo))&(uint64(1)<<uint(width)-1)] = true
+	}
+	if len(covered) == total {
+		once("FV0403", SevInfo, fd.P,
+			"sem dispatch decodes all %d values of field %q", total, fd.Name)
+		return
+	}
+	var missing []uint64
+	for v := uint64(0); v < uint64(total); v++ {
+		if !covered[v] {
+			missing = append(missing, v)
+		}
+	}
+	once("FV0403", SevInfo, fd.P,
+		"sem dispatch decodes %d of %d values of field %q; undecoded: %s (undecoded words fall through the dispatch silently)",
+		len(covered), total, fd.Name, rangeList(missing, 12))
+}
+
+// rangeList compresses sorted values into "0x00-0x03, 0x07, ..." form.
+func rangeList(vals []uint64, maxRanges int) string {
+	var parts []string
+	for i := 0; i < len(vals); {
+		j := i
+		for j+1 < len(vals) && vals[j+1] == vals[j]+1 {
+			j++
+		}
+		if i == j {
+			parts = append(parts, fmt.Sprintf("0x%02x", vals[i]))
+		} else {
+			parts = append(parts, fmt.Sprintf("0x%02x-0x%02x", vals[i], vals[j]))
+		}
+		i = j + 1
+	}
+	if len(parts) > maxRanges {
+		parts = append(parts[:maxRanges], fmt.Sprintf("... (%d values total)", len(vals)))
+	}
+	return strings.Join(parts, ", ")
+}

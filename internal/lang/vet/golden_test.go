@@ -1,0 +1,117 @@
+package vet
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// chRepoRoot moves the test to the repository root so diagnostic
+// positions use the same facile/*.fac paths as the documented commands.
+func chRepoRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir("../../.."); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(wd) })
+}
+
+func checkGolden(t *testing.T, golden string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/lang/vet -update` to create)", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	line := 0
+	for line < len(gl) && line < len(wl) && bytes.Equal(gl[line], wl[line]) {
+		line++
+	}
+	g, w := []byte("<eof>"), []byte("<eof>")
+	if line < len(gl) {
+		g = gl[line]
+	}
+	if line < len(wl) {
+		w = wl[line]
+	}
+	t.Errorf("%s differs from golden at line %d:\n  got:  %s\n  want: %s\n(re-run with -update if the change is intended)",
+		filepath.Base(golden), line+1, g, w)
+}
+
+// TestGoldenShippedPrograms pins the complete diagnostic output of the
+// shipped descriptions — the acceptance command `fvet facile/svr32.fac
+// facile/ooo.fac facile/inorder.fac facile/func.fac` — in all three
+// output formats, plus the unit partitioning.
+func TestGoldenShippedPrograms(t *testing.T) {
+	td, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chRepoRoot(t)
+
+	paths := []string{"facile/svr32.fac", "facile/ooo.fac", "facile/inorder.fac", "facile/func.fac"}
+	res, err := RunFiles(paths, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 3 {
+		t.Errorf("units = %v, want 3 (svr32 paired with each step function)", res.Units)
+	}
+	if res.HasErrors() {
+		t.Errorf("shipped descriptions have error findings: %v", res.Diags)
+	}
+
+	for _, rd := range []struct {
+		name string
+		fn   func(io.Writer, *Result) error
+	}{
+		{"shipped.txt", WriteText},
+		{"shipped.json", WriteJSON},
+		{"shipped.sarif", WriteSARIF},
+	} {
+		var buf bytes.Buffer
+		if err := rd.fn(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, filepath.Join(td, rd.name), buf.Bytes())
+	}
+}
+
+// TestGoldenExplainFunc pins the explain-mode provenance report (FV0101
+// why-dynamic chains) for the functional simulator.
+func TestGoldenExplainFunc(t *testing.T) {
+	td, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chRepoRoot(t)
+
+	res, err := RunFiles([]string{"facile/svr32.fac", "facile/func.fac"},
+		Options{Explain: true, Enable: []string{"FV0101"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join(td, "explain_func.txt"), buf.Bytes())
+}

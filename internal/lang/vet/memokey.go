@@ -1,0 +1,146 @@
+package vet
+
+import (
+	"fmt"
+	"strings"
+
+	"facile/internal/lang/ast"
+	"facile/internal/lang/ir"
+)
+
+// memokeyAnalyzer inspects the shape of the memoization key (the
+// rt-static state identifying an action-cache node, §5): which next-step
+// arguments are dynamic or derived from dynamic-result tests (each
+// distinct value forks the action tree — the paper's fast-forwarding
+// failure mode when the value space is unbounded), and how many words of
+// queue state the key carries.
+var memokeyAnalyzer = &Analyzer{
+	Name: "memokey",
+	Doc:  "memoization-key explosion and cache-thrash risks (§5)",
+	Codes: []CodeDoc{
+		{"FV0301", SevInfo, "dynamic next-step key component pinned by a dynamic-result test"},
+		{"FV0302", SevInfo, "next-step key component derived from a ?pin result (data-dependent key)"},
+		{"FV0303", SevWarning, "queue parameter contributes a large rt-static key space"},
+		{"FV0304", SevInfo, "memoization-key composition summary"},
+	},
+	Run: runMemokey,
+}
+
+// intParamName maps a SetArg index (counting int params only) to a name.
+func intParamName(p *ir.Program, idx int64) string {
+	n := int64(0)
+	for _, prm := range p.Params {
+		if prm.IsQueue {
+			continue
+		}
+		if n == idx {
+			return prm.Name
+		}
+		n++
+	}
+	return fmt.Sprintf("#%d", idx)
+}
+
+func runMemokey(p *Pass) {
+	if p.Checked != nil && p.Checked.Main != nil {
+		queueKeyWidths(p)
+		keySummary(p)
+	}
+	if p.IR == nil || p.Facts == nil {
+		return
+	}
+	// defs: which instructions define each vreg (for backward reachability).
+	defs := map[int32][]*ir.Inst{}
+	for _, b := range p.IR.Blocks {
+		for i := range b.Insts {
+			inst := &b.Insts[i]
+			if inst.D >= 0 {
+				defs[inst.D] = append(defs[inst.D], inst)
+			}
+		}
+	}
+	// reachesPin reports whether v's value can derive from a ?pin result,
+	// and returns one pin site.
+	reachesPin := func(v int32) (*ir.Inst, bool) {
+		seen := map[int32]bool{}
+		stack := []int32{v}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if x < 0 || seen[x] {
+				continue
+			}
+			seen[x] = true
+			for _, d := range defs[x] {
+				if d.Op == ir.Pin {
+					return d, true
+				}
+				stack = append(stack, d.A, d.B)
+				stack = append(stack, d.Args...)
+			}
+		}
+		return nil, false
+	}
+
+	for _, b := range p.IR.Blocks {
+		for i := range b.Insts {
+			inst := &b.Insts[i]
+			if inst.Op != ir.SetArg {
+				continue
+			}
+			name := intParamName(p.IR, inst.Imm)
+			if inst.BT == ir.BTDynamic {
+				p.Reportf("memokey", "FV0301", SevInfo, inst.Pos,
+					"next-step value of parameter %q is dynamic: it is pinned by a dynamic-result test and every distinct value grows its own action-tree branch (unbounded value spaces defeat fast-forwarding)",
+					name)
+			} else if pin, ok := reachesPin(inst.A); ok {
+				p.Reportf("memokey", "FV0302", SevInfo, inst.Pos,
+					"next-step value of parameter %q derives from the ?pin dynamic-result test at %s: the memoization key is data-dependent on dynamic results",
+					name, p.Position(pin.Pos))
+			}
+		}
+	}
+}
+
+// queueKeyWidths reports the rt-static key contribution of each queue
+// parameter: the key snapshot carries the queue's full contents.
+func queueKeyWidths(p *Pass) {
+	for _, prm := range p.Checked.Main.Params {
+		if prm.Kind != ast.ParamQueue {
+			continue
+		}
+		words := prm.QueueCap * prm.QueueW
+		sev := SevInfo
+		msg := fmt.Sprintf("queue parameter %q contributes up to %d words (cap %d x width %d) of rt-static state to every memoization key",
+			prm.Name, words, prm.QueueCap, prm.QueueW)
+		if words >= 64 {
+			sev = SevWarning
+			msg += "; distinct queue contents multiply cache entries — keep the in-flight window as small as the model allows"
+		}
+		p.Reportf("memokey", "FV0303", sev, prm.P, "%s", msg)
+	}
+}
+
+// keySummary emits one FV0304 describing the whole key.
+func keySummary(p *Pass) {
+	var ints, queues []string
+	for _, prm := range p.Checked.Main.Params {
+		if prm.Kind == ast.ParamQueue {
+			queues = append(queues, fmt.Sprintf("%s[%dx%d]", prm.Name, prm.QueueCap, prm.QueueW))
+		} else {
+			ints = append(ints, prm.Name)
+		}
+	}
+	parts := []string{}
+	if len(ints) > 0 {
+		parts = append(parts, "parameters "+strings.Join(ints, ", "))
+	}
+	if len(queues) > 0 {
+		parts = append(parts, "queue contents "+strings.Join(queues, ", "))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "(empty)")
+	}
+	p.Reportf("memokey", "FV0304", SevInfo, p.Checked.Main.P,
+		"memoization key per step: %s", strings.Join(parts, " + "))
+}

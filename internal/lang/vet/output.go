@@ -1,0 +1,175 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteText renders findings in the conventional compiler format:
+//
+//	file:line:col: severity FV0101: message
+//	        fix: suggested fix
+//
+// Unit-specific findings carry a "[unit …]" suffix.
+func WriteText(w io.Writer, r *Result) error {
+	for _, d := range r.Diags {
+		unit := ""
+		if d.Unit != "" {
+			unit = fmt.Sprintf(" [unit %s]", d.Unit)
+		}
+		if _, err := fmt.Fprintf(w, "%s: %s %s: %s%s\n", d.Pos, d.Severity, d.Code, d.Message, unit); err != nil {
+			return err
+		}
+		if d.Fix != "" {
+			if _, err := fmt.Fprintf(w, "\tfix: %s\n", d.Fix); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonReport is the stable machine-readable envelope.
+type jsonReport struct {
+	Version     string       `json:"version"`
+	Units       [][]string   `json:"units"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// WriteJSON renders the result as a single stable JSON document.
+func WriteJSON(w io.Writer, r *Result) error {
+	diags := r.Diags
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{Version: "1", Units: r.Units, Diagnostics: diags})
+}
+
+// SARIF 2.1.0 (the static-analysis interchange format CI systems ingest).
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+func sarifLevel(s Severity) string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	}
+	return "note"
+}
+
+// WriteSARIF renders the result as a SARIF 2.1.0 log with one run. Rule
+// metadata comes from the analyzer registry for every code that appears.
+func WriteSARIF(w io.Writer, r *Result) error {
+	docs := map[string]string{
+		"FV0001": "parse error",
+		"FV0002": "type error",
+		"FV0003": "compile error",
+	}
+	for _, a := range All() {
+		for _, c := range a.Codes {
+			docs[c.Code] = c.Doc
+		}
+	}
+	seen := map[string]bool{}
+	var rules []sarifRule
+	results := []sarifResult{}
+	for _, d := range r.Diags {
+		if !seen[d.Code] {
+			seen[d.Code] = true
+			rules = append(rules, sarifRule{ID: d.Code, ShortDescription: sarifMessage{Text: docs[d.Code]}})
+		}
+		msg := d.Message
+		if d.Fix != "" {
+			msg += " (fix: " + d.Fix + ")"
+		}
+		if d.Unit != "" {
+			msg += " [unit " + d.Unit + "]"
+		}
+		line, col := d.Pos.Line, d.Pos.Col
+		if line <= 0 {
+			line, col = 1, 1
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Code,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMessage{Text: msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: d.Pos.File},
+				Region:           sarifRegion{StartLine: line, StartColumn: col},
+			}}},
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	if rules == nil {
+		rules = []sarifRule{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "fvet", Rules: rules}},
+			Results: results,
+		}},
+	})
+}

@@ -1,0 +1,68 @@
+package vet
+
+import (
+	"facile/internal/lang/source"
+)
+
+// staticctxAnalyzer reports dynamic values leaking into run-time static
+// contexts (every queue-violation site the BTA found, not just the first
+// the compiler errors on) and unreachable code. Unreachability runs over
+// the unoptimized lowering so constant-folded branches cannot fabricate
+// dead blocks; what remains unreachable is real (statements after a
+// return/break/continue).
+var staticctxAnalyzer = &Analyzer{
+	Name: "staticctx",
+	Doc:  "dynamic-value-in-static-context and unreachable-code checks",
+	Codes: []CodeDoc{
+		{"FV0601", SevError, "dynamic value used with a run-time static queue"},
+		{"FV0602", SevWarning, "unreachable code"},
+	},
+	Run: runStaticctx,
+}
+
+func runStaticctx(p *Pass) {
+	if p.Facts != nil {
+		for _, v := range p.Facts.QueueViolations {
+			p.ReportFix("staticctx", "FV0601", SevError, v.Pos,
+				"route the dynamic data through global state (a val or array), or pin the value first",
+				"%s", v.Msg)
+		}
+	}
+	if p.RawIR == nil {
+		return
+	}
+	// Reachability over the raw CFG.
+	reach := make([]bool, len(p.RawIR.Blocks))
+	stack := []int{p.RawIR.Entry}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id < 0 || reach[id] {
+			continue
+		}
+		reach[id] = true
+		for _, s := range p.RawIR.Blocks[id].Succ {
+			stack = append(stack, s)
+		}
+	}
+	// Inlining duplicates dead statements across call sites; report each
+	// source position once.
+	seen := map[source.Position]bool{}
+	for _, b := range p.RawIR.Blocks {
+		if reach[b.ID] || len(b.Insts) == 0 {
+			continue
+		}
+		for i := range b.Insts {
+			if b.Insts[i].Pos.Line == 0 {
+				continue
+			}
+			pos := p.Position(b.Insts[i].Pos)
+			if !seen[pos] {
+				seen[pos] = true
+				p.Reportf("staticctx", "FV0602", SevWarning, b.Insts[i].Pos,
+					"unreachable code (follows a return, break, or continue)")
+			}
+			break
+		}
+	}
+}

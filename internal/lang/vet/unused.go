@@ -1,0 +1,262 @@
+package vet
+
+import (
+	"facile/internal/lang/ast"
+	"facile/internal/lang/ir"
+	"facile/internal/lang/token"
+)
+
+// unusedAnalyzer finds declarations nothing consumes: token fields,
+// patterns, externs, functions, globals, and locals. Global read/write
+// classification uses the lowered IR when available (post-inlining, the
+// issue's "after lowering"), with an AST fallback; never-referenced
+// detection uses the AST so declarations inside uncalled functions do not
+// cascade.
+var unusedAnalyzer = &Analyzer{
+	Name: "unused",
+	Doc:  "unused fields, patterns, externs, functions, globals, and locals",
+	Codes: []CodeDoc{
+		{"FV0501", SevWarning, "token field is never referenced"},
+		{"FV0502", SevWarning, "pattern has no sem and is never referenced"},
+		{"FV0503", SevWarning, "extern is never called"},
+		{"FV0504", SevWarning, "function is never called"},
+		{"FV0505", SevWarning, "global is never referenced"},
+		{"FV0506", SevInfo, "global is written but never read inside the program"},
+		{"FV0507", SevWarning, "local is assigned but never read"},
+	},
+	Run: runUnused,
+}
+
+func runUnused(p *Pass) {
+	if p.AST == nil {
+		return
+	}
+	// Names referenced anywhere: idents in pattern expressions and bodies,
+	// call targets, pattern-switch case names.
+	ident := map[string]bool{}
+	called := map[string]bool{}
+	patCase := map[string]bool{}
+	mark := func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			ident[n.Name] = true
+		case *ast.Call:
+			called[n.Name] = true
+		case *ast.PatSwitch:
+			for _, c := range n.Cases {
+				patCase[c.PatName] = true
+			}
+		}
+		return true
+	}
+	for _, pd := range p.AST.Pats {
+		walk(pd.Expr, mark)
+	}
+	for _, g := range p.AST.Globals {
+		if g.Init != nil {
+			walk(g.Init, mark)
+		}
+	}
+	for _, s := range p.AST.Sems {
+		walk(s.Body, mark)
+	}
+	for _, f := range p.AST.Funs {
+		walk(f.Body, mark)
+	}
+
+	hasSem := map[string]bool{}
+	for _, s := range p.AST.Sems {
+		hasSem[s.PatName] = true
+	}
+
+	for _, t := range p.AST.Tokens {
+		for _, fd := range t.Fields {
+			if !ident[fd.Name] {
+				p.ReportFix("unused", "FV0501", SevWarning, fd.P,
+					"remove the field, or reference it from a pattern or sem",
+					"token field %q is never referenced", fd.Name)
+			}
+		}
+	}
+	for _, pd := range p.AST.Pats {
+		if !hasSem[pd.Name] && !ident[pd.Name] && !patCase[pd.Name] {
+			p.Reportf("unused", "FV0502", SevWarning, pd.P,
+				"pattern %q has no sem and is never referenced by another pattern or dispatch", pd.Name)
+		}
+	}
+	for _, e := range p.AST.Externs {
+		if !called[e.Name] {
+			p.Reportf("unused", "FV0503", SevWarning, e.P,
+				"extern %q is never called", e.Name)
+		}
+	}
+	for _, f := range p.AST.Funs {
+		if f.Name != "main" && !called[f.Name] {
+			p.Reportf("unused", "FV0504", SevWarning, f.P,
+				"function %q is never called", f.Name)
+		}
+	}
+
+	unusedGlobals(p, ident)
+	for _, s := range p.AST.Sems {
+		unreadLocals(p, s.Body)
+	}
+	for _, f := range p.AST.Funs {
+		unreadLocals(p, f.Body)
+	}
+}
+
+// unusedGlobals reports globals nothing references (FV0505, AST-level)
+// and globals the lowered program writes but never reads (FV0506 — info,
+// since the host may read them through the machine interface).
+func unusedGlobals(p *Pass, ident map[string]bool) {
+	for _, g := range p.AST.Globals {
+		if !ident[g.Name] {
+			p.Reportf("unused", "FV0505", SevWarning, g.P,
+				"global %q is never referenced", g.Name)
+		}
+	}
+	if p.IR == nil {
+		return
+	}
+	reads := make([]int, len(p.IR.Globals))
+	writes := make([]int, len(p.IR.Globals))
+	aReads := make([]int, len(p.IR.Arrays))
+	aWrites := make([]int, len(p.IR.Arrays))
+	for _, b := range p.IR.Blocks {
+		for i := range b.Insts {
+			inst := &b.Insts[i]
+			switch inst.Op {
+			case ir.LoadG:
+				reads[inst.Imm]++
+			case ir.StoreG:
+				writes[inst.Imm]++
+			case ir.LoadA:
+				aReads[inst.Imm]++
+			case ir.StoreA:
+				aWrites[inst.Imm]++
+			}
+		}
+	}
+	declPos := func(name string) token.Pos {
+		if p.Checked != nil {
+			if d := p.Checked.Globals[name]; d != nil {
+				return d.P
+			}
+		}
+		return token.Pos{}
+	}
+	for gi, g := range p.IR.Globals {
+		if writes[gi] > 0 && reads[gi] == 0 {
+			p.Reportf("unused", "FV0506", SevInfo, declPos(g.Name),
+				"global %q is written but never read inside the program (the host may still read it through the machine interface)", g.Name)
+		}
+	}
+	for ai, a := range p.IR.Arrays {
+		if aWrites[ai] > 0 && aReads[ai] == 0 {
+			p.Reportf("unused", "FV0506", SevInfo, declPos(a.Name),
+				"array %q is written but never read inside the program (the host may still read it through the machine interface)", a.Name)
+		}
+	}
+}
+
+type localUse struct {
+	pos  token.Pos
+	read bool
+}
+
+// unreadLocals walks one body with proper block scoping and reports
+// locals that are assigned but never read. Assignment targets are writes;
+// every other ident occurrence resolving to the local is a read.
+func unreadLocals(p *Pass, body *ast.Block) {
+	type scope struct {
+		parent *scope
+		vars   map[string]*localUse
+	}
+	lookup := func(sc *scope, name string) *localUse {
+		for s := sc; s != nil; s = s.parent {
+			if u, ok := s.vars[name]; ok {
+				return u
+			}
+		}
+		return nil
+	}
+	var readExpr func(sc *scope, x ast.Expr)
+	readExpr = func(sc *scope, x ast.Expr) {
+		walk(x, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if u := lookup(sc, id.Name); u != nil {
+					u.read = true
+				}
+			}
+			return true
+		})
+	}
+	var walkBlock func(sc *scope, b *ast.Block)
+	var walkStmt func(sc *scope, s ast.Stmt)
+	walkStmt = func(sc *scope, s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			walkBlock(sc, s)
+		case *ast.LocalDecl:
+			if s.Decl.Init != nil {
+				readExpr(sc, s.Decl.Init)
+			}
+			sc.vars[s.Decl.Name] = &localUse{pos: s.Decl.P}
+		case *ast.Assign:
+			readExpr(sc, s.Value)
+			if id, ok := s.Target.(*ast.Ident); ok {
+				// A write, not a read; but an unresolvable name might be a
+				// global/field — only locals are tracked here.
+				_ = id
+			} else {
+				readExpr(sc, s.Target)
+			}
+		case *ast.If:
+			readExpr(sc, s.Cond)
+			walkBlock(sc, s.Then)
+			if s.Else != nil {
+				walkStmt(sc, s.Else)
+			}
+		case *ast.While:
+			readExpr(sc, s.Cond)
+			walkBlock(sc, s.Body)
+		case *ast.Return:
+			if s.Value != nil {
+				readExpr(sc, s.Value)
+			}
+		case *ast.Switch:
+			readExpr(sc, s.Subject)
+			for _, c := range s.Cases {
+				walkBlock(sc, c.Body)
+			}
+			if s.Default != nil {
+				walkBlock(sc, s.Default)
+			}
+		case *ast.PatSwitch:
+			readExpr(sc, s.Subject)
+			for _, c := range s.Cases {
+				walkBlock(sc, c.Body)
+			}
+			if s.Default != nil {
+				walkBlock(sc, s.Default)
+			}
+		case *ast.ExprStmt:
+			readExpr(sc, s.X)
+		}
+	}
+	walkBlock = func(parent *scope, b *ast.Block) {
+		sc := &scope{parent: parent, vars: map[string]*localUse{}}
+		for _, s := range b.Stmts {
+			walkStmt(sc, s)
+		}
+		for name, u := range sc.vars {
+			if !u.read {
+				p.ReportFix("unused", "FV0507", SevWarning, u.pos,
+					"remove the local or read its value",
+					"local %q is assigned but never read", name)
+			}
+		}
+	}
+	walkBlock(nil, body)
+}

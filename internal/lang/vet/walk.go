@@ -1,0 +1,82 @@
+package vet
+
+import "facile/internal/lang/ast"
+
+// walk visits n and every statement/expression beneath it in source
+// order. f returning false prunes the subtree.
+func walk(n ast.Node, f func(ast.Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.Block:
+		for _, s := range n.Stmts {
+			walk(s, f)
+		}
+	case *ast.LocalDecl:
+		if n.Decl.Init != nil {
+			walk(n.Decl.Init, f)
+		}
+	case *ast.Assign:
+		walk(n.Target, f)
+		walk(n.Value, f)
+	case *ast.If:
+		walk(n.Cond, f)
+		walk(n.Then, f)
+		if n.Else != nil {
+			walk(n.Else, f)
+		}
+	case *ast.While:
+		walk(n.Cond, f)
+		walk(n.Body, f)
+	case *ast.Return:
+		if n.Value != nil {
+			walk(n.Value, f)
+		}
+	case *ast.Switch:
+		walk(n.Subject, f)
+		for _, c := range n.Cases {
+			walk(c.Body, f)
+		}
+		if n.Default != nil {
+			walk(n.Default, f)
+		}
+	case *ast.PatSwitch:
+		walk(n.Subject, f)
+		for _, c := range n.Cases {
+			walk(c.Body, f)
+		}
+		if n.Default != nil {
+			walk(n.Default, f)
+		}
+	case *ast.ExprStmt:
+		walk(n.X, f)
+	case *ast.Index:
+		walk(n.Arr, f)
+		walk(n.Idx, f)
+	case *ast.Unary:
+		walk(n.X, f)
+	case *ast.Binary:
+		walk(n.L, f)
+		walk(n.R, f)
+	case *ast.Call:
+		for _, a := range n.Args {
+			walk(a, f)
+		}
+	case *ast.Attr:
+		walk(n.X, f)
+		for _, a := range n.Args {
+			walk(a, f)
+		}
+	}
+}
+
+// eachBody calls f with every sem and fun body in the program.
+func eachBody(prog *ast.Program, f func(owner string, body *ast.Block)) {
+	for _, s := range prog.Sems {
+		f("sem "+s.PatName, s.Body)
+	}
+	for _, fn := range prog.Funs {
+		f("fun "+fn.Name, fn.Body)
+	}
+}

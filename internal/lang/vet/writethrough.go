@@ -1,0 +1,184 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"facile/internal/lang/ir"
+	"facile/internal/lang/token"
+)
+
+// writethroughAnalyzer measures the paper's §6.3 write-through cost:
+// every BTStaticWT instruction adds a placeholder word to each recorded
+// action, inflating the specialized action cache. Sites are aggregated
+// per global and ranked per owning sem/fun block, and stores that the
+// LiftLiveOnly liveness optimization would elide are called out.
+var writethroughAnalyzer = &Analyzer{
+	Name: "writethrough",
+	Doc:  "write-through hotspots inflating the action cache (§6.3)",
+	Codes: []CodeDoc{
+		{"FV0201", SevInfo, "rt-static stores to a global write through to the action cache"},
+		{"FV0202", SevWarning, "write-throughs to globals never read by dynamic code; LiftLiveOnly would elide them"},
+		{"FV0203", SevInfo, "rt-static results materialized into dynamic vregs (placeholder writes)"},
+		{"FV0204", SevInfo, "write-through hotspot ranking per sem/fun block"},
+	},
+	Run: runWritethrough,
+}
+
+// owner locates the sem/fun block enclosing a position, for ranking.
+type ownerIndex struct {
+	names []string
+	lines []token.Pos // sorted start positions
+}
+
+func (p *Pass) owners() *ownerIndex {
+	oi := &ownerIndex{}
+	if p.Checked == nil {
+		return oi
+	}
+	type decl struct {
+		name string
+		pos  token.Pos
+	}
+	var ds []decl
+	for _, s := range p.Checked.Prog.Sems {
+		ds = append(ds, decl{"sem " + s.PatName, s.P})
+	}
+	for _, f := range p.Checked.Prog.Funs {
+		ds = append(ds, decl{"fun " + f.Name, f.P})
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].pos.Line != ds[j].pos.Line {
+			return ds[i].pos.Line < ds[j].pos.Line
+		}
+		return ds[i].pos.Col < ds[j].pos.Col
+	})
+	for _, d := range ds {
+		oi.names = append(oi.names, d.name)
+		oi.lines = append(oi.lines, d.pos)
+	}
+	return oi
+}
+
+// of returns the name of the declaration whose start precedes pos, or "".
+func (oi *ownerIndex) of(pos token.Pos) string {
+	if pos.Line == 0 {
+		return ""
+	}
+	i := sort.Search(len(oi.lines), func(i int) bool {
+		l := oi.lines[i]
+		return l.Line > pos.Line || (l.Line == pos.Line && l.Col > pos.Col)
+	})
+	if i == 0 {
+		return ""
+	}
+	return oi.names[i-1]
+}
+
+// countFmt renders "owner (count)" breakdowns sorted by count desc.
+func countFmt(m map[string]int, max int) string {
+	type kv struct {
+		k string
+		n int
+	}
+	var s []kv
+	for k, n := range m {
+		if k == "" {
+			k = "(top level)"
+		}
+		s = append(s, kv{k, n})
+	}
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].n != s[j].n {
+			return s[i].n > s[j].n
+		}
+		return s[i].k < s[j].k
+	})
+	if max > 0 && len(s) > max {
+		s = s[:max]
+	}
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = fmt.Sprintf("%s (%d)", e.k, e.n)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func runWritethrough(p *Pass) {
+	if p.IR == nil || p.Facts == nil {
+		return
+	}
+	oi := p.owners()
+
+	type gstat struct {
+		count    int
+		elidable int
+		first    token.Pos
+		owners   map[string]int
+	}
+	gs := map[int64]*gstat{}
+	var gorder []int64
+	perOwner := map[string]int{}
+	matCount := 0
+	var matFirst, elideFirst token.Pos
+	elidable := 0
+
+	for _, b := range p.IR.Blocks {
+		for i := range b.Insts {
+			inst := &b.Insts[i]
+			if inst.BT != ir.BTStaticWT {
+				continue
+			}
+			perOwner[oi.of(inst.Pos)]++
+			if inst.Op == ir.StoreG {
+				st := gs[inst.Imm]
+				if st == nil {
+					st = &gstat{first: inst.Pos, owners: map[string]int{}}
+					gs[inst.Imm] = st
+					gorder = append(gorder, inst.Imm)
+				}
+				st.count++
+				st.owners[oi.of(inst.Pos)]++
+				if !p.Facts.DynRead[inst.Imm] {
+					st.elidable++
+					elidable++
+					if elideFirst.Line == 0 {
+						elideFirst = inst.Pos
+					}
+				}
+			} else {
+				matCount++
+				if matFirst.Line == 0 {
+					matFirst = inst.Pos
+				}
+			}
+		}
+	}
+
+	for _, gi := range gorder {
+		st := gs[gi]
+		p.Reportf("writethrough", "FV0201", SevInfo, st.first,
+			"%d run-time static store(s) to global %q write through to the action cache, one placeholder word each per recorded action (sites: %s)",
+			st.count, p.IR.Globals[gi].Name, countFmt(st.owners, 4))
+	}
+	if elidable > 0 {
+		p.ReportFix("writethrough", "FV0202", SevWarning, elideFirst,
+			"compile with the liveness optimization (faciled -live / core.Options.LiftLiveOnly)",
+			"%d of these write-through store(s) target globals no dynamic code reads within a step; the LiftLiveOnly liveness optimization (§6.3 #3) would elide them — verify no host or cross-step reader depends on the runtime value",
+			elidable)
+	}
+	if matCount > 0 {
+		p.Reportf("writethrough", "FV0203", SevInfo, matFirst,
+			"%d run-time static result(s) flow into dynamic vregs and are materialized as placeholder writes in the action cache",
+			matCount)
+	}
+	if len(perOwner) > 0 {
+		pos := token.Pos{}
+		if p.Checked != nil && p.Checked.Main != nil {
+			pos = p.Checked.Main.P
+		}
+		p.Reportf("writethrough", "FV0204", SevInfo, pos,
+			"write-through hotspots by block: %s", countFmt(perOwner, 8))
+	}
+}

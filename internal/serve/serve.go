@@ -25,9 +25,11 @@ import (
 	"sync"
 	"time"
 
+	"facile/internal/facsim"
 	"facile/internal/faults"
 	"facile/internal/isa/asm"
 	"facile/internal/isa/loader"
+	"facile/internal/lang/vet"
 	"facile/internal/obs"
 	"facile/internal/runcfg"
 	"facile/internal/snapshot"
@@ -82,6 +84,11 @@ type JobRequest struct {
 	IntervalInsts uint64 `json:"interval_insts,omitempty"`
 
 	SampleEvery uint64 `json:"sample_every,omitempty"` // obs sampling stride
+
+	// NoVet skips the static-analysis preflight of the bundled Facile
+	// description (fac-* engines). Without it, submissions whose engine
+	// fails vet with error-severity findings are rejected.
+	NoVet bool `json:"no_vet,omitempty"`
 }
 
 // Validate checks the request shape without assembling the program.
@@ -184,6 +191,8 @@ type Job struct {
 	resume     []byte // snapshot blob captured by drain
 	resumeKind string
 
+	vet *vet.Summary // preflight summary for fac-* engines
+
 	done chan struct{} // closed when the job reaches a terminal state
 }
 
@@ -216,6 +225,10 @@ type JobStatus struct {
 
 	Result *runcfg.Result `json:"result,omitempty"`
 	Stats  *runcfg.Stats  `json:"stats,omitempty"`
+
+	// Vet is the static-analysis preflight summary of the engine's bundled
+	// Facile description (fac-* engines only).
+	Vet *vet.Summary `json:"vet,omitempty"`
 }
 
 // RequeuedJob is the restorable form of a drained job: the original
@@ -316,12 +329,23 @@ func New(cfg Config) *Server {
 // Recorder returns the server's observability recorder.
 func (s *Server) Recorder() *obs.Recorder { return s.rec }
 
+// vetPreflight is the engine preflight hook; a package variable so tests
+// can exercise the rejection path (the bundled descriptions vet clean).
+var vetPreflight = facsim.Preflight
+
 // Submit validates and enqueues a job. It returns ErrDraining after a
 // drain started and ErrQueueFull when the bounded queue is at capacity —
-// backpressure the API layer reports as 503 and 429.
+// backpressure the API layer reports as 503 and 429. fac-* submissions
+// are vetted first: error-severity findings in the engine's bundled
+// description reject the job unless the request sets no_vet.
 func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	if err := req.Validate(); err != nil {
 		return JobStatus{}, err
+	}
+	vetSum, vetted := vetPreflight(req.Engine)
+	if vetted && !req.NoVet && !vetSum.OK() {
+		return JobStatus{}, fmt.Errorf("serve: engine %s fails vet preflight with %d error finding(s): %s (set no_vet to override)",
+			req.Engine, vetSum.Errors, strings.Join(vetSum.ErrorFindings, "; "))
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -344,6 +368,9 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 		queuedAt: time.Now(),
 		lineage:  req.LineageKey(),
 		done:     make(chan struct{}),
+	}
+	if vetted {
+		j.vet = &vetSum
 	}
 	select {
 	case s.queue <- j:
@@ -393,6 +420,11 @@ func (s *Server) Resubmit(rq RequeuedJob) (JobStatus, error) {
 		resume:       rq.Resume,
 		resumeKind:   rq.Kind,
 		done:         make(chan struct{}),
+	}
+	// Resumed jobs were vetted (or overridden) at original submission;
+	// record the summary without re-gating.
+	if sum, ok := vetPreflight(rq.Req.Engine); ok {
+		j.vet = &sum
 	}
 	select {
 	case s.queue <- j:
@@ -583,6 +615,10 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 		WarmStart:    j.warmStart,
 		WarmEntries:  j.warmEntries,
 		WarmBytes:    j.warmBytes,
+	}
+	if j.vet != nil {
+		v := *j.vet
+		st.Vet = &v
 	}
 	if j.result != nil {
 		r := *j.result

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"facile/internal/lang/vet"
+	"facile/internal/runcfg"
+)
+
+// TestSubmitVetPreflight exercises the fac-* preflight gate: error
+// findings reject the submission (naming the findings) unless no_vet is
+// set, and the summary lands in the job record either way. The bundled
+// descriptions vet clean, so the failing summary is injected through the
+// vetPreflight hook.
+func TestSubmitVetPreflight(t *testing.T) {
+	old := vetPreflight
+	t.Cleanup(func() { vetPreflight = old })
+	bad := vet.Summary{
+		Errors:        1,
+		ErrorFindings: []string{"facile/ooo.fac:9:5: FV0601: dynamic value stored into a run-time static queue"},
+	}
+	vetPreflight = func(kind string) (vet.Summary, bool) {
+		switch kind {
+		case runcfg.EngineFacOOO:
+			return bad, true
+		case runcfg.EngineFacFunc, runcfg.EngineFacInOrder:
+			return vet.Summary{Infos: 3}, true
+		}
+		return vet.Summary{}, false
+	}
+
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+
+	// Error findings reject the submission and name a finding.
+	_, err := s.Submit(JobRequest{Bench: "130.li", Engine: runcfg.EngineFacOOO, MaxInsts: 100})
+	if err == nil {
+		t.Fatal("Submit(fac-ooo with vet errors) succeeded, want rejection")
+	}
+	if !strings.Contains(err.Error(), "FV0601") || !strings.Contains(err.Error(), "no_vet") {
+		t.Errorf("rejection %q does not name the finding and the override", err)
+	}
+
+	// no_vet overrides the gate, and the summary is still recorded.
+	st, err := s.Submit(JobRequest{Bench: "130.li", Engine: runcfg.EngineFacOOO, MaxInsts: 100, NoVet: true})
+	if err != nil {
+		t.Fatalf("Submit(no_vet): %v", err)
+	}
+	if st.Vet == nil || st.Vet.Errors != 1 {
+		t.Errorf("no_vet job status Vet = %+v, want the failing summary recorded", st.Vet)
+	}
+
+	// A clean fac engine passes and carries its summary.
+	st, err = s.Submit(JobRequest{Bench: "130.li", Engine: runcfg.EngineFacFunc, MaxInsts: 100})
+	if err != nil {
+		t.Fatalf("Submit(fac-func): %v", err)
+	}
+	if st.Vet == nil || st.Vet.Infos != 3 || st.Vet.Errors != 0 {
+		t.Errorf("fac-func job status Vet = %+v, want clean summary with 3 infos", st.Vet)
+	}
+
+	// Non-Facile engines are not vetted and carry no summary.
+	st, err = s.Submit(JobRequest{Bench: "130.li", Engine: runcfg.EngineFunc, MaxInsts: 100})
+	if err != nil {
+		t.Fatalf("Submit(func): %v", err)
+	}
+	if st.Vet != nil {
+		t.Errorf("func job status Vet = %+v, want nil", st.Vet)
+	}
+}
