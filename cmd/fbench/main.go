@@ -6,8 +6,14 @@
 //
 //	fbench -exp fig11|table1|table2|fig12|loc|cachecap|all
 //	       [-scale N] [-bench name,...] [-parallel N] [-json PATH]
+//	fbench -bench-out BENCH_1.json [-scale N] [-bench name,...] [-parallel N]
 //	fbench -server http://HOST:PORT [-engine NAME] [-memoize]
 //	       [-scale N] [-bench name,...]
+//
+// -bench-out writes the canonical benchmark artifact: the per-workload
+// Msim-inst/s table plus a warm-vs-cold-restart record per workload, in
+// which the cache round-trips through a real on-disk store (the fsimd
+// restart scenario) before warming the second run.
 //
 // -parallel shards the suite's benchmarks across N goroutines; every
 // deterministic output field is bit-identical to a sequential run, only
@@ -38,6 +44,8 @@ func main() {
 	capName := flag.String("capbench", "126.gcc", "benchmark for the cache-capacity ablation")
 	parallel := flag.Int("parallel", 1, "benchmarks simulated concurrently")
 	jsonPath := flag.String("json", "", "write a machine-readable report to this path")
+	benchOut := flag.String("bench-out", "",
+		"write the canonical per-workload rate + warm-restart artifact (BENCH_<n>.json) to this path")
 	server := flag.String("server", "", "fsimd base URL; submit jobs there instead of simulating locally")
 	engine := flag.String("engine", runcfg.EngineFastsim, "engine for -server jobs")
 	memoize := flag.Bool("memoize", true, "memoize -server jobs (required for warm-cache sharing)")
@@ -64,6 +72,23 @@ func main() {
 	cfg.Workers = *parallel
 	if *benches != "" {
 		cfg.Names = strings.Split(*benches, ",")
+	}
+
+	if *benchOut != "" {
+		out, err := bench.RunBenchOut(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbench:", err)
+			os.Exit(1)
+		}
+		bench.WriteFigure(os.Stdout, "Per-workload simulation rates", out.Rows)
+		fmt.Println()
+		bench.WriteWarmRestart(os.Stdout, out.WarmRestart)
+		if err := out.WriteFile(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "fbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fbench: wrote %s\n", *benchOut)
+		return
 	}
 
 	started := time.Now()

@@ -7,11 +7,19 @@
 // Usage:
 //
 //	fsimd [-addr :8764] [-workers N] [-queue N] [-timeout D] [-chunk N]
-//	      [-spool DIR] [-debug-addr ADDR]
+//	      [-spool DIR] [-cache-dir DIR] [-cache-budget BYTES] [-debug-addr ADDR]
 //
 // On SIGINT/SIGTERM the server drains: submissions get 503, running jobs
 // checkpoint at their next chunk boundary, and everything unfinished is
 // spooled to -spool (when set) for the next fsimd process to resume.
+//
+// With -cache-dir, warmed action caches also survive restarts: every
+// parked cache is persisted to a crash-safe on-disk store
+// (internal/cachestore), reloaded on demand by the next process, and
+// invalidated automatically when the simulator that built it changes.
+// Corrupt records are quarantined under DIR/quarantine and the affected
+// lineage runs cold; /healthz reports "degraded" while quarantined
+// evidence is present.
 //
 // See README.md ("Running the server") for the API and curl examples.
 package main
@@ -25,6 +33,7 @@ import (
 	"os"
 	"time"
 
+	"facile/internal/cachestore"
 	"facile/internal/cli"
 	"facile/internal/obs"
 	"facile/internal/serve"
@@ -37,6 +46,10 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
 	chunk := flag.Uint64("chunk", 1<<16, "instructions between cancellation/drain checks")
 	spool := flag.String("spool", "", "directory for drained-job spool files (resumed at startup)")
+	cacheDir := flag.String("cache-dir", "",
+		"directory for the persistent warm-cache store (off when empty)")
+	cacheBudget := flag.Uint64("cache-budget", 0,
+		"byte budget for the persistent store; LRU records beyond it are evicted (0 = unlimited)")
 	debugAddr := flag.String("debug-addr", "",
 		"serve /debug/vars, /debug/metrics and /debug/pprof on this extra address")
 	version := flag.Bool("version", false, "print version and exit")
@@ -47,18 +60,44 @@ func main() {
 	}
 
 	rec := obs.NewRecorder(obs.Config{})
+
+	var store *cachestore.Store
+	if *cacheDir != "" {
+		st, err := cachestore.Open(*cacheDir, cachestore.Options{
+			BudgetBytes: *cacheBudget,
+			Rec:         rec,
+		})
+		if err != nil {
+			// Bottom rung of the degradation ladder: an unusable store
+			// directory disables persistence, it does not take the daemon down.
+			fmt.Fprintf(os.Stderr, "fsimd: cache store disabled: %v\n", err)
+		} else {
+			store = st
+			if n := st.QuarantineCount(); n > 0 {
+				fmt.Fprintf(os.Stderr, "fsimd: cache store has %d quarantined record(s) under %s\n",
+					n, *cacheDir)
+			}
+			fmt.Fprintf(os.Stderr, "fsimd: persistent warm-cache store at %s (budget=%d)\n",
+				*cacheDir, *cacheBudget)
+		}
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
 		ChunkInsts:     *chunk,
 		Rec:            rec,
+		Store:          store,
 	})
 
 	if *spool != "" {
-		jobs, err := serve.ReadSpool(*spool)
+		jobs, quarantined, err := serve.ReadSpool(*spool)
 		if err != nil {
 			die(err)
+		}
+		for _, q := range quarantined {
+			fmt.Fprintf(os.Stderr, "fsimd: malformed spool file %s\n", q)
 		}
 		resumed := 0
 		for _, rq := range jobs {

@@ -1,0 +1,169 @@
+package fastsim
+
+// Warm-cache serialization: a detached action cache round-trips through
+// the snapshot codec so a job server can persist lineage caches across
+// process restarts (internal/cachestore). The encoding walks each entry's
+// action tree in a fixed order, so equal caches yield equal bytes; the
+// replay-time link/linkGen fields are deliberately dropped — they are an
+// intra-process optimization re-established lazily by key lookup, and a
+// loaded cache must never alias entries from a previous process.
+
+import (
+	"fmt"
+	"sort"
+
+	"facile/internal/isa"
+	"facile/internal/snapshot"
+)
+
+// WarmFormatVersion identifies the serialized action-tree layout. Bump it
+// on any change to the action struct's persisted fields; a store record
+// written by another version fails to adopt instead of replaying garbage.
+const WarmFormatVersion = 1
+
+// maxWarmEntries bounds how many cache entries a load will reconstruct,
+// a backstop against a corrupt count field allocating unbounded memory
+// before the codec notices the truncation.
+const maxWarmEntries = 1 << 24
+
+// Save serializes the detached cache. The walk is read-only: the cache
+// stays parked and adoptable afterwards.
+func (wc *WarmCache) Save(w *snapshot.Writer) {
+	w.U64(WarmFormatVersion)
+	w.U64(wc.gen)
+	w.U64(wc.bytes)
+	w.U64(uint64(len(wc.m)))
+	keys := make([]string, 0, len(wc.m))
+	for k := range wc.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := wc.m[k]
+		w.String(e.key)
+		w.U64(e.bytes)
+		saveAction(w, e.first)
+	}
+}
+
+func saveAction(w *snapshot.Writer, a *action) {
+	if a == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.U8(a.kind)
+	w.U8(a.flags)
+	w.U8(uint8(a.cls))
+	w.U64(uint64(a.slot))
+	w.U64(uint64(a.dcyc))
+	w.U64(a.pc)
+	w.U8(uint8(a.in.Op))
+	w.U8(a.in.Rd)
+	w.U8(a.in.Rs1)
+	w.U8(a.in.Rs2)
+	w.I64(a.in.Imm)
+	w.Bool(a.in.HasImm)
+	w.U64(uint64(a.in.Raw))
+	w.String(a.nextKey)
+	w.U64(uint64(len(a.forks)))
+	for i := range a.forks {
+		w.U64(a.forks[i].val)
+		saveAction(w, a.forks[i].next)
+	}
+	saveAction(w, a.next)
+}
+
+// LoadWarmCache reconstructs a detached cache from its serialized form.
+// Any structural inconsistency — version skew, an out-of-range action
+// kind, a byte-accounting mismatch, a truncated stream — is an error; the
+// caller treats it like any other corruption (cold start), never adopting
+// a partially decoded cache.
+func LoadWarmCache(r *snapshot.Reader) (*WarmCache, error) {
+	if v := r.U64(); r.Err() == nil && v != WarmFormatVersion {
+		return nil, fmt.Errorf("fastsim: warm-cache format version %d, this build reads %d", v, WarmFormatVersion)
+	}
+	wc := &WarmCache{m: make(map[string]*centry)}
+	wc.gen = r.U64()
+	wc.bytes = r.U64()
+	n := r.U64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > maxWarmEntries {
+		return nil, fmt.Errorf("fastsim: warm cache claims %d entries", n)
+	}
+	var sum uint64
+	for i := uint64(0); i < n; i++ {
+		e := &centry{key: r.String(), gen: wc.gen}
+		e.bytes = r.U64()
+		first, err := loadAction(r)
+		if err != nil {
+			return nil, err
+		}
+		e.first = first
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if e.first == nil {
+			return nil, fmt.Errorf("fastsim: warm cache entry %q has no actions", e.key)
+		}
+		wc.m[e.key] = e
+		sum += e.bytes
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if sum != wc.bytes {
+		return nil, fmt.Errorf("fastsim: warm cache accounting mismatch: entries sum to %d bytes, header says %d", sum, wc.bytes)
+	}
+	if uint64(len(wc.m)) != n {
+		return nil, fmt.Errorf("fastsim: warm cache holds %d entries after dedup, header says %d", len(wc.m), n)
+	}
+	return wc, nil
+}
+
+func loadAction(r *snapshot.Reader) (*action, error) {
+	if !r.Bool() {
+		return nil, r.Err()
+	}
+	a := &action{}
+	a.kind = r.U8()
+	if r.Err() == nil && a.kind > aEnd {
+		return nil, fmt.Errorf("fastsim: warm cache action kind %d out of range", a.kind)
+	}
+	a.flags = r.U8()
+	a.cls = isa.Class(r.U8())
+	a.slot = uint16(r.U64())
+	a.dcyc = uint32(r.U64())
+	a.pc = r.U64()
+	a.in.Op = isa.Opcode(r.U8())
+	a.in.Rd = r.U8()
+	a.in.Rs1 = r.U8()
+	a.in.Rs2 = r.U8()
+	a.in.Imm = r.I64()
+	a.in.HasImm = r.Bool()
+	a.in.Raw = uint32(r.U64())
+	a.nextKey = r.String()
+	nf := r.U64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nf > maxWarmEntries {
+		return nil, fmt.Errorf("fastsim: warm cache action claims %d forks", nf)
+	}
+	for i := uint64(0); i < nf; i++ {
+		val := r.U64()
+		next, err := loadAction(r)
+		if err != nil {
+			return nil, err
+		}
+		a.forks = append(a.forks, fork{val: val, next: next})
+	}
+	next, err := loadAction(r)
+	if err != nil {
+		return nil, err
+	}
+	a.next = next
+	return a, r.Err()
+}

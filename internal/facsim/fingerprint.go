@@ -1,0 +1,52 @@
+package facsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"facile/facile"
+	"facile/internal/lang/source"
+	"facile/internal/lang/vet"
+	"facile/internal/rt"
+)
+
+// fingerprintCache: the bundled descriptions are fixed at build time, so
+// one fingerprint computation serves the process (guarded by preflightMu,
+// shared with the preflight cache).
+var fingerprintCache = map[string]string{}
+
+// DescriptionFingerprint identifies the simulator description behind kind
+// for cache-lineage purposes: the SHA-256 of the bundled Facile sources,
+// the sorted vet finding baseline keys (fvet's BaselineKey machinery — a
+// semantic digest of the description's static-analysis surface), and the
+// rt warm-cache format version. Editing a description, changing what the
+// analyzers see in it, or bumping the cache layout all move the
+// fingerprint, so persisted caches built against the old description are
+// invalidated by construction rather than by policy.
+func DescriptionFingerprint(kind string) (string, bool) {
+	step, ok := stepFile[kind]
+	if !ok {
+		return "", false
+	}
+	preflightMu.Lock()
+	defer preflightMu.Unlock()
+	if fp, done := fingerprintCache[kind]; done {
+		return fp, true
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "rt-warm-format=%d|", rt.WarmFormatVersion)
+	io.WriteString(h, facile.ISA())
+	io.WriteString(h, facile.Sources()[step])
+	fs := source.NewSet()
+	fs.Add("facile/svr32.fac", facile.ISA())
+	fs.Add("facile/"+step, facile.Sources()[step])
+	for _, k := range vet.NewBaseline(vet.RunSet(fs, vet.Options{})).Findings {
+		io.WriteString(h, k)
+		io.WriteString(h, "\n")
+	}
+	fp := hex.EncodeToString(h.Sum(nil))[:16]
+	fingerprintCache[kind] = fp
+	return fp, true
+}

@@ -1,0 +1,113 @@
+// Store fault taxonomy: the corruption and crash modes the persistent
+// action-cache store (internal/cachestore) must degrade through. The
+// discipline mirrors the replay fault taxonomy in this package — every
+// failure mode is typed, injectable on demand, and recovered by falling
+// back to an always-correct path (here: a cold run), never by guessing.
+package faults
+
+import "fmt"
+
+// StoreFault classifies one injectable persistence failure. Write-side
+// kinds corrupt or abort a save; they model crashes and media faults that
+// the load-side verification must catch.
+type StoreFault uint8
+
+// Store fault kinds.
+const (
+	// StoreNone: no injection.
+	StoreNone StoreFault = iota
+	// StoreTruncate: the record is cut short after the write — a crash
+	// mid-write or a torn page.
+	StoreTruncate
+	// StoreFlipByte: one payload byte is flipped — bit rot that only the
+	// CRC trailer can catch.
+	StoreFlipByte
+	// StoreBadMagic: the header magic is clobbered — the file is not a
+	// store record at all.
+	StoreBadMagic
+	// StoreVersionSkew: the record claims a future format version — a
+	// downgrade after an upgrade wrote the store.
+	StoreVersionSkew
+	// StoreENOSPC: the write fails mid-stream as a full disk would.
+	StoreENOSPC
+	// StoreCrashBeforeRename: the process dies after writing the temp
+	// file but before the rename — the canonical kill-during-write state.
+	StoreCrashBeforeRename
+
+	numStoreFaults
+)
+
+var storeFaultNames = [numStoreFaults]string{
+	"none",
+	"truncate",
+	"flip-byte",
+	"bad-magic",
+	"version-skew",
+	"enospc",
+	"crash-before-rename",
+}
+
+func (f StoreFault) String() string {
+	if int(f) < len(storeFaultNames) {
+		return storeFaultNames[f]
+	}
+	return fmt.Sprintf("faults.StoreFault(%d)", uint8(f))
+}
+
+// ErrInjectedENOSPC is the error a StoreENOSPC injection surfaces, standing
+// in for the kernel's ENOSPC on a full disk.
+var ErrInjectedENOSPC = fmt.Errorf("faults: injected ENOSPC (no space left on device)")
+
+// StoreInjector deterministically decides when and how to corrupt store
+// writes, mirroring Injector: every `every`-th Arm fires one of the
+// configured kinds, chosen by a seeded xorshift PRNG. A nil StoreInjector
+// never fires.
+type StoreInjector struct {
+	kinds []StoreFault
+	every uint64
+	state uint64
+	armed uint64
+	fired uint64
+}
+
+// NewStoreInjector builds an injector that fires one of kinds on every
+// every-th Arm call. A zero `every` disables it.
+func NewStoreInjector(seed, every uint64, kinds ...StoreFault) *StoreInjector {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &StoreInjector{kinds: kinds, every: every, state: seed}
+}
+
+// Arm records one save opportunity and returns the fault to apply, or
+// StoreNone.
+func (ij *StoreInjector) Arm() StoreFault {
+	if ij == nil || ij.every == 0 || len(ij.kinds) == 0 {
+		return StoreNone
+	}
+	ij.armed++
+	if ij.armed%ij.every != 0 {
+		return StoreNone
+	}
+	ij.fired++
+	return ij.kinds[ij.Rand()%uint64(len(ij.kinds))]
+}
+
+// Rand returns the next value of the injector's deterministic PRNG, for
+// the store to derive corruption parameters (flip offset, cut length).
+func (ij *StoreInjector) Rand() uint64 {
+	x := ij.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	ij.state = x
+	return x
+}
+
+// Fired reports how many injections have fired.
+func (ij *StoreInjector) Fired() uint64 {
+	if ij == nil {
+		return 0
+	}
+	return ij.fired
+}

@@ -1,0 +1,136 @@
+package rt
+
+// Warm-cache serialization for the Facile rt machines, mirroring
+// internal/arch/fastsim/warmio.go: a detached action cache round-trips
+// through the snapshot codec so lineage caches survive process restarts.
+// Replay-time link/linkGen fields are dropped on save — they are rebuilt
+// lazily by key lookup after adoption.
+
+import (
+	"fmt"
+	"sort"
+
+	"facile/internal/snapshot"
+)
+
+// WarmFormatVersion identifies the serialized node layout. Bump it on any
+// change to the node struct's persisted fields.
+const WarmFormatVersion = 1
+
+// maxWarmEntries bounds entry/fork counts a load will reconstruct before
+// concluding the stream is corrupt.
+const maxWarmEntries = 1 << 24
+
+// Save serializes the detached cache. The walk is read-only.
+func (wc *WarmCache) Save(w *snapshot.Writer) {
+	w.U64(WarmFormatVersion)
+	w.U64(wc.gen)
+	w.U64(wc.bytes)
+	w.U64(uint64(len(wc.m)))
+	keys := make([]string, 0, len(wc.m))
+	for k := range wc.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := wc.m[k]
+		w.String(e.key)
+		w.U64(e.bytes)
+		saveNode(w, e.first)
+	}
+}
+
+func saveNode(w *snapshot.Writer, n *node) {
+	if n == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.I64(int64(n.blockID))
+	w.I64s(n.data)
+	w.String(n.nextKey)
+	w.U64(uint64(len(n.forks)))
+	for i := range n.forks {
+		w.I64(n.forks[i].val)
+		saveNode(w, n.forks[i].next)
+	}
+	saveNode(w, n.next)
+}
+
+// LoadWarmCache reconstructs a detached cache from its serialized form.
+// Any inconsistency is an error; the caller falls back to a cold start
+// rather than adopting a partially decoded cache.
+func LoadWarmCache(r *snapshot.Reader) (*WarmCache, error) {
+	if v := r.U64(); r.Err() == nil && v != WarmFormatVersion {
+		return nil, fmt.Errorf("rt: warm-cache format version %d, this build reads %d", v, WarmFormatVersion)
+	}
+	wc := &WarmCache{m: make(map[string]*centry)}
+	wc.gen = r.U64()
+	wc.bytes = r.U64()
+	n := r.U64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > maxWarmEntries {
+		return nil, fmt.Errorf("rt: warm cache claims %d entries", n)
+	}
+	var sum uint64
+	for i := uint64(0); i < n; i++ {
+		e := &centry{key: r.String(), gen: wc.gen}
+		e.bytes = r.U64()
+		first, err := loadNode(r)
+		if err != nil {
+			return nil, err
+		}
+		e.first = first
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if e.first == nil {
+			return nil, fmt.Errorf("rt: warm cache entry %q has no nodes", e.key)
+		}
+		wc.m[e.key] = e
+		sum += e.bytes
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if sum != wc.bytes {
+		return nil, fmt.Errorf("rt: warm cache accounting mismatch: entries sum to %d bytes, header says %d", sum, wc.bytes)
+	}
+	if uint64(len(wc.m)) != n {
+		return nil, fmt.Errorf("rt: warm cache holds %d entries after dedup, header says %d", len(wc.m), n)
+	}
+	return wc, nil
+}
+
+func loadNode(r *snapshot.Reader) (*node, error) {
+	if !r.Bool() {
+		return nil, r.Err()
+	}
+	n := &node{}
+	n.blockID = int32(r.I64())
+	n.data = r.I64s()
+	n.nextKey = r.String()
+	nf := r.U64()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nf > maxWarmEntries {
+		return nil, fmt.Errorf("rt: warm cache node claims %d forks", nf)
+	}
+	for i := uint64(0); i < nf; i++ {
+		val := r.I64()
+		next, err := loadNode(r)
+		if err != nil {
+			return nil, err
+		}
+		n.forks = append(n.forks, nfork{val: val, next: next})
+	}
+	next, err := loadNode(r)
+	if err != nil {
+		return nil, err
+	}
+	n.next = next
+	return n, r.Err()
+}

@@ -1,0 +1,529 @@
+package serve
+
+// Chaos harness for the durable warm-cache path: every on-disk failure
+// mode the store can suffer — kill during write, torn records, bit rot,
+// version skew, disk full — is injected through the real code paths while
+// the server runs real jobs, and the invariant under test never changes:
+// the daemon keeps serving, results stay correct (cold at worst), and
+// corruption is quarantined, not retried forever.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"facile/internal/cachestore"
+	"facile/internal/faults"
+	"facile/internal/obs"
+	"facile/internal/runcfg"
+)
+
+// chaosReq is the canonical warm-lineage job the chaos tests run: small
+// enough to finish in milliseconds, memoizing so it joins a cache lineage.
+func chaosReq() JobRequest {
+	return JobRequest{Bench: "129.compress", Scale: 1,
+		Engine: runcfg.EngineFastsim, Memoize: true}
+}
+
+// newChaosServer builds a server backed by a store at dir, with an
+// optional injector, drained at test end.
+func newChaosServer(t *testing.T, dir string, inject *faults.StoreInjector) (*Server, *cachestore.Store, *obs.Recorder) {
+	t.Helper()
+	rec := obs.NewRecorder(obs.Config{})
+	st, err := cachestore.Open(dir, cachestore.Options{Rec: rec, Inject: inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 16, Rec: rec, Store: st})
+	return s, st, rec
+}
+
+// runChaosJob submits req, waits for it, and checks the result against a
+// direct reference run.
+func runChaosJob(t *testing.T, s *Server, req JobRequest, want runcfg.Result, name string) JobStatus {
+	t.Helper()
+	st, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	got := waitTerminal(t, s, st.ID)
+	checkResult(t, name, got, want)
+	return got
+}
+
+// TestWarmCacheSurvivesRestart is the headline durability test: a cache
+// built by one server process warm-starts a job in the next process, for
+// both engine families, with results identical to a cold run.
+func TestWarmCacheSurvivesRestart(t *testing.T) {
+	reqs := map[string]JobRequest{
+		"fastsim": chaosReq(),
+		"fac": {Bench: "130.li", Scale: 1,
+			Engine: runcfg.EngineFacFunc, Memoize: true},
+	}
+	for name, req := range reqs {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "store")
+			ref := reference(t, req)
+
+			s1, _, _ := newChaosServer(t, dir, nil)
+			first := runChaosJob(t, s1, req, ref, "cold job")
+			if first.WarmStart {
+				t.Fatal("first-ever job reports a warm start")
+			}
+			warm := runChaosJob(t, s1, req, ref, "second job")
+			if !warm.WarmStart || warm.WarmSource != "memory" {
+				t.Fatalf("second job in-process: warm=%v source=%q, want memory hit",
+					warm.WarmStart, warm.WarmSource)
+			}
+			s1.Drain()
+
+			// "Restart": a fresh server over the same store directory. The
+			// lineage table is empty, so only the persistent store can warm it.
+			s2, _, rec2 := newChaosServer(t, dir, nil)
+			restarted := runChaosJob(t, s2, req, ref, "post-restart job")
+			if !restarted.WarmStart || restarted.WarmSource != "store" {
+				t.Fatalf("post-restart job: warm=%v source=%q, want store hit",
+					restarted.WarmStart, restarted.WarmSource)
+			}
+			if restarted.WarmEntries == 0 || restarted.WarmBytes == 0 {
+				t.Fatalf("store-warm job adopted an empty cache: %d entries, %d bytes",
+					restarted.WarmEntries, restarted.WarmBytes)
+			}
+			if rec2.Registry().Counter("serve.warm_store_hits").Load() != 1 {
+				t.Fatal("store hit not counted")
+			}
+		})
+	}
+}
+
+// TestChaosKillDuringWrite injects a crash between the staging write and
+// the rename on every save: jobs stay correct, no torn record ever becomes
+// visible, and the restarted process sweeps the residue and serves cold.
+func TestChaosKillDuringWrite(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	req := chaosReq()
+	ref := reference(t, req)
+
+	s1, _, rec1 := newChaosServer(t, dir,
+		faults.NewStoreInjector(0, 1, faults.StoreCrashBeforeRename))
+	runChaosJob(t, s1, req, ref, "job during crashing saves")
+	s1.Drain() // drain re-persists; that save crashes too
+	if rec1.Registry().Counter("serve.warm_save_errors").Load() == 0 {
+		t.Fatal("crashing saves not surfaced in serve counters")
+	}
+	// The kill left staging residue but no addressable record.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tmps, records int
+	for _, e := range ents {
+		switch filepath.Ext(e.Name()) {
+		case ".tmp":
+			tmps++
+		case ".wc":
+			records++
+		}
+	}
+	if tmps == 0 {
+		t.Fatal("injected crash-before-rename left no staging file — scenario did not exercise the torn state")
+	}
+	if records != 0 {
+		t.Fatalf("torn write became an addressable record (%d)", records)
+	}
+
+	// Restart: residue swept, store empty, job runs cold and correct.
+	s2, st2, _ := newChaosServer(t, dir, nil)
+	if left, err := os.ReadDir(dir); err == nil {
+		for _, e := range left {
+			if filepath.Ext(e.Name()) == ".tmp" {
+				t.Fatalf("restart did not sweep staging file %s", e.Name())
+			}
+		}
+	}
+	recovered := runChaosJob(t, s2, req, ref, "post-kill job")
+	if recovered.WarmStart {
+		t.Fatal("post-kill job claims a warm start from a store that never got a record")
+	}
+	if st2.QuarantineCount() != 0 {
+		t.Fatal("a clean kill (no corrupt record) should not quarantine anything")
+	}
+}
+
+// TestChaosCorruptRecordColdRecovery covers the read-side ladder for every
+// corruption mode that produces an on-disk record: the next process
+// quarantines it, runs cold with correct results, and the lineage heals
+// (the healed cache persists and warms the process after that).
+func TestChaosCorruptRecordColdRecovery(t *testing.T) {
+	kinds := []faults.StoreFault{
+		faults.StoreTruncate,
+		faults.StoreFlipByte,
+		faults.StoreBadMagic,
+		faults.StoreVersionSkew,
+	}
+	req := chaosReq()
+	ref := reference(t, req)
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "store")
+			s1, _, _ := newChaosServer(t, dir, faults.NewStoreInjector(0, 1, kind))
+			runChaosJob(t, s1, req, ref, "job with corrupting saves")
+			s1.Drain()
+
+			s2, st2, rec2 := newChaosServer(t, dir, nil)
+			healed := runChaosJob(t, s2, req, ref, "job over corrupt record")
+			if healed.WarmStart {
+				t.Fatalf("%s: job warm-started from a corrupt record", kind)
+			}
+			if st2.QuarantineCount() == 0 {
+				t.Fatalf("%s: corrupt record not quarantined", kind)
+			}
+			if rec2.Registry().Counter("cachestore.corrupt").Load() == 0 {
+				t.Fatalf("%s: corruption not counted", kind)
+			}
+			s2.Drain() // persists the healed cache
+
+			s3, _, _ := newChaosServer(t, dir, nil)
+			warm := runChaosJob(t, s3, req, ref, "job after healing")
+			if !warm.WarmStart || warm.WarmSource != "store" {
+				t.Fatalf("%s: lineage did not heal: warm=%v source=%q",
+					kind, warm.WarmStart, warm.WarmSource)
+			}
+		})
+	}
+}
+
+// TestChaosDiskFull: with every save failing as a full disk would, jobs
+// keep completing correctly and in-memory warm sharing keeps working —
+// persistence degrades alone.
+func TestChaosDiskFull(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	req := chaosReq()
+	ref := reference(t, req)
+	s, _, rec := newChaosServer(t, dir,
+		faults.NewStoreInjector(0, 1, faults.StoreENOSPC))
+	runChaosJob(t, s, req, ref, "job on full disk")
+	warm := runChaosJob(t, s, req, ref, "second job on full disk")
+	if !warm.WarmStart || warm.WarmSource != "memory" {
+		t.Fatalf("in-memory warm sharing broke under ENOSPC: warm=%v source=%q",
+			warm.WarmStart, warm.WarmSource)
+	}
+	if rec.Registry().Counter("cachestore.save_errors").Load() == 0 {
+		t.Fatal("ENOSPC saves not counted")
+	}
+	if rec.Registry().Counter("serve.warm_save_errors").Load() == 0 {
+		t.Fatal("ENOSPC saves not surfaced in serve counters")
+	}
+}
+
+// TestChaosConcurrentSaveLoad hammers the store from every direction at
+// once — multiple workers parking/loading lineage caches while other
+// goroutines list, export, and load — and must stay correct under -race.
+func TestChaosConcurrentSaveLoad(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	rec := obs.NewRecorder(obs.Config{})
+	st, err := cachestore.Open(dir, cachestore.Options{Rec: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Workers: 4, QueueDepth: 64, Rec: rec, Store: st})
+
+	reqs := []JobRequest{
+		{Bench: "129.compress", Scale: 1, Engine: runcfg.EngineFastsim, Memoize: true},
+		{Bench: "102.swim", Scale: 1, Engine: runcfg.EngineFastsim, Memoize: true},
+		{Bench: "099.go", Scale: 1, Engine: runcfg.EngineFastsim, Memoize: true},
+	}
+	refs := make([]runcfg.Result, len(reqs))
+	for i, req := range reqs {
+		refs[i] = reference(t, req)
+	}
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				metas, err := st.List()
+				if err != nil {
+					t.Errorf("List during chaos: %v", err)
+					return
+				}
+				for _, m := range metas {
+					if _, _, err := st.Load(m.Key); err != nil &&
+						!errors.Is(err, cachestore.ErrNotFound) {
+						t.Errorf("Load %s during chaos: %v", m.Key, err)
+						return
+					}
+					if _, err := st.Export(m.Key); err != nil &&
+						!errors.Is(err, cachestore.ErrNotFound) {
+						t.Errorf("Export %s during chaos: %v", m.Key, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, rounds*len(reqs))
+	for round := 0; round < rounds; round++ {
+		for i, req := range reqs {
+			wg.Add(1)
+			go func(round, i int, req JobRequest) {
+				defer wg.Done()
+				st, err := s.Submit(req)
+				if err != nil {
+					errs <- fmt.Sprintf("submit r%d/%d: %v", round, i, err)
+					return
+				}
+				got := waitTerminal(t, s, st.ID)
+				if got.State != StateDone {
+					errs <- fmt.Sprintf("job r%d/%d: %s (%s)", round, i, got.State, got.Error)
+					return
+				}
+				if got.Result.Insts != refs[i].Insts || got.Result.Cycles != refs[i].Cycles {
+					errs <- fmt.Sprintf("job r%d/%d diverged: %d/%d want %d/%d",
+						round, i, got.Result.Insts, got.Result.Cycles, refs[i].Insts, refs[i].Cycles)
+				}
+			}(round, i, req)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if t.Failed() {
+		return
+	}
+	s.Drain()
+	// Every lineage must have ended up persisted and verifiable.
+	metas, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != len(reqs) {
+		t.Fatalf("store holds %d records after chaos, want %d", len(metas), len(reqs))
+	}
+	if st.QuarantineCount() != 0 {
+		t.Fatalf("healthy concurrent traffic quarantined %d records", st.QuarantineCount())
+	}
+}
+
+// TestStoreFingerprintInvalidation: a record whose fingerprint does not
+// match the current build (the simulator changed since it was saved) is
+// deleted, never adopted.
+func TestStoreFingerprintInvalidation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	req := chaosReq()
+	ref := reference(t, req)
+
+	s1, st1, _ := newChaosServer(t, dir, nil)
+	runChaosJob(t, s1, req, ref, "seed job")
+	s1.Drain()
+
+	// Forge the record's lineage: same key and payload, stale fingerprint.
+	key := req.LineageKey()
+	m, payload, err := st1.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Save(key, m.Engine, "0000000000000000", m.Entries, m.CacheBytes, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, st2, rec2 := newChaosServer(t, dir, nil)
+	cold := runChaosJob(t, s2, req, ref, "job over stale record")
+	if cold.WarmStart {
+		t.Fatal("job adopted a cache from a different simulator build")
+	}
+	if rec2.Registry().Counter("serve.warm_store_stale").Load() == 0 {
+		t.Fatal("stale record not counted")
+	}
+	// The stale record is gone (the completed cold job may have re-saved a
+	// fresh one; verify by fingerprint, not by absence).
+	if m2, _, err := st2.Load(key); err == nil {
+		if m2.Fingerprint == "0000000000000000" {
+			t.Fatal("stale record still addressable")
+		}
+	} else if !errors.Is(err, cachestore.ErrNotFound) {
+		t.Fatal(err)
+	}
+}
+
+// TestHealthzDegradedAndCacheAPI drives the HTTP surface: /healthz
+// degrades (still 200) once corruption is quarantined, and the /v1/caches
+// endpoints list, export, import, and delete records.
+func TestHealthzDegradedAndCacheAPI(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	req := chaosReq()
+	ref := reference(t, req)
+	s, st, _ := newChaosServer(t, dir, nil)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	getJSON := func(path string, into any) int {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode
+	}
+
+	var h Health
+	if code := getJSON("/healthz", &h); code != 200 || h.Status != "ok" {
+		t.Fatalf("healthy /healthz: %d %+v", code, h)
+	}
+
+	runChaosJob(t, s, req, ref, "seed job")
+	key := req.LineageKey()
+
+	var metas []cachestore.Meta
+	if code := getJSON("/v1/caches", &metas); code != 200 || len(metas) != 1 || metas[0].Key != key {
+		t.Fatalf("/v1/caches: %d %+v", code, metas)
+	}
+
+	// Export, delete, re-import: the record round-trips through the API.
+	resp, err := srv.Client().Get(srv.URL + "/v1/caches/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 || len(blob) == 0 {
+		t.Fatalf("export: %d, %d bytes, err %v", resp.StatusCode, len(blob), err)
+	}
+	delReq, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/caches/"+key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := srv.Client().Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != 200 {
+		t.Fatalf("delete: %d", delResp.StatusCode)
+	}
+	putReq, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/caches/"+key, bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp, err := srv.Client().Do(putReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp.Body.Close()
+	if putResp.StatusCode != 201 {
+		t.Fatalf("import: %d", putResp.StatusCode)
+	}
+	if _, _, err := st.Load(key); err != nil {
+		t.Fatalf("record not back after import: %v", err)
+	}
+
+	// Corruption observed → degraded, still HTTP 200.
+	if err := os.WriteFile(filepath.Join(dir, key+".wc"), []byte("rotted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(key); err == nil {
+		t.Fatal("rotted record loaded")
+	}
+	if code := getJSON("/healthz", &h); code != 200 ||
+		h.Status != "degraded" || h.Cachestore != "quarantine_nonempty" {
+		t.Fatalf("degraded /healthz: %d %+v", code, h)
+	}
+}
+
+// TestCacheAPIWithoutStore: a server with no -cache-dir answers the cache
+// endpoints with 503, not a panic or a silent empty list.
+func TestCacheAPIWithoutStore(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/caches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("/v1/caches without store: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestSpoolQuarantineMalformed is the resume-validation regression test:
+// torn or hand-mangled spool files are quarantined, healthy neighbors
+// resume untouched, and startup is never blocked.
+func TestSpoolQuarantineMalformed(t *testing.T) {
+	dir := t.TempDir()
+	good := RequeuedJob{ID: "job-000001", Req: chaosReq(), Attempt: 1}
+	if err := WriteSpool(dir, []RequeuedJob{good}); err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string]string{
+		"job-000002.job": `{"id": "job-000002", "req": {`, // truncated mid-write
+		"job-000003.job": "not json at all",
+		"job-000004.job": `{"req": {"bench": "129.compress"}}`, // no job ID
+	}
+	for name, body := range bad {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	jobs, quarantined, err := ReadSpool(dir)
+	if err != nil {
+		t.Fatalf("one torn file blocked the whole resume: %v", err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != good.ID {
+		t.Fatalf("healthy job lost: %+v", jobs)
+	}
+	if len(quarantined) != len(bad) {
+		t.Fatalf("quarantined %d files, want %d: %v", len(quarantined), len(bad), quarantined)
+	}
+	qents, err := os.ReadDir(filepath.Join(dir, SpoolQuarantineDir))
+	if err != nil || len(qents) != len(bad) {
+		t.Fatalf("quarantine dir holds %d files (err %v), want %d", len(qents), err, len(bad))
+	}
+	for name := range bad {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("malformed %s still in the spool", name)
+		}
+	}
+	// Second read: the spool is clean, nothing new to quarantine.
+	jobs2, q2, err := ReadSpool(dir)
+	if err != nil || len(jobs2) != 1 || len(q2) != 0 {
+		t.Fatalf("second read: %d jobs, %v quarantined, err %v", len(jobs2), q2, err)
+	}
+	// And the quarantined evidence names the cause.
+	for _, q := range quarantined {
+		if !strings.Contains(q, "quarantined to") {
+			t.Errorf("quarantine report lacks destination: %s", q)
+		}
+	}
+	_ = time.Now // anchor time import if assertions above change
+}

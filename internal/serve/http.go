@@ -3,8 +3,11 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"time"
+
+	"facile/internal/cachestore"
 )
 
 // HTTP/JSON API:
@@ -18,7 +21,15 @@ import (
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/metrics          aggregate metrics registry (includes the
 //	                            serve.warm_* occupancy gauges)
-//	GET    /healthz             liveness + drain state
+//	GET    /v1/caches           list persisted warm-cache records
+//	GET    /v1/caches/{key}     export one verified record (octet-stream)
+//	PUT    /v1/caches           import a record exported from another node
+//	DELETE /v1/caches/{key}     delete one record
+//	GET    /healthz             liveness + drain state + store health
+//	                            (degraded when corruption was quarantined)
+//
+// The cache endpoints return 503 when the server runs without a store
+// (no -cache-dir) or the store disabled itself.
 
 // Handler returns the API mux.
 func (s *Server) Handler() http.Handler {
@@ -29,6 +40,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/caches", s.handleCacheList)
+	mux.HandleFunc("GET /v1/caches/{key}", s.handleCacheExport)
+	mux.HandleFunc("PUT /v1/caches/{key}", s.handleCacheImport)
+	mux.HandleFunc("DELETE /v1/caches/{key}", s.handleCacheDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -101,12 +116,120 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_ = s.rec.Registry().WriteJSON(w)
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	state := "ok"
-	if s.Draining() {
-		state = "draining"
+// ErrNoStore reports a cache-store endpoint hit on a server running
+// without persistence.
+var ErrNoStore = errors.New("serve: no cache store configured")
+
+// cacheStore gates the /v1/caches handlers on a usable store.
+func (s *Server) cacheStore() (*cachestore.Store, error) {
+	if s.store == nil {
+		return nil, ErrNoStore
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": state})
+	if off, reason := s.store.Disabled(); off {
+		return nil, errors.New("serve: cache store disabled: " + reason)
+	}
+	return s.store, nil
+}
+
+func (s *Server) handleCacheList(w http.ResponseWriter, _ *http.Request) {
+	st, err := s.cacheStore()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	metas, err := st.List()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if metas == nil {
+		metas = []cachestore.Meta{}
+	}
+	writeJSON(w, http.StatusOK, metas)
+}
+
+func (s *Server) handleCacheExport(w http.ResponseWriter, r *http.Request) {
+	st, err := s.cacheStore()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	blob, err := st.Export(r.PathValue("key"))
+	var ce *cachestore.CorruptError
+	switch {
+	case errors.Is(err, cachestore.ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.As(err, &ce):
+		// The record failed verification on the way out and was quarantined;
+		// for the client that is a miss, not a server fault.
+		writeErr(w, http.StatusNotFound, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(blob)
+	}
+}
+
+func (s *Server) handleCacheImport(w http.ResponseWriter, r *http.Request) {
+	st, err := s.cacheStore()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<30))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := st.Import(r.PathValue("key"), blob)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, m)
+}
+
+func (s *Server) handleCacheDelete(w http.ResponseWriter, r *http.Request) {
+	st, err := s.cacheStore()
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	err = st.Delete(r.PathValue("key"))
+	switch {
+	case errors.Is(err, cachestore.ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"state": "deleted"})
+	}
+}
+
+// Health is the /healthz body. Status degrades (still HTTP 200 — the
+// process serves correct results either way) when the store has
+// quarantined corruption or turned itself off; the ladder is
+// ok → degraded, orthogonal to draining.
+type Health struct {
+	Status     string `json:"status"` // "ok" | "degraded" | "draining"
+	Cachestore string `json:"cachestore,omitempty"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := Health{Status: "ok"}
+	if s.store != nil {
+		if off, reason := s.store.Disabled(); off {
+			h.Status, h.Cachestore = "degraded", "disabled: "+reason
+		} else if s.store.QuarantineCount() > 0 {
+			h.Status, h.Cachestore = "degraded", "quarantine_nonempty"
+		}
+	}
+	if s.Draining() {
+		h.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // eventLine is one line of the events stream. Sample lines carry the

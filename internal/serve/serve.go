@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"facile/internal/cachestore"
 	"facile/internal/facsim"
 	"facile/internal/faults"
 	"facile/internal/isa/asm"
@@ -180,6 +181,7 @@ type Job struct {
 	warmStart   bool
 	warmEntries uint64
 	warmBytes   uint64
+	warmSource  string // "memory" or "store" when warmStart
 	lineage     string
 
 	result *runcfg.Result
@@ -218,6 +220,10 @@ type JobStatus struct {
 	WarmStart   bool   `json:"warm_start"`
 	WarmEntries uint64 `json:"warm_entries,omitempty"`
 	WarmBytes   uint64 `json:"warm_bytes,omitempty"`
+	// WarmSource says where the adopted cache came from: "memory" (parked
+	// by an earlier job in this process) or "store" (the persistent store,
+	// surviving a restart).
+	WarmSource string `json:"warm_source,omitempty"`
 
 	// FastSharePc is the slow/fast split achieved by the run so far —
 	// the serving-economics headline number.
@@ -254,12 +260,20 @@ type Config struct {
 	// Rec is the shared observability recorder; one is created when nil.
 	// Each job samples into its own track ("job-<id>").
 	Rec *obs.Recorder
+
+	// Store, when non-nil, persists parked warm caches across restarts:
+	// every park (and the final drain) writes the lineage's cache through
+	// it, and a lineage with no in-memory cache falls back to the store
+	// before running cold. Store failures never fail jobs — persistence
+	// degrades, simulation does not.
+	Store *cachestore.Store
 }
 
 // Server is the job service: bounded queue, worker pool, lineage table.
 type Server struct {
-	cfg Config
-	rec *obs.Recorder
+	cfg   Config
+	rec   *obs.Recorder
+	store *cachestore.Store // nil = no persistence
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -286,6 +300,7 @@ type Server struct {
 // their specialized action cache forward through the parked slot.
 type lineage struct {
 	parked  runcfg.WarmCache // nil when no cache is parked
+	engine  string           // engine that built the parked cache
 	entries uint64
 	bytes   uint64
 	parks   uint64
@@ -311,6 +326,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:         cfg,
 		rec:         rec,
+		store:       cfg.Store,
 		jobs:        make(map[string]*Job),
 		queue:       make(chan *Job, cfg.QueueDepth),
 		lineages:    make(map[string]*lineage),
@@ -328,6 +344,10 @@ func New(cfg Config) *Server {
 
 // Recorder returns the server's observability recorder.
 func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Store returns the persistent cache store, or nil when persistence is
+// off.
+func (s *Server) Store() *cachestore.Store { return s.store }
 
 // vetPreflight is the engine preflight hook; a package variable so tests
 // can exercise the rejection path (the bundled descriptions vet clean).
@@ -534,7 +554,6 @@ func (s *Server) Drain() []RequeuedJob {
 	s.wg.Wait()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	// Whatever is still in the channel was never started: requeue as-is —
 	// unless cancellation was already requested, in which case the job
 	// finishes canceled (as the Cancel caller was told) instead of
@@ -567,6 +586,29 @@ drained:
 			Resume:    j.resume,
 		})
 		s.counter("serve.jobs_requeued").Inc()
+	}
+	// Save-on-drain: re-persist every parked cache so the store holds the
+	// final warm state even if an earlier per-park save failed. The workers
+	// are gone, so the encode-then-write can happen outside the lock.
+	type persist struct {
+		key, engine    string
+		entries, bytes uint64
+		payload        []byte
+	}
+	var persists []persist
+	if s.store != nil {
+		for key, ln := range s.lineages {
+			if ln.parked == nil {
+				continue
+			}
+			if payload := s.encodeParkedLocked(ln.parked); payload != nil {
+				persists = append(persists, persist{key, ln.engine, ln.entries, ln.bytes, payload})
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, p := range persists {
+		s.persistWarm(p.key, p.engine, p.entries, p.bytes, p.payload)
 	}
 	return out
 }
@@ -615,6 +657,7 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 		WarmStart:    j.warmStart,
 		WarmEntries:  j.warmEntries,
 		WarmBytes:    j.warmBytes,
+		WarmSource:   j.warmSource,
 	}
 	if j.vet != nil {
 		v := *j.vet
@@ -680,13 +723,16 @@ func (s *Server) takeWarm(key string) runcfg.WarmCache {
 
 // parkWarm stores a finished job's detached cache for the lineage's next
 // job. When a cache is already parked (a concurrent sibling finished
-// first), the one with more entries wins and the other is dropped.
-func (s *Server) parkWarm(key string, wc runcfg.WarmCache) {
+// first), the one with more entries wins and the other is dropped. With a
+// store configured, the winning cache is also persisted: the payload is
+// encoded under the lock (a parked cache is immutable only until a
+// concurrent takeWarm hands it to a runner) and the file I/O happens
+// outside it.
+func (s *Server) parkWarm(key, engine string, wc runcfg.WarmCache) {
 	if key == "" || wc == nil || wc.Entries() == 0 {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	ln := s.lineages[key]
 	if ln == nil {
 		ln = &lineage{}
@@ -694,18 +740,88 @@ func (s *Server) parkWarm(key string, wc runcfg.WarmCache) {
 	}
 	if ln.parked != nil {
 		if ln.parked.Entries() >= wc.Entries() {
+			s.mu.Unlock()
 			return // keep the bigger cache
 		}
 		s.warmEntries.Add(-int64(ln.entries))
 		s.warmBytes.Add(-int64(ln.bytes))
 	}
 	ln.parked = wc
+	ln.engine = engine
 	ln.entries = wc.Entries()
 	ln.bytes = wc.Bytes()
 	ln.parks++
 	s.warmEntries.Add(int64(ln.entries))
 	s.warmBytes.Add(int64(ln.bytes))
 	s.counter("serve.warm_parks").Inc()
+	entries, bytes := ln.entries, ln.bytes
+	payload := s.encodeParkedLocked(wc)
+	s.mu.Unlock()
+	s.persistWarm(key, engine, entries, bytes, payload)
+}
+
+// encodeParkedLocked serializes a just-parked cache while s.mu pins it in
+// the parked slot (so no runner can adopt — and mutate — it mid-walk).
+// Returns nil when persistence is off or the cache is not serializable.
+func (s *Server) encodeParkedLocked(wc runcfg.WarmCache) []byte {
+	if s.store == nil {
+		return nil
+	}
+	payload, err := runcfg.EncodeWarmCache(wc)
+	if err != nil {
+		s.counter("serve.warm_save_errors").Inc()
+		return nil
+	}
+	return payload
+}
+
+// persistWarm writes one encoded cache to the store. Failures are counted
+// and swallowed: a job must never fail because its byproduct could not be
+// persisted.
+func (s *Server) persistWarm(key, engine string, entries, bytes uint64, payload []byte) {
+	if s.store == nil || payload == nil {
+		return
+	}
+	fp := runcfg.CacheFingerprint(engine)
+	if fp == "" {
+		return
+	}
+	if err := s.store.Save(key, engine, fp, entries, bytes, payload); err != nil {
+		s.counter("serve.warm_save_errors").Inc()
+		return
+	}
+	s.counter("serve.warm_saves").Inc()
+}
+
+// loadStoredWarm is the fallback behind an in-memory lineage miss: load
+// the persisted record, gate it on the current build's fingerprint, and
+// reconstruct the cache. Any failure degrades to a cold run; a stale
+// fingerprint (the simulator changed since the record was saved) deletes
+// the record — it can never become adoptable again.
+func (s *Server) loadStoredWarm(key, engine string) runcfg.WarmCache {
+	if s.store == nil || key == "" {
+		return nil
+	}
+	m, payload, err := s.store.Load(key)
+	if err != nil {
+		return nil // miss, corrupt (already quarantined), or disabled
+	}
+	fp := runcfg.CacheFingerprint(engine)
+	if fp == "" || m.Fingerprint != fp || m.Engine != engine {
+		_ = s.store.Delete(key)
+		s.counter("serve.warm_store_stale").Inc()
+		return nil
+	}
+	wc, err := runcfg.DecodeWarmCache(payload)
+	if err != nil {
+		// The CRC passed but the payload does not reconstruct: a format bug
+		// or skew the fingerprint failed to capture. Remove the record so it
+		// is not retried forever.
+		_ = s.store.Delete(key)
+		s.counter("serve.warm_store_stale").Inc()
+		return nil
+	}
+	return wc
 }
 
 // worker is one pool goroutine: it pulls jobs until the drain fires.
@@ -805,9 +921,15 @@ func (s *Server) runAttempt(ctx context.Context, j *Job, adoptWarm bool) (jobOut
 
 	// Warm-start before restore: AdoptCache requires a runner that has not
 	// stepped yet, and the restored progress below does not invalidate the
-	// adopted entries (same program, same configuration).
+	// adopted entries (same program, same configuration). The in-memory
+	// parked cache wins over the persistent store — it is newer or equal by
+	// construction (every park also persists).
 	if adoptWarm {
-		if wc := s.takeWarm(j.lineage); wc != nil {
+		wc, source := s.takeWarm(j.lineage), "memory"
+		if wc == nil {
+			wc, source = s.loadStoredWarm(j.lineage, j.req.Engine), "store"
+		}
+		if wc != nil {
 			// Size the cache before adoption: AdoptCache transfers ownership
 			// and empties the detached handle.
 			entries, bs := wc.Entries(), wc.Bytes()
@@ -816,8 +938,12 @@ func (s *Server) runAttempt(ctx context.Context, j *Job, adoptWarm bool) (jobOut
 				j.warmStart = true
 				j.warmEntries = entries
 				j.warmBytes = bs
+				j.warmSource = source
 				s.mu.Unlock()
 				s.counter("serve.warm_hits").Inc()
+				if source == "store" {
+					s.counter("serve.warm_store_hits").Inc()
+				}
 			}
 			// An adoption refusal drops the cache: it was detached (its
 			// lineage slot is empty) and re-parking a cache of unknown
@@ -889,7 +1015,7 @@ func (s *Server) runAttempt(ctx context.Context, j *Job, adoptWarm bool) (jobOut
 	j.committed = r.Progress()
 	j.resume, j.resumeKind = nil, ""
 	s.mu.Unlock()
-	s.parkWarm(j.lineage, r.DetachCache())
+	s.parkWarm(j.lineage, j.req.Engine, r.DetachCache())
 	return outcomeOK, nil
 }
 

@@ -333,16 +333,19 @@ func TestDrainCheckpointRequeueResume(t *testing.T) {
 	if err := WriteSpool(dir, requeued); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := ReadSpool(dir)
+	loaded, quarantined, err := ReadSpool(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(quarantined) != 0 {
+		t.Fatalf("healthy spool quarantined files: %v", quarantined)
 	}
 	if len(loaded) != len(requeued) {
 		t.Fatalf("spool round trip: %d jobs, want %d", len(loaded), len(requeued))
 	}
 	// Reading must not consume the spool: files survive until each job's
 	// resume is acknowledged, so a failed Resubmit never loses work.
-	if again, err := ReadSpool(dir); err != nil || len(again) != len(requeued) {
+	if again, _, err := ReadSpool(dir); err != nil || len(again) != len(requeued) {
 		t.Fatalf("spool consumed before resume: %d left, err %v", len(again), err)
 	}
 
@@ -355,7 +358,7 @@ func TestDrainCheckpointRequeueResume(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if rest, err := ReadSpool(dir); err != nil || len(rest) != 0 {
+	if rest, _, err := ReadSpool(dir); err != nil || len(rest) != 0 {
 		t.Fatalf("spool not consumed after resume: %d left, err %v", len(rest), err)
 	}
 	for i, rq := range loaded {
@@ -760,7 +763,7 @@ func TestSnapshotBlobIntegrity(t *testing.T) {
 	if err := WriteSpool(dir, requeued); err != nil {
 		t.Fatal(err)
 	}
-	back, err := ReadSpool(dir)
+	back, _, err := ReadSpool(dir)
 	if err != nil {
 		t.Fatal(err)
 	}

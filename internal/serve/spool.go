@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Spool: drained jobs persist as one JSON file each ("<id>.job") so the
@@ -36,19 +37,30 @@ func WriteSpool(dir string, jobs []RequeuedJob) error {
 	return nil
 }
 
+// SpoolQuarantineDir is the subdirectory of the spool dir that malformed
+// spool files are moved to — the same quarantine convention the cache
+// store uses: evidence is preserved for autopsy, startup is not blocked.
+const SpoolQuarantineDir = "quarantine"
+
 // ReadSpool loads every spooled job from dir, in job-ID order (the
 // original submission order, since IDs are sequential). Files stay on
 // disk: the caller removes each with RemoveSpooled only after its
 // Resubmit succeeds, so a failed resume (queue full, bad request) never
 // loses the checkpoint. A missing directory is an empty spool, not an
 // error.
-func ReadSpool(dir string) ([]RequeuedJob, error) {
+//
+// A spool file that does not parse — truncated by a crash mid-write,
+// hand-edited into invalid JSON, or missing its job ID — is quarantined
+// under dir/quarantine/ and reported in the second return value instead
+// of failing the whole resume: one torn file must not hold every other
+// checkpointed job hostage.
+func ReadSpool(dir string) (jobs []RequeuedJob, quarantined []string, err error) {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var names []string
 	for _, e := range entries {
@@ -57,20 +69,40 @@ func ReadSpool(dir string) ([]RequeuedJob, error) {
 		}
 	}
 	sort.Strings(names)
-	var out []RequeuedJob
 	for _, name := range names {
 		path := filepath.Join(dir, name)
 		blob, err := os.ReadFile(path)
 		if err != nil {
-			return out, err
+			return jobs, quarantined, err
 		}
 		var rq RequeuedJob
-		if err := json.Unmarshal(blob, &rq); err != nil {
-			return out, fmt.Errorf("spool %s: %w", name, err)
+		if uerr := json.Unmarshal(blob, &rq); uerr != nil || rq.ID == "" {
+			if uerr == nil {
+				uerr = fmt.Errorf("missing job id")
+			}
+			quarantined = append(quarantined, quarantineSpool(dir, name, uerr))
+			continue
 		}
-		out = append(out, rq)
+		jobs = append(jobs, rq)
 	}
-	return out, nil
+	return jobs, quarantined, nil
+}
+
+// quarantineSpool moves one malformed spool file aside (or removes it when
+// the move fails — a file that cannot parse must not be re-read forever)
+// and returns a human-readable account of what happened.
+func quarantineSpool(dir, name string, cause error) string {
+	qdir := filepath.Join(dir, SpoolQuarantineDir)
+	dst := filepath.Join(qdir, fmt.Sprintf("%s.%d", name, time.Now().UnixNano()))
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		os.Remove(filepath.Join(dir, name))
+		return fmt.Sprintf("%s: %v (removed; quarantine unavailable: %v)", name, cause, err)
+	}
+	if err := os.Rename(filepath.Join(dir, name), dst); err != nil {
+		os.Remove(filepath.Join(dir, name))
+		return fmt.Sprintf("%s: %v (removed; quarantine failed: %v)", name, cause, err)
+	}
+	return fmt.Sprintf("%s: %v (quarantined to %s)", name, cause, dst)
 }
 
 // RemoveSpooled deletes one job's spool file, acknowledging a successful

@@ -67,41 +67,98 @@ func Decode(blob []byte) (kind string, r *Reader, stateHash string, err error) {
 	return kind, NewReader(payload), hex.EncodeToString(sum[:]), nil
 }
 
-// WriteFile atomically writes an encoded snapshot and returns its STATE
-// content hash. The temporary file is fsynced before the rename — without
-// it a crash shortly after WriteFile can leave the final name pointing at
-// zero-length or partial data, which defeats the whole point of the
-// write-then-rename dance. Every failure path removes the temporary file.
-func WriteFile(path, kind string, w *Writer) (stateHash string, err error) {
-	blob := Encode(kind, w)
+// injectFileErr is the failure-injection seam for WriteRawFile: when
+// non-nil it may fail any stage ("create", "write", "sync", "close",
+// "rename") with an arbitrary error, so tests can drive the ENOSPC and
+// crash failure paths on demand. Production code never sets it.
+var injectFileErr func(op, path string) error
+
+func injected(op, path string) error {
+	if injectFileErr == nil {
+		return nil
+	}
+	return injectFileErr(op, path)
+}
+
+// WriteRawFile atomically writes blob to path via the temp-file + fsync +
+// rename discipline: a reader never observes a partial file under the
+// final name, and a crash at any point leaves at worst a stale "<path>.tmp"
+// for CleanupTmp to collect on the next start. Every failure path removes
+// the temporary file.
+func WriteRawFile(path string, blob []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return "", err
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := injected("write", path); err != nil {
+		return fail(err)
 	}
 	if _, err := f.Write(blob); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return "", err
+		return fail(err)
+	}
+	if err := injected("sync", path); err != nil {
+		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return "", err
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return "", err
+		return err
+	}
+	if err := injected("rename", path); err != nil {
+		os.Remove(tmp)
+		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return "", err
+		return err
 	}
 	// Sync the directory so the rename itself is durable. Best-effort: some
 	// platforms cannot fsync a directory handle.
 	if d, err := os.Open(filepath.Dir(path)); err == nil {
 		_ = d.Sync()
 		d.Close()
+	}
+	return nil
+}
+
+// CleanupTmp removes leftover "*.tmp" staging files in dir — the residue
+// of a crash between a WriteRawFile's write and its rename. Callers run it
+// once at startup, before reading the directory's records. It returns the
+// names removed; a missing directory is an empty result, not an error.
+func CleanupTmp(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".tmp" {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return removed, err
+		}
+		removed = append(removed, e.Name())
+	}
+	return removed, nil
+}
+
+// WriteFile atomically writes an encoded snapshot and returns its STATE
+// content hash. See WriteRawFile for the crash-consistency discipline.
+func WriteFile(path, kind string, w *Writer) (stateHash string, err error) {
+	if err := WriteRawFile(path, Encode(kind, w)); err != nil {
+		return "", err
 	}
 	return w.StateHash(), nil
 }

@@ -55,6 +55,97 @@ func TestWriteFileFailedRenameLeavesNoLitter(t *testing.T) {
 	}
 }
 
+// TestWriteFileInjectedENOSPC drives the full-disk failure path through
+// the injection seam at each stage of the write: the call must surface
+// the error and leave no staging litter, whichever stage ran out of
+// space.
+func TestWriteFileInjectedENOSPC(t *testing.T) {
+	enospc := os.NewSyscallError("write", os.ErrInvalid) // stands in for ENOSPC
+	for _, stage := range []string{"write", "sync", "rename"} {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			target := filepath.Join(dir, "snap.bin")
+			injectFileErr = func(op, path string) error {
+				if op == stage {
+					return enospc
+				}
+				return nil
+			}
+			defer func() { injectFileErr = nil }()
+			var w Writer
+			w.U64(1)
+			w.BeginAux()
+			if _, err := WriteFile(target, "test", &w); err == nil {
+				t.Fatalf("injected %s failure did not surface", stage)
+			}
+			if _, err := os.Stat(target); !os.IsNotExist(err) {
+				t.Fatalf("partial file reached final name after %s failure", stage)
+			}
+			if _, err := os.Stat(target + ".tmp"); !os.IsNotExist(err) {
+				t.Fatalf("%s failure left staging file behind", stage)
+			}
+		})
+	}
+}
+
+// TestCleanupTmpAfterCrashBeforeRename simulates a process killed between
+// writing the staging file and the rename: the .tmp survives the "crash",
+// the final name never appears, and the next start's CleanupTmp removes
+// the residue without touching real records.
+func TestCleanupTmpAfterCrashBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "snap.bin")
+	injectFileErr = func(op, path string) error {
+		if op == "rename" {
+			// "Die" with the staging file in place, as a SIGKILL would leave it.
+			blob := []byte("torn")
+			if err := os.WriteFile(target+".tmp", blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return os.ErrClosed
+		}
+		return nil
+	}
+	var w Writer
+	w.U64(1)
+	w.BeginAux()
+	_, err := WriteFile(target, "test", &w)
+	injectFileErr = nil
+	if err == nil {
+		t.Fatal("crashed write reported success")
+	}
+	// Recreate the pre-rename state (WriteFile's error path cleans its own
+	// tmp; a real SIGKILL cannot).
+	if err := os.WriteFile(target+".tmp", []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "healthy.bin")
+	if err := os.WriteFile(keep, []byte("record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := CleanupTmp(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != "snap.bin.tmp" {
+		t.Fatalf("CleanupTmp removed %v, want [snap.bin.tmp]", removed)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("CleanupTmp touched a real record: %v", err)
+	}
+	if _, err := os.Stat(target + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("staging residue survived CleanupTmp")
+	}
+	// Idempotent, and a missing directory is an empty result.
+	if again, err := CleanupTmp(dir); err != nil || len(again) != 0 {
+		t.Fatalf("second CleanupTmp: %v, %v", again, err)
+	}
+	if none, err := CleanupTmp(filepath.Join(dir, "absent")); err != nil || len(none) != 0 {
+		t.Fatalf("CleanupTmp on missing dir: %v, %v", none, err)
+	}
+}
+
 func TestWriteFileUnwritableDir(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "missing", "nested")
 	var w Writer
