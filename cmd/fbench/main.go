@@ -46,6 +46,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable report to this path")
 	benchOut := flag.String("bench-out", "",
 		"write the canonical per-workload rate + warm-restart artifact (BENCH_<n>.json) to this path")
+	compareTo := flag.String("bench-compare", "",
+		"with -bench-out: gate the fresh artifact against this baseline (exit 1 on regression)")
+	noise := flag.Float64("noise", bench.DefaultNoiseBand,
+		"allowed fractional throughput loss for -bench-compare (deterministic counts must match exactly)")
 	server := flag.String("server", "", "fsimd base URL; submit jobs there instead of simulating locally")
 	engine := flag.String("engine", runcfg.EngineFastsim, "engine for -server jobs")
 	memoize := flag.Bool("memoize", true, "memoize -server jobs (required for warm-cache sharing)")
@@ -88,6 +92,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "fbench: wrote %s\n", *benchOut)
+		if *compareTo != "" {
+			baseline, err := bench.ReadBenchOut(*compareTo)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fbench:", err)
+				os.Exit(1)
+			}
+			if violations := bench.Compare(baseline, out, *noise); len(violations) > 0 {
+				fmt.Fprintf(os.Stderr, "fbench: regression gate vs %s FAILED:\n", *compareTo)
+				for _, v := range violations {
+					fmt.Fprintf(os.Stderr, "  - %s\n", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "fbench: regression gate vs %s passed (%d workloads, noise band %d%%)\n",
+				*compareTo, len(baseline.Rows), int(*noise*100))
+		}
 		return
 	}
 

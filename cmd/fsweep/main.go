@@ -1,0 +1,190 @@
+// Command fsweep runs a parametric design-space sweep from a JSON spec:
+// one workload, one engine, a grid of microarchitecture axes, and a
+// comparative report (per-point cycles/IPC/miss rates, best/worst/knee,
+// per-axis miss curves).
+//
+// Usage:
+//
+//	fsweep -spec sweep.json [-workers N] [-out report.json] [-csv report.csv]
+//	fsweep -spec sweep.json -server http://HOST:PORT
+//
+// By default the sweep runs in-process: points sharing a warm-cache
+// lineage run back to back so every point after the first warm-starts
+// off its predecessor's action cache. With -server the spec is posted to
+// a running fsimd (POST /v1/sweeps) and each point goes through the
+// daemon's job queue instead, sharing the daemon's lineage table and
+// persistent cache store.
+//
+// The aligned-text report always goes to stdout; -out and -csv
+// additionally write the JSON and CSV renderings.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"facile/internal/cli"
+	"facile/internal/serve"
+	"facile/internal/sweep"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "sweep spec (JSON, required)")
+	server := flag.String("server", "", "fsimd base URL; run the sweep there instead of in-process")
+	workers := flag.Int("workers", 1, "cache lineages run concurrently (1 = maximum warm reuse)")
+	outPath := flag.String("out", "", "write the JSON report to this path")
+	csvPath := flag.String("csv", "", "write the CSV report to this path")
+	quiet := flag.Bool("q", false, "suppress per-point progress on stderr")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		cli.PrintVersion("fsweep")
+		return
+	}
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "fsweep: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	var spec sweep.Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *specPath, err))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var rep *sweep.Report
+	if *server != "" {
+		rep, err = runRemote(ctx, *server, spec, *workers, *quiet)
+	} else {
+		rep, err = runLocal(ctx, spec, *workers, *quiet)
+	}
+	if rep != nil {
+		if werr := rep.WriteText(os.Stdout); werr != nil {
+			fatal(werr)
+		}
+		if *outPath != "" {
+			js, jerr := rep.JSON()
+			if jerr == nil {
+				jerr = os.WriteFile(*outPath, js, 0o644)
+			}
+			if jerr != nil {
+				fatal(jerr)
+			}
+			fmt.Fprintf(os.Stderr, "fsweep: wrote %s\n", *outPath)
+		}
+		if *csvPath != "" {
+			f, ferr := os.Create(*csvPath)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			if ferr = rep.WriteCSV(f); ferr == nil {
+				ferr = f.Close()
+			} else {
+				f.Close()
+			}
+			if ferr != nil {
+				fatal(ferr)
+			}
+			fmt.Fprintf(os.Stderr, "fsweep: wrote %s\n", *csvPath)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func runLocal(ctx context.Context, spec sweep.Spec, workers int, quiet bool) (*sweep.Report, error) {
+	opt := sweep.Options{Workers: workers}
+	if !quiet {
+		opt.OnPoint = progressLine
+	}
+	return sweep.Run(ctx, spec, opt)
+}
+
+func runRemote(ctx context.Context, base string, spec sweep.Spec, workers int, quiet bool) (*sweep.Report, error) {
+	c := serve.NewClient(base)
+	st, err := c.SubmitSweep(ctx, serve.SweepRequest{Spec: spec, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "fsweep: %s submitted as %s (%d points)\n",
+			base, st.ID, st.TotalPoints)
+	}
+	// On interrupt, tell the daemon to stop the sweep, then collect the
+	// partial report.
+	waitCtx := context.Background()
+	go func() {
+		<-ctx.Done()
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = c.CancelSweep(cctx, st.ID)
+	}()
+	seen := 0
+	for {
+		cur, err := c.SweepStatus(waitCtx, st.ID)
+		if err != nil {
+			return nil, err
+		}
+		if !quiet && cur.SettledPoints != seen {
+			seen = cur.SettledPoints
+			fmt.Fprintf(os.Stderr, "fsweep: %d/%d points settled (%d warm)\n",
+				seen, cur.TotalPoints, cur.WarmStarts)
+		}
+		switch cur.State {
+		case serve.SweepDone:
+			return cur.Report, nil
+		case serve.SweepCanceled:
+			return cur.Report, context.Canceled
+		case serve.SweepFailed:
+			return cur.Report, fmt.Errorf("sweep %s failed: %s", cur.ID, cur.Error)
+		}
+		select {
+		case <-waitCtx.Done():
+			return nil, waitCtx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func progressLine(p sweep.PointResult) {
+	coords := ""
+	for i, pv := range p.Params {
+		if i > 0 {
+			coords += " "
+		}
+		coords += fmt.Sprintf("%s=%d", pv.Name, pv.Value)
+	}
+	switch p.Status {
+	case sweep.PointOK:
+		warm := "cold"
+		if p.WarmStart {
+			warm = "warm:" + p.WarmSource
+		}
+		fmt.Fprintf(os.Stderr, "fsweep: point %d [%s] %d cycles ipc %.3f (%s)\n",
+			p.Index, coords, p.Cycles, p.IPC, warm)
+	default:
+		fmt.Fprintf(os.Stderr, "fsweep: point %d [%s] %s %s\n", p.Index, coords, p.Status, p.Error)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsweep:", err)
+	os.Exit(1)
+}

@@ -1,22 +1,23 @@
 // Cache study: use the fast-forwarding simulator as an architecture
 // research tool — the reason the paper wants detailed simulators to be
-// fast. Sweeps the L1 data cache size for one workload and reports cycle
-// counts, using the memoizing simulator so each configuration simulates
-// quickly.
+// fast. A thin wrapper over the internal/sweep design-space subsystem:
+// the L1D axis is declared once, and the sweep runner chains each
+// configuration's warm action cache into the next, so only the first
+// point simulates cold. The same spec runs unchanged under cmd/fsweep
+// or POST /v1/sweeps on a daemon.
 //
 // Run with: go run ./examples/cachestudy [benchmark] [scale]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"strconv"
-	"time"
 
-	"facile/internal/arch/fastsim"
-	"facile/internal/arch/uarch"
-	"facile/internal/workloads"
+	"facile/internal/runcfg"
+	"facile/internal/sweep"
 )
 
 func main() {
@@ -27,23 +28,24 @@ func main() {
 	if len(os.Args) > 2 {
 		scale, _ = strconv.Atoi(os.Args[2])
 	}
-	w, err := workloads.Get(name, scale)
+
+	spec := sweep.Spec{
+		Name:   "cachestudy",
+		Bench:  name,
+		Scale:  scale,
+		Engine: runcfg.EngineFastsim,
+		Axes:   []sweep.Axis{{Param: "l1d.size_kb", Min: 4, Max: 64, Mul: 2}},
+	}
+
+	fmt.Printf("L1D sweep on %s @ scale %d (memoizing simulator, warm-chained)\n\n", name, scale)
+	rep, err := sweep.Run(context.Background(), spec, sweep.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("L1D sweep on %s @ scale %d (memoizing simulator)\n", name, scale)
-	fmt.Printf("%8s %12s %10s %10s %10s\n", "L1D", "cycles", "IPC", "L1D miss", "host time")
-	for _, kb := range []int{4, 8, 16, 32, 64} {
-		cfg := uarch.Default()
-		cfg.Mem.L1D.SizeBytes = kb << 10
-		s := fastsim.New(cfg, w.Prog, fastsim.Options{Memoize: true})
-		t0 := time.Now()
-		res := s.Run(0)
-		d := time.Since(t0)
-		fmt.Printf("%6dKB %12d %10.3f %10d %10v\n",
-			kb, res.Cycles, res.IPC(), res.L1DMisses, d.Round(time.Millisecond))
+	if err := rep.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("\nsmaller caches -> more misses -> more cycles; each point re-simulates")
-	fmt.Println("the full program, made cheap by fast-forwarding.")
+	fmt.Println("\nsmaller caches -> more misses -> more cycles; every point after the")
+	fmt.Println("first warm-starts from its predecessor's action cache, and the warm")
+	fmt.Println("results are bit-identical to cold runs (replay verifies every action).")
 }

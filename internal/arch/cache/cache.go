@@ -20,19 +20,87 @@ type Config struct {
 	MSHRs     int    // max outstanding misses (0 = blocking)
 }
 
+// TLBConfig sizes the data TLB: a fully-associative, true-LRU array of
+// page translations consulted on every data access. A miss adds the
+// page-walk penalty to the access latency. Entries <= 0 disables the TLB
+// (a perfect translation path), preserving the behaviour of hand-built
+// hierarchies that predate the model.
+type TLBConfig struct {
+	Entries  int    // translation entries (fully associative)
+	PageBits int    // log2 page size
+	MissLat  uint64 // page-walk penalty added to a missing access
+}
+
+// TLBStats accumulates TLB counters.
+type TLBStats struct {
+	Lookups uint64
+	Misses  uint64
+}
+
+// TLB is the data translation lookaside buffer.
+type TLB struct {
+	cfg   TLBConfig
+	pages []uint64 // virtual page numbers in LRU order, most recent first
+	Stats TLBStats
+}
+
+// NewTLB builds a TLB for cfg (nil-safe to disable: Entries <= 0 always
+// hits and keeps no state).
+func NewTLB(cfg TLBConfig) *TLB {
+	t := &TLB{cfg: cfg}
+	if cfg.Entries > 0 {
+		t.pages = make([]uint64, 0, cfg.Entries)
+	}
+	return t
+}
+
+// Reset clears translations and stats.
+func (t *TLB) Reset() {
+	t.pages = t.pages[:0]
+	t.Stats = TLBStats{}
+}
+
+// Lookup probes the TLB for addr's page, updates LRU order, and installs
+// the page on a miss (the fill is logical; the walk latency is accounted
+// by the hierarchy). It reports a hit.
+func (t *TLB) Lookup(addr uint64) bool {
+	if t.cfg.Entries <= 0 {
+		return true // disabled: perfect translation
+	}
+	t.Stats.Lookups++
+	pg := addr >> uint(t.cfg.PageBits)
+	for i, p := range t.pages {
+		if p == pg {
+			copy(t.pages[1:i+1], t.pages[:i])
+			t.pages[0] = pg
+			return true
+		}
+	}
+	t.Stats.Misses++
+	if len(t.pages) < t.cfg.Entries {
+		t.pages = append(t.pages, 0)
+	}
+	copy(t.pages[1:], t.pages)
+	t.pages[0] = pg
+	return false
+}
+
 // HierarchyConfig describes the full memory system.
 type HierarchyConfig struct {
 	L1I, L1D, L2 Config
-	MemLat       uint64 // latency of a memory access beyond L2
+	TLB          TLBConfig // data TLB (Entries <= 0 disables it)
+	MemLat       uint64    // latency of a memory access beyond L2
 }
 
 // DefaultHierarchy mirrors the class of machine the paper simulates
-// (R10000-era): 32 KB split L1s, 512 KB unified L2.
+// (R10000-era): 32 KB split L1s, 512 KB unified L2, 64-entry data TLB
+// over 4 KB pages.
 func DefaultHierarchy() HierarchyConfig {
 	return HierarchyConfig{
 		L1I:    Config{Name: "L1I", SizeBytes: 32 << 10, LineBytes: 32, Assoc: 2, HitLat: 1, MSHRs: 4},
 		L1D:    Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 32, Assoc: 2, HitLat: 1, MSHRs: 8},
 		L2:     Config{Name: "L2", SizeBytes: 512 << 10, LineBytes: 64, Assoc: 4, HitLat: 8, MSHRs: 8},
+		TLB:    TLBConfig{Entries: 64, PageBits: 12, MissLat: 30},
 		MemLat: 40,
 	}
 }
@@ -162,19 +230,21 @@ func (c *Cache) mshrAllocate(addr, done uint64) {
 
 // Hierarchy is the complete memory system.
 type Hierarchy struct {
-	cfg HierarchyConfig
-	L1I *Cache
-	L1D *Cache
-	L2  *Cache
+	cfg  HierarchyConfig
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	DTLB *TLB
 }
 
 // New builds a hierarchy for cfg.
 func New(cfg HierarchyConfig) *Hierarchy {
 	return &Hierarchy{
-		cfg: cfg,
-		L1I: NewCache(cfg.L1I),
-		L1D: NewCache(cfg.L1D),
-		L2:  NewCache(cfg.L2),
+		cfg:  cfg,
+		L1I:  NewCache(cfg.L1I),
+		L1D:  NewCache(cfg.L1D),
+		L2:   NewCache(cfg.L2),
+		DTLB: NewTLB(cfg.TLB),
 	}
 }
 
@@ -183,6 +253,7 @@ func (h *Hierarchy) Reset() {
 	h.L1I.Reset()
 	h.L1D.Reset()
 	h.L2.Reset()
+	h.DTLB.Reset()
 }
 
 // access runs the two-level protocol through l1 and the shared L2.
@@ -217,10 +288,15 @@ func (h *Hierarchy) access(l1 *Cache, addr, now uint64) uint64 {
 }
 
 // Data performs a data access (load or store) at cycle now and returns its
-// latency in cycles. Stores use the same path (write-allocate,
-// write-back is not separately modeled — timing only).
+// latency in cycles: the TLB walk (on a translation miss) plus the cache
+// protocol. Stores use the same path (write-allocate, write-back is not
+// separately modeled — timing only).
 func (h *Hierarchy) Data(addr, now uint64, write bool) uint64 {
-	return h.access(h.L1D, addr, now)
+	var lat uint64
+	if !h.DTLB.Lookup(addr) {
+		lat = h.cfg.TLB.MissLat
+	}
+	return lat + h.access(h.L1D, addr, now+lat)
 }
 
 // Inst performs an instruction fetch access at cycle now.

@@ -96,7 +96,7 @@ func TestInstAndDataSeparate(t *testing.T) {
 func TestLatencyBounds(t *testing.T) {
 	cfg := DefaultHierarchy()
 	h := New(cfg)
-	maxLat := cfg.L1D.HitLat + cfg.L2.HitLat + cfg.MemLat
+	maxLat := cfg.TLB.MissLat + cfg.L1D.HitLat + cfg.L2.HitLat + cfg.MemLat
 	now := uint64(0)
 	f := func(addr uint32, advance uint8) bool {
 		now += uint64(advance)
@@ -117,5 +117,58 @@ func TestResetClears(t *testing.T) {
 	}
 	if lat := h.Data(0x100, 0, false); lat <= h.cfg.L1D.HitLat {
 		t.Fatal("contents survive reset")
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 2, PageBits: 12, MissLat: 30})
+	if tlb.Lookup(0x1000) {
+		t.Fatal("cold TLB hit")
+	}
+	if !tlb.Lookup(0x1fff) {
+		t.Fatal("same-page access missed")
+	}
+	if tlb.Lookup(0x2000) {
+		t.Fatal("new page hit")
+	}
+	// 0x1xxx is now LRU of {0x2, 0x1}; a third page evicts it.
+	if tlb.Lookup(0x3000) {
+		t.Fatal("new page hit")
+	}
+	if tlb.Lookup(0x1000) {
+		t.Fatal("evicted page still present")
+	}
+	if tlb.Stats.Lookups != 5 || tlb.Stats.Misses != 4 {
+		t.Fatalf("stats %+v", tlb.Stats)
+	}
+}
+
+func TestTLBDisabled(t *testing.T) {
+	tlb := NewTLB(TLBConfig{})
+	for _, a := range []uint64{0, 0x1000, 0xffff_0000} {
+		if !tlb.Lookup(a) {
+			t.Fatal("disabled TLB must always hit")
+		}
+	}
+	if tlb.Stats.Lookups != 0 {
+		t.Fatal("disabled TLB keeps stats")
+	}
+}
+
+func TestTLBMissLatencyAdded(t *testing.T) {
+	cfg := DefaultHierarchy()
+	with := New(cfg)
+	cfg2 := cfg
+	cfg2.TLB.Entries = 0
+	without := New(cfg2)
+	// First touch of a page: cache miss either way, TLB walk only on `with`.
+	lw := with.Data(0x4000, 0, false)
+	lwo := without.Data(0x4000, 0, false)
+	if lw != lwo+cfg.TLB.MissLat {
+		t.Fatalf("TLB-miss latency: with=%d without=%d walk=%d", lw, lwo, cfg.TLB.MissLat)
+	}
+	// Second access on the same page and line: TLB hit, no walk.
+	if l2 := with.Data(0x4000, 100, false); l2 != cfg.L1D.HitLat {
+		t.Fatalf("warm access latency %d", l2)
 	}
 }

@@ -51,11 +51,32 @@ func (c *Cache) LoadState(r *snapshot.Reader) error {
 	return r.Err()
 }
 
-// SaveState serializes all three levels of the hierarchy.
+// SaveState serializes the TLB's dynamic state: the page numbers in LRU
+// order and the (deterministic) stats.
+func (t *TLB) SaveState(w *snapshot.Writer) {
+	w.U64s(t.pages)
+	w.U64(t.Stats.Lookups)
+	w.U64(t.Stats.Misses)
+}
+
+// LoadState restores a TLB built with the same configuration.
+func (t *TLB) LoadState(r *snapshot.Reader) error {
+	pages := r.U64s()
+	if r.Err() == nil && len(pages) > t.cfg.Entries {
+		return fmt.Errorf("cache: snapshot TLB holds %d entries, configured for %d", len(pages), t.cfg.Entries)
+	}
+	t.pages = append(t.pages[:0], pages...)
+	t.Stats.Lookups = r.U64()
+	t.Stats.Misses = r.U64()
+	return r.Err()
+}
+
+// SaveState serializes all three levels of the hierarchy plus the TLB.
 func (h *Hierarchy) SaveState(w *snapshot.Writer) {
 	h.L1I.SaveState(w)
 	h.L1D.SaveState(w)
 	h.L2.SaveState(w)
+	h.DTLB.SaveState(w)
 }
 
 // LoadState restores a hierarchy built with the same configuration.
@@ -66,5 +87,8 @@ func (h *Hierarchy) LoadState(r *snapshot.Reader) error {
 	if err := h.L1D.LoadState(r); err != nil {
 		return err
 	}
-	return h.L2.LoadState(r)
+	if err := h.L2.LoadState(r); err != nil {
+		return err
+	}
+	return h.DTLB.LoadState(r)
 }

@@ -5,6 +5,9 @@
 package uarch
 
 import (
+	"errors"
+	"fmt"
+
 	"facile/internal/arch/bpred"
 	"facile/internal/arch/cache"
 	"facile/internal/isa"
@@ -42,6 +45,107 @@ func Default() Config {
 		Pred:              bpred.DefaultConfig(),
 		Mem:               cache.DefaultHierarchy(),
 	}
+}
+
+// GeometryError reports one invalid micro-architecture parameter. The
+// timing models index sets, ways, and counter tables with masks derived
+// from these values, so a bad geometry would silently alias state and
+// produce garbage results instead of failing; Validate turns it into a
+// typed, per-parameter rejection at configuration time.
+type GeometryError struct {
+	Component string // "L1D", "TLB", "pred", "core", ...
+	Param     string // parameter name within the component
+	Value     int
+	Reason    string
+}
+
+func (e *GeometryError) Error() string {
+	return fmt.Sprintf("uarch: %s.%s = %d: %s", e.Component, e.Param, e.Value, e.Reason)
+}
+
+// geomErr is shorthand for building one finding.
+func geomErr(component, param string, value int, reason string) error {
+	return &GeometryError{Component: component, Param: param, Value: value, Reason: reason}
+}
+
+func powerOfTwo(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// validateCache checks one cache level's geometry: power-of-two size and
+// line, associativity that divides the line count into a power-of-two
+// number of sets (the set index is a mask), and a sane hit latency.
+func validateCache(name string, c cache.Config) []error {
+	var errs []error
+	if !powerOfTwo(c.SizeBytes) {
+		errs = append(errs, geomErr(name, "size_bytes", c.SizeBytes, "must be a power of two"))
+	}
+	if !powerOfTwo(c.LineBytes) || c.LineBytes < 4 {
+		errs = append(errs, geomErr(name, "line_bytes", c.LineBytes, "must be a power of two >= 4"))
+	}
+	if c.Assoc < 1 {
+		errs = append(errs, geomErr(name, "assoc", c.Assoc, "must be >= 1"))
+	}
+	if len(errs) > 0 {
+		return errs // derived checks below would divide by zero or mislead
+	}
+	nLines := c.SizeBytes / c.LineBytes
+	if nLines < 1 {
+		return append(errs, geomErr(name, "size_bytes", c.SizeBytes,
+			fmt.Sprintf("smaller than one %d-byte line", c.LineBytes)))
+	}
+	if nLines%c.Assoc != 0 {
+		return append(errs, geomErr(name, "assoc", c.Assoc,
+			fmt.Sprintf("does not divide the %d-line cache into whole sets", nLines)))
+	}
+	if sets := nLines / c.Assoc; !powerOfTwo(sets) {
+		errs = append(errs, geomErr(name, "assoc", c.Assoc,
+			fmt.Sprintf("yields %d sets; the set count must be a power of two", sets)))
+	}
+	if c.MSHRs < 0 {
+		errs = append(errs, geomErr(name, "mshrs", c.MSHRs, "must be >= 0"))
+	}
+	return errs
+}
+
+// Validate checks the configuration's geometry and returns every finding
+// joined into one error (nil when the configuration is sound). New-style
+// constructors (runcfg.New, sweep expansion, fsimd submission) call it
+// before building an engine.
+func (c Config) Validate() error {
+	var errs []error
+	core := func(param string, v int, min int) {
+		if v < min {
+			errs = append(errs, geomErr("core", param, v, fmt.Sprintf("must be >= %d", min)))
+		}
+	}
+	core("fetch_width", c.FetchWidth, 1)
+	core("commit_width", c.CommitWidth, 1)
+	core("window", c.Window, 1)
+	core("int_alus", c.IntALUs, 1)
+	core("int_muls", c.IntMuls, 1)
+	core("fpus", c.FPUs, 1)
+	core("lsus", c.LSUs, 1)
+
+	if c.Pred.CounterBits < 1 || c.Pred.CounterBits > 30 {
+		errs = append(errs, geomErr("pred", "counter_bits", c.Pred.CounterBits, "must be in [1, 30]"))
+	}
+	if c.Pred.BTBBits < 1 || c.Pred.BTBBits > 30 {
+		errs = append(errs, geomErr("pred", "btb_bits", c.Pred.BTBBits, "must be in [1, 30]"))
+	}
+	if c.Pred.RASDepth < 1 {
+		errs = append(errs, geomErr("pred", "ras_depth", c.Pred.RASDepth, "must be >= 1"))
+	}
+
+	errs = append(errs, validateCache("L1I", c.Mem.L1I)...)
+	errs = append(errs, validateCache("L1D", c.Mem.L1D)...)
+	errs = append(errs, validateCache("L2", c.Mem.L2)...)
+
+	if c.Mem.TLB.Entries < 1 {
+		errs = append(errs, geomErr("TLB", "entries", c.Mem.TLB.Entries, "must be nonzero"))
+	}
+	if c.Mem.TLB.PageBits < 2 || c.Mem.TLB.PageBits > 30 {
+		errs = append(errs, geomErr("TLB", "page_bits", c.Mem.TLB.PageBits, "must be in [2, 30]"))
+	}
+	return errors.Join(errs...)
 }
 
 // FU identifies a functional-unit class.

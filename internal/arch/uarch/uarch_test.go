@@ -1,6 +1,7 @@
 package uarch
 
 import (
+	"errors"
 	"testing"
 
 	"facile/internal/isa"
@@ -66,5 +67,77 @@ func TestResultIPC(t *testing.T) {
 	}
 	if (Result{}).IPC() != 0 {
 		t.Fatal("zero-cycle IPC")
+	}
+}
+
+func TestValidateDefault(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default configuration invalid: %v", err)
+	}
+}
+
+func TestValidateGeometryErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		mutate    func(*Config)
+		component string
+		param     string
+	}{
+		{"non-pow2 L1D size", func(c *Config) { c.Mem.L1D.SizeBytes = 3000 }, "L1D", "size_bytes"},
+		{"non-pow2 line", func(c *Config) { c.Mem.L2.LineBytes = 48 }, "L2", "line_bytes"},
+		{"assoc split", func(c *Config) { c.Mem.L1I.Assoc = 3 }, "L1I", "assoc"},
+		{"zero assoc", func(c *Config) { c.Mem.L1D.Assoc = 0 }, "L1D", "assoc"},
+		{"zero TLB entries", func(c *Config) { c.Mem.TLB.Entries = 0 }, "TLB", "entries"},
+		{"bad page bits", func(c *Config) { c.Mem.TLB.PageBits = 40 }, "TLB", "page_bits"},
+		{"zero window", func(c *Config) { c.Window = 0 }, "core", "window"},
+		{"zero fetch", func(c *Config) { c.FetchWidth = 0 }, "core", "fetch_width"},
+		{"pred bits", func(c *Config) { c.Pred.CounterBits = 0 }, "pred", "counter_bits"},
+		{"ras depth", func(c *Config) { c.Pred.RASDepth = 0 }, "pred", "ras_depth"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Default()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("invalid geometry accepted")
+			}
+			var ge *GeometryError
+			if !errors.As(err, &ge) {
+				t.Fatalf("error is not a GeometryError: %v", err)
+			}
+			found := false
+			for _, e := range multiErrors(err) {
+				var g *GeometryError
+				if errors.As(e, &g) && g.Component == tc.component && g.Param == tc.param {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no finding for %s.%s in: %v", tc.component, tc.param, err)
+			}
+		})
+	}
+}
+
+// multiErrors unwraps an errors.Join result into its parts.
+func multiErrors(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return u.Unwrap()
+	}
+	return []error{err}
+}
+
+func TestValidateCollectsAllFindings(t *testing.T) {
+	cfg := Default()
+	cfg.Mem.L1D.SizeBytes = 3000
+	cfg.Mem.TLB.Entries = 0
+	cfg.Window = 0
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	if n := len(multiErrors(err)); n < 3 {
+		t.Fatalf("expected >= 3 findings, got %d: %v", n, err)
 	}
 }

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Benchmark regression gate: compare a freshly generated BenchOut
+// artifact against a checked-in baseline (BENCH_<n>.json). Deterministic
+// fields (instruction and cycle counts) must match exactly — they encode
+// simulator behavior, not host speed — while throughput rates are only
+// required to stay within a noise band, since CI hosts differ wildly
+// from the machine that produced the baseline.
+
+// DefaultNoiseBand is the fraction of baseline throughput a fresh run
+// may lose before the gate fails (0.5 = fail below half the baseline
+// rate). Generous by design: the gate is for order-of-magnitude
+// regressions (a broken memo table, an accidental O(n²)), not for
+// hardware jitter.
+const DefaultNoiseBand = 0.5
+
+// ReadBenchOut loads a benchmark artifact written by BenchOut.WriteFile.
+func ReadBenchOut(path string) (*BenchOut, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out BenchOut
+	if err := json.Unmarshal(blob, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if out.Schema != "facile-bench/1" {
+		return nil, fmt.Errorf("%s: schema %q, want facile-bench/1", path, out.Schema)
+	}
+	return &out, nil
+}
+
+// Compare checks fresh against baseline and returns one human-readable
+// violation per problem (empty slice = gate passes). band is the
+// allowed fractional throughput loss; pass 0 for DefaultNoiseBand.
+func Compare(baseline, fresh *BenchOut, band float64) []string {
+	if band <= 0 {
+		band = DefaultNoiseBand
+	}
+	var v []string
+	if baseline.Scale != fresh.Scale {
+		return []string{fmt.Sprintf("scale mismatch: baseline %d, fresh %d — runs are not comparable",
+			baseline.Scale, fresh.Scale)}
+	}
+
+	freshRows := make(map[string]Row, len(fresh.Rows))
+	for _, r := range fresh.Rows {
+		freshRows[r.Name] = r
+	}
+	for _, base := range baseline.Rows {
+		row, ok := freshRows[base.Name]
+		if !ok {
+			v = append(v, fmt.Sprintf("%s: missing from fresh run", base.Name))
+			continue
+		}
+		if row.Insts != base.Insts || row.Cycles != base.Cycles {
+			v = append(v, fmt.Sprintf("%s: deterministic drift: %d insts/%d cycles, baseline %d/%d",
+				base.Name, row.Insts, row.Cycles, base.Insts, base.Cycles))
+		}
+		floor := base.MemoMIPS * (1 - band)
+		if row.MemoMIPS < floor {
+			v = append(v, fmt.Sprintf("%s: memoized rate %.2f Msim-i/s below %.2f (baseline %.2f − %d%% band)",
+				base.Name, row.MemoMIPS, floor, base.MemoMIPS, int(band*100)))
+		}
+	}
+
+	freshWarm := make(map[string]WarmRestartRecord, len(fresh.WarmRestart))
+	for _, r := range fresh.WarmRestart {
+		freshWarm[r.Name] = r
+	}
+	for _, base := range baseline.WarmRestart {
+		rec, ok := freshWarm[base.Name]
+		if !ok {
+			v = append(v, fmt.Sprintf("%s: missing warm-restart record", base.Name))
+			continue
+		}
+		// A warm restart replays the whole run from cache; it can never
+		// fast-forward less than the cold run that populated it.
+		if rec.WarmFastFwdPct < rec.ColdFastFwdPct {
+			v = append(v, fmt.Sprintf("%s: warm run fast-forwarded %.2f%%, below its own cold run's %.2f%%",
+				base.Name, rec.WarmFastFwdPct, rec.ColdFastFwdPct))
+		}
+	}
+	return v
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateFixture() (*BenchOut, *BenchOut) {
+	base := &BenchOut{
+		Schema: "facile-bench/1",
+		Scale:  1,
+		Rows: []Row{
+			{Name: "a", Insts: 1000, Cycles: 1200, MemoMIPS: 20},
+			{Name: "b", Insts: 2000, Cycles: 2400, MemoMIPS: 30},
+		},
+		WarmRestart: []WarmRestartRecord{
+			{Name: "a", ColdFastFwdPct: 98, WarmFastFwdPct: 100},
+		},
+	}
+	fresh := &BenchOut{
+		Schema: "facile-bench/1",
+		Scale:  1,
+		Rows: []Row{
+			{Name: "a", Insts: 1000, Cycles: 1200, MemoMIPS: 18},
+			{Name: "b", Insts: 2000, Cycles: 2400, MemoMIPS: 31},
+		},
+		WarmRestart: []WarmRestartRecord{
+			{Name: "a", ColdFastFwdPct: 98, WarmFastFwdPct: 100},
+		},
+	}
+	return base, fresh
+}
+
+func TestCompareCleanRunPasses(t *testing.T) {
+	base, fresh := gateFixture()
+	if v := Compare(base, fresh, 0); len(v) != 0 {
+		t.Fatalf("clean run flagged: %v", v)
+	}
+}
+
+func TestCompareCatchesRegressions(t *testing.T) {
+	check := func(mutate func(*BenchOut), want string) {
+		t.Helper()
+		base, fresh := gateFixture()
+		mutate(fresh)
+		v := Compare(base, fresh, 0)
+		if len(v) == 0 {
+			t.Fatalf("mutation %q not flagged", want)
+		}
+		if !strings.Contains(strings.Join(v, "\n"), want) {
+			t.Fatalf("violations %v missing %q", v, want)
+		}
+	}
+	check(func(f *BenchOut) { f.Rows[0].Cycles++ }, "deterministic drift")
+	check(func(f *BenchOut) { f.Rows[1].MemoMIPS = 10 }, "below")
+	check(func(f *BenchOut) { f.Rows = f.Rows[:1] }, "missing from fresh run")
+	check(func(f *BenchOut) { f.Scale = 2 }, "scale mismatch")
+	check(func(f *BenchOut) { f.WarmRestart[0].WarmFastFwdPct = 50 }, "below its own cold run")
+	check(func(f *BenchOut) { f.WarmRestart = nil }, "missing warm-restart record")
+}
+
+func TestCompareNoiseBandIsGenerous(t *testing.T) {
+	base, fresh := gateFixture()
+	// 45% slower than baseline: inside the default 50% band.
+	fresh.Rows[0].MemoMIPS = base.Rows[0].MemoMIPS * 0.55
+	if v := Compare(base, fresh, 0); len(v) != 0 {
+		t.Fatalf("in-band slowdown flagged: %v", v)
+	}
+	// A tighter band catches it.
+	if v := Compare(base, fresh, 0.25); len(v) == 0 {
+		t.Fatal("out-of-band slowdown not flagged")
+	}
+}
+
+func TestReadBenchOutRoundTrip(t *testing.T) {
+	base, _ := gateFixture()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := base.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchOut(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Compare(base, got, 0); len(v) != 0 {
+		t.Fatalf("round-trip drifted: %v", v)
+	}
+	if _, err := ReadBenchOut(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

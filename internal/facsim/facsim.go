@@ -273,6 +273,19 @@ type Options struct {
 	// is the sampling interval in executed operations (0 = default).
 	Obs         *obs.Recorder
 	SampleEvery uint64
+
+	// Uarch overrides the external timing components (predictor tables,
+	// cache hierarchy) for the timing simulators; nil = uarch.Default().
+	// The functional simulator ignores it.
+	Uarch *uarch.Config
+}
+
+// uarchConfig resolves the effective micro-architecture.
+func (o Options) uarchConfig() uarch.Config {
+	if o.Uarch != nil {
+		return *o.Uarch
+	}
+	return uarch.Default()
 }
 
 func (o Options) rtOptions() rt.Options {
@@ -327,7 +340,7 @@ func NewInOrder(prog *loader.Program, opt Options) (*Instance, error) {
 	if err := env.registerBase(m); err != nil {
 		return nil, err
 	}
-	if err := env.registerTiming(m, uarch.Default()); err != nil {
+	if err := env.registerTiming(m, opt.uarchConfig()); err != nil {
 		return nil, err
 	}
 	if err := m.SetIntArgs(int64(prog.Entry)); err != nil {
@@ -348,7 +361,7 @@ func NewOOO(prog *loader.Program, opt Options) (*Instance, error) {
 	if err := env.registerBase(m); err != nil {
 		return nil, err
 	}
-	if err := env.registerTiming(m, uarch.Default()); err != nil {
+	if err := env.registerTiming(m, opt.uarchConfig()); err != nil {
 		return nil, err
 	}
 	// main(iq, fpc, flags, resume)
@@ -416,7 +429,7 @@ func NewOOOCustom(prog *loader.Program, opt Options, copt core.Options) (*Instan
 	if err := env.registerBase(m); err != nil {
 		return nil, err
 	}
-	if err := env.registerTiming(m, uarch.Default()); err != nil {
+	if err := env.registerTiming(m, opt.uarchConfig()); err != nil {
 		return nil, err
 	}
 	if err := m.SetIntArgs(int64(prog.Entry), 0, 0); err != nil {

@@ -1,0 +1,35 @@
+package runcfg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// LineageKey identifies a cache lineage: runs with equal keys execute the
+// same program under the same specialization-relevant configuration, so
+// their action caches are interchangeable. The job server and the sweep
+// subsystem both key warm-cache sharing on it, which is why it lives here
+// rather than in either of them.
+//
+// For the hand-coded fast simulator the key folds in the core scheduling
+// parameters (CoreFragment): those are baked into the memoized action
+// sequences. Memory-system and predictor axes are deliberately excluded —
+// their per-action results are verified during replay and self-correct
+// through miss recovery, so caches built under different cache/TLB/
+// predictor geometries remain exact and interchangeable. The fac-*
+// engines' core parameters live in the Facile descriptions themselves
+// (covered by the engine name), so no fragment applies.
+func LineageKey(bench string, scale int, asmSrc, engine string, memoize bool, capBytes uint64, u *UarchSpec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "bench=%s|scale=%d|", bench, scale)
+	if asmSrc != "" {
+		src := sha256.Sum256([]byte(asmSrc))
+		fmt.Fprintf(h, "asm=%x|", src)
+	}
+	fmt.Fprintf(h, "engine=%s|memo=%v|cap=%d", engine, memoize, capBytes)
+	if engine == EngineFastsim {
+		fmt.Fprintf(h, "|core=%s", CoreFragment(u.Effective()))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

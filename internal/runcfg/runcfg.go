@@ -62,8 +62,22 @@ type Config struct {
 	SelfCheck     float64 // fraction of replayable steps re-verified slow
 	Inject        *faults.Injector
 
+	// Uarch overrides the simulated micro-architecture for the timing
+	// engines (nil = uarch.Default()). New validates the geometry and
+	// rejects overrides on purely functional engines, where the core
+	// configuration has no meaning.
+	Uarch *uarch.Config
+
 	Obs         *obs.Recorder
 	SampleEvery uint64
+}
+
+// EffectiveUarch resolves the configuration the timing engines will use.
+func (c Config) EffectiveUarch() uarch.Config {
+	if c.Uarch != nil {
+		return *c.Uarch
+	}
+	return uarch.Default()
 }
 
 // Memoizing reports whether this configuration builds an action cache.
@@ -158,13 +172,23 @@ type Runner interface {
 
 // New builds a Runner for cfg.Engine over prog.
 func New(prog *loader.Program, cfg Config) (Runner, error) {
+	uc := cfg.EffectiveUarch()
+	if cfg.Uarch != nil {
+		switch cfg.Engine {
+		case EngineFunc, EngineFacFunc:
+			return nil, fmt.Errorf("engine %q is purely functional; a uarch override has no effect there", cfg.Engine)
+		}
+		if err := uc.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	switch cfg.Engine {
 	case EngineFunc:
 		st := funcsim.NewState(prog)
 		st.SetObs(cfg.Obs, cfg.SampleEvery)
 		return &funcRunner{st: st, prog: prog}, nil
 	case EngineOOO:
-		s := ooo.New(uarch.Default(), prog)
+		s := ooo.New(uc, prog)
 		s.SetObs(cfg.Obs, cfg.SampleEvery)
 		return &oooRunner{s: s}, nil
 	case EngineFastsim:
@@ -176,7 +200,7 @@ func New(prog *loader.Program, cfg Config) (Runner, error) {
 			Obs:           cfg.Obs,
 			SampleEvery:   cfg.SampleEvery,
 		}
-		return &fastsimRunner{s: fastsim.New(uarch.Default(), prog, opt)}, nil
+		return &fastsimRunner{s: fastsim.New(uc, prog, opt)}, nil
 	case EngineFacFunc, EngineFacInOrder, EngineFacOOO:
 		mk := map[string]func(*loader.Program, facsim.Options) (*facsim.Instance, error){
 			EngineFacFunc:    facsim.NewFunctional,
@@ -190,6 +214,7 @@ func New(prog *loader.Program, cfg Config) (Runner, error) {
 			Inject:        cfg.Inject,
 			Obs:           cfg.Obs,
 			SampleEvery:   cfg.SampleEvery,
+			Uarch:         cfg.Uarch,
 		})
 		if err != nil {
 			return nil, err

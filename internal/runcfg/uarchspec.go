@@ -1,0 +1,295 @@
+package runcfg
+
+// UarchSpec is the JSON wire format for per-run micro-architecture
+// overrides: the design-space axes a sweep varies (cache geometry, TLB
+// size, branch-predictor tables) plus the core parameters. Every field
+// follows zero-means-default semantics — an omitted or zero field keeps
+// the uarch.Default() value — so a spec names only what it changes and
+// two specs that produce the same effective configuration are
+// interchangeable.
+//
+// The spec splits into two specialization classes, which is what makes
+// design-space sweeps cheap:
+//
+//   - Core parameters (widths, window, functional units, mispredict
+//     penalty) are compiled into the memoized action sequences: the slow
+//     simulator's schedule depends on them, and replay trusts the recorded
+//     inter-action cycle deltas. Caches built under different core
+//     parameters are NOT interchangeable; CoreFragment captures this
+//     subset for the lineage key.
+//
+//   - Memory-system and predictor parameters (L1/L2 geometry, TLB,
+//     gshare/BTB/RAS sizes) configure external dynamic components whose
+//     results (latencies, predictions) are verified action-by-action
+//     during replay. A warm cache built under one memory configuration
+//     adopted into another self-corrects through the ordinary mid-step
+//     miss/recovery path, so sweep points that differ only in these axes
+//     share one cache lineage — the reason consecutive sweep points warm-
+//     start off each other.
+
+import (
+	"fmt"
+
+	"facile/internal/arch/bpred"
+	"facile/internal/arch/cache"
+	"facile/internal/arch/uarch"
+)
+
+// CacheSpec overrides one cache level's geometry (0 = keep default).
+type CacheSpec struct {
+	SizeBytes int `json:"size_bytes,omitempty"`
+	LineBytes int `json:"line_bytes,omitempty"`
+	Assoc     int `json:"assoc,omitempty"`
+}
+
+// PredSpec overrides the branch predictor's table sizes (0 = keep
+// default).
+type PredSpec struct {
+	CounterBits int `json:"counter_bits,omitempty"`
+	BTBBits     int `json:"btb_bits,omitempty"`
+	RASDepth    int `json:"ras_depth,omitempty"`
+}
+
+// UarchSpec is the full override set. See the package comment above for
+// the zero-means-default and specialization-class semantics.
+type UarchSpec struct {
+	// Core (memoization-relevant: changes the cache lineage).
+	FetchWidth        int `json:"fetch_width,omitempty"`
+	CommitWidth       int `json:"commit_width,omitempty"`
+	Window            int `json:"window,omitempty"`
+	IntALUs           int `json:"int_alus,omitempty"`
+	IntMuls           int `json:"int_muls,omitempty"`
+	FPUs              int `json:"fpus,omitempty"`
+	LSUs              int `json:"lsus,omitempty"`
+	MispredictPenalty int `json:"mispredict_penalty,omitempty"`
+
+	// Memory system (external, replay-verified: lineage-neutral).
+	L1I        *CacheSpec `json:"l1i,omitempty"`
+	L1D        *CacheSpec `json:"l1d,omitempty"`
+	L2         *CacheSpec `json:"l2,omitempty"`
+	MemLat     int        `json:"mem_lat,omitempty"`
+	TLBEntries int        `json:"tlb_entries,omitempty"`
+	TLBMissLat int        `json:"tlb_miss_lat,omitempty"`
+
+	// Branch predictor (external, replay-verified: lineage-neutral).
+	Pred *PredSpec `json:"pred,omitempty"`
+}
+
+// IsZero reports whether the spec overrides nothing (nil-safe).
+func (s *UarchSpec) IsZero() bool {
+	return s == nil || *s == UarchSpec{} ||
+		(s.withoutPointers() == UarchSpec{} && s.L1I.isZero() && s.L1D.isZero() && s.L2.isZero() && s.Pred.isZero())
+}
+
+func (s *UarchSpec) withoutPointers() UarchSpec {
+	c := *s
+	c.L1I, c.L1D, c.L2, c.Pred = nil, nil, nil, nil
+	return c
+}
+
+func (c *CacheSpec) isZero() bool { return c == nil || *c == CacheSpec{} }
+func (p *PredSpec) isZero() bool  { return p == nil || *p == PredSpec{} }
+
+// Clone returns an independent deep copy (nil-safe).
+func (s *UarchSpec) Clone() *UarchSpec {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	if s.L1I != nil {
+		v := *s.L1I
+		c.L1I = &v
+	}
+	if s.L1D != nil {
+		v := *s.L1D
+		c.L1D = &v
+	}
+	if s.L2 != nil {
+		v := *s.L2
+		c.L2 = &v
+	}
+	if s.Pred != nil {
+		v := *s.Pred
+		c.Pred = &v
+	}
+	return &c
+}
+
+func (c *CacheSpec) apply(dst *cache.Config) {
+	if c == nil {
+		return
+	}
+	if c.SizeBytes != 0 {
+		dst.SizeBytes = c.SizeBytes
+	}
+	if c.LineBytes != 0 {
+		dst.LineBytes = c.LineBytes
+	}
+	if c.Assoc != 0 {
+		dst.Assoc = c.Assoc
+	}
+}
+
+func (p *PredSpec) apply(dst *bpred.Config) {
+	if p == nil {
+		return
+	}
+	if p.CounterBits != 0 {
+		dst.CounterBits = p.CounterBits
+	}
+	if p.BTBBits != 0 {
+		dst.BTBBits = p.BTBBits
+	}
+	if p.RASDepth != 0 {
+		dst.RASDepth = p.RASDepth
+	}
+}
+
+// Apply overlays the spec's non-zero fields onto base and returns the
+// effective configuration (nil-safe: a nil spec returns base unchanged).
+// The result is NOT validated; callers run uarch.Config.Validate before
+// building an engine.
+func (s *UarchSpec) Apply(base uarch.Config) uarch.Config {
+	if s == nil {
+		return base
+	}
+	set := func(dst *int, v int) {
+		if v != 0 {
+			*dst = v
+		}
+	}
+	set(&base.FetchWidth, s.FetchWidth)
+	set(&base.CommitWidth, s.CommitWidth)
+	set(&base.Window, s.Window)
+	set(&base.IntALUs, s.IntALUs)
+	set(&base.IntMuls, s.IntMuls)
+	set(&base.FPUs, s.FPUs)
+	set(&base.LSUs, s.LSUs)
+	if s.MispredictPenalty != 0 {
+		base.MispredictPenalty = uint64(s.MispredictPenalty)
+	}
+	s.L1I.apply(&base.Mem.L1I)
+	s.L1D.apply(&base.Mem.L1D)
+	s.L2.apply(&base.Mem.L2)
+	if s.MemLat != 0 {
+		base.Mem.MemLat = uint64(s.MemLat)
+	}
+	if s.TLBEntries != 0 {
+		base.Mem.TLB.Entries = s.TLBEntries
+	}
+	if s.TLBMissLat != 0 {
+		base.Mem.TLB.MissLat = uint64(s.TLBMissLat)
+	}
+	s.Pred.apply(&base.Pred)
+	return base
+}
+
+// Effective resolves the spec against the default micro-architecture.
+func (s *UarchSpec) Effective() uarch.Config { return s.Apply(uarch.Default()) }
+
+// CoreFragment canonicalizes the memoization-relevant subset of a
+// configuration — the parameters the recorded action schedules depend on.
+// Two runs whose fragments differ must not share an action cache; runs
+// that differ only elsewhere (cache geometry, TLB, predictor tables) may,
+// because those components' results are verified during replay.
+func CoreFragment(u uarch.Config) string {
+	return fmt.Sprintf("fw=%d,cw=%d,win=%d,alu=%d,mul=%d,fpu=%d,lsu=%d,mp=%d",
+		u.FetchWidth, u.CommitWidth, u.Window,
+		u.IntALUs, u.IntMuls, u.FPUs, u.LSUs, u.MispredictPenalty)
+}
+
+// SetParam sets one named design-space parameter on the spec. The
+// parameter vocabulary is the sweep axis namespace:
+//
+//	l1i.size_kb   l1i.size_bytes   l1i.line   l1i.assoc     (same for l1d, l2)
+//	tlb.entries   tlb.miss_lat     mem.lat
+//	pred.counter_bits   pred.btb_bits   pred.ras_depth
+//	core.fetch_width  core.commit_width  core.window  core.int_alus
+//	core.int_muls     core.fpus          core.lsus    core.mispredict_penalty
+func (s *UarchSpec) SetParam(name string, value int64) error {
+	v := int(value)
+	cacheFor := func(p **CacheSpec) *CacheSpec {
+		if *p == nil {
+			*p = &CacheSpec{}
+		}
+		return *p
+	}
+	switch name {
+	case "l1i.size_kb":
+		cacheFor(&s.L1I).SizeBytes = v << 10
+	case "l1i.size_bytes":
+		cacheFor(&s.L1I).SizeBytes = v
+	case "l1i.line":
+		cacheFor(&s.L1I).LineBytes = v
+	case "l1i.assoc":
+		cacheFor(&s.L1I).Assoc = v
+	case "l1d.size_kb":
+		cacheFor(&s.L1D).SizeBytes = v << 10
+	case "l1d.size_bytes":
+		cacheFor(&s.L1D).SizeBytes = v
+	case "l1d.line":
+		cacheFor(&s.L1D).LineBytes = v
+	case "l1d.assoc":
+		cacheFor(&s.L1D).Assoc = v
+	case "l2.size_kb":
+		cacheFor(&s.L2).SizeBytes = v << 10
+	case "l2.size_bytes":
+		cacheFor(&s.L2).SizeBytes = v
+	case "l2.line":
+		cacheFor(&s.L2).LineBytes = v
+	case "l2.assoc":
+		cacheFor(&s.L2).Assoc = v
+	case "tlb.entries":
+		s.TLBEntries = v
+	case "tlb.miss_lat":
+		s.TLBMissLat = v
+	case "mem.lat":
+		s.MemLat = v
+	case "pred.counter_bits":
+		s.predFor().CounterBits = v
+	case "pred.btb_bits":
+		s.predFor().BTBBits = v
+	case "pred.ras_depth":
+		s.predFor().RASDepth = v
+	case "core.fetch_width":
+		s.FetchWidth = v
+	case "core.commit_width":
+		s.CommitWidth = v
+	case "core.window":
+		s.Window = v
+	case "core.int_alus":
+		s.IntALUs = v
+	case "core.int_muls":
+		s.IntMuls = v
+	case "core.fpus":
+		s.FPUs = v
+	case "core.lsus":
+		s.LSUs = v
+	case "core.mispredict_penalty":
+		s.MispredictPenalty = v
+	default:
+		return fmt.Errorf("runcfg: unknown uarch parameter %q", name)
+	}
+	return nil
+}
+
+func (s *UarchSpec) predFor() *PredSpec {
+	if s.Pred == nil {
+		s.Pred = &PredSpec{}
+	}
+	return s.Pred
+}
+
+// Params lists the valid SetParam names, for error messages and docs.
+func Params() []string {
+	return []string{
+		"l1i.size_kb", "l1i.size_bytes", "l1i.line", "l1i.assoc",
+		"l1d.size_kb", "l1d.size_bytes", "l1d.line", "l1d.assoc",
+		"l2.size_kb", "l2.size_bytes", "l2.line", "l2.assoc",
+		"tlb.entries", "tlb.miss_lat", "mem.lat",
+		"pred.counter_bits", "pred.btb_bits", "pred.ras_depth",
+		"core.fetch_width", "core.commit_width", "core.window",
+		"core.int_alus", "core.int_muls", "core.fpus", "core.lsus",
+		"core.mispredict_penalty",
+	}
+}

@@ -1,0 +1,166 @@
+package runcfg
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"facile/internal/arch/uarch"
+	"facile/internal/isa/loader"
+	"facile/internal/workloads"
+)
+
+func TestUarchSpecZeroMeansDefault(t *testing.T) {
+	def := uarch.Default()
+	var s *UarchSpec
+	if got := s.Apply(def); got.FetchWidth != def.FetchWidth || got.Mem.L1D != def.Mem.L1D {
+		t.Fatalf("nil spec changed the config: %+v", got)
+	}
+	if !s.IsZero() {
+		t.Fatal("nil spec not zero")
+	}
+	empty := &UarchSpec{L1D: &CacheSpec{}}
+	if !empty.IsZero() {
+		t.Fatal("empty-override spec not zero")
+	}
+	if got := empty.Effective(); got.Mem.L1D != def.Mem.L1D {
+		t.Fatalf("empty cache override changed L1D: %+v", got.Mem.L1D)
+	}
+}
+
+func TestUarchSpecApplyOverlays(t *testing.T) {
+	def := uarch.Default()
+	spec := &UarchSpec{
+		Window:     64,
+		L1D:        &CacheSpec{SizeBytes: 8 << 10},
+		TLBEntries: 16,
+		Pred:       &PredSpec{BTBBits: 8},
+	}
+	got := spec.Apply(def)
+	if got.Window != 64 {
+		t.Fatalf("window = %d", got.Window)
+	}
+	if got.Mem.L1D.SizeBytes != 8<<10 || got.Mem.L1D.LineBytes != def.Mem.L1D.LineBytes {
+		t.Fatalf("L1D overlay wrong: %+v", got.Mem.L1D)
+	}
+	if got.Mem.TLB.Entries != 16 || got.Mem.TLB.MissLat != def.Mem.TLB.MissLat {
+		t.Fatalf("TLB overlay wrong: %+v", got.Mem.TLB)
+	}
+	if got.Pred.BTBBits != 8 || got.Pred.CounterBits != def.Pred.CounterBits {
+		t.Fatalf("pred overlay wrong: %+v", got.Pred)
+	}
+	// Untouched axes keep their defaults.
+	if got.FetchWidth != def.FetchWidth || got.Mem.L2 != def.Mem.L2 {
+		t.Fatal("unrelated fields changed")
+	}
+}
+
+func TestUarchSpecSetParam(t *testing.T) {
+	for _, name := range Params() {
+		var s UarchSpec
+		if err := s.SetParam(name, 8); err != nil {
+			t.Fatalf("SetParam(%q): %v", name, err)
+		}
+		if s.IsZero() {
+			t.Fatalf("SetParam(%q) left the spec zero", name)
+		}
+	}
+	var s UarchSpec
+	if err := s.SetParam("l1d.size_kb", 64); err != nil {
+		t.Fatal(err)
+	}
+	if s.L1D.SizeBytes != 64<<10 {
+		t.Fatalf("size_kb scaling: %d", s.L1D.SizeBytes)
+	}
+	if err := s.SetParam("bogus.axis", 1); err == nil || !strings.Contains(err.Error(), "bogus.axis") {
+		t.Fatalf("unknown param error: %v", err)
+	}
+}
+
+func TestUarchSpecJSONRoundTrip(t *testing.T) {
+	in := []byte(`{"window":48,"l1d":{"size_bytes":16384,"assoc":4},"tlb_entries":32}`)
+	var s UarchSpec
+	if err := json.Unmarshal(in, &s); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Effective()
+	if got.Window != 48 || got.Mem.L1D.SizeBytes != 16384 || got.Mem.L1D.Assoc != 4 || got.Mem.TLB.Entries != 32 {
+		t.Fatalf("decoded effective config: %+v", got)
+	}
+	out, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// omitempty keeps the wire form minimal: no default-valued noise.
+	if strings.Contains(string(out), "fetch_width") || strings.Contains(string(out), "l2") {
+		t.Fatalf("marshal leaked zero fields: %s", out)
+	}
+}
+
+func TestCoreFragmentTracksOnlyCoreParams(t *testing.T) {
+	base := CoreFragment(uarch.Default())
+	mem := (&UarchSpec{L1D: &CacheSpec{SizeBytes: 4 << 10}, TLBEntries: 8, Pred: &PredSpec{BTBBits: 4}}).Effective()
+	if CoreFragment(mem) != base {
+		t.Fatal("memory/pred axes leaked into the core fragment")
+	}
+	core := (&UarchSpec{Window: 64}).Effective()
+	if CoreFragment(core) == base {
+		t.Fatal("core axis did not change the fragment")
+	}
+}
+
+func testProg(t *testing.T) *loader.Program {
+	t.Helper()
+	w, err := workloads.Get("129.compress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Prog
+}
+
+func TestNewRejectsInvalidUarch(t *testing.T) {
+	prog := testProg(t)
+	bad := (&UarchSpec{L1D: &CacheSpec{SizeBytes: 3000}}).Effective()
+	_, err := New(prog, Config{Engine: EngineOOO, Uarch: &bad})
+	var ge *uarch.GeometryError
+	if !errors.As(err, &ge) {
+		t.Fatalf("want GeometryError, got %v", err)
+	}
+	// The same config passes when only valid axes are overridden.
+	good := (&UarchSpec{L1D: &CacheSpec{SizeBytes: 4 << 10}}).Effective()
+	if _, err := New(prog, Config{Engine: EngineOOO, Uarch: &good}); err != nil {
+		t.Fatalf("valid override rejected: %v", err)
+	}
+}
+
+func TestNewRejectsUarchOnFunctionalEngines(t *testing.T) {
+	prog := testProg(t)
+	u := uarch.Default()
+	for _, eng := range []string{EngineFunc, EngineFacFunc} {
+		if _, err := New(prog, Config{Engine: eng, Uarch: &u}); err == nil {
+			t.Fatalf("engine %s accepted a uarch override", eng)
+		}
+	}
+	// Nil override is fine everywhere.
+	if _, err := New(prog, Config{Engine: EngineFunc}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimingEnginesHonorUarch(t *testing.T) {
+	prog := testProg(t)
+	u := (&UarchSpec{L1D: &CacheSpec{SizeBytes: 4 << 10}}).Effective()
+	for _, eng := range []string{EngineOOO, EngineFastsim, EngineFacInOrder, EngineFacOOO} {
+		r, err := New(prog, Config{Engine: eng, Uarch: &u})
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if err := r.Run(0); err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if !r.Done() {
+			t.Fatalf("%s did not finish", eng)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"facile/internal/cachestore"
+	"facile/internal/sweep"
 )
 
 // HTTP/JSON API:
@@ -19,6 +20,14 @@ import (
 //	GET    /v1/jobs/{id}/events chunked JSON lines: the job's sampled time
 //	                            series as it runs, then a final status line
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	POST   /v1/sweeps           start a design-space sweep (SweepRequest);
+//	                            202 + SweepStatus; each point runs as an
+//	                            ordinary queued job
+//	GET    /v1/sweeps           list sweeps
+//	GET    /v1/sweeps/{id}      one sweep's status (full report once done)
+//	GET    /v1/sweeps/{id}/events  NDJSON: one "point" line per settled
+//	                            point, then a final "sweep" status line
+//	DELETE /v1/sweeps/{id}      cancel a running sweep
 //	GET    /v1/metrics          aggregate metrics registry (includes the
 //	                            serve.warm_* occupancy gauges)
 //	GET    /v1/caches           list persisted warm-cache records
@@ -39,6 +48,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/caches", s.handleCacheList)
 	mux.HandleFunc("GET /v1/caches/{key}", s.handleCacheExport)
@@ -205,6 +219,111 @@ func (s *Server) handleCacheDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 	default:
 		writeJSON(w, http.StatusOK, map[string]string{"state": "deleted"})
+	}
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.StartSweep(req)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.ListSweeps())
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.SweepStatus(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	err := s.CancelSweep(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownSweep):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrSweepDone):
+		writeErr(w, http.StatusConflict, err)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"state": "canceling"})
+	}
+}
+
+// sweepEventLine is one line of the sweep events stream: a settled point
+// ("point") while the sweep runs, then one terminal "sweep" status line.
+type sweepEventLine struct {
+	Type  string             `json:"type"`
+	Point *sweep.PointResult `json:"point,omitempty"`
+	Sweep *SweepStatus       `json:"sweep,omitempty"`
+}
+
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	doneCh, err := s.SweepDone(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	cursor := 0
+	flush := func() bool {
+		events, _, err := s.SweepEventsSince(id, cursor)
+		if err != nil {
+			return false
+		}
+		for i := range events {
+			if enc.Encode(sweepEventLine{Type: "point", Point: &events[i]}) != nil {
+				return false
+			}
+		}
+		cursor += len(events)
+		if len(events) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	ticker := time.NewTicker(eventsPollInterval)
+	defer ticker.Stop()
+	terminal := false
+	for !terminal {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-doneCh:
+			terminal = true
+		case <-ticker.C:
+		}
+		if !flush() {
+			return
+		}
+	}
+	if st, err := s.SweepStatus(id); err == nil {
+		_ = enc.Encode(sweepEventLine{Type: "sweep", Sweep: &st})
+	}
+	if flusher != nil {
+		flusher.Flush()
 	}
 }
 

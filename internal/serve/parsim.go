@@ -44,7 +44,11 @@ func (s *Server) runParsimAttempt(ctx context.Context, j *Job) (jobOutcome, erro
 		Obs:           rec,
 		SampleEvery:   j.req.SampleEvery,
 	}
-	m, err := parsim.RunIntervalsCtx(runCtx, uarch.Default(), prog, plan, opt, j.req.ParsimWorkers)
+	uc := uarch.Default()
+	if !j.req.Uarch.IsZero() {
+		uc = j.req.Uarch.Effective()
+	}
+	m, err := parsim.RunIntervalsCtx(runCtx, uc, prog, plan, opt, j.req.ParsimWorkers)
 	if err != nil {
 		switch {
 		case s.drainCtx.Err() != nil:

@@ -16,8 +16,6 @@ package serve
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"strconv"
@@ -86,6 +84,13 @@ type JobRequest struct {
 
 	SampleEvery uint64 `json:"sample_every,omitempty"` // obs sampling stride
 
+	// Uarch overrides the simulated micro-architecture (timing engines
+	// only; nil = defaults). Memory-system and predictor overrides keep
+	// the job in the same cache lineage as default-config jobs — their
+	// results are verified during replay — while core overrides (widths,
+	// window, FU counts) fork a new lineage.
+	Uarch *runcfg.UarchSpec `json:"uarch,omitempty"`
+
 	// NoVet skips the static-analysis preflight of the bundled Facile
 	// description (fac-* engines). Without it, submissions whose engine
 	// fails vet with error-severity findings are rejected.
@@ -117,18 +122,32 @@ func (r *JobRequest) Validate() error {
 	if r.ParsimWorkers > 1 && r.IntervalInsts == 0 {
 		r.IntervalInsts = 1 << 20
 	}
+	if !r.Uarch.IsZero() {
+		switch r.Engine {
+		case runcfg.EngineFunc, runcfg.EngineFacFunc:
+			return fmt.Errorf("engine %q is purely functional; uarch overrides do not apply", r.Engine)
+		}
+		if err := r.Uarch.Effective().Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // runcfgConfig maps the request onto the shared run-setup layer.
 func (r *JobRequest) runcfgConfig(rec *obs.Recorder) runcfg.Config {
-	return runcfg.Config{
+	cfg := runcfg.Config{
 		Engine:        r.Engine,
 		Memoize:       r.Memoize,
 		CacheCapBytes: r.CacheCapBytes,
 		Obs:           rec,
 		SampleEvery:   r.SampleEvery,
 	}
+	if !r.Uarch.IsZero() {
+		uc := r.Uarch.Effective()
+		cfg.Uarch = &uc
+	}
+	return cfg
 }
 
 // LineageKey identifies the job's cache lineage: jobs with equal keys run
@@ -140,14 +159,7 @@ func (r *JobRequest) LineageKey() string {
 	if !cfg.Memoizing() || r.ParsimWorkers > 1 {
 		return ""
 	}
-	h := sha256.New()
-	fmt.Fprintf(h, "bench=%s|scale=%d|", r.Bench, r.Scale)
-	if r.Asm != "" {
-		src := sha256.Sum256([]byte(r.Asm))
-		fmt.Fprintf(h, "asm=%x|", src)
-	}
-	fmt.Fprintf(h, "engine=%s|memo=%v|cap=%d", r.Engine, r.Memoize, r.CacheCapBytes)
-	return hex.EncodeToString(h.Sum(nil))[:16]
+	return runcfg.LineageKey(r.Bench, r.Scale, r.Asm, r.Engine, r.Memoize, r.CacheCapBytes, r.Uarch)
 }
 
 // program assembles the job's program.
@@ -283,6 +295,13 @@ type Server struct {
 	nextID   uint64
 	lineages map[string]*lineage
 
+	// Sweeps (see sweep.go): design-space sweeps running as batches of
+	// ordinary jobs. sweepWg tracks their driver goroutines for Drain.
+	sweeps     map[string]*sweepRec
+	sweepOrder []string
+	sweepSeq   uint64
+	sweepWg    sync.WaitGroup
+
 	drainCtx    context.Context
 	drainCancel context.CancelFunc
 	wg          sync.WaitGroup
@@ -330,6 +349,7 @@ func New(cfg Config) *Server {
 		jobs:        make(map[string]*Job),
 		queue:       make(chan *Job, cfg.QueueDepth),
 		lineages:    make(map[string]*lineage),
+		sweeps:      make(map[string]*sweepRec),
 		drainCtx:    ctx,
 		drainCancel: cancel,
 		warmBytes:   rec.Registry().Gauge("serve.warm_bytes"),
@@ -549,6 +569,12 @@ func (s *Server) Drain() []RequeuedJob {
 	}
 	s.draining = true
 	s.mu.Unlock()
+
+	// Sweeps first: their driver goroutines own in-flight jobs, so cancel
+	// them and wait until every sweep-owned job has settled before the
+	// workers checkpoint. Sweep points are cheap batch work — they cancel,
+	// they do not checkpoint.
+	s.cancelSweepsForDrain()
 
 	s.drainCancel() // running jobs checkpoint; idle workers exit
 	s.wg.Wait()

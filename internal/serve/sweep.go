@@ -1,0 +1,342 @@
+package serve
+
+// Design-space sweeps as first-class server jobs: POST /v1/sweeps expands
+// a sweep.Spec and runs every point through the ordinary job queue — each
+// point is a normal job, subject to the same bounded-queue backpressure,
+// timeouts, cancellation, and warm-cache lineage sharing as any other
+// submission. Because same-lineage points run back to back, the server's
+// parked caches (and, across restarts, the persistent store) turn the
+// sweep into one cold run plus warm restarts.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"facile/internal/sweep"
+)
+
+// Sweep states.
+const (
+	SweepRunning  = "running"
+	SweepDone     = "done"
+	SweepFailed   = "failed"
+	SweepCanceled = "canceled"
+)
+
+// ErrUnknownSweep reports a sweep ID the server does not know.
+var ErrUnknownSweep = errors.New("serve: unknown sweep")
+
+// ErrSweepDone reports an operation on a terminal sweep.
+var ErrSweepDone = errors.New("serve: sweep already terminal")
+
+// SweepRequest is the POST /v1/sweeps body: a sweep spec plus server-side
+// execution knobs.
+type SweepRequest struct {
+	sweep.Spec
+
+	// Workers bounds how many cache lineages run concurrently (clamped to
+	// the server's worker-pool size; default 1 — fully sequential, maximum
+	// warm reuse).
+	Workers int `json:"workers,omitempty"`
+}
+
+// sweepRec is the server-side record of one sweep.
+type sweepRec struct {
+	id      string
+	state   string
+	spec    sweep.Spec
+	workers int
+	total   int
+
+	settled []sweep.PointResult // settle order (the event stream)
+	report  *sweep.Report       // set when terminal
+	err     string
+
+	cancel     context.CancelFunc
+	done       chan struct{}
+	createdAt  time.Time
+	finishedAt time.Time
+}
+
+// SweepStatus is the API view of a sweep.
+type SweepStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Name   string `json:"name,omitempty"`
+	Bench  string `json:"bench,omitempty"`
+	Engine string `json:"engine"`
+	Error  string `json:"error,omitempty"`
+
+	TotalPoints   int `json:"total_points"`
+	SettledPoints int `json:"settled_points"`
+	WarmStarts    int `json:"warm_starts"`
+
+	CreatedAt  time.Time `json:"created_at"`
+	FinishedAt time.Time `json:"finished_at"`
+
+	// Report carries the full comparative report once the sweep is
+	// terminal (including a partial one after cancellation).
+	Report *sweep.Report `json:"report,omitempty"`
+}
+
+// serverBackend executes sweep points by submitting them to this server's
+// job queue. Queue-full backpressure is absorbed by retrying (the sweep is
+// a background batch; it waits rather than failing), and cancellation
+// propagates to the in-flight job.
+type serverBackend struct{ s *Server }
+
+// submitRetryInterval paces resubmission while the job queue is full.
+const submitRetryInterval = 10 * time.Millisecond
+
+func (b serverBackend) Run(ctx context.Context, js sweep.JobSpec) (sweep.JobResult, error) {
+	start := time.Now()
+	req := JobRequest{
+		Bench: js.Bench, Scale: js.Scale, Asm: js.Asm,
+		Engine: js.Engine, Memoize: js.Memoize,
+		CacheCapBytes: js.CacheCapBytes, MaxInsts: js.MaxInsts,
+		Uarch: js.Uarch,
+	}
+	var st JobStatus
+	for {
+		var err error
+		st, err = b.s.Submit(req)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			return sweep.JobResult{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return sweep.JobResult{}, ctx.Err()
+		case <-time.After(submitRetryInterval):
+		}
+	}
+	doneCh, err := b.s.Done(st.ID)
+	if err != nil {
+		return sweep.JobResult{}, err
+	}
+	select {
+	case <-doneCh:
+	case <-ctx.Done():
+		_ = b.s.Cancel(st.ID)
+		<-doneCh
+		return sweep.JobResult{}, ctx.Err()
+	}
+	fin, err := b.s.Status(st.ID)
+	if err != nil {
+		return sweep.JobResult{}, err
+	}
+	switch fin.State {
+	case StateDone:
+		out := sweep.JobResult{
+			WarmStart:   fin.WarmStart,
+			WarmSource:  fin.WarmSource,
+			WarmEntries: fin.WarmEntries,
+			WallMs:      time.Since(start).Milliseconds(),
+		}
+		if fin.Result != nil {
+			out.Result = *fin.Result
+		}
+		if fin.Stats != nil {
+			out.Stats = *fin.Stats
+		}
+		return out, nil
+	case StateCanceled:
+		return sweep.JobResult{}, context.Canceled
+	default:
+		return sweep.JobResult{}, fmt.Errorf("job %s %s: %s", fin.ID, fin.State, fin.Error)
+	}
+}
+
+// StartSweep validates, registers, and launches a sweep. The expansion
+// (grid shape, per-point geometry) is checked synchronously so the caller
+// gets a 4xx for a bad spec; execution is asynchronous.
+func (s *Server) StartSweep(req SweepRequest) (SweepStatus, error) {
+	spec := req.Spec
+	points, err := spec.Expand() // also normalizes spec in place
+	if err != nil {
+		return SweepStatus{}, err
+	}
+	workers := req.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > s.cfg.Workers {
+		workers = s.cfg.Workers
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := &sweepRec{
+		state:     SweepRunning,
+		spec:      spec,
+		workers:   workers,
+		total:     len(points),
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		createdAt: time.Now(),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		return SweepStatus{}, ErrDraining
+	}
+	s.sweepSeq++
+	rec.id = fmt.Sprintf("sweep-%04d", s.sweepSeq)
+	s.sweeps[rec.id] = rec
+	s.sweepOrder = append(s.sweepOrder, rec.id)
+	s.counter("serve.sweeps_started").Inc()
+	st := s.sweepStatusLocked(rec)
+	s.mu.Unlock()
+
+	s.sweepWg.Add(1)
+	go func() {
+		defer s.sweepWg.Done()
+		defer cancel()
+		report, runErr := sweep.Run(ctx, spec, sweep.Options{
+			Backend: serverBackend{s},
+			Workers: workers,
+			Rec:     s.rec,
+			OnPoint: func(pr sweep.PointResult) {
+				s.mu.Lock()
+				rec.settled = append(rec.settled, pr)
+				s.mu.Unlock()
+			},
+		})
+		s.mu.Lock()
+		rec.report = report
+		switch {
+		case runErr == nil:
+			rec.state = SweepDone
+			s.counter("serve.sweeps_done").Inc()
+		case errors.Is(runErr, context.Canceled):
+			rec.state = SweepCanceled
+			rec.err = "canceled"
+			s.counter("serve.sweeps_canceled").Inc()
+		default:
+			rec.state = SweepFailed
+			rec.err = runErr.Error()
+			s.counter("serve.sweeps_failed").Inc()
+		}
+		rec.finishedAt = time.Now()
+		close(rec.done)
+		s.mu.Unlock()
+	}()
+	return st, nil
+}
+
+// SweepStatus reports one sweep.
+func (s *Server) SweepStatus(id string) (SweepStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.sweeps[id]
+	if rec == nil {
+		return SweepStatus{}, ErrUnknownSweep
+	}
+	return s.sweepStatusLocked(rec), nil
+}
+
+// ListSweeps reports every sweep in start order.
+func (s *Server) ListSweeps() []SweepStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SweepStatus, 0, len(s.sweepOrder))
+	for _, id := range s.sweepOrder {
+		out = append(out, s.sweepStatusLocked(s.sweeps[id]))
+	}
+	return out
+}
+
+// CancelSweep stops a running sweep: no new points start, the in-flight
+// point's job is canceled, and the final report marks unrun points
+// skipped.
+func (s *Server) CancelSweep(id string) error {
+	s.mu.Lock()
+	rec := s.sweeps[id]
+	s.mu.Unlock()
+	if rec == nil {
+		return ErrUnknownSweep
+	}
+	select {
+	case <-rec.done:
+		return ErrSweepDone
+	default:
+	}
+	rec.cancel()
+	return nil
+}
+
+// SweepDone returns a channel closed when the sweep reaches a terminal
+// state.
+func (s *Server) SweepDone(id string) (<-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.sweeps[id]
+	if rec == nil {
+		return nil, ErrUnknownSweep
+	}
+	return rec.done, nil
+}
+
+// SweepEventsSince returns the point results settled at or after cursor
+// (an index into the settle-ordered event log) plus the sweep's current
+// state.
+func (s *Server) SweepEventsSince(id string, cursor int) ([]sweep.PointResult, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.sweeps[id]
+	if rec == nil {
+		return nil, "", ErrUnknownSweep
+	}
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(rec.settled) {
+		return nil, rec.state, nil
+	}
+	out := make([]sweep.PointResult, len(rec.settled)-cursor)
+	copy(out, rec.settled[cursor:])
+	return out, rec.state, nil
+}
+
+// cancelSweepsForDrain cancels every running sweep and waits for their
+// goroutines; Drain calls it before stopping the workers so sweep-owned
+// jobs settle first.
+func (s *Server) cancelSweepsForDrain() {
+	s.mu.Lock()
+	for _, rec := range s.sweeps {
+		select {
+		case <-rec.done:
+		default:
+			rec.cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.sweepWg.Wait()
+}
+
+func (s *Server) sweepStatusLocked(rec *sweepRec) SweepStatus {
+	st := SweepStatus{
+		ID:            rec.id,
+		State:         rec.state,
+		Name:          rec.spec.Name,
+		Bench:         rec.spec.Bench,
+		Engine:        rec.spec.Engine,
+		Error:         rec.err,
+		TotalPoints:   rec.total,
+		SettledPoints: len(rec.settled),
+		CreatedAt:     rec.createdAt,
+		FinishedAt:    rec.finishedAt,
+		Report:        rec.report,
+	}
+	for i := range rec.settled {
+		if rec.settled[i].WarmStart {
+			st.WarmStarts++
+		}
+	}
+	return st
+}

@@ -1,0 +1,378 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"facile/internal/runcfg"
+	"facile/internal/sweep"
+)
+
+func l1dSweep(values ...int64) SweepRequest {
+	return SweepRequest{Spec: sweep.Spec{
+		Name:   "l1d-study",
+		Bench:  "129.compress",
+		Scale:  1,
+		Engine: runcfg.EngineFastsim,
+		Axes:   []sweep.Axis{{Param: "l1d.size_kb", Values: values}},
+	}}
+}
+
+// waitSweepTerminal blocks until the sweep settles and returns its status.
+func waitSweepTerminal(t *testing.T, s *Server, id string) SweepStatus {
+	t.Helper()
+	ch, err := s.SweepDone(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(120 * time.Second):
+		t.Fatalf("sweep %s did not finish", id)
+	}
+	st, err := s.SweepStatus(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSweepServerMatchesLocal is the acceptance check: a 5-point L1D
+// sweep through the server's job queue produces per-point cycles
+// identical to a purely local sweep.Run, with every point after the
+// first warm-starting off the shared lineage.
+func TestSweepServerMatchesLocal(t *testing.T) {
+	req := l1dSweep(4, 8, 16, 32, 64)
+
+	local, err := sweep.Run(context.Background(), req.Spec, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	st, err := s.StartSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != SweepRunning || st.TotalPoints != 5 {
+		t.Fatalf("start status %+v", st)
+	}
+	fin := waitSweepTerminal(t, s, st.ID)
+	if fin.State != SweepDone || fin.Report == nil {
+		t.Fatalf("final status %+v", fin)
+	}
+
+	rep := fin.Report
+	if rep.Summary.Ran != 5 {
+		t.Fatalf("ran %d/5: %+v", rep.Summary.Ran, rep.Summary)
+	}
+	for i := range rep.Points {
+		sp, lp := rep.Points[i], local.Points[i]
+		if sp.Cycles != lp.Cycles || sp.Insts != lp.Insts || sp.L1DMisses != lp.L1DMisses {
+			t.Fatalf("point %d: server %d cycles/%d misses, local %d/%d",
+				i, sp.Cycles, sp.L1DMisses, lp.Cycles, lp.L1DMisses)
+		}
+		if i > 0 && (!sp.WarmStart || (sp.WarmSource != "memory" && sp.WarmSource != "store")) {
+			t.Fatalf("point %d should warm-start via the server lineage: %+v", i, sp)
+		}
+	}
+	// Larger L1D must not increase misses.
+	for i := 1; i < len(rep.Points); i++ {
+		if rep.Points[i].L1DMisses > rep.Points[i-1].L1DMisses {
+			t.Fatalf("miss curve not monotone at point %d", i)
+		}
+	}
+	if fin.WarmStarts != 4 {
+		t.Fatalf("warm starts %d, want 4", fin.WarmStarts)
+	}
+}
+
+// TestHTTPSweepLifecycle drives submit → status → list → events → final
+// report over the wire with the package client.
+func TestHTTPSweepLifecycle(t *testing.T) {
+	_, c := newTestAPI(t, Config{Workers: 1, QueueDepth: 8})
+	ctx := context.Background()
+
+	st, err := c.SubmitSweep(ctx, l1dSweep(8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State != SweepRunning {
+		t.Fatalf("submit returned %+v", st)
+	}
+
+	// The NDJSON feed carries one line per settled point, then a terminal
+	// sweep line.
+	resp, err := c.HC.Get(c.Base + "/v1/sweeps/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	var points int
+	var last sweepEventLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev sweepEventLine
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		switch ev.Type {
+		case "point":
+			if ev.Point == nil {
+				t.Fatal("point line without point body")
+			}
+			points++
+		case "sweep":
+			last = ev
+		default:
+			t.Fatalf("unknown event type %q", ev.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if points != 2 {
+		t.Fatalf("stream carried %d point lines, want 2", points)
+	}
+	if last.Type != "sweep" || last.Sweep == nil || last.Sweep.State != SweepDone {
+		t.Fatalf("stream did not end with a done sweep line: %+v", last)
+	}
+
+	fin, err := c.WaitSweep(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != SweepDone || fin.Report == nil || fin.Report.Summary.Ran != 2 {
+		t.Fatalf("final %+v", fin)
+	}
+	if fin.WarmStarts != 1 || !fin.Report.Points[1].WarmStart {
+		t.Fatalf("second point should warm-start: %+v", fin.Report.Points)
+	}
+
+	list, err := c.ListSweeps(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v, want the one sweep", list)
+	}
+}
+
+// TestHTTPSweepErrorMapping pins the documented status codes: 400 for a
+// bad spec, 404 for unknown sweeps, 409 for cancel-after-terminal.
+func TestHTTPSweepErrorMapping(t *testing.T) {
+	_, c := newTestAPI(t, Config{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+
+	wantCode := func(err error, code int, what string) {
+		t.Helper()
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != code {
+			t.Fatalf("%s: err = %v, want HTTP %d", what, err, code)
+		}
+	}
+
+	bad := SweepRequest{Spec: sweep.Spec{Bench: "129.compress", Engine: runcfg.EngineFunc,
+		Axes: []sweep.Axis{{Param: "l1d.size_kb", Values: []int64{8}}}}}
+	_, err := c.SubmitSweep(ctx, bad)
+	wantCode(err, http.StatusBadRequest, "functional engine")
+	_, err = c.SweepStatus(ctx, "sweep-9999")
+	wantCode(err, http.StatusNotFound, "unknown status")
+	err = c.CancelSweep(ctx, "sweep-9999")
+	wantCode(err, http.StatusNotFound, "unknown cancel")
+
+	st, err := c.SubmitSweep(ctx, l1dSweep(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitSweep(ctx, st.ID, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	err = c.CancelSweep(ctx, st.ID)
+	wantCode(err, http.StatusConflict, "cancel after terminal")
+}
+
+// TestHTTPSweepCancelMidRun cancels over the wire while points are still
+// running: the sweep settles as canceled with a partial report, and the
+// server stays healthy for ordinary jobs.
+func TestHTTPSweepCancelMidRun(t *testing.T) {
+	s, c := newTestAPI(t, Config{Workers: 1, QueueDepth: 8})
+	ctx := context.Background()
+
+	// A slow multi-point sweep: big-ish workload so cancel lands mid-run.
+	req := SweepRequest{Spec: sweep.Spec{
+		Bench:  "126.gcc",
+		Scale:  100,
+		Engine: runcfg.EngineFastsim,
+		Axes:   []sweep.Axis{{Param: "l1d.size_kb", Values: []int64{4, 8, 16, 32}}},
+	}}
+	st, err := c.SubmitSweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until at least one point's job is actually running.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		jobs, err := c.List(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(jobs) > 0 && jobs[0].State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never started a job")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.CancelSweep(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.WaitSweep(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != SweepCanceled || fin.Report == nil {
+		t.Fatalf("final %+v", fin)
+	}
+	if fin.Report.Summary.Skipped == 0 {
+		t.Fatalf("cancel mid-run left no skipped points: %+v", fin.Report.Summary)
+	}
+
+	// The worker pool survives: a plain job still runs to completion.
+	job, err := c.Submit(ctx, JobRequest{Bench: "129.compress", Scale: 1, Engine: runcfg.EngineFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, job.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("post-cancel job state %s (%s)", final.State, final.Error)
+	}
+	_ = s
+}
+
+// TestSweepRemoteBackendE2E runs a local sweep.Run whose backend submits
+// every point as a job to a live httptest fsimd: the remote twin of the
+// in-process path, exercising lineage-shared warm starts across wire
+// submissions and mid-sweep cancellation.
+func TestSweepRemoteBackendE2E(t *testing.T) {
+	_, c := newTestAPI(t, Config{Workers: 1, QueueDepth: 4})
+
+	spec := l1dSweep(4, 8, 16).Spec
+	rep, err := sweep.Run(context.Background(), spec, sweep.Options{
+		Backend: &RemoteBackend{C: c, Poll: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Ran != 3 || rep.Summary.WarmStarts != 2 {
+		t.Fatalf("summary %+v, want 3 ran / 2 warm", rep.Summary)
+	}
+	// The wire path must agree with a purely local run point for point.
+	local, err := sweep.Run(context.Background(), spec, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Points {
+		if rep.Points[i].Cycles != local.Points[i].Cycles {
+			t.Fatalf("point %d: remote %d cycles, local %d",
+				i, rep.Points[i].Cycles, local.Points[i].Cycles)
+		}
+	}
+
+	// Mid-sweep cancellation: cancel after the first point settles; the
+	// rest are skipped and the in-flight job is canceled server-side.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cb := &cancelAfter{inner: &RemoteBackend{C: c, Poll: 2 * time.Millisecond}, cancel: cancel, after: 1}
+	rep2, err := sweep.Run(ctx, spec, sweep.Options{Backend: cb})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if rep2.Summary.Ran != 1 || rep2.Summary.Skipped != 2 {
+		t.Fatalf("summary %+v, want 1 ran / 2 skipped", rep2.Summary)
+	}
+}
+
+// cancelAfter wraps a backend and cancels the sweep after n points.
+type cancelAfter struct {
+	inner  sweep.Backend
+	cancel context.CancelFunc
+	after  int
+	mu     sync.Mutex
+	ran    int
+}
+
+func (b *cancelAfter) Run(ctx context.Context, js sweep.JobSpec) (sweep.JobResult, error) {
+	res, err := b.inner.Run(ctx, js)
+	b.mu.Lock()
+	b.ran++
+	if b.ran == b.after {
+		b.cancel()
+	}
+	b.mu.Unlock()
+	return res, err
+}
+
+// TestDrainCancelsRunningSweeps: Drain must settle in-flight sweeps
+// (canceling them) before stopping the workers, without deadlocking.
+func TestDrainCancelsRunningSweeps(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	req := SweepRequest{Spec: sweep.Spec{
+		Bench:  "126.gcc",
+		Scale:  100,
+		Engine: runcfg.EngineFastsim,
+		Axes:   []sweep.Axis{{Param: "l1d.size_kb", Values: []int64{4, 8, 16, 32}}},
+	}}
+	st, err := s.StartSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sweep submits its first job asynchronously; wait for it to run.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if jobs := s.List(); len(jobs) > 0 && jobs[0].State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never started a job")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	done := make(chan struct{})
+	go func() { s.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain with a running sweep hung")
+	}
+	fin, err := s.SweepStatus(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != SweepCanceled {
+		t.Fatalf("post-drain sweep state %s, want canceled", fin.State)
+	}
+	if _, err := s.StartSweep(req); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit err = %v, want ErrDraining", err)
+	}
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"facile/internal/sweep"
+)
+
+// Sweep API client methods plus RemoteBackend, the client-side
+// sweep.Backend that submits each point as an ordinary fsimd job — the
+// remote twin of sweep.LocalBackend. Warm sharing happens server-side:
+// the daemon keys parked caches by lineage, so sequential same-lineage
+// submissions warm-start exactly as local points do.
+
+// SubmitSweep posts a sweep; the server returns its initial status.
+func (c *Client) SubmitSweep(ctx context.Context, req SweepRequest) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &st)
+	return st, err
+}
+
+// SweepStatus fetches one sweep.
+func (c *Client) SweepStatus(ctx context.Context, id string) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st)
+	return st, err
+}
+
+// ListSweeps fetches all sweeps.
+func (c *Client) ListSweeps(ctx context.Context) ([]SweepStatus, error) {
+	var out []SweepStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps", nil, &out)
+	return out, err
+}
+
+// CancelSweep requests cancellation of a running sweep.
+func (c *Client) CancelSweep(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sweeps/"+id, nil, nil)
+}
+
+// WaitSweep polls until the sweep is terminal (or ctx expires).
+func (c *Client) WaitSweep(ctx context.Context, id string, poll time.Duration) (SweepStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.SweepStatus(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case SweepDone, SweepFailed, SweepCanceled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// RemoteBackend executes sweep points against a running fsimd. Queue-full
+// responses (HTTP 429) are absorbed by retrying; cancellation propagates
+// to the in-flight job.
+type RemoteBackend struct {
+	C *Client
+	// Poll is the job-status polling interval (default 50ms).
+	Poll time.Duration
+}
+
+// Run implements sweep.Backend.
+func (b *RemoteBackend) Run(ctx context.Context, js sweep.JobSpec) (sweep.JobResult, error) {
+	start := time.Now()
+	req := JobRequest{
+		Bench: js.Bench, Scale: js.Scale, Asm: js.Asm,
+		Engine: js.Engine, Memoize: js.Memoize,
+		CacheCapBytes: js.CacheCapBytes, MaxInsts: js.MaxInsts,
+		Uarch: js.Uarch,
+	}
+	var st JobStatus
+	for {
+		var err error
+		st, err = b.C.Submit(ctx, req)
+		if err == nil {
+			break
+		}
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+			return sweep.JobResult{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return sweep.JobResult{}, ctx.Err()
+		case <-time.After(submitRetryInterval):
+		}
+	}
+	fin, err := b.C.Wait(ctx, st.ID, b.Poll)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Cancel the in-flight job with a fresh context (ctx is dead) and
+			// best-effort semantics: the server may already have finished it.
+			cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = b.C.Cancel(cctx, st.ID)
+			cancel()
+			return sweep.JobResult{}, ctx.Err()
+		}
+		return sweep.JobResult{}, err
+	}
+	switch fin.State {
+	case StateDone:
+		out := sweep.JobResult{
+			WarmStart:   fin.WarmStart,
+			WarmSource:  fin.WarmSource,
+			WarmEntries: fin.WarmEntries,
+			WallMs:      time.Since(start).Milliseconds(),
+		}
+		if fin.Result != nil {
+			out.Result = *fin.Result
+		}
+		if fin.Stats != nil {
+			out.Stats = *fin.Stats
+		}
+		return out, nil
+	case StateCanceled:
+		return sweep.JobResult{}, context.Canceled
+	default:
+		return sweep.JobResult{}, &StatusError{Code: http.StatusInternalServerError,
+			Msg: "job " + fin.ID + " " + fin.State + ": " + fin.Error}
+	}
+}

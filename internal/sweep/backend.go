@@ -1,0 +1,174 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"facile/internal/isa/asm"
+	"facile/internal/isa/loader"
+	"facile/internal/runcfg"
+	"facile/internal/workloads"
+)
+
+// JobSpec is one point's run configuration, in backend-neutral form.
+type JobSpec struct {
+	Bench string
+	Scale int
+	Asm   string
+
+	Engine        string
+	Memoize       bool
+	CacheCapBytes uint64
+	MaxInsts      uint64
+
+	Uarch      *runcfg.UarchSpec
+	LineageKey string
+}
+
+// JobResult is one point's outcome.
+type JobResult struct {
+	Result runcfg.Result
+	Stats  runcfg.Stats
+
+	// Warm-start provenance: whether the run adopted a predecessor's
+	// action cache, from where ("memory", "store", ...), and how much.
+	WarmStart   bool
+	WarmSource  string
+	WarmEntries uint64
+
+	WallMs int64 // host wall time (stripped from deterministic reports)
+}
+
+// Backend executes one point. Implementations must be safe for
+// concurrent Run calls: the executor runs distinct lineage groups in
+// parallel (within a group, calls are sequential, which is what lets a
+// backend chain warm caches point to point).
+type Backend interface {
+	Run(ctx context.Context, js JobSpec) (JobResult, error)
+}
+
+// chunkInsts is the local backend's cancellation-check granularity.
+const chunkInsts = 1 << 16
+
+// LocalBackend runs points in-process. Finished points park their
+// detached action cache under their lineage key; the next same-lineage
+// point adopts it (warm_source "memory"), so a sweep over the
+// replay-verified axes degenerates into one cold run plus warm restarts.
+type LocalBackend struct {
+	mu     sync.Mutex
+	parked map[string]runcfg.WarmCache
+	progs  map[string]*loader.Program // assembled-program cache
+}
+
+// NewLocalBackend returns an empty local executor.
+func NewLocalBackend() *LocalBackend {
+	return &LocalBackend{
+		parked: make(map[string]runcfg.WarmCache),
+		progs:  make(map[string]*loader.Program),
+	}
+}
+
+// program assembles (once) the spec's workload.
+func (b *LocalBackend) program(js JobSpec) (*loader.Program, error) {
+	key := fmt.Sprintf("bench=%s|scale=%d|asm=%s", js.Bench, js.Scale, js.Asm)
+	b.mu.Lock()
+	prog := b.progs[key]
+	b.mu.Unlock()
+	if prog != nil {
+		return prog, nil
+	}
+	var err error
+	if js.Bench != "" {
+		var w *workloads.Workload
+		if w, err = workloads.Get(js.Bench, js.Scale); err == nil {
+			prog = w.Prog
+		}
+	} else {
+		prog, err = asm.Assemble("sweep.s", js.Asm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	b.progs[key] = prog
+	b.mu.Unlock()
+	return prog, nil
+}
+
+func (b *LocalBackend) takeWarm(key string) runcfg.WarmCache {
+	if key == "" {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wc := b.parked[key]
+	delete(b.parked, key)
+	return wc
+}
+
+func (b *LocalBackend) parkWarm(key string, wc runcfg.WarmCache) {
+	if key == "" || wc == nil || wc.Entries() == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cur := b.parked[key]; cur != nil && cur.Entries() >= wc.Entries() {
+		return // keep the bigger cache
+	}
+	b.parked[key] = wc
+}
+
+// Run executes one point to completion (or js.MaxInsts), checking ctx
+// between chunks.
+func (b *LocalBackend) Run(ctx context.Context, js JobSpec) (JobResult, error) {
+	start := time.Now()
+	prog, err := b.program(js)
+	if err != nil {
+		return JobResult{}, err
+	}
+	cfg := runcfg.Config{
+		Engine:        js.Engine,
+		Memoize:       js.Memoize,
+		CacheCapBytes: js.CacheCapBytes,
+	}
+	if !js.Uarch.IsZero() {
+		uc := js.Uarch.Effective()
+		cfg.Uarch = &uc
+	}
+	r, err := runcfg.New(prog, cfg)
+	if err != nil {
+		return JobResult{}, err
+	}
+	var out JobResult
+	if wc := b.takeWarm(js.LineageKey); wc != nil {
+		if r.AdoptCache(wc) {
+			out.WarmStart = true
+			out.WarmSource = "memory"
+			out.WarmEntries = wc.Entries()
+		} else {
+			b.parkWarm(js.LineageKey, wc) // engine refused it; keep for a sibling
+		}
+	}
+	for !r.Done() {
+		if err := ctx.Err(); err != nil {
+			return JobResult{}, err
+		}
+		target := r.Progress() + chunkInsts
+		if js.MaxInsts > 0 && target > js.MaxInsts {
+			target = js.MaxInsts
+		}
+		if err := r.Run(target); err != nil {
+			return JobResult{}, err
+		}
+		if js.MaxInsts > 0 && r.Progress() >= js.MaxInsts {
+			break
+		}
+	}
+	out.Result = r.Result()
+	out.Stats = r.Stats()
+	out.WallMs = time.Since(start).Milliseconds()
+	b.parkWarm(js.LineageKey, r.DetachCache())
+	return out, nil
+}

@@ -1,0 +1,318 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// ReportSchema versions the sweep report artifact.
+const ReportSchema = "facile-sweep/1"
+
+// Point statuses in a report.
+const (
+	PointOK      = "ok"
+	PointInvalid = "invalid" // geometry rejected at expansion
+	PointError   = "error"   // backend failure
+	PointSkipped = "skipped" // sweep canceled before the point ran
+)
+
+// PointResult is one point's report row.
+type PointResult struct {
+	Index      int          `json:"index"`
+	Params     []ParamValue `json:"params"`
+	LineageKey string       `json:"lineage_key,omitempty"`
+	Status     string       `json:"status"`
+	Error      string       `json:"error,omitempty"`
+
+	Insts  uint64  `json:"insts,omitempty"`
+	Cycles uint64  `json:"cycles,omitempty"`
+	IPC    float64 `json:"ipc,omitempty"`
+
+	Mispredicts uint64  `json:"mispredicts,omitempty"`
+	L1DMisses   uint64  `json:"l1d_misses,omitempty"`
+	MPKI        float64 `json:"l1d_mpki,omitempty"` // L1D misses per kilo-instruction
+
+	FastSharePc float64 `json:"fast_share_pc,omitempty"`
+	WarmStart   bool    `json:"warm_start"`
+	WarmSource  string  `json:"warm_source,omitempty"`
+	WarmEntries uint64  `json:"warm_entries,omitempty"`
+
+	WallMs int64 `json:"wall_ms,omitempty"` // host time
+}
+
+// AxisInfo records one axis's expanded values in the report.
+type AxisInfo struct {
+	Param  string  `json:"param"`
+	Values []int64 `json:"values"`
+}
+
+// CurveRow is one point of a miss curve.
+type CurveRow struct {
+	Value      int64   `json:"value"`
+	PointIndex int     `json:"point"`
+	Cycles     uint64  `json:"cycles"`
+	IPC        float64 `json:"ipc"`
+	L1DMisses  uint64  `json:"l1d_misses"`
+	MPKI       float64 `json:"l1d_mpki"`
+}
+
+// Curve is a one-dimensional slice through the grid: one axis varies,
+// every other axis is held at its first value. Rows cover only the
+// points that ran.
+type Curve struct {
+	Param string       `json:"param"`
+	Fixed []ParamValue `json:"fixed,omitempty"`
+	Rows  []CurveRow   `json:"rows"`
+}
+
+// Summary aggregates a sweep.
+type Summary struct {
+	Total      int `json:"total"`
+	Ran        int `json:"ran"`
+	Invalid    int `json:"invalid"`
+	Failed     int `json:"failed"`
+	Skipped    int `json:"skipped"`
+	WarmStarts int `json:"warm_starts"`
+
+	// Best/Worst/Knee are point indices by cycle count among the points
+	// that ran (-1 when undefined). The knee is the point of maximum
+	// curvature on the primary curve — past it, spending more of the
+	// swept resource buys little.
+	Best  int `json:"best"`
+	Worst int `json:"worst"`
+	Knee  int `json:"knee"`
+}
+
+// Report is the comparative result of one sweep.
+type Report struct {
+	Schema      string `json:"schema"`
+	Name        string `json:"name,omitempty"`
+	Bench       string `json:"bench,omitempty"`
+	Scale       int    `json:"scale,omitempty"`
+	Engine      string `json:"engine"`
+	GeneratedAt string `json:"generated_at,omitempty"` // host time
+
+	Axes    []AxisInfo    `json:"axes"`
+	Points  []PointResult `json:"points"`
+	Curves  []Curve       `json:"curves,omitempty"`
+	Summary Summary       `json:"summary"`
+}
+
+// StripHostTime zeroes every wall-clock field so that reports from
+// identical specs compare byte-for-byte.
+func (r *Report) StripHostTime() {
+	r.GeneratedAt = ""
+	for i := range r.Points {
+		r.Points[i].WallMs = 0
+	}
+}
+
+// JSON renders the report as indented, key-stable JSON.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// finalize computes curves and the summary from the point rows. Points
+// must be complete (one row per expanded point, in index order).
+func (r *Report) finalize() {
+	s := Summary{Total: len(r.Points), Best: -1, Worst: -1, Knee: -1}
+	for i := range r.Points {
+		p := &r.Points[i]
+		switch p.Status {
+		case PointOK:
+			s.Ran++
+			if p.WarmStart {
+				s.WarmStarts++
+			}
+			if s.Best < 0 || p.Cycles < r.Points[s.Best].Cycles {
+				s.Best = p.Index
+			}
+			if s.Worst < 0 || p.Cycles > r.Points[s.Worst].Cycles {
+				s.Worst = p.Index
+			}
+		case PointInvalid:
+			s.Invalid++
+		case PointError:
+			s.Failed++
+		default:
+			s.Skipped++
+		}
+	}
+	r.Curves = r.buildCurves()
+	if len(r.Curves) > 0 {
+		s.Knee = kneeIndex(r.Curves[0].Rows)
+	}
+	r.Summary = s
+}
+
+// buildCurves slices the grid once per axis: the curve for axis i holds
+// every other axis at its first expanded value.
+func (r *Report) buildCurves() []Curve {
+	var curves []Curve
+	for i, ax := range r.Axes {
+		c := Curve{Param: ax.Param}
+		for j, other := range r.Axes {
+			if j != i && len(other.Values) > 0 {
+				c.Fixed = append(c.Fixed, ParamValue{Name: other.Param, Value: other.Values[0]})
+			}
+		}
+		for pi := range r.Points {
+			p := &r.Points[pi]
+			if p.Status != PointOK || !onSlice(p.Params, i, r.Axes) {
+				continue
+			}
+			c.Rows = append(c.Rows, CurveRow{
+				Value: p.Params[i].Value, PointIndex: p.Index,
+				Cycles: p.Cycles, IPC: p.IPC,
+				L1DMisses: p.L1DMisses, MPKI: p.MPKI,
+			})
+		}
+		if len(c.Rows) > 0 {
+			curves = append(curves, c)
+		}
+	}
+	return curves
+}
+
+// onSlice reports whether the point sits on the 1-D slice along axis
+// `vary` (all other coordinates at their axis's first value).
+func onSlice(params []ParamValue, vary int, axes []AxisInfo) bool {
+	for j := range params {
+		if j == vary {
+			continue
+		}
+		if len(axes[j].Values) == 0 || params[j].Value != axes[j].Values[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// kneeIndex finds the knee of a cycles-vs-value curve: normalize both
+// coordinates to [0,1], draw the chord between the endpoints, and pick
+// the row with maximum perpendicular distance from it (the Kneedle
+// construction). Flat or short curves have no knee (-1). Ties resolve to
+// the first (smallest-value) row, deterministically.
+func kneeIndex(rows []CurveRow) int {
+	if len(rows) < 3 {
+		return -1
+	}
+	x0, x1 := float64(rows[0].Value), float64(rows[len(rows)-1].Value)
+	var y0, y1 float64 = float64(rows[0].Cycles), float64(rows[len(rows)-1].Cycles)
+	if x1 == x0 || y1 == y0 {
+		return -1
+	}
+	best, bestDist := -1, 0.0
+	for i := 1; i < len(rows)-1; i++ {
+		nx := (float64(rows[i].Value) - x0) / (x1 - x0)
+		ny := (float64(rows[i].Cycles) - y0) / (y1 - y0)
+		// Distance from the normalized chord y = x (times 1/sqrt(2),
+		// which cancels in the comparison).
+		d := nx - ny
+		if d < 0 {
+			d = -d
+		}
+		if d > bestDist {
+			best, bestDist = rows[i].PointIndex, d
+		}
+	}
+	return best
+}
+
+// WriteCSV emits one row per point: the axis coordinates followed by the
+// measured columns.
+func (r *Report) WriteCSV(w io.Writer) error {
+	for _, ax := range r.Axes {
+		if _, err := fmt.Fprintf(w, "%s,", ax.Param); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "status,insts,cycles,ipc,mispredicts,l1d_misses,l1d_mpki,fast_share_pc,warm_start,warm_source"); err != nil {
+		return err
+	}
+	for i := range r.Points {
+		p := &r.Points[i]
+		for _, pv := range p.Params {
+			if _, err := fmt.Fprintf(w, "%d,", pv.Value); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%.3f,%.1f,%v,%s\n",
+			p.Status, p.Insts, p.Cycles, p.IPC, p.Mispredicts,
+			p.L1DMisses, p.MPKI, p.FastSharePc, p.WarmStart, p.WarmSource); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText renders an aligned comparative table plus the summary line.
+func (r *Report) WriteText(w io.Writer) error {
+	title := r.Name
+	if title == "" {
+		title = "sweep"
+	}
+	workload := r.Bench
+	if workload == "" {
+		workload = "(asm)"
+	}
+	fmt.Fprintf(w, "%s: %s scale %d, engine %s, %d points\n",
+		title, workload, r.Scale, r.Engine, r.Summary.Total)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "point")
+	for _, ax := range r.Axes {
+		fmt.Fprintf(tw, "\t%s", ax.Param)
+	}
+	fmt.Fprintln(tw, "\tstatus\tcycles\tipc\tl1d_mpki\tfast%\twarm\tmark")
+	for i := range r.Points {
+		p := &r.Points[i]
+		fmt.Fprintf(tw, "%d", p.Index)
+		for _, pv := range p.Params {
+			fmt.Fprintf(tw, "\t%d", pv.Value)
+		}
+		warm := "cold"
+		if p.WarmStart {
+			warm = p.WarmSource
+		}
+		if p.Status != PointOK {
+			fmt.Fprintf(tw, "\t%s\t-\t-\t-\t-\t-\t%s\n", p.Status, truncate(p.Error, 40))
+			continue
+		}
+		fmt.Fprintf(tw, "\t%s\t%d\t%.3f\t%.3f\t%.1f\t%s\t%s\n",
+			p.Status, p.Cycles, p.IPC, p.MPKI, p.FastSharePc, warm, mark(p.Index, r.Summary))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "ran %d/%d (%d warm starts, %d invalid, %d failed, %d skipped)\n",
+		r.Summary.Ran, r.Summary.Total, r.Summary.WarmStarts,
+		r.Summary.Invalid, r.Summary.Failed, r.Summary.Skipped)
+	return err
+}
+
+func mark(idx int, s Summary) string {
+	switch {
+	case idx == s.Best && idx == s.Knee:
+		return "best,knee"
+	case idx == s.Best:
+		return "best"
+	case idx == s.Worst:
+		return "worst"
+	case idx == s.Knee:
+		return "knee"
+	}
+	return ""
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,163 @@
+package sweep
+
+import (
+	"context"
+	"time"
+
+	"facile/internal/obs"
+	"facile/internal/parsim"
+)
+
+// Options configures one sweep execution.
+type Options struct {
+	// Backend executes points; nil means a fresh LocalBackend.
+	Backend Backend
+
+	// Workers bounds how many lineage groups run concurrently (default 1:
+	// fully sequential, maximum warm reuse). Points inside one group are
+	// always sequential so each hands its cache to the next.
+	Workers int
+
+	// Rec, when non-nil, receives sweep.* counters.
+	Rec *obs.Recorder
+
+	// OnPoint is called after each point settles (from executor
+	// goroutines, possibly concurrently; rows arrive in within-group
+	// order but groups interleave).
+	OnPoint func(PointResult)
+}
+
+// Run expands the spec and executes every point, returning the
+// comparative report. Points are ordered into lineage groups: same-key
+// points run back to back so the backend can hand the action cache built
+// by one to the next (a warm restart), while distinct groups run in
+// parallel up to opt.Workers. Cancelling ctx stops new points; the report
+// marks unrun points as skipped and Run returns it alongside ctx's error.
+func Run(ctx context.Context, spec Spec, opt Options) (*Report, error) {
+	points, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Backend == nil {
+		opt.Backend = NewLocalBackend()
+	}
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+
+	report := &Report{
+		Schema:      ReportSchema,
+		Name:        spec.Name,
+		Bench:       spec.Bench,
+		Scale:       spec.Scale,
+		Engine:      spec.Engine,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Points:      make([]PointResult, len(points)),
+	}
+	for i := range spec.Axes {
+		vals, _ := spec.Axes[i].expand() // Expand validated these already
+		report.Axes = append(report.Axes, AxisInfo{Param: spec.Axes[i].Param, Values: vals})
+	}
+
+	// Group points by lineage, preserving expansion order within and
+	// across groups (first-occurrence order). Non-memoizing points have
+	// no lineage and each forms its own group.
+	var groups [][]*Point
+	byKey := map[string]int{}
+	for i := range points {
+		p := &points[i]
+		if p.LineageKey == "" {
+			groups = append(groups, []*Point{p})
+			continue
+		}
+		gi, ok := byKey[p.LineageKey]
+		if !ok {
+			gi = len(groups)
+			byKey[p.LineageKey] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], p)
+	}
+
+	settle := func(p *Point, row PointResult) {
+		row.Index = p.Index
+		row.Params = p.Params
+		row.LineageKey = p.LineageKey
+		report.Points[p.Index] = row
+		if opt.OnPoint != nil {
+			opt.OnPoint(row)
+		}
+		if reg := registry(opt.Rec); reg != nil {
+			reg.Counter("sweep.points_" + row.Status).Inc()
+			if row.WarmStart {
+				reg.Counter("sweep.warm_starts").Inc()
+			}
+		}
+	}
+
+	runErr := parsim.ForEachCtx(ctx, len(groups), opt.Workers, func(gi int) error {
+		for _, p := range groups[gi] {
+			if p.Invalid != "" {
+				settle(p, PointResult{Status: PointInvalid, Error: p.Invalid})
+				continue
+			}
+			if ctx.Err() != nil {
+				settle(p, PointResult{Status: PointSkipped, Error: context.Canceled.Error()})
+				continue
+			}
+			res, err := opt.Backend.Run(ctx, JobSpec{
+				Bench: spec.Bench, Scale: spec.Scale, Asm: spec.Asm,
+				Engine: spec.Engine, Memoize: spec.Memoizing(),
+				CacheCapBytes: spec.CacheCapBytes, MaxInsts: spec.MaxInsts,
+				Uarch: p.Uarch, LineageKey: p.LineageKey,
+			})
+			switch {
+			case err != nil && ctx.Err() != nil:
+				settle(p, PointResult{Status: PointSkipped, Error: ctx.Err().Error()})
+			case err != nil:
+				settle(p, PointResult{Status: PointError, Error: err.Error()})
+			default:
+				settle(p, PointResult{
+					Status: PointOK,
+					Insts:  res.Result.Insts, Cycles: res.Result.Cycles,
+					IPC:         res.Result.IPC(),
+					Mispredicts: res.Result.Mispredicts,
+					L1DMisses:   res.Result.L1DMisses,
+					MPKI:        mpki(res.Result.L1DMisses, res.Result.Insts),
+					FastSharePc: res.Stats.FastForwardedPc,
+					WarmStart:   res.WarmStart, WarmSource: res.WarmSource,
+					WarmEntries: res.WarmEntries, WallMs: res.WallMs,
+				})
+			}
+		}
+		return nil
+	})
+
+	// A canceled run leaves never-visited groups' rows zero-valued; mark
+	// them skipped so every expanded point has a status.
+	for i := range report.Points {
+		if report.Points[i].Status == "" {
+			report.Points[i] = PointResult{
+				Index: points[i].Index, Params: points[i].Params,
+				LineageKey: points[i].LineageKey,
+				Status:     PointSkipped, Error: context.Canceled.Error(),
+			}
+		}
+	}
+	report.finalize()
+	return report, runErr
+}
+
+func registry(rec *obs.Recorder) *obs.Registry {
+	if rec == nil {
+		return nil
+	}
+	return rec.Registry()
+}
+
+func mpki(misses, insts uint64) float64 {
+	if insts == 0 {
+		return 0
+	}
+	return 1000 * float64(misses) / float64(insts)
+}

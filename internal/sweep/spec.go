@@ -1,0 +1,230 @@
+// Package sweep implements parametric design-space exploration over the
+// simulated micro-architecture: a declarative spec names a workload, an
+// engine, and a grid of uarch axes (cache geometry, TLB size, predictor
+// tables, core parameters); the package expands it into concrete run
+// configurations, executes them through a pluggable backend, and renders
+// a comparative report.
+//
+// The subsystem leans on the same property that makes the paper's
+// fast-forwarding exact: cache hierarchy and branch predictor are
+// external dynamic components whose memoized results are verified during
+// replay, so an action cache built at one point of the grid is adoptable
+// at the next — a design-space sweep over memory axes is a sequence of
+// warm restarts, not a sequence of cold runs. Points are therefore
+// grouped by cache lineage (runcfg.LineageKey) and executed so that
+// consecutive same-lineage points hand their caches forward.
+package sweep
+
+import (
+	"fmt"
+
+	"facile/internal/runcfg"
+	"facile/internal/workloads"
+)
+
+// DefaultMaxPoints caps the grid expansion when the spec sets no cap;
+// HardMaxPoints is the absolute ceiling a spec cannot raise.
+const (
+	DefaultMaxPoints = 128
+	HardMaxPoints    = 4096
+)
+
+// Axis is one swept parameter. Exactly one of Values (an explicit list)
+// or a range must be set. A range enumerates Min..Max inclusive, stepping
+// either arithmetically (Step > 0) or geometrically (Mul > 1); geometric
+// ranges suit the power-of-two cache axes.
+type Axis struct {
+	Param  string  `json:"param"`
+	Values []int64 `json:"values,omitempty"`
+	Min    int64   `json:"min,omitempty"`
+	Max    int64   `json:"max,omitempty"`
+	Step   int64   `json:"step,omitempty"`
+	Mul    int64   `json:"mul,omitempty"`
+}
+
+// expand enumerates the axis's values in declaration order.
+func (a *Axis) expand() ([]int64, error) {
+	if a.Param == "" {
+		return nil, fmt.Errorf("sweep: axis with empty param")
+	}
+	if probe := (&runcfg.UarchSpec{}); probe.SetParam(a.Param, 1) != nil {
+		return nil, fmt.Errorf("sweep: axis %q is not a known uarch parameter (valid: %v)", a.Param, runcfg.Params())
+	}
+	hasRange := a.Min != 0 || a.Max != 0 || a.Step != 0 || a.Mul != 0
+	if (len(a.Values) > 0) == hasRange {
+		return nil, fmt.Errorf("sweep: axis %q needs exactly one of values or a min/max range", a.Param)
+	}
+	if len(a.Values) > 0 {
+		seen := map[int64]bool{}
+		for _, v := range a.Values {
+			if seen[v] {
+				return nil, fmt.Errorf("sweep: axis %q repeats value %d", a.Param, v)
+			}
+			seen[v] = true
+		}
+		return a.Values, nil
+	}
+	if a.Min > a.Max {
+		return nil, fmt.Errorf("sweep: axis %q has min %d > max %d", a.Param, a.Min, a.Max)
+	}
+	if (a.Step > 0) == (a.Mul > 1) {
+		return nil, fmt.Errorf("sweep: axis %q needs exactly one of step > 0 or mul > 1", a.Param)
+	}
+	var vals []int64
+	if a.Step > 0 {
+		for v := a.Min; v <= a.Max; v += a.Step {
+			vals = append(vals, v)
+		}
+	} else {
+		if a.Min < 1 {
+			return nil, fmt.Errorf("sweep: axis %q: geometric range needs min >= 1", a.Param)
+		}
+		for v := a.Min; v <= a.Max; v *= a.Mul {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("sweep: axis %q expands to no values", a.Param)
+	}
+	return vals, nil
+}
+
+// Spec declares one sweep. Exactly one of Bench or Asm selects the
+// program; Engine defaults to the hand-coded fast-forwarding simulator
+// with memoization on (the configuration under which consecutive points
+// share warm caches).
+type Spec struct {
+	Name  string `json:"name,omitempty"`
+	Bench string `json:"bench,omitempty"`
+	Scale int    `json:"scale,omitempty"`
+	Asm   string `json:"asm,omitempty"`
+
+	Engine        string `json:"engine,omitempty"`
+	Memoize       *bool  `json:"memoize,omitempty"` // nil = true
+	CacheCapBytes uint64 `json:"cache_cap_bytes,omitempty"`
+	MaxInsts      uint64 `json:"max_insts,omitempty"`
+
+	// MaxPoints caps the expansion (0 = DefaultMaxPoints, never above
+	// HardMaxPoints); an over-cap grid is rejected, not truncated.
+	MaxPoints int `json:"max_points,omitempty"`
+
+	// Base is an overlay applied to every point before its axis values;
+	// it pins the non-swept dimensions away from their defaults.
+	Base *runcfg.UarchSpec `json:"base,omitempty"`
+
+	Axes []Axis `json:"axes"`
+}
+
+// Memoizing reports the effective memoize setting (default true).
+func (s *Spec) Memoizing() bool { return s.Memoize == nil || *s.Memoize }
+
+// Normalize applies defaults and validates the spec's shape (not the
+// per-point geometry, which Expand judges point by point).
+func (s *Spec) Normalize() error {
+	if (s.Bench == "") == (s.Asm == "") {
+		return fmt.Errorf("sweep: exactly one of bench or asm must be set")
+	}
+	if s.Bench != "" {
+		if _, err := workloads.Source(s.Bench, 1); err != nil {
+			return err
+		}
+	}
+	if s.Scale < 1 {
+		s.Scale = 1
+	}
+	if s.Engine == "" {
+		s.Engine = runcfg.EngineFastsim
+	}
+	switch s.Engine {
+	case runcfg.EngineOOO, runcfg.EngineFastsim, runcfg.EngineFacInOrder, runcfg.EngineFacOOO:
+	default:
+		return fmt.Errorf("sweep: engine %q is not a timing engine (valid: %v)",
+			s.Engine, []string{runcfg.EngineOOO, runcfg.EngineFastsim, runcfg.EngineFacInOrder, runcfg.EngineFacOOO})
+	}
+	if len(s.Axes) == 0 {
+		return fmt.Errorf("sweep: no axes")
+	}
+	seen := map[string]bool{}
+	for i := range s.Axes {
+		if seen[s.Axes[i].Param] {
+			return fmt.Errorf("sweep: axis %q declared twice", s.Axes[i].Param)
+		}
+		seen[s.Axes[i].Param] = true
+	}
+	if s.MaxPoints <= 0 {
+		s.MaxPoints = DefaultMaxPoints
+	}
+	if s.MaxPoints > HardMaxPoints {
+		s.MaxPoints = HardMaxPoints
+	}
+	return nil
+}
+
+// ParamValue is one (axis, value) coordinate of a point. Params are an
+// ordered list, not a map, so point JSON is deterministic.
+type ParamValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Point is one expanded run configuration.
+type Point struct {
+	Index      int               // position in expansion order
+	Params     []ParamValue      // axis coordinates, in axis order
+	Uarch      *runcfg.UarchSpec // base + coordinates
+	LineageKey string            // cache lineage ("" when not memoizing)
+	Invalid    string            // geometry rejection ("" = runnable)
+}
+
+// Expand normalizes the spec and enumerates the full cross product in
+// row-major axis order (last axis fastest). Each point's geometry is
+// validated individually: an invalid combination is kept, marked, and
+// skipped at execution time rather than failing the whole sweep.
+func (s *Spec) Expand() ([]Point, error) {
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	axes := make([][]int64, len(s.Axes))
+	total := 1
+	for i := range s.Axes {
+		vals, err := s.Axes[i].expand()
+		if err != nil {
+			return nil, err
+		}
+		axes[i] = vals
+		total *= len(vals)
+		if total > s.MaxPoints {
+			return nil, fmt.Errorf("sweep: grid expands to more than %d points (cap max_points)", s.MaxPoints)
+		}
+	}
+	points := make([]Point, 0, total)
+	idx := make([]int, len(axes))
+	for n := 0; n < total; n++ {
+		p := Point{Index: n, Uarch: s.Base.Clone()}
+		if p.Uarch == nil {
+			p.Uarch = &runcfg.UarchSpec{}
+		}
+		for i := range axes {
+			v := axes[i][idx[i]]
+			p.Params = append(p.Params, ParamValue{Name: s.Axes[i].Param, Value: v})
+			if err := p.Uarch.SetParam(s.Axes[i].Param, v); err != nil {
+				return nil, err // unreachable: axis params are pre-checked
+			}
+		}
+		if err := p.Uarch.Effective().Validate(); err != nil {
+			p.Invalid = err.Error()
+		} else if (runcfg.Config{Engine: s.Engine, Memoize: s.Memoizing()}).Memoizing() {
+			p.LineageKey = runcfg.LineageKey(s.Bench, s.Scale, s.Asm, s.Engine,
+				s.Memoizing(), s.CacheCapBytes, p.Uarch)
+		}
+		points = append(points, p)
+		for i := len(axes) - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(axes[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return points, nil
+}

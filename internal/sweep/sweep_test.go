@@ -1,0 +1,343 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"facile/internal/runcfg"
+)
+
+func compressSpec(values ...int64) Spec {
+	return Spec{
+		Name:     "l1d-study",
+		Bench:    "129.compress",
+		Scale:    1,
+		Engine:   runcfg.EngineFastsim,
+		MaxInsts: 0,
+		Axes:     []Axis{{Param: "l1d.size_kb", Values: values}},
+	}
+}
+
+func TestExpandGridOrderAndLineage(t *testing.T) {
+	spec := Spec{
+		Bench:  "129.compress",
+		Engine: runcfg.EngineFastsim,
+		Axes: []Axis{
+			{Param: "l1d.size_kb", Values: []int64{8, 16}},
+			{Param: "tlb.entries", Min: 16, Max: 64, Mul: 2},
+		},
+	}
+	points, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("expanded %d points, want 6", len(points))
+	}
+	// Row-major: last axis fastest.
+	want := [][2]int64{{8, 16}, {8, 32}, {8, 64}, {16, 16}, {16, 32}, {16, 64}}
+	for i, p := range points {
+		if p.Params[0].Value != want[i][0] || p.Params[1].Value != want[i][1] {
+			t.Fatalf("point %d params %v, want %v", i, p.Params, want[i])
+		}
+		if p.Invalid != "" {
+			t.Fatalf("point %d invalid: %s", i, p.Invalid)
+		}
+		// Memory axes never fork the lineage: every point shares one key.
+		if p.LineageKey == "" || p.LineageKey != points[0].LineageKey {
+			t.Fatalf("point %d lineage %q, want %q", i, p.LineageKey, points[0].LineageKey)
+		}
+	}
+}
+
+func TestExpandCoreAxisForksLineage(t *testing.T) {
+	spec := Spec{
+		Bench:  "129.compress",
+		Engine: runcfg.EngineFastsim,
+		Axes:   []Axis{{Param: "core.window", Values: []int64{16, 32}}},
+	}
+	points, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].LineageKey == points[1].LineageKey {
+		t.Fatal("core-axis points share a lineage; their memoized schedules differ")
+	}
+}
+
+func TestExpandRejectsBadShapes(t *testing.T) {
+	cases := []Spec{
+		{Axes: []Axis{{Param: "l1d.size_kb", Values: []int64{8}}}},                                     // no program
+		{Bench: "129.compress", Asm: "halt", Axes: []Axis{{Param: "l1d.size_kb", Values: []int64{8}}}}, // both programs
+		{Bench: "129.compress"}, // no axes
+		{Bench: "129.compress", Axes: []Axis{{Param: "nope", Values: []int64{1}}}},                                   // unknown param
+		{Bench: "129.compress", Axes: []Axis{{Param: "l1d.size_kb"}}},                                                // no values
+		{Bench: "129.compress", Axes: []Axis{{Param: "l1d.size_kb", Values: []int64{8, 8}}}},                         // duplicate value
+		{Bench: "129.compress", Axes: []Axis{{Param: "l1d.size_kb", Min: 4, Max: 64}}},                               // no step/mul
+		{Bench: "129.compress", Engine: runcfg.EngineFunc, Axes: []Axis{{Param: "l1d.size_kb", Values: []int64{8}}}}, // functional engine
+		{Bench: "129.compress", MaxPoints: 2, Axes: []Axis{{Param: "l1d.size_kb", Values: []int64{4, 8, 16}}}},       // over cap
+		{Bench: "129.compress", Axes: []Axis{
+			{Param: "l1d.size_kb", Values: []int64{8}}, {Param: "l1d.size_kb", Values: []int64{16}}}}, // duplicate axis
+	}
+	for i, spec := range cases {
+		if _, err := spec.Expand(); err == nil {
+			t.Errorf("case %d: bad spec accepted", i)
+		}
+	}
+}
+
+func TestExpandMarksInvalidPointsPerPoint(t *testing.T) {
+	spec := Spec{
+		Bench:  "129.compress",
+		Engine: runcfg.EngineFastsim,
+		// 3 KB is not a power of two; 4 and 8 are fine.
+		Axes: []Axis{{Param: "l1d.size_bytes", Values: []int64{3000, 4096, 8192}}},
+	}
+	points, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Invalid == "" || !strings.Contains(points[0].Invalid, "power of two") {
+		t.Fatalf("invalid point not marked: %+v", points[0])
+	}
+	if points[1].Invalid != "" || points[2].Invalid != "" {
+		t.Fatal("valid points marked invalid")
+	}
+}
+
+func TestRunWarmChainsAndDeterminism(t *testing.T) {
+	ctx := context.Background()
+	spec := compressSpec(4, 8, 16, 32)
+
+	run := func() *Report {
+		t.Helper()
+		rep, err := Run(ctx, spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run()
+	if rep.Summary.Ran != 4 {
+		t.Fatalf("ran %d/4: %+v", rep.Summary.Ran, rep.Summary)
+	}
+	if rep.Points[0].WarmStart {
+		t.Fatal("first point cannot warm-start")
+	}
+	for _, p := range rep.Points[1:] {
+		if !p.WarmStart || p.WarmSource != "memory" {
+			t.Fatalf("point %d should warm-start from memory: %+v", p.Index, p)
+		}
+	}
+	// Exactness: warm-started points must match a cold reference run.
+	for _, p := range rep.Points {
+		cold, err := NewLocalBackend().Run(ctx, JobSpec{
+			Bench: spec.Bench, Scale: spec.Scale, Engine: spec.Engine,
+			Memoize: true, Uarch: pointSpec(t, p.Params),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.Result.Cycles != p.Cycles || cold.Result.Insts != p.Insts {
+			t.Fatalf("point %d diverges from cold run: warm %d cycles, cold %d",
+				p.Index, p.Cycles, cold.Result.Cycles)
+		}
+	}
+	// Larger L1D must not increase misses (monotone miss curve).
+	for i := 1; i < len(rep.Points); i++ {
+		if rep.Points[i].L1DMisses > rep.Points[i-1].L1DMisses {
+			t.Fatalf("miss curve not monotone: %d misses at point %d, %d at point %d",
+				rep.Points[i-1].L1DMisses, i-1, rep.Points[i].L1DMisses, i)
+		}
+	}
+
+	// Same spec twice: byte-identical reports modulo host time.
+	rep2 := run()
+	rep.StripHostTime()
+	rep2.StripHostTime()
+	j1, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := rep2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("reports differ:\n%s\n---\n%s", j1, j2)
+	}
+}
+
+// pointSpec rebuilds a point's UarchSpec from its report coordinates.
+func pointSpec(t *testing.T, params []ParamValue) *runcfg.UarchSpec {
+	t.Helper()
+	s := &runcfg.UarchSpec{}
+	for _, pv := range params {
+		if err := s.SetParam(pv.Name, pv.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestRunParallelGroupsStayExact(t *testing.T) {
+	// Two lineages (two window sizes) × two memory points each, run with
+	// two workers: groups interleave, within-group order is preserved.
+	spec := Spec{
+		Bench:  "129.compress",
+		Engine: runcfg.EngineFastsim,
+		Axes: []Axis{
+			{Param: "core.window", Values: []int64{16, 32}},
+			{Param: "l1d.size_kb", Values: []int64{8, 32}},
+		},
+	}
+	rep, err := Run(context.Background(), spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Ran != 4 || rep.Summary.WarmStarts != 2 {
+		t.Fatalf("summary %+v, want 4 ran / 2 warm", rep.Summary)
+	}
+	// The second point of each lineage group warm-starts.
+	for _, i := range []int{1, 3} {
+		if !rep.Points[i].WarmStart {
+			t.Fatalf("point %d should warm-start: %+v", i, rep.Points[i])
+		}
+	}
+}
+
+func TestRunSkipsInvalidAndKeepsGoing(t *testing.T) {
+	spec := Spec{
+		Bench:  "129.compress",
+		Engine: runcfg.EngineFastsim,
+		Axes:   []Axis{{Param: "l1d.size_bytes", Values: []int64{3000, 8192}}},
+	}
+	rep, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points[0].Status != PointInvalid || rep.Points[1].Status != PointOK {
+		t.Fatalf("statuses %s/%s", rep.Points[0].Status, rep.Points[1].Status)
+	}
+	if rep.Summary.Invalid != 1 || rep.Summary.Ran != 1 {
+		t.Fatalf("summary %+v", rep.Summary)
+	}
+}
+
+// cancelBackend wraps LocalBackend and cancels the sweep after n points.
+type cancelBackend struct {
+	inner  Backend
+	cancel context.CancelFunc
+	after  int
+	mu     sync.Mutex
+	ran    int
+}
+
+func (b *cancelBackend) Run(ctx context.Context, js JobSpec) (JobResult, error) {
+	res, err := b.inner.Run(ctx, js)
+	b.mu.Lock()
+	b.ran++
+	if b.ran == b.after {
+		b.cancel()
+	}
+	b.mu.Unlock()
+	return res, err
+}
+
+func TestRunCancelMarksRemainingSkipped(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec := compressSpec(4, 8, 16, 32)
+	cb := &cancelBackend{inner: NewLocalBackend(), cancel: cancel, after: 2}
+	rep, err := Run(ctx, spec, Options{Backend: cb})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if rep.Summary.Ran != 2 || rep.Summary.Skipped != 2 {
+		t.Fatalf("summary %+v, want 2 ran / 2 skipped", rep.Summary)
+	}
+	for _, p := range rep.Points[2:] {
+		if p.Status != PointSkipped {
+			t.Fatalf("point %d status %s", p.Index, p.Status)
+		}
+	}
+}
+
+func TestReportCurvesAndKnee(t *testing.T) {
+	rep := &Report{
+		Axes: []AxisInfo{{Param: "l1d.size_kb", Values: []int64{4, 8, 16, 32, 64}}},
+	}
+	// A classic miss curve: steep improvement then a plateau; the knee is
+	// where the curve flattens (16 KB here).
+	cycles := []uint64{10000, 6000, 3000, 2800, 2700}
+	for i, c := range cycles {
+		rep.Points = append(rep.Points, PointResult{
+			Index:  i,
+			Params: []ParamValue{{Name: "l1d.size_kb", Value: rep.Axes[0].Values[i]}},
+			Status: PointOK, Cycles: c, Insts: 1000,
+		})
+	}
+	rep.finalize()
+	if len(rep.Curves) != 1 || len(rep.Curves[0].Rows) != 5 {
+		t.Fatalf("curves %+v", rep.Curves)
+	}
+	if rep.Summary.Best != 4 || rep.Summary.Worst != 0 {
+		t.Fatalf("best/worst %d/%d", rep.Summary.Best, rep.Summary.Worst)
+	}
+	if rep.Summary.Knee != 2 {
+		t.Fatalf("knee at point %d, want 2 (16 KB)", rep.Summary.Knee)
+	}
+}
+
+func TestReportRenderers(t *testing.T) {
+	rep, err := Run(context.Background(), compressSpec(8, 32), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := rep.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "l1d.size_kb,status,") {
+		t.Fatalf("csv:\n%s", csv.String())
+	}
+	var txt bytes.Buffer
+	if err := rep.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"129.compress", "l1d.size_kb", "best", "ran 2/2"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("text report missing %q:\n%s", want, txt.String())
+		}
+	}
+}
+
+func TestMultiAxisCurveSlices(t *testing.T) {
+	rep, err := Run(context.Background(), Spec{
+		Bench:  "129.compress",
+		Engine: runcfg.EngineFastsim,
+		Axes: []Axis{
+			{Param: "l1d.size_kb", Values: []int64{8, 32}},
+			{Param: "tlb.entries", Values: []int64{16, 64}},
+		},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Curves) != 2 {
+		t.Fatalf("curves: %d, want 2", len(rep.Curves))
+	}
+	for _, c := range rep.Curves {
+		if len(c.Rows) != 2 {
+			t.Fatalf("curve %s has %d rows, want 2 (1-D slice)", c.Param, len(c.Rows))
+		}
+		if len(c.Fixed) != 1 {
+			t.Fatalf("curve %s fixed %v", c.Param, c.Fixed)
+		}
+	}
+}
