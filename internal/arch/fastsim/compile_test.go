@@ -1,0 +1,118 @@
+package fastsim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"facile/internal/arch/funcsim"
+	"facile/internal/arch/uarch"
+	"facile/internal/faults"
+)
+
+// TestEmptyPathMissDegrades poisons the action cache with an entry whose
+// first action is a dynamic-result test with no recorded successors: the
+// replay misses before any dynamic value has been logged to s.path.
+// Recovery alignment needs that value, so this must surface as a
+// structural fault (degrade, re-run slow) — not a panic on path[len-1].
+func TestEmptyPathMissDegrades(t *testing.T) {
+	p := asmOrDie(t, sumLoop)
+	_, golden, err := funcsim.Run(p, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := New(uarch.Default(), p, Options{Memoize: false}).Run(0)
+
+	s := New(uarch.Default(), p, Options{Memoize: true})
+	key := s.eng.snapshotKey()
+	bad := &centry{key: key, first: &action{kind: aNextPC}}
+	s.ac.put(bad)
+	s.beginReplay(key)
+	s.replayFrom(bad, 0)
+
+	st := s.Stats()
+	if f := s.LastFault(); f == nil || f.Kind != faults.BrokenChain {
+		t.Fatalf("fault = %v, want BrokenChain", s.LastFault())
+	}
+	if st.DegradedSteps != 1 || st.Invalidations != 1 {
+		t.Errorf("expected one degraded step and one invalidation: %+v", st)
+	}
+	if st.Misses != 0 {
+		t.Errorf("a structural fault must not count as a value miss: %+v", st)
+	}
+
+	// The run must finish on the slow path with results identical to the
+	// uncorrupted simulators.
+	res := s.Run(0)
+	if !bytes.Equal(res.Output, golden.Output) {
+		t.Errorf("output %q != golden %q", res.Output, golden.Output)
+	}
+	if res.Cycles != plain.Cycles {
+		t.Errorf("cycles %d != plain %d", res.Cycles, plain.Cycles)
+	}
+}
+
+// TestFusedStateDiscardedOnCverBump pins the derived-state contract: a
+// superinstruction built for an action is valid only while the owning
+// entry's cver is unchanged, and both fault injection and invalidation
+// move it.
+func TestFusedStateDiscardedOnCverBump(t *testing.T) {
+	p := asmOrDie(t, sumLoop)
+	s := New(uarch.Default(), p, Options{Memoize: true})
+	e := &centry{key: "k", first: &action{kind: aShift, slot: 1}}
+	s.ac.put(e)
+	a := e.first
+	a.fused = s.buildFused(a)
+	a.fusedVer = e.cver
+	s.ac.invalidate(e)
+	if a.fusedVer == e.cver {
+		t.Fatal("invalidate did not bump cver; stale fused state would survive")
+	}
+	a.fusedVer = e.cver
+	s.injectFault(e, faults.InjFlipFork)
+	if a.fusedVer == e.cver {
+		t.Fatal("injectFault did not bump cver; stale fused state would survive")
+	}
+}
+
+// The compiled closure-array replay substrate must be bit-identical to the
+// action-at-a-time interpreter: same cycles, instructions, and output AND
+// same fault / miss / degradation counters, under clean runs,
+// self-checking, a starved action watchdog (fused runs must trip at the
+// identical action count), and every injected corruption (faults
+// mid-superinstruction must detect and recover exactly as interpreted
+// replay does).
+func TestCompiledReplayMatchesInterp(t *testing.T) {
+	variants := []struct {
+		name string
+		opt  func() Options
+	}{
+		{"clean", func() Options { return Options{Memoize: true} }},
+		{"selfcheck", func() Options { return Options{Memoize: true, SelfCheck: 0.5} }},
+		{"capped", func() Options { return Options{Memoize: true, CacheCapBytes: 64 << 10} }},
+		{"watchdog-starved", func() Options { return Options{Memoize: true, MaxReplayActions: 4} }},
+		{"inject-all", func() Options {
+			return Options{Memoize: true, Inject: faults.NewInjector(7, 5,
+				faults.InjBreakChain, faults.InjFlipFork, faults.InjTruncate, faults.InjGenBump)}
+		}},
+	}
+	for _, w := range faultWorkloads {
+		for _, v := range variants {
+			t.Run(w.name+"/"+v.name, func(t *testing.T) {
+				p := asmOrDie(t, w.src)
+				oi := v.opt()
+				oi.ReplayInterp = true
+				si := New(uarch.Default(), p, oi)
+				ri := si.Run(0)
+				sc := New(uarch.Default(), p, v.opt())
+				rc := sc.Run(0)
+				if !reflect.DeepEqual(ri, rc) {
+					t.Errorf("results diverge:\n  interp   %+v\n  compiled %+v", ri, rc)
+				}
+				if sti, stc := si.Stats(), sc.Stats(); !reflect.DeepEqual(sti, stc) {
+					t.Errorf("stats diverge:\n  interp   %+v\n  compiled %+v", sti, stc)
+				}
+			})
+		}
+	}
+}

@@ -19,6 +19,10 @@ func spineNext(a *action) *action {
 // a configured faults.Injector (tests and fault drills); each corruption
 // is crafted so the corresponding detection + recovery path must fire.
 func (s *Sim) injectFault(e *centry, inj faults.Injection) {
+	// Any mutation of the recorded chain invalidates the derived compiled
+	// state: bump the entry's version so stale superinstructions are
+	// discarded and the corruption is re-validated on the next replay.
+	e.cver++
 	ij := s.opt.Inject
 	switch inj {
 	case faults.InjBreakChain:

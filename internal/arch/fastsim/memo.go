@@ -50,6 +50,13 @@ type action struct {
 	nextKey string
 	link    *centry
 	linkGen uint64
+
+	// Derived compiled-replay state (see compile.go): the superinstruction
+	// headed by this action, valid only while fusedVer equals the owning
+	// entry's cver. Never serialized — snapshot/warmio enumerate fields
+	// explicitly — and rebuilt lazily after warm adoption.
+	fused    *fusedActs
+	fusedVer uint64
 }
 
 // findFork returns the successor recorded for value v, if any.
@@ -69,6 +76,12 @@ type centry struct {
 	first *action
 	gen   uint64
 	bytes uint64 // bytes charged against the gauge for this entry
+
+	// cver versions the entry's derived compiled-replay state: any
+	// mutation of the recorded chain (fault injection, invalidation)
+	// bumps it, so stale superinstructions are discarded and the mutated
+	// chain is re-validated before its next replay.
+	cver uint64
 }
 
 // Approximate byte accounting for Table 2. We charge the in-memory cost of
@@ -136,6 +149,7 @@ func (c *acache) charge(e *centry, n uint64) {
 // entry would double-count. The generation moves either way so any
 // replay-cached link to e re-validates and misses.
 func (c *acache) invalidate(e *centry) {
+	e.cver++ // discard derived compiled state along with the entry
 	var refund uint64
 	if cur, ok := c.m[e.key]; ok && cur == e {
 		delete(c.m, e.key)
@@ -208,6 +222,12 @@ type Options struct {
 	// (0 = default 1<<20). It catches cycles in a corrupted action graph.
 	MaxReplayActions uint64
 
+	// ReplayInterp selects the action-at-a-time replay interpreter instead
+	// of the compiled closure-array substrate (see compile.go). The two
+	// paths are bit-identical; the interpreter remains as an escape hatch
+	// and as the differential-testing reference.
+	ReplayInterp bool
+
 	// MaxStepCycles bounds the cycles one slow step may simulate before the
 	// watchdog trips (0 = default 1<<22).
 	MaxStepCycles uint64
@@ -276,10 +296,15 @@ type Sim struct {
 	scDiverged uint64
 	lastFault  *faults.Fault
 
+	compiled bool // threaded/fused replay dispatch (== !opt.ReplayInterp)
+
 	obs        *obs.Recorder
 	sampler    *obs.Sampler
 	hStepActs  *obs.Histogram // actions replayed per fast step
 	hEntrySize *obs.Histogram // bytes charged per installed entry
+	cFusedRuns *obs.Counter   // superinstructions built (lazily, per head action)
+	cFusedDisp *obs.Counter   // superinstruction dispatches during replay
+	cCompActs  *obs.Counter   // actions compiled into superinstructions
 }
 
 // New builds a fast-forwarding simulator for prog.
@@ -315,8 +340,13 @@ func New(cfg uarch.Config, prog *loader.Program, opt Options) *Sim {
 		s.scState = 0xD1B54A32D192ED03
 	}
 	s.eng.maxStepCycles = opt.MaxStepCycles
-	s.hStepActs = opt.Obs.Registry().Histogram("fastsim.replay_actions_per_step")
-	s.hEntrySize = opt.Obs.Registry().Histogram("fastsim.entry_bytes")
+	s.compiled = !opt.ReplayInterp
+	reg := opt.Obs.Registry()
+	s.hStepActs = reg.Histogram("fastsim.replay_actions_per_step")
+	s.hEntrySize = reg.Histogram("fastsim.entry_bytes")
+	s.cFusedRuns = reg.Counter("fastsim.fused_runs")
+	s.cFusedDisp = reg.Counter("fastsim.fused_dispatches")
+	s.cCompActs = reg.Counter("fastsim.compiled_actions")
 	s.sampler = obs.NewSampler(opt.Obs, opt.SampleEvery, s.sampleNow)
 	return s
 }

@@ -46,6 +46,44 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 			s.degradeStep(e)
 			return
 		}
+		if s.compiled && fusable(a.kind) {
+			// Compiled fast path: execute the superinstruction headed at a —
+			// a straight-line run of pure-flow actions — as one fused call
+			// sequence. Built lazily per head action and discarded whenever
+			// the entry's cver moves (injection, invalidation).
+			fr := a.fused
+			if fr == nil || a.fusedVer != e.cver {
+				fr = s.buildFused(a)
+				a.fused = fr
+				a.fusedVer = e.cver
+				if fr.n > 0 {
+					s.cFusedRuns.Inc()
+					s.cCompActs.Add(fr.n)
+				}
+			}
+			if fr.n > 0 && acts+fr.n <= s.opt.MaxReplayActions {
+				// The bound keeps the watchdog exact: the interpreted loop
+				// trips once acts exceeds the maximum, so a run dispatches
+				// only if its last action would still pass that check;
+				// otherwise the actions replay interpreted and the watchdog
+				// trips at the identical count.
+				for _, fn := range fr.fns {
+					fn(s)
+				}
+				// Bookkeeping the closures elide is charged per run: nothing
+				// inside a run reads cycle, ops, or the instruction counter
+				// (only fork actions and step boundaries do, and those always
+				// sit between runs), so the batched totals are observationally
+				// identical to the interpreter's per-action increments.
+				s.cycle += fr.cyc
+				s.ops += fr.ops
+				s.fastInsts += fr.ins
+				acts += fr.n
+				s.cFusedDisp.Inc()
+				a = fr.end
+				continue
+			}
+		}
 		acts++
 		if acts > s.opt.MaxReplayActions {
 			// A cycle in a corrupted graph, or a runaway step.
@@ -189,6 +227,18 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 // (overrun or incomplete consumption) is a fault: the entry is invalidated
 // and the step's recording is abandoned.
 func (s *Sim) miss(a *action, e *centry) {
+	if len(s.path) == 0 {
+		// Defensive: aNextPC is the only fork action that does not append
+		// to s.path itself — it relies on the preceding aExec having logged
+		// the resolved next PC, which a corrupted chain (a flipped cls
+		// making needNextPCTest false, or an entry whose first action is a
+		// fork) breaks. Recovery alignment needs the missing value, so this
+		// is a structural fault, not a value miss: degrade instead of
+		// panicking on untrusted cache data.
+		s.fault(faults.BrokenChain, "mid-step miss with no replayed dynamic values")
+		s.degradeStep(e)
+		return
+	}
 	s.misses++
 	s.steps++
 	s.obs.Event(obs.EvMidStepMiss, s.ops)

@@ -51,6 +51,17 @@ func TestFastsimTraceMatchesStats(t *testing.T) {
 	if st.CacheClears == 0 {
 		t.Error("expected at least one clear-when-full under a 64 KiB cap")
 	}
+	// Registry parity: the per-step replay-length histogram observes exactly
+	// one value per replayed step, and the compiled replay substrate (the
+	// default dispatch) must actually be exercising fused superinstructions.
+	reg := rec.Registry()
+	if got := reg.Histogram("fastsim.replay_actions_per_step").Count(); got != st.Replays {
+		t.Errorf("replay_actions_per_step count = %d, Stats.Replays = %d", got, st.Replays)
+	}
+	if reg.Counter("fastsim.fused_runs").Load() == 0 ||
+		reg.Counter("fastsim.fused_dispatches").Load() == 0 {
+		t.Error("compiled replay dispatched no superinstructions; fusion is vacuous")
+	}
 	if rec.Dropped() == 0 {
 		t.Error("expected ring overwrites with RingSize 256; totals check is vacuous")
 	}
@@ -127,5 +138,15 @@ func TestFacsimObsWiring(t *testing.T) {
 	}
 	if rec.Count(obs.EvPhaseBegin) == 0 || rec.Count(obs.EvPhaseEnd) == 0 {
 		t.Error("rt.run phase events missing")
+	}
+	// Registry parity with fastsim: rt reports the same per-step
+	// replay-length histogram, one observation per replayed step, and the
+	// block precompiler must have compiled something.
+	reg := rec.Registry()
+	if got := reg.Histogram("rt.replay_nodes_per_step").Count(); got != st.Replays {
+		t.Errorf("replay_nodes_per_step count = %d, Stats.Replays = %d", got, st.Replays)
+	}
+	if reg.Counter("rt.compiled_blocks").Load() == 0 {
+		t.Error("no dynamic blocks were precompiled")
 	}
 }

@@ -23,6 +23,13 @@ type node struct {
 	nextKey string
 	link    *centry
 	linkGen uint64
+
+	// Derived compiled-replay state (see compile.go): the superinstruction
+	// headed by this node, valid only while fusedVer equals the owning
+	// entry's cver. Never serialized — snapshot/warmio enumerate fields
+	// explicitly — and rebuilt lazily after warm adoption.
+	fused    *fusedRun
+	fusedVer uint64
 }
 
 type nfork struct {
@@ -46,6 +53,12 @@ type centry struct {
 	first *node
 	gen   uint64
 	bytes uint64 // bytes charged against the gauge for this entry
+
+	// cver versions the entry's derived compiled-replay state: any
+	// mutation of the recorded chain (fault injection, invalidation)
+	// bumps it, so stale superinstructions are discarded and the mutated
+	// chain is re-validated before its next replay.
+	cver uint64
 }
 
 // Byte-accounting model for the cache-size cap and the Table 2 metric.
@@ -110,6 +123,7 @@ func (c *acache) charge(e *centry, n uint64) {
 // entry would double-count. The generation moves either way so any
 // replay-cached link to e re-validates and misses.
 func (c *acache) invalidate(e *centry) {
+	e.cver++ // discard derived compiled state along with the entry
 	var refund uint64
 	if cur, ok := c.m[e.key]; ok && cur == e {
 		delete(c.m, e.key)

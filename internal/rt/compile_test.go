@@ -1,0 +1,67 @@
+package rt
+
+import (
+	"testing"
+
+	"facile/internal/faults"
+	"facile/internal/lang/ir"
+)
+
+// minProgram is the smallest runnable program: one empty block with a Ret
+// terminator, no parameters, no globals.
+func minProgram() *ir.Program {
+	return &ir.Program{
+		Blocks: []*ir.Block{{ID: 0, Term: ir.Inst{Op: ir.Ret}}},
+	}
+}
+
+// TestMissRecoverEmptyPathDegrades drives the defensive guard in
+// missRecover directly: every dynamic-result terminator appends its value
+// to m.path before the fork lookup, so only corrupted cache data can
+// present a mid-step miss with an empty path. The guard must degrade the
+// step as a structural fault — never index path[len-1], never count a
+// value miss.
+func TestMissRecoverEmptyPathDegrades(t *testing.T) {
+	m := New(minProgram(), nil, Options{Memoize: true})
+	m.curKey = buildKey(m.argI, m.argQ)
+	m.started = true
+	e := &centry{key: m.curKey, first: &node{blockID: 0}}
+	m.ac.put(e)
+	m.stepKey = e.key
+	m.path = m.path[:0]
+	m.nodes = 0
+	if err := m.missRecover(e.first, e); err != nil {
+		t.Fatalf("missRecover: %v", err)
+	}
+	st := m.Stats()
+	if f := m.LastFault(); f == nil || f.Kind != faults.BrokenChain {
+		t.Fatalf("fault = %v, want BrokenChain", m.LastFault())
+	}
+	if st.DegradedSteps != 1 || st.Invalidations != 1 {
+		t.Errorf("expected one degraded step and one invalidation: %+v", st)
+	}
+	if st.Misses != 0 {
+		t.Errorf("a structural fault must not count as a value miss: %+v", st)
+	}
+}
+
+// TestFusedStateDiscardedOnCverBump pins the derived-state contract: a
+// superinstruction built for a node is valid only while the owning entry's
+// cver is unchanged, and both fault injection and invalidation move it.
+func TestFusedStateDiscardedOnCverBump(t *testing.T) {
+	m := New(minProgram(), nil, Options{Memoize: true})
+	e := &centry{key: "", first: &node{blockID: 0}}
+	m.ac.put(e)
+	n := e.first
+	n.fused = m.buildFused(n)
+	n.fusedVer = e.cver
+	m.ac.invalidate(e)
+	if n.fusedVer == e.cver {
+		t.Fatal("invalidate did not bump cver; stale fused state would survive")
+	}
+	n.fusedVer = e.cver
+	m.injectFault(e, faults.InjFlipFork)
+	if n.fusedVer == e.cver {
+		t.Fatal("injectFault did not bump cver; stale fused state would survive")
+	}
+}

@@ -21,6 +21,10 @@ func spineNext(n *node) *node {
 }
 
 func (m *Machine) injectFault(e *centry, inj faults.Injection) {
+	// Any mutation of the recorded chain invalidates the derived compiled
+	// state: bump the entry's version so stale superinstructions are
+	// discarded and the corruption is re-validated on the next replay.
+	e.cver++
 	ij := m.opt.Inject
 	switch inj {
 	case faults.InjBreakChain:

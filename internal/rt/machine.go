@@ -48,6 +48,12 @@ type Options struct {
 	// action graph.
 	MaxReplayNodes uint64
 
+	// ReplayInterp selects the bytecode-at-a-time replay interpreter
+	// instead of the compiled closure-chain substrate (see compile.go).
+	// The two paths are bit-identical; the interpreter remains as an
+	// escape hatch and as the differential-testing reference.
+	ReplayInterp bool
+
 	// Obs, when non-nil, receives the memoization lifecycle and a sampled
 	// time series of cache occupancy and slow-vs-fast operation split.
 	Obs *obs.Recorder
@@ -111,8 +117,20 @@ type Machine struct {
 	scState   uint64    // self-check sampling PRNG state
 	lastFault *faults.Fault
 
+	// Compiled replay substrate (see compile.go). compiled mirrors
+	// !opt.ReplayInterp; code holds each block's precompiled dynamic
+	// segment.
+	compiled bool
+	code     []blockCode
+
 	obs     *obs.Recorder
 	sampler *obs.Sampler
+
+	// Registry metrics: per-step replay-length distribution (parity with
+	// fastsim's replay_actions_per_step) and compiled-substrate telemetry.
+	hStepNodes *obs.Histogram
+	cFusedRuns *obs.Counter // superinstructions built (lazily, per head node)
+	cFusedDisp *obs.Counter // superinstruction dispatches during replay
 
 	stats Stats
 }
@@ -138,6 +156,14 @@ func New(p *ir.Program, text TextSource, opt Options) *Machine {
 		ac:      newACache(opt.CacheCapBytes, opt.Obs),
 		obs:     opt.Obs,
 	}
+	m.compiled = !opt.ReplayInterp
+	var nCompiled int
+	m.code, nCompiled = compileProgram(p)
+	reg := opt.Obs.Registry()
+	reg.Counter("rt.compiled_blocks").Add(uint64(nCompiled))
+	m.hStepNodes = reg.Histogram("rt.replay_nodes_per_step")
+	m.cFusedRuns = reg.Counter("rt.fused_runs")
+	m.cFusedDisp = reg.Counter("rt.fused_dispatches")
 	m.sampler = obs.NewSampler(opt.Obs, opt.SampleEvery, func() obs.Sample {
 		return obs.Sample{
 			Insts:        m.stats.SlowInsts + m.stats.FastOps,

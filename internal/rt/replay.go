@@ -36,6 +36,39 @@ func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
 			m.fault(faults.BrokenChain, "nil action link before end of step")
 			return m.degradeStep(e)
 		}
+		if m.compiled {
+			// Compiled fast path: execute the superinstruction headed at n —
+			// a pre-validated straight-line run of DTNone nodes — as one
+			// fused call sequence. Built lazily per head node and discarded
+			// whenever the entry's cver moves (injection, invalidation).
+			fr := n.fused
+			if fr == nil || n.fusedVer != e.cver {
+				fr = m.buildFused(n)
+				n.fused = fr
+				n.fusedVer = e.cver
+				if len(fr.steps) > 0 {
+					m.cFusedRuns.Inc()
+				}
+			}
+			if k := uint64(len(fr.steps)); k > 0 && m.nodes+k <= m.opt.MaxReplayNodes {
+				// The bound keeps the watchdog exact: the interpreted loop
+				// executes a node only while m.nodes < MaxReplayNodes, so a
+				// run is dispatched only if its last node would still pass
+				// that check; otherwise the nodes replay interpreted and the
+				// watchdog trips at the identical count.
+				for i := range fr.steps {
+					st := &fr.steps[i]
+					for _, fn := range st.fns {
+						fn(m, st.data)
+					}
+				}
+				m.stats.FastOps += fr.ops
+				m.nodes += k
+				m.cFusedDisp.Inc()
+				n = fr.end
+				continue
+			}
+		}
 		if m.nodes >= m.opt.MaxReplayNodes {
 			// A cycle in a corrupted graph, or a runaway step.
 			m.fault(faults.WatchdogReplay,
@@ -102,6 +135,7 @@ func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
 			}
 			m.stats.Replays++
 			m.obs.Event(obs.EvStepReplayed, m.nodes)
+			m.hStepNodes.Observe(m.nodes)
 			m.curKey = n.nextKey
 			m.path = m.path[:0]
 			m.nodes = 0
@@ -146,6 +180,16 @@ func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
 // replayed path (overrun or incomplete consumption) is a fault: the entry
 // is invalidated and the half-recorded fork is dropped.
 func (m *Machine) missRecover(n *node, e *centry) error {
+	if len(m.path) == 0 {
+		// Defensive: every dynamic-result terminator appends its value to
+		// m.path before the fork lookup, so an empty path here means the
+		// recorded chain and the replay disagree about the step's dynamic
+		// structure. Recovery alignment needs the missing value, so this is
+		// a structural fault, not a value miss: degrade instead of panicking
+		// on untrusted cache data.
+		m.fault(faults.BrokenChain, "mid-step miss with no replayed dynamic values")
+		return m.degradeStep(e)
+	}
 	m.stats.Misses++
 	m.obs.Event(obs.EvMidStepMiss, m.nodes)
 	if !parseKey(m.stepKey, m.argI, m.argQ) {

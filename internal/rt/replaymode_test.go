@@ -1,0 +1,51 @@
+package rt_test
+
+import (
+	"reflect"
+	"testing"
+
+	"facile/internal/faults"
+	"facile/internal/rt"
+)
+
+// The compiled closure-chain replay substrate must be bit-identical to the
+// bytecode-at-a-time interpreter: same simulated results AND same fault /
+// miss / degradation counters, under clean runs, self-checking, a starved
+// replay watchdog (fused runs must trip at the identical node count), and
+// every injected corruption (faults mid-superinstruction must detect and
+// recover exactly as interpreted replay does).
+func TestCompiledReplayMatchesInterp(t *testing.T) {
+	variants := []struct {
+		name string
+		opt  func() rt.Options
+	}{
+		{"clean", func() rt.Options { return rt.Options{Memoize: true} }},
+		{"selfcheck", func() rt.Options { return rt.Options{Memoize: true, SelfCheck: 0.5} }},
+		{"watchdog-starved", func() rt.Options { return rt.Options{Memoize: true, MaxReplayNodes: 2} }},
+		{"inject-all", func() rt.Options {
+			return rt.Options{Memoize: true, Inject: faults.NewInjector(7, 5,
+				faults.InjBreakChain, faults.InjFlipFork, faults.InjTruncate, faults.InjGenBump)}
+		}},
+	}
+	for _, w := range rtFaultWorkloads {
+		for _, v := range variants {
+			t.Run(w.name+"/"+v.name, func(t *testing.T) {
+				oi := v.opt()
+				oi.ReplayInterp = true
+				mi, outI := runFaultWorkload(t, w.src, oi)
+				mc, outC := runFaultWorkload(t, w.src, v.opt())
+				sameResults(t, mi, mc, outI, outC)
+				si, sc := mi.Stats(), mc.Stats()
+				if !reflect.DeepEqual(si, sc) {
+					t.Errorf("stats diverge:\n  interp   %+v\n  compiled %+v", si, sc)
+				}
+				ki, ai := mi.DebugState()
+				kc, ac := mc.DebugState()
+				if ki != kc || !reflect.DeepEqual(ai, ac) {
+					t.Errorf("final step state diverges: interp (%q, %v) vs compiled (%q, %v)",
+						ki, ai, kc, ac)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package runcfg
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"facile/internal/parsim"
+	"facile/internal/workloads"
+)
+
+func TestReplayModeValidation(t *testing.T) {
+	w, err := workloads.Get("129.compress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"", ReplayCompiled, ReplayInterp} {
+		if _, err := New(w.Prog, Config{Engine: EngineFastsim, Replay: mode}); err != nil {
+			t.Errorf("replay mode %q rejected: %v", mode, err)
+		}
+	}
+	_, err = New(w.Prog, Config{Engine: EngineFastsim, Replay: "threaded"})
+	if err == nil || !strings.Contains(err.Error(), "unknown replay mode") {
+		t.Errorf("bogus replay mode accepted (err = %v)", err)
+	}
+}
+
+// TestReplayModesBitIdentical runs the full workload suite through both
+// memoizing engines under both replay dispatchers and requires every
+// deterministic field — results, outputs, and the complete unified stats
+// (replays, misses, faults, degradations, cache accounting) — to be
+// bit-identical. This is the acceptance property of the compiled replay
+// substrate: it may only be faster, never different.
+func TestReplayModesBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite determinism sweep skipped in -short mode")
+	}
+	engines := []string{EngineFastsim, EngineFacOOO}
+	names := workloads.Names()
+	type job struct{ engine, name string }
+	var jobs []job
+	for _, eng := range engines {
+		for _, n := range names {
+			jobs = append(jobs, job{eng, n})
+		}
+	}
+	errs := make([]string, len(jobs))
+	err := parsim.ForEach(len(jobs), 4, func(i int) error {
+		j := jobs[i]
+		w, err := workloads.Get(j.name, 1)
+		if err != nil {
+			return err
+		}
+		run := func(mode string) (Result, Stats, error) {
+			r, err := New(w.Prog, Config{Engine: j.engine, Memoize: true, Replay: mode})
+			if err != nil {
+				return Result{}, Stats{}, err
+			}
+			if err := r.Run(0); err != nil {
+				return Result{}, Stats{}, err
+			}
+			return r.Result(), r.Stats(), nil
+		}
+		ri, si, err := run(ReplayInterp)
+		if err != nil {
+			return err
+		}
+		rc, sc, err := run(ReplayCompiled)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(ri, rc) {
+			errs[i] = "results diverge"
+		} else if !reflect.DeepEqual(si, sc) {
+			errs[i] = "stats diverge"
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != "" {
+			t.Errorf("%s/%s: %s between interp and compiled replay", jobs[i].engine, jobs[i].name, e)
+		}
+	}
+}

@@ -37,6 +37,19 @@ const (
 	EngineFacOOO     = "fac-ooo"
 )
 
+// Replay-mode names accepted by Config.Replay. Compiled is the default:
+// the memoizing engines replay recorded actions through the specialized
+// closure-chain substrate (threaded dispatch + superinstruction fusion);
+// interp selects the action-at-a-time interpreter, kept as an escape hatch
+// and as the differential-testing reference (the two are bit-identical).
+const (
+	ReplayCompiled = "compiled"
+	ReplayInterp   = "interp"
+)
+
+// ReplayModes lists the valid replay-mode names in display order.
+func ReplayModes() []string { return []string{ReplayCompiled, ReplayInterp} }
+
 // Engines lists the valid engine names in display order.
 func Engines() []string {
 	return []string{EngineFunc, EngineOOO, EngineFastsim,
@@ -61,6 +74,11 @@ type Config struct {
 	CacheCapBytes uint64  // action cache cap (0 = unlimited)
 	SelfCheck     float64 // fraction of replayable steps re-verified slow
 	Inject        *faults.Injector
+
+	// Replay selects the memoizing engines' fast-path dispatch:
+	// ReplayCompiled (also the "" default) or ReplayInterp. Engines
+	// without an action cache ignore it.
+	Replay string
 
 	// Uarch overrides the simulated micro-architecture for the timing
 	// engines (nil = uarch.Default()). New validates the geometry and
@@ -170,8 +188,23 @@ type Runner interface {
 	LastFault() *faults.Fault
 }
 
+// replayInterp maps cfg.Replay onto the engines' boolean switch.
+func (c Config) replayInterp() (bool, error) {
+	switch c.Replay {
+	case "", ReplayCompiled:
+		return false, nil
+	case ReplayInterp:
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown replay mode %q (valid: %v)", c.Replay, ReplayModes())
+}
+
 // New builds a Runner for cfg.Engine over prog.
 func New(prog *loader.Program, cfg Config) (Runner, error) {
+	interp, err := cfg.replayInterp()
+	if err != nil {
+		return nil, err
+	}
 	uc := cfg.EffectiveUarch()
 	if cfg.Uarch != nil {
 		switch cfg.Engine {
@@ -197,6 +230,7 @@ func New(prog *loader.Program, cfg Config) (Runner, error) {
 			CacheCapBytes: cfg.CacheCapBytes,
 			SelfCheck:     cfg.SelfCheck,
 			Inject:        cfg.Inject,
+			ReplayInterp:  interp,
 			Obs:           cfg.Obs,
 			SampleEvery:   cfg.SampleEvery,
 		}
@@ -212,6 +246,7 @@ func New(prog *loader.Program, cfg Config) (Runner, error) {
 			CacheCapBytes: cfg.CacheCapBytes,
 			SelfCheck:     cfg.SelfCheck,
 			Inject:        cfg.Inject,
+			ReplayInterp:  interp,
 			Obs:           cfg.Obs,
 			SampleEvery:   cfg.SampleEvery,
 			Uarch:         cfg.Uarch,
