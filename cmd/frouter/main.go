@@ -1,0 +1,103 @@
+// Command frouter is the fleet front-end: it speaks the same HTTP/JSON
+// API as a single fsimd, but routes each submission across a fleet of
+// registered fsimd workers with warm-cache affinity — jobs of the same
+// cache lineage land on the worker already holding that lineage's
+// warmed action cache, so the fleet pays one cold start per lineage,
+// not one per worker.
+//
+// Usage:
+//
+//	frouter [-addr :8763] [-heartbeat 500ms] [-fail-after 2] [-vnodes 64]
+//	        [-shadow-budget BYTES] [-debug-addr ADDR]
+//
+// Workers self-register (fsimd -register http://router:8763
+// -advertise http://worker:8764) and are health-checked every
+// -heartbeat; a worker that fails -fail-after consecutive probes is
+// ejected, its hash range is reassigned, its warm caches are migrated
+// to the successors, and its in-flight jobs are resubmitted under their
+// original fleet IDs.
+//
+// Fleet-only endpoints on top of the fsimd surface:
+//
+//	GET /v1/fleet     topology, queue depths, lineage assignments
+//	GET /v1/metrics   fleet-wide merge of every worker's metrics
+//
+// See README.md ("Running a fleet") for a worked 3-worker example.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"facile/internal/cli"
+	"facile/internal/fleet"
+	"facile/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8763", "listen address for the fleet API")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "worker health-check interval")
+	failAfter := flag.Int("fail-after", 2, "consecutive failed probes before a worker is ejected")
+	vnodes := flag.Int("vnodes", fleet.DefaultVNodes, "virtual nodes per worker on the hash ring")
+	shadowBudget := flag.Int64("shadow-budget", 0,
+		"byte budget for the in-memory warm-cache shadow used for dead-worker migration (0 = default 256 MiB, negative disables)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve /debug/vars, /debug/metrics and /debug/pprof on this extra address")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		cli.PrintVersion("frouter")
+		return
+	}
+
+	rec := obs.NewRecorder(obs.Config{})
+	router := fleet.NewRouter(fleet.Config{
+		HeartbeatEvery: *heartbeat,
+		FailAfter:      *failAfter,
+		VNodes:         *vnodes,
+		ShadowBudget:   *shadowBudget,
+		Rec:            rec,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		die(err)
+	}
+	httpSrv := &http.Server{Handler: router.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			die(err)
+		}
+	}()
+	if *debugAddr != "" {
+		_, dbg, err := obs.Serve(*debugAddr, rec)
+		if err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "frouter: debug endpoint at http://%s/debug/vars\n", dbg)
+	}
+	fmt.Fprintf(os.Stderr, "frouter version %s listening on http://%s (heartbeat=%s fail-after=%d vnodes=%d)\n",
+		cli.Version(), ln.Addr(), *heartbeat, *failAfter, *vnodes)
+
+	ctx, stop := cli.ShutdownContext(context.Background())
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Fprintln(os.Stderr, "frouter: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shCtx)
+	router.Close()
+	fmt.Fprintln(os.Stderr, "frouter: bye")
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "frouter:", err)
+	os.Exit(1)
+}

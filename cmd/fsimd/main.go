@@ -8,6 +8,14 @@
 //
 //	fsimd [-addr :8764] [-workers N] [-queue N] [-timeout D] [-chunk N]
 //	      [-spool DIR] [-cache-dir DIR] [-cache-budget BYTES] [-debug-addr ADDR]
+//	      [-register URL] [-advertise URL]
+//
+// With -register, the daemon joins an frouter fleet: it self-registers
+// at startup, keeps the registration alive, and deregisters when
+// draining so the router reroutes its lineages immediately. -advertise
+// sets the URL the router reaches this worker at (defaults to
+// 127.0.0.1 with the bound port — set it whenever the router is on
+// another host).
 //
 // On SIGINT/SIGTERM the server drains: submissions get 503, running jobs
 // checkpoint at their next chunk boundary, and everything unfinished is
@@ -35,6 +43,7 @@ import (
 
 	"facile/internal/cachestore"
 	"facile/internal/cli"
+	"facile/internal/fleet"
 	"facile/internal/obs"
 	"facile/internal/serve"
 )
@@ -52,6 +61,10 @@ func main() {
 		"byte budget for the persistent store; LRU records beyond it are evicted (0 = unlimited)")
 	debugAddr := flag.String("debug-addr", "",
 		"serve /debug/vars, /debug/metrics and /debug/pprof on this extra address")
+	register := flag.String("register", "",
+		"frouter base URL to self-register with (e.g. http://router:8763)")
+	advertise := flag.String("advertise", "",
+		"base URL the router should reach this worker at (default http://127.0.0.1:<port> from -addr)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -137,11 +150,31 @@ func main() {
 	fmt.Fprintf(os.Stderr, "fsimd version %s listening on http://%s (workers=%d queue=%d)\n",
 		cli.Version(), ln.Addr(), *workers, *queueDepth)
 
+	var unregister func()
+	if *register != "" {
+		self := *advertise
+		if self == "" {
+			_, port, err := net.SplitHostPort(ln.Addr().String())
+			if err != nil {
+				die(fmt.Errorf("cannot derive -advertise from %s: %w", ln.Addr(), err))
+			}
+			self = "http://127.0.0.1:" + port
+		}
+		unregister = fleet.KeepRegistered(nil, *register,
+			fleet.RegisterRequest{URL: self},
+			func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "fsimd: "+format+"\n", args...)
+			})
+	}
+
 	ctx, stop := cli.ShutdownContext(context.Background())
 	defer stop()
 	<-ctx.Done()
 	stop() // a second signal now kills the process (escape from a wedged drain)
 
+	if unregister != nil {
+		unregister() // leave the fleet first so the router reroutes at once
+	}
 	fmt.Fprintln(os.Stderr, "fsimd: draining (running jobs checkpoint at the next chunk boundary)")
 	requeued := srv.Drain()
 	if *spool != "" && len(requeued) > 0 {

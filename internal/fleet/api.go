@@ -1,0 +1,355 @@
+package fleet
+
+// Router-level job and sweep operations, the semantic layer under the
+// HTTP handlers. The router owns the fleet's ID space (fj-/fs- prefixed)
+// and translates between fleet IDs and per-worker IDs on every call;
+// worker-minted IDs never leak to clients, so a job keeps its identity
+// across failover resubmissions.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"facile/internal/runcfg"
+	"facile/internal/serve"
+)
+
+// maxSubmitSpread bounds how many distinct workers one submission tries
+// before giving up (each SubmitRetry inside already absorbs 429s).
+const maxSubmitSpread = 4
+
+// SubmitJob validates, places, and submits one job, returning its fleet
+// status. Placement is sticky by cache lineage; a worker that refuses at
+// the transport level is avoided and the submission spreads to the next
+// ring candidate.
+func (r *Router) SubmitJob(ctx context.Context, req serve.JobRequest) (serve.JobStatus, error) {
+	if err := req.Validate(); err != nil {
+		return serve.JobStatus{}, &serve.StatusError{Code: http.StatusBadRequest, Msg: err.Error()}
+	}
+	lineage := req.LineageKey()
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return serve.JobStatus{}, ErrClosed
+	}
+	r.jobSeq++
+	j := &routedJob{
+		id:       fmt.Sprintf("fj-%06d", r.jobSeq),
+		req:      req,
+		lineage:  lineage,
+		queuedAt: time.Now(),
+	}
+	r.jobs[j.id] = j
+	r.order = append(r.order, j.id)
+	r.mu.Unlock()
+
+	avoid := map[string]bool{}
+	var lastErr error
+	for try := 0; try < maxSubmitSpread; try++ {
+		r.mu.Lock()
+		w, reassigned, err := r.routeLocked(lineage, j.id, avoid)
+		r.mu.Unlock()
+		if err != nil {
+			lastErr = err
+			break
+		}
+		if reassigned {
+			r.migrate(lineage, nil, w)
+		}
+		st, err := w.client.SubmitRetry(ctx, req)
+		if err == nil {
+			r.mu.Lock()
+			j.worker = w.name
+			j.remoteID = st.ID
+			j.attempts++
+			j.last = st
+			st = r.publicStatusLocked(j)
+			r.mu.Unlock()
+			r.counter("frouter.jobs_routed").Inc()
+			return st, nil
+		}
+		lastErr = err
+		var se *serve.StatusError
+		if errors.As(err, &se) {
+			if se.Code < 500 && se.Code != http.StatusTooManyRequests {
+				// The worker understood the request and rejected it for cause;
+				// another worker would say the same. Forward verbatim.
+				r.dropJob(j)
+				return serve.JobStatus{}, err
+			}
+			// A clean 5xx (draining, store trouble): the worker is alive but
+			// unwilling. Route around it without charging a liveness strike.
+			avoid[w.name] = true
+			continue
+		}
+		// Transport-level failure: charge a probe strike (FailAfter of these
+		// eject) and spread to the next candidate.
+		avoid[w.name] = true
+		r.noteSubmitFailure(w)
+	}
+	r.dropJob(j)
+	if lastErr == nil {
+		lastErr = ErrNoWorkers
+	}
+	return serve.JobStatus{}, lastErr
+}
+
+// dropJob removes a job record that never landed anywhere; its ID was
+// never returned to a client, so it is not "lost" by disappearing.
+func (r *Router) dropJob(j *routedJob) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.jobs, j.id)
+	for i, id := range r.order {
+		if id == j.id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// noteSubmitFailure charges a liveness strike for a transport-level
+// submission failure — the same currency as heartbeat probe failures, so
+// a worker that died between heartbeats is ejected by the traffic that
+// discovers it rather than waiting out FailAfter probe intervals.
+func (r *Router) noteSubmitFailure(w *Worker) {
+	r.mu.Lock()
+	if w.state == WorkerDead {
+		r.mu.Unlock()
+		return
+	}
+	w.fails++
+	if w.fails < r.cfg.FailAfter {
+		r.mu.Unlock()
+		return
+	}
+	lineages, jobs := r.ejectLocked(w, "submit")
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.recoverFrom(w, lineages, jobs)
+	}()
+}
+
+// publicStatusLocked renders a routed job in fleet terms: the fleet ID,
+// warm-source provenance adjusted for router migrations, and a synthetic
+// queued state while the job awaits (re)submission. Callers hold r.mu.
+func (r *Router) publicStatusLocked(j *routedJob) serve.JobStatus {
+	st := j.last
+	st.ID = j.id
+	if st.State == "" {
+		st.State = serve.StateQueued
+		st.Engine = j.req.Engine
+		st.Bench = j.req.Bench
+		st.LineageKey = j.lineage
+	}
+	if st.QueuedAt.IsZero() {
+		st.QueuedAt = j.queuedAt
+	}
+	if j.failed != "" {
+		st.State, st.Error = serve.StateFailed, j.failed
+	} else if !j.terminal {
+		if w := r.workers[j.worker]; j.remoteID == "" || w == nil || w.state == WorkerDead {
+			// Between an ejection and the failover resubmission the job is
+			// nowhere; to the client it is simply queued (at the fleet).
+			st.State = serve.StateQueued
+		}
+	}
+	if j.reroutes > 0 && j.attempts > st.Attempt {
+		st.Attempt = j.attempts
+	}
+	if st.WarmSource == "store" && r.migrated[j.lineage] {
+		st.WarmSource = serve.WarmSourceMigrated
+	}
+	return st
+}
+
+// JobStatus returns one job's fleet status, refreshed from its worker
+// when it is live there.
+func (r *Router) JobStatus(ctx context.Context, id string) (serve.JobStatus, error) {
+	r.mu.Lock()
+	j := r.jobs[id]
+	if j == nil {
+		r.mu.Unlock()
+		return serve.JobStatus{}, ErrUnknownJob
+	}
+	w := r.workers[j.worker]
+	live := !j.terminal && j.remoteID != "" && w != nil && w.state != WorkerDead
+	remote := j.remoteID
+	r.mu.Unlock()
+
+	if live {
+		if st, err := w.client.Status(ctx, remote); err == nil {
+			r.mu.Lock()
+			j.last = st
+			finished := !j.terminal && isTerminalState(st.State)
+			if finished {
+				j.terminal = true
+			}
+			r.mu.Unlock()
+			if finished {
+				r.noteFinished(j)
+			}
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.publicStatusLocked(j), nil
+}
+
+// ListJobs returns every routed job in submission order, from the
+// router's view (refreshed each heartbeat; live states may lag the
+// worker by up to one interval).
+func (r *Router) ListJobs() []serve.JobStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]serve.JobStatus, 0, len(r.order))
+	for _, id := range r.order {
+		if j := r.jobs[id]; j != nil {
+			out = append(out, r.publicStatusLocked(j))
+		}
+	}
+	return out
+}
+
+// CancelJob cancels a routed job wherever it currently is: forwarded to
+// its live worker, or settled locally when the job is awaiting failover
+// (nothing to cancel remotely — the failover loop observes the flag and
+// stands down).
+func (r *Router) CancelJob(ctx context.Context, id string) error {
+	r.mu.Lock()
+	j := r.jobs[id]
+	if j == nil {
+		r.mu.Unlock()
+		return ErrUnknownJob
+	}
+	if j.terminal {
+		r.mu.Unlock()
+		return serve.ErrJobDone
+	}
+	j.canceled = true
+	w := r.workers[j.worker]
+	live := j.remoteID != "" && w != nil && w.state != WorkerDead
+	remote := j.remoteID
+	if !live {
+		j.terminal = true
+		j.last.State = serve.StateCanceled
+		if j.last.FinishedAt.IsZero() {
+			j.last.FinishedAt = time.Now()
+		}
+	}
+	r.mu.Unlock()
+	if !live {
+		return nil
+	}
+	return w.client.Cancel(ctx, remote)
+}
+
+// --- sweeps ----------------------------------------------------------------
+
+// sweepRouteKey derives the placement key for a sweep: the lineage of
+// its base configuration, so a sweep lands where previous same-lineage
+// jobs (and sweeps) warmed caches. Point-level warm chaining inside the
+// sweep is the worker's own job, exactly as in the single-node case.
+func sweepRouteKey(req *serve.SweepRequest) string {
+	if !req.Memoizing() {
+		return ""
+	}
+	return runcfg.LineageKey(req.Bench, req.Scale, req.Asm, req.Engine, true, req.CacheCapBytes, nil)
+}
+
+// SubmitSweep places a whole sweep on one worker. Sweeps pin rather than
+// fail over: their value is the warm chain inside the worker, which dies
+// with it.
+func (r *Router) SubmitSweep(ctx context.Context, req serve.SweepRequest) (serve.SweepStatus, error) {
+	lineage := sweepRouteKey(&req)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return serve.SweepStatus{}, ErrClosed
+	}
+	r.sweepSeq++
+	fid := fmt.Sprintf("fs-%06d", r.sweepSeq)
+	w, reassigned, err := r.routeLocked(lineage, fid, nil)
+	r.mu.Unlock()
+	if err != nil {
+		return serve.SweepStatus{}, err
+	}
+	if reassigned {
+		r.migrate(lineage, nil, w)
+	}
+	st, err := w.client.SubmitSweep(ctx, req)
+	if err != nil {
+		return serve.SweepStatus{}, err
+	}
+	r.mu.Lock()
+	r.sweeps[fid] = &routedSweep{id: fid, worker: w.name, remoteID: st.ID, lineage: lineage}
+	r.sweepOrder = append(r.sweepOrder, fid)
+	r.mu.Unlock()
+	r.counter("frouter.sweeps_routed").Inc()
+	st.ID = fid
+	return st, nil
+}
+
+// sweepWorker resolves a fleet sweep ID to its worker and remote ID.
+func (r *Router) sweepWorker(id string) (*Worker, string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sw := r.sweeps[id]
+	if sw == nil {
+		return nil, "", ErrUnknownSweep
+	}
+	w := r.workers[sw.worker]
+	if w == nil || w.state == WorkerDead {
+		return nil, "", fmt.Errorf("fleet: sweep %s: worker %s is gone", id, sw.worker)
+	}
+	return w, sw.remoteID, nil
+}
+
+// SweepStatus returns one sweep's status under its fleet ID. A sweep
+// whose worker died reports failed: its warm chain cannot be resumed
+// elsewhere, and resubmitting a half-run design sweep silently would
+// double-count points.
+func (r *Router) SweepStatus(ctx context.Context, id string) (serve.SweepStatus, error) {
+	w, remote, err := r.sweepWorker(id)
+	if err != nil {
+		if errors.Is(err, ErrUnknownSweep) {
+			return serve.SweepStatus{}, err
+		}
+		return serve.SweepStatus{ID: id, State: serve.SweepFailed, Error: err.Error()}, nil
+	}
+	st, err := w.client.SweepStatus(ctx, remote)
+	if err != nil {
+		return serve.SweepStatus{}, err
+	}
+	st.ID = id
+	return st, nil
+}
+
+// ListSweeps returns every routed sweep.
+func (r *Router) ListSweeps(ctx context.Context) []serve.SweepStatus {
+	r.mu.Lock()
+	ids := append([]string(nil), r.sweepOrder...)
+	r.mu.Unlock()
+	out := make([]serve.SweepStatus, 0, len(ids))
+	for _, id := range ids {
+		if st, err := r.SweepStatus(ctx, id); err == nil {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// CancelSweep forwards a cancellation to the sweep's worker.
+func (r *Router) CancelSweep(ctx context.Context, id string) error {
+	w, remote, err := r.sweepWorker(id)
+	if err != nil {
+		return err
+	}
+	return w.client.CancelSweep(ctx, remote)
+}

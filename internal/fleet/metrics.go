@@ -1,0 +1,105 @@
+package fleet
+
+// Fleet-wide metric merging. Each worker exposes its own obs registry at
+// /v1/metrics; the router pulls them all, merges the mergeable parts
+// (counters and histograms sum — "jobs completed across the fleet" is a
+// meaningful number) and keeps the rest apart (gauges are point-in-time
+// occupancy; summing two workers' warm_bytes would invent a cache no
+// process has). The router's own registry rides along unmerged so
+// routing behavior (reroutes, migrations, ejections) is observable from
+// the same endpoint.
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"facile/internal/obs"
+)
+
+// FleetSummary is the headline block of the merged metrics body.
+type FleetSummary struct {
+	Workers int `json:"workers"`
+	Alive   int `json:"alive"`
+	// WarmHitRatePc is the fleet-wide warm hit-rate: the share of
+	// completed jobs (across every worker) that warm-started from any
+	// source. The whole point of affinity routing is keeping this close
+	// to its single-node value as the fleet grows.
+	WarmHitRatePc float64 `json:"warm_hit_rate_pc"`
+	JobsCompleted uint64  `json:"jobs_completed"`
+	WarmHits      uint64  `json:"warm_hits"`
+}
+
+// FleetMetrics is the GET /v1/metrics body.
+type FleetMetrics struct {
+	Fleet FleetSummary `json:"fleet"`
+	// Counters and Histograms are summed across every reachable worker.
+	Counters   map[string]uint64                `json:"counters"`
+	Histograms map[string]obs.HistogramSnapshot `json:"histograms"`
+	// GaugesByWorker keeps point-in-time values apart, keyed by worker
+	// name.
+	GaugesByWorker map[string]map[string]int64 `json:"gauges_by_worker"`
+	// Router is the router's own registry (frouter.* counters).
+	Router obs.Snapshot `json:"router"`
+	// Unreachable lists workers that did not answer the metrics pull;
+	// their share is missing from the sums above.
+	Unreachable []string `json:"unreachable,omitempty"`
+}
+
+// Metrics pulls and merges every live worker's registry.
+func (r *Router) Metrics(ctx context.Context) FleetMetrics {
+	workers := r.aliveWorkers()
+	type pulled struct {
+		name string
+		snap obs.Snapshot
+		err  error
+	}
+	out := make([]pulled, len(workers))
+	var wg sync.WaitGroup
+	for i, wk := range workers {
+		wg.Add(1)
+		go func(i int, wk *Worker) {
+			defer wg.Done()
+			body, err := wk.client.Metrics(ctx)
+			if err != nil {
+				out[i] = pulled{name: wk.name, err: err}
+				return
+			}
+			snap, err := obs.ParseSnapshot(body)
+			out[i] = pulled{name: wk.name, snap: snap, err: err}
+		}(i, wk)
+	}
+	wg.Wait()
+
+	var snaps []obs.Snapshot
+	fm := FleetMetrics{GaugesByWorker: map[string]map[string]int64{}}
+	for _, p := range out {
+		if p.err != nil {
+			fm.Unreachable = append(fm.Unreachable, p.name)
+			continue
+		}
+		snaps = append(snaps, p.snap)
+		if len(p.snap.Gauges) > 0 {
+			fm.GaugesByWorker[p.name] = p.snap.Gauges
+		}
+	}
+	merged := obs.Merge(snaps...)
+	fm.Counters = merged.Counters
+	fm.Histograms = merged.Histograms
+	fm.Router = r.rec.Registry().Snapshot()
+
+	r.mu.Lock()
+	fm.Fleet.Workers = len(r.workers)
+	r.mu.Unlock()
+	fm.Fleet.Alive = len(workers) - len(fm.Unreachable)
+	fm.Fleet.JobsCompleted = merged.Counters["serve.jobs_completed"]
+	fm.Fleet.WarmHits = merged.Counters["serve.warm_hits"]
+	if fm.Fleet.JobsCompleted > 0 {
+		fm.Fleet.WarmHitRatePc = 100 * float64(fm.Fleet.WarmHits) / float64(fm.Fleet.JobsCompleted)
+	}
+	return fm
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.Metrics(req.Context()))
+}

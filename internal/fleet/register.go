@@ -1,0 +1,136 @@
+package fleet
+
+// Worker-side registration helpers. An fsimd started with -register
+// calls RegisterWorker against the router and keeps calling it on a
+// keepalive cadence: registration is idempotent by URL, and a
+// re-register after the router restarted (or after the worker was
+// ejected during a network partition) resurrects the worker and its
+// hash range without operator intervention.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RegisterWorker announces a worker to the router at routerURL. The
+// returned response carries the fleet name to deregister under and the
+// router's heartbeat period (re-registering much faster than that is
+// pointless).
+func RegisterWorker(ctx context.Context, hc *http.Client, routerURL string, req RegisterRequest) (RegisterResponse, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return RegisterResponse{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		routerURL+"/v1/workers", bytes.NewReader(body))
+	if err != nil {
+		return RegisterResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(hreq)
+	if err != nil {
+		return RegisterResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return RegisterResponse{}, fmt.Errorf("fleet: register: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(blob))
+	}
+	var rr RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return RegisterResponse{}, err
+	}
+	return rr, nil
+}
+
+// DeregisterWorker removes the worker gracefully, so a draining fsimd
+// stops receiving traffic at once instead of burning failed probes.
+func DeregisterWorker(ctx context.Context, hc *http.Client, routerURL, name string) error {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		routerURL+"/v1/workers/"+name, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("fleet: deregister: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(blob))
+	}
+	return nil
+}
+
+// KeepRegistered registers the worker and re-registers it on a cadence
+// derived from the router's heartbeat (never faster than 5s).
+// Registration failures are retried at the same cadence — a router that
+// is down at worker startup is found when it comes back. The returned
+// stop function ends the keepalive loop and deregisters the worker
+// (best effort); call it at drain time.
+func KeepRegistered(hc *http.Client, routerURL string, req RegisterRequest, logf func(format string, args ...any)) (stop func()) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var name string
+	every := 5 * time.Second
+	register := func() {
+		rctx, rcancel := context.WithTimeout(ctx, 10*time.Second)
+		defer rcancel()
+		rr, err := RegisterWorker(rctx, hc, routerURL, req)
+		if err != nil {
+			if ctx.Err() == nil {
+				logf("fleet registration with %s failed (will retry): %v", routerURL, err)
+			}
+			return
+		}
+		if rr.Name != name {
+			logf("registered with fleet router %s as %q", routerURL, rr.Name)
+			name = rr.Name
+			req.Name = rr.Name // keep the assigned name across re-registers
+		}
+		if hb := time.Duration(rr.HeartbeatMs) * time.Millisecond; 4*hb > every {
+			every = 4 * hb
+		}
+	}
+	register()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			t := time.NewTimer(every)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+				register()
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+		if name == "" {
+			return
+		}
+		dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer dcancel()
+		if err := DeregisterWorker(dctx, hc, routerURL, name); err != nil {
+			logf("fleet deregistration failed: %v", err)
+		}
+	}
+}

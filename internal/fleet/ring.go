@@ -1,0 +1,178 @@
+// Package fleet is the multi-node front-end for fsimd: a router that
+// speaks the same HTTP/JSON job API as a single worker but consistent-
+// hashes every submission by its cache-lineage key across a registered
+// worker fleet, so same-lineage jobs always land on the worker that
+// already holds their warm action cache. Facile's performance story is
+// memoization amortization — fast-forwarding only pays off when a job
+// lands where its cache is warm — and the router is what keeps that true
+// past one process: scale-out without affinity would turn every added
+// worker into a new cold start.
+//
+// The pieces: a consistent-hash ring with virtual nodes and bounded-load
+// placement (ring.go), a worker registry with /healthz heartbeats,
+// ejection, failover resubmission and warm-cache migration (router.go),
+// and the HTTP front-end with fleet-wide metric merging (http.go,
+// metrics.go).
+package fleet
+
+import (
+	"sort"
+	"strconv"
+
+	"facile/internal/runcfg"
+)
+
+// DefaultVNodes is the virtual-node count per member. 64 vnodes keep the
+// per-member share of the hash space within a few percent of fair for
+// fleets of 2–50 workers.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// owned by a member.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. It is not
+// self-locking: the router guards it with its own mutex, since ring
+// queries are always paired with registry state (liveness, load) that
+// must be read under the same critical section.
+type Ring struct {
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	members map[string]bool
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// member (0 = DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: map[string]bool{}}
+}
+
+// vnodeHash places virtual node i of a member. The label goes through
+// the same exported lineage hash as the keys: placement must be a pure
+// function of (member, i) so every router instance agrees.
+func vnodeHash(member string, i int) uint64 {
+	return runcfg.LineageHash(member + "#" + strconv.Itoa(i))
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(member string) {
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{vnodeHash(member, i), member})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove ejects a member and its hash range (idempotent). The range is
+// implicitly reassigned: keys that hashed to the removed member's vnodes
+// now fall through to the next point on the circle.
+func (r *Ring) Remove(member string) {
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Members returns the members, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// walk visits distinct members clockwise from key's position, in ring
+// order, until visit returns false or every member has been seen.
+func (r *Ring) walk(key string, visit func(member string) bool) {
+	if len(r.points) == 0 {
+		return
+	}
+	h := runcfg.LineageHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, len(r.members))
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		if !visit(p.member) {
+			return
+		}
+		if len(seen) == len(r.members) {
+			return
+		}
+	}
+}
+
+// Owner returns the key's primary owner — the first member clockwise
+// from the key's hash — ignoring load. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (member string, ok bool) {
+	r.walk(key, func(m string) bool {
+		member, ok = m, true
+		return false
+	})
+	return member, ok
+}
+
+// Pick returns the first member clockwise from the key whose load
+// (per the caller's load function) is strictly below bound — the
+// bounded-load variant of consistent hashing: a saturated owner
+// overflows to its ring successor instead of queueing behind itself,
+// and the overflow target is itself deterministic, so even spilled
+// lineages stay sticky while the load lasts. When every member is at or
+// over bound, the primary owner is returned anyway (the fleet is
+// uniformly saturated; affinity beats a random spill). ok is false only
+// on an empty ring.
+func (r *Ring) Pick(key string, load func(member string) float64, bound float64) (member string, ok bool) {
+	first := ""
+	r.walk(key, func(m string) bool {
+		if first == "" {
+			first = m
+		}
+		if load == nil || load(m) < bound {
+			member, ok = m, true
+			return false
+		}
+		return true
+	})
+	if !ok && first != "" {
+		return first, true
+	}
+	return member, ok
+}
+
+// Successor returns the first member clockwise from the key that is not
+// `not` — the failover target when the key's owner has been ejected or
+// is being avoided. ok is false when no other member exists.
+func (r *Ring) Successor(key, not string) (member string, ok bool) {
+	r.walk(key, func(m string) bool {
+		if m == not {
+			return true
+		}
+		member, ok = m, true
+		return false
+	})
+	return member, ok
+}

@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("lineage-%04d", i)
+	}
+	return out
+}
+
+// TestRingDeterminismAndStability: same members → same placement in a
+// fresh ring (placement is a pure function of identity), and removing a
+// member only moves the keys that member owned.
+func TestRingDeterminismAndStability(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	for _, m := range []string{"w1", "w2", "w3"} {
+		a.Add(m)
+		b.Add(m)
+	}
+	ks := keys(1000)
+	owner := map[string]string{}
+	for _, k := range ks {
+		oa, ok := a.Owner(k)
+		if !ok {
+			t.Fatal("empty ring?")
+		}
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("rings disagree on %s: %s vs %s", k, oa, ob)
+		}
+		owner[k] = oa
+	}
+	a.Remove("w2")
+	moved := 0
+	for _, k := range ks {
+		o, _ := a.Owner(k)
+		if owner[k] == "w2" {
+			if o == "w2" {
+				t.Fatalf("key %s still owned by removed member", k)
+			}
+		} else if o != owner[k] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed member moved anyway", moved)
+	}
+}
+
+// TestRingBalance: with vnodes, no member owns a grossly unfair share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"w1", "w2", "w3", "w4"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	count := map[string]int{}
+	for _, k := range keys(4000) {
+		o, _ := r.Owner(k)
+		count[o]++
+	}
+	for _, m := range members {
+		if count[m] < 400 || count[m] > 2200 {
+			t.Fatalf("grossly unbalanced ring: %v", count)
+		}
+	}
+}
+
+// TestRingBoundedLoad: a loaded owner overflows to a deterministic
+// successor; a uniformly saturated ring falls back to the primary owner.
+func TestRingBoundedLoad(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range []string{"w1", "w2", "w3"} {
+		r.Add(m)
+	}
+	k := "lineage-x"
+	primary, _ := r.Owner(k)
+	loads := map[string]float64{}
+	loadFn := func(m string) float64 { return loads[m] }
+
+	if got, _ := r.Pick(k, loadFn, 1.0); got != primary {
+		t.Fatalf("unloaded pick %s != owner %s", got, primary)
+	}
+	loads[primary] = 2.0
+	spilled, ok := r.Pick(k, loadFn, 1.0)
+	if !ok || spilled == primary {
+		t.Fatalf("saturated owner not spilled: %s", spilled)
+	}
+	if again, _ := r.Pick(k, loadFn, 1.0); again != spilled {
+		t.Fatalf("spill not deterministic: %s vs %s", again, spilled)
+	}
+	for _, m := range []string{"w1", "w2", "w3"} {
+		loads[m] = 5.0
+	}
+	if got, _ := r.Pick(k, loadFn, 1.0); got != primary {
+		t.Fatalf("uniformly saturated ring should fall back to owner %s, got %s", primary, got)
+	}
+}
+
+// TestRingSuccessor: the failover target skips the ejected member and is
+// empty only when no other member exists.
+func TestRingSuccessor(t *testing.T) {
+	r := NewRing(0)
+	r.Add("w1")
+	if _, ok := r.Successor("k", "w1"); ok {
+		t.Fatal("successor on a one-member ring should not exist")
+	}
+	r.Add("w2")
+	for _, k := range keys(100) {
+		o, _ := r.Owner(k)
+		s, ok := r.Successor(k, o)
+		if !ok || s == o {
+			t.Fatalf("bad successor for %s: %q after %q", k, s, o)
+		}
+	}
+	if _, ok := NewRing(0).Owner("k"); ok {
+		t.Fatal("owner on empty ring")
+	}
+}

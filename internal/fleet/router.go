@@ -1,0 +1,720 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"facile/internal/obs"
+	"facile/internal/serve"
+)
+
+// Sentinel errors, mapped to HTTP statuses by the front-end.
+var (
+	ErrNoWorkers    = errors.New("fleet: no live workers registered")
+	ErrUnknownJob   = errors.New("fleet: unknown job")
+	ErrUnknownSweep = errors.New("fleet: unknown sweep")
+	ErrClosed       = errors.New("fleet: router closed")
+)
+
+// Worker states.
+const (
+	WorkerHealthy  = "healthy"
+	WorkerDegraded = "degraded" // alive but shedding: saturated pool, pressured queue, or degraded store
+	WorkerDead     = "dead"     // ejected after FailAfter consecutive failed probes
+)
+
+// Config sizes a Router.
+type Config struct {
+	// HeartbeatEvery is the health-check interval (default 500ms). The
+	// failover proof is phrased against it: a dead worker is detected
+	// within FailAfter heartbeats.
+	HeartbeatEvery time.Duration
+	// ProbeTimeout bounds one /healthz probe (default: 4×HeartbeatEvery,
+	// at least 1s). Deliberately generous relative to the heartbeat: a
+	// dead worker fails its probe instantly (connection refused), so a
+	// long timeout does not slow real death detection — it only protects
+	// a busy-but-alive worker from being ejected because a probe response
+	// lost a scheduling race under load.
+	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive probe failures eject a worker
+	// (default 2).
+	FailAfter int
+	// VNodes is the virtual-node count per worker (default DefaultVNodes).
+	VNodes int
+	// ShadowBudget caps the router's in-memory shadow of warm-cache
+	// records, its migration source of last resort when the old owner is
+	// already dead (default 256 MiB; 0 keeps the default, negative
+	// disables the shadow).
+	ShadowBudget int64
+	// Rec is the router's own observability registry; one is created when
+	// nil.
+	Rec *obs.Recorder
+	// HTTP is the client used for all worker calls except probes (which
+	// use a probe-timeout clone). Defaults to a fresh client.
+	HTTP *http.Client
+}
+
+// Worker is one registered fsimd. Mutable fields are guarded by the
+// router mutex; WorkerStatus snapshots them for the API.
+type Worker struct {
+	name   string
+	url    string
+	client *serve.Client
+
+	state        string
+	fails        int
+	lastSeen     time.Time
+	health       serve.Health
+	registeredAt time.Time
+}
+
+// routedJob is the router-side record of one submission. The router owns
+// the job ID space: a job keeps its fleet ID across failover
+// resubmissions, which is what makes "no job ID is lost or duplicated"
+// checkable at all.
+type routedJob struct {
+	id      string
+	req     serve.JobRequest
+	lineage string
+
+	worker   string // current worker name
+	remoteID string // worker-side job ID
+	attempts int    // submissions performed (1 = never rerouted)
+	reroutes int
+
+	terminal bool
+	canceled bool
+	failed   string // terminal router-side failure (no worker would take it)
+	last     serve.JobStatus
+
+	queuedAt time.Time
+}
+
+// routedSweep maps a fleet sweep ID onto the worker running it. Sweeps
+// pin to one worker (their points chain warm caches there); they do not
+// fail over — a sweep on a dead worker reports failed.
+type routedSweep struct {
+	id       string
+	worker   string
+	remoteID string
+	lineage  string
+}
+
+// shadowRec is one lineage's most recent exported warm-cache record.
+type shadowRec struct {
+	blob    []byte
+	fetched time.Time
+}
+
+// Router is the fleet front-end: worker registry, consistent-hash ring,
+// job table, heartbeat loop.
+type Router struct {
+	cfg Config
+	rec *obs.Recorder
+	hc  *http.Client
+
+	mu      sync.Mutex
+	ring    *Ring
+	workers map[string]*Worker
+	byURL   map[string]string
+	nameSeq int
+
+	assign   map[string]string // lineage key -> worker name
+	migrated map[string]bool   // lineages whose record the router moved
+
+	jobs   map[string]*routedJob
+	order  []string
+	jobSeq uint64
+
+	sweeps     map[string]*routedSweep
+	sweepOrder []string
+	sweepSeq   uint64
+
+	shadow      map[string]*shadowRec
+	shadowBytes int64
+
+	closed bool
+	stop   context.CancelFunc
+	ctx    context.Context
+	wg     sync.WaitGroup
+}
+
+// NewRouter builds and starts a router (its heartbeat loop runs until
+// Close).
+func NewRouter(cfg Config) *Router {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 4 * cfg.HeartbeatEvery
+		if cfg.ProbeTimeout < time.Second {
+			cfg.ProbeTimeout = time.Second
+		}
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	if cfg.ShadowBudget == 0 {
+		cfg.ShadowBudget = 256 << 20
+	}
+	rec := cfg.Rec
+	if rec == nil {
+		rec = obs.NewRecorder(obs.Config{})
+	}
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Router{
+		cfg:      cfg,
+		rec:      rec,
+		hc:       hc,
+		ring:     NewRing(cfg.VNodes),
+		workers:  map[string]*Worker{},
+		byURL:    map[string]string{},
+		assign:   map[string]string{},
+		migrated: map[string]bool{},
+		jobs:     map[string]*routedJob{},
+		sweeps:   map[string]*routedSweep{},
+		shadow:   map[string]*shadowRec{},
+		ctx:      ctx,
+		stop:     cancel,
+	}
+	r.wg.Add(1)
+	go r.heartbeatLoop()
+	return r
+}
+
+// Recorder returns the router's own observability recorder.
+func (r *Router) Recorder() *obs.Recorder { return r.rec }
+
+// Close stops the heartbeat loop and all failover goroutines.
+func (r *Router) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.stop()
+	r.wg.Wait()
+}
+
+func (r *Router) counter(name string) *obs.Counter { return r.rec.Registry().Counter(name) }
+func (r *Router) gauge(name string) *obs.Gauge     { return r.rec.Registry().Gauge(name) }
+
+// --- registration ----------------------------------------------------------
+
+// RegisterRequest is the POST /v1/workers body a worker self-registers
+// with.
+type RegisterRequest struct {
+	URL  string `json:"url"`            // worker base URL, e.g. http://10.0.0.3:8764
+	Name string `json:"name,omitempty"` // optional stable name; assigned when empty
+}
+
+// RegisterResponse tells the worker its fleet name and how often it is
+// probed (re-registering more often than HeartbeatMs is pointless).
+type RegisterResponse struct {
+	Name        string `json:"name"`
+	HeartbeatMs int64  `json:"heartbeat_ms"`
+}
+
+// Register adds a worker (idempotent by URL; a re-register of a dead
+// worker resurrects it and re-adds its hash range). Registration marks
+// the worker healthy pending its first probe: the registrant just proved
+// liveness by reaching us.
+func (r *Router) Register(req RegisterRequest) (RegisterResponse, error) {
+	if req.URL == "" {
+		return RegisterResponse{}, fmt.Errorf("fleet: register: empty worker url")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return RegisterResponse{}, ErrClosed
+	}
+	name := r.byURL[req.URL]
+	if name == "" {
+		name = req.Name
+		if name == "" || r.workers[name] != nil {
+			r.nameSeq++
+			name = fmt.Sprintf("w%d", r.nameSeq)
+		}
+		r.workers[name] = &Worker{
+			name:         name,
+			url:          req.URL,
+			client:       &serve.Client{Base: req.URL, HC: r.hc},
+			state:        WorkerHealthy,
+			lastSeen:     time.Now(),
+			registeredAt: time.Now(),
+		}
+		r.byURL[req.URL] = name
+		r.ring.Add(name)
+		r.counter("frouter.workers_registered").Inc()
+	} else if w := r.workers[name]; w.state == WorkerDead {
+		w.state = WorkerHealthy
+		w.fails = 0
+		w.lastSeen = time.Now()
+		r.ring.Add(name)
+		r.counter("frouter.workers_rejoined").Inc()
+	} else {
+		w.lastSeen = time.Now() // keepalive re-register
+	}
+	r.gauge("frouter.workers").Set(int64(len(r.ring.members)))
+	return RegisterResponse{Name: name, HeartbeatMs: r.cfg.HeartbeatEvery.Milliseconds()}, nil
+}
+
+// Deregister removes a worker gracefully (a draining fsimd says goodbye
+// so the router stops routing to it instead of burning FailAfter probes).
+func (r *Router) Deregister(name string) error {
+	r.mu.Lock()
+	w := r.workers[name]
+	if w == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("fleet: unknown worker %q", name)
+	}
+	lineages, jobs := r.ejectLocked(w, "deregistered")
+	r.mu.Unlock()
+	r.recoverFrom(w, lineages, jobs)
+	return nil
+}
+
+// --- placement -------------------------------------------------------------
+
+// loadOf scores a worker for bounded-load placement: 0 when healthy,
+// 1 when shedding (degraded). The bound of 0.5 in pickLocked means "skip
+// shedding workers unless everyone is shedding".
+func loadOf(w *Worker) float64 {
+	if w.state != WorkerHealthy {
+		return 1
+	}
+	return 0
+}
+
+// pickLocked chooses a worker for a key via bounded-load consistent
+// hashing over the live ring, skipping the avoid set (workers that
+// already refused this submission). Callers hold r.mu.
+func (r *Router) pickLocked(key string, avoid map[string]bool) (*Worker, error) {
+	name, ok := r.ring.Pick(key, func(m string) float64 {
+		if avoid[m] {
+			return 2 // above any bound: never picked while alternatives exist
+		}
+		return loadOf(r.workers[m])
+	}, 0.5)
+	if !ok || avoid[name] {
+		return nil, ErrNoWorkers
+	}
+	return r.workers[name], nil
+}
+
+// routeLocked resolves the worker for a submission. Memoizing jobs
+// (lineage != "") are sticky: once a lineage is assigned, every job
+// follows it to the same worker while that worker lives — warm affinity
+// beats load shedding, because a warm replay is cheaper than a cold
+// start on an idle node. reassigned reports that an existing assignment
+// moved (the caller should migrate the lineage's warm record).
+func (r *Router) routeLocked(lineage, spreadKey string, avoid map[string]bool) (w *Worker, reassigned bool, err error) {
+	if lineage == "" {
+		w, err = r.pickLocked(spreadKey, avoid)
+		return w, false, err
+	}
+	if cur := r.assign[lineage]; cur != "" && !avoid[cur] {
+		if cw := r.workers[cur]; cw != nil && cw.state != WorkerDead {
+			return cw, false, nil
+		}
+	}
+	w, err = r.pickLocked(lineage, avoid)
+	if err != nil {
+		return nil, false, err
+	}
+	old := r.assign[lineage]
+	r.assign[lineage] = w.name
+	return w, old != "" && old != w.name, nil
+}
+
+// --- heartbeats and failover -----------------------------------------------
+
+func (r *Router) heartbeatLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+			r.heartbeat()
+		}
+	}
+}
+
+// heartbeat probes every live worker once, updates states, ejects the
+// dead, and kicks off recovery for their lineages and in-flight jobs.
+func (r *Router) heartbeat() {
+	r.mu.Lock()
+	var probes []*Worker
+	for _, w := range r.workers {
+		if w.state != WorkerDead {
+			probes = append(probes, w)
+		}
+	}
+	r.mu.Unlock()
+
+	type probeResult struct {
+		w   *Worker
+		h   serve.Health
+		err error
+	}
+	results := make(chan probeResult, len(probes))
+	for _, w := range probes {
+		go func(w *Worker) {
+			ctx, cancel := context.WithTimeout(r.ctx, r.cfg.ProbeTimeout)
+			defer cancel()
+			h, err := w.client.Health(ctx)
+			results <- probeResult{w, h, err}
+		}(w)
+	}
+
+	type ejected struct {
+		w        *Worker
+		lineages []string
+		jobs     []*routedJob
+	}
+	var ejections []ejected
+	var refresh []*Worker
+	for range probes {
+		res := <-results
+		r.mu.Lock()
+		w := res.w
+		if w.state == WorkerDead { // ejected by a concurrent path
+			r.mu.Unlock()
+			continue
+		}
+		if res.err != nil {
+			w.fails++
+			r.counter("frouter.heartbeat_failures").Inc()
+			if w.fails >= r.cfg.FailAfter {
+				lineages, jobs := r.ejectLocked(w, "heartbeat")
+				ejections = append(ejections, ejected{w, lineages, jobs})
+			}
+			r.mu.Unlock()
+			continue
+		}
+		w.fails = 0
+		w.lastSeen = time.Now()
+		w.health = res.h
+		switch {
+		case res.h.Status == "draining":
+			// A draining worker rejects submissions; treat as shedding.
+			w.state = WorkerDegraded
+		case res.h.Status == "degraded":
+			w.state = WorkerDegraded
+		default:
+			w.state = WorkerHealthy
+		}
+		if r.workerHasOpenJobsLocked(w.name) {
+			refresh = append(refresh, w)
+		}
+		r.mu.Unlock()
+	}
+
+	for _, e := range ejections {
+		r.recoverFrom(e.w, e.lineages, e.jobs)
+	}
+	for _, w := range refresh {
+		r.refreshJobs(w)
+	}
+}
+
+// workerHasOpenJobsLocked reports whether any routed job is in flight on
+// the worker; callers hold r.mu.
+func (r *Router) workerHasOpenJobsLocked(name string) bool {
+	for _, j := range r.jobs {
+		if !j.terminal && j.worker == name && j.remoteID != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// ejectLocked removes a worker from the ring and collects what must be
+// recovered: the lineages assigned to it and its in-flight jobs. Callers
+// hold r.mu and run recoverFrom with the result after unlocking.
+func (r *Router) ejectLocked(w *Worker, why string) (lineages []string, jobs []*routedJob) {
+	if w.state == WorkerDead {
+		return nil, nil
+	}
+	w.state = WorkerDead
+	r.ring.Remove(w.name)
+	r.counter("frouter.worker_ejections").Inc()
+	r.gauge("frouter.workers").Set(int64(len(r.ring.members)))
+	for lineage, owner := range r.assign {
+		if owner == w.name {
+			lineages = append(lineages, lineage)
+		}
+	}
+	for _, j := range r.jobs {
+		if !j.terminal && j.worker == w.name {
+			jobs = append(jobs, j)
+		}
+	}
+	_ = why
+	return lineages, jobs
+}
+
+// recoverFrom reassigns a dead worker's hash range: each of its lineages
+// is re-placed on the ring and its warm record migrated to the successor,
+// then every in-flight job is resubmitted there with jittered backoff.
+// Migration runs before resubmission so the resubmitted jobs start warm.
+func (r *Router) recoverFrom(dead *Worker, lineages []string, jobs []*routedJob) {
+	for _, lineage := range lineages {
+		r.mu.Lock()
+		w, _, err := r.routeLocked(lineage, lineage, nil)
+		r.mu.Unlock()
+		if err != nil {
+			continue // no workers left; the next register re-places lazily
+		}
+		r.migrate(lineage, dead, w)
+	}
+	for _, j := range jobs {
+		r.wg.Add(1)
+		go func(j *routedJob) {
+			defer r.wg.Done()
+			r.failover(j)
+		}(j)
+	}
+}
+
+// failover resubmits one in-flight job to its lineage's current worker
+// (the ring successor after an ejection). It keeps trying — jittered
+// backoff between rounds, 429-absorption inside each round — until the
+// job is accepted somewhere, canceled, or the router closes.
+func (r *Router) failover(j *routedJob) {
+	bo := serve.DefaultBackoff
+	for attempt := 0; ; attempt++ {
+		r.mu.Lock()
+		if r.closed || j.terminal || j.canceled {
+			r.mu.Unlock()
+			return
+		}
+		w, _, err := r.routeLocked(j.lineage, j.id, nil)
+		r.mu.Unlock()
+		if err == nil {
+			ctx, cancel := context.WithTimeout(r.ctx, 30*time.Second)
+			st, serr := w.client.SubmitRetry(ctx, j.req)
+			cancel()
+			if serr == nil {
+				r.mu.Lock()
+				j.worker = w.name
+				j.remoteID = st.ID
+				j.attempts++
+				j.reroutes++
+				j.last = st
+				r.mu.Unlock()
+				r.counter("frouter.jobs_rerouted").Inc()
+				return
+			}
+			var se *serve.StatusError
+			if errors.As(serr, &se) && se.Code < 500 && se.Code != http.StatusTooManyRequests {
+				// The successor understood the request and rejected it for
+				// cause (a validation-level refusal): terminal, not retryable.
+				r.mu.Lock()
+				j.terminal = true
+				j.failed = fmt.Sprintf("failover resubmission rejected by %s: %v", w.name, serr)
+				r.mu.Unlock()
+				return
+			}
+		}
+		t := time.NewTimer(boDelay(bo, attempt))
+		select {
+		case <-r.ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// boDelay exposes the backoff pacing for the failover loop (serve owns
+// the jitter policy; the router reuses it rather than re-inventing one).
+func boDelay(b serve.Backoff, attempt int) time.Duration { return b.Delay(attempt) }
+
+// --- migration and the shadow ----------------------------------------------
+
+// migrate moves one lineage's persisted warm-cache record to the worker
+// now owning the lineage, through the workers' /v1/caches export/import
+// API. Sources, in order: the old owner (when it is still alive — a
+// rebalance, not a death), any other live worker whose store still holds
+// the record from an earlier tenure, and finally the router's in-memory
+// shadow. Every path is best-effort: a failed migration costs one cold
+// start, never a failed job.
+func (r *Router) migrate(lineage string, from, to *Worker) {
+	if lineage == "" || to == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.ctx, 30*time.Second)
+	defer cancel()
+
+	// The target may already hold the record (it ran this lineage before,
+	// or shares a store directory); importing an older copy over it would
+	// be a regression.
+	if metas, err := to.client.ListCaches(ctx); err == nil {
+		for _, m := range metas {
+			if m.Key == lineage {
+				return
+			}
+		}
+	}
+
+	var sources []*Worker
+	if from != nil && from.state != WorkerDead {
+		sources = append(sources, from)
+	}
+	r.mu.Lock()
+	for _, w := range r.workers {
+		if w.state != WorkerDead && w != to && w != from {
+			sources = append(sources, w)
+		}
+	}
+	r.mu.Unlock()
+
+	var blob []byte
+	for _, src := range sources {
+		if b, err := src.client.ExportCache(ctx, lineage); err == nil {
+			blob = b
+			break
+		}
+	}
+	if blob == nil {
+		r.mu.Lock()
+		if rec := r.shadow[lineage]; rec != nil {
+			blob = rec.blob
+		}
+		r.mu.Unlock()
+		if blob != nil {
+			r.counter("frouter.migrations_from_shadow").Inc()
+		}
+	}
+	if blob == nil {
+		r.counter("frouter.migrations_cold").Inc()
+		return
+	}
+	if err := to.client.ImportCache(ctx, lineage, blob); err != nil {
+		r.counter("frouter.migration_errors").Inc()
+		return
+	}
+	r.mu.Lock()
+	r.migrated[lineage] = true
+	r.mu.Unlock()
+	r.counter("frouter.migrations").Inc()
+}
+
+// shadowRefresh pulls the lineage's current record from the worker that
+// just finished a job of that lineage, keeping the router's in-memory
+// copy fresh enough to seed a successor when the whole worker (store and
+// all) disappears. Disabled by a negative ShadowBudget; skipped silently
+// when the worker runs without a store.
+func (r *Router) shadowRefresh(lineage, workerName string) {
+	if r.cfg.ShadowBudget < 0 || lineage == "" {
+		return
+	}
+	r.mu.Lock()
+	w := r.workers[workerName]
+	dead := w == nil || w.state == WorkerDead
+	r.mu.Unlock()
+	if dead {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.ctx, 30*time.Second)
+	defer cancel()
+	blob, err := w.client.ExportCache(ctx, lineage)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.shadow[lineage]; old != nil {
+		r.shadowBytes -= int64(len(old.blob))
+	}
+	r.shadow[lineage] = &shadowRec{blob: blob, fetched: time.Now()}
+	r.shadowBytes += int64(len(blob))
+	for r.shadowBytes > r.cfg.ShadowBudget {
+		oldestKey := ""
+		var oldest time.Time
+		for k, rec := range r.shadow {
+			if oldestKey == "" || rec.fetched.Before(oldest) {
+				oldestKey, oldest = k, rec.fetched
+			}
+		}
+		if oldestKey == "" {
+			break
+		}
+		r.shadowBytes -= int64(len(r.shadow[oldestKey].blob))
+		delete(r.shadow, oldestKey)
+	}
+	r.gauge("frouter.shadow_bytes").Set(r.shadowBytes)
+}
+
+// refreshJobs reconciles the router's view of a worker's jobs from the
+// worker's own job list (cheap: one GET per heartbeat, only for workers
+// with open routed jobs).
+func (r *Router) refreshJobs(w *Worker) {
+	ctx, cancel := context.WithTimeout(r.ctx, r.cfg.ProbeTimeout)
+	defer cancel()
+	sts, err := w.client.List(ctx)
+	if err != nil {
+		return
+	}
+	byID := make(map[string]serve.JobStatus, len(sts))
+	for _, st := range sts {
+		byID[st.ID] = st
+	}
+	r.mu.Lock()
+	var finished []*routedJob
+	for _, j := range r.jobs {
+		if j.terminal || j.worker != w.name || j.remoteID == "" {
+			continue
+		}
+		st, ok := byID[j.remoteID]
+		if !ok {
+			continue
+		}
+		j.last = st
+		if isTerminalState(st.State) {
+			j.terminal = true
+			finished = append(finished, j)
+		}
+	}
+	r.mu.Unlock()
+	for _, j := range finished {
+		r.noteFinished(j)
+	}
+}
+
+// isTerminalState reports whether a worker-side job state is terminal
+// from the router's perspective. A requeued job (worker drain) counts:
+// the worker is going away; the job will be resurrected by the worker's
+// own spool on restart, not by the router.
+func isTerminalState(s string) bool {
+	switch s {
+	case serve.StateDone, serve.StateFailed, serve.StateCanceled, serve.StateRequeued:
+		return true
+	}
+	return false
+}
+
+// noteFinished runs follow-ups for a job observed terminal: a completed
+// memoizing job refreshes the lineage's shadow record.
+func (r *Router) noteFinished(j *routedJob) {
+	r.mu.Lock()
+	state, lineage, worker := j.last.State, j.lineage, j.worker
+	r.mu.Unlock()
+	if state == serve.StateDone && lineage != "" {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.shadowRefresh(lineage, worker)
+		}()
+	}
+}

@@ -1,0 +1,559 @@
+package fleet
+
+// End-to-end fleet tests: real serve.Servers behind httptest listeners,
+// a real router in front, everything driven through the public HTTP
+// surface with the stock serve.Client — the same wire path production
+// takes. The two acceptance proofs live here: warm affinity (N
+// same-lineage jobs → exactly one cold start fleet-wide, bit-identical
+// results) and failover (kill the owning worker mid-stream → the job
+// completes on the successor under the same fleet ID).
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"facile/internal/cachestore"
+	"facile/internal/obs"
+	"facile/internal/runcfg"
+	"facile/internal/serve"
+	"facile/internal/sweep"
+)
+
+// harness is one worker: a serve.Server, its listener, and its own
+// recorder (so tests can audit per-worker counters).
+type harness struct {
+	s      *serve.Server
+	ts     *httptest.Server
+	rec    *obs.Recorder
+	url    string
+	name   string
+	killed bool
+}
+
+func newHarness(t *testing.T, cfg serve.Config, cacheDir string) *harness {
+	t.Helper()
+	if cfg.Rec == nil {
+		cfg.Rec = obs.NewRecorder(obs.Config{})
+	}
+	if cacheDir != "" {
+		st, err := cachestore.Open(cacheDir, cachestore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	h := &harness{s: serve.New(cfg), rec: cfg.Rec}
+	h.ts = httptest.NewServer(h.s.Handler())
+	h.url = h.ts.URL
+	t.Cleanup(func() {
+		h.kill()
+		h.s.Drain()
+	})
+	return h
+}
+
+// kill severs the worker from the network the way SIGKILL would: live
+// connections die mid-stream and the port stops answering. The in-process
+// compute keeps going, exactly like a partitioned node.
+func (h *harness) kill() {
+	if h.killed {
+		return
+	}
+	h.killed = true
+	// Close blocks until every connection is gone, but the router's
+	// reconnect loops can slip a fresh connection in between a single
+	// CloseClientConnections call and the listener teardown — so keep
+	// severing until Close returns. From the fleet's perspective the
+	// worker drops off the network all at once, as SIGKILL would.
+	done := make(chan struct{})
+	go func() {
+		for {
+			h.ts.CloseClientConnections()
+			select {
+			case <-done:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+	h.ts.Close()
+	close(done)
+}
+
+func (h *harness) counter(name string) uint64 {
+	return h.rec.Registry().Counter(name).Load()
+}
+
+// newFleet wires n workers to a fresh router and returns a stock client
+// aimed at the router's public listener.
+func newFleet(t *testing.T, n int, cfg Config, mk func(i int) *harness) (*Router, []*harness, *serve.Client) {
+	t.Helper()
+	ws := make([]*harness, n)
+	for i := range ws {
+		ws[i] = mk(i)
+	}
+	r := NewRouter(cfg)
+	t.Cleanup(r.Close)
+	for _, h := range ws {
+		resp, err := r.Register(RegisterRequest{URL: h.url})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.name = resp.Name
+	}
+	fts := httptest.NewServer(r.Handler())
+	t.Cleanup(fts.Close)
+	return r, ws, serve.NewClient(fts.URL)
+}
+
+func (r *Router) jobRecord(t *testing.T, id string) *routedJob {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j := r.jobs[id]
+	if j == nil {
+		t.Fatalf("router lost job %s", id)
+	}
+	return j
+}
+
+// TestFleetAffinity is the affinity proof: N same-lineage jobs through
+// the router land on one worker and warm-chain there — exactly one cold
+// start fleet-wide — with results bit-identical to a single fsimd. The
+// merged /v1/metrics must equal the sum of the per-worker registries.
+func TestFleetAffinity(t *testing.T) {
+	r, ws, c := newFleet(t, 3, Config{HeartbeatEvery: 50 * time.Millisecond},
+		func(int) *harness { return newHarness(t, serve.Config{Workers: 2, QueueDepth: 16}, "") })
+
+	ctx := context.Background()
+	req := serve.JobRequest{Bench: "126.gcc", Scale: 2, Engine: runcfg.EngineFastsim, Memoize: true}
+	const N = 5
+	var finals []serve.JobStatus
+	for i := 0; i < N; i++ {
+		st, err := c.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fin, err := c.WaitJob(ctx, st.ID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != serve.StateDone {
+			t.Fatalf("job %d: state %s (err %q)", i, fin.State, fin.Error)
+		}
+		if fin.ID != st.ID {
+			t.Fatalf("job %d: stream returned ID %s, submitted %s", i, fin.ID, st.ID)
+		}
+		finals = append(finals, fin)
+	}
+
+	cold := 0
+	for _, f := range finals {
+		if !f.WarmStart {
+			cold++
+		}
+	}
+	if cold != 1 {
+		t.Fatalf("%d cold starts fleet-wide, want exactly 1", cold)
+	}
+
+	// All N landed on one worker; the other two never ran a job.
+	busy := 0
+	for _, h := range ws {
+		if n := h.counter("serve.jobs_completed"); n > 0 {
+			busy++
+			if n != N {
+				t.Fatalf("worker %s completed %d jobs, want all %d on one worker", h.name, n, N)
+			}
+		}
+	}
+	if busy != 1 {
+		t.Fatalf("%d workers ran jobs, want 1 (affinity broken)", busy)
+	}
+
+	// Bit-identical to a single standalone fsimd.
+	solo := newHarness(t, serve.Config{Workers: 1, QueueDepth: 4}, "")
+	sc := serve.NewClient(solo.url)
+	sst, err := sc.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfin, err := sc.WaitJob(ctx, sst.ID, nil)
+	if err != nil || sfin.State != serve.StateDone {
+		t.Fatalf("solo run: %v / %+v", err, sfin.State)
+	}
+	for i, f := range finals {
+		if f.Result == nil || sfin.Result == nil ||
+			f.Result.Insts != sfin.Result.Insts || f.Result.Cycles != sfin.Result.Cycles ||
+			!bytes.Equal(f.Result.Output, sfin.Result.Output) {
+			t.Fatalf("fleet job %d result diverges from the single-worker run", i)
+		}
+	}
+
+	// Fleet metrics are the sum of the per-worker registries.
+	fm := r.Metrics(ctx)
+	var sumCompleted, sumWarm uint64
+	for _, h := range ws {
+		sumCompleted += h.counter("serve.jobs_completed")
+		sumWarm += h.counter("serve.warm_hits")
+	}
+	if fm.Counters["serve.jobs_completed"] != sumCompleted || sumCompleted != N {
+		t.Fatalf("merged jobs_completed %d, per-worker sum %d, want %d",
+			fm.Counters["serve.jobs_completed"], sumCompleted, N)
+	}
+	if fm.Counters["serve.warm_hits"] != sumWarm || sumWarm != N-1 {
+		t.Fatalf("merged warm_hits %d, per-worker sum %d, want %d",
+			fm.Counters["serve.warm_hits"], sumWarm, N-1)
+	}
+	wantRate := 100 * float64(N-1) / float64(N)
+	if fm.Fleet.WarmHitRatePc != wantRate {
+		t.Fatalf("fleet warm hit-rate %.1f%%, want %.1f%%", fm.Fleet.WarmHitRatePc, wantRate)
+	}
+	if fm.Fleet.Alive != 3 {
+		t.Fatalf("fleet alive %d, want 3", fm.Fleet.Alive)
+	}
+}
+
+// TestFleetFailover is the failover proof: kill the owning worker while
+// the client streams the job's events through the router; the router
+// must detect the death within its heartbeat window, resubmit on the
+// successor, keep the stream open throughout, and deliver a terminal
+// status under the original fleet ID — no job ID lost or duplicated.
+func TestFleetFailover(t *testing.T) {
+	r, ws, c := newFleet(t, 2,
+		Config{HeartbeatEvery: 50 * time.Millisecond, FailAfter: 2},
+		func(int) *harness { return newHarness(t, serve.Config{Workers: 2, QueueDepth: 16}, "") })
+
+	ctx := context.Background()
+	long := serve.JobRequest{Bench: "126.gcc", Scale: 150, Engine: runcfg.EngineFastsim,
+		Memoize: true, ChunkInsts: 1024}
+	st, err := c.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var samples atomic.Int64
+	type waitOut struct {
+		fin serve.JobStatus
+		err error
+	}
+	done := make(chan waitOut, 1)
+	go func() {
+		fin, err := c.WaitJob(ctx, st.ID, func([]byte) { samples.Add(1) })
+		done <- waitOut{fin, err}
+	}()
+
+	// Wait until the job is demonstrably running on its owner, then pull
+	// the plug on that worker.
+	r.mu.Lock()
+	owner := r.jobs[st.ID].worker
+	r.mu.Unlock()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		jst, err := c.Status(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jst.State == serve.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running (state %s)", jst.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var ownerH, successorH *harness
+	for _, h := range ws {
+		if h.name == owner {
+			ownerH = h
+		} else {
+			successorH = h
+		}
+	}
+	killedAt := time.Now()
+	ownerH.kill()
+
+	// The ejection must land within FailAfter heartbeats (plus probe
+	// timeout slack).
+	for {
+		r.mu.Lock()
+		state := r.workers[owner].state
+		r.mu.Unlock()
+		if state == WorkerDead {
+			break
+		}
+		if time.Since(killedAt) > 5*time.Second {
+			t.Fatal("dead worker never ejected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The listener is gone and the fleet has moved on; stop the killed
+	// worker's in-process compute too (a real SIGKILL would have). On a
+	// small CI box the zombie job would otherwise starve the successor's
+	// rerun of the very work being failed over.
+	ownerH.s.Drain()
+
+	// The successor must not have been collaterally ejected — a healthy
+	// worker that merely answers probes slowly under load stays in.
+	r.mu.Lock()
+	succState := r.workers[successorH.name].state
+	r.mu.Unlock()
+	if succState == WorkerDead {
+		t.Fatal("successor was ejected too; nothing left to fail over to")
+	}
+
+	var out waitOut
+	select {
+	case out = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("event stream never delivered a terminal status after failover")
+	}
+	if out.err != nil {
+		t.Fatalf("event stream did not survive the failover: %v", out.err)
+	}
+	if out.fin.State != serve.StateDone {
+		t.Fatalf("failed-over job finished %q (err %q), want done", out.fin.State, out.fin.Error)
+	}
+	if out.fin.ID != st.ID {
+		t.Fatalf("job came back as %s, submitted %s: ID not preserved", out.fin.ID, st.ID)
+	}
+
+	// No job ID lost or duplicated: the fleet lists exactly one job, under
+	// the original ID, and the successor ran exactly one.
+	list, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("fleet job list %v, want exactly [%s]", list, st.ID)
+	}
+	if n := successorH.counter("serve.jobs_completed"); n != 1 {
+		t.Fatalf("successor completed %d jobs, want 1", n)
+	}
+	j := r.jobRecord(t, st.ID)
+	r.mu.Lock()
+	reroutes, finalWorker := j.reroutes, j.worker
+	r.mu.Unlock()
+	if reroutes != 1 || finalWorker != successorH.name {
+		t.Fatalf("job rerouted %d times to %s, want 1 reroute to %s", reroutes, finalWorker, successorH.name)
+	}
+	if n := r.counter("frouter.worker_ejections").Load(); n != 1 {
+		t.Fatalf("ejections counter %d, want 1", n)
+	}
+}
+
+// TestFleetCacheMigrationOnDeath: a lineage warmed on one worker
+// survives that worker's death via the router's shadow — the successor
+// imports the record during ejection recovery and the next job
+// warm-starts with provenance "migrated".
+func TestFleetCacheMigrationOnDeath(t *testing.T) {
+	r, ws, c := newFleet(t, 2,
+		Config{HeartbeatEvery: 50 * time.Millisecond, FailAfter: 2},
+		func(int) *harness {
+			return newHarness(t, serve.Config{Workers: 1, QueueDepth: 8}, t.TempDir())
+		})
+
+	ctx := context.Background()
+	req := serve.JobRequest{Bench: "126.gcc", Scale: 2, Engine: runcfg.EngineFastsim, Memoize: true}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.WaitJob(ctx, st.ID, nil)
+	if err != nil || fin.State != serve.StateDone {
+		t.Fatalf("seed job: %v / %s (%s)", err, fin.State, fin.Error)
+	}
+	if fin.WarmStart || fin.LineageKey == "" {
+		t.Fatalf("seed job warm=%v lineage=%q, want a cold memoizing job", fin.WarmStart, fin.LineageKey)
+	}
+	lineage := fin.LineageKey
+
+	j := r.jobRecord(t, st.ID)
+	r.mu.Lock()
+	owner := j.worker
+	r.mu.Unlock()
+
+	// Ensure the router's shadow holds the record before the owner dies
+	// (the natural async refresh usually has it by now; the direct call
+	// makes the test deterministic).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r.shadowRefresh(lineage, owner)
+		r.mu.Lock()
+		got := r.shadow[lineage] != nil
+		r.mu.Unlock()
+		if got {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router shadow never captured the lineage record")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var ownerH, successorH *harness
+	for _, h := range ws {
+		if h.name == owner {
+			ownerH = h
+		} else {
+			successorH = h
+		}
+	}
+	ownerH.kill()
+
+	// Ejection recovery migrates the lineage to the successor.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		r.mu.Lock()
+		migrated := r.migrated[lineage]
+		r.mu.Unlock()
+		if migrated {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lineage never migrated after owner death")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	st2, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin2, err := c.WaitJob(ctx, st2.ID, nil)
+	if err != nil || fin2.State != serve.StateDone {
+		t.Fatalf("post-migration job: %v / %s (%s)", err, fin2.State, fin2.Error)
+	}
+	if !fin2.WarmStart || fin2.WarmSource != serve.WarmSourceMigrated {
+		t.Fatalf("post-migration job warm=%v source=%q, want a migrated warm start",
+			fin2.WarmStart, fin2.WarmSource)
+	}
+	if n := successorH.counter("serve.jobs_completed"); n != 1 {
+		t.Fatalf("successor completed %d jobs, want 1", n)
+	}
+	if fin2.Result == nil || fin.Result == nil ||
+		fin2.Result.Insts != fin.Result.Insts || !bytes.Equal(fin2.Result.Output, fin.Result.Output) {
+		t.Fatal("migrated warm run diverges from the original cold run")
+	}
+	if n := r.counter("frouter.migrations").Load(); n < 1 {
+		t.Fatal("migration counter never incremented")
+	}
+}
+
+// TestFleetSweepProxy: sweeps submit through the router under fleet IDs,
+// run whole on one worker, and stream/settle exactly as against a single
+// fsimd.
+func TestFleetSweepProxy(t *testing.T) {
+	_, ws, c := newFleet(t, 2, Config{HeartbeatEvery: 50 * time.Millisecond},
+		func(int) *harness { return newHarness(t, serve.Config{Workers: 2, QueueDepth: 16}, "") })
+
+	ctx := context.Background()
+	req := serve.SweepRequest{Spec: sweep.Spec{
+		Name:   "fleet-l1d",
+		Bench:  "129.compress",
+		Scale:  1,
+		Engine: runcfg.EngineFastsim,
+		Axes:   []sweep.Axis{{Param: "l1d.size_kb", Values: []int64{8, 16}}},
+	}}
+	st, err := c.SubmitSweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "fs-000001" {
+		t.Fatalf("sweep ID %s, want a fleet-owned fs- ID", st.ID)
+	}
+	fin, err := c.WaitSweep(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != serve.SweepDone || fin.SettledPoints != 2 {
+		t.Fatalf("sweep finished %s with %d/%d points", fin.State, fin.SettledPoints, fin.TotalPoints)
+	}
+	if fin.ID != st.ID {
+		t.Fatalf("sweep status came back as %s, want %s", fin.ID, st.ID)
+	}
+	// The sweep ran whole on exactly one worker.
+	busy := 0
+	for _, h := range ws {
+		if h.counter("serve.sweeps_done") > 0 {
+			busy++
+		}
+	}
+	if busy != 1 {
+		t.Fatalf("%d workers ran the sweep, want 1", busy)
+	}
+	// The fleet list carries the fleet ID too.
+	sweeps, err := c.ListSweeps(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != 1 || sweeps[0].ID != st.ID {
+		t.Fatalf("fleet sweep list %+v, want exactly [%s]", sweeps, st.ID)
+	}
+}
+
+// TestFleetRegistrationLifecycle covers the registry edges: idempotent
+// re-registration, resurrection after ejection, graceful deregistration,
+// and the no-workers error surface.
+func TestFleetRegistrationLifecycle(t *testing.T) {
+	r := NewRouter(Config{HeartbeatEvery: 50 * time.Millisecond, FailAfter: 2})
+	t.Cleanup(r.Close)
+	ctx := context.Background()
+
+	// Empty fleet: submissions bounce with 503-shaped errors.
+	if _, err := r.SubmitJob(ctx, serve.JobRequest{Bench: "129.compress", Engine: runcfg.EngineFunc}); err != ErrNoWorkers {
+		t.Fatalf("submit to empty fleet: %v, want ErrNoWorkers", err)
+	}
+
+	h := newHarness(t, serve.Config{Workers: 1, QueueDepth: 4}, "")
+	first, err := r.Register(RegisterRequest{URL: h.url})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := r.Register(RegisterRequest{URL: h.url})
+	if err != nil || again.Name != first.Name {
+		t.Fatalf("re-register renamed worker: %v %v", again, err)
+	}
+
+	// A registered worker serves traffic end to end.
+	st, err := r.SubmitJob(ctx, serve.JobRequest{Bench: "129.compress", Scale: 1, Engine: runcfg.EngineFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		jst, err := r.JobStatus(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jst.State == serve.StateDone {
+			break
+		}
+		if jst.State == serve.StateFailed || time.Now().After(deadline) {
+			t.Fatalf("job state %s (%s)", jst.State, jst.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Graceful deregistration empties the ring.
+	if err := r.Deregister(first.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SubmitJob(ctx, serve.JobRequest{Bench: "129.compress", Engine: runcfg.EngineFunc}); err != ErrNoWorkers {
+		t.Fatalf("submit after deregister: %v, want ErrNoWorkers", err)
+	}
+
+	// Re-registration resurrects the same name and traffic flows again.
+	back, err := r.Register(RegisterRequest{URL: h.url})
+	if err != nil || back.Name != first.Name {
+		t.Fatalf("resurrection: %v %v, want name %s", back, err, first.Name)
+	}
+	if _, err := r.SubmitJob(ctx, serve.JobRequest{Bench: "129.compress", Scale: 1, Engine: runcfg.EngineFunc}); err != nil {
+		t.Fatalf("submit after resurrection: %v", err)
+	}
+}

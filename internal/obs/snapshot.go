@@ -1,0 +1,117 @@
+package obs
+
+// Mergeable metric snapshots: a Snapshot is the value-typed image of a
+// Registry at one instant, in exactly the shape WriteJSON emits, so a
+// fleet front-end can pull /v1/metrics from every worker, parse each
+// body, and merge them into one fleet-wide view. Merge semantics follow
+// the metric kinds: counters are monotonic totals and sum; histograms
+// sum counts, sums, and per-bucket occupancy; gauges are instantaneous
+// occupancy and sum too (the fleet's parked warm bytes are the sum of
+// every worker's parked warm bytes) — callers that want per-worker
+// gauges keep the unmerged snapshots, which is what the router's
+// /v1/metrics does.
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// HistogramSnapshot is the value image of one Histogram.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     uint64        `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is the value image of a whole Registry. The JSON shape is
+// identical to WriteJSON's output, so ParseSnapshot(WriteJSON(...))
+// round-trips.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, c := range r.counters {
+		s.Counters[k] = c.Load()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Load()
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets()}
+	}
+	return s
+}
+
+// ParseSnapshot decodes a WriteJSON body (a worker's /v1/metrics
+// response) into a Snapshot. Nil maps are normalized to empty so the
+// result is always mergeable.
+func ParseSnapshot(body []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return Snapshot{}, err
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]uint64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]int64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramSnapshot{}
+	}
+	return s, nil
+}
+
+// Merge folds snapshots into one fleet-wide view: counters and gauges
+// sum per name, histograms sum counts and sums and merge buckets by low
+// bound (kept sorted ascending).
+func Merge(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			out.Gauges[k] += v
+		}
+		for k, h := range s.Histograms {
+			out.Histograms[k] = mergeHist(out.Histograms[k], h)
+		}
+	}
+	return out
+}
+
+// mergeHist adds b into a, merging buckets by low bound.
+func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
+	m := map[uint64]uint64{}
+	for _, bc := range a.Buckets {
+		m[bc.Low] += bc.Count
+	}
+	for _, bc := range b.Buckets {
+		m[bc.Low] += bc.Count
+	}
+	out := HistogramSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	for low, n := range m {
+		out.Buckets = append(out.Buckets, BucketCount{Low: low, Count: n})
+	}
+	sort.Slice(out.Buckets, func(i, j int) bool { return out.Buckets[i].Low < out.Buckets[j].Low })
+	return out
+}

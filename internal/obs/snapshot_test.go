@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotRoundTrip: Registry → WriteJSON → ParseSnapshot must equal
+// Registry.Snapshot(), so a router parsing a worker's /v1/metrics body
+// sees exactly what the worker's registry held.
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.jobs_completed").Add(7)
+	r.Counter("serve.warm_hits").Add(3)
+	r.Gauge("serve.warm_bytes").Set(4096)
+	r.Histogram("cachestore.load_ns").Observe(100)
+	r.Histogram("cachestore.load_ns").Observe(3000)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := r.Snapshot()
+	if !reflect.DeepEqual(parsed, direct) {
+		t.Fatalf("parsed snapshot diverges from direct snapshot:\n%+v\nvs\n%+v", parsed, direct)
+	}
+	if parsed.Counters["serve.jobs_completed"] != 7 {
+		t.Fatalf("counter lost: %+v", parsed.Counters)
+	}
+}
+
+// TestMergeSemantics: counters and gauges sum, histogram buckets merge
+// by low bound.
+func TestMergeSemantics(t *testing.T) {
+	a := Snapshot{
+		Counters: map[string]uint64{"jobs": 2, "only_a": 1},
+		Gauges:   map[string]int64{"bytes": 10},
+		Histograms: map[string]HistogramSnapshot{
+			"lat": {Count: 2, Sum: 6, Buckets: []BucketCount{{Low: 2, Count: 2}}},
+		},
+	}
+	b := Snapshot{
+		Counters: map[string]uint64{"jobs": 3},
+		Gauges:   map[string]int64{"bytes": 5, "only_b": -2},
+		Histograms: map[string]HistogramSnapshot{
+			"lat": {Count: 1, Sum: 8, Buckets: []BucketCount{{Low: 8, Count: 1}}},
+		},
+	}
+	m := Merge(a, b)
+	if m.Counters["jobs"] != 5 || m.Counters["only_a"] != 1 {
+		t.Fatalf("counter merge wrong: %+v", m.Counters)
+	}
+	if m.Gauges["bytes"] != 15 || m.Gauges["only_b"] != -2 {
+		t.Fatalf("gauge merge wrong: %+v", m.Gauges)
+	}
+	h := m.Histograms["lat"]
+	if h.Count != 3 || h.Sum != 14 {
+		t.Fatalf("histogram totals wrong: %+v", h)
+	}
+	want := []BucketCount{{Low: 2, Count: 2}, {Low: 8, Count: 1}}
+	if !reflect.DeepEqual(h.Buckets, want) {
+		t.Fatalf("histogram buckets wrong: %+v", h.Buckets)
+	}
+	// Merge of nothing is empty, not nil maps.
+	z := Merge()
+	if z.Counters == nil || z.Gauges == nil || z.Histograms == nil {
+		t.Fatal("Merge() returned nil maps")
+	}
+}
+
+// TestMergeMatchesRegistrySums: merging per-worker snapshots equals a
+// single registry that saw all the traffic — the fleet-smoke invariant.
+func TestMergeMatchesRegistrySums(t *testing.T) {
+	w1, w2, all := NewRegistry(), NewRegistry(), NewRegistry()
+	for i := 0; i < 5; i++ {
+		w1.Counter("serve.jobs_completed").Inc()
+		all.Counter("serve.jobs_completed").Inc()
+		w1.Histogram("h").Observe(uint64(i))
+		all.Histogram("h").Observe(uint64(i))
+	}
+	for i := 0; i < 3; i++ {
+		w2.Counter("serve.jobs_completed").Inc()
+		all.Counter("serve.jobs_completed").Inc()
+		w2.Histogram("h").Observe(uint64(i * 100))
+		all.Histogram("h").Observe(uint64(i * 100))
+	}
+	got := Merge(w1.Snapshot(), w2.Snapshot())
+	want := all.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged snapshots diverge from combined registry:\n%+v\nvs\n%+v", got, want)
+	}
+}

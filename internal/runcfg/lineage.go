@@ -2,6 +2,7 @@ package runcfg
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 )
@@ -32,4 +33,15 @@ func LineageKey(bench string, scale int, asmSrc, engine string, memoize bool, ca
 		fmt.Fprintf(h, "|core=%s", CoreFragment(u.Effective()))
 	}
 	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// LineageHash maps a lineage key (or any routing label, such as a
+// consistent-hash virtual-node name) onto the 64-bit hash space the
+// fleet router's ring is built over. It is exported here, next to
+// LineageKey, because placement must be a pure function of the lineage
+// identity: every router process, on any machine, must hash the same
+// key to the same ring position or warm affinity silently breaks.
+func LineageHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.LittleEndian.Uint64(sum[:8])
 }

@@ -1,0 +1,106 @@
+package serve
+
+// Unified backpressure retry: the 429-absorbing submit loop used to be
+// duplicated between the in-process sweep backend (retrying ErrQueueFull)
+// and the HTTP sweep backend (retrying HTTP 429). Both now share one
+// jittered-exponential-backoff primitive, and the fleet router reuses it
+// when it resubmits in-flight jobs to a failover successor.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// Backoff paces retries: sleeps start at Initial, multiply by Factor per
+// attempt, cap at Max, and each sleep is stretched by up to Jitter
+// (a fraction of the computed delay) so a fleet of retriers does not
+// thunder back in lockstep.
+type Backoff struct {
+	Initial time.Duration
+	Max     time.Duration
+	Factor  float64
+	Jitter  float64 // 0..1, fraction of the delay added at random
+}
+
+// DefaultBackoff is the pacing used for queue-full absorption: quick
+// first retries (the queue drains at job granularity), bounded at half a
+// second so a saturated worker is re-probed a few times per second.
+var DefaultBackoff = Backoff{
+	Initial: 10 * time.Millisecond,
+	Max:     500 * time.Millisecond,
+	Factor:  2,
+	Jitter:  0.5,
+}
+
+// Delay computes the sleep before retry number attempt (0-based).
+// Exported for callers (the fleet router's failover loop) that pace
+// their own retry loops but should share this jitter policy.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Initial <= 0 {
+		b.Initial = DefaultBackoff.Initial
+	}
+	if b.Factor < 1 {
+		b.Factor = DefaultBackoff.Factor
+	}
+	if b.Max <= 0 {
+		b.Max = DefaultBackoff.Max
+	}
+	d := float64(b.Initial)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		d += d * b.Jitter * rand.Float64()
+	}
+	if d > float64(2*b.Max) {
+		d = float64(2 * b.Max)
+	}
+	return time.Duration(d)
+}
+
+// Retry runs fn until it succeeds, returns a non-retryable error, or ctx
+// is canceled. retryable classifies errors; the backoff paces the loop.
+func (b Backoff) Retry(ctx context.Context, retryable func(error) bool, fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil || !retryable(err) {
+			return err
+		}
+		t := time.NewTimer(b.Delay(attempt))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// retryableQueueFull classifies the in-process form of backpressure.
+func retryableQueueFull(err error) bool { return errors.Is(err, ErrQueueFull) }
+
+// retryableHTTP429 classifies the over-the-wire form of backpressure.
+func retryableHTTP429(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusTooManyRequests
+}
+
+// SubmitRetry posts a job, absorbing queue-full backpressure (HTTP 429)
+// with jittered exponential backoff until the submission is accepted,
+// a different error occurs, or ctx is canceled.
+func (c *Client) SubmitRetry(ctx context.Context, req JobRequest) (JobStatus, error) {
+	var st JobStatus
+	err := DefaultBackoff.Retry(ctx, retryableHTTP429, func() error {
+		var err error
+		st, err = c.Submit(ctx, req)
+		return err
+	})
+	return st, err
+}

@@ -1,0 +1,182 @@
+package serve
+
+// Body-leak audit for the HTTP client: every client method must close the
+// response body on every path, including the early error ones — a 404 on
+// the events stream, a decode failure, a canceled wait. The counting
+// transport below wraps each response body and tracks opens vs closes, so
+// a leaked body is a hard test failure rather than a slow connection-pool
+// death in production.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"facile/internal/runcfg"
+)
+
+// countingTransport wraps a RoundTripper and counts response bodies that
+// were opened but never closed.
+type countingTransport struct {
+	base http.RoundTripper
+
+	mu     sync.Mutex
+	opened int
+	closed int
+}
+
+type countedBody struct {
+	inner  interface{ Read([]byte) (int, error) }
+	closer func() error
+	once   atomic.Bool
+	t      *countingTransport
+}
+
+func (b *countedBody) Read(p []byte) (int, error) { return b.inner.Read(p) }
+
+func (b *countedBody) Close() error {
+	if b.once.CompareAndSwap(false, true) {
+		b.t.mu.Lock()
+		b.t.closed++
+		b.t.mu.Unlock()
+	}
+	return b.closer()
+}
+
+func (t *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.opened++
+	t.mu.Unlock()
+	resp.Body = &countedBody{inner: resp.Body, closer: resp.Body.Close, t: t}
+	return resp, nil
+}
+
+func (t *countingTransport) leaked() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.opened - t.closed
+}
+
+// newCountingClient builds a server + client whose every response body is
+// counted.
+func newCountingClient(t *testing.T, cfg Config) (*Server, *Client, *countingTransport) {
+	t.Helper()
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	ct := &countingTransport{base: http.DefaultTransport}
+	c := NewClient(ts.URL)
+	c.HC = &http.Client{Transport: ct}
+	return s, c, ct
+}
+
+// TestClientNeverLeaksBodies drives every client method through success
+// and early-error paths and asserts no response body stays open.
+func TestClientNeverLeaksBodies(t *testing.T) {
+	_, c, ct := newCountingClient(t, Config{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+	req := JobRequest{Bench: "129.compress", Scale: 1, Engine: runcfg.EngineFunc,
+		MaxInsts: 20000}
+
+	// Success paths: submit, status, list, health, metrics, streaming wait.
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	fin, err := c.WaitJob(ctx, st.ID, func([]byte) { samples++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job finished %q: %s", fin.State, fin.Error)
+	}
+	if fin.ID != st.ID {
+		t.Fatalf("WaitJob returned status for %q, submitted %q", fin.ID, st.ID)
+	}
+	if _, err := c.Status(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.List(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Metrics(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Early error paths. Each must close the body it opened:
+	// unknown job on the plain status endpoint,
+	if _, err := c.Status(ctx, "job-999999"); err == nil {
+		t.Fatal("status of unknown job succeeded")
+	}
+	// unknown job on the streaming endpoint (the WaitJob early-404 path),
+	if _, err := c.WaitJob(ctx, "job-999999", nil); err == nil {
+		t.Fatal("WaitJob of unknown job succeeded")
+	}
+	// a rejected submission (bad request),
+	if _, err := c.Submit(ctx, JobRequest{Engine: "no-such-engine", Bench: "129.compress"}); err == nil {
+		t.Fatal("bad submission succeeded")
+	}
+	// cache export without a configured store (503),
+	if _, err := c.ExportCache(ctx, "deadbeef"); err == nil {
+		t.Fatal("cache export without a store succeeded")
+	}
+	// and cache import without a configured store.
+	if err := c.ImportCache(ctx, "deadbeef", []byte("junk")); err == nil {
+		t.Fatal("cache import without a store succeeded")
+	}
+
+	if n := ct.leaked(); n != 0 {
+		t.Fatalf("%d response bodies leaked (opened %d, closed %d)", n, ct.opened, ct.closed)
+	}
+}
+
+// TestWaitJobCancelClosesBody cancels a WaitJob mid-stream (a slow job,
+// an impatient caller) and asserts the stream body is still closed.
+func TestWaitJobCancelClosesBody(t *testing.T) {
+	_, c, ct := newCountingClient(t, Config{Workers: 1, QueueDepth: 4, ChunkInsts: 1 << 10})
+	ctx := context.Background()
+	// Hog the lone worker with an infinite loop so the watched job stays
+	// queued and its event stream stays open until we cancel the wait.
+	hog, err := c.Submit(ctx, JobRequest{Asm: "loop: b loop", Engine: runcfg.EngineFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Submit(ctx, JobRequest{Bench: "129.compress", Scale: 1, Engine: runcfg.EngineFunc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.WaitJob(wctx, st.ID, nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("canceled WaitJob returned nil error")
+	}
+	_ = c.Cancel(ctx, st.ID)
+	_ = c.Cancel(ctx, hog.ID)
+	// The transport closes the body asynchronously on cancel; give it a
+	// beat before asserting.
+	deadline := time.Now().Add(2 * time.Second)
+	for ct.leaked() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := ct.leaked(); n != 0 {
+		t.Fatalf("%d response bodies leaked after cancel", n)
+	}
+}

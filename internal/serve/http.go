@@ -329,21 +329,52 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 
 // Health is the /healthz body. Status degrades (still HTTP 200 — the
 // process serves correct results either way) when the store has
-// quarantined corruption or turned itself off; the ladder is
-// ok → degraded, orthogonal to draining.
+// quarantined corruption or turned itself off, or when the queue is
+// under enough pressure that new submissions are close to bouncing off
+// hard 429s; the ladder is ok → degraded, orthogonal to draining.
+//
+// The load fields let a fleet router shed work early: a router routes
+// new cache lineages away from a worker whose pool is saturated and
+// whose queue is filling, instead of discovering the saturation one
+// rejected submission at a time.
 type Health struct {
 	Status     string `json:"status"` // "ok" | "degraded" | "draining"
 	Cachestore string `json:"cachestore,omitempty"`
+	// Load is the queue-pressure rung of the degradation ladder:
+	// "pressure" once the queue is ≥ loadPressurePc% full with a
+	// saturated worker pool, empty otherwise.
+	Load string `json:"load,omitempty"`
+
+	QueueDepth   int     `json:"queue_depth"`
+	QueueCap     int     `json:"queue_cap"`
+	RunningJobs  int     `json:"running_jobs"`
+	Workers      int     `json:"workers"`
+	SaturationPc float64 `json:"saturation_pc"`
 }
 
+// loadPressurePc is the queue-fill percentage (with a saturated pool)
+// at which /healthz starts reporting load pressure.
+const loadPressurePc = 75
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	h := Health{Status: "ok"}
+	ls := s.Load()
+	h := Health{
+		Status:       "ok",
+		QueueDepth:   ls.Queued,
+		QueueCap:     ls.QueueCap,
+		RunningJobs:  ls.Running,
+		Workers:      ls.Workers,
+		SaturationPc: 100 * ls.Saturation(),
+	}
 	if s.store != nil {
 		if off, reason := s.store.Disabled(); off {
 			h.Status, h.Cachestore = "degraded", "disabled: "+reason
 		} else if s.store.QuarantineCount() > 0 {
 			h.Status, h.Cachestore = "degraded", "quarantine_nonempty"
 		}
+	}
+	if ls.QueueCap > 0 && ls.Queued*100 >= ls.QueueCap*loadPressurePc && ls.Running >= ls.Workers {
+		h.Status, h.Load = "degraded", "pressure"
 	}
 	if s.Draining() {
 		h.Status = "draining"

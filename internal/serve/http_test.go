@@ -236,19 +236,17 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 	}
 
 	health := func() string {
-		resp, err := c.HC.Get(c.Base + "/healthz")
+		h, err := c.Health(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer resp.Body.Close()
-		var h map[string]string
-		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-			t.Fatal(err)
-		}
-		return h["status"]
+		return h.Status
 	}
 	if got := health(); got != "ok" {
 		t.Fatalf("healthz = %q, want ok", got)
+	}
+	if h, _ := c.Health(ctx); h.QueueCap == 0 || h.Workers == 0 {
+		t.Fatalf("healthz load fields not populated: %+v", h)
 	}
 	s.Drain()
 	if got := health(); got != "draining" {

@@ -233,7 +233,9 @@ type JobStatus struct {
 	WarmEntries uint64 `json:"warm_entries,omitempty"`
 	WarmBytes   uint64 `json:"warm_bytes,omitempty"`
 	// WarmSource says where the adopted cache came from: "memory" (parked
-	// by an earlier job in this process) or "store" (the persistent store,
+	// by an earlier job in this process), "migrated" (a store record the
+	// fleet router moved here from the lineage's previous owner — reported
+	// by the router, never by a single worker) or "store" (the persistent store,
 	// surviving a restart).
 	WarmSource string `json:"warm_source,omitempty"`
 
@@ -248,6 +250,13 @@ type JobStatus struct {
 	// Facile description (fac-* engines only).
 	Vet *vet.Summary `json:"vet,omitempty"`
 }
+
+// WarmSource provenance values for JobStatus.WarmSource.
+const (
+	WarmSourceMemory   = "memory"
+	WarmSourceStore    = "store"
+	WarmSourceMigrated = "migrated"
+)
 
 // RequeuedJob is the restorable form of a drained job: the original
 // request plus the snapshot blob ([]byte marshals as base64) needed to
@@ -293,6 +302,7 @@ type Server struct {
 	queue    chan *Job
 	draining bool
 	nextID   uint64
+	running  int // jobs currently in StateRunning
 	lineages map[string]*lineage
 
 	// Sweeps (see sweep.go): design-space sweeps running as batches of
@@ -531,6 +541,39 @@ func (s *Server) Done(id string) (<-chan struct{}, error) {
 	return j.done, nil
 }
 
+// LoadStats is the server's instantaneous load picture, surfaced through
+// /healthz so a fleet router can shed new lineages away from a saturated
+// worker before submissions start bouncing off hard 429s. Queued is the
+// bounded queue's current depth, QueueCap its bound, Running the jobs
+// held by workers right now, and Workers the pool size.
+type LoadStats struct {
+	Queued   int `json:"queued"`
+	QueueCap int `json:"queue_cap"`
+	Running  int `json:"running"`
+	Workers  int `json:"workers"`
+}
+
+// Saturation is Running over Workers: 1.0 means every pool worker is
+// busy, the point past which queue depth starts to grow.
+func (l LoadStats) Saturation() float64 {
+	if l.Workers == 0 {
+		return 0
+	}
+	return float64(l.Running) / float64(l.Workers)
+}
+
+// Load reports the server's current load.
+func (s *Server) Load() LoadStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return LoadStats{
+		Queued:   len(s.queue),
+		QueueCap: s.cfg.QueueDepth,
+		Running:  s.running,
+		Workers:  s.cfg.Workers,
+	}
+}
+
 // WarmOccupancy reports the serve-level warm-cache gauges (entries,
 // bytes): the total size of all parked lineage caches.
 func (s *Server) WarmOccupancy() (entries, bytes int64) {
@@ -712,6 +755,9 @@ func (s *Server) finishLocked(j *Job, state, errMsg string) {
 		j.state == StateCanceled || j.state == StateRequeued {
 		return
 	}
+	if j.state == StateRunning {
+		s.running--
+	}
 	j.state = state
 	j.err = errMsg
 	j.doneAt = time.Now()
@@ -890,6 +936,7 @@ func (s *Server) runJob(j *Job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.startedAt = time.Now()
+	s.running++
 	s.mu.Unlock()
 	defer cancel()
 

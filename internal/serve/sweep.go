@@ -82,13 +82,10 @@ type SweepStatus struct {
 }
 
 // serverBackend executes sweep points by submitting them to this server's
-// job queue. Queue-full backpressure is absorbed by retrying (the sweep is
-// a background batch; it waits rather than failing), and cancellation
-// propagates to the in-flight job.
+// job queue. Queue-full backpressure is absorbed by the shared jittered
+// backoff (the sweep is a background batch; it waits rather than
+// failing), and cancellation propagates to the in-flight job.
 type serverBackend struct{ s *Server }
-
-// submitRetryInterval paces resubmission while the job queue is full.
-const submitRetryInterval = 10 * time.Millisecond
 
 func (b serverBackend) Run(ctx context.Context, js sweep.JobSpec) (sweep.JobResult, error) {
 	start := time.Now()
@@ -99,20 +96,12 @@ func (b serverBackend) Run(ctx context.Context, js sweep.JobSpec) (sweep.JobResu
 		Uarch: js.Uarch,
 	}
 	var st JobStatus
-	for {
+	if err := DefaultBackoff.Retry(ctx, retryableQueueFull, func() error {
 		var err error
 		st, err = b.s.Submit(req)
-		if err == nil {
-			break
-		}
-		if !errors.Is(err, ErrQueueFull) {
-			return sweep.JobResult{}, err
-		}
-		select {
-		case <-ctx.Done():
-			return sweep.JobResult{}, ctx.Err()
-		case <-time.After(submitRetryInterval):
-		}
+		return err
+	}); err != nil {
+		return sweep.JobResult{}, err
 	}
 	doneCh, err := b.s.Done(st.ID)
 	if err != nil {

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"errors"
 	"net/http"
 	"time"
 
@@ -81,22 +80,9 @@ func (b *RemoteBackend) Run(ctx context.Context, js sweep.JobSpec) (sweep.JobRes
 		CacheCapBytes: js.CacheCapBytes, MaxInsts: js.MaxInsts,
 		Uarch: js.Uarch,
 	}
-	var st JobStatus
-	for {
-		var err error
-		st, err = b.C.Submit(ctx, req)
-		if err == nil {
-			break
-		}
-		var se *StatusError
-		if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
-			return sweep.JobResult{}, err
-		}
-		select {
-		case <-ctx.Done():
-			return sweep.JobResult{}, ctx.Err()
-		case <-time.After(submitRetryInterval):
-		}
+	st, err := b.C.SubmitRetry(ctx, req)
+	if err != nil {
+		return sweep.JobResult{}, err
 	}
 	fin, err := b.C.Wait(ctx, st.ID, b.Poll)
 	if err != nil {

@@ -82,15 +82,23 @@ func injected(op, path string) error {
 
 // WriteRawFile atomically writes blob to path via the temp-file + fsync +
 // rename discipline: a reader never observes a partial file under the
-// final name, and a crash at any point leaves at worst a stale "<path>.tmp"
-// for CleanupTmp to collect on the next start. Every failure path removes
-// the temporary file.
+// final name, and a crash at any point leaves at worst a stale
+// "<base>.*.tmp" for CleanupTmp to collect on the next start. Every
+// failure path removes the temporary file. The staging name is unique
+// per call, so concurrent writers to the same path never share a temp
+// file — each rename installs one writer's complete bytes, last one
+// winning.
 func WriteRawFile(path string, blob []byte) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
 	if err != nil {
 		return err
 	}
+	if err := f.Chmod(0o644); err != nil { // CreateTemp defaults to 0600
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	tmp := f.Name()
 	fail := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
