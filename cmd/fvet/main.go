@@ -5,6 +5,7 @@
 //
 //	fvet [-json|-sarif] [-explain] [-enable codes] [-disable codes]
 //	     [-baseline file [-write-baseline]] file.fac [more.fac ...]
+//	fvet -list
 //
 // Files are partitioned into compilation units automatically: every file
 // declaring `fun main` is analyzed together with the main-less library
@@ -18,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -35,10 +37,15 @@ func main() {
 	baselinePath := flag.String("baseline", "", "compare findings against this baseline file; new findings fail")
 	writeBaseline := flag.Bool("write-baseline", false, "write the current findings to -baseline and exit 0")
 	sarifPath := flag.String("sarif-out", "", "also write a SARIF report to this file")
+	list := flag.Bool("list", false, "list analyzers and their codes/severities, then exit")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		cli.PrintVersion("fvet")
+		return
+	}
+	if *list {
+		listAnalyzers(os.Stdout)
 		return
 	}
 	if flag.NArg() < 1 {
@@ -99,6 +106,22 @@ func main() {
 	}
 	if res.HasErrors() {
 		os.Exit(1)
+	}
+}
+
+// listAnalyzers prints the analyzer registry: every analyzer with its
+// codes, severities, and one-line docs, plus the pipeline codes the
+// driver itself emits.
+func listAnalyzers(w io.Writer) {
+	fmt.Fprintf(w, "pipeline (driver diagnostics)\n")
+	for _, c := range vet.PipelineCodes() {
+		fmt.Fprintf(w, "  %s  %-7s  %s\n", c.Code, c.Severity, c.Doc)
+	}
+	for _, a := range vet.All() {
+		fmt.Fprintf(w, "%s: %s\n", a.Name, a.Doc)
+		for _, c := range a.Codes {
+			fmt.Fprintf(w, "  %s  %-7s  %s\n", c.Code, c.Severity, c.Doc)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 package fastsim
 
-import "facile/internal/isa"
+import (
+	"facile/internal/isa"
+	"facile/internal/lang/ir"
+)
 
 // This file is the compiled replay substrate for the hand-coded simulator:
 // the action graph's straight-line stretches are threaded into closure
@@ -38,14 +41,15 @@ type actFn func(s *Sim)
 // maxActFuseLen bounds one superinstruction's action count. Longer
 // stretches split into consecutive runs; a cycle in a corrupted graph
 // therefore still advances the acts counter toward the replay watchdog
-// instead of hanging the builder.
-const maxActFuseLen = 1024
+// instead of hanging the builder. Shared with the Facile engine and the
+// compiler's static replay planner.
+const maxActFuseLen = ir.MaxFuseLen
 
 // minActFuseLen is the shortest run worth fusing: below it the fused
 // dispatch (version check, closure calls) costs more than the interpreter
 // iterations it replaces, so the builder emits an empty run and the
 // actions replay interpreted.
-const minActFuseLen = 2
+const minActFuseLen = ir.MinFuseLen
 
 // fusedActs is a superinstruction: a compiled straight-line run of
 // pure-flow actions. end is the first action after the run (a
@@ -60,10 +64,31 @@ type fusedActs struct {
 	ins uint64 // summed aShift commit counts, credited to fastInsts
 }
 
+// actClass is the static fusion/replay classification of the hand-coded
+// engine's action-kind taxonomy — the analogue of the per-block
+// ir.ReplayPlan the Facile compiler proves for described simulators.
+// Because the taxonomy is fixed at compile time, the whole classification
+// is a declared table rather than a per-action scan: pure-flow kinds
+// advance along a.next unconditionally and may join a superinstruction;
+// fork kinds carry a dynamic result and always break a run; aEnd is the
+// step boundary where the next memoization key is assembled.
+var actClass = [aEnd + 1]ir.ReplayClass{
+	aExec:    ir.ReplayPure,
+	aUpdate:  ir.ReplayPure,
+	aShift:   ir.ReplayPure,
+	aICache:  ir.ReplayFork,
+	aDCache:  ir.ReplayFork,
+	aPredict: ir.ReplayFork,
+	aNextPC:  ir.ReplayFork,
+	aHalted:  ir.ReplayFork,
+	aEnd:     ir.ReplayRet,
+}
+
 // fusable reports whether kind is a pure-flow action a superinstruction may
-// contain.
+// contain. Unknown kinds (corrupt or future records) never fuse and fall to
+// the interpreted loop's fault handling.
 func fusable(kind uint8) bool {
-	return kind == aExec || kind == aUpdate || kind == aShift
+	return int(kind) < len(actClass) && actClass[kind] == ir.ReplayPure
 }
 
 // buildFused threads the superinstruction starting at a. Each closure

@@ -8,6 +8,7 @@ import (
 	"facile/internal/arch/funcsim"
 	"facile/internal/arch/uarch"
 	"facile/internal/faults"
+	"facile/internal/lang/ir"
 )
 
 // TestEmptyPathMissDegrades poisons the action cache with an entry whose
@@ -114,5 +115,49 @@ func TestCompiledReplayMatchesInterp(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestForkAtRunHeadSeversFusion is the action-cache image of the PR-8
+// corner: a run whose head action carries a dynamic result (here the
+// resolved next-PC test) must not fuse at all — a miss there degrades
+// the whole step before any fused work runs — while the same pure tail
+// entered one action later fuses normally.
+func TestForkAtRunHeadSeversFusion(t *testing.T) {
+	p := asmOrDie(t, sumLoop)
+	s := New(uarch.Default(), p, Options{Memoize: true})
+	t2 := &action{kind: aShift, slot: 1}
+	t1 := &action{kind: aShift, slot: 1, next: t2}
+	head := &action{kind: aNextPC, next: t1}
+	if fr := s.buildFused(head); fr.n != 0 || len(fr.fns) != 0 {
+		t.Errorf("fork-headed run fused %d actions, want 0", fr.n)
+	}
+	if fr := s.buildFused(t1); fr.n != 2 || fr.ops != 2 {
+		t.Errorf("pure tail fused %d actions / %d ops, want 2 / 2", fr.n, fr.ops)
+	}
+}
+
+// TestActionClassTable pins the static classification the compiler's
+// replay planner shares with this engine: pure-flow kinds fuse, every
+// dynamic-result kind is a fork barrier, aEnd is the step boundary, and
+// unknown (corrupt or future) kinds never fuse.
+func TestActionClassTable(t *testing.T) {
+	pure := []uint8{aExec, aUpdate, aShift}
+	forks := []uint8{aICache, aDCache, aPredict, aNextPC, aHalted}
+	for _, k := range pure {
+		if actClass[k] != ir.ReplayPure || !fusable(k) {
+			t.Errorf("kind %d: class %v, fusable %v; want pure-flow and fusable", k, actClass[k], fusable(k))
+		}
+	}
+	for _, k := range forks {
+		if actClass[k] != ir.ReplayFork || fusable(k) {
+			t.Errorf("kind %d: class %v, fusable %v; want fork and unfusable", k, actClass[k], fusable(k))
+		}
+	}
+	if actClass[aEnd] != ir.ReplayRet || fusable(aEnd) {
+		t.Errorf("aEnd: class %v, fusable %v; want step-end and unfusable", actClass[aEnd], fusable(aEnd))
+	}
+	if fusable(aEnd + 1) {
+		t.Error("unknown kind reported fusable")
 	}
 }

@@ -304,6 +304,7 @@ type Sim struct {
 	hEntrySize *obs.Histogram // bytes charged per installed entry
 	cFusedRuns *obs.Counter   // superinstructions built (lazily, per head action)
 	cFusedDisp *obs.Counter   // superinstruction dispatches during replay
+	cFusedActs *obs.Counter   // actions covered by fused dispatches
 	cCompActs  *obs.Counter   // actions compiled into superinstructions
 }
 
@@ -346,6 +347,7 @@ func New(cfg uarch.Config, prog *loader.Program, opt Options) *Sim {
 	s.hEntrySize = reg.Histogram("fastsim.entry_bytes")
 	s.cFusedRuns = reg.Counter("fastsim.fused_runs")
 	s.cFusedDisp = reg.Counter("fastsim.fused_dispatches")
+	s.cFusedActs = reg.Counter("fastsim.fused_acts")
 	s.cCompActs = reg.Counter("fastsim.compiled_actions")
 	s.sampler = obs.NewSampler(opt.Obs, opt.SampleEvery, s.sampleNow)
 	return s

@@ -80,6 +80,7 @@ func (s *Sim) replayFrom(e *centry, maxInsts uint64) {
 				s.fastInsts += fr.ins
 				acts += fr.n
 				s.cFusedDisp.Inc()
+				s.cFusedActs.Add(fr.n)
 				a = fr.end
 				continue
 			}

@@ -1,0 +1,103 @@
+package facsim
+
+import (
+	"bytes"
+	"testing"
+
+	"facile/internal/isa/loader"
+	"facile/internal/obs"
+)
+
+// TestPredictedFusionMatchesAchieved asserts the static/dynamic coverage
+// equality on every shipped description: the compiler's replay plan
+// (rt.fusion_predicted_*) must agree exactly with what the machine's
+// closure builder compiled under that plan (rt.fusion_compiled_*) — any
+// gap means the trusted compile's placeholder guard tripped, i.e. the
+// static layout proof and the engine disagree. It also pins the
+// preflight-exported fusion facts to the same figures, so what fvet and
+// the job records report is what the engine does.
+func TestPredictedFusionMatchesAchieved(t *testing.T) {
+	mks := map[string]func(*loader.Program, Options) (*Instance, error){
+		KindFunctional: NewFunctional,
+		KindInOrder:    NewInOrder,
+		KindOOO:        NewOOO,
+	}
+	prog := asmOrDie(t, mixedWorkload)
+	for kind, mk := range mks {
+		t.Run(kind, func(t *testing.T) {
+			rec := obs.NewRecorder(obs.Config{})
+			if _, err := mk(prog, Options{Memoize: true, Obs: rec}); err != nil {
+				t.Fatal(err)
+			}
+			reg := rec.Registry()
+			pb := reg.Counter("rt.fusion_predicted_blocks").Load()
+			cb := reg.Counter("rt.fusion_compiled_blocks").Load()
+			po := reg.Counter("rt.fusion_predicted_ops").Load()
+			co := reg.Counter("rt.fusion_compiled_ops").Load()
+			if pb == 0 {
+				t.Fatal("no predicted fusable blocks: the compiled description carries no replay plan")
+			}
+			if pb != cb {
+				t.Errorf("predicted %d fusable blocks, engine compiled %d", pb, cb)
+			}
+			if po != co {
+				t.Errorf("predicted %d fusable ops, engine compiled %d", po, co)
+			}
+			sum, ok := Preflight(kind)
+			if !ok {
+				t.Fatalf("no preflight for kind %q", kind)
+			}
+			if sum.Fusion == nil {
+				t.Fatal("preflight summary carries no fusion facts")
+			}
+			if uint64(sum.Fusion.FusableBlocks) != pb || uint64(sum.Fusion.FusableOps) != po {
+				t.Errorf("preflight facts (%d blocks, %d ops) disagree with engine counters (%d, %d)",
+					sum.Fusion.FusableBlocks, sum.Fusion.FusableOps, pb, cb)
+			}
+			if sum.Fusion.DynOps < sum.Fusion.FusableOps {
+				t.Errorf("fusable ops %d exceed dynamic ops %d", sum.Fusion.FusableOps, sum.Fusion.DynOps)
+			}
+		})
+	}
+}
+
+// TestStaticFactsPreserveReplayParity is the plan-era bit-identity spot
+// check: with the engine consulting the static table (compiled replay)
+// and with the table ignored (interpreted replay), a memoized run must
+// produce identical architectural results, and the compiled run must
+// actually exercise fused dispatch.
+func TestStaticFactsPreserveReplayParity(t *testing.T) {
+	prog := asmOrDie(t, mixedWorkload)
+	run := func(interp bool) (Result, uint64) {
+		rec := obs.NewRecorder(obs.Config{})
+		in, err := NewInOrder(prog, Options{Memoize: true, ReplayInterp: interp, Obs: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := in.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rec.Registry().Counter("rt.fused_dispatches").Load()
+	}
+	resC, fusedC := run(false)
+	resI, fusedI := run(true)
+	if !bytes.Equal(resC.Output, resI.Output) {
+		t.Errorf("compiled output %q != interpreted output %q", resC.Output, resI.Output)
+	}
+	if resC.Exit != resI.Exit {
+		t.Errorf("compiled exit %d != interpreted exit %d", resC.Exit, resI.Exit)
+	}
+	if resC.Cycles != resI.Cycles {
+		t.Errorf("compiled cycles %d != interpreted cycles %d", resC.Cycles, resI.Cycles)
+	}
+	if resC.Stats.Replays == 0 || resC.Stats.Replays != resI.Stats.Replays {
+		t.Errorf("replays diverge: compiled %d, interpreted %d", resC.Stats.Replays, resI.Stats.Replays)
+	}
+	if fusedC == 0 {
+		t.Error("compiled run never dispatched a fused superinstruction")
+	}
+	if fusedI != 0 {
+		t.Errorf("interpreted run dispatched %d fused superinstructions", fusedI)
+	}
+}

@@ -303,7 +303,7 @@ func analyzeFacts(p *ir.Program, c *types.Checked, opt Options, facts *Facts) er
 					// rt-static global store: write through the value
 					inst.BT = ir.BTStaticWT
 					di := ir.DynInst{Op: ir.StoreG, Imm: inst.Imm,
-						A: ir.Src{Kind: ir.SrcPh, VReg: inst.A}}
+						A: ir.Src{Kind: ir.SrcPh, VReg: inst.A}, Pos: inst.Pos}
 					if inst.A < 0 {
 						di.A = ir.Src{Kind: ir.SrcConst}
 					}
@@ -316,7 +316,7 @@ func analyzeFacts(p *ir.Program, c *types.Checked, opt Options, facts *Facts) er
 					inst.BT = ir.BTStaticWT
 					b.NPh++
 					b.Dyn = append(b.Dyn, ir.DynInst{Op: ir.Mov, D: inst.D,
-						A: ir.Src{Kind: ir.SrcPh, VReg: inst.D}})
+						A: ir.Src{Kind: ir.SrcPh, VReg: inst.D}, Pos: inst.Pos})
 				case inst.Op == ir.Const:
 					consts[inst.D] = inst.Imm
 				}
@@ -355,7 +355,7 @@ func analyzeFacts(p *ir.Program, c *types.Checked, opt Options, facts *Facts) er
 				b.PinDst = inst.D
 				b.TermSrc = src(inst.A)
 			default:
-				di := ir.DynInst{Op: inst.Op, Sub: inst.Sub, D: inst.D, Imm: inst.Imm, QID: inst.QID}
+				di := ir.DynInst{Op: inst.Op, Sub: inst.Sub, D: inst.D, Imm: inst.Imm, QID: inst.QID, Pos: inst.Pos}
 				// Classify exactly the operands each op reads; unused
 				// operand fields are zero-valued, not vreg 0.
 				switch inst.Op {

@@ -57,6 +57,10 @@ type Facts struct {
 
 	Transitions     []Transition // every lattice raise, in analysis order
 	QueueViolations []QueueViolation
+
+	// Replay is the fusion/replay evidence behind the program's proven
+	// plan (see replay.go), consumed by the fvet fusion analyzers.
+	Replay *ReplayEvidence
 }
 
 // CompileWithFacts is Compile plus the binding-time evidence the vet
@@ -74,5 +78,6 @@ func CompileWithFacts(c *types.Checked, opt Options) (*ir.Program, *Facts, error
 	}
 	facts := &Facts{}
 	err := analyzeFacts(lw.p, c, opt, facts)
+	lw.p.Replay, facts.Replay = buildReplayPlan(lw.p)
 	return lw.p, facts, err
 }

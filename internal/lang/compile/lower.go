@@ -52,6 +52,7 @@ func Compile(c *types.Checked, opt Options) (*ir.Program, error) {
 	if err := analyze(lw.p, c, opt); err != nil {
 		return nil, err
 	}
+	lw.p.Replay, _ = buildReplayPlan(lw.p)
 	return lw.p, nil
 }
 

@@ -143,6 +143,7 @@ type DynInst struct {
 	Imm  int64
 	QID  int32
 	Args []Src
+	Pos  token.Pos // source position, for replay-plan diagnostics
 }
 
 // GlobalDecl describes a global scalar (or stream).
@@ -197,6 +198,11 @@ type Program struct {
 	// VRegNames maps vregs to the source bindings they were created for
 	// (params, locals, decoded fields). Compiler temporaries are absent.
 	VRegNames map[int32]VRegName
+
+	// Replay is the proven fusion/replay plan (see replay.go), attached by
+	// the compiler after action extraction. Nil for hand-constructed IR;
+	// engines then fall back to their own per-block layout proof.
+	Replay *ReplayPlan
 
 	// Stats from compilation, reported by the driver.
 	NumStatic  int // instructions classified run-time static

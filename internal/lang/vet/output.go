@@ -119,10 +119,9 @@ func sarifLevel(s Severity) string {
 // WriteSARIF renders the result as a SARIF 2.1.0 log with one run. Rule
 // metadata comes from the analyzer registry for every code that appears.
 func WriteSARIF(w io.Writer, r *Result) error {
-	docs := map[string]string{
-		"FV0001": "parse error",
-		"FV0002": "type error",
-		"FV0003": "compile error",
+	docs := map[string]string{}
+	for _, c := range PipelineCodes() {
+		docs[c.Code] = c.Doc
 	}
 	for _, a := range All() {
 		for _, c := range a.Codes {

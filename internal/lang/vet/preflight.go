@@ -10,6 +10,10 @@ type Summary struct {
 	// ErrorFindings holds the rendered error-severity findings (capped),
 	// so a rejected submission explains itself.
 	ErrorFindings []string `json:"error_findings,omitempty"`
+	// Fusion carries the unit's static fusion facts (predicted coverage,
+	// barriers, layout verdicts) when the unit compiled — the same proven
+	// table the replay engine consults at machine-build time.
+	Fusion *FusionSummary `json:"fusion,omitempty"`
 }
 
 // OK reports whether the program passes preflight (no error findings).
@@ -32,6 +36,10 @@ func Summarize(r *Result) Summary {
 		Errors:   r.Count(SevError),
 		Warnings: r.Count(SevWarning),
 		Infos:    r.Count(SevInfo),
+	}
+	if len(r.Fusion) > 0 {
+		f := r.Fusion[0]
+		s.Fusion = &f
 	}
 	const maxShown = 8
 	for _, d := range r.Diags {

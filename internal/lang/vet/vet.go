@@ -156,8 +156,12 @@ type Options struct {
 	// MinSeverity drops findings below this severity.
 	MinSeverity Severity
 	// Explain turns on the binding-time provenance report (FV0101): one
-	// info per dynamic named binding with its why-dynamic chain.
+	// info per dynamic named binding with its why-dynamic chain — and the
+	// per-unit fusion coverage report (FV0702 info).
 	Explain bool
+	// FusionCoverageMin is the FV0702 warning threshold (fraction of
+	// dynamic ops in fusable blocks). Zero means DefaultFusionCoverageMin.
+	FusionCoverageMin float64
 }
 
 func matchToken(tok, code, analyzer string) bool {
@@ -184,12 +188,31 @@ func (o *Options) codeEnabled(code, analyzer string) bool {
 	return false
 }
 
+// FusionSummary condenses one unit's proven replay plan: the static
+// fusion facts the compiled-replay engine consumes at machine-build time,
+// exported so preflight consumers and job records can report predicted
+// coverage without recompiling.
+type FusionSummary struct {
+	Unit           string  `json:"unit,omitempty"`
+	DynBlocks      int     `json:"dyn_blocks"`     // blocks recorded as actions
+	FusableBlocks  int     `json:"fusable_blocks"` // pure-flow blocks with a proven layout
+	DynOps         int     `json:"dyn_ops"`
+	FusableOps     int     `json:"fusable_ops"`
+	Coverage       float64 `json:"coverage"` // FusableOps/DynOps (0..1)
+	MaxRun         int     `json:"max_run"`  // longest provable pure-flow run
+	Barriers       int     `json:"barriers"` // fork (dynamic-result) blocks
+	LayoutUnproven int     `json:"layout_unproven"`
+}
+
 // Result is the outcome of a vet run.
 type Result struct {
 	// Units lists the file names of each compilation unit analyzed.
 	Units [][]string `json:"units"`
 	// Diags is sorted by position, then code, then message.
 	Diags []Diagnostic `json:"diagnostics"`
+	// Fusion holds each successfully compiled unit's static fusion facts,
+	// in unit order.
+	Fusion []FusionSummary `json:"fusion,omitempty"`
 }
 
 // Count returns the number of findings at exactly severity sev.
@@ -215,6 +238,19 @@ func All() []*Analyzer {
 		encodingAnalyzer,
 		unusedAnalyzer,
 		staticctxAnalyzer,
+		fusionAnalyzer,
+	}
+}
+
+// PipelineCodes documents the diagnostics the driver itself emits when
+// the compilation pipeline fails before any analyzer can run. They are
+// part of the stable code space like analyzer codes (listed by -list,
+// validated by the lintfv meta-check).
+func PipelineCodes() []CodeDoc {
+	return []CodeDoc{
+		{"FV0001", SevError, "parse error: the unit could not be parsed"},
+		{"FV0002", SevError, "type error: the unit failed type checking"},
+		{"FV0003", SevError, "compile error: lowering or binding-time analysis failed"},
 	}
 }
 
@@ -283,6 +319,11 @@ func RunSet(fs *source.Set, opt Options) *Result {
 
 	for _, a := range All() {
 		a.Run(pass)
+	}
+	if pass.IR != nil {
+		if fs := fusionSummary(pass.IR); fs != nil {
+			r.Fusion = append(r.Fusion, *fs)
+		}
 	}
 	sortDiags(r.Diags)
 	return r
@@ -372,6 +413,10 @@ func RunFiles(paths []string, opt Options) (*Result, error) {
 		}
 		res := RunSet(fs, opt)
 		merged.Units = append(merged.Units, fs.Files())
+		for _, f := range res.Fusion {
+			f.Unit = unitName
+			merged.Fusion = append(merged.Fusion, f)
+		}
 		for _, d := range res.Diags {
 			if len(units) > 1 {
 				d.Unit = unitName

@@ -50,14 +50,15 @@ type blockCode struct {
 // maxFuseLen bounds one superinstruction's node count. Longer straight-line
 // chains split into consecutive runs; a cycle in a corrupted graph therefore
 // still accumulates m.nodes toward the replay watchdog instead of hanging
-// the builder.
-const maxFuseLen = 1024
+// the builder. Shared with the compiler's static replay planner, whose
+// MaxRun figures are capped at the same bound.
+const maxFuseLen = ir.MaxFuseLen
 
 // minFuseLen is the shortest run worth fusing: below it the fused dispatch
 // (version check, per-step closure loop) costs more than the interpreter
 // iterations it replaces, so the builder emits an empty run and the nodes
 // replay interpreted.
-const minFuseLen = 2
+const minFuseLen = ir.MinFuseLen
 
 // fusedRun is a superinstruction: a pre-validated straight-line run of
 // DTNone nodes executed as one call sequence. end is the first node after
@@ -74,13 +75,37 @@ type fusedStep struct {
 	data []int64
 }
 
-// compileProgram compiles every block's dynamic segment. Blocks without
-// dynamic work compile to an empty ok chain so fused runs can span them.
+// compileProgram compiles dynamic segments into closure chains. With a
+// proven replay plan attached (p.Replay, computed by the compiler's static
+// fusion analysis), the builder trusts the static table: only plan-fusable
+// blocks are compiled — with the per-operand layout scans skipped, since
+// the plan already proved every placeholder sits in a read field — and
+// fork-, ret-terminated, and layout-unprovable blocks are left to the
+// interpreter (fused runs can never contain them, so compiling them was
+// pure build-time waste). Without a plan (hand-constructed IR, older
+// snapshots) every block runs the legacy per-block proof.
 func compileProgram(p *ir.Program) ([]blockCode, int) {
 	code := make([]blockCode, len(p.Blocks))
 	compiled := 0
+	if pl := p.Replay; pl != nil && len(pl.Blocks) == len(p.Blocks) {
+		for bi, blk := range p.Blocks {
+			if !blk.HasDyn {
+				// Empty ok chain so fused runs can span the block.
+				code[bi] = blockCode{ok: true}
+				continue
+			}
+			if !pl.Fusable(bi) {
+				continue // replays interpreted
+			}
+			code[bi] = compileBlock(blk, true)
+			if code[bi].ok && len(blk.Dyn) > 0 {
+				compiled++
+			}
+		}
+		return code, compiled
+	}
 	for bi, blk := range p.Blocks {
-		code[bi] = compileBlock(blk)
+		code[bi] = compileBlock(blk, false)
 		if code[bi].ok && len(blk.Dyn) > 0 {
 			compiled++
 		}
@@ -88,11 +113,16 @@ func compileProgram(p *ir.Program) ([]blockCode, int) {
 	return code, compiled
 }
 
-func compileBlock(blk *ir.Block) blockCode {
+// compileBlock compiles one block's dynamic segment. In trusted mode the
+// per-operand layout proof is skipped (the static plan proved it); the
+// final placeholder-count comparison stays as a cheap integer guard — if
+// it ever trips, the plan and the engine disagree and the block safely
+// falls back to interpreted replay.
+func compileBlock(blk *ir.Block, trusted bool) blockCode {
 	fns := make([]dynFn, 0, len(blk.Dyn))
 	ph := 0
 	for i := range blk.Dyn {
-		fn, ok := compileDyn(&blk.Dyn[i], &ph)
+		fn, ok := compileDyn(&blk.Dyn[i], &ph, trusted)
 		if !ok {
 			return blockCode{}
 		}
@@ -142,12 +172,13 @@ func reader(s ir.Src, ph *int) func(*Machine, []int64) int64 {
 
 // compileDyn compiles one dynamic instruction. It returns ok=false when the
 // instruction's placeholder layout cannot be matched to the interpreter's
-// read order (the block then replays interpreted).
-func compileDyn(di *ir.DynInst, ph *int) (dynFn, bool) {
+// read order (the block then replays interpreted). In trusted mode the
+// layout scans are skipped: the static replay plan already proved them.
+func compileDyn(di *ir.DynInst, ph *int, trusted bool) (dynFn, bool) {
 	d := di.D
 	switch di.Op {
 	case ir.Mov:
-		if !noPh(di.B) || !noPhArgs(di.Args) {
+		if !trusted && (!noPh(di.B) || !noPhArgs(di.Args)) {
 			return nil, false
 		}
 		// Flat fast paths for the three operand kinds.
@@ -166,7 +197,7 @@ func compileDyn(di *ir.DynInst, ph *int) (dynFn, bool) {
 		return func(m *Machine, _ []int64) { m.vregs[d] = 0 }, true
 
 	case ir.Bin:
-		if !noPhArgs(di.Args) {
+		if !trusted && !noPhArgs(di.Args) {
 			return nil, false
 		}
 		op := token.Kind(di.Sub)
@@ -206,7 +237,7 @@ func compileDyn(di *ir.DynInst, ph *int) (dynFn, bool) {
 		}, true
 
 	case ir.Un:
-		if !noPh(di.B) || !noPhArgs(di.Args) {
+		if !trusted && (!noPh(di.B) || !noPhArgs(di.Args)) {
 			return nil, false
 		}
 		sub := di.Sub
@@ -214,7 +245,7 @@ func compileDyn(di *ir.DynInst, ph *int) (dynFn, bool) {
 		return func(m *Machine, data []int64) { m.vregs[d] = evalUn(sub, ra(m, data)) }, true
 
 	case ir.Ext:
-		if !noPh(di.B) || !noPhArgs(di.Args) {
+		if !trusted && (!noPh(di.B) || !noPhArgs(di.Args)) {
 			return nil, false
 		}
 		bits, signed := di.Imm, di.Sub == 1
@@ -224,14 +255,14 @@ func compileDyn(di *ir.DynInst, ph *int) (dynFn, bool) {
 		}, true
 
 	case ir.LoadG:
-		if !noPh(di.A) || !noPh(di.B) || !noPhArgs(di.Args) {
+		if !trusted && (!noPh(di.A) || !noPh(di.B) || !noPhArgs(di.Args)) {
 			return nil, false
 		}
 		g := di.Imm
 		return func(m *Machine, _ []int64) { m.vregs[d] = m.globals[g] }, true
 
 	case ir.StoreG:
-		if !noPh(di.B) || !noPhArgs(di.Args) {
+		if !trusted && (!noPh(di.B) || !noPhArgs(di.Args)) {
 			return nil, false
 		}
 		g := di.Imm
@@ -239,7 +270,7 @@ func compileDyn(di *ir.DynInst, ph *int) (dynFn, bool) {
 		return func(m *Machine, data []int64) { m.globals[g] = ra(m, data) }, true
 
 	case ir.LoadA:
-		if !noPh(di.B) || !noPhArgs(di.Args) {
+		if !trusted && (!noPh(di.B) || !noPhArgs(di.Args)) {
 			return nil, false
 		}
 		ai := di.Imm
@@ -255,7 +286,7 @@ func compileDyn(di *ir.DynInst, ph *int) (dynFn, bool) {
 		}, true
 
 	case ir.StoreA:
-		if !noPhArgs(di.Args) {
+		if !trusted && !noPhArgs(di.Args) {
 			return nil, false
 		}
 		ai := di.Imm
@@ -271,7 +302,7 @@ func compileDyn(di *ir.DynInst, ph *int) (dynFn, bool) {
 		}, true
 
 	case ir.Fetch:
-		if !noPh(di.B) || !noPhArgs(di.Args) {
+		if !trusted && (!noPh(di.B) || !noPhArgs(di.Args)) {
 			return nil, false
 		}
 		ra := reader(di.A, ph)
@@ -280,10 +311,10 @@ func compileDyn(di *ir.DynInst, ph *int) (dynFn, bool) {
 		}, true
 
 	case ir.QOp:
-		return compileQOp(di, ph)
+		return compileQOp(di, ph, trusted)
 
 	case ir.CallExt:
-		if !noPh(di.A) || !noPh(di.B) {
+		if !trusted && (!noPh(di.A) || !noPh(di.B)) {
 			return nil, false
 		}
 		xi := di.Imm
@@ -307,18 +338,18 @@ func compileDyn(di *ir.DynInst, ph *int) (dynFn, bool) {
 
 	// Unknown dynamic op: the interpreter ignores it; compile the same no-op
 	// as long as no placeholder would be silently skipped.
-	if noPh(di.A) && noPh(di.B) && noPhArgs(di.Args) {
+	if trusted || (noPh(di.A) && noPh(di.B) && noPhArgs(di.Args)) {
 		return func(*Machine, []int64) {}, true
 	}
 	return nil, false
 }
 
-func compileQOp(di *ir.DynInst, ph *int) (dynFn, bool) {
+func compileQOp(di *ir.DynInst, ph *int, trusted bool) (dynFn, bool) {
 	d := di.D
 	qid := di.QID
 	switch di.Sub {
 	case ir.QSize:
-		if !noPh(di.A) || !noPh(di.B) || !noPhArgs(di.Args) {
+		if !trusted && (!noPh(di.A) || !noPh(di.B) || !noPhArgs(di.Args)) {
 			return nil, false
 		}
 		return func(m *Machine, _ []int64) {
@@ -328,7 +359,7 @@ func compileQOp(di *ir.DynInst, ph *int) (dynFn, bool) {
 			}
 		}, true
 	case ir.QPush:
-		if !noPh(di.A) || !noPh(di.B) {
+		if !trusted && (!noPh(di.A) || !noPh(di.B)) {
 			return nil, false
 		}
 		rargs := make([]func(*Machine, []int64) int64, len(di.Args))
@@ -349,7 +380,7 @@ func compileQOp(di *ir.DynInst, ph *int) (dynFn, bool) {
 			}
 		}, true
 	case ir.QPop:
-		if !noPh(di.A) || !noPh(di.B) || !noPhArgs(di.Args) {
+		if !trusted && (!noPh(di.A) || !noPh(di.B) || !noPhArgs(di.Args)) {
 			return nil, false
 		}
 		return func(m *Machine, _ []int64) {
@@ -359,7 +390,7 @@ func compileQOp(di *ir.DynInst, ph *int) (dynFn, bool) {
 			}
 		}, true
 	case ir.QGet:
-		if !noPhArgs(di.Args) {
+		if !trusted && !noPhArgs(di.Args) {
 			return nil, false
 		}
 		ra := reader(di.A, ph)
@@ -371,7 +402,8 @@ func compileQOp(di *ir.DynInst, ph *int) (dynFn, bool) {
 			}
 		}, true
 	case ir.QSet:
-		if len(di.Args) < 1 || !noPhArgs(di.Args[1:]) {
+		// The structural arity guard stays even in trusted mode.
+		if len(di.Args) < 1 || (!trusted && !noPhArgs(di.Args[1:])) {
 			return nil, false
 		}
 		ra := reader(di.A, ph)
@@ -385,7 +417,7 @@ func compileQOp(di *ir.DynInst, ph *int) (dynFn, bool) {
 			}
 		}, true
 	case ir.QFront:
-		if !noPh(di.B) || !noPhArgs(di.Args) {
+		if !trusted && (!noPh(di.B) || !noPhArgs(di.Args)) {
 			return nil, false
 		}
 		ra := reader(di.A, ph)
@@ -396,7 +428,7 @@ func compileQOp(di *ir.DynInst, ph *int) (dynFn, bool) {
 			}
 		}, true
 	case ir.QFull:
-		if !noPh(di.A) || !noPh(di.B) || !noPhArgs(di.Args) {
+		if !trusted && (!noPh(di.A) || !noPh(di.B) || !noPhArgs(di.Args)) {
 			return nil, false
 		}
 		return func(m *Machine, _ []int64) {
@@ -409,7 +441,7 @@ func compileQOp(di *ir.DynInst, ph *int) (dynFn, bool) {
 			}
 		}, true
 	case ir.QClear:
-		if !noPh(di.A) || !noPh(di.B) || !noPhArgs(di.Args) {
+		if !trusted && (!noPh(di.A) || !noPh(di.B) || !noPhArgs(di.Args)) {
 			return nil, false
 		}
 		return func(m *Machine, _ []int64) {
@@ -420,7 +452,7 @@ func compileQOp(di *ir.DynInst, ph *int) (dynFn, bool) {
 		}, true
 	}
 	// Unknown queue sub-op: the interpreter computes res=0 and writes it.
-	if !noPh(di.A) || !noPh(di.B) || !noPhArgs(di.Args) {
+	if !trusted && (!noPh(di.A) || !noPh(di.B) || !noPhArgs(di.Args)) {
 		return nil, false
 	}
 	return func(m *Machine, _ []int64) {

@@ -65,3 +65,69 @@ func TestFusedStateDiscardedOnCverBump(t *testing.T) {
 		t.Fatal("injectFault did not bump cver; stale fused state would survive")
 	}
 }
+
+// forkHeadProgram models the PR-8 corner: the first dynamic block of a
+// step ends in a dynamic branch test (a fork), followed by a straight
+// line of pure-flow blocks. A miss at that head fork degrades the whole
+// step before any fused work runs, so the builder must never start a
+// superinstruction there.
+func forkHeadProgram() *ir.Program {
+	pure := func(id int) *ir.Block {
+		return &ir.Block{
+			ID:     id,
+			HasDyn: true,
+			Dyn:    []ir.DynInst{{Op: ir.Mov, D: 0, A: ir.Src{Kind: ir.SrcConst, Const: 1}}},
+			Term:   ir.Inst{Op: ir.Ret},
+		}
+	}
+	fork := &ir.Block{
+		ID:      0,
+		HasDyn:  true,
+		DynTerm: ir.DTBr,
+		TermSrc: ir.Src{Kind: ir.SrcVReg},
+		Term:    ir.Inst{Op: ir.Br},
+	}
+	return &ir.Program{Blocks: []*ir.Block{fork, pure(1), pure(2)}}
+}
+
+// TestForkAtRunHeadSeversFusion drives buildFused over a fork-headed
+// chain: the run starting at the fork must stay empty, while the same
+// pure tail entered one node later fuses normally. Checked on both the
+// plan-less legacy path and with a static replay plan attached (where
+// the fork block is not even compiled).
+func TestForkAtRunHeadSeversFusion(t *testing.T) {
+	plan := &ir.ReplayPlan{
+		Blocks: []ir.BlockReplay{
+			{Class: ir.ReplayFork},
+			{Class: ir.ReplayPure, LayoutOK: true, MaxRun: 2, DynOps: 1},
+			{Class: ir.ReplayPure, LayoutOK: true, MaxRun: 1, DynOps: 1},
+		},
+		DynBlocks: 3, FusableBlocks: 2, DynOps: 3, FusableOps: 2,
+	}
+	for _, tc := range []struct {
+		name   string
+		plan   *ir.ReplayPlan
+		headOK bool // is the fork block compiled at all?
+	}{
+		{"legacy", nil, true},
+		{"planned", plan, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := forkHeadProgram()
+			p.Replay = tc.plan
+			m := New(p, nil, Options{Memoize: true})
+			if got := m.code[0].ok; got != tc.headOK {
+				t.Errorf("fork block compiled = %v, want %v", got, tc.headOK)
+			}
+			n2 := &node{blockID: 2}
+			n1 := &node{blockID: 1, next: n2}
+			n0 := &node{blockID: 0, next: n1}
+			if fr := m.buildFused(n0); len(fr.steps) != 0 {
+				t.Errorf("fork-headed run fused %d steps, want 0", len(fr.steps))
+			}
+			if fr := m.buildFused(n1); len(fr.steps) != 2 || fr.ops != 2 {
+				t.Errorf("pure tail fused %d steps / %d ops, want 2 / 2", len(fr.steps), fr.ops)
+			}
+		})
+	}
+}

@@ -128,9 +128,10 @@ type Machine struct {
 
 	// Registry metrics: per-step replay-length distribution (parity with
 	// fastsim's replay_actions_per_step) and compiled-substrate telemetry.
-	hStepNodes *obs.Histogram
-	cFusedRuns *obs.Counter // superinstructions built (lazily, per head node)
-	cFusedDisp *obs.Counter // superinstruction dispatches during replay
+	hStepNodes  *obs.Histogram
+	cFusedRuns  *obs.Counter // superinstructions built (lazily, per head node)
+	cFusedDisp  *obs.Counter // superinstruction dispatches during replay
+	cFusedNodes *obs.Counter // action nodes covered by fused dispatches
 
 	stats Stats
 }
@@ -161,9 +162,26 @@ func New(p *ir.Program, text TextSource, opt Options) *Machine {
 	m.code, nCompiled = compileProgram(p)
 	reg := opt.Obs.Registry()
 	reg.Counter("rt.compiled_blocks").Add(uint64(nCompiled))
+	if pl := p.Replay; pl != nil {
+		// Predicted-vs-achieved fusion coverage: what the static plan
+		// proved fusable against what the closure builder actually
+		// compiled. The pairs agree unless the trusted compile's
+		// placeholder-count guard tripped (a plan/engine disagreement).
+		var opsCompiled uint64
+		for bi, blk := range p.Blocks {
+			if blk.HasDyn && m.code[bi].ok {
+				opsCompiled += uint64(len(blk.Dyn))
+			}
+		}
+		reg.Counter("rt.fusion_predicted_blocks").Add(uint64(pl.FusableBlocks))
+		reg.Counter("rt.fusion_compiled_blocks").Add(uint64(nCompiled))
+		reg.Counter("rt.fusion_predicted_ops").Add(uint64(pl.FusableOps))
+		reg.Counter("rt.fusion_compiled_ops").Add(opsCompiled)
+	}
 	m.hStepNodes = reg.Histogram("rt.replay_nodes_per_step")
 	m.cFusedRuns = reg.Counter("rt.fused_runs")
 	m.cFusedDisp = reg.Counter("rt.fused_dispatches")
+	m.cFusedNodes = reg.Counter("rt.fused_nodes")
 	m.sampler = obs.NewSampler(opt.Obs, opt.SampleEvery, func() obs.Sample {
 		return obs.Sample{
 			Insts:        m.stats.SlowInsts + m.stats.FastOps,

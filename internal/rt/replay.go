@@ -65,6 +65,7 @@ func (m *Machine) replayFrom(e *centry, maxSteps uint64) error {
 				m.stats.FastOps += fr.ops
 				m.nodes += k
 				m.cFusedDisp.Inc()
+				m.cFusedNodes.Add(k)
 				n = fr.end
 				continue
 			}

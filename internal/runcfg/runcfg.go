@@ -21,6 +21,7 @@ import (
 	"facile/internal/facsim"
 	"facile/internal/faults"
 	"facile/internal/isa/loader"
+	"facile/internal/lang/vet"
 	"facile/internal/obs"
 	"facile/internal/rt"
 	"facile/internal/snapshot"
@@ -186,6 +187,27 @@ type Runner interface {
 	// LastFault reports the most recent recovered fault (nil if none, or
 	// for engines without fault tracking).
 	LastFault() *faults.Fault
+}
+
+// FusionFacts returns the static fusion facts proven for a fac-* engine's
+// bundled description: predicted coverage, barrier count, and layout
+// verdicts — the same table the replay engine consults at machine-build
+// time (Program.Replay). Nil for engines without a compiled description.
+// The facts come from the cached preflight vet run, so repeated calls are
+// cheap.
+func FusionFacts(engine string) *vet.FusionSummary {
+	kind := map[string]string{
+		EngineFacFunc:    facsim.KindFunctional,
+		EngineFacInOrder: facsim.KindInOrder,
+		EngineFacOOO:     facsim.KindOOO,
+	}[engine]
+	if kind == "" {
+		return nil
+	}
+	if s, ok := facsim.Preflight(kind); ok {
+		return s.Fusion
+	}
+	return nil
 }
 
 // replayInterp maps cfg.Replay onto the engines' boolean switch.

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var codeRE = regexp.MustCompile(`^FV\d{4}$`)
+
+// catalogEntry is one CodeDoc literal: a declared finding code.
+type catalogEntry struct {
+	code string
+	pos  token.Position
+}
+
+// reportSite is one place a finding code is passed to the report API.
+type reportSite struct {
+	code    string
+	literal bool // code argument was a string literal
+	pos     token.Position
+}
+
+// Check parses the non-test Go files of dir and returns the list of
+// finding-code problems, empty when the code space is coherent.
+func Check(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+
+	var catalog []catalogEntry
+	var sites []reportSite
+	mentions := map[string][]token.Position{} // every FVnnnn literal, by position
+	catalogPos := map[string]bool{}           // "file:line:col" of catalog literals
+
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if s, ok := strLit(n); ok && codeRE.MatchString(s) {
+					mentions[s] = append(mentions[s], fset.Position(n.Pos()))
+				}
+			case *ast.CompositeLit:
+				if isCodeDocSlice(n.Type) {
+					for _, el := range n.Elts {
+						code, pos, ok := codeDocEntry(el)
+						if !ok {
+							continue
+						}
+						p := fset.Position(pos)
+						catalog = append(catalog, catalogEntry{code: code, pos: p})
+						catalogPos[p.String()] = true
+					}
+				}
+				if isIdent(n.Type, "Diagnostic") {
+					if code, pos, lit, ok := diagCode(n); ok {
+						sites = append(sites, reportSite{code: code, literal: lit, pos: fset.Position(pos)})
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok &&
+					(sel.Sel.Name == "Reportf" || sel.Sel.Name == "ReportFix") && len(n.Args) >= 2 {
+					if s, ok := strLit(n.Args[1]); ok {
+						sites = append(sites, reportSite{code: s, literal: true, pos: fset.Position(n.Args[1].Pos())})
+					} else {
+						sites = append(sites, reportSite{literal: false, pos: fset.Position(n.Args[1].Pos())})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	var problems []string
+	bad := func(pos token.Position, format string, args ...any) {
+		problems = append(problems, pos.String()+": "+fmt.Sprintf(format, args...))
+	}
+
+	// Catalog: well-formed and declared exactly once across all catalogs.
+	declared := map[string]token.Position{}
+	for _, e := range catalog {
+		if !codeRE.MatchString(e.code) {
+			bad(e.pos, "catalog code %q is malformed (want FV + 4 digits)", e.code)
+			continue
+		}
+		if prev, dup := declared[e.code]; dup {
+			bad(e.pos, "catalog code %s declared twice (also at %s)", e.code, prev)
+			continue
+		}
+		declared[e.code] = e.pos
+	}
+
+	// Report sites: literal codes must be well-formed and catalogued.
+	// Sites that pass a variable (e.g. a dedupe helper) are covered by
+	// the mention scan below instead.
+	for _, s := range sites {
+		if !s.literal {
+			continue
+		}
+		if !codeRE.MatchString(s.code) {
+			bad(s.pos, "reported code %q is malformed (want FV + 4 digits)", s.code)
+			continue
+		}
+		if _, ok := declared[s.code]; !ok {
+			bad(s.pos, "reported code %s has no catalog entry (add a CodeDoc)", s.code)
+		}
+	}
+
+	// Every FVnnnn literal anywhere in the package must be catalogued —
+	// this catches codes routed through helpers as variables.
+	for code, poss := range mentions {
+		if _, ok := declared[code]; ok {
+			continue
+		}
+		for _, p := range poss {
+			if !catalogPos[p.String()] {
+				bad(p, "code %s mentioned but never catalogued", code)
+			}
+		}
+	}
+
+	// Every catalogued code must be mentioned outside its own catalog
+	// entry, i.e. actually reachable from a report path.
+	for code, dp := range declared {
+		used := false
+		for _, p := range mentions[code] {
+			if !catalogPos[p.String()] {
+				used = true
+				break
+			}
+		}
+		if !used {
+			bad(dp, "catalog code %s is never reported", code)
+		}
+	}
+
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// strLit unwraps a string literal expression.
+func strLit(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isCodeDocSlice(e ast.Expr) bool {
+	at, ok := e.(*ast.ArrayType)
+	return ok && at.Len == nil && isIdent(at.Elt, "CodeDoc")
+}
+
+// codeDocEntry extracts the code from one CodeDoc element, written
+// either positionally ({"FV0101", Sev, "doc"}) or with field keys.
+func codeDocEntry(el ast.Expr) (string, token.Pos, bool) {
+	cl, ok := el.(*ast.CompositeLit)
+	if !ok || len(cl.Elts) == 0 {
+		return "", 0, false
+	}
+	for _, f := range cl.Elts {
+		if kv, ok := f.(*ast.KeyValueExpr); ok {
+			if isIdent(kv.Key, "Code") {
+				if s, ok := strLit(kv.Value); ok {
+					return s, kv.Value.Pos(), true
+				}
+			}
+			continue
+		}
+		// Positional: the first element is the code.
+		if s, ok := strLit(f); ok {
+			return s, f.Pos(), true
+		}
+		return "", 0, false
+	}
+	return "", 0, false
+}
+
+// diagCode extracts the Code field of a Diagnostic composite literal.
+// Literals that set Code from a variable (the Reportf/ReportFix bodies)
+// report literal=false and are skipped by the caller.
+func diagCode(cl *ast.CompositeLit) (string, token.Pos, bool, bool) {
+	for _, f := range cl.Elts {
+		kv, ok := f.(*ast.KeyValueExpr)
+		if !ok || !isIdent(kv.Key, "Code") {
+			continue
+		}
+		if s, ok := strLit(kv.Value); ok {
+			return s, kv.Value.Pos(), true, true
+		}
+		return "", kv.Value.Pos(), false, true
+	}
+	return "", 0, false, false
+}

@@ -1,0 +1,56 @@
+// Command lintfv is the repository's custom static check over its own
+// static-analysis suite: it parses internal/lang/vet and verifies that
+// the FV finding-code space is coherent.
+//
+//	go run ./tools/lintfv [dir]
+//
+// Checks:
+//
+//   - every code literal in a catalog (an Analyzer's Codes list, or the
+//     PipelineCodes function) is well-formed (`FV` + 4 digits) and
+//     declared exactly once across all catalogs;
+//
+//   - every code literal at a report site (pass.Reportf, pass.ReportFix,
+//     or a Diagnostic composite literal) is well-formed and has a
+//     matching catalog entry — no analyzer can invent an undocumented
+//     code;
+//
+//   - every catalog entry is actually reported somewhere — no dead
+//     documentation.
+//
+// The standard-library go/ast is deliberate: the module has no
+// dependencies, so the go/analysis vettool protocol is unavailable; CI
+// runs this as a plain command and tools/lintfv/main_test.go wraps the
+// same check as a Go test.
+//
+// Exit status: 0 clean, 1 problems found, 2 usage or parse failure.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	dir := "internal/lang/vet"
+	if len(os.Args) > 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintfv [dir]")
+		os.Exit(2)
+	}
+	if len(os.Args) == 2 {
+		dir = os.Args[1]
+	}
+	problems, err := Check(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintfv:", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "lintfv: %d problem(s) in %s\n", len(problems), dir)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "lintfv: %s: finding-code space coherent\n", dir)
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetPackageCoherent is the CI-facing assertion: the real analyzer
+// suite must keep its finding-code space coherent.
+func TestVetPackageCoherent(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "lang", "vet")
+	problems, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// writeFixture materializes a one-file package and returns its dir.
+func writeFixture(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func checkProblems(t *testing.T, src string, wants ...string) {
+	t.Helper()
+	problems, err := Check(writeFixture(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range wants {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no problem mentioning %q; got %v", want, problems)
+		}
+	}
+	if len(wants) == 0 && len(problems) > 0 {
+		t.Errorf("unexpected problems: %v", problems)
+	}
+}
+
+const fixtureHeader = `package vet
+
+type Severity int
+
+const SevWarning Severity = 1
+
+type CodeDoc struct {
+	Code     string
+	Severity Severity
+	Doc      string
+}
+
+type Diagnostic struct {
+	Code string
+}
+
+type Pass struct{}
+
+func (p *Pass) Reportf(analyzer, code string, sev Severity, args ...any) {}
+func (p *Pass) Report(d Diagnostic)                                      {}
+`
+
+func TestDetectsDuplicateCatalogCode(t *testing.T) {
+	checkProblems(t, fixtureHeader+`
+var a = []CodeDoc{{"FV9901", SevWarning, "x"}, {"FV9901", SevWarning, "y"}}
+
+func f(p *Pass) { p.Reportf("a", "FV9901", SevWarning) }
+`, "declared twice")
+}
+
+func TestDetectsMalformedCode(t *testing.T) {
+	checkProblems(t, fixtureHeader+`
+var a = []CodeDoc{{"FV99", SevWarning, "x"}}
+
+func f(p *Pass) { p.Reportf("a", "FV123", SevWarning) }
+`, "catalog code \"FV99\" is malformed", "reported code \"FV123\" is malformed")
+}
+
+func TestDetectsUncataloguedReport(t *testing.T) {
+	checkProblems(t, fixtureHeader+`
+func f(p *Pass) {
+	p.Reportf("a", "FV9902", SevWarning)
+	p.Report(Diagnostic{Code: "FV9903"})
+}
+`, "FV9902 has no catalog entry", "FV9903 has no catalog entry")
+}
+
+func TestDetectsUnreportedCatalogEntry(t *testing.T) {
+	checkProblems(t, fixtureHeader+`
+var a = []CodeDoc{{"FV9904", SevWarning, "x"}}
+`, "FV9904 is never reported")
+}
+
+func TestDetectsHelperRoutedMention(t *testing.T) {
+	// A code passed through a helper variable is still caught by the
+	// mention scan when it lacks a catalog entry.
+	checkProblems(t, fixtureHeader+`
+func f(p *Pass) {
+	code := "FV9905"
+	p.Reportf("a", code, SevWarning)
+}
+`, "FV9905 mentioned but never catalogued")
+}
+
+func TestCleanFixture(t *testing.T) {
+	checkProblems(t, fixtureHeader+`
+var a = []CodeDoc{{"FV9906", SevWarning, "x"}}
+
+func f(p *Pass) { p.Reportf("a", "FV9906", SevWarning) }
+`)
+}
